@@ -1,0 +1,66 @@
+//! Executor comparison: golden sequential reference vs Rayon parallel vs the
+//! FPGA dataflow simulator on identical workloads — the three numeric paths
+//! whose agreement the test suite asserts bit-exactly.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sf_fpga::design::{synthesize, ExecMode, MemKind, Workload};
+use sf_fpga::{exec2d, exec3d, FpgaDevice};
+use sf_kernels::{parallel, reference, Jacobi3D, Poisson2D, StencilSpec};
+use sf_mesh::{Mesh2D, Mesh3D};
+
+fn bench_poisson_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("poisson_executors");
+    let m = Mesh2D::<f32>::random(256, 256, 3, -1.0, 1.0);
+    let iters = 4usize;
+    g.throughput(Throughput::Elements((m.len() * iters) as u64));
+    g.bench_function("reference_seq", |b| {
+        b.iter(|| reference::run_2d(&Poisson2D, &m, iters))
+    });
+    g.bench_function("rayon_parallel", |b| {
+        b.iter(|| parallel::par_run_2d(&Poisson2D, &m, iters))
+    });
+    let d = FpgaDevice::u280();
+    let wl = Workload::D2 { nx: 256, ny: 256, batch: 1 };
+    let ds = synthesize(&d, &StencilSpec::poisson(), 8, 4, ExecMode::Baseline, MemKind::Hbm, &wl)
+        .unwrap();
+    g.bench_function("fpga_dataflow_sim", |b| {
+        b.iter(|| exec2d::simulate_mesh_2d(&d, &ds, &[Poisson2D], &m, iters))
+    });
+    g.finish();
+}
+
+fn bench_jacobi_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("jacobi_executors");
+    let m = Mesh3D::<f32>::random(48, 48, 48, 4, -1.0, 1.0);
+    let k = Jacobi3D::smoothing();
+    let iters = 3usize;
+    g.throughput(Throughput::Elements((m.len() * iters) as u64));
+    g.bench_function("reference_seq", |b| b.iter(|| reference::run_3d(&k, &m, iters)));
+    g.bench_function("rayon_parallel", |b| b.iter(|| parallel::par_run_3d(&k, &m, iters)));
+    let d = FpgaDevice::u280();
+    let wl = Workload::D3 { nx: 48, ny: 48, nz: 48, batch: 1 };
+    let ds = synthesize(&d, &StencilSpec::jacobi(), 8, 3, ExecMode::Baseline, MemKind::Hbm, &wl)
+        .unwrap();
+    g.bench_function("fpga_dataflow_sim", |b| {
+        b.iter(|| exec3d::simulate_mesh_3d(&d, &ds, &[k], &m, iters))
+    });
+    g.finish();
+}
+
+fn bench_rtm_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rtm_executors");
+    let (y, rho, mu) = sf_kernels::rtm::demo_workload(24, 24, 24);
+    let prm = sf_kernels::RtmParams::default();
+    let iters = 2usize;
+    g.throughput(Throughput::Elements((y.len() * iters) as u64));
+    g.bench_function("reference_seq", |b| {
+        b.iter(|| reference::rtm_run(&y, &rho, &mu, prm, iters))
+    });
+    g.bench_function("rayon_parallel", |b| {
+        b.iter(|| parallel::par_rtm_run(&y, &rho, &mu, prm, iters))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_poisson_paths, bench_jacobi_paths, bench_rtm_paths);
+criterion_main!(benches);

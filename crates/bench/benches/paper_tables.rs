@@ -1,0 +1,43 @@
+//! One Criterion target per table/figure family: regenerating each
+//! experiment of the paper end to end (synthesis + cycle plans + GPU model +
+//! power/energy for every row). `cargo bench -p sf-bench` therefore covers
+//! every table AND figure in the evaluation section.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sf_bench::experiments;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paper_tables");
+    g.sample_size(10);
+    g.bench_function("table1_specs", |b| b.iter(experiments::table1));
+    g.bench_function("table2_model_params", |b| b.iter(experiments::table2));
+    g.bench_function("table3_blocking_params", |b| b.iter(experiments::table3));
+    g.bench_function("table4_poisson_bw_energy", |b| b.iter(experiments::table4));
+    g.bench_function("table5_jacobi_bw_energy", |b| b.iter(experiments::table5));
+    g.bench_function("table6_rtm_bw_energy", |b| b.iter(experiments::table6));
+    g.finish();
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paper_figures");
+    g.sample_size(10);
+    g.bench_function("fig3a_poisson_baseline", |b| b.iter(experiments::fig3a));
+    g.bench_function("fig3b_poisson_batched", |b| b.iter(experiments::fig3b));
+    g.bench_function("fig3c_poisson_tiled", |b| b.iter(experiments::fig3c));
+    g.bench_function("fig4a_jacobi_baseline", |b| b.iter(experiments::fig4a));
+    g.bench_function("fig4b_jacobi_batched", |b| b.iter(experiments::fig4b));
+    g.bench_function("fig4c_jacobi_tiled", |b| b.iter(experiments::fig4c));
+    g.bench_function("fig5a_rtm_baseline", |b| b.iter(experiments::fig5a));
+    g.bench_function("fig5b_rtm_batched", |b| b.iter(experiments::fig5b));
+    g.finish();
+}
+
+fn bench_model_accuracy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paper_claims");
+    g.sample_size(10);
+    g.bench_function("model_accuracy_suite", |b| b.iter(experiments::model_accuracy));
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_figures, bench_model_accuracy);
+criterion_main!(benches);

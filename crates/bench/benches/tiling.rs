@@ -1,0 +1,86 @@
+//! Spatial-blocking ablations: tile geometry cost, tiled vs baseline
+//! execution, and the effect of the design choices DESIGN.md calls out
+//! (AXI alignment, halo depth).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sf_fpga::design::{synthesize, ExecMode, MemKind, Workload};
+use sf_fpga::{exec2d, FpgaDevice};
+use sf_kernels::{Poisson2D, StencilSpec};
+use sf_mesh::{Mesh2D, TileGrid1D, TileGrid2D};
+
+fn bench_grid_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tile_geometry");
+    for n in [15_000usize, 20_000] {
+        g.bench_with_input(BenchmarkId::new("grid1d", n), &n, |b, &n| {
+            b.iter(|| TileGrid1D::new(n, 4096, 60, 16))
+        });
+    }
+    g.bench_function("grid2d_600", |b| {
+        b.iter(|| TileGrid2D::new(600, 600, 256, 256, 3, 16))
+    });
+    g.finish();
+}
+
+fn bench_tiled_vs_baseline_execution(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tiled_vs_baseline_numeric");
+    let d = FpgaDevice::u280();
+    let m = Mesh2D::<f32>::random(512, 64, 5, -1.0, 1.0);
+    let wl = Workload::D2 { nx: 512, ny: 64, batch: 1 };
+    let iters = 8usize;
+    g.throughput(Throughput::Elements((m.len() * iters) as u64));
+
+    let base = synthesize(&d, &StencilSpec::poisson(), 8, 4, ExecMode::Baseline, MemKind::Hbm, &wl)
+        .unwrap();
+    g.bench_function("baseline", |b| {
+        b.iter(|| exec2d::simulate_mesh_2d(&d, &base, &[Poisson2D], &m, iters))
+    });
+
+    for tile in [64usize, 128, 256] {
+        let tiled = synthesize(
+            &d,
+            &StencilSpec::poisson(),
+            8,
+            4,
+            ExecMode::Tiled1D { tile_m: tile },
+            MemKind::Ddr4,
+            &wl,
+        )
+        .unwrap();
+        g.bench_with_input(BenchmarkId::new("tiled", tile), &tile, |b, _| {
+            b.iter(|| exec2d::simulate_mesh_2d(&d, &tiled, &[Poisson2D], &m, iters))
+        });
+    }
+    g.finish();
+}
+
+/// Ablation: the modeled bandwidth effect of tile size and alignment — the
+/// quantities behind Fig. 3c / Table IV's tiled section.
+fn bench_tiled_plan_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tiled_plan_ablation");
+    let d = FpgaDevice::u280();
+    let wl = Workload::D2 { nx: 15_000, ny: 15_000, batch: 1 };
+    for tile in [1024usize, 4096, 8000] {
+        let ds = synthesize(
+            &d,
+            &StencilSpec::poisson(),
+            8,
+            60,
+            ExecMode::Tiled1D { tile_m: tile },
+            MemKind::Ddr4,
+            &wl,
+        )
+        .unwrap();
+        g.bench_with_input(BenchmarkId::new("plan_15000", tile), &tile, |b, _| {
+            b.iter(|| sf_fpga::cycles::plan(&d, &ds, &wl, 100))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_grid_construction,
+    bench_tiled_vs_baseline_execution,
+    bench_tiled_plan_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Window-buffer streaming throughput: the behavioral core of the FPGA
+//! simulator — how fast cells move through ring-buffer stage chains.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sf_fpga::window::{run_chain_2d, run_chain_3d};
+use sf_kernels::{Jacobi3D, Poisson2D, RtmParams, RtmStage};
+use sf_mesh::{Mesh2D, Mesh3D};
+
+fn bench_chain_2d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("window_chain_2d");
+    let m = Mesh2D::<f32>::random(256, 128, 1, -1.0, 1.0);
+    for depth in [1usize, 4, 16] {
+        g.throughput(Throughput::Elements((m.len() * depth) as u64));
+        g.bench_with_input(BenchmarkId::new("poisson_depth", depth), &depth, |b, &d| {
+            let chain = vec![Poisson2D; d];
+            b.iter(|| {
+                run_chain_2d(
+                    &chain,
+                    256,
+                    128,
+                    128,
+                    m.as_slice().chunks(256).map(|r| r.to_vec()),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_chain_3d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("window_chain_3d");
+    let m = Mesh3D::<f32>::random(48, 48, 48, 2, -1.0, 1.0);
+    let k = Jacobi3D::smoothing();
+    for depth in [1usize, 3, 9] {
+        g.throughput(Throughput::Elements((m.len() * depth) as u64));
+        g.bench_with_input(BenchmarkId::new("jacobi_depth", depth), &depth, |b, &d| {
+            let chain = vec![k; d];
+            b.iter(|| {
+                run_chain_3d(
+                    &chain,
+                    48,
+                    48,
+                    48,
+                    48,
+                    m.as_slice().chunks(48 * 48).map(|p| p.to_vec()),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_rtm_stages(c: &mut Criterion) {
+    let mut g = c.benchmark_group("window_chain_rtm");
+    let (y, rho, mu) = sf_kernels::rtm::demo_workload(20, 20, 20);
+    let packed = sf_kernels::rtm::pack(&y, &rho, &mu);
+    let stages = RtmStage::pipeline(RtmParams::default());
+    g.throughput(Throughput::Elements(packed.len() as u64 * 4));
+    g.bench_function("fused_rk4_step_20cubed", |b| {
+        b.iter(|| {
+            run_chain_3d(
+                &stages,
+                20,
+                20,
+                20,
+                20,
+                packed.as_slice().chunks(400).map(|p| p.to_vec()),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_chain_2d, bench_chain_3d, bench_rtm_stages);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Experiment runner: regenerate any table or figure of the paper.
+//!
+//! ```text
+//! experiments all              # every table and figure
+//! experiments table4           # one experiment
+//! experiments fig3a --json     # machine-readable output
+//! ```
+
+use sf_bench::{experiments, Experiment};
+
+fn by_name(name: &str) -> Option<Experiment> {
+    Some(match name {
+        "table1" => experiments::table1(),
+        "table2" => experiments::table2(),
+        "table3" => experiments::table3(),
+        "table4" => experiments::table4(),
+        "table5" => experiments::table5(),
+        "table6" => experiments::table6(),
+        "fig3a" => experiments::fig3a(),
+        "fig3b" => experiments::fig3b(),
+        "fig3c" => experiments::fig3c(),
+        "fig4a" => experiments::fig4a(),
+        "fig4b" => experiments::fig4b(),
+        "fig4c" => experiments::fig4c(),
+        "fig5a" => experiments::fig5a(),
+        "fig5b" => experiments::fig5b(),
+        "model-accuracy" => experiments::model_accuracy(),
+        "ablation-precision" => experiments::ablation_precision(),
+        "ablation-overheads" => experiments::ablation_overheads(),
+        "energy-summary" => experiments::energy_summary(),
+        "ablation-device-scaling" => experiments::ablation_device_scaling(),
+        _ => return None,
+    })
+}
+
+const USAGE: &str = "usage: experiments <all|table1|table2|table3|table4|table5|table6|fig3a|fig3b|fig3c|fig4a|fig4b|fig4c|fig5a|fig5b|model-accuracy|ablation-precision|ablation-overheads> [--json]";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let md = args.iter().any(|a| a == "--md");
+    let names: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if names.is_empty() {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+    let exps: Vec<Experiment> = if names.iter().any(|n| n.as_str() == "all") {
+        experiments::all()
+    } else {
+        names
+            .iter()
+            .map(|n| {
+                by_name(n).unwrap_or_else(|| {
+                    eprintln!("unknown experiment '{n}'\n{USAGE}");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    };
+    if json {
+        println!("{}", serde_json::to_string_pretty(&exps).expect("serializable"));
+    } else if md {
+        for e in &exps {
+            println!("{}", e.to_markdown());
+        }
+    } else {
+        for e in &exps {
+            println!("{}", e.render());
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! `sfstencil` — the design workflow as a command-line tool.
+//!
+//! ```text
+//! sfstencil feasibility --app jacobi --mesh 200x200x200
+//! sfstencil dse         --app poisson --mesh 400x400 --iters 60000 [--top 5]
+//! sfstencil compare     --app rtm --mesh 50x50x50 --batch 40 --iters 180
+//! sfstencil report      --app poisson --mesh 400x400 --v 8 --p 60
+//! sfstencil explain     --app rtm --mesh 32x32x32 --iters 1800
+//! ```
+
+use sf_core::prelude::*;
+use sf_fpga::design::synthesize;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: sfstencil <feasibility|dse|compare|report|explain> --app <poisson|jacobi|rtm> \
+         --mesh <NXxNY[xNZ]> [--batch B] [--iters N] [--top K] [--v V] [--p P]"
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    cmd: String,
+    app: StencilSpec,
+    wl: Workload,
+    iters: u64,
+    top: usize,
+    v: usize,
+    p: usize,
+}
+
+fn parse() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        fail("missing command");
+    }
+    let cmd = argv[0].clone();
+    let get = |flag: &str| -> Option<String> {
+        argv.iter()
+            .position(|a| a == flag)
+            .and_then(|i| argv.get(i + 1).cloned())
+    };
+    let app = sf_bench::cli::parse_app(&get("--app").unwrap_or_else(|| fail("--app required")))
+        .unwrap_or_else(|e| fail(&e));
+    let mesh = get("--mesh").unwrap_or_else(|| fail("--mesh required"));
+    let batch: usize = get("--batch").map(|s| s.parse().unwrap_or_else(|_| fail("bad --batch"))).unwrap_or(1);
+    let wl = sf_bench::cli::parse_mesh(app.dims, &mesh, batch).unwrap_or_else(|e| fail(&e));
+    Args {
+        cmd,
+        app,
+        wl,
+        iters: get("--iters").map(|s| s.parse().unwrap_or_else(|_| fail("bad --iters"))).unwrap_or(1000),
+        top: get("--top").map(|s| s.parse().unwrap_or_else(|_| fail("bad --top"))).unwrap_or(5),
+        v: get("--v").map(|s| s.parse().unwrap_or_else(|_| fail("bad --v"))).unwrap_or(0),
+        p: get("--p").map(|s| s.parse().unwrap_or_else(|_| fail("bad --p"))).unwrap_or(0),
+    }
+}
+
+fn main() {
+    let a = parse();
+    let wf = Workflow::u280_vs_v100();
+    match a.cmd.as_str() {
+        "feasibility" => {
+            let r = wf.feasibility(&a.app, &a.wl);
+            println!("application        : {}", r.app);
+            println!("nominal V          : {}", r.v);
+            println!("V_max (bandwidth)  : {}", r.v_max_bandwidth);
+            println!("p_dsp / p_mem      : {} / {}", r.p_dsp, r.p_mem);
+            println!("recommended p      : {}", r.p_recommended);
+            println!("baseline feasible  : {}", r.baseline_feasible);
+            println!("needs tiling       : {}", r.needs_tiling);
+            println!("flops per ext byte : {:.2}", r.flops_per_byte);
+        }
+        "dse" => {
+            let cands = wf.explore(&a.app, &a.wl, a.iters);
+            if cands.is_empty() {
+                println!("no feasible design (try tiling or a smaller mesh)");
+                return;
+            }
+            println!(
+                "{:<4} {:>4} {:>4} {:<28} {:>9} {:>12} {:>12}",
+                "#", "V", "p", "mode", "MHz", "plan ms", "pred ms"
+            );
+            for (i, c) in cands.iter().take(a.top).enumerate() {
+                println!(
+                    "{:<4} {:>4} {:>4} {:<28} {:>9.0} {:>12.2} {:>12.2}",
+                    i + 1,
+                    c.design.v,
+                    c.design.p,
+                    format!("{:?}", c.design.mode),
+                    c.design.freq_mhz(),
+                    c.planned_runtime_s * 1e3,
+                    c.prediction.runtime_s * 1e3,
+                );
+            }
+        }
+        "compare" => match wf.compare(&a.app, &a.wl, a.iters) {
+            Ok(cmp) => {
+                println!("{}", sf_fpga::report::utilization_report(&wf.device, &cmp.design));
+                println!("{}", cmp.verdict());
+            }
+            Err(e) => fail(&format!("{e}")),
+        },
+        "report" => {
+            if a.v == 0 || a.p == 0 {
+                fail("report needs explicit --v and --p");
+            }
+            match synthesize(&wf.device, &a.app, a.v, a.p, ExecMode::Baseline, MemKind::Hbm, &a.wl) {
+                Ok(ds) => {
+                    println!("{}", sf_fpga::report::utilization_report(&wf.device, &ds));
+                    let rep = wf.fpga_estimate(&ds, &a.wl, a.iters);
+                    println!("{}", rep.summary());
+                }
+                Err(e) => println!("synthesis rejected the configuration: {e}"),
+            }
+        }
+        "explain" => match wf.best_design(&a.app, &a.wl, a.iters) {
+            Ok(best) => {
+                println!("{}", sf_fpga::report::utilization_report(&wf.device, &best.design));
+                let tr = sf_fpga::trace::explain(&wf.device, &best.design, &a.wl, a.iters);
+                println!("{}", tr.render());
+            }
+            Err(e) => fail(&format!("{e}")),
+        },
+        other => fail(&format!("unknown command '{other}'")),
+    }
+}

@@ -1,0 +1,66 @@
+//! Argument-parsing helpers shared by the command-line front ends.
+
+use sf_fpga::design::Workload;
+use sf_kernels::StencilSpec;
+
+/// Resolve an application name.
+pub fn parse_app(name: &str) -> Result<StencilSpec, String> {
+    match name {
+        "poisson" => Ok(StencilSpec::poisson()),
+        "jacobi" => Ok(StencilSpec::jacobi()),
+        "rtm" => Ok(StencilSpec::rtm()),
+        other => Err(format!("unknown app '{other}' (expected poisson|jacobi|rtm)")),
+    }
+}
+
+/// Parse a `NXxNY[xNZ]` mesh string into a workload for an app of
+/// `dims` dimensions, with a batch factor.
+pub fn parse_mesh(dims: usize, mesh: &str, batch: usize) -> Result<Workload, String> {
+    if batch == 0 {
+        return Err("batch must be positive".into());
+    }
+    let parts: Result<Vec<usize>, _> = mesh.split('x').map(|s| s.parse::<usize>()).collect();
+    let parts = parts.map_err(|_| format!("bad mesh '{mesh}'"))?;
+    if parts.iter().any(|&d| d == 0) {
+        return Err(format!("mesh '{mesh}' has a zero dimension"));
+    }
+    match (dims, parts.as_slice()) {
+        (2, [nx, ny]) => Ok(Workload::D2 { nx: *nx, ny: *ny, batch }),
+        (3, [nx, ny, nz]) => Ok(Workload::D3 { nx: *nx, ny: *ny, nz: *nz, batch }),
+        (d, p) => Err(format!("{d}D app needs a {d}-component mesh, got {}", p.len())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_names_resolve() {
+        assert_eq!(parse_app("poisson").unwrap().dims, 2);
+        assert_eq!(parse_app("jacobi").unwrap().dims, 3);
+        assert_eq!(parse_app("rtm").unwrap().stages, 4);
+        assert!(parse_app("fft").unwrap_err().contains("unknown app"));
+    }
+
+    #[test]
+    fn mesh_strings_parse() {
+        assert_eq!(
+            parse_mesh(2, "400x300", 1).unwrap(),
+            Workload::D2 { nx: 400, ny: 300, batch: 1 }
+        );
+        assert_eq!(
+            parse_mesh(3, "50x50x16", 40).unwrap(),
+            Workload::D3 { nx: 50, ny: 50, nz: 16, batch: 40 }
+        );
+    }
+
+    #[test]
+    fn mesh_errors_are_specific() {
+        assert!(parse_mesh(2, "400", 1).unwrap_err().contains("2-component"));
+        assert!(parse_mesh(3, "4x4", 1).unwrap_err().contains("3-component"));
+        assert!(parse_mesh(2, "4xzebra", 1).unwrap_err().contains("bad mesh"));
+        assert!(parse_mesh(2, "4x0", 1).unwrap_err().contains("zero dimension"));
+        assert!(parse_mesh(2, "4x4", 0).unwrap_err().contains("batch"));
+    }
+}

@@ -1,0 +1,984 @@
+//! Regeneration of every table and figure in the paper's evaluation section.
+//!
+//! Each function reconstructs the paper's exact configuration (application,
+//! mesh, batch/tile, iteration count, `V`, `p`, memory binding), runs it
+//! through the simulator/models, and tabulates our numbers next to the
+//! paper's. Runtime "figures" (Figs. 3–5) are emitted as the numeric series
+//! behind the plots.
+
+use crate::paper;
+use crate::table::{fmt, Experiment};
+use sf_core::prelude::*;
+use sf_fpga::design::synthesize;
+use sf_model::accuracy;
+use sf_model::equations;
+
+fn wf() -> Workflow {
+    Workflow::u280_vs_v100()
+}
+
+fn poisson_design(wl: &Workload, mode: ExecMode, mem: MemKind) -> StencilDesign {
+    synthesize(&FpgaDevice::u280(), &StencilSpec::poisson(), 8, 60, mode, mem, wl)
+        .expect("paper Poisson design must synthesize")
+}
+
+fn jacobi_design(wl: &Workload, mode: ExecMode) -> StencilDesign {
+    let (v, p) = if mode.is_tiled() { (64, 3) } else { (8, 29) };
+    synthesize(&FpgaDevice::u280(), &StencilSpec::jacobi(), v, p, mode, MemKind::Hbm, wl)
+        .expect("paper Jacobi design must synthesize")
+}
+
+fn rtm_design(wl: &Workload, mode: ExecMode) -> StencilDesign {
+    synthesize(&FpgaDevice::u280(), &StencilSpec::rtm(), 1, 3, mode, MemKind::Hbm, wl)
+        .expect("paper RTM design must synthesize")
+}
+
+/// Table I — experimental system specifications.
+pub fn table1() -> Experiment {
+    let d = FpgaDevice::u280();
+    let g = GpuDevice::v100();
+    let mut e = Experiment::new("Table I", "Experimental systems specifications", &["item", "value"]);
+    e.row(vec!["FPGA".into(), d.name.clone()]);
+    e.row(vec!["DSP blocks".into(), d.dsp_total.to_string()]);
+    e.row(vec![
+        "BRAM / URAM".into(),
+        format!(
+            "{:.1} MB ({} blocks) / {:.1} MB ({} blocks)",
+            d.bram_blocks as f64 * d.bram_block_bytes as f64 / 1e6,
+            d.bram_blocks,
+            d.uram_blocks as f64 * d.uram_block_bytes as f64 / 1e6,
+            d.uram_blocks
+        ),
+    ]);
+    e.row(vec![
+        "HBM".into(),
+        format!("{} GB, {:.0} GB/s, {} channels", d.hbm.bytes >> 30, d.hbm.total_bw() / 1e9, d.hbm.channels),
+    ]);
+    e.row(vec![
+        "DDR4".into(),
+        format!("{} GB, {:.1} GB/s, {} banks", d.ddr4.bytes >> 30, d.ddr4.total_bw() / 1e9, d.ddr4.channels),
+    ]);
+    e.row(vec!["GPU".into(), g.name.clone()]);
+    e.row(vec![
+        "Global Mem.".into(),
+        format!("{} GB HBM2, {:.0} GB/s", g.mem_bytes >> 30, g.peak_bw / 1e9),
+    ]);
+    e.note("simulated substrate — DESIGN.md documents the hardware substitutions");
+    e
+}
+
+/// Table II — baseline/batching model parameters: achieved frequency, G_dsp,
+/// model-predicted p (eq. 6) and the p the synthesized design lands on.
+pub fn table2() -> Experiment {
+    let d = FpgaDevice::u280();
+    let mut e = Experiment::new(
+        "Table II",
+        "Baseline and batching, model parameters",
+        &[
+            "application", "freq MHz (ours)", "(paper)", "G_dsp (ours)", "(paper)",
+            "p_dsp model (ours)", "(paper)", "p actual (ours)", "(paper)",
+        ],
+    );
+    let designs: [(&str, StencilSpec, usize, usize, Workload); 3] = [
+        ("Poisson-5pt-2D", StencilSpec::poisson(), 8, 60, Workload::D2 { nx: 400, ny: 400, batch: 1 }),
+        ("Jacobi-7pt-3D", StencilSpec::jacobi(), 8, 29, Workload::D3 { nx: 300, ny: 300, nz: 300, batch: 1 }),
+        ("Reverse Time Migration", StencilSpec::rtm(), 1, 3, Workload::D3 { nx: 64, ny: 64, nz: 64, batch: 1 }),
+    ];
+    for ((name, spec, v, p_actual, wl), paper) in designs.into_iter().zip(paper::TABLE2) {
+        let ds = synthesize(&d, &spec, v, p_actual, ExecMode::Baseline, MemKind::Hbm, &wl).unwrap();
+        let p_model = equations::p_dsp(d.dsp_total, d.dsp_util_target, v, spec.gdsp());
+        e.row(vec![
+            name.into(),
+            format!("{:.0}", ds.freq_mhz()),
+            format!("{:.0}", paper.1),
+            spec.gdsp().to_string(),
+            paper.2.to_string(),
+            p_model.to_string(),
+            paper.3.to_string(),
+            p_actual.to_string(),
+            paper.4.to_string(),
+        ]);
+    }
+    e.note("G_dsp from fadd=2/fmul=3 DSP costs; RTM kernel is our synthetic PML system (same band as the paper's 2444, same p=3)");
+    e.note("'p actual' = the paper's deployed configuration, which our synthesizer accepts; frequency from the congestion model");
+    e
+}
+
+/// Table III — spatial blocking model parameters.
+pub fn table3() -> Experiment {
+    let d = FpgaDevice::u280();
+    let mut e = Experiment::new(
+        "Table III",
+        "Spatial blocking model parameters",
+        &["app", "p", "V", "M (ours)", "(paper)", "N", "T cells/clk (ours)", "(paper)", "valid % (ours)", "(paper)"],
+    );
+    // Poisson: quantized 2D tile
+    let m2 = sf_model::blocking::recommended_tile_2d(&d, &StencilSpec::poisson(), 8, 60);
+    let t2 = equations::t2d(m2 as f64, 1e12, 60.0, 2.0, (60 * 8 * 14) as f64, 14.0);
+    let vr2 = 1.0 - (60.0 * 2.0) / m2 as f64;
+    let p3 = paper::TABLE3;
+    e.row(vec![
+        "Poisson-5pt-2D".into(),
+        "60".into(),
+        "8".into(),
+        m2.to_string(),
+        p3[0].3.to_string(),
+        "-".into(),
+        format!("{t2:.0}"),
+        format!("{:.0}", p3[0].5),
+        format!("{:.1}", vr2 * 100.0),
+        format!("{:.1}", p3[0].6),
+    ]);
+    // Jacobi: quantized 3D tile
+    let (m3, n3) = sf_model::blocking::recommended_tile_3d(&d, &StencilSpec::jacobi(), 64, 3);
+    let t3 = equations::t3d(m3 as f64, 1e12, 3.0, 2.0, (3 * 64 * 33) as f64, 33.0);
+    let vr3 = (1.0 - 6.0 / m3 as f64) * (1.0 - 6.0 / n3 as f64);
+    e.row(vec![
+        "Jacobi-7pt-3D".into(),
+        "3".into(),
+        "64".into(),
+        m3.to_string(),
+        p3[1].3.to_string(),
+        n3.to_string(),
+        format!("{t3:.0}"),
+        format!("{:.0}", p3[1].5),
+        format!("{:.1}", vr3 * 100.0),
+        format!("{:.1}", p3[1].6),
+    ]);
+    e.note("M from block-quantized window allocation (BRAM pow2 depth / one URAM per lane), T from eqs. 13/14 with l,n → ∞");
+    e
+}
+
+/// Fig. 3a — Poisson baseline runtimes (FPGA sim, model prediction, GPU).
+pub fn fig3a() -> Experiment {
+    let wf = wf();
+    let spec = StencilSpec::poisson();
+    let mut e = Experiment::new(
+        "Fig. 3a",
+        "Poisson baseline runtime, 60 000 iterations",
+        &["mesh", "FPGA ms", "model ms", "GPU ms", "FPGA/GPU"],
+    );
+    for (nx, ny, ..) in paper::TABLE4_BASE {
+        let wl = Workload::D2 { nx, ny, batch: 1 };
+        let ds = poisson_design(&wl, ExecMode::Baseline, MemKind::Hbm);
+        let fpga = wf.fpga_estimate(&ds, &wl, paper::iters::POISSON);
+        let pred = sf_model::predict(&wf.device, &ds, &wl, paper::iters::POISSON, PredictionLevel::Extended);
+        let gpu = wf.gpu_estimate(&spec, &wl, paper::iters::POISSON);
+        e.row(vec![
+            format!("{nx}x{ny}"),
+            format!("{:.1}", fpga.runtime_s * 1e3),
+            format!("{:.1}", pred.runtime_s * 1e3),
+            format!("{:.1}", gpu.runtime_s * 1e3),
+            format!("{:.2}x", gpu.runtime_s / fpga.runtime_s),
+        ]);
+    }
+    e.note("paper plots runtimes; its Table IV bandwidths imply the same ordering (FPGA ≫ unsaturated GPU)");
+    e
+}
+
+/// Fig. 3b — Poisson batched runtimes (100B and 1000B).
+pub fn fig3b() -> Experiment {
+    let wf = wf();
+    let spec = StencilSpec::poisson();
+    let mut e = Experiment::new(
+        "Fig. 3b",
+        "Poisson batched runtime, 60 000 iterations",
+        &["mesh", "batch", "FPGA ms", "model ms", "GPU ms", "FPGA/GPU"],
+    );
+    for (nx, ny, ..) in paper::TABLE4_BASE {
+        for b in [100usize, 1000] {
+            let wl = Workload::D2 { nx, ny, batch: b };
+            let ds = poisson_design(&wl, ExecMode::Batched { b }, MemKind::Hbm);
+            let fpga = wf.fpga_estimate(&ds, &wl, paper::iters::POISSON);
+            let pred = sf_model::predict(&wf.device, &ds, &wl, paper::iters::POISSON, PredictionLevel::Extended);
+            let gpu = wf.gpu_estimate(&spec, &wl, paper::iters::POISSON);
+            e.row(vec![
+                format!("{nx}x{ny}"),
+                format!("{b}B"),
+                format!("{:.0}", fpga.runtime_s * 1e3),
+                format!("{:.0}", pred.runtime_s * 1e3),
+                format!("{:.0}", gpu.runtime_s * 1e3),
+                format!("{:.2}x", gpu.runtime_s / fpga.runtime_s),
+            ]);
+        }
+    }
+    e.note("paper: FPGA keeps a 30–34% lead over the batched GPU");
+    e
+}
+
+/// Fig. 3c — Poisson tiled runtimes on 15000²/20000².
+pub fn fig3c() -> Experiment {
+    let wf = wf();
+    let spec = StencilSpec::poisson();
+    let mut e = Experiment::new(
+        "Fig. 3c",
+        "Poisson spatial blocking runtime, 6 000 iterations, DDR4",
+        &["mesh", "tile M", "FPGA ms", "model ms", "GPU ms", "FPGA/GPU"],
+    );
+    for (n, tile, ..) in paper::TABLE4_TILED {
+        let wl = Workload::D2 { nx: n, ny: n, batch: 1 };
+        let ds = poisson_design(&wl, ExecMode::Tiled1D { tile_m: tile }, MemKind::Ddr4);
+        let fpga = wf.fpga_estimate(&ds, &wl, paper::iters::POISSON_TILED);
+        let pred = sf_model::predict(&wf.device, &ds, &wl, paper::iters::POISSON_TILED, PredictionLevel::Extended);
+        let gpu = wf.gpu_estimate(&spec, &wl, paper::iters::POISSON_TILED);
+        e.row(vec![
+            format!("{n}²"),
+            tile.to_string(),
+            format!("{:.0}", fpga.runtime_s * 1e3),
+            format!("{:.0}", pred.runtime_s * 1e3),
+            format!("{:.0}", gpu.runtime_s * 1e3),
+            format!("{:.2}x", gpu.runtime_s / fpga.runtime_s),
+        ]);
+    }
+    e
+}
+
+/// Table IV — Poisson bandwidth and energy, ours vs paper.
+pub fn table4() -> Experiment {
+    let wf = wf();
+    let spec = StencilSpec::poisson();
+    let mut e = Experiment::new(
+        "Table IV",
+        "Poisson-5pt: bandwidth (GB/s) and energy (kJ)",
+        &[
+            "mesh", "cfg", "FPGA BW", "paper", "Δ", "GPU BW", "paper", "Δ",
+            "FPGA kJ", "paper", "GPU kJ", "paper",
+        ],
+    );
+    for (nx, ny, pb_f, pb_g, p100_f, p100_g, p1000_f, p1000_g, pe_f, pe_g) in paper::TABLE4_BASE {
+        // baseline
+        let wl = Workload::D2 { nx, ny, batch: 1 };
+        let ds = poisson_design(&wl, ExecMode::Baseline, MemKind::Hbm);
+        let f = wf.fpga_estimate(&ds, &wl, paper::iters::POISSON);
+        let g = wf.gpu_estimate(&spec, &wl, paper::iters::POISSON);
+        e.row(vec![
+            format!("{nx}x{ny}"),
+            "base".into(),
+            format!("{:.0}", f.bandwidth_gbs),
+            fmt::f0(Some(pb_f)),
+            fmt::ratio(f.bandwidth_gbs, Some(pb_f)),
+            format!("{:.0}", g.bandwidth_gbs),
+            fmt::f0(Some(pb_g)),
+            fmt::ratio(g.bandwidth_gbs, Some(pb_g)),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+        ]);
+        // batched
+        for (b, pf, pg, pef, peg) in [
+            (100usize, Some(p100_f), Some(p100_g), None, None),
+            (1000, p1000_f, p1000_g, pe_f, pe_g),
+        ] {
+            if b == 1000 && pf.is_none() {
+                continue;
+            }
+            let wl = Workload::D2 { nx, ny, batch: b };
+            let ds = poisson_design(&wl, ExecMode::Batched { b }, MemKind::Hbm);
+            let f = wf.fpga_estimate(&ds, &wl, paper::iters::POISSON);
+            let g = wf.gpu_estimate(&spec, &wl, paper::iters::POISSON);
+            e.row(vec![
+                format!("{nx}x{ny}"),
+                format!("{b}B"),
+                format!("{:.0}", f.bandwidth_gbs),
+                fmt::f0(pf),
+                fmt::ratio(f.bandwidth_gbs, pf),
+                format!("{:.0}", g.bandwidth_gbs),
+                fmt::f0(pg),
+                fmt::ratio(g.bandwidth_gbs, pg),
+                if pef.is_some() { format!("{:.2}", f.energy_j / 1e3) } else { "-".into() },
+                fmt::f3(pef).trim_end_matches('0').trim_end_matches('.').to_string(),
+                if peg.is_some() { format!("{:.2}", g.energy_j / 1e3) } else { "-".into() },
+                fmt::f3(peg).trim_end_matches('0').trim_end_matches('.').to_string(),
+            ]);
+        }
+    }
+    // tiled section
+    for (n, tile, pf, pg, pef, peg) in paper::TABLE4_TILED {
+        let wl = Workload::D2 { nx: n, ny: n, batch: 1 };
+        let ds = poisson_design(&wl, ExecMode::Tiled1D { tile_m: tile }, MemKind::Ddr4);
+        let f = wf.fpga_estimate(&ds, &wl, paper::iters::POISSON_TILED);
+        let g = wf.gpu_estimate(&spec, &wl, paper::iters::POISSON_TILED);
+        e.row(vec![
+            format!("{n}²"),
+            format!("tile {tile}"),
+            format!("{:.0}", f.bandwidth_gbs),
+            fmt::f0(Some(pf)),
+            fmt::ratio(f.bandwidth_gbs, Some(pf)),
+            format!("{:.0}", g.bandwidth_gbs),
+            fmt::f0(Some(pg)),
+            fmt::ratio(g.bandwidth_gbs, Some(pg)),
+            format!("{:.2}", f.energy_j / 1e3),
+            format!("{pef}"),
+            format!("{:.2}", g.energy_j / 1e3),
+            format!("{peg}"),
+        ]);
+    }
+    e.note("bandwidth = mesh bytes accessed by the stencil loop ÷ loop time (paper's convention, 8 B/cell/iter)");
+    e
+}
+
+/// Fig. 4a/4b — Jacobi baseline & batched runtimes.
+pub fn fig4a() -> Experiment {
+    let wf = wf();
+    let spec = StencilSpec::jacobi();
+    let mut e = Experiment::new(
+        "Fig. 4a",
+        "Jacobi-7pt-3D baseline runtime, 29 000 iterations",
+        &["mesh", "FPGA ms", "model ms", "GPU ms", "GPU/FPGA"],
+    );
+    for (n, ..) in paper::TABLE5_BASE {
+        let wl = Workload::D3 { nx: n, ny: n, nz: n, batch: 1 };
+        let ds = jacobi_design(&wl, ExecMode::Baseline);
+        let f = wf.fpga_estimate(&ds, &wl, paper::iters::JACOBI);
+        let pred = sf_model::predict(&wf.device, &ds, &wl, paper::iters::JACOBI, PredictionLevel::Extended);
+        let g = wf.gpu_estimate(&spec, &wl, paper::iters::JACOBI);
+        e.row(vec![
+            format!("{n}³"),
+            format!("{:.0}", f.runtime_s * 1e3),
+            format!("{:.0}", pred.runtime_s * 1e3),
+            format!("{:.0}", g.runtime_s * 1e3),
+            format!("{:.2}x", f.runtime_s / g.runtime_s),
+        ]);
+    }
+    e.note("paper: the GPU overtakes the FPGA on large 3D baselines");
+    e
+}
+
+/// Fig. 4b — Jacobi batched runtime (10B, 50B).
+pub fn fig4b() -> Experiment {
+    let wf = wf();
+    let spec = StencilSpec::jacobi();
+    let mut e = Experiment::new(
+        "Fig. 4b",
+        "Jacobi batched runtime, 2 900 iterations",
+        &["mesh", "batch", "FPGA ms", "GPU ms", "FPGA/GPU runtime"],
+    );
+    for (n, ..) in paper::TABLE5_BASE.iter().take(3) {
+        for b in [10usize, 50] {
+            let wl = Workload::D3 { nx: *n, ny: *n, nz: *n, batch: b };
+            let ds = jacobi_design(&wl, ExecMode::Batched { b });
+            let f = wf.fpga_estimate(&ds, &wl, paper::iters::JACOBI_BATCHED);
+            let g = wf.gpu_estimate(&spec, &wl, paper::iters::JACOBI_BATCHED);
+            e.row(vec![
+                format!("{n}³"),
+                format!("{b}B"),
+                format!("{:.0}", f.runtime_s * 1e3),
+                format!("{:.0}", g.runtime_s * 1e3),
+                format!("{:.2}x", f.runtime_s / g.runtime_s),
+            ]);
+        }
+    }
+    e.note("paper: V100 is ~40% faster on the 50B problem, FPGA ~2x more energy-efficient");
+    e
+}
+
+/// Fig. 4c — Jacobi tiled runtime.
+pub fn fig4c() -> Experiment {
+    let wf = wf();
+    let spec = StencilSpec::jacobi();
+    let mut e = Experiment::new(
+        "Fig. 4c",
+        "Jacobi spatial blocking runtime, 120 iterations",
+        &["mesh", "tile", "FPGA ms", "model ms", "GPU ms", "FPGA/GPU"],
+    );
+    for (label, nx, ny, nz, tile, ..) in paper::TABLE5_TILED {
+        let wl = Workload::D3 { nx, ny, nz, batch: 1 };
+        let ds = jacobi_design(&wl, ExecMode::Tiled2D { tile_m: tile, tile_n: tile });
+        let f = wf.fpga_estimate(&ds, &wl, paper::iters::JACOBI_TILED);
+        let pred = sf_model::predict(&wf.device, &ds, &wl, paper::iters::JACOBI_TILED, PredictionLevel::Extended);
+        let g = wf.gpu_estimate(&spec, &wl, paper::iters::JACOBI_TILED);
+        e.row(vec![
+            label.to_string(),
+            tile.to_string(),
+            format!("{:.0}", f.runtime_s * 1e3),
+            format!("{:.0}", pred.runtime_s * 1e3),
+            format!("{:.0}", g.runtime_s * 1e3),
+            format!("{:.2}x", f.runtime_s / g.runtime_s),
+        ]);
+    }
+    e.note("the idealized eq-9 model under-predicts these runs by >15% (see model-accuracy) — the paper's 'slightly less accurate model predictions in Fig. 4(c)'");
+    e
+}
+
+/// Table V — Jacobi bandwidth and energy, ours vs paper.
+pub fn table5() -> Experiment {
+    let wf = wf();
+    let spec = StencilSpec::jacobi();
+    let mut e = Experiment::new(
+        "Table V",
+        "Jacobi-7pt-3D: bandwidth (GB/s) and energy (kJ)",
+        &[
+            "mesh", "cfg", "FPGA BW", "paper", "Δ", "GPU BW", "paper", "Δ",
+            "FPGA kJ", "paper", "GPU kJ", "paper",
+        ],
+    );
+    for (n, pb_f, pb_g, p10_f, p10_g, p50_f, p50_g, pe_f, pe_g) in paper::TABLE5_BASE {
+        let wl = Workload::D3 { nx: n, ny: n, nz: n, batch: 1 };
+        let ds = jacobi_design(&wl, ExecMode::Baseline);
+        let f = wf.fpga_estimate(&ds, &wl, paper::iters::JACOBI);
+        let g = wf.gpu_estimate(&spec, &wl, paper::iters::JACOBI);
+        e.row(vec![
+            format!("{n}³"),
+            "base".into(),
+            format!("{:.0}", f.bandwidth_gbs),
+            fmt::f0(Some(pb_f)),
+            fmt::ratio(f.bandwidth_gbs, Some(pb_f)),
+            format!("{:.0}", g.bandwidth_gbs),
+            fmt::f0(Some(pb_g)),
+            fmt::ratio(g.bandwidth_gbs, Some(pb_g)),
+            "-".into(), "-".into(), "-".into(), "-".into(),
+        ]);
+        for (b, pf, pg, pef, peg) in [
+            (10usize, Some(p10_f), Some(p10_g), None, None),
+            (50, p50_f, p50_g, pe_f, pe_g),
+        ] {
+            if pf.is_none() {
+                continue;
+            }
+            let wl = Workload::D3 { nx: n, ny: n, nz: n, batch: b };
+            let ds = jacobi_design(&wl, ExecMode::Batched { b });
+            let f = wf.fpga_estimate(&ds, &wl, paper::iters::JACOBI_BATCHED);
+            let g = wf.gpu_estimate(&spec, &wl, paper::iters::JACOBI_BATCHED);
+            e.row(vec![
+                format!("{n}³"),
+                format!("{b}B"),
+                format!("{:.0}", f.bandwidth_gbs),
+                fmt::f0(pf),
+                fmt::ratio(f.bandwidth_gbs, pf),
+                format!("{:.0}", g.bandwidth_gbs),
+                fmt::f0(pg),
+                fmt::ratio(g.bandwidth_gbs, pg),
+                if pef.is_some() { format!("{:.2}", f.energy_j / 1e3) } else { "-".into() },
+                pef.map(|v| format!("{v}")).unwrap_or_else(|| "-".into()),
+                if peg.is_some() { format!("{:.2}", g.energy_j / 1e3) } else { "-".into() },
+                peg.map(|v| format!("{v}")).unwrap_or_else(|| "-".into()),
+            ]);
+        }
+    }
+    for (label, nx, ny, nz, tile, pf, pg, pef, peg) in paper::TABLE5_TILED {
+        let wl = Workload::D3 { nx, ny, nz, batch: 1 };
+        let ds = jacobi_design(&wl, ExecMode::Tiled2D { tile_m: tile, tile_n: tile });
+        let f = wf.fpga_estimate(&ds, &wl, paper::iters::JACOBI_TILED);
+        let g = wf.gpu_estimate(&spec, &wl, paper::iters::JACOBI_TILED);
+        e.row(vec![
+            label.to_string(),
+            format!("tile {tile}"),
+            format!("{:.0}", f.bandwidth_gbs),
+            fmt::f0(Some(pf)),
+            fmt::ratio(f.bandwidth_gbs, Some(pf)),
+            format!("{:.0}", g.bandwidth_gbs),
+            fmt::f0(Some(pg)),
+            fmt::ratio(g.bandwidth_gbs, Some(pg)),
+            format!("{:.3}", f.energy_j / 1e3),
+            format!("{pef}"),
+            format!("{:.3}", g.energy_j / 1e3),
+            format!("{peg}"),
+        ]);
+    }
+    e.note("tiled rows pay the strided-run AXI penalty — the paper's 'transfers less than 4K' effect");
+    e
+}
+
+/// Fig. 5a — RTM baseline runtimes.
+pub fn fig5a() -> Experiment {
+    let wf = wf();
+    let spec = StencilSpec::rtm();
+    let mut e = Experiment::new(
+        "Fig. 5a",
+        "RTM baseline runtime, 1 800 iterations",
+        &["mesh", "FPGA ms", "model ms", "GPU ms", "FPGA/GPU"],
+    );
+    for (nx, ny, nz, ..) in paper::TABLE6 {
+        let wl = Workload::D3 { nx, ny, nz, batch: 1 };
+        let ds = rtm_design(&wl, ExecMode::Baseline);
+        let f = wf.fpga_estimate(&ds, &wl, paper::iters::RTM);
+        let pred = sf_model::predict(&wf.device, &ds, &wl, paper::iters::RTM, PredictionLevel::Extended);
+        let g = wf.gpu_estimate(&spec, &wl, paper::iters::RTM);
+        e.row(vec![
+            format!("{nx}x{ny}x{nz}"),
+            format!("{:.0}", f.runtime_s * 1e3),
+            format!("{:.0}", pred.runtime_s * 1e3),
+            format!("{:.0}", g.runtime_s * 1e3),
+            format!("{:.2}x", f.runtime_s / g.runtime_s),
+        ]);
+    }
+    e
+}
+
+/// Fig. 5b — RTM batched runtimes (20B, 40B).
+pub fn fig5b() -> Experiment {
+    let wf = wf();
+    let spec = StencilSpec::rtm();
+    let mut e = Experiment::new(
+        "Fig. 5b",
+        "RTM batched runtime, 180 iterations",
+        &["mesh", "batch", "FPGA ms", "GPU ms", "FPGA/GPU"],
+    );
+    for (nx, ny, nz, ..) in paper::TABLE6 {
+        for b in [20usize, 40] {
+            let wl = Workload::D3 { nx, ny, nz, batch: b };
+            let ds = rtm_design(&wl, ExecMode::Batched { b });
+            let f = wf.fpga_estimate(&ds, &wl, paper::iters::RTM_BATCHED);
+            let g = wf.gpu_estimate(&spec, &wl, paper::iters::RTM_BATCHED);
+            e.row(vec![
+                format!("{nx}x{ny}x{nz}"),
+                format!("{b}B"),
+                format!("{:.0}", f.runtime_s * 1e3),
+                format!("{:.0}", g.runtime_s * 1e3),
+                format!("{:.2}x", f.runtime_s / g.runtime_s),
+            ]);
+        }
+    }
+    e
+}
+
+/// Table VI — RTM bandwidth and energy, ours vs paper.
+pub fn table6() -> Experiment {
+    let wf = wf();
+    let spec = StencilSpec::rtm();
+    let mut e = Experiment::new(
+        "Table VI",
+        "RTM: avg bandwidth (GB/s) and energy (kJ)",
+        &[
+            "mesh", "cfg", "FPGA BW", "paper", "Δ", "GPU BW", "paper", "Δ",
+            "FPGA kJ", "paper", "GPU kJ", "paper",
+        ],
+    );
+    for (nx, ny, nz, pb_f, pb_g, p20_f, p20_g, p40_f, p40_g, pe_f, pe_g) in paper::TABLE6 {
+        let wl = Workload::D3 { nx, ny, nz, batch: 1 };
+        let ds = rtm_design(&wl, ExecMode::Baseline);
+        let f = wf.fpga_estimate(&ds, &wl, paper::iters::RTM);
+        let g = wf.gpu_estimate(&spec, &wl, paper::iters::RTM);
+        e.row(vec![
+            format!("{nx}x{ny}x{nz}"),
+            "base".into(),
+            format!("{:.0}", f.bandwidth_gbs),
+            fmt::f0(Some(pb_f)),
+            fmt::ratio(f.bandwidth_gbs, Some(pb_f)),
+            format!("{:.0}", g.bandwidth_gbs),
+            fmt::f0(Some(pb_g)),
+            fmt::ratio(g.bandwidth_gbs, Some(pb_g)),
+            "-".into(), "-".into(), "-".into(), "-".into(),
+        ]);
+        for (b, pf, pg, pef, peg) in [
+            (20usize, p20_f, p20_g, None, None),
+            (40, p40_f, p40_g, Some(pe_f), Some(pe_g)),
+        ] {
+            let wl = Workload::D3 { nx, ny, nz, batch: b };
+            let ds = rtm_design(&wl, ExecMode::Batched { b });
+            let f = wf.fpga_estimate(&ds, &wl, paper::iters::RTM_BATCHED);
+            let g = wf.gpu_estimate(&spec, &wl, paper::iters::RTM_BATCHED);
+            e.row(vec![
+                format!("{nx}x{ny}x{nz}"),
+                format!("{b}B"),
+                format!("{:.0}", f.bandwidth_gbs),
+                fmt::f0(Some(pf)),
+                fmt::ratio(f.bandwidth_gbs, Some(pf)),
+                format!("{:.0}", g.bandwidth_gbs),
+                fmt::f0(Some(pg)),
+                fmt::ratio(g.bandwidth_gbs, Some(pg)),
+                if pef.is_some() { format!("{:.3}", f.energy_j / 1e3) } else { "-".into() },
+                pef.map(|v| format!("{v}")).unwrap_or_else(|| "-".into()),
+                if peg.is_some() { format!("{:.3}", g.energy_j / 1e3) } else { "-".into() },
+                peg.map(|v| format!("{v}")).unwrap_or_else(|| "-".into()),
+            ]);
+        }
+    }
+    e.note("FPGA bandwidth counts the fused loop (224 B/cell/iter), GPU the full chain (584 B/cell/iter) — the paper's split convention");
+    e
+}
+
+/// §V accuracy claim — model-predicted vs achieved runtime across the suite.
+pub fn model_accuracy() -> Experiment {
+    let stats = accuracy::accuracy_suite(&FpgaDevice::u280());
+    let mut e = Experiment::new(
+        "Model accuracy",
+        "predicted vs achieved runtime (paper claim: ±15% on >85% of configs)",
+        &["config", "ideal err %", "extended err %", "achieved ms"],
+    );
+    for c in &stats.cases {
+        e.row(vec![
+            c.label.clone(),
+            format!("{:+.1}", c.ideal_err_pct()),
+            format!("{:+.1}", c.extended_err_pct()),
+            format!("{:.2}", c.achieved_s * 1e3),
+        ]);
+    }
+    let fi = stats.frac_within(15.0, PredictionLevel::Ideal) * 100.0;
+    let fe = stats.frac_within(15.0, PredictionLevel::Extended) * 100.0;
+    e.note(&format!(
+        "within ±15%: ideal equations {fi:.0}% of {} configs, extended model {fe:.0}%",
+        stats.cases.len()
+    ));
+    e.note("ideal drifts on latency-dominated small baselines and memory-bound 3D tiles — the gaps the paper itself flags");
+    e
+}
+
+/// Ablation (paper future work): alternative number representations.
+/// For each application and format: `G_dsp`, the DSP-limited unroll, the
+/// synthesized design at the paper's `V`, and the modeled speedup over fp32.
+pub fn ablation_precision() -> Experiment {
+    let d = FpgaDevice::u280();
+    let wf = wf();
+    let mut e = Experiment::new(
+        "Ablation: precision",
+        "alternative number representations (paper §VI future work)",
+        &["app", "format", "G_dsp", "p_dsp", "p used", "freq MHz", "runtime ms", "vs fp32"],
+    );
+    let cases: [(StencilSpec, usize, Workload, u64); 3] = [
+        (StencilSpec::poisson(), 8, Workload::D2 { nx: 400, ny: 400, batch: 1 }, 60_000),
+        (StencilSpec::jacobi(), 8, Workload::D3 { nx: 200, ny: 200, nz: 200, batch: 1 }, 29_000),
+        (StencilSpec::rtm(), 1, Workload::D3 { nx: 50, ny: 50, nz: 50, batch: 1 }, 1_800),
+    ];
+    for (base, v, wl, niter) in cases {
+        let mut fp32_ms = None;
+        for fmt in [NumberFormat::Fp32, NumberFormat::Fp16, NumberFormat::Fixed18, NumberFormat::Fixed32] {
+            let spec = base.with_format(fmt);
+            let p_dsp = equations::p_dsp(d.dsp_total, d.dsp_util_target, v, spec.gdsp());
+            // deepest p that synthesizes (memory may bind first)
+            let mut chosen = None;
+            for p in (1..=p_dsp.min(128)).rev() {
+                if let Ok(ds) = synthesize(&d, &spec, v, p, ExecMode::Baseline, MemKind::Hbm, &wl) {
+                    chosen = Some(ds);
+                    break;
+                }
+            }
+            let Some(ds) = chosen else {
+                e.row(vec![
+                    format!("{}", base.app),
+                    fmt.to_string(),
+                    spec.gdsp().to_string(),
+                    p_dsp.to_string(),
+                    "-".into(), "-".into(), "-".into(), "-".into(),
+                ]);
+                continue;
+            };
+            let rep = wf.fpga_estimate(&ds, &wl, niter);
+            let ms = rep.runtime_s * 1e3;
+            let speedup = fp32_ms.map(|f: f64| format!("{:.2}x", f / ms)).unwrap_or_else(|| "1.00x".into());
+            if fmt == NumberFormat::Fp32 {
+                fp32_ms = Some(ms);
+            }
+            e.row(vec![
+                format!("{}", base.app),
+                fmt.to_string(),
+                spec.gdsp().to_string(),
+                p_dsp.to_string(),
+                ds.p.to_string(),
+                format!("{:.0}", ds.freq_mhz()),
+                format!("{ms:.1}"),
+                speedup,
+            ]);
+        }
+    }
+    e.note("narrower formats multiply the feasible unroll depth (and halve bandwidth demand) — numerics remain f32 in the behavioral simulator");
+    e
+}
+
+/// Ablation: which modeled overhead mechanism costs what. Re-prices the
+/// Poisson baseline suite on device variants with each overhead removed.
+pub fn ablation_overheads() -> Experiment {
+    let spec = StencilSpec::poisson();
+    let mut e = Experiment::new(
+        "Ablation: overheads",
+        "contribution of each modeled overhead (Poisson baseline, GB/s)",
+        &["mesh", "full model", "no row gap", "no pipe latency", "no host call", "ideal eq.2"],
+    );
+    let base_dev = FpgaDevice::u280();
+    let mut no_gap = base_dev.clone();
+    no_gap.axi_issue_gap_cycles = 0;
+    let mut no_host = base_dev.clone();
+    no_host.host_call_latency_s = 0.0;
+
+    for (nx, ny, ..) in paper::TABLE4_BASE {
+        let wl = Workload::D2 { nx, ny, batch: 1 };
+        let bw = |dev: &FpgaDevice, zero_latency: bool| -> f64 {
+            let mut ds = synthesize(dev, &spec, 8, 60, ExecMode::Baseline, MemKind::Hbm, &wl).unwrap();
+            if zero_latency {
+                ds.pipeline_latency_cycles = 0;
+            }
+            sf_fpga::cycles::plan(dev, &ds, &wl, paper::iters::POISSON).bandwidth_gbs()
+        };
+        let ds = synthesize(&base_dev, &spec, 8, 60, ExecMode::Baseline, MemKind::Hbm, &wl).unwrap();
+        let ideal = sf_model::predict(&base_dev, &ds, &wl, paper::iters::POISSON, PredictionLevel::Ideal);
+        e.row(vec![
+            format!("{nx}x{ny}"),
+            format!("{:.0}", bw(&base_dev, false)),
+            format!("{:.0}", bw(&no_gap, false)),
+            format!("{:.0}", bw(&base_dev, true)),
+            format!("{:.0}", bw(&no_host, false)),
+            format!("{:.0}", ideal.bandwidth_gbs),
+        ]);
+    }
+    e.note("the paper's measured baseline falloff (Table IV) is the gap between 'ideal eq.2' and 'full model'");
+    e
+}
+
+/// The paper's headline energy story in one table: FPGA vs GPU energy and
+/// the savings ratio for the flagship configuration of each application.
+pub fn energy_summary() -> Experiment {
+    let wf = wf();
+    let mut e = Experiment::new(
+        "Energy summary",
+        "FPGA vs GPU energy on each application's flagship configuration",
+        &["app", "configuration", "FPGA kJ", "GPU kJ", "savings (ours)", "(paper)"],
+    );
+    // Poisson 1000B 200x100, 60k iters: paper 0.77 vs 3.48 → 4.5×
+    {
+        let wl = Workload::D2 { nx: 200, ny: 100, batch: 1000 };
+        let ds = poisson_design(&wl, ExecMode::Batched { b: 1000 }, MemKind::Hbm);
+        let f = wf.fpga_estimate(&ds, &wl, paper::iters::POISSON);
+        let g = wf.gpu_estimate(&StencilSpec::poisson(), &wl, paper::iters::POISSON);
+        e.row(vec![
+            "Poisson-5pt-2D".into(),
+            "1000B 200x100".into(),
+            format!("{:.2}", f.energy_j / 1e3),
+            format!("{:.2}", g.energy_j / 1e3),
+            format!("{:.1}x", g.energy_j / f.energy_j),
+            "4.5x".into(),
+        ]);
+    }
+    // Jacobi 50B 200³, 2.9k iters: paper 1.96 vs 3.77 → 1.9×
+    {
+        let wl = Workload::D3 { nx: 200, ny: 200, nz: 200, batch: 50 };
+        let ds = jacobi_design(&wl, ExecMode::Batched { b: 50 });
+        let f = wf.fpga_estimate(&ds, &wl, paper::iters::JACOBI_BATCHED);
+        let g = wf.gpu_estimate(&StencilSpec::jacobi(), &wl, paper::iters::JACOBI_BATCHED);
+        e.row(vec![
+            "Jacobi-7pt-3D".into(),
+            "50B 200³".into(),
+            format!("{:.2}", f.energy_j / 1e3),
+            format!("{:.2}", g.energy_j / 1e3),
+            format!("{:.1}x", g.energy_j / f.energy_j),
+            "1.9x".into(),
+        ]);
+    }
+    // Jacobi tiled 600³ @ 640: paper 0.049 vs 0.106 → 2.2×
+    {
+        let wl = Workload::D3 { nx: 600, ny: 600, nz: 600, batch: 1 };
+        let ds = jacobi_design(&wl, ExecMode::Tiled2D { tile_m: 640, tile_n: 640 });
+        let f = wf.fpga_estimate(&ds, &wl, paper::iters::JACOBI_TILED);
+        let g = wf.gpu_estimate(&StencilSpec::jacobi(), &wl, paper::iters::JACOBI_TILED);
+        e.row(vec![
+            "Jacobi-7pt-3D".into(),
+            "tiled 600³ M=640".into(),
+            format!("{:.3}", f.energy_j / 1e3),
+            format!("{:.3}", g.energy_j / 1e3),
+            format!("{:.1}x", g.energy_j / f.energy_j),
+            "2.2x".into(),
+        ]);
+    }
+    // RTM 40B 50³: paper 0.130 vs 0.338 → 2.6× ("over 2× for the largest app")
+    {
+        let wl = Workload::D3 { nx: 50, ny: 50, nz: 50, batch: 40 };
+        let ds = rtm_design(&wl, ExecMode::Batched { b: 40 });
+        let f = wf.fpga_estimate(&ds, &wl, paper::iters::RTM_BATCHED);
+        let g = wf.gpu_estimate(&StencilSpec::rtm(), &wl, paper::iters::RTM_BATCHED);
+        e.row(vec![
+            "Reverse Time Migration".into(),
+            "40B 50³".into(),
+            format!("{:.3}", f.energy_j / 1e3),
+            format!("{:.3}", g.energy_j / 1e3),
+            format!("{:.1}x", g.energy_j / f.energy_j),
+            "2.6x".into(),
+        ]);
+    }
+    e.note("abstract claim: 'over 2× energy savings for the largest non-trivial application' — holds on every flagship row");
+    e
+}
+
+/// Ablation: device scaling. Re-runs the DSE for each application on the
+/// U280 and a hypothetical 2× device, showing how the workflow's chosen
+/// design and throughput shift with silicon.
+pub fn ablation_device_scaling() -> Experiment {
+    let mut e = Experiment::new(
+        "Ablation: device scaling",
+        "DSE winners on the U280 vs a hypothetical 2x device",
+        &["app", "device", "V", "p", "mode", "freq MHz", "runtime ms"],
+    );
+    let cases: [(StencilSpec, Workload, u64); 3] = [
+        (StencilSpec::poisson(), Workload::D2 { nx: 400, ny: 400, batch: 1 }, 60_000),
+        (StencilSpec::jacobi(), Workload::D3 { nx: 200, ny: 200, nz: 200, batch: 1 }, 29_000),
+        (StencilSpec::rtm(), Workload::D3 { nx: 64, ny: 64, nz: 64, batch: 1 }, 1_800),
+    ];
+    for (spec, wl, niter) in cases {
+        for dev in [FpgaDevice::u280(), FpgaDevice::hypothetical_2x()] {
+            let mut w = wf();
+            w.device = dev.clone();
+            match w.best_design(&spec, &wl, niter) {
+                Ok(best) => {
+                    let rep = w.fpga_estimate(&best.design, &wl, niter);
+                    e.row(vec![
+                        format!("{}", spec.app),
+                        dev.name.clone(),
+                        best.design.v.to_string(),
+                        best.design.p.to_string(),
+                        format!("{:?}", best.design.mode),
+                        format!("{:.0}", best.design.freq_mhz()),
+                        format!("{:.1}", rep.runtime_s * 1e3),
+                    ]);
+                }
+                Err(_) => e.row(vec![
+                    format!("{}", spec.app),
+                    dev.name.clone(),
+                    "-".into(), "-".into(), "-".into(), "-".into(), "-".into(),
+                ]),
+            }
+        }
+    }
+    e.note("the 2x device roughly doubles feasible pV; RTM gains the most (its p was DSP-walled at 3)");
+    e
+}
+
+/// Every experiment, in paper order.
+pub fn all() -> Vec<Experiment> {
+    vec![
+        table1(),
+        table2(),
+        table3(),
+        fig3a(),
+        fig3b(),
+        fig3c(),
+        table4(),
+        fig4a(),
+        fig4b(),
+        fig4c(),
+        table5(),
+        fig5a(),
+        fig5b(),
+        table6(),
+        model_accuracy(),
+        energy_summary(),
+        ablation_precision(),
+        ablation_overheads(),
+        ablation_device_scaling(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_experiment_renders() {
+        for e in all() {
+            let s = e.render();
+            assert!(!e.rows.is_empty(), "{} has no rows", e.id);
+            assert!(s.contains(&e.id));
+        }
+    }
+
+    #[test]
+    fn table4_shape_holds() {
+        let t = table4();
+        // every baseline row: our FPGA BW within 2x band of paper's
+        for r in t.rows.iter().filter(|r| r[1] == "base") {
+            let ours: f64 = r[2].parse().unwrap();
+            let paper: f64 = r[3].parse().unwrap();
+            let ratio = ours / paper;
+            assert!((0.5..2.0).contains(&ratio), "{}: {ours} vs {paper}", r[0]);
+        }
+    }
+
+    #[test]
+    fn table6_fpga_gpu_parity() {
+        let t = table6();
+        for r in t.rows.iter().filter(|r| r[1] == "40B") {
+            let f: f64 = r[2].parse().unwrap();
+            assert!(f > 0.0, "{:?}", r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod regression_bands {
+    //! Calibration regression nets: if a future change drifts the simulator
+    //! or models away from the paper, these trip before EXPERIMENTS.md lies.
+
+    use super::*;
+
+    #[test]
+    fn table4_fpga_rows_within_15pct() {
+        let wf = wf();
+        for (nx, ny, pb_f, _, p100_f, _, p1000_f, ..) in paper::TABLE4_BASE {
+            let check = |mode: ExecMode, b: usize, paper_bw: f64| {
+                let wl = Workload::D2 { nx, ny, batch: b };
+                let ds = poisson_design(&wl, mode, MemKind::Hbm);
+                let r = wf.fpga_estimate(&ds, &wl, paper::iters::POISSON);
+                let dev = (r.bandwidth_gbs - paper_bw).abs() / paper_bw;
+                assert!(dev < 0.15, "{nx}x{ny} b={b}: {:.0} vs paper {paper_bw} ({:.0}%)",
+                    r.bandwidth_gbs, dev * 100.0);
+            };
+            check(ExecMode::Baseline, 1, pb_f);
+            check(ExecMode::Batched { b: 100 }, 100, p100_f);
+            if let Some(p1000) = p1000_f {
+                check(ExecMode::Batched { b: 1000 }, 1000, p1000);
+            }
+        }
+    }
+
+    #[test]
+    fn table4_tiled_rows_within_10pct() {
+        let wf = wf();
+        for (n, tile, pf, ..) in paper::TABLE4_TILED {
+            let wl = Workload::D2 { nx: n, ny: n, batch: 1 };
+            let ds = poisson_design(&wl, ExecMode::Tiled1D { tile_m: tile }, MemKind::Ddr4);
+            let r = wf.fpga_estimate(&ds, &wl, paper::iters::POISSON_TILED);
+            let dev = (r.bandwidth_gbs - pf).abs() / pf;
+            assert!(dev < 0.10, "{n}² tile {tile}: {:.0} vs paper {pf}", r.bandwidth_gbs);
+        }
+    }
+
+    #[test]
+    fn table5_fpga_rows_within_25pct() {
+        let wf = wf();
+        for (n, pb_f, ..) in paper::TABLE5_BASE {
+            let wl = Workload::D3 { nx: n, ny: n, nz: n, batch: 1 };
+            let ds = jacobi_design(&wl, ExecMode::Baseline);
+            let r = wf.fpga_estimate(&ds, &wl, paper::iters::JACOBI);
+            let dev = (r.bandwidth_gbs - pb_f).abs() / pb_f;
+            assert!(dev < 0.25, "{n}³: {:.0} vs paper {pb_f}", r.bandwidth_gbs);
+        }
+        for (label, nx, ny, nz, tile, pf, ..) in paper::TABLE5_TILED {
+            let wl = Workload::D3 { nx, ny, nz, batch: 1 };
+            let ds = jacobi_design(&wl, ExecMode::Tiled2D { tile_m: tile, tile_n: tile });
+            let r = wf.fpga_estimate(&ds, &wl, paper::iters::JACOBI_TILED);
+            let dev = (r.bandwidth_gbs - pf).abs() / pf;
+            assert!(dev < 0.25, "{label} tile {tile}: {:.0} vs paper {pf}", r.bandwidth_gbs);
+        }
+    }
+
+    #[test]
+    fn rtm_ratios_preserved_even_where_absolutes_differ() {
+        // Table VI absolutes deviate (byte-convention ambiguity, see
+        // EXPERIMENTS.md); the decision-relevant ratios must hold:
+        let wf = wf();
+        let spec = StencilSpec::rtm();
+        for (nx, ny, nz, ..) in paper::TABLE6 {
+            let solo = Workload::D3 { nx, ny, nz, batch: 1 };
+            let ds1 = rtm_design(&solo, ExecMode::Baseline);
+            let f1 = wf.fpga_estimate(&ds1, &solo, paper::iters::RTM);
+            let b = Workload::D3 { nx, ny, nz, batch: 40 };
+            let ds2 = rtm_design(&b, ExecMode::Batched { b: 40 });
+            let f2 = wf.fpga_estimate(&ds2, &b, paper::iters::RTM_BATCHED);
+            // batching gain ≈ paper's ~2.1-2.9×
+            let gain = f2.cells_per_sec / f1.cells_per_sec;
+            assert!((1.5..4.0).contains(&gain), "{nx}x{ny}x{nz}: gain {gain:.2}");
+            // FPGA/GPU parity band
+            let g2 = wf.gpu_estimate(&spec, &b, paper::iters::RTM_BATCHED);
+            let speedup = g2.runtime_s / f2.runtime_s;
+            assert!((0.5..2.5).contains(&speedup), "{nx}x{ny}x{nz}: {speedup:.2}");
+        }
+    }
+
+    #[test]
+    fn energy_summary_every_row_saves_energy() {
+        let t = energy_summary();
+        for r in &t.rows {
+            let f: f64 = r[2].parse().unwrap();
+            let g: f64 = r[3].parse().unwrap();
+            assert!(g > f, "{}: FPGA {f} kJ vs GPU {g} kJ", r[0]);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! # sf-bench — the experiment harness
+//!
+//! One function per table/figure of the paper's evaluation section. Each
+//! returns an [`Experiment`]: a labeled grid holding *our* simulated/modeled
+//! numbers side by side with the *paper's* reported values, rendered as text
+//! (for the terminal) or JSON (for EXPERIMENTS.md generation).
+//!
+//! ```text
+//! cargo run --release -p sf-bench --bin experiments -- all
+//! cargo run --release -p sf-bench --bin experiments -- table4 --json
+//! ```
+
+pub mod cli;
+pub mod experiments;
+pub mod paper;
+pub mod table;
+
+pub use experiments::*;
+pub use table::Experiment;

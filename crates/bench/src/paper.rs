@@ -1,0 +1,122 @@
+//! The paper's reported numbers (Tables II–VI), embedded for side-by-side
+//! comparison in the regenerated experiments and in EXPERIMENTS.md.
+//!
+//! Bandwidths in GB/s, energies in kJ, as printed in the paper.
+
+/// Table II — baseline/batching model parameters.
+/// `(app, freq_mhz, gdsp, p_model, p_actual)`.
+pub const TABLE2: [(&str, f64, usize, usize, usize); 3] = [
+    ("Poisson-5pt-2D", 250.0, 14, 68, 60),
+    ("Jacobi-7pt-3D", 246.0, 33, 28, 29),
+    ("Reverse Time Migration", 261.0, 2444, 3, 3),
+];
+
+/// Table III — spatial blocking model parameters.
+/// `(app, p, v, m, n, t, valid_ratio_pct)`.
+#[allow(clippy::type_complexity)]
+pub const TABLE3: [(&str, usize, usize, usize, Option<usize>, f64, f64); 2] = [
+    ("Poisson-5pt-2D", 60, 8, 8192, None, 472.0, 98.5),
+    ("Jacobi-7pt-3D", 3, 64, 768, Some(768), 189.0, 98.4),
+];
+
+/// Table IV (top) — Poisson baseline & batched bandwidth (GB/s).
+/// `(nx, ny, base_fpga, base_gpu, b100_fpga, b100_gpu, b1000_fpga, b1000_gpu,
+///   energy1000_fpga_kj, energy1000_gpu_kj)` — 1000B columns only published
+/// for the first three meshes.
+#[allow(clippy::type_complexity)]
+pub const TABLE4_BASE: [(usize, usize, f64, f64, f64, f64, Option<f64>, Option<f64>, Option<f64>, Option<f64>); 6] = [
+    (200, 100, 384.0, 18.0, 857.0, 404.0, Some(867.0), Some(530.0), Some(0.77), Some(3.48)),
+    (200, 200, 543.0, 32.0, 886.0, 465.0, Some(892.0), Some(540.0), Some(1.50), Some(6.74)),
+    (300, 150, 535.0, 38.0, 901.0, 483.0, Some(907.0), Some(560.0), Some(1.66), Some(7.60)),
+    (300, 300, 681.0, 69.0, 922.0, 530.0, None, None, None, None),
+    (400, 200, 612.0, 62.0, 889.0, 536.0, None, None, None, None),
+    (400, 400, 735.0, 116.0, 904.0, 560.0, None, None, None, None),
+];
+
+/// Table IV (bottom) — Poisson spatial blocking, 100 iterations.
+/// `(n, tile, fpga_bw, gpu_bw, fpga_kj, gpu_kj)` — GPU numbers shared per mesh.
+pub const TABLE4_TILED: [(usize, usize, f64, f64, f64, f64); 5] = [
+    (15_000, 1024, 805.0, 607.0, 0.93, 2.91),
+    (15_000, 4096, 892.0, 607.0, 0.84, 2.91),
+    (15_000, 8000, 905.0, 607.0, 0.83, 2.91),
+    (20_000, 1024, 800.0, 609.0, 1.67, 4.96),
+    (20_000, 4096, 879.0, 609.0, 1.52, 4.96),
+];
+
+/// Table V (top) — Jacobi baseline (29 k iters) & batched (2.9 k iters).
+/// `(n, base_fpga, base_gpu, b10_fpga, b10_gpu, b50_fpga, b50_gpu,
+///   energy50_fpga_kj, energy50_gpu_kj)` — 50B only for the first three.
+#[allow(clippy::type_complexity)]
+pub const TABLE5_BASE: [(usize, f64, f64, f64, f64, Option<f64>, Option<f64>, Option<f64>, Option<f64>); 5] = [
+    (50, 202.0, 83.0, 307.0, 284.0, Some(323.0), Some(404.0), Some(0.04), Some(0.07)),
+    (100, 301.0, 284.0, 378.0, 434.0, Some(387.0), Some(469.0), Some(0.27), Some(0.51)),
+    (200, 374.0, 496.0, 421.0, 548.0, Some(426.0), Some(543.0), Some(1.96), Some(3.77)),
+    (250, 391.0, 559.0, 431.0, 585.0, None, None, None, None),
+    (300, 403.0, 553.0, 438.0, 569.0, None, None, None, None),
+];
+
+/// Table V (bottom) — Jacobi spatial blocking, 120 iterations.
+/// `(mesh_label, nx, ny, nz, tile, fpga_bw, gpu_bw, fpga_kj, gpu_kj)`.
+#[allow(clippy::type_complexity)]
+pub const TABLE5_TILED: [(&str, usize, usize, usize, usize, f64, f64, f64, f64); 6] = [
+    ("600^3", 600, 600, 600, 256, 233.0, 392.0, 0.062, 0.106),
+    ("600^3", 600, 600, 600, 512, 281.0, 392.0, 0.051, 0.106),
+    ("600^3", 600, 600, 600, 640, 292.0, 392.0, 0.049, 0.106),
+    ("1800x1800x100", 1800, 1800, 100, 256, 247.0, 363.0, 0.088, 0.143),
+    ("1800x1800x100", 1800, 1800, 100, 512, 270.0, 363.0, 0.080, 0.143),
+    ("1800x1800x100", 1800, 1800, 100, 640, 273.0, 363.0, 0.079, 0.143),
+];
+
+/// Table VI — RTM baseline (1800 iters) & batched (180 iters).
+/// `(nx, ny, nz, base_fpga, base_gpu, b20_fpga, b20_gpu, b40_fpga, b40_gpu,
+///   energy40_fpga_kj, energy40_gpu_kj)`.
+#[allow(clippy::type_complexity)]
+pub const TABLE6: [(usize, usize, usize, f64, f64, f64, f64, f64, f64, f64, f64); 5] = [
+    (32, 32, 32, 108.0, 130.0, 225.0, 251.0, 232.0, 266.0, 0.043, 0.086),
+    (32, 32, 50, 141.0, 163.0, 247.0, 263.0, 253.0, 274.0, 0.062, 0.133),
+    (50, 50, 16, 77.0, 124.0, 210.0, 251.0, 220.0, 263.0, 0.055, 0.111),
+    (50, 50, 32, 127.0, 155.0, 262.0, 266.0, 270.0, 272.0, 0.091, 0.218),
+    (50, 50, 50, 165.0, 179.0, 287.0, 271.0, 293.0, 275.0, 0.130, 0.338),
+];
+
+/// Iteration counts used by the paper's runs.
+pub mod iters {
+    /// Poisson baseline & batched.
+    pub const POISSON: u64 = 60_000;
+    /// Poisson tiled. The paper does not print this count, but its Table IV
+    /// energies pin it down: 0.93 kJ at ~70 W is ≈ 13 s, which at the
+    /// reported 805 GB/s over a 15000² mesh is 6000 iterations (and the
+    /// 20000² row cross-checks: 1.67 kJ ⇔ 24 s ⇔ 6000 iterations at
+    /// 800 GB/s). 6000 is also a whole multiple of p = 60.
+    pub const POISSON_TILED: u64 = 6_000;
+    /// Jacobi baseline.
+    pub const JACOBI: u64 = 29_000;
+    /// Jacobi batched.
+    pub const JACOBI_BATCHED: u64 = 2_900;
+    /// Jacobi tiled.
+    pub const JACOBI_TILED: u64 = 120;
+    /// RTM baseline.
+    pub const RTM: u64 = 1_800;
+    /// RTM batched.
+    pub const RTM_BATCHED: u64 = 180;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_internally_consistent() {
+        assert_eq!(TABLE2.len(), 3);
+        assert_eq!(TABLE4_BASE.len(), 6);
+        assert_eq!(TABLE5_BASE.len(), 5);
+        assert_eq!(TABLE6.len(), 5);
+        // batching always improves the paper's FPGA bandwidth
+        for r in &TABLE4_BASE {
+            assert!(r.4 > r.2, "100B must beat baseline for {}x{}", r.0, r.1);
+        }
+        for r in &TABLE6 {
+            assert!(r.5 > r.3, "RTM 20B must beat baseline");
+        }
+    }
+}

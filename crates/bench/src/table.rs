@@ -1,0 +1,158 @@
+//! Minimal text-table rendering for experiment output.
+
+use serde::{Deserialize, Serialize};
+
+/// One regenerated table or figure: a title, column headers, string rows,
+/// and free-form notes (conventions, deviations).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Experiment {
+    /// Identifier matching the paper ("Table IV", "Fig. 3a", …).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (stringified).
+    pub rows: Vec<Vec<String>>,
+    /// Caveats / conventions.
+    pub notes: Vec<String>,
+}
+
+impl Experiment {
+    /// Build with string conversion sugar.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Experiment {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, s: &str) {
+        self.notes.push(s.to_string());
+    }
+
+    /// Render as a GitHub-flavoured markdown table (for EXPERIMENTS.md).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {} — {}\n\n", self.id, self.title));
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.headers.len())));
+        for r in &self.rows {
+            out.push_str(&format!("| {} |\n", r.join(" | ")));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("\n> {n}\n"));
+        }
+        out
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("═══ {} — {} ═══\n", self.id, self.title));
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"─".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("  note: {n}\n"));
+        }
+        out
+    }
+}
+
+/// Format helpers shared by the experiment functions.
+pub mod fmt {
+    /// `x` with 0 decimals, or "-" for None.
+    pub fn f0(x: Option<f64>) -> String {
+        x.map(|v| format!("{v:.0}")).unwrap_or_else(|| "-".into())
+    }
+
+    /// `x` with 3 decimals, or "-".
+    pub fn f3(x: Option<f64>) -> String {
+        x.map(|v| format!("{v:.3}")).unwrap_or_else(|| "-".into())
+    }
+
+    /// ratio "ours/paper" as a percentage string, or "-".
+    pub fn ratio(ours: f64, paper: Option<f64>) -> String {
+        match paper {
+            Some(p) if p > 0.0 => format!("{:+.0}%", (ours - p) / p * 100.0),
+            _ => "-".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut e = Experiment::new("Table X", "demo", &["mesh", "GB/s"]);
+        e.row(vec!["200x100".into(), "384".into()]);
+        e.row(vec!["4".into(), "1".into()]);
+        e.note("convention");
+        let s = e.render();
+        assert!(s.contains("Table X"));
+        assert!(s.contains("note: convention"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[1].len(), lines[3].len(), "rows align");
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let mut e = Experiment::new("Table X", "demo", &["mesh", "GB/s"]);
+        e.row(vec!["200x100".into(), "384".into()]);
+        e.note("caveat");
+        let md = e.to_markdown();
+        assert!(md.contains("### Table X — demo"));
+        assert!(md.contains("| mesh | GB/s |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 200x100 | 384 |"));
+        assert!(md.contains("> caveat"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut e = Experiment::new("T", "t", &["a", "b"]);
+        e.row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt::f0(Some(12.6)), "13");
+        assert_eq!(fmt::f0(None), "-");
+        assert_eq!(fmt::f3(Some(0.7654)), "0.765");
+        assert_eq!(fmt::ratio(110.0, Some(100.0)), "+10%");
+        assert_eq!(fmt::ratio(1.0, None), "-");
+    }
+}

@@ -1,0 +1,74 @@
+//! FPGA-vs-GPU comparison results.
+
+use serde::{Deserialize, Serialize};
+use sf_fpga::design::StencilDesign;
+use sf_fpga::SimReport;
+use sf_model::predict::Prediction;
+
+/// A head-to-head comparison on one workload: the chosen FPGA design, the
+/// model's prediction for it, and the achieved reports on both platforms.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Comparison {
+    /// The winning FPGA design.
+    pub design: StencilDesign,
+    /// The model prediction that selected it.
+    pub prediction: Prediction,
+    /// Simulated U280 execution.
+    pub fpga: SimReport,
+    /// Modeled V100 execution.
+    pub gpu: SimReport,
+}
+
+impl Comparison {
+    /// GPU runtime ÷ FPGA runtime (> 1 ⇒ FPGA faster).
+    pub fn speedup(&self) -> f64 {
+        self.gpu.runtime_s / self.fpga.runtime_s
+    }
+
+    /// GPU energy ÷ FPGA energy (> 1 ⇒ FPGA more efficient).
+    pub fn energy_ratio(&self) -> f64 {
+        self.gpu.energy_j / self.fpga.energy_j
+    }
+
+    /// Model prediction error vs the simulated FPGA runtime, percent
+    /// (the paper's ±15 % accuracy metric).
+    pub fn model_error_pct(&self) -> f64 {
+        (self.prediction.runtime_s - self.fpga.runtime_s) / self.fpga.runtime_s * 100.0
+    }
+
+    /// Paper-style one-line verdict.
+    pub fn verdict(&self) -> String {
+        format!(
+            "{}: FPGA {:.3} ms / {:.0} GB/s / {:.3} kJ  |  GPU {:.3} ms / {:.0} GB/s / {:.3} kJ  →  speedup {:.2}×, energy {:.2}×, model err {:+.1}%",
+            self.fpga.app,
+            self.fpga.runtime_s * 1e3,
+            self.fpga.bandwidth_gbs,
+            self.fpga.energy_j / 1e3,
+            self.gpu.runtime_s * 1e3,
+            self.gpu.bandwidth_gbs,
+            self.gpu.energy_j / 1e3,
+            self.speedup(),
+            self.energy_ratio(),
+            self.model_error_pct(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::workflow::Workflow;
+    use sf_fpga::design::Workload;
+    use sf_kernels::StencilSpec;
+
+    #[test]
+    fn comparison_metrics_consistent() {
+        let wf = Workflow::u280_vs_v100();
+        let wl = Workload::D2 { nx: 200, ny: 200, batch: 100 };
+        let cmp = wf.compare(&StencilSpec::poisson(), &wl, 6_000).unwrap();
+        let s = cmp.speedup();
+        assert!((s - cmp.gpu.runtime_s / cmp.fpga.runtime_s).abs() < 1e-12);
+        assert!(cmp.energy_ratio() > 0.0);
+        assert!(cmp.model_error_pct().is_finite());
+        assert!(cmp.verdict().contains("speedup"));
+    }
+}

@@ -1,0 +1,157 @@
+//! The step-wise design workflow (paper §III–§IV as an API).
+
+use crate::compare::Comparison;
+use serde::{Deserialize, Serialize};
+use sf_fpga::design::{StencilDesign, Workload};
+use sf_fpga::{cycles, power, FpgaDevice, SimReport};
+use sf_gpu::{gpu_report, GpuDevice};
+use sf_kernels::StencilSpec;
+use sf_model::dse::{self, Candidate, DseOptions};
+use sf_model::feasibility::FeasibilityReport;
+
+/// Workflow failures surfaced to the user.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum WorkflowError {
+    /// No feasible design exists in the explored space.
+    NoFeasibleDesign {
+        /// Application that failed.
+        app: String,
+    },
+}
+
+impl core::fmt::Display for WorkflowError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WorkflowError::NoFeasibleDesign { app } => {
+                write!(f, "no feasible FPGA design found for {app}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkflowError {}
+
+/// The unified workflow: a target FPGA, a comparator GPU, and exploration
+/// options.
+#[derive(Clone, Debug)]
+pub struct Workflow {
+    /// Target FPGA card.
+    pub device: FpgaDevice,
+    /// Comparator GPU.
+    pub gpu: GpuDevice,
+    /// Design-space exploration options.
+    pub opts: DseOptions,
+}
+
+impl Workflow {
+    /// The paper's experimental setup: Alveo U280 vs Tesla V100.
+    pub fn u280_vs_v100() -> Self {
+        Workflow {
+            device: FpgaDevice::u280(),
+            gpu: GpuDevice::v100(),
+            opts: DseOptions::default(),
+        }
+    }
+
+    /// Step 1 — feasibility analysis (eqs. 4/6/7 + §VI determinants).
+    /// The streaming buffer unit is derived from the workload: row length for
+    /// 2D, plane size for 3D.
+    pub fn feasibility(&self, spec: &StencilSpec, wl: &Workload) -> FeasibilityReport {
+        let unit = match *wl {
+            Workload::D2 { nx, .. } => nx,
+            Workload::D3 { nx, ny, .. } => nx * ny,
+        };
+        let v = sf_model::feasibility::nominal_v(&self.device, spec, self.opts.mem);
+        FeasibilityReport::analyze(&self.device, spec, v, unit, self.opts.mem)
+    }
+
+    /// Step 2 — design-space exploration, ranked fastest-first.
+    pub fn explore(&self, spec: &StencilSpec, wl: &Workload, niter: u64) -> Vec<Candidate> {
+        dse::explore(&self.device, spec, wl, niter, &self.opts)
+    }
+
+    /// Step 3 — the winning design.
+    pub fn best_design(
+        &self,
+        spec: &StencilSpec,
+        wl: &Workload,
+        niter: u64,
+    ) -> Result<Candidate, WorkflowError> {
+        dse::best(&self.device, spec, wl, niter, &self.opts).ok_or_else(|| {
+            WorkflowError::NoFeasibleDesign {
+                app: format!("{}", spec.app),
+            }
+        })
+    }
+
+    /// Step 4 — achieved performance of a design on the simulated U280.
+    pub fn fpga_estimate(&self, design: &StencilDesign, wl: &Workload, niter: u64) -> SimReport {
+        let plan = cycles::plan(&self.device, design, wl, niter);
+        SimReport::from_plan(design, &plan, niter, power::fpga_power_w(&self.device, design))
+    }
+
+    /// The comparator: the same workload on the modeled V100.
+    pub fn gpu_estimate(&self, spec: &StencilSpec, wl: &Workload, niter: u64) -> SimReport {
+        gpu_report(&self.gpu, spec, wl, niter)
+    }
+
+    /// Step 5 — end-to-end comparison: best FPGA design vs the GPU.
+    pub fn compare(
+        &self,
+        spec: &StencilSpec,
+        wl: &Workload,
+        niter: u64,
+    ) -> Result<Comparison, WorkflowError> {
+        let best = self.best_design(spec, wl, niter)?;
+        let fpga = self.fpga_estimate(&best.design, wl, niter);
+        let gpu = self.gpu_estimate(spec, wl, niter);
+        Ok(Comparison {
+            design: best.design,
+            prediction: best.prediction,
+            fpga,
+            gpu,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_kernels::AppId;
+
+    #[test]
+    fn workflow_end_to_end_poisson() {
+        let wf = Workflow::u280_vs_v100();
+        let spec = StencilSpec::poisson();
+        let wl = Workload::D2 { nx: 300, ny: 300, batch: 1 };
+        let feas = wf.feasibility(&spec, &wl);
+        assert!(feas.baseline_feasible);
+        let cmp = wf.compare(&spec, &wl, 60_000).unwrap();
+        assert_eq!(cmp.fpga.app, AppId::Poisson2D);
+        assert!(cmp.fpga.runtime_s > 0.0 && cmp.gpu.runtime_s > 0.0);
+        // paper Fig. 3a: baseline Poisson strongly favours the FPGA
+        assert!(cmp.speedup() > 1.0, "speedup {}", cmp.speedup());
+    }
+
+    #[test]
+    fn no_feasible_design_is_reported() {
+        let mut wf = Workflow::u280_vs_v100();
+        wf.opts.allow_tiling = false;
+        wf.opts.v_candidates = vec![1];
+        let spec = StencilSpec::jacobi();
+        // baseline on a mesh whose planes exceed on-chip memory
+        let wl = Workload::D3 { nx: 2500, ny: 2500, nz: 50, batch: 1 };
+        let err = wf.best_design(&spec, &wl, 100).unwrap_err();
+        assert!(matches!(err, WorkflowError::NoFeasibleDesign { .. }));
+        assert!(format!("{err}").contains("Jacobi"));
+    }
+
+    #[test]
+    fn gpu_estimate_standalone() {
+        let wf = Workflow::u280_vs_v100();
+        let wl = Workload::D3 { nx: 100, ny: 100, nz: 100, batch: 1 };
+        let rep = wf.gpu_estimate(&StencilSpec::jacobi(), &wl, 1000);
+        assert!(rep.platform.contains("V100"));
+        assert!(rep.bandwidth_gbs > 100.0);
+    }
+}

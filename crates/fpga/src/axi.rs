@@ -1,0 +1,129 @@
+//! AXI transfer timing: channel sizing and per-row cycle cost.
+//!
+//! §IV-A: "it takes 16 clock cycles to transfer 1024 Bytes via the 512 bit
+//! wide AXI interface bus, but the latency of the transfer is about 14 clock
+//! cycles. As such, multiple read/write requests should be made to hide the
+//! latency of each individual memory transaction."
+//!
+//! With requests pipelined, what remains per contiguous run is a small
+//! *issue gap* (calibrated ≈ 3 cycles, [`crate::device::FpgaDevice::axi_issue_gap_cycles`]);
+//! short strided runs therefore lose efficiency `run/(run + gap)` — the
+//! mechanism behind the paper's Jacobi-3D tiled slowdown ("it involves
+//! transfers less than 4K from memory, which makes it difficult to reach the
+//! raw external memory bandwidth").
+
+use crate::device::{FpgaDevice, MemorySpec};
+
+/// Number of memory channels needed to sustain `v` elements/cycle of
+/// `bytes_per_cell` in one direction — the paper's eq. (4) feasibility:
+/// each 512-bit AXI port delivers at most `min(64 B, channel_bw/f)` per
+/// cycle, evaluated at the default target clock.
+pub fn channels_needed(dev: &FpgaDevice, mem: &MemorySpec, v: usize, bytes_per_cell: usize) -> usize {
+    let per_channel = mem.channel_bytes_per_cycle(dev.default_clock_hz, dev.axi_bus_bytes);
+    ((v * bytes_per_cell) as f64 / per_channel).ceil().max(1.0) as usize
+}
+
+/// Cycles for one streamed row of `cells` mesh points:
+///
+/// * compute issue: `⌈cells / V⌉` (one vector of `V` cells per cycle),
+/// * memory: read/write beats across the assigned channels,
+/// * plus the per-row request-issue gap.
+///
+/// The row takes the max of the compute and memory times — whichever side
+/// stalls the pipeline.
+#[allow(clippy::too_many_arguments)]
+pub fn row_cycles(
+    dev: &FpgaDevice,
+    mem: &MemorySpec,
+    f_hz: f64,
+    v: usize,
+    cells: usize,
+    read_bytes: usize,
+    write_bytes: usize,
+    read_channels: usize,
+    write_channels: usize,
+) -> u64 {
+    debug_assert!(v > 0 && read_channels > 0 && write_channels > 0);
+    let compute = cells.div_ceil(v) as u64;
+    let bpc = mem.channel_bytes_per_cycle(f_hz, dev.axi_bus_bytes);
+    let rd = (read_bytes as f64 / (bpc * read_channels as f64)).ceil() as u64;
+    let wr = (write_bytes as f64 / (bpc * write_channels as f64)).ceil() as u64;
+    compute.max(rd).max(wr) + dev.axi_issue_gap_cycles as u64
+}
+
+/// Effective fraction of raw bandwidth achieved by contiguous runs of
+/// `run_bytes` (the §IV-A strided-transfer efficiency): data beats over data
+/// beats plus the issue gap.
+pub fn strided_efficiency(dev: &FpgaDevice, run_bytes: usize) -> f64 {
+    let beats = (run_bytes as f64 / dev.axi_bus_bytes as f64).ceil();
+    beats / (beats + dev.axi_issue_gap_cycles as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_sizing_matches_paper_designs() {
+        let d = FpgaDevice::u280();
+        // HBM channel at 300 MHz sustains 47.9 B/cycle.
+        // Poisson baseline V=8, 4 B cells → 32 B/cycle → 1 channel/direction
+        assert_eq!(channels_needed(&d, &d.hbm, 8, 4), 1);
+        // Jacobi tiled V=64 → 256 B/cycle → 6 HBM channels
+        assert_eq!(channels_needed(&d, &d.hbm, 64, 4), 6);
+        // RTM V=1, 32 B reads → 1 channel; V=2 would need 2
+        assert_eq!(channels_needed(&d, &d.hbm, 1, 32), 1);
+        assert_eq!(channels_needed(&d, &d.hbm, 2, 32), 2);
+        // a DDR4 bank is bus-capped (64 B/cycle at 300 MHz)
+        assert_eq!(channels_needed(&d, &d.ddr4, 8, 4), 1);
+    }
+
+    #[test]
+    fn row_cycles_compute_bound_case() {
+        let d = FpgaDevice::u280();
+        // Poisson 200-wide row, V=8: 25 compute cycles + 3 gap;
+        // memory: 800 B over 1 HBM channel at 250 MHz (57.5 B/cy) = 14 beats
+        let c = row_cycles(&d, &d.hbm, 250e6, 8, 200, 800, 800, 1, 1);
+        assert_eq!(c, 28);
+    }
+
+    #[test]
+    fn row_cycles_memory_bound_case() {
+        let d = FpgaDevice::u280();
+        // Jacobi tiled: V=64, M=640 → compute 10; read 2560 B over 4 HBM ch
+        // at 250 MHz: 2560/(57.5·4) = 11.2 → 12 → memory bound
+        let c = row_cycles(&d, &d.hbm, 250e6, 64, 640, 2560, 2560, 4, 4);
+        assert_eq!(c, 12 + 3);
+    }
+
+    #[test]
+    fn row_cycles_write_bound_case() {
+        let d = FpgaDevice::u280();
+        // few read channels but fewer write channels → write dominates
+        let c = row_cycles(&d, &d.hbm, 250e6, 64, 640, 0, 2560, 4, 1);
+        assert_eq!(c, 45 + 3); // 2560/57.5 = 44.5 → 45
+    }
+
+    #[test]
+    fn strided_efficiency_reproduces_4k_rule() {
+        let d = FpgaDevice::u280();
+        // 2.5 KiB runs (Jacobi 640-tile rows): ~93 % of raw already lost to
+        // per-run gaps plus channel under-use at the row level; the headline
+        // effect the paper describes shows up via row_cycles, this helper
+        // reports the pure run-length efficiency.
+        let e_small = strided_efficiency(&d, 2560);
+        let e_big = strided_efficiency(&d, 16384);
+        assert!(e_small < e_big);
+        assert!(e_big > 0.98);
+        assert!((e_small - 40.0 / 43.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ddr4_channel_is_bus_capped_at_250mhz() {
+        let d = FpgaDevice::u280();
+        // DDR4 bank: 19.2 GB/s = 76.8 B/cy at 250 MHz → capped to 64 B bus
+        let c = row_cycles(&d, &d.ddr4, 250e6, 8, 1024, 4096, 0, 1, 1);
+        // compute 128, read 4096/64 = 64 → compute bound → 131
+        assert_eq!(c, 131);
+    }
+}

@@ -1,0 +1,127 @@
+//! Routing-congestion clock model.
+//!
+//! "As a design grows and begins to occupy a larger portion of the FPGA,
+//! routing … becomes more challenging, and can reduce the achievable clock
+//! frequency" (§III). The paper observed the default 300 MHz holding only up
+//! to `p ≈ 20` for Poisson and settled at 250 MHz for `p = 60`; Jacobi
+//! closed at 246 MHz and RTM at 261 MHz (Table II).
+//!
+//! We model the achieved frequency as the 300 MHz target minus a congestion
+//! derate with three contributions, calibrated against Table II:
+//!
+//! * quadratic in DSP utilization (dense arithmetic packing),
+//! * quadratic in on-chip memory utilization (BRAM/URAM column pressure),
+//! * linear in the unroll depth `p` (long module chains crossing SLRs —
+//!   exactly the effect the paper reports for Poisson's deep `p = 60`
+//!   pipeline).
+
+use crate::device::FpgaDevice;
+use crate::resources::ResourceUsage;
+
+/// MHz of derate per unit squared DSP utilization.
+const DSP_DERATE_MHZ: f64 = 30.0;
+/// MHz of derate per unit squared memory utilization.
+const MEM_DERATE_MHZ: f64 = 16.0;
+/// MHz of derate per unit of unroll depth (module chaining / SLR crossings).
+const P_DERATE_MHZ: f64 = 0.42;
+/// MHz of derate per SLR boundary the chain crosses (SLL route pressure).
+const CROSSING_DERATE_MHZ: f64 = 1.0;
+/// MHz of derate per module forced to span multiple SLRs — the situation
+/// the paper's RTM floorplan avoids by setting V = 1.
+const SPANNING_DERATE_MHZ: f64 = 12.0;
+/// Floor: designs never close below this.
+const MIN_FREQ_HZ: f64 = 100.0e6;
+
+/// Achievable kernel clock for a design with the given resource usage and
+/// unroll depth, rounded to 1 MHz as a place-and-route tool would report.
+pub fn achieved_frequency(dev: &FpgaDevice, usage: &ResourceUsage, p: usize) -> f64 {
+    achieved_frequency_placed(dev, usage, p, 0, 0)
+}
+
+/// [`achieved_frequency`] with explicit SLR placement effects.
+pub fn achieved_frequency_placed(
+    dev: &FpgaDevice,
+    usage: &ResourceUsage,
+    p: usize,
+    crossings: usize,
+    spanning_modules: usize,
+) -> f64 {
+    let dsp_u = usage.dsp_util(dev);
+    let mem_u = usage.mem_util(dev);
+    let derate_mhz = DSP_DERATE_MHZ * dsp_u * dsp_u
+        + MEM_DERATE_MHZ * mem_u * mem_u
+        + P_DERATE_MHZ * p as f64
+        + CROSSING_DERATE_MHZ * crossings as f64
+        + SPANNING_DERATE_MHZ * spanning_modules as f64;
+    let f = dev.default_clock_hz - derate_mhz * 1.0e6;
+    let f = f.max(MIN_FREQ_HZ);
+    (f / 1.0e6).round() * 1.0e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn usage(dsp: usize, bram: usize, uram: usize) -> ResourceUsage {
+        ResourceUsage {
+            dsp,
+            bram_blocks: bram,
+            uram_blocks: uram,
+            luts: 0,
+            ffs: 0,
+            window_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn poisson_p60_lands_near_250mhz() {
+        let d = FpgaDevice::u280();
+        // V=8, p=60: 6720 DSP, 960 BRAM
+        let f = achieved_frequency(&d, &usage(6720, 960, 0), 60);
+        let mhz = f / 1e6;
+        assert!((mhz - 250.0).abs() <= 10.0, "Poisson: got {mhz} MHz, paper 250");
+    }
+
+    #[test]
+    fn jacobi_p29_lands_near_246mhz() {
+        let d = FpgaDevice::u280();
+        // V=8, p=29: 7656 DSP, 928 URAM
+        let f = achieved_frequency(&d, &usage(7656, 0, 928), 29);
+        let mhz = f / 1e6;
+        assert!((mhz - 246.0).abs() <= 10.0, "Jacobi: got {mhz} MHz, paper 246");
+    }
+
+    #[test]
+    fn rtm_p3_lands_near_261mhz() {
+        let d = FpgaDevice::u280();
+        // V=1, p=3: 5922 DSP, 864 URAM
+        let f = achieved_frequency(&d, &usage(5922, 0, 864), 3);
+        let mhz = f / 1e6;
+        assert!((mhz - 261.0).abs() <= 10.0, "RTM: got {mhz} MHz, paper 261");
+    }
+
+    #[test]
+    fn small_designs_hold_default_clock() {
+        let d = FpgaDevice::u280();
+        let f = achieved_frequency(&d, &usage(500, 50, 0), 4);
+        assert!(f >= 295.0e6, "near-empty design should close near 300 MHz");
+    }
+
+    #[test]
+    fn frequency_decreases_monotonically_with_p() {
+        let d = FpgaDevice::u280();
+        let mut last = f64::INFINITY;
+        for p in [1, 10, 20, 40, 60, 80] {
+            let f = achieved_frequency(&d, &usage(p * 112, p * 16, 0), p);
+            assert!(f <= last, "frequency must not increase with p");
+            last = f;
+        }
+    }
+
+    #[test]
+    fn frequency_floor_holds() {
+        let d = FpgaDevice::u280();
+        let f = achieved_frequency(&d, &usage(8490, 1487, 960), 400);
+        assert!(f >= 100.0e6);
+    }
+}

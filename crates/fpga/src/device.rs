@@ -1,0 +1,186 @@
+//! FPGA device descriptors.
+//!
+//! [`FpgaDevice::u280`] encodes the Xilinx Alveo U280 exactly as the paper's
+//! Table I reports it (8490 DSP blocks, 6.6 MB BRAM / 34.5 MB URAM, 8 GB HBM
+//! at 460 GB/s over 32 channels, 32 GB DDR4 at 38.4 GB/s over 2 banks,
+//! 3 SLRs, Vivado's default 300 MHz target clock), plus the micro-
+//! architectural constants the cycle model needs (AXI width, burst size,
+//! request-issue gap, host enqueue latency) with their calibration rationale.
+
+use serde::{Deserialize, Serialize};
+
+/// One external/near-chip memory system (HBM stack or DDR4 bank set).
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MemorySpec {
+    /// Total capacity in bytes.
+    pub bytes: u64,
+    /// Number of independent channels (AXI ports).
+    pub channels: usize,
+    /// Peak bandwidth of one channel, bytes/second.
+    pub channel_bw: f64,
+}
+
+impl MemorySpec {
+    /// Aggregate peak bandwidth in bytes/second.
+    pub fn total_bw(&self) -> f64 {
+        self.channel_bw * self.channels as f64
+    }
+
+    /// Usable bytes/cycle of one channel at kernel clock `f` — the min of the
+    /// 512-bit AXI bus and what the physical channel can sustain.
+    pub fn channel_bytes_per_cycle(&self, f_hz: f64, bus_bytes: usize) -> f64 {
+        (self.channel_bw / f_hz).min(bus_bytes as f64)
+    }
+}
+
+/// A complete FPGA accelerator card description.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FpgaDevice {
+    /// Human-readable name.
+    pub name: String,
+    /// Total DSP48 blocks (paper Table I: 8490 usable).
+    pub dsp_total: usize,
+    /// BRAM36 blocks (1487 × 36 Kb = 6.6 MB).
+    pub bram_blocks: usize,
+    /// Bytes per BRAM36 block (4.5 KiB).
+    pub bram_block_bytes: usize,
+    /// URAM blocks (960 × 288 Kb = 34.5 MB).
+    pub uram_blocks: usize,
+    /// Bytes per URAM block (36 KiB).
+    pub uram_block_bytes: usize,
+    /// Look-up tables (U280: ≈ 1.30 M usable).
+    pub lut_total: usize,
+    /// Flip-flops (U280: ≈ 2.61 M usable).
+    pub ff_total: usize,
+    /// Super Logic Regions on the die.
+    pub slr_count: usize,
+    /// High Bandwidth Memory stacks.
+    pub hbm: MemorySpec,
+    /// DDR4 external memory.
+    pub ddr4: MemorySpec,
+    /// Default HLS target clock (Hz).
+    pub default_clock_hz: f64,
+    /// AXI data bus width in bytes (512 bits = 64 B).
+    pub axi_bus_bytes: usize,
+    /// Maximum AXI burst size in bytes.
+    pub axi_burst_bytes: usize,
+    /// Per-transaction latency in cycles ("about 14 clock cycles" on the
+    /// U280, §IV-A) — what strided tile rows pay when requests cannot be
+    /// fully overlapped.
+    pub axi_latency_cycles: usize,
+    /// Request-issue gap per burst/row in cycles when requests *are*
+    /// pipelined. Calibrated ≈ 3 from the paper's measured bandwidth falloff
+    /// on narrow meshes (Table IV baseline column; see DESIGN.md §3.1).
+    pub axi_issue_gap_cycles: usize,
+    /// Residual host kernel-enqueue latency in seconds per pass. XRT
+    /// pipelines enqueues, so most of the ~9 µs raw enqueue cost overlaps
+    /// with execution; what remains unoverlapped (≈ 1.5 µs) plus the
+    /// compute-pipeline latency and per-row gaps reproduces the paper's
+    /// measured baseline bandwidth falloff on small meshes (Table IV).
+    pub host_call_latency_s: f64,
+    /// DSP utilization target for design synthesis (paper: 90 %).
+    pub dsp_util_target: f64,
+    /// Internal-memory utilization target (paper: 80–90 %).
+    pub mem_util_target: f64,
+}
+
+impl FpgaDevice {
+    /// The Xilinx Alveo U280 as specified in the paper's Table I.
+    pub fn u280() -> Self {
+        FpgaDevice {
+            name: "Xilinx Alveo U280".to_string(),
+            dsp_total: 8490,
+            bram_blocks: 1487,
+            bram_block_bytes: 36 * 1024 / 8,
+            uram_blocks: 960,
+            uram_block_bytes: 288 * 1024 / 8,
+            lut_total: 1_304_000,
+            ff_total: 2_607_000,
+            slr_count: 3,
+            hbm: MemorySpec {
+                bytes: 8 << 30,
+                channels: 32,
+                channel_bw: 460.0e9 / 32.0,
+            },
+            ddr4: MemorySpec {
+                bytes: 32 << 30,
+                channels: 2,
+                channel_bw: 38.4e9 / 2.0,
+            },
+            default_clock_hz: 300.0e6,
+            axi_bus_bytes: 64,
+            axi_burst_bytes: 4096,
+            axi_latency_cycles: 14,
+            axi_issue_gap_cycles: 3,
+            host_call_latency_s: 1.5e-6,
+            dsp_util_target: 0.90,
+            mem_util_target: 0.85,
+        }
+    }
+
+    /// Total on-chip memory bytes (BRAM + URAM) — the paper's `FPGA_mem`.
+    pub fn internal_mem_bytes(&self) -> usize {
+        self.bram_blocks * self.bram_block_bytes + self.uram_blocks * self.uram_block_bytes
+    }
+
+    /// A hypothetical next-generation card with twice the U280's on-chip
+    /// memory and DSPs, used to explore the paper's §V-C future-work RTM
+    /// tiling ("we leave this to future work"). See
+    /// `exec3d::rtm_tiling_future_work`: the paper's own `p = 4, M = 96`
+    /// turns out structurally impossible for the fused pipeline (the halo is
+    /// `p·stages·D/2 = 128 > 96`); `p = 1` fits the real U280 and `p = 2`
+    /// fits this 2× device.
+    pub fn hypothetical_2x() -> Self {
+        let base = Self::u280();
+        FpgaDevice {
+            name: "Hypothetical 2× U280".to_string(),
+            dsp_total: base.dsp_total * 2,
+            bram_blocks: base.bram_blocks * 2,
+            uram_blocks: base.uram_blocks * 2,
+            slr_count: 4,
+            ..base
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u280_matches_paper_table1() {
+        let d = FpgaDevice::u280();
+        assert_eq!(d.dsp_total, 8490);
+        assert_eq!(d.slr_count, 3);
+        // 6.6 MB BRAM
+        let bram_mb = (d.bram_blocks * d.bram_block_bytes) as f64 / 1e6;
+        assert!((bram_mb - 6.6).abs() < 0.3, "BRAM = {bram_mb} MB");
+        // 34.5 MB URAM
+        let uram_mb = (d.uram_blocks * d.uram_block_bytes) as f64 / 1e6;
+        assert!((uram_mb - 34.5).abs() < 1.0, "URAM = {uram_mb} MB");
+        // 460 GB/s HBM, 38.4 GB/s DDR4
+        assert!((d.hbm.total_bw() - 460.0e9).abs() < 1e9);
+        assert!((d.ddr4.total_bw() - 38.4e9).abs() < 1e8);
+        assert_eq!(d.hbm.channels, 32);
+        assert_eq!(d.ddr4.channels, 2);
+    }
+
+    #[test]
+    fn channel_bytes_per_cycle_capped_by_bus() {
+        let d = FpgaDevice::u280();
+        // HBM channel: 14.375 GB/s at 250 MHz = 57.5 B/cycle < 64 B bus
+        let b = d.hbm.channel_bytes_per_cycle(250e6, d.axi_bus_bytes);
+        assert!((b - 57.5).abs() < 0.1, "got {b}");
+        // at very low clock the AXI bus is the cap
+        let b2 = d.hbm.channel_bytes_per_cycle(100e6, d.axi_bus_bytes);
+        assert_eq!(b2, 64.0);
+    }
+
+    #[test]
+    fn internal_mem_is_about_41mb() {
+        let d = FpgaDevice::u280();
+        // 1487 × 4.5 KiB + 960 × 36 KiB = 42.2 MB (paper rounds to 41.1 MB)
+        let mb = d.internal_mem_bytes() as f64 / 1e6;
+        assert!((mb - 42.2).abs() < 1.5, "internal mem = {mb} MB");
+    }
+}

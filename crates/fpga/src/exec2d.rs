@@ -1,0 +1,361 @@
+//! 2D executors: baseline, batched and tiled execution of a synthesized
+//! design, producing both the numeric result (bit-exact vs the golden
+//! reference) and a [`SimReport`].
+//!
+//! * [`simulate_2d`] — streams every cell through the window-buffer chain
+//!   (use for validation-scale workloads).
+//! * [`estimate_2d`] — timing/power only, for paper-scale workloads
+//!   (60 000 iterations on 400×400 meshes would be pointless to stream
+//!   cell by cell — the cycle plan is closed-form and exact either way).
+
+use crate::cycles;
+use crate::design::{ExecMode, StencilDesign, Workload};
+use crate::device::FpgaDevice;
+use crate::power;
+use crate::report::SimReport;
+use crate::window::run_chain_2d;
+use sf_kernels::StencilOp2D;
+use sf_mesh::{Batch2D, Element, Mesh2D, TileGrid1D};
+
+/// Timing/power estimate for a workload without executing the numerics.
+pub fn estimate_2d(dev: &FpgaDevice, design: &StencilDesign, wl: &Workload, niter: u64) -> SimReport {
+    assert!(matches!(wl, Workload::D2 { .. }), "2D estimator needs a 2D workload");
+    let plan = cycles::plan(dev, design, wl, niter);
+    SimReport::from_plan(design, &plan, niter, power::fpga_power_w(dev, design))
+}
+
+/// Execute `niter` iterations of `stages_per_iter` on a (batch of) 2D
+/// mesh(es) through the design's dataflow pipeline. Returns the result and
+/// the report.
+///
+/// ```
+/// use sf_fpga::design::{synthesize, ExecMode, MemKind, Workload};
+/// use sf_fpga::{exec2d, FpgaDevice};
+/// use sf_kernels::{reference, Poisson2D, StencilSpec};
+/// use sf_mesh::{norms, Mesh2D};
+///
+/// let dev = FpgaDevice::u280();
+/// let wl = Workload::D2 { nx: 40, ny: 20, batch: 1 };
+/// let ds = synthesize(&dev, &StencilSpec::poisson(), 8, 4,
+///                     ExecMode::Baseline, MemKind::Hbm, &wl).unwrap();
+/// let m = Mesh2D::<f32>::random(40, 20, 1, -1.0, 1.0);
+/// let (out, report) = exec2d::simulate_mesh_2d(&dev, &ds, &[Poisson2D], &m, 8);
+/// // bit-exact against the golden reference
+/// let golden = reference::run_2d(&Poisson2D, &m, 8);
+/// assert!(norms::bit_equal(out.as_slice(), golden.as_slice()));
+/// assert!(report.total_cycles > 0);
+/// ```
+///
+/// # Panics
+/// Panics if the design mode disagrees with the input batch (e.g. a
+/// `Batched{b}` design fed a different batch size, or a tiled design fed a
+/// batch).
+pub fn simulate_2d<T: Element, K: StencilOp2D<T> + Clone>(
+    dev: &FpgaDevice,
+    design: &StencilDesign,
+    stages_per_iter: &[K],
+    input: &Batch2D<T>,
+    niter: usize,
+) -> (Batch2D<T>, SimReport) {
+    assert!(niter > 0, "niter must be positive");
+    assert_eq!(
+        stages_per_iter.len(),
+        design.spec.stages,
+        "stage count must match the design's spec"
+    );
+    let (nx, ny, b) = (input.nx(), input.ny(), input.batch());
+    match design.mode {
+        ExecMode::Baseline => assert_eq!(b, 1, "baseline design runs one mesh"),
+        ExecMode::Batched { b: db } => assert_eq!(b, db, "batch size mismatch"),
+        ExecMode::Tiled1D { .. } => assert_eq!(b, 1, "tiled design runs one mesh"),
+        ExecMode::Tiled2D { .. } => panic!("Tiled2D is a 3D mode"),
+    }
+    let wl = Workload::D2 { nx, ny, batch: b };
+
+    let mut cur = input.clone();
+    let mut remaining = niter;
+    while remaining > 0 {
+        let p_eff = design.p.min(remaining);
+        let chain: Vec<K> = (0..p_eff)
+            .flat_map(|_| stages_per_iter.iter().cloned())
+            .collect();
+        cur = match design.mode {
+            ExecMode::Tiled1D { tile_m } => {
+                let mesh = cur.mesh(0);
+                let out = tiled_pass_2d(design, &chain, &mesh, tile_m);
+                Batch2D::from_meshes(&[out])
+            }
+            _ => {
+                let rows = cur.as_slice().chunks(nx).map(|r| r.to_vec());
+                let out_rows = run_chain_2d(&chain, nx, b * ny, ny, rows);
+                let mut out = Batch2D::<T>::zeros(nx, ny, b);
+                for (gy, row) in out_rows.into_iter().enumerate() {
+                    out.as_mut_slice()[gy * nx..(gy + 1) * nx].copy_from_slice(&row);
+                }
+                out
+            }
+        };
+        remaining -= p_eff;
+    }
+
+    let plan = cycles::plan(dev, design, &wl, niter as u64);
+    let report = SimReport::from_plan(design, &plan, niter as u64, power::fpga_power_w(dev, design));
+    (cur, report)
+}
+
+/// Convenience wrapper for single-mesh simulation.
+pub fn simulate_mesh_2d<T: Element, K: StencilOp2D<T> + Clone>(
+    dev: &FpgaDevice,
+    design: &StencilDesign,
+    stages_per_iter: &[K],
+    input: &Mesh2D<T>,
+    niter: usize,
+) -> (Mesh2D<T>, SimReport) {
+    let batch = Batch2D::from_meshes(std::slice::from_ref(input));
+    let (out, rep) = simulate_2d(dev, design, stages_per_iter, &batch, niter);
+    (out.mesh(0), rep)
+}
+
+/// One spatially-blocked pass (`chain.len()` chained iterations) over a 2D
+/// mesh: every tile is streamed through the pipeline against the pass-start
+/// mesh, and only its valid columns are written back — exactly the paper's
+/// overlapped-block scheme.
+fn tiled_pass_2d<T: Element, K: StencilOp2D<T> + Clone>(
+    design: &StencilDesign,
+    chain: &[K],
+    mesh: &Mesh2D<T>,
+    tile_m: usize,
+) -> Mesh2D<T> {
+    let (nx, ny) = (mesh.nx(), mesh.ny());
+    // halo sized for the full design depth p (covers shorter final passes too)
+    let halo = design.p * design.spec.halo_order() / 2;
+    let align = (64 / design.spec.elem_bytes).max(1);
+    let grid = TileGrid1D::new(nx, tile_m, halo, align);
+    let mut out = Mesh2D::<T>::zeros(nx, ny);
+    for t in grid.tiles() {
+        let rows = (0..ny).map(|y| {
+            let s = y * nx + t.read_start;
+            mesh.as_slice()[s..s + t.read_len].to_vec()
+        });
+        let tile_rows = run_chain_2d(chain, t.read_len, ny, ny, rows);
+        let off = t.valid_offset();
+        for (y, row) in tile_rows.into_iter().enumerate() {
+            let dst = y * nx + t.valid_start;
+            out.as_mut_slice()[dst..dst + t.valid_len]
+                .copy_from_slice(&row[off..off + t.valid_len]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::{synthesize, MemKind};
+    use sf_kernels::{reference, Poisson2D, StencilSpec};
+    use sf_mesh::norms;
+
+    fn dev() -> FpgaDevice {
+        FpgaDevice::u280()
+    }
+
+    fn design(wl: &Workload, v: usize, p: usize, mode: ExecMode) -> StencilDesign {
+        synthesize(&dev(), &StencilSpec::poisson(), v, p, mode, MemKind::Hbm, wl).unwrap()
+    }
+
+    #[test]
+    fn baseline_bit_exact_vs_reference() {
+        let m = Mesh2D::<f32>::random(40, 24, 7, -1.0, 1.0);
+        let wl = Workload::D2 { nx: 40, ny: 24, batch: 1 };
+        let ds = design(&wl, 8, 4, ExecMode::Baseline);
+        let (out, rep) = simulate_mesh_2d(&dev(), &ds, &[Poisson2D], &m, 12);
+        let expect = reference::run_2d(&Poisson2D, &m, 12);
+        assert!(norms::bit_equal(out.as_slice(), expect.as_slice()));
+        assert!(rep.runtime_s > 0.0);
+        assert_eq!(rep.passes, 3);
+    }
+
+    #[test]
+    fn baseline_handles_non_multiple_iters() {
+        let m = Mesh2D::<f32>::random(32, 16, 3, -1.0, 1.0);
+        let wl = Workload::D2 { nx: 32, ny: 16, batch: 1 };
+        let ds = design(&wl, 8, 5, ExecMode::Baseline);
+        let (out, rep) = simulate_mesh_2d(&dev(), &ds, &[Poisson2D], &m, 7);
+        let expect = reference::run_2d(&Poisson2D, &m, 7);
+        assert!(norms::bit_equal(out.as_slice(), expect.as_slice()));
+        assert_eq!(rep.passes, 2);
+    }
+
+    #[test]
+    fn batched_bit_exact_vs_independent_solves() {
+        let batch = Batch2D::<f32>::random(24, 12, 5, 11, -1.0, 1.0);
+        let wl = Workload::D2 { nx: 24, ny: 12, batch: 5 };
+        let ds = design(&wl, 8, 6, ExecMode::Batched { b: 5 });
+        let (out, _) = simulate_2d(&dev(), &ds, &[Poisson2D], &batch, 9);
+        let expect = reference::run_batch_2d(&Poisson2D, &batch, 9);
+        assert!(norms::bit_equal(out.as_slice(), expect.as_slice()));
+    }
+
+    #[test]
+    fn tiled_bit_exact_vs_reference() {
+        // tile width 64 with halo p·D/2 = 8 → several overlapping tiles
+        let m = Mesh2D::<f32>::random(200, 30, 13, -1.0, 1.0);
+        let wl = Workload::D2 { nx: 200, ny: 30, batch: 1 };
+        let ds = design(&wl, 8, 8, ExecMode::Tiled1D { tile_m: 64 });
+        let (out, rep) = simulate_mesh_2d(&dev(), &ds, &[Poisson2D], &m, 16);
+        let expect = reference::run_2d(&Poisson2D, &m, 16);
+        assert!(
+            norms::bit_equal(out.as_slice(), expect.as_slice()),
+            "first mismatch: {:?}",
+            norms::first_mismatch(out.as_slice(), expect.as_slice())
+        );
+        assert_eq!(rep.passes, 2);
+    }
+
+    #[test]
+    fn tiled_partial_final_pass_still_exact() {
+        let m = Mesh2D::<f32>::random(150, 20, 17, -1.0, 1.0);
+        let wl = Workload::D2 { nx: 150, ny: 20, batch: 1 };
+        let ds = design(&wl, 8, 6, ExecMode::Tiled1D { tile_m: 48 });
+        let (out, _) = simulate_mesh_2d(&dev(), &ds, &[Poisson2D], &m, 8); // 6 + 2
+        let expect = reference::run_2d(&Poisson2D, &m, 8);
+        assert!(norms::bit_equal(out.as_slice(), expect.as_slice()));
+    }
+
+    #[test]
+    fn estimate_matches_simulate_timing() {
+        let m = Mesh2D::<f32>::random(64, 32, 1, 0.0, 1.0);
+        let wl = Workload::D2 { nx: 64, ny: 32, batch: 1 };
+        let ds = design(&wl, 8, 4, ExecMode::Baseline);
+        let (_, sim) = simulate_mesh_2d(&dev(), &ds, &[Poisson2D], &m, 8);
+        let est = estimate_2d(&dev(), &ds, &wl, 8);
+        assert_eq!(sim.total_cycles, est.total_cycles);
+        assert_eq!(sim.runtime_s, est.runtime_s);
+        assert_eq!(sim.energy_j, est.energy_j);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size mismatch")]
+    fn batch_size_checked() {
+        let batch = Batch2D::<f32>::zeros(16, 8, 3);
+        let wl = Workload::D2 { nx: 16, ny: 8, batch: 4 };
+        let ds = design(&wl, 8, 2, ExecMode::Batched { b: 4 });
+        let _ = simulate_2d(&dev(), &ds, &[Poisson2D], &batch, 2);
+    }
+}
+
+#[cfg(test)]
+mod multistage_2d_tests {
+    //! Fused multi-stage 2D pipelines ("multiple stencil loops" in 2D) —
+    //! the wave2d kick/drift pair through every execution mode.
+
+    use super::*;
+    use crate::design::{synthesize, MemKind};
+    use sf_kernels::wave2d::{self, WaveParams};
+    use sf_kernels::reference;
+    use sf_mesh::norms;
+
+    fn dev() -> FpgaDevice {
+        FpgaDevice::u280()
+    }
+
+    /// Build the per-iteration stage list as trait objects are not possible —
+    /// use an enum wrapper so one chain type holds both stages.
+    #[derive(Copy, Clone)]
+    enum WaveStage {
+        Kick(wave2d::WaveKick),
+        Drift(wave2d::WaveDrift),
+    }
+
+    impl sf_kernels::StencilOp2D<wave2d::WaveState> for WaveStage {
+        fn radius(&self) -> usize {
+            match self {
+                WaveStage::Kick(k) => k.radius(),
+                WaveStage::Drift(d) => d.radius(),
+            }
+        }
+
+        fn apply<F: Fn(i32, i32) -> wave2d::WaveState>(&self, at: F) -> wave2d::WaveState {
+            match self {
+                WaveStage::Kick(k) => k.apply(at),
+                WaveStage::Drift(d) => d.apply(at),
+            }
+        }
+
+        fn on_boundary(&self, c: wave2d::WaveState) -> wave2d::WaveState {
+            match self {
+                WaveStage::Kick(k) => k.on_boundary(c),
+                WaveStage::Drift(d) => d.on_boundary(c),
+            }
+        }
+    }
+
+    fn stages() -> [WaveStage; 2] {
+        let (k, d) = wave2d::pipeline(WaveParams::default());
+        [WaveStage::Kick(k), WaveStage::Drift(d)]
+    }
+
+    #[test]
+    fn wave_baseline_bit_exact() {
+        let m = wave2d::standing_wave(30, 22);
+        let wl = Workload::D2 { nx: 30, ny: 22, batch: 1 };
+        let ds = synthesize(&dev(), &wave2d::spec(), 4, 3, ExecMode::Baseline, MemKind::Hbm, &wl)
+            .unwrap();
+        let (out, rep) = simulate_mesh_2d(&dev(), &ds, &stages(), &m, 8);
+        let expect = reference::run_stages_2d(&stages(), &m, 8);
+        assert!(
+            norms::bit_equal(out.as_slice(), expect.as_slice()),
+            "first mismatch: {:?}",
+            norms::first_mismatch(out.as_slice(), expect.as_slice())
+        );
+        assert_eq!(rep.passes, 3);
+    }
+
+    #[test]
+    fn wave_batched_bit_exact() {
+        let meshes: Vec<_> = (0..4)
+            .map(|i| {
+                let mut m = wave2d::standing_wave(20, 16);
+                let v = m.get(10, 8);
+                m.set(10, 8, sf_mesh::VecN::new([v.0[0] * (1.0 + i as f32 * 0.1), 0.0]));
+                m
+            })
+            .collect();
+        let batch = Batch2D::from_meshes(&meshes);
+        let wl = Workload::D2 { nx: 20, ny: 16, batch: 4 };
+        let ds = synthesize(&dev(), &wave2d::spec(), 4, 2, ExecMode::Batched { b: 4 }, MemKind::Hbm, &wl)
+            .unwrap();
+        let (out, _) = simulate_2d(&dev(), &ds, &stages(), &batch, 5);
+        for (i, m) in meshes.iter().enumerate() {
+            let solo = reference::run_stages_2d(&stages(), m, 5);
+            assert!(
+                norms::bit_equal(out.mesh(i).as_slice(), solo.as_slice()),
+                "mesh {i} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn wave_tiled_bit_exact() {
+        // halo = p · stages · D / 2 = 2·4/2... with p=2: 8 per side
+        let m = wave2d::standing_wave(160, 18);
+        let wl = Workload::D2 { nx: 160, ny: 18, batch: 1 };
+        let ds = synthesize(
+            &dev(),
+            &wave2d::spec(),
+            4,
+            2,
+            ExecMode::Tiled1D { tile_m: 48 },
+            MemKind::Hbm,
+            &wl,
+        )
+        .unwrap();
+        let (out, _) = simulate_mesh_2d(&dev(), &ds, &stages(), &m, 6);
+        let expect = reference::run_stages_2d(&stages(), &m, 6);
+        assert!(
+            norms::bit_equal(out.as_slice(), expect.as_slice()),
+            "first mismatch: {:?}",
+            norms::first_mismatch(out.as_slice(), expect.as_slice())
+        );
+    }
+}

@@ -1,0 +1,205 @@
+//! Stream FIFOs.
+//!
+//! §III: "A perfect data reuse path can be created by (1) using a
+//! First-In-First-Out (FIFO) buffer to fetch data from DDR4/HBM memory
+//! without interruption (allowing burst transfers)…". HLS dataflow designs
+//! also place FIFOs between chained kernels. This module provides:
+//!
+//! * [`Fifo`] — a bounded queue with backpressure semantics and occupancy
+//!   statistics (high-water mark, stall count), the behavioral element;
+//! * [`interstage_depth`] / [`fifo_brams`] — the sizing rules the design
+//!   synthesizer uses to charge FIFO BRAM.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Error returned when pushing into a full FIFO (backpressure).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Full;
+
+/// A bounded FIFO with occupancy statistics.
+#[derive(Clone, Debug)]
+pub struct Fifo<T> {
+    buf: VecDeque<T>,
+    capacity: usize,
+    high_water: usize,
+    stalls: u64,
+    total_pushes: u64,
+}
+
+impl<T> Fifo<T> {
+    /// Create a FIFO of the given capacity (> 0).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "FIFO capacity must be positive");
+        Fifo {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            high_water: 0,
+            stalls: 0,
+            total_pushes: 0,
+        }
+    }
+
+    /// Push one element; `Err(Full)` applies backpressure (and is counted).
+    pub fn try_push(&mut self, v: T) -> Result<(), Full> {
+        if self.buf.len() == self.capacity {
+            self.stalls += 1;
+            return Err(Full);
+        }
+        self.buf.push_back(v);
+        self.total_pushes += 1;
+        self.high_water = self.high_water.max(self.buf.len());
+        Ok(())
+    }
+
+    /// Pop the oldest element.
+    pub fn pop(&mut self) -> Option<T> {
+        self.buf.pop_front()
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// `true` when at capacity.
+    pub fn is_full(&self) -> bool {
+        self.buf.len() == self.capacity
+    }
+
+    /// Deepest occupancy observed — what the hardware FIFO must hold.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Rejected pushes (producer stalls).
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+
+    /// Accepted pushes.
+    pub fn total_pushes(&self) -> u64 {
+        self.total_pushes
+    }
+}
+
+/// Depth of the FIFO between two chained pipeline stages: two vector words
+/// of slack per AXI burst so a burst refill never stalls the consumer —
+/// `max(16, 2 · burst_bytes / (V · elem_bytes))` elements.
+pub fn interstage_depth(burst_bytes: usize, v: usize, elem_bytes: usize) -> usize {
+    (2 * burst_bytes / (v * elem_bytes).max(1)).max(16)
+}
+
+/// Statistics snapshot for reporting.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FifoStats {
+    /// Configured capacity.
+    pub capacity: usize,
+    /// High-water mark.
+    pub high_water: usize,
+    /// Producer stalls.
+    pub stalls: u64,
+}
+
+impl<T> Fifo<T> {
+    /// Snapshot the statistics.
+    pub fn stats(&self) -> FifoStats {
+        FifoStats {
+            capacity: self.capacity,
+            high_water: self.high_water,
+            stalls: self.stalls,
+        }
+    }
+}
+
+/// BRAM18/36 blocks for a design's stream FIFOs: one FIFO per chained stage
+/// boundary plus one read- and one write-side memory FIFO, each sized by
+/// [`interstage_depth`] and quantized to BRAM36.
+pub fn fifo_brams(
+    bram_block_bytes: usize,
+    burst_bytes: usize,
+    v: usize,
+    elem_bytes: usize,
+    chained_stages: usize,
+) -> usize {
+    let depth = interstage_depth(burst_bytes, v, elem_bytes);
+    let bytes = depth * v * elem_bytes;
+    let blocks_per_fifo = bytes.div_ceil(bram_block_bytes).max(1);
+    let n_fifos = chained_stages.saturating_sub(1) + 2;
+    blocks_per_fifo * n_fifos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_order() {
+        let mut f = Fifo::new(4);
+        for i in 0..4 {
+            f.try_push(i).unwrap();
+        }
+        assert!(f.is_full());
+        assert_eq!(f.try_push(9), Err(Full));
+        assert_eq!(f.stalls(), 1);
+        assert_eq!(f.pop(), Some(0));
+        assert_eq!(f.pop(), Some(1));
+        f.try_push(4).unwrap();
+        assert_eq!(f.pop(), Some(2));
+        assert_eq!(f.pop(), Some(3));
+        assert_eq!(f.pop(), Some(4));
+        assert_eq!(f.pop(), None);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut f = Fifo::new(8);
+        for i in 0..5 {
+            f.try_push(i).unwrap();
+        }
+        for _ in 0..5 {
+            f.pop();
+        }
+        for i in 0..3 {
+            f.try_push(i).unwrap();
+        }
+        assert_eq!(f.high_water(), 5);
+        assert_eq!(f.total_pushes(), 8);
+        let s = f.stats();
+        assert_eq!(s.capacity, 8);
+        assert_eq!(s.high_water, 5);
+        assert_eq!(s.stalls, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Fifo::<u8>::new(0);
+    }
+
+    #[test]
+    fn interstage_depth_sizing() {
+        // Poisson V=8: 2·4096/(8·4) = 256 elements
+        assert_eq!(interstage_depth(4096, 8, 4), 256);
+        // RTM V=1 packed 80 B: 2·4096/80 = 102
+        assert_eq!(interstage_depth(4096, 1, 80), 102);
+        // floor at 16
+        assert_eq!(interstage_depth(64, 64, 4), 16);
+    }
+
+    #[test]
+    fn fifo_bram_accounting() {
+        // Poisson p=60: 61 FIFOs of 256×32 B = 8 KiB → 2 BRAM36 each
+        let b = fifo_brams(4608, 4096, 8, 4, 60);
+        assert_eq!(b, 61 * 2);
+        // single-stage chain still needs the two memory-side FIFOs
+        let b1 = fifo_brams(4608, 4096, 8, 4, 1);
+        assert_eq!(b1, 2 * 2);
+    }
+}

@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! # sf-fpga — the U280 substrate: a behavioral + cycle-approximate FPGA
+//! dataflow simulator
+//!
+//! The paper synthesizes stencil accelerators with Vivado HLS and measures
+//! them on a Xilinx Alveo U280. This crate replaces that hardware path with
+//! a simulator that reproduces both *what* the accelerator computes and *how
+//! long* it takes, using the same mechanisms the paper's design relies on:
+//!
+//! * [`device`] — the U280 descriptor (Table I) plus the calibrated
+//!   micro-architectural constants (AXI latency/gap, host enqueue latency).
+//! * [`resources`] — the resource allocator: DSP accounting via `G_dsp`, and
+//!   window-buffer memory **quantized to BRAM36/URAM288 blocks per lane**,
+//!   which is what actually limits tile sizes on the real device.
+//! * [`clock`] — the routing-congestion frequency model: achievable clock
+//!   derated by DSP/memory utilization and unroll depth, calibrated to the
+//!   paper's Table II (Poisson p=60 → 250 MHz, Jacobi p=29 → 246 MHz,
+//!   RTM p=3 → 261 MHz).
+//! * [`axi`] — per-row/burst transfer timing: request-issue gaps, strided
+//!   run efficiency (`run/(run+gap)`), channel counts.
+//! * [`design`] — [`design::StencilDesign`]: a synthesized configuration
+//!   (`V`, `p`, execution mode, memory binding, achieved clock, resources),
+//!   produced by [`design::synthesize`].
+//! * [`window`] — genuine ring-buffer window buffers and streaming stage
+//!   processors: the behavioral heart of the simulator. Cells stream in
+//!   row-major order through chained stages exactly as the HLS dataflow
+//!   pipeline would, so results are bit-exact vs the golden reference.
+//! * [`cycles`] — the closed-form cycle model shared by the executor and the
+//!   estimator (and validated against the paper's equations in `sf-model`).
+//! * [`exec2d`]/[`exec3d`] — baseline / batched / tiled executors producing a
+//!   [`report::SimReport`]; `simulate_*` runs numerics + timing,
+//!   `estimate_*` produces timing only (for paper-scale workloads).
+//! * [`power`] — the xbutil-equivalent power/energy model.
+
+pub mod axi;
+pub mod clock;
+pub mod cycles;
+pub mod design;
+pub mod device;
+pub mod exec2d;
+pub mod exec3d;
+pub mod fifo;
+pub mod power;
+pub mod report;
+pub mod resources;
+pub mod slr;
+pub mod trace;
+pub mod window;
+
+pub use design::{ExecMode, MemKind, StencilDesign, SynthesisError};
+pub use device::{FpgaDevice, MemorySpec};
+pub use report::SimReport;
+pub use resources::ResourceUsage;

@@ -1,0 +1,169 @@
+//! Simulation reports: the quantities the paper's figures and tables plot.
+
+use crate::cycles::CyclePlan;
+use crate::design::{ExecMode, StencilDesign};
+use serde::{Deserialize, Serialize};
+use sf_kernels::AppId;
+
+/// Everything an experiment row needs: runtime, bandwidth, power, energy,
+/// throughput, and the design that produced them.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Application.
+    pub app: AppId,
+    /// Platform label ("U280 (sim)" / "V100 (model)").
+    pub platform: String,
+    /// Execution mode.
+    pub mode: ExecMode,
+    /// Vectorization factor.
+    pub v: usize,
+    /// Iterative unroll factor.
+    pub p: usize,
+    /// Achieved clock (MHz); 0 for non-FPGA platforms.
+    pub freq_mhz: f64,
+    /// Iterations solved.
+    pub niter: u64,
+    /// Kernel passes / launches.
+    pub passes: u64,
+    /// Total kernel cycles (0 for non-FPGA platforms).
+    pub total_cycles: u64,
+    /// Wall-clock runtime, seconds.
+    pub runtime_s: f64,
+    /// Reported bandwidth (paper convention), GB/s.
+    pub bandwidth_gbs: f64,
+    /// External memory read traffic, bytes.
+    pub ext_read_bytes: u64,
+    /// External memory write traffic, bytes.
+    pub ext_write_bytes: u64,
+    /// Average power, watts.
+    pub power_w: f64,
+    /// Energy, joules.
+    pub energy_j: f64,
+    /// Cell updates per second.
+    pub cells_per_sec: f64,
+    /// Delivered GFLOP/s.
+    pub gflops: f64,
+}
+
+impl SimReport {
+    /// Assemble a report from a design, its cycle plan and average power.
+    pub fn from_plan(design: &StencilDesign, plan: &CyclePlan, niter: u64, power_w: f64) -> Self {
+        let runtime = plan.runtime_s;
+        SimReport {
+            app: design.spec.app,
+            platform: "U280 (sim)".to_string(),
+            mode: design.mode,
+            v: design.v,
+            p: design.p,
+            freq_mhz: design.freq_hz / 1.0e6,
+            niter,
+            passes: plan.passes,
+            total_cycles: plan.total_cycles,
+            runtime_s: runtime,
+            bandwidth_gbs: plan.bandwidth_gbs(),
+            ext_read_bytes: plan.ext_read_bytes,
+            ext_write_bytes: plan.ext_write_bytes,
+            power_w,
+            energy_j: power_w * runtime,
+            cells_per_sec: plan.cells_per_sec(),
+            gflops: plan.cell_iters as f64 * design.spec.flops_per_cell() as f64
+                / runtime
+                / 1.0e9,
+        }
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} [{}] {:?}: {:.3} ms, {:.0} GB/s, {:.0} W, {:.3} kJ",
+            self.app,
+            self.platform,
+            self.mode,
+            self.runtime_s * 1e3,
+            self.bandwidth_gbs,
+            self.power_w,
+            self.energy_j / 1e3,
+        )
+    }
+}
+
+/// A Vivado-style post-"synthesis" utilization report for a design.
+pub fn utilization_report(dev: &crate::device::FpgaDevice, design: &StencilDesign) -> String {
+    let u = &design.resources;
+    let mut s = String::new();
+    s.push_str(&format!(
+        "┌─ {} — V={} p={} {:?} ({:?})\n",
+        design.spec.app, design.v, design.p, design.mode, design.mem
+    ));
+    s.push_str(&format!(
+        "│ clock     : {:.0} MHz (target {:.0})\n",
+        design.freq_hz / 1e6,
+        dev.default_clock_hz / 1e6
+    ));
+    let line = |name: &str, used: usize, avail: usize| {
+        format!("│ {name:<10}: {used:>6} / {avail:<6} ({:>5.1} %)\n", used as f64 / avail as f64 * 100.0)
+    };
+    s.push_str(&line("DSP48", u.dsp, dev.dsp_total));
+    s.push_str(&line("BRAM36", u.bram_blocks, dev.bram_blocks));
+    s.push_str(&line("URAM288", u.uram_blocks, dev.uram_blocks));
+    s.push_str(&line("LUT est.", u.luts, dev.lut_total));
+    s.push_str(&line("FF est.", u.ffs, dev.ff_total));
+    s.push_str(&format!(
+        "│ channels  : {} read + {} write ({:?})\n",
+        design.read_channels, design.write_channels, design.mem
+    ));
+    let occ = design.placement.occupancy(dev.slr_count);
+    s.push_str(&format!(
+        "│ SLR       : modules {:?}, {} crossing(s), {} spanning\n",
+        occ, design.placement.crossings, design.placement.spanning_modules
+    ));
+    s.push_str(&format!(
+        "└ window    : {:.2} MB payload, pipeline latency {} cycles\n",
+        u.window_bytes as f64 / 1e6,
+        design.pipeline_latency_cycles
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycles;
+    use crate::design::{synthesize, MemKind, Workload};
+    use crate::device::FpgaDevice;
+    use sf_kernels::StencilSpec;
+
+    #[test]
+    fn report_fields_consistent() {
+        let d = FpgaDevice::u280();
+        let wl = Workload::D2 { nx: 200, ny: 200, batch: 1 };
+        let ds =
+            synthesize(&d, &StencilSpec::poisson(), 8, 60, ExecMode::Baseline, MemKind::Hbm, &wl)
+                .unwrap();
+        let plan = cycles::plan(&d, &ds, &wl, 6000);
+        let rep = SimReport::from_plan(&ds, &plan, 6000, 70.0);
+        assert_eq!(rep.app, AppId::Poisson2D);
+        assert!((rep.energy_j - 70.0 * rep.runtime_s).abs() < 1e-9);
+        assert!(rep.bandwidth_gbs > 0.0);
+        assert!(rep.gflops > 0.0);
+        // 6 flops/cell at 8 B/cell → gflops = bw/8*6
+        let expect = rep.bandwidth_gbs / 8.0 * 6.0;
+        assert!((rep.gflops - expect).abs() / expect < 1e-9);
+        assert!(!rep.summary().is_empty());
+    }
+
+    #[test]
+    fn utilization_report_renders() {
+        let d = FpgaDevice::u280();
+        let wl = Workload::D2 { nx: 400, ny: 400, batch: 1 };
+        let ds =
+            synthesize(&d, &StencilSpec::poisson(), 8, 60, ExecMode::Baseline, MemKind::Hbm, &wl)
+                .unwrap();
+        let r = utilization_report(&d, &ds);
+        assert!(r.contains("DSP48"));
+        assert!(r.contains("6720"));
+        assert!(r.contains("SLR"));
+        assert!(r.contains("crossing"));
+        assert!(r.contains("MHz"));
+    }
+}

@@ -1,0 +1,418 @@
+//! Window buffers and streaming stage processors — the behavioral heart of
+//! the dataflow simulator.
+//!
+//! An HLS stencil pipeline streams the mesh in row-major order and keeps the
+//! last `D` rows (2D) or planes (3D) in on-chip cyclic buffers so every
+//! neighborhood read is served on-chip (Fig. 1 of the paper, "window
+//! buffers"). [`StageProcessor2D`]/[`StageProcessor3D`] implement exactly
+//! that: a ring of `2r+1` rows/planes; a stage emits output row `y` once
+//! input row `y+r` has arrived. Chaining `p × stages` processors reproduces
+//! the unrolled iterative pipeline of Fig. 2.
+//!
+//! The processors are *seam-aware* for batched execution: the stream may
+//! carry `B` stacked meshes, and a cell is only interior with respect to its
+//! own mesh (`mesh_extent`-periodic in the streaming dimension), so stencils
+//! never read across a batch seam.
+
+use sf_mesh::Element;
+use sf_kernels::{StencilOp2D, StencilOp3D};
+
+/// Fixed-capacity ring of stream units (rows or planes), addressable by
+/// absolute unit index.
+#[derive(Debug)]
+pub struct RingBuffer<T> {
+    slots: Vec<Vec<T>>,
+    capacity: usize,
+    /// Number of units pushed so far; unit `i` lives in slot `i % capacity`
+    /// while `i ≥ pushed − capacity`.
+    pushed: usize,
+}
+
+impl<T> RingBuffer<T> {
+    /// Create a ring holding up to `capacity` units.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        RingBuffer {
+            slots: Vec::with_capacity(capacity),
+            capacity,
+            pushed: 0,
+        }
+    }
+
+    /// Push the next unit (evicting the oldest once full).
+    pub fn push(&mut self, unit: Vec<T>) {
+        if self.slots.len() < self.capacity {
+            self.slots.push(unit);
+        } else {
+            self.slots[self.pushed % self.capacity] = unit;
+        }
+        self.pushed += 1;
+    }
+
+    /// Borrow unit `abs` (must still be resident).
+    pub fn get(&self, abs: usize) -> &[T] {
+        debug_assert!(
+            abs < self.pushed && abs + self.capacity >= self.pushed,
+            "unit {abs} evicted (pushed {}, capacity {})",
+            self.pushed,
+            self.capacity
+        );
+        &self.slots[abs % self.capacity]
+    }
+
+    /// Units pushed so far.
+    pub fn pushed(&self) -> usize {
+        self.pushed
+    }
+}
+
+/// One pipeline stage streaming rows of a (possibly batched) 2D mesh.
+pub struct StageProcessor2D<T: Element, K: StencilOp2D<T>> {
+    k: K,
+    nx: usize,
+    stream_rows: usize,
+    /// Rows per independent mesh in the stream (seam period).
+    mesh_ny: usize,
+    r: usize,
+    ring: RingBuffer<T>,
+    next_out: usize,
+}
+
+impl<T: Element, K: StencilOp2D<T>> StageProcessor2D<T, K> {
+    /// Create a processor for a stream of `stream_rows` rows of `nx` cells,
+    /// where every `mesh_ny` rows form an independent mesh.
+    pub fn new(k: K, nx: usize, stream_rows: usize, mesh_ny: usize) -> Self {
+        assert!(stream_rows.is_multiple_of(mesh_ny), "stream must be whole meshes");
+        let r = k.radius();
+        StageProcessor2D {
+            k,
+            nx,
+            stream_rows,
+            mesh_ny,
+            r,
+            ring: RingBuffer::new(2 * r + 1),
+            next_out: 0,
+        }
+    }
+
+    fn emit(&mut self, y: usize) -> Vec<T> {
+        let (nx, r) = (self.nx, self.r);
+        let ly = y % self.mesh_ny;
+        let y_interior = ly >= r && ly + r < self.mesh_ny;
+        let mut out = Vec::with_capacity(nx);
+        for x in 0..nx {
+            let v = if y_interior && x >= r && x + r < nx {
+                self.k.apply(|dx, dy| {
+                    self.ring.get((y as i32 + dy) as usize)[(x as i32 + dx) as usize]
+                })
+            } else {
+                self.k.on_boundary(self.ring.get(y)[x])
+            };
+            out.push(v);
+        }
+        self.next_out = y + 1;
+        out
+    }
+
+    /// Feed the next input row; returns the output row that became ready
+    /// (none while the window is filling).
+    pub fn push_row(&mut self, row: Vec<T>) -> Option<Vec<T>> {
+        assert_eq!(row.len(), self.nx, "row width mismatch");
+        assert!(self.ring.pushed() < self.stream_rows, "stream overrun");
+        self.ring.push(row);
+        let j = self.ring.pushed() - 1;
+        if j >= self.r {
+            Some(self.emit(j - self.r))
+        } else {
+            None
+        }
+    }
+
+    /// After the last input row, drain the trailing `r` output rows.
+    pub fn finish(&mut self) -> Vec<Vec<T>> {
+        assert_eq!(self.ring.pushed(), self.stream_rows, "stream incomplete");
+        let mut out = Vec::new();
+        while self.next_out < self.stream_rows {
+            out.push(self.emit(self.next_out));
+        }
+        out
+    }
+}
+
+/// One pipeline stage streaming planes of a (possibly batched) 3D mesh.
+/// A plane is `nx × ny` cells, row-major.
+pub struct StageProcessor3D<T: Element, K: StencilOp3D<T>> {
+    k: K,
+    nx: usize,
+    ny: usize,
+    stream_planes: usize,
+    /// Planes per independent mesh in the stream (seam period).
+    mesh_nz: usize,
+    r: usize,
+    ring: RingBuffer<T>,
+    next_out: usize,
+}
+
+impl<T: Element, K: StencilOp3D<T>> StageProcessor3D<T, K> {
+    /// Create a processor for a stream of `stream_planes` planes of
+    /// `nx × ny` cells, `mesh_nz` planes per independent mesh.
+    pub fn new(k: K, nx: usize, ny: usize, stream_planes: usize, mesh_nz: usize) -> Self {
+        assert!(stream_planes.is_multiple_of(mesh_nz), "stream must be whole meshes");
+        let r = k.radius();
+        StageProcessor3D {
+            k,
+            nx,
+            ny,
+            stream_planes,
+            mesh_nz,
+            r,
+            ring: RingBuffer::new(2 * r + 1),
+            next_out: 0,
+        }
+    }
+
+    fn emit(&mut self, z: usize) -> Vec<T> {
+        let (nx, ny, r) = (self.nx, self.ny, self.r);
+        let lz = z % self.mesh_nz;
+        let z_interior = lz >= r && lz + r < self.mesh_nz;
+        let mut out = Vec::with_capacity(nx * ny);
+        for y in 0..ny {
+            let y_interior = y >= r && y + r < ny;
+            for x in 0..nx {
+                let v = if z_interior && y_interior && x >= r && x + r < nx {
+                    self.k.apply(|dx, dy, dz| {
+                        let plane = self.ring.get((z as i32 + dz) as usize);
+                        plane[((y as i32 + dy) as usize) * nx + (x as i32 + dx) as usize]
+                    })
+                } else {
+                    self.k.on_boundary(self.ring.get(z)[y * nx + x])
+                };
+                out.push(v);
+            }
+        }
+        self.next_out = z + 1;
+        out
+    }
+
+    /// Feed the next plane; returns the output plane that became ready.
+    pub fn push_plane(&mut self, plane: Vec<T>) -> Option<Vec<T>> {
+        assert_eq!(plane.len(), self.nx * self.ny, "plane size mismatch");
+        assert!(self.ring.pushed() < self.stream_planes, "stream overrun");
+        self.ring.push(plane);
+        let j = self.ring.pushed() - 1;
+        if j >= self.r {
+            Some(self.emit(j - self.r))
+        } else {
+            None
+        }
+    }
+
+    /// Drain the trailing `r` planes.
+    pub fn finish(&mut self) -> Vec<Vec<T>> {
+        assert_eq!(self.ring.pushed(), self.stream_planes, "stream incomplete");
+        let mut out = Vec::new();
+        while self.next_out < self.stream_planes {
+            out.push(self.emit(self.next_out));
+        }
+        out
+    }
+}
+
+/// Stream a row iterator through a chain of 2D stages (the unrolled pipeline
+/// of Fig. 2) and collect the final output rows.
+pub fn run_chain_2d<T: Element, K: StencilOp2D<T> + Clone>(
+    chain: &[K],
+    nx: usize,
+    stream_rows: usize,
+    mesh_ny: usize,
+    rows: impl Iterator<Item = Vec<T>>,
+) -> Vec<Vec<T>> {
+    let mut procs: Vec<StageProcessor2D<T, K>> = chain
+        .iter()
+        .map(|k| StageProcessor2D::new(k.clone(), nx, stream_rows, mesh_ny))
+        .collect();
+    let mut out = Vec::with_capacity(stream_rows);
+
+    fn feed<T: Element, K: StencilOp2D<T>>(
+        procs: &mut [StageProcessor2D<T, K>],
+        row: Vec<T>,
+        out: &mut Vec<Vec<T>>,
+    ) {
+        match procs.split_first_mut() {
+            None => out.push(row),
+            Some((first, rest)) => {
+                if let Some(r) = first.push_row(row) {
+                    feed(rest, r, out);
+                }
+            }
+        }
+    }
+
+    for row in rows {
+        feed(&mut procs, row, &mut out);
+    }
+    // flush stage by stage, cascading trailing rows downstream
+    for i in 0..procs.len() {
+        let (head, tail) = procs.split_at_mut(i + 1);
+        for row in head[i].finish() {
+            feed(tail, row, &mut out);
+        }
+    }
+    assert_eq!(out.len(), stream_rows, "chain must emit the full stream");
+    out
+}
+
+/// Stream a plane iterator through a chain of 3D stages.
+pub fn run_chain_3d<T: Element, K: StencilOp3D<T> + Clone>(
+    chain: &[K],
+    nx: usize,
+    ny: usize,
+    stream_planes: usize,
+    mesh_nz: usize,
+    planes: impl Iterator<Item = Vec<T>>,
+) -> Vec<Vec<T>> {
+    let mut procs: Vec<StageProcessor3D<T, K>> = chain
+        .iter()
+        .map(|k| StageProcessor3D::new(k.clone(), nx, ny, stream_planes, mesh_nz))
+        .collect();
+    let mut out = Vec::with_capacity(stream_planes);
+
+    fn feed<T: Element, K: StencilOp3D<T>>(
+        procs: &mut [StageProcessor3D<T, K>],
+        plane: Vec<T>,
+        out: &mut Vec<Vec<T>>,
+    ) {
+        match procs.split_first_mut() {
+            None => out.push(plane),
+            Some((first, rest)) => {
+                if let Some(p) = first.push_plane(plane) {
+                    feed(rest, p, out);
+                }
+            }
+        }
+    }
+
+    for plane in planes {
+        feed(&mut procs, plane, &mut out);
+    }
+    for i in 0..procs.len() {
+        let (head, tail) = procs.split_at_mut(i + 1);
+        for plane in head[i].finish() {
+            feed(tail, plane, &mut out);
+        }
+    }
+    assert_eq!(out.len(), stream_planes, "chain must emit the full stream");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_kernels::{reference, Jacobi3D, Poisson2D};
+    use sf_mesh::{norms, Batch2D, Mesh2D, Mesh3D};
+
+    #[test]
+    fn ring_buffer_eviction_and_access() {
+        let mut r = RingBuffer::<f32>::new(3);
+        for i in 0..5 {
+            r.push(vec![i as f32]);
+        }
+        assert_eq!(r.pushed(), 5);
+        assert_eq!(r.get(2), &[2.0]);
+        assert_eq!(r.get(4), &[4.0]);
+    }
+
+    #[test]
+    fn single_stage_equals_reference_step() {
+        let m = Mesh2D::<f32>::random(17, 9, 3, -1.0, 1.0);
+        let rows = run_chain_2d(
+            &[Poisson2D],
+            17,
+            9,
+            9,
+            m.as_slice().chunks(17).map(|r| r.to_vec()),
+        );
+        let expect = reference::step_2d(&Poisson2D, &m);
+        let got: Vec<f32> = rows.into_iter().flatten().collect();
+        assert!(norms::bit_equal(&got, expect.as_slice()));
+    }
+
+    #[test]
+    fn chained_stages_equal_iterated_reference() {
+        let m = Mesh2D::<f32>::random(21, 13, 4, -1.0, 1.0);
+        let chain = vec![Poisson2D; 5];
+        let rows = run_chain_2d(
+            &chain,
+            21,
+            13,
+            13,
+            m.as_slice().chunks(21).map(|r| r.to_vec()),
+        );
+        let expect = reference::run_2d(&Poisson2D, &m, 5);
+        let got: Vec<f32> = rows.into_iter().flatten().collect();
+        assert!(norms::bit_equal(&got, expect.as_slice()));
+    }
+
+    #[test]
+    fn batched_stream_respects_seams() {
+        // 3 stacked meshes must come out exactly as 3 independent solves
+        let batch = Batch2D::<f32>::random(11, 7, 3, 9, -1.0, 1.0);
+        let chain = vec![Poisson2D; 4];
+        let rows = run_chain_2d(
+            &chain,
+            11,
+            21,
+            7, // seam period = per-mesh rows
+            batch.as_slice().chunks(11).map(|r| r.to_vec()),
+        );
+        let got: Vec<f32> = rows.into_iter().flatten().collect();
+        let expect = reference::run_batch_2d(&Poisson2D, &batch, 4);
+        assert!(norms::bit_equal(&got, expect.as_slice()));
+    }
+
+    #[test]
+    fn chain_3d_equals_reference() {
+        let m = Mesh3D::<f32>::random(9, 8, 7, 5, -1.0, 1.0);
+        let k = Jacobi3D::smoothing();
+        let chain = vec![k; 3];
+        let planes = run_chain_3d(
+            &chain,
+            9,
+            8,
+            7,
+            7,
+            m.as_slice().chunks(72).map(|p| p.to_vec()),
+        );
+        let got: Vec<f32> = planes.into_iter().flatten().collect();
+        let expect = reference::run_3d(&k, &m, 3);
+        assert!(norms::bit_equal(&got, expect.as_slice()));
+    }
+
+    #[test]
+    fn tiny_mesh_all_boundary() {
+        // 2×2 mesh with radius-1 stencil: everything is boundary
+        let m = Mesh2D::<f32>::random(2, 2, 1, 0.0, 1.0);
+        let rows = run_chain_2d(
+            &[Poisson2D],
+            2,
+            2,
+            2,
+            m.as_slice().chunks(2).map(|r| r.to_vec()),
+        );
+        let got: Vec<f32> = rows.into_iter().flatten().collect();
+        assert!(norms::bit_equal(&got, m.as_slice()));
+    }
+
+    #[test]
+    #[should_panic(expected = "stream must be whole meshes")]
+    fn seam_period_must_divide_stream() {
+        let _ = StageProcessor2D::new(Poisson2D, 4, 10, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut p = StageProcessor2D::new(Poisson2D, 4, 4, 4);
+        let _ = p.push_row(vec![0.0; 5]);
+    }
+}

@@ -1,0 +1,138 @@
+//! Behavioral tests for the V100 performance model: monotonicity,
+//! saturation, batching behaviour, and its calibration against every GPU
+//! cell the paper publishes.
+
+use sf_fpga::design::Workload;
+use sf_gpu::{gpu_report, GpuDevice};
+use sf_kernels::StencilSpec;
+
+fn v100() -> GpuDevice {
+    GpuDevice::v100()
+}
+
+#[test]
+fn runtime_scales_linearly_with_iterations() {
+    let wl = Workload::D2 { nx: 300, ny: 300, batch: 1 };
+    let r1 = gpu_report(&v100(), &StencilSpec::poisson(), &wl, 1000);
+    let r2 = gpu_report(&v100(), &StencilSpec::poisson(), &wl, 2000);
+    assert!((r2.runtime_s / r1.runtime_s - 2.0).abs() < 1e-9);
+    assert!((r2.bandwidth_gbs - r1.bandwidth_gbs).abs() < 1e-9);
+}
+
+#[test]
+fn bandwidth_monotone_in_mesh_size_2d() {
+    let mut last = 0.0;
+    for n in [50usize, 100, 200, 400, 800, 1600] {
+        let wl = Workload::D2 { nx: n, ny: n, batch: 1 };
+        let r = gpu_report(&v100(), &StencilSpec::poisson(), &wl, 100);
+        assert!(r.bandwidth_gbs > last, "{n}: {} after {last}", r.bandwidth_gbs);
+        last = r.bandwidth_gbs;
+    }
+    assert!(last < 580.0, "2D bandwidth must stay under the stencil peak");
+}
+
+#[test]
+fn droop_hits_only_large_3d_meshes() {
+    let g = v100();
+    // 2D never droops
+    assert_eq!(g.droop_3d(2, 4.0e9), 1.0);
+    // small 3D barely droops
+    assert!(g.droop_3d(3, 10.0e6) > 0.99);
+    // 600³ (1.73 GB footprint) droops to the paper's tiled numbers
+    let d = g.droop_3d(3, 1.728e9);
+    assert!((0.6..0.75).contains(&d), "droop {d}");
+}
+
+#[test]
+fn batching_improves_throughput_until_saturation() {
+    let mut last = 0.0;
+    for b in [1usize, 10, 100, 1000] {
+        let wl = Workload::D2 { nx: 200, ny: 100, batch: b };
+        let r = gpu_report(&v100(), &StencilSpec::poisson(), &wl, 1000);
+        assert!(r.cells_per_sec > last, "batch {b}");
+        last = r.cells_per_sec;
+    }
+}
+
+#[test]
+fn calibration_against_every_published_gpu_cell() {
+    // every GPU bandwidth the paper prints, within a 1.4× band
+    let g = v100();
+    let mut worst: (f64, String) = (1.0, String::new());
+    let mut check = |modeled: f64, paper: f64, label: String| {
+        let r = (modeled / paper).max(paper / modeled);
+        if r > worst.0 {
+            worst = (r, label.clone());
+        }
+        assert!(r < 1.4, "{label}: modeled {modeled:.0} vs paper {paper:.0}");
+    };
+
+    // Table IV baseline + batched
+    let t4: [(usize, usize, f64, f64, Option<f64>); 6] = [
+        (200, 100, 18.0, 404.0, Some(530.0)),
+        (200, 200, 32.0, 465.0, Some(540.0)),
+        (300, 150, 38.0, 483.0, Some(560.0)),
+        (300, 300, 69.0, 530.0, None),
+        (400, 200, 62.0, 536.0, None),
+        (400, 400, 116.0, 560.0, None),
+    ];
+    for (nx, ny, base, b100, b1000) in t4 {
+        let spec = StencilSpec::poisson();
+        let r = gpu_report(&g, &spec, &Workload::D2 { nx, ny, batch: 1 }, 60_000);
+        check(r.bandwidth_gbs, base, format!("poisson {nx}x{ny} base"));
+        let r = gpu_report(&g, &spec, &Workload::D2 { nx, ny, batch: 100 }, 60_000);
+        check(r.bandwidth_gbs, b100, format!("poisson {nx}x{ny} 100B"));
+        if let Some(p) = b1000 {
+            let r = gpu_report(&g, &spec, &Workload::D2 { nx, ny, batch: 1000 }, 60_000);
+            check(r.bandwidth_gbs, p, format!("poisson {nx}x{ny} 1000B"));
+        }
+    }
+
+    // Table V baseline + tiled-mesh shapes
+    for (n, base) in [(50usize, 83.0), (100, 284.0), (200, 496.0), (250, 559.0), (300, 553.0)] {
+        let r = gpu_report(&g, &StencilSpec::jacobi(), &Workload::D3 { nx: n, ny: n, nz: n, batch: 1 }, 29_000);
+        check(r.bandwidth_gbs, base, format!("jacobi {n}³ base"));
+    }
+    let r = gpu_report(&g, &StencilSpec::jacobi(), &Workload::D3 { nx: 600, ny: 600, nz: 600, batch: 1 }, 120);
+    check(r.bandwidth_gbs, 392.0, "jacobi 600³ tiled".into());
+    let r = gpu_report(&g, &StencilSpec::jacobi(), &Workload::D3 { nx: 1800, ny: 1800, nz: 100, batch: 1 }, 120);
+    check(r.bandwidth_gbs, 363.0, "jacobi 1800²x100 tiled".into());
+
+    // Table VI
+    let t6: [(usize, usize, usize, f64, f64); 5] = [
+        (32, 32, 32, 130.0, 266.0),
+        (32, 32, 50, 163.0, 274.0),
+        (50, 50, 16, 124.0, 263.0),
+        (50, 50, 32, 155.0, 272.0),
+        (50, 50, 50, 179.0, 275.0),
+    ];
+    for (nx, ny, nz, base, b40) in t6 {
+        let r = gpu_report(&g, &StencilSpec::rtm(), &Workload::D3 { nx, ny, nz, batch: 1 }, 1800);
+        check(r.bandwidth_gbs, base, format!("rtm {nx}x{ny}x{nz} base"));
+        let r = gpu_report(&g, &StencilSpec::rtm(), &Workload::D3 { nx, ny, nz, batch: 40 }, 180);
+        check(r.bandwidth_gbs, b40, format!("rtm {nx}x{ny}x{nz} 40B"));
+    }
+
+    println!("worst GPU-model deviation: {:.2}x at {}", worst.0, worst.1);
+}
+
+#[test]
+fn power_never_exceeds_board_limits() {
+    let g = v100();
+    for b in [1usize, 10, 1000] {
+        let wl = Workload::D2 { nx: 400, ny: 400, batch: b };
+        let r = gpu_report(&g, &StencilSpec::poisson(), &wl, 100);
+        assert!(r.power_w >= g.idle_w && r.power_w <= g.idle_w + g.dynamic_w);
+    }
+}
+
+#[test]
+fn rtm_chain_slower_per_cell_than_simple_stencils() {
+    // the 8-kernel chain with high-order reads must cost far more time per
+    // cell-iteration than the single-kernel apps
+    let g = v100();
+    let wl = Workload::D3 { nx: 100, ny: 100, nz: 100, batch: 1 };
+    let jac = gpu_report(&g, &StencilSpec::jacobi(), &wl, 100);
+    let rtm = gpu_report(&g, &StencilSpec::rtm(), &wl, 100);
+    assert!(rtm.cells_per_sec < jac.cells_per_sec / 10.0);
+}

@@ -1,0 +1,117 @@
+//! Jacobi-7pt-3D — the paper's second application (§V-B, eq. 18):
+//!
+//! ```text
+//! U' = k1 U[i+1,j,k] + k2 U[i-1,j,k] + k3 U[i,j-1,k] + k4 U[i,j,k]
+//!    + k5 U[i,j+1,k] + k6 U[i,j,k+1] + k7 U[i,j,k-1]
+//! ```
+//!
+//! A 2nd-order (D = 2), 7-point star on scalar `f32` elements with seven
+//! runtime coefficients. Op count 6 adds + 7 muls → `G_dsp = 33`, matching
+//! the paper's Table II.
+
+use crate::op3d::StencilOp3D;
+use crate::ops::OpCount;
+
+/// The 7-point Jacobi iteration kernel of paper eq. (18).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Jacobi3D {
+    /// Coefficients `k1..k7` in the paper's term order:
+    /// `[x+1, x−1, y−1, center, y+1, z+1, z−1]`.
+    pub k: [f32; 7],
+}
+
+impl Jacobi3D {
+    /// Stencil order `D`.
+    pub const ORDER: usize = 2;
+
+    /// A diagonally-dominant contraction (coefficients sum to 1, center
+    /// weighted 1/2) — the default benchmark workload; iterating converges.
+    pub fn smoothing() -> Self {
+        let s = 1.0 / 12.0;
+        Jacobi3D {
+            k: [s, s, s, 0.5, s, s, s],
+        }
+    }
+
+    /// Construct with explicit coefficients.
+    pub fn with_coefficients(k: [f32; 7]) -> Self {
+        Jacobi3D { k }
+    }
+
+    /// Arithmetic ops for one mesh-point update (→ `G_dsp` = 33).
+    pub const fn op_count() -> OpCount {
+        OpCount::new(6, 7, 0)
+    }
+}
+
+impl StencilOp3D<f32> for Jacobi3D {
+    fn radius(&self) -> usize {
+        Self::ORDER / 2
+    }
+
+    /// Fixed left-to-right accumulation in the paper's term order.
+    #[inline]
+    fn apply<F: Fn(i32, i32, i32) -> f32>(&self, at: F) -> f32 {
+        let k = &self.k;
+        (((((k[0] * at(1, 0, 0) + k[1] * at(-1, 0, 0)) + k[2] * at(0, -1, 0))
+            + k[3] * at(0, 0, 0))
+            + k[4] * at(0, 1, 0))
+            + k[5] * at(0, 0, 1))
+            + k[6] * at(0, 0, -1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoothing_constant_is_fixed_point() {
+        let k = Jacobi3D::smoothing();
+        let v = k.apply(|_, _, _| 2.0);
+        assert!((v - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn coefficients_pick_out_terms() {
+        // coefficient i = 1, rest 0 → update equals that neighbor
+        let offsets = [
+            (1, 0, 0),
+            (-1, 0, 0),
+            (0, -1, 0),
+            (0, 0, 0),
+            (0, 1, 0),
+            (0, 0, 1),
+            (0, 0, -1),
+        ];
+        for (i, &(ox, oy, oz)) in offsets.iter().enumerate() {
+            let mut k = [0.0f32; 7];
+            k[i] = 1.0;
+            let kern = Jacobi3D::with_coefficients(k);
+            let v = kern.apply(|dx, dy, dz| {
+                if (dx, dy, dz) == (ox, oy, oz) {
+                    42.0
+                } else {
+                    1.0
+                }
+            });
+            assert_eq!(v, 42.0, "coefficient {i} should select offset {:?}", (ox, oy, oz));
+        }
+    }
+
+    #[test]
+    fn radius_and_ops() {
+        assert_eq!(Jacobi3D::smoothing().radius(), 1);
+        assert_eq!(Jacobi3D::op_count().dsp(), 33);
+    }
+
+    #[test]
+    fn only_star_points_accessed() {
+        let k = Jacobi3D::smoothing();
+        let _ = k.apply(|dx, dy, dz| {
+            let nonzero = (dx != 0) as u32 + (dy != 0) as u32 + (dz != 0) as u32;
+            assert!(nonzero <= 1, "non-star access ({dx},{dy},{dz})");
+            1.0
+        });
+    }
+}

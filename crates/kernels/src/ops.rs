@@ -1,0 +1,209 @@
+//! Arithmetic operation counting and DSP cost estimation.
+//!
+//! The paper's resource model (§III-A) needs `G_dsp`, "the number of DSP
+//! blocks required for a single mesh-point update", which "depends on the
+//! stencil loop kernel's arithmetic operations and number representation".
+//! For single-precision floating point on Xilinx UltraScale+ devices the
+//! standard HLS costs are **2 DSP48 per add/sub** and **3 DSP48 per
+//! multiply**; divisions are implemented in LUTs (0 DSPs). These constants
+//! reproduce the paper's Table II exactly:
+//!
+//! * Poisson-5pt-2D: 4 adds + 2 muls → `4·2 + 2·3 = 14` ✓
+//! * Jacobi-7pt-3D: 6 adds + 7 muls → `6·2 + 7·3 = 33` ✓
+
+use serde::{Deserialize, Serialize};
+
+/// DSP blocks consumed by one single-precision add/sub.
+pub const DSP_PER_FADD: usize = 2;
+/// DSP blocks consumed by one single-precision multiply.
+pub const DSP_PER_FMUL: usize = 3;
+/// DSP blocks consumed by one single-precision divide (LUT-based on Xilinx).
+pub const DSP_PER_FDIV: usize = 0;
+
+/// Number representation of the datapath — the paper's future-work axis
+/// ("Future work will investigate … alternative numerical representations").
+///
+/// The format changes both the DSP cost of each operation and the element
+/// width (hence bandwidth and window-buffer demand). The behavioral
+/// simulator always computes in `f32`; narrower formats affect the
+/// performance/resource model only (a bit-accurate reduced-precision
+/// simulator is out of scope and documented as such in DESIGN.md).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NumberFormat {
+    /// IEEE-754 single precision (the paper's evaluation setting).
+    Fp32,
+    /// IEEE-754 half precision: one DSP per add or multiply, 2-byte elements.
+    Fp16,
+    /// 18-bit fixed point: adds in fabric carry chains (0 DSP), one DSP per
+    /// multiply (native 27×18 DSP48E2 operand), 2-byte storage.
+    Fixed18,
+    /// 32-bit fixed point: adds in fabric, 4 DSPs per full-width multiply.
+    Fixed32,
+}
+
+impl NumberFormat {
+    /// DSP blocks per add/sub.
+    pub const fn dsp_per_add(self) -> usize {
+        match self {
+            NumberFormat::Fp32 => DSP_PER_FADD,
+            NumberFormat::Fp16 => 1,
+            NumberFormat::Fixed18 | NumberFormat::Fixed32 => 0,
+        }
+    }
+
+    /// DSP blocks per multiply.
+    pub const fn dsp_per_mul(self) -> usize {
+        match self {
+            NumberFormat::Fp32 => DSP_PER_FMUL,
+            NumberFormat::Fp16 => 1,
+            NumberFormat::Fixed18 => 1,
+            NumberFormat::Fixed32 => 4,
+        }
+    }
+
+    /// Storage bytes per scalar lane.
+    pub const fn lane_bytes(self) -> usize {
+        match self {
+            NumberFormat::Fp32 | NumberFormat::Fixed32 => 4,
+            NumberFormat::Fp16 | NumberFormat::Fixed18 => 2,
+        }
+    }
+}
+
+impl core::fmt::Display for NumberFormat {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            NumberFormat::Fp32 => "fp32",
+            NumberFormat::Fp16 => "fp16",
+            NumberFormat::Fixed18 => "fixed18",
+            NumberFormat::Fixed32 => "fixed32",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Floating-point operation counts for one mesh-point update.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCount {
+    /// Additions and subtractions.
+    pub adds: usize,
+    /// Multiplications.
+    pub muls: usize,
+    /// Divisions.
+    pub divs: usize,
+}
+
+impl OpCount {
+    /// Construct an op count.
+    pub const fn new(adds: usize, muls: usize, divs: usize) -> Self {
+        OpCount { adds, muls, divs }
+    }
+
+    /// The paper's `G_dsp`: DSP blocks for one mesh-point update at
+    /// single precision.
+    pub const fn dsp(&self) -> usize {
+        self.adds * DSP_PER_FADD + self.muls * DSP_PER_FMUL + self.divs * DSP_PER_FDIV
+    }
+
+    /// `G_dsp` under an alternative number representation.
+    pub const fn dsp_with(&self, format: NumberFormat) -> usize {
+        self.adds * format.dsp_per_add() + self.muls * format.dsp_per_mul()
+    }
+
+    /// Total floating-point operations (for GFLOPS accounting).
+    pub const fn flops(&self) -> usize {
+        self.adds + self.muls + self.divs
+    }
+
+    /// Component-wise sum — used to accumulate fused pipeline stages.
+    pub const fn plus(self, other: OpCount) -> OpCount {
+        OpCount {
+            adds: self.adds + other.adds,
+            muls: self.muls + other.muls,
+            divs: self.divs + other.divs,
+        }
+    }
+
+    /// Scale by a stage replication factor.
+    pub const fn times(self, k: usize) -> OpCount {
+        OpCount {
+            adds: self.adds * k,
+            muls: self.muls * k,
+            divs: self.divs * k,
+        }
+    }
+
+    /// Rough pipeline latency (cycles) of a balanced adder/multiplier tree at
+    /// ~300 MHz: SP add ≈ 7 stages, SP mul ≈ 5 stages on UltraScale+, with
+    /// the tree depth log₂ of the operation count. Used by the fill-latency
+    /// part of the cycle model, where only the order of magnitude matters.
+    pub fn pipeline_latency(&self) -> usize {
+        let n = self.flops().max(1);
+        let depth = usize::BITS as usize - n.leading_zeros() as usize; // ceil(log2)+1-ish
+        7 * depth + 10
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_gdsp_matches_paper_table2() {
+        // eq (16): 1/8*(4-point sum: 3 adds) + 1/2*center (1 add, 2 muls)
+        let ops = OpCount::new(4, 2, 0);
+        assert_eq!(ops.dsp(), 14);
+        assert_eq!(ops.flops(), 6);
+    }
+
+    #[test]
+    fn jacobi_gdsp_matches_paper_table2() {
+        // eq (18): 7 coefficient muls, 6 adds
+        let ops = OpCount::new(6, 7, 0);
+        assert_eq!(ops.dsp(), 33);
+        assert_eq!(ops.flops(), 13);
+    }
+
+    #[test]
+    fn divs_cost_no_dsp() {
+        let ops = OpCount::new(0, 0, 5);
+        assert_eq!(ops.dsp(), 0);
+        assert_eq!(ops.flops(), 5);
+    }
+
+    #[test]
+    fn plus_and_times_compose() {
+        let a = OpCount::new(1, 2, 3);
+        let b = OpCount::new(10, 20, 30);
+        assert_eq!(a.plus(b), OpCount::new(11, 22, 33));
+        assert_eq!(a.times(4), OpCount::new(4, 8, 12));
+    }
+
+    #[test]
+    fn alternative_formats_shrink_gdsp() {
+        let poisson = OpCount::new(4, 2, 0);
+        assert_eq!(poisson.dsp_with(NumberFormat::Fp32), 14);
+        assert_eq!(poisson.dsp_with(NumberFormat::Fp16), 6);
+        assert_eq!(poisson.dsp_with(NumberFormat::Fixed18), 2);
+        assert_eq!(poisson.dsp_with(NumberFormat::Fixed32), 8);
+        let jacobi = OpCount::new(6, 7, 0);
+        assert_eq!(jacobi.dsp_with(NumberFormat::Fp16), 13);
+        assert_eq!(jacobi.dsp_with(NumberFormat::Fixed18), 7);
+    }
+
+    #[test]
+    fn format_lane_bytes() {
+        assert_eq!(NumberFormat::Fp32.lane_bytes(), 4);
+        assert_eq!(NumberFormat::Fp16.lane_bytes(), 2);
+        assert_eq!(NumberFormat::Fixed18.lane_bytes(), 2);
+        assert_eq!(format!("{}", NumberFormat::Fp16), "fp16");
+    }
+
+    #[test]
+    fn latency_grows_with_op_count() {
+        let small = OpCount::new(4, 2, 0).pipeline_latency();
+        let big = OpCount::new(96, 110, 0).times(4).pipeline_latency();
+        assert!(small < big);
+        assert!(small >= 10);
+    }
+}

@@ -1,0 +1,91 @@
+//! Poisson-5pt-2D — the paper's first application (§V-A, eq. 16):
+//!
+//! ```text
+//! U[i,j]' = 1/8 (U[i-1,j] + U[i+1,j] + U[i,j-1] + U[i,j+1]) + 1/2 U[i,j]
+//! ```
+//!
+//! A 2nd-order (D = 2), 5-point star on scalar `f32` elements. Its op count
+//! (4 adds, 2 muls) gives the paper's `G_dsp = 14`.
+
+use crate::op2d::StencilOp2D;
+use crate::ops::OpCount;
+
+/// The fixed-coefficient Poisson smoothing kernel of paper eq. (16).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Poisson2D;
+
+impl Poisson2D {
+    /// Stencil order `D` (rows of window buffering required).
+    pub const ORDER: usize = 2;
+
+    /// Arithmetic ops for one mesh-point update (→ `G_dsp` = 14).
+    pub const fn op_count() -> OpCount {
+        OpCount::new(4, 2, 0)
+    }
+}
+
+impl StencilOp2D<f32> for Poisson2D {
+    fn radius(&self) -> usize {
+        Self::ORDER / 2
+    }
+
+    /// Evaluation order is fixed (left-to-right sums) so that every executor
+    /// computes bit-identical results.
+    #[inline]
+    fn apply<F: Fn(i32, i32) -> f32>(&self, at: F) -> f32 {
+        let sum = ((at(-1, 0) + at(1, 0)) + at(0, -1)) + at(0, 1);
+        0.125f32 * sum + 0.5f32 * at(0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_field_is_fixed_point() {
+        // 1/8 * 4c + 1/2 c = c
+        let k = Poisson2D;
+        let v = k.apply(|_, _| 3.25);
+        assert_eq!(v, 3.25);
+    }
+
+    #[test]
+    fn known_neighborhood() {
+        let k = Poisson2D;
+        // W=1, E=2, S=3, N=4, C=8 → 1/8*10 + 1/2*8 = 1.25 + 4 = 5.25
+        let v = k.apply(|dx, dy| match (dx, dy) {
+            (-1, 0) => 1.0,
+            (1, 0) => 2.0,
+            (0, -1) => 3.0,
+            (0, 1) => 4.0,
+            (0, 0) => 8.0,
+            _ => panic!("unexpected access ({dx},{dy})"),
+        });
+        assert_eq!(v, 5.25);
+    }
+
+    #[test]
+    fn radius_and_ops() {
+        assert_eq!(Poisson2D.radius(), 1);
+        assert_eq!(Poisson2D::op_count().dsp(), 14);
+    }
+
+    #[test]
+    fn only_star_points_accessed() {
+        let k = Poisson2D;
+        // accessor panics on diagonal access — apply must not touch them
+        let _ = k.apply(|dx, dy| {
+            assert!(dx == 0 || dy == 0, "diagonal access ({dx},{dy})");
+            1.0
+        });
+    }
+
+    #[test]
+    fn contraction_towards_neighbor_mean() {
+        // |update| ≤ max(|neighbors|, |center|): coefficients sum to 1
+        let k = Poisson2D;
+        let v = k.apply(|dx, dy| if (dx, dy) == (0, 0) { 1.0 } else { -1.0 });
+        assert_eq!(v, 0.0);
+    }
+}

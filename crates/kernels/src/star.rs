@@ -1,0 +1,313 @@
+//! Generic star stencils: user-defined kernels for the workflow.
+//!
+//! The paper's pitch is a *workflow*, not three hard-coded applications —
+//! "once the best optimization strategy for a given motif is identified …
+//! it can be used as a design template for similar applications". This
+//! module is that template's entry point for downstream users: define a
+//! star-shaped stencil by its weighted points, get a [`StencilOp2D`]/
+//! [`StencilOp3D`] for execution plus a [`StencilSpec`] for the analytic
+//! model and DSE.
+//!
+//! Weights are applied in insertion order with left-to-right accumulation,
+//! so all executors stay bit-exact.
+
+use crate::op2d::StencilOp2D;
+use crate::op3d::StencilOp3D;
+use crate::ops::OpCount;
+use crate::spec::{AppId, StencilSpec};
+
+/// A weighted-point 2D stencil (star or otherwise — any fixed offset set).
+///
+/// ```
+/// use sf_kernels::{StarStencil2D, reference};
+/// use sf_mesh::Mesh2D;
+/// // an explicit heat step: u + 0.2·∇²u
+/// let k = StarStencil2D::laplace5(0.2, 1.0 - 4.0 * 0.2);
+/// let m = Mesh2D::<f32>::random(32, 32, 7, 0.0, 1.0);
+/// let out = reference::run_2d(&k, &m, 10);
+/// assert!(out.all_finite());
+/// // its spec plugs straight into the analytic model / DSE
+/// assert_eq!(k.spec().order, 2);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct StarStencil2D {
+    radius: usize,
+    points: Vec<(i32, i32, f32)>,
+}
+
+impl StarStencil2D {
+    /// Build from weighted points. The radius is derived from the largest
+    /// offset component.
+    ///
+    /// # Panics
+    /// Panics on an empty point set.
+    pub fn new(points: Vec<(i32, i32, f32)>) -> Self {
+        assert!(!points.is_empty(), "stencil needs at least one point");
+        let radius = points
+            .iter()
+            .map(|&(dx, dy, _)| dx.unsigned_abs().max(dy.unsigned_abs()) as usize)
+            .max()
+            .unwrap();
+        StarStencil2D { radius, points }
+    }
+
+    /// The classic 5-point Laplacian `α·(N+S+E+W) + β·C`.
+    pub fn laplace5(alpha: f32, beta: f32) -> Self {
+        StarStencil2D::new(vec![
+            (-1, 0, alpha),
+            (1, 0, alpha),
+            (0, -1, alpha),
+            (0, 1, alpha),
+            (0, 0, beta),
+        ])
+    }
+
+    /// A 4th-order 9-point star (two cells per axis): the standard
+    /// `(-1, 16, -30, 16, -1)/12` second-derivative weights along each axis,
+    /// scaled by `scale`, plus `center` at the origin.
+    pub fn laplace9_order4(scale: f32, center: f32) -> Self {
+        let w1 = 16.0 / 12.0 * scale;
+        let w2 = -1.0 / 12.0 * scale;
+        let c = -2.0 * 30.0 / 12.0 * scale + center;
+        StarStencil2D::new(vec![
+            (-2, 0, w2),
+            (-1, 0, w1),
+            (1, 0, w1),
+            (2, 0, w2),
+            (0, -2, w2),
+            (0, -1, w1),
+            (0, 1, w1),
+            (0, 2, w2),
+            (0, 0, c),
+        ])
+    }
+
+    /// Weighted points, in evaluation order.
+    pub fn points(&self) -> &[(i32, i32, f32)] {
+        &self.points
+    }
+
+    /// Arithmetic ops per update: one multiply per point, one add per
+    /// accumulation step.
+    pub fn op_count(&self) -> OpCount {
+        OpCount::new(self.points.len() - 1, self.points.len(), 0)
+    }
+
+    /// A model/DSE descriptor for this stencil (scalar f32 elements,
+    /// single loop, read + write of one value per cell).
+    pub fn spec(&self) -> StencilSpec {
+        StencilSpec {
+            app: AppId::Custom,
+            dims: 2,
+            order: 2 * self.radius,
+            elem_bytes: 4,
+            window_elem_bytes: 4,
+            stages: 1,
+            ops: self.op_count(),
+            logical_rw_bytes: 8,
+            ext_read_bytes: 4,
+            ext_write_bytes: 4,
+            format: crate::ops::NumberFormat::Fp32,
+        }
+    }
+}
+
+impl StencilOp2D<f32> for StarStencil2D {
+    fn radius(&self) -> usize {
+        self.radius
+    }
+
+    #[inline]
+    fn apply<F: Fn(i32, i32) -> f32>(&self, at: F) -> f32 {
+        let mut acc = 0.0f32;
+        for &(dx, dy, w) in &self.points {
+            acc += w * at(dx, dy);
+        }
+        acc
+    }
+}
+
+/// A weighted-point 3D stencil.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StarStencil3D {
+    radius: usize,
+    points: Vec<(i32, i32, i32, f32)>,
+}
+
+impl StarStencil3D {
+    /// Build from weighted points.
+    ///
+    /// # Panics
+    /// Panics on an empty point set.
+    pub fn new(points: Vec<(i32, i32, i32, f32)>) -> Self {
+        assert!(!points.is_empty(), "stencil needs at least one point");
+        let radius = points
+            .iter()
+            .map(|&(dx, dy, dz, _)| {
+                dx.unsigned_abs().max(dy.unsigned_abs()).max(dz.unsigned_abs()) as usize
+            })
+            .max()
+            .unwrap();
+        StarStencil3D { radius, points }
+    }
+
+    /// The 7-point Laplacian `α·(6 neighbors) + β·C`.
+    pub fn laplace7(alpha: f32, beta: f32) -> Self {
+        StarStencil3D::new(vec![
+            (-1, 0, 0, alpha),
+            (1, 0, 0, alpha),
+            (0, -1, 0, alpha),
+            (0, 1, 0, alpha),
+            (0, 0, -1, alpha),
+            (0, 0, 1, alpha),
+            (0, 0, 0, beta),
+        ])
+    }
+
+    /// An order-`2k` star along each axis from symmetric second-derivative
+    /// weights `w[0..=k]` (`w[0]` is the per-axis center weight), scaled by
+    /// `scale`, plus `center` at the origin. `k = 4` with the standard
+    /// 8th-order weights gives the RTM-style 25-point star.
+    pub fn high_order(weights: &[f32], scale: f32, center: f32) -> Self {
+        assert!(weights.len() >= 2, "need at least center + one offset weight");
+        let k = weights.len() - 1;
+        let mut pts = Vec::new();
+        for axis in 0..3usize {
+            for d in 1..=k as i32 {
+                let w = weights[d as usize] * scale;
+                let off = |s: i32| match axis {
+                    0 => (s, 0, 0),
+                    1 => (0, s, 0),
+                    _ => (0, 0, s),
+                };
+                let (x, y, z) = off(d);
+                pts.push((x, y, z, w));
+                let (x, y, z) = off(-d);
+                pts.push((x, y, z, w));
+            }
+        }
+        pts.push((0, 0, 0, 3.0 * weights[0] * scale + center));
+        StarStencil3D::new(pts)
+    }
+
+    /// Weighted points, in evaluation order.
+    pub fn points(&self) -> &[(i32, i32, i32, f32)] {
+        &self.points
+    }
+
+    /// Arithmetic ops per update.
+    pub fn op_count(&self) -> OpCount {
+        OpCount::new(self.points.len() - 1, self.points.len(), 0)
+    }
+
+    /// A model/DSE descriptor for this stencil.
+    pub fn spec(&self) -> StencilSpec {
+        StencilSpec {
+            app: AppId::Custom,
+            dims: 3,
+            order: 2 * self.radius,
+            elem_bytes: 4,
+            window_elem_bytes: 4,
+            stages: 1,
+            ops: self.op_count(),
+            logical_rw_bytes: 8,
+            ext_read_bytes: 4,
+            ext_write_bytes: 4,
+            format: crate::ops::NumberFormat::Fp32,
+        }
+    }
+}
+
+impl StencilOp3D<f32> for StarStencil3D {
+    fn radius(&self) -> usize {
+        self.radius
+    }
+
+    #[inline]
+    fn apply<F: Fn(i32, i32, i32) -> f32>(&self, at: F) -> f32 {
+        let mut acc = 0.0f32;
+        for &(dx, dy, dz, w) in &self.points {
+            acc += w * at(dx, dy, dz);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use sf_mesh::{Mesh2D, Mesh3D};
+
+    #[test]
+    fn laplace5_radius_and_ops() {
+        let s = StarStencil2D::laplace5(0.25, 0.0);
+        assert_eq!(s.radius, 1);
+        assert_eq!(s.op_count(), OpCount::new(4, 5, 0));
+        assert_eq!(s.spec().order, 2);
+        assert_eq!(s.spec().gdsp(), 4 * 2 + 5 * 3);
+    }
+
+    #[test]
+    fn laplace5_averages_neighbors() {
+        let s = StarStencil2D::laplace5(0.25, 0.0);
+        let v = s.apply(|dx, dy| match (dx, dy) {
+            (0, 0) => 100.0,
+            _ => 2.0,
+        });
+        assert_eq!(v, 2.0);
+    }
+
+    #[test]
+    fn laplace9_order4_exact_on_quadratics() {
+        // ∇²(x² + y²) = 4, the order-4 scheme is exact on quadratics
+        let s = StarStencil2D::laplace9_order4(1.0, 0.0);
+        let v = s.apply(|dx, dy| (dx * dx + dy * dy) as f32);
+        assert!((v - 4.0).abs() < 1e-4, "got {v}");
+    }
+
+    #[test]
+    fn high_order_3d_star_shape() {
+        // 8th-order weights: k = 4 → 25 points, radius 4, order 8 — the
+        // RTM-style star
+        let w = [-205.0 / 72.0, 1.6, -0.2, 8.0 / 315.0, -1.0 / 560.0];
+        let s = StarStencil3D::high_order(&w, 1.0, 0.0);
+        assert_eq!(s.points().len(), 25);
+        assert_eq!(s.radius, 4);
+        assert_eq!(s.spec().order, 8);
+        // exact second derivative of x²: ∇²(x²) = 2
+        let v = s.apply(|dx, _, _| (dx * dx) as f32);
+        assert!((v - 2.0).abs() < 1e-3, "got {v}");
+    }
+
+    #[test]
+    fn laplace7_matches_jacobi_shaped_reference() {
+        // identical coefficients through both kernel types must agree
+        let m = Mesh3D::<f32>::random(10, 9, 8, 3, -1.0, 1.0);
+        let star = StarStencil3D::laplace7(1.0 / 12.0, 0.5);
+        let out = reference::run_3d(&star, &m, 3);
+        assert!(out.all_finite());
+        // a contraction: max-norm non-increasing (weights sum to 1)
+        let n0 = sf_mesh::norms::max_norm_3d(&m);
+        let n1 = sf_mesh::norms::max_norm_3d(&out);
+        assert!(n1 <= n0 + 1e-6);
+    }
+
+    #[test]
+    fn custom_star_runs_in_reference_2d() {
+        let m = Mesh2D::<f32>::random(20, 14, 5, -1.0, 1.0);
+        let s = StarStencil2D::laplace9_order4(0.05, 1.0);
+        let out = reference::run_2d(&s, &m, 4);
+        assert!(out.all_finite());
+        assert_eq!(s.radius, 2);
+        // boundary band of width 2 held fixed
+        assert_eq!(out.get(1, 1), m.get(1, 1));
+        assert_eq!(out.get(0, 7), m.get(0, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_stencil_rejected() {
+        let _ = StarStencil2D::new(vec![]);
+    }
+}

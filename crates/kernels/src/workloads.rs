@@ -1,0 +1,141 @@
+//! Named workload generators.
+//!
+//! The paper's evaluation draws its inputs from three workload classes:
+//! smooth PDE fields (Poisson/Jacobi steady-state solves), batches of small
+//! independent problems (the financial motivation of §IV-B), and seismic
+//! wavefields (RTM). These generators produce deterministic instances of
+//! each, shared by the examples, benches and tests so every consumer
+//! exercises the same physics-plausible data.
+
+use crate::rtm::{self, RtmState};
+use sf_mesh::{Batch2D, Batch3D, Mesh2D, Mesh3D};
+
+/// A smooth 2D harmonic field `sin(2πfx·x/nx)·cos(2πfy·y/ny)` — a classic
+/// Poisson right-hand side with non-trivial boundary values.
+pub fn harmonic_2d(nx: usize, ny: usize, fx: f32, fy: f32) -> Mesh2D<f32> {
+    use std::f32::consts::TAU;
+    Mesh2D::from_fn(nx, ny, |x, y| {
+        (TAU * fx * x as f32 / nx as f32).sin() * (TAU * fy * y as f32 / ny as f32).cos()
+    })
+}
+
+/// A hot-spot field: zero everywhere, `amplitude` in a centered square of
+/// `side` cells — the canonical diffusion/steady-state test.
+pub fn hotspot_2d(nx: usize, ny: usize, side: usize, amplitude: f32) -> Mesh2D<f32> {
+    let (cx, cy) = (nx / 2, ny / 2);
+    let h = side / 2;
+    Mesh2D::from_fn(nx, ny, |x, y| {
+        if x.abs_diff(cx) <= h && y.abs_diff(cy) <= h {
+            amplitude
+        } else {
+            0.0
+        }
+    })
+}
+
+/// A 3D Gaussian blob centered in the mesh with width `sigma` (cells).
+pub fn gaussian_3d(nx: usize, ny: usize, nz: usize, sigma: f32, amplitude: f32) -> Mesh3D<f32> {
+    let (cx, cy, cz) = (nx as f32 / 2.0, ny as f32 / 2.0, nz as f32 / 2.0);
+    let s2 = 2.0 * sigma * sigma;
+    Mesh3D::from_fn(nx, ny, nz, |x, y, z| {
+        let r2 = (x as f32 - cx).powi(2) + (y as f32 - cy).powi(2) + (z as f32 - cz).powi(2);
+        amplitude * (-r2 / s2).exp()
+    })
+}
+
+/// A batch of small 2D problems with per-instrument parameters drawn
+/// deterministically — the §IV-B financial workload: "a large number of
+/// smaller meshes … as is the case in financial applications".
+pub fn instrument_book_2d(nx: usize, ny: usize, b: usize, seed: u64) -> Batch2D<f32> {
+    let meshes: Vec<_> = (0..b)
+        .map(|i| {
+            // each instrument: a smooth payoff-like surface with its own
+            // strike offset and volatility-flavoured noise
+            let base = Mesh2D::<f32>::random(nx, ny, seed.wrapping_add(i as u64), 0.0, 0.05);
+            let strike = 0.5 + 0.4 * (i as f32 / b.max(1) as f32);
+            Mesh2D::from_fn(nx, ny, |x, y| {
+                let s = x as f32 / nx as f32;
+                (s - strike).max(0.0) + base.get(x, y)
+            })
+        })
+        .collect();
+    Batch2D::from_meshes(&meshes)
+}
+
+/// A batch of 3D Gaussian shots with varying widths — the RTM batched
+/// workload shape (many small independent solves).
+pub fn shot_batch_3d(n: usize, b: usize, seed: u64) -> Batch3D<f32> {
+    let meshes: Vec<_> = (0..b)
+        .map(|i| {
+            let sigma = 2.0 + (seed.wrapping_add(i as u64) % 5) as f32;
+            gaussian_3d(n, n, n, sigma, 1.0)
+        })
+        .collect();
+    Batch3D::from_meshes(&meshes)
+}
+
+/// The RTM seismic workload: Gaussian pressure pulse, smooth ρ/μ earth
+/// model (re-exported from [`crate::rtm::demo_workload`]).
+pub fn seismic_shot(nx: usize, ny: usize, nz: usize) -> (Mesh3D<RtmState>, Mesh3D<f32>, Mesh3D<f32>) {
+    rtm::demo_workload(nx, ny, nz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_mesh::norms;
+
+    #[test]
+    fn harmonic_is_bounded_and_smooth() {
+        let m = harmonic_2d(64, 48, 2.0, 3.0);
+        assert!(norms::max_norm_2d(&m) <= 1.0 + 1e-6);
+        // neighboring cells differ by less than the wavelength bound
+        for y in 0..48 {
+            for x in 1..64 {
+                let d = (m.get(x, y) - m.get(x - 1, y)).abs();
+                assert!(d < 0.5, "jump {d} at ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn hotspot_geometry() {
+        let m = hotspot_2d(32, 32, 6, 9.0);
+        assert_eq!(m.get(16, 16), 9.0);
+        assert_eq!(m.get(13, 16), 9.0);
+        assert_eq!(m.get(12, 16), 0.0);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn gaussian_peaks_at_center() {
+        let m = gaussian_3d(24, 24, 24, 3.0, 2.0);
+        let c = m.get(12, 12, 12);
+        assert!((c - 2.0).abs() < 0.2);
+        assert!(m.get(0, 0, 0) < 0.01);
+        assert!(m.all_finite());
+    }
+
+    #[test]
+    fn instrument_book_is_deterministic_and_varied() {
+        let a = instrument_book_2d(40, 20, 8, 7);
+        let b = instrument_book_2d(40, 20, 8, 7);
+        assert_eq!(a, b);
+        assert_ne!(a.mesh(0), a.mesh(7), "instruments must differ");
+        assert!(a.as_slice().iter().all(|v| v.is_finite() && *v >= 0.0));
+    }
+
+    #[test]
+    fn shot_batch_shapes() {
+        let s = shot_batch_3d(16, 3, 1);
+        assert_eq!(s.batch(), 3);
+        assert_eq!((s.nx(), s.ny(), s.nz()), (16, 16, 16));
+    }
+
+    #[test]
+    fn seismic_shot_reexport() {
+        let (y, rho, mu) = seismic_shot(10, 10, 10);
+        assert_eq!(y.len(), 1000);
+        assert!(rho.all_finite() && mu.all_finite());
+    }
+}

@@ -1,0 +1,225 @@
+//! Mesh element types: scalar `f32` and fixed-width float vectors.
+//!
+//! The paper's applications use scalar single-precision elements
+//! (Poisson, Jacobi) and 6-component vector elements (RTM's `Y`, `T` and
+//! `K1..K4` arrays: "3D floating-point (SP) data arrays defined on the mesh
+//! consisting of vector elements of size 6"). [`Element`] abstracts over both
+//! so the window buffers, executors and byte accounting are generic.
+
+/// A mesh element: a fixed number of `f32` lanes.
+///
+/// Implementors are plain-old-data; `size_bytes` is what the memory models
+/// charge per element (the paper's `sizeof(t)` / `k`).
+pub trait Element:
+    Copy + Clone + Default + PartialEq + core::fmt::Debug + Send + Sync + 'static
+{
+    /// Number of `f32` components in the element.
+    const LANES: usize;
+
+    /// Element with every lane set to `v`.
+    fn splat(v: f32) -> Self;
+
+    /// Read lane `c` (`c < Self::LANES`).
+    fn lane(&self, c: usize) -> f32;
+
+    /// Write lane `c` (`c < Self::LANES`).
+    fn set_lane(&mut self, c: usize, v: f32);
+
+    /// Size of the element in bytes (the paper's `k = sizeof(t)`).
+    #[inline]
+    fn size_bytes() -> usize {
+        Self::LANES * core::mem::size_of::<f32>()
+    }
+
+    /// Lane-wise `a + b`.
+    fn add(self, other: Self) -> Self;
+
+    /// Lane-wise `a * s` for scalar `s`.
+    fn scale(self, s: f32) -> Self;
+
+    /// Maximum absolute lane value (used by norms).
+    fn max_abs(&self) -> f32;
+
+    /// `true` if every lane is finite.
+    fn is_finite(&self) -> bool;
+}
+
+impl Element for f32 {
+    const LANES: usize = 1;
+
+    #[inline]
+    fn splat(v: f32) -> Self {
+        v
+    }
+
+    #[inline]
+    fn lane(&self, c: usize) -> f32 {
+        debug_assert_eq!(c, 0);
+        *self
+    }
+
+    #[inline]
+    fn set_lane(&mut self, c: usize, v: f32) {
+        debug_assert_eq!(c, 0);
+        *self = v;
+    }
+
+    #[inline]
+    fn add(self, other: Self) -> Self {
+        self + other
+    }
+
+    #[inline]
+    fn scale(self, s: f32) -> Self {
+        self * s
+    }
+
+    #[inline]
+    fn max_abs(&self) -> f32 {
+        self.abs()
+    }
+
+    #[inline]
+    fn is_finite(&self) -> bool {
+        f32::is_finite(*self)
+    }
+}
+
+/// A fixed-width vector element of `N` `f32` lanes.
+///
+/// RTM uses `VecN<6>` for its state arrays. The type is `repr(transparent)`
+/// over `[f32; N]` so a `Mesh3D<VecN<6>>` is one contiguous `f32` buffer.
+#[derive(Copy, Clone, Debug, PartialEq)]
+#[repr(transparent)]
+pub struct VecN<const N: usize>(pub [f32; N]);
+
+impl<const N: usize> Default for VecN<N> {
+    #[inline]
+    fn default() -> Self {
+        VecN([0.0; N])
+    }
+}
+
+impl<const N: usize> VecN<N> {
+    /// Construct from an array of lanes.
+    #[inline]
+    pub const fn new(lanes: [f32; N]) -> Self {
+        VecN(lanes)
+    }
+
+    /// Lane-wise fused combination `self + other * s` — the RK4 update
+    /// primitive (`T = Y + K/2`, `Y = Y + K1/6 + …`).
+    #[inline]
+    pub fn axpy(self, other: Self, s: f32) -> Self {
+        let mut out = self;
+        for c in 0..N {
+            out.0[c] += other.0[c] * s;
+        }
+        out
+    }
+}
+
+impl<const N: usize> Element for VecN<N> {
+    const LANES: usize = N;
+
+    #[inline]
+    fn splat(v: f32) -> Self {
+        VecN([v; N])
+    }
+
+    #[inline]
+    fn lane(&self, c: usize) -> f32 {
+        self.0[c]
+    }
+
+    #[inline]
+    fn set_lane(&mut self, c: usize, v: f32) {
+        self.0[c] = v;
+    }
+
+    #[inline]
+    fn add(self, other: Self) -> Self {
+        let mut out = self;
+        for c in 0..N {
+            out.0[c] += other.0[c];
+        }
+        out
+    }
+
+    #[inline]
+    fn scale(self, s: f32) -> Self {
+        let mut out = self;
+        for c in 0..N {
+            out.0[c] *= s;
+        }
+        out
+    }
+
+    #[inline]
+    fn max_abs(&self) -> f32 {
+        self.0.iter().fold(0.0f32, |m, v| m.max(v.abs()))
+    }
+
+    #[inline]
+    fn is_finite(&self) -> bool {
+        self.0.iter().all(|v| v.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_element_basics() {
+        let mut x = f32::splat(2.5);
+        assert_eq!(f32::LANES, 1);
+        assert_eq!(f32::size_bytes(), 4);
+        assert_eq!(x.lane(0), 2.5);
+        x.set_lane(0, -3.0);
+        assert_eq!(x, -3.0);
+        assert_eq!(x.max_abs(), 3.0);
+        assert_eq!(x.add(1.0), -2.0);
+        assert_eq!(x.scale(-1.0), 3.0);
+        assert!(x.is_finite());
+        assert!(!f32::NAN.is_finite());
+    }
+
+    #[test]
+    fn vecn_element_basics() {
+        let mut v = VecN::<6>::splat(1.0);
+        assert_eq!(VecN::<6>::LANES, 6);
+        assert_eq!(VecN::<6>::size_bytes(), 24);
+        v.set_lane(3, -9.0);
+        assert_eq!(v.lane(3), -9.0);
+        assert_eq!(v.max_abs(), 9.0);
+        let w = v.add(VecN::splat(1.0));
+        assert_eq!(w.lane(0), 2.0);
+        assert_eq!(w.lane(3), -8.0);
+        let s = v.scale(2.0);
+        assert_eq!(s.lane(3), -18.0);
+    }
+
+    #[test]
+    fn vecn_axpy_is_rk4_primitive() {
+        let y = VecN::new([1.0, 2.0, 3.0]);
+        let k = VecN::new([2.0, 4.0, 6.0]);
+        let t = y.axpy(k, 0.5);
+        assert_eq!(t, VecN::new([2.0, 4.0, 6.0]));
+    }
+
+    #[test]
+    fn vecn_default_is_zero() {
+        let z = VecN::<4>::default();
+        assert_eq!(z.max_abs(), 0.0);
+        assert!(z.is_finite());
+    }
+
+    #[test]
+    fn vecn_is_finite_detects_nan_in_any_lane() {
+        let mut v = VecN::<3>::splat(0.0);
+        assert!(v.is_finite());
+        v.set_lane(2, f32::INFINITY);
+        assert!(!v.is_finite());
+    }
+}

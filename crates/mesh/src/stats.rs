@@ -1,0 +1,126 @@
+//! Mesh statistics: summaries used by examples, convergence monitors and
+//! validation reports.
+
+use crate::element::Element;
+use crate::mesh2d::Mesh2D;
+use crate::mesh3d::Mesh3D;
+use serde::{Deserialize, Serialize};
+
+/// Lane-wise summary statistics of a mesh.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MeshStats {
+    /// Smallest lane value.
+    pub min: f32,
+    /// Largest lane value.
+    pub max: f32,
+    /// Mean lane value.
+    pub mean: f64,
+    /// Root-mean-square lane value (the L2 "energy" of the field).
+    pub rms: f64,
+    /// Number of lanes summarized.
+    pub lanes: usize,
+    /// Number of non-finite lanes encountered.
+    pub non_finite: usize,
+}
+
+impl MeshStats {
+    /// Compute over any element slice.
+    pub fn of<T: Element>(data: &[T]) -> Self {
+        let mut min = f32::INFINITY;
+        let mut max = f32::NEG_INFINITY;
+        let mut sum = 0.0f64;
+        let mut sumsq = 0.0f64;
+        let mut non_finite = 0usize;
+        let mut lanes = 0usize;
+        for e in data {
+            for c in 0..T::LANES {
+                let v = e.lane(c);
+                lanes += 1;
+                if !v.is_finite() {
+                    non_finite += 1;
+                    continue;
+                }
+                min = min.min(v);
+                max = max.max(v);
+                sum += v as f64;
+                sumsq += (v as f64) * (v as f64);
+            }
+        }
+        let n = (lanes - non_finite).max(1) as f64;
+        MeshStats {
+            min: if min.is_finite() { min } else { 0.0 },
+            max: if max.is_finite() { max } else { 0.0 },
+            mean: sum / n,
+            rms: (sumsq / n).sqrt(),
+            lanes,
+            non_finite,
+        }
+    }
+
+    /// One-line rendering for logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "min {:.4e}  max {:.4e}  mean {:.4e}  rms {:.4e}{}",
+            self.min,
+            self.max,
+            self.mean,
+            self.rms,
+            if self.non_finite > 0 {
+                format!("  ({} non-finite!)", self.non_finite)
+            } else {
+                String::new()
+            }
+        )
+    }
+}
+
+/// Statistics of a 2D mesh.
+pub fn stats_2d<T: Element>(m: &Mesh2D<T>) -> MeshStats {
+    MeshStats::of(m.as_slice())
+}
+
+/// Statistics of a 3D mesh.
+pub fn stats_3d<T: Element>(m: &Mesh3D<T>) -> MeshStats {
+    MeshStats::of(m.as_slice())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::VecN;
+
+    #[test]
+    fn stats_of_known_field() {
+        let m = Mesh2D::<f32>::from_fn(2, 2, |x, y| (y * 2 + x) as f32); // 0,1,2,3
+        let s = stats_2d(&m);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.mean - 1.5).abs() < 1e-12);
+        assert!((s.rms - (14.0f64 / 4.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.lanes, 4);
+        assert_eq!(s.non_finite, 0);
+        assert!(s.summary().contains("max"));
+    }
+
+    #[test]
+    fn stats_counts_vector_lanes() {
+        let m = Mesh3D::<VecN<3>>::from_fn(2, 1, 1, |x, _, _| {
+            VecN::new([x as f32, -(x as f32), 2.0])
+        });
+        let s = stats_3d(&m);
+        assert_eq!(s.lanes, 6);
+        assert_eq!(s.min, -1.0);
+        assert_eq!(s.max, 2.0);
+    }
+
+    #[test]
+    fn stats_tolerates_non_finite() {
+        let mut m = Mesh2D::<f32>::zeros(2, 2);
+        m.set(0, 0, f32::NAN);
+        m.set(1, 0, 5.0);
+        let s = stats_2d(&m);
+        assert_eq!(s.non_finite, 1);
+        assert_eq!(s.max, 5.0);
+        assert!(s.summary().contains("non-finite"));
+    }
+}

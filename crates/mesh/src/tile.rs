@@ -1,0 +1,324 @@
+//! Overlapped spatial-block (tile) geometry — §IV-A of the paper.
+//!
+//! Spatial blocking cuts a mesh too large for the FPGA's internal memory into
+//! blocks that are streamed through the compute pipeline one at a time. A
+//! stencil of order `D` unrolled `p` times needs `h = p·D/2` halo cells on
+//! each side of a block, so blocks *overlap* and the overlapped cells are
+//! recomputed redundantly ("Overlapping leads to redundant computation.
+//! However this overhead can be acceptable…").
+//!
+//! [`TileGrid1D`] decomposes one dimension into tiles whose **valid regions
+//! exactly partition** the extent while the **read regions** add the halo and
+//! are aligned to the 512-bit AXI word ("we must maintain a 512 bit alignment
+//! in read/write transactions, regardless of the order of the stencil").
+//! [`TileGrid2D`] is the product decomposition used for 3D `M × N × l`
+//! blocking.
+
+use serde::{Deserialize, Serialize};
+
+/// One tile along a single dimension.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tile1D {
+    /// First cell the tile reads (global index, aligned).
+    pub read_start: usize,
+    /// Number of cells the tile reads.
+    pub read_len: usize,
+    /// First cell whose result is written back (global index).
+    pub valid_start: usize,
+    /// Number of cells written back.
+    pub valid_len: usize,
+}
+
+impl Tile1D {
+    /// End (exclusive) of the read region.
+    #[inline]
+    pub fn read_end(&self) -> usize {
+        self.read_start + self.read_len
+    }
+
+    /// End (exclusive) of the valid region.
+    #[inline]
+    pub fn valid_end(&self) -> usize {
+        self.valid_start + self.valid_len
+    }
+
+    /// Offset of the valid region within the read window (local index).
+    #[inline]
+    pub fn valid_offset(&self) -> usize {
+        self.valid_start - self.read_start
+    }
+}
+
+/// A 1D decomposition with halo overlap and alignment.
+///
+/// ```
+/// use sf_mesh::TileGrid1D;
+/// // 1000 cells in 256-wide tiles with a 10-cell halo, 16-cell alignment
+/// let g = TileGrid1D::new(1000, 256, 10, 16);
+/// // valid regions partition the extent exactly
+/// let covered: usize = g.tiles().iter().map(|t| t.valid_len).sum();
+/// assert_eq!(covered, 1000);
+/// // overlapped reads exceed the extent — the redundancy tiling pays
+/// assert!(g.total_read() > 1000);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TileGrid1D {
+    /// Extent of the decomposed dimension.
+    pub extent: usize,
+    /// Nominal block size `M` (read cells per tile before clamping).
+    pub tile: usize,
+    /// Halo per side, `h = p·D/2`.
+    pub halo: usize,
+    /// Alignment of read-region ends in cells (e.g. 16 for f32 on 512-bit AXI).
+    pub align: usize,
+    tiles: Vec<Tile1D>,
+}
+
+impl TileGrid1D {
+    /// Decompose `extent` cells into tiles of nominal size `tile` with `halo`
+    /// cells of overlap per side, read regions aligned to `align` cells.
+    ///
+    /// The valid step per tile is `tile − 2·halo`, which must be positive —
+    /// the paper's feasibility condition `M > p·D`.
+    ///
+    /// # Panics
+    /// Panics if `tile ≤ 2·halo`, if `align == 0`, or if `extent == 0`.
+    pub fn new(extent: usize, tile: usize, halo: usize, align: usize) -> Self {
+        assert!(extent > 0, "extent must be positive");
+        assert!(align > 0, "alignment must be positive");
+        assert!(
+            tile > 2 * halo,
+            "tile size {tile} must exceed twice the halo {halo} (M > pD)"
+        );
+        let step = tile - 2 * halo;
+        let mut tiles = Vec::new();
+        let mut vstart = 0usize;
+        while vstart < extent {
+            let vlen = step.min(extent - vstart);
+            let vend = vstart + vlen;
+            // expand by halo, clamp to mesh
+            let rstart = vstart.saturating_sub(halo);
+            let rend = (vend + halo).min(extent);
+            // align outward (growing the read window never hurts correctness)
+            let rstart = crate::round_down(rstart, align);
+            let rend = crate::round_up(rend, align).min(extent);
+            tiles.push(Tile1D {
+                read_start: rstart,
+                read_len: rend - rstart,
+                valid_start: vstart,
+                valid_len: vlen,
+            });
+            vstart = vend;
+        }
+        TileGrid1D {
+            extent,
+            tile,
+            halo,
+            align,
+            tiles,
+        }
+    }
+
+    /// The tiles, in ascending order.
+    #[inline]
+    pub fn tiles(&self) -> &[Tile1D] {
+        &self.tiles
+    }
+
+    /// Number of tiles.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// `true` when there are no tiles (never, by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tiles.is_empty()
+    }
+
+    /// Total cells read across all tiles (≥ `extent`; the excess is the
+    /// redundant halo traffic).
+    pub fn total_read(&self) -> usize {
+        self.tiles.iter().map(|t| t.read_len).sum()
+    }
+
+    /// Redundancy factor: total cells read ÷ extent (1.0 = no overlap).
+    pub fn redundancy(&self) -> f64 {
+        self.total_read() as f64 / self.extent as f64
+    }
+
+    /// The paper's per-block valid fraction `1 − pD/M` (eq. 10 factor) for
+    /// the nominal interior tile.
+    pub fn nominal_valid_ratio(&self) -> f64 {
+        1.0 - (2 * self.halo) as f64 / self.tile as f64
+    }
+}
+
+/// One tile of a 2D (x, y) product decomposition.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tile2D {
+    /// Decomposition along the fastest dimension (`M`).
+    pub x: Tile1D,
+    /// Decomposition along the second dimension (`N`).
+    pub y: Tile1D,
+}
+
+impl Tile2D {
+    /// Cells read by this tile (per plane for 3D use).
+    #[inline]
+    pub fn read_cells(&self) -> usize {
+        self.x.read_len * self.y.read_len
+    }
+
+    /// Cells written back by this tile (per plane).
+    #[inline]
+    pub fn valid_cells(&self) -> usize {
+        self.x.valid_len * self.y.valid_len
+    }
+}
+
+/// A 2D product decomposition — the paper's `M × N` blocks for 3D meshes
+/// (tiles span the full `l` dimension).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TileGrid2D {
+    /// Grid along `x`.
+    pub gx: TileGrid1D,
+    /// Grid along `y`.
+    pub gy: TileGrid1D,
+}
+
+impl TileGrid2D {
+    /// Decompose an `nx × ny` domain into `tile_m × tile_n` blocks with the
+    /// same halo on both axes. Only the `x` axis needs AXI alignment (it is
+    /// the contiguous one); `y` tiles align to 1.
+    pub fn new(nx: usize, ny: usize, tile_m: usize, tile_n: usize, halo: usize, align: usize) -> Self {
+        TileGrid2D {
+            gx: TileGrid1D::new(nx, tile_m, halo, align),
+            gy: TileGrid1D::new(ny, tile_n, halo, 1),
+        }
+    }
+
+    /// Iterate all tiles in row-major (y-outer) order.
+    pub fn tiles(&self) -> impl Iterator<Item = Tile2D> + '_ {
+        self.gy.tiles().iter().flat_map(move |&ty| {
+            self.gx.tiles().iter().map(move |&tx| Tile2D { x: tx, y: ty })
+        })
+    }
+
+    /// Number of tiles.
+    pub fn len(&self) -> usize {
+        self.gx.len() * self.gy.len()
+    }
+
+    /// `true` when there are no tiles (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total cells read per plane across all tiles.
+    pub fn total_read(&self) -> usize {
+        self.tiles().map(|t| t.read_cells()).sum()
+    }
+
+    /// Redundancy factor per plane.
+    pub fn redundancy(&self) -> f64 {
+        self.total_read() as f64 / (self.gx.extent * self.gy.extent) as f64
+    }
+
+    /// The paper's eq. (8)/(10) valid fraction `(1 − pD/M)(1 − pD/N)`.
+    pub fn nominal_valid_ratio(&self) -> f64 {
+        self.gx.nominal_valid_ratio() * self.gy.nominal_valid_ratio()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_partition(g: &TileGrid1D) {
+        // valid regions are contiguous, disjoint and cover [0, extent)
+        let mut next = 0usize;
+        for t in g.tiles() {
+            assert_eq!(t.valid_start, next, "gap or overlap in valid regions");
+            assert!(t.valid_len > 0);
+            // read covers valid plus halo (clamped)
+            assert!(t.read_start <= t.valid_start.saturating_sub(g.halo));
+            assert!(t.read_end() >= (t.valid_end() + g.halo).min(g.extent));
+            assert!(t.read_end() <= g.extent);
+            // alignment (clamped at extent)
+            assert_eq!(t.read_start % g.align, 0);
+            assert!(t.read_end() % g.align == 0 || t.read_end() == g.extent);
+            next = t.valid_end();
+        }
+        assert_eq!(next, g.extent, "valid regions must cover the extent");
+    }
+
+    #[test]
+    fn single_tile_when_extent_small() {
+        let g = TileGrid1D::new(100, 1024, 60, 16);
+        assert_eq!(g.len(), 1);
+        let t = g.tiles()[0];
+        assert_eq!(t.read_start, 0);
+        assert_eq!(t.read_len, 100);
+        assert_eq!(t.valid_len, 100);
+        check_partition(&g);
+    }
+
+    #[test]
+    fn poisson_paper_tiling_15000_by_1024() {
+        // Poisson tiled, Table IV: 15000^2 mesh, tile 1024, p=60, D=2 → halo 60
+        let g = TileGrid1D::new(15000, 1024, 60, 16);
+        check_partition(&g);
+        // step = 1024 - 120 = 904 → ceil(15000/904) = 17 tiles
+        assert_eq!(g.len(), 17);
+        assert!(g.redundancy() > 1.0 && g.redundancy() < 1.2);
+        assert!((g.nominal_valid_ratio() - (1.0 - 120.0 / 1024.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interior_tiles_have_full_halo() {
+        let g = TileGrid1D::new(5000, 512, 30, 16);
+        check_partition(&g);
+        let mid = g.tiles()[g.len() / 2];
+        assert!(mid.valid_offset() >= 30);
+        assert!(mid.read_end() - mid.valid_end() >= 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed twice the halo")]
+    fn tile_smaller_than_halo_panics() {
+        let _ = TileGrid1D::new(1000, 100, 50, 16);
+    }
+
+    #[test]
+    fn alignment_grows_reads_only() {
+        let g = TileGrid1D::new(1000, 256, 10, 16);
+        check_partition(&g);
+        for t in g.tiles() {
+            assert!(t.read_len >= t.valid_len);
+        }
+    }
+
+    #[test]
+    fn grid2d_jacobi_paper_tiling() {
+        // Jacobi tiled, Table V: 600^3 mesh, 640^2 tiles... use 256 here:
+        // p=3, D=2 → halo 3.
+        let g = TileGrid2D::new(600, 600, 256, 256, 3, 16);
+        let n_valid: usize = g.tiles().map(|t| t.valid_cells()).sum();
+        assert_eq!(n_valid, 600 * 600, "valid cells must tile the plane");
+        assert!(g.redundancy() > 1.0);
+        let vr = g.nominal_valid_ratio();
+        assert!((vr - (1.0 - 6.0 / 256.0) * (1.0 - 6.0 / 256.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid2d_tile_count() {
+        let g = TileGrid2D::new(100, 100, 64, 64, 2, 16);
+        // step = 60 → 2 tiles per axis
+        assert_eq!(g.gx.len(), 2);
+        assert_eq!(g.gy.len(), 2);
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.tiles().count(), 4);
+    }
+}

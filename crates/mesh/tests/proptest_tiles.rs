@@ -1,0 +1,141 @@
+//! Property-based tests for the tiling geometry and batch seam logic.
+//!
+//! These are the invariants the whole spatial-blocking pipeline rests on:
+//! if a valid-region partition ever gapped or overlapped, the tiled executor
+//! would silently produce wrong meshes.
+
+use proptest::prelude::*;
+use sf_mesh::{Batch2D, Batch3D, Mesh2D, TileGrid1D, TileGrid2D};
+
+proptest! {
+    /// Valid regions of a 1D tile grid partition [0, extent) exactly.
+    #[test]
+    fn tile1d_valid_regions_partition(
+        extent in 1usize..20_000,
+        tile in 8usize..2048,
+        halo in 0usize..64,
+        align_pow in 0u32..5,
+    ) {
+        prop_assume!(tile > 2 * halo);
+        let align = 1usize << align_pow;
+        let g = TileGrid1D::new(extent, tile, halo, align);
+        let mut covered = 0usize;
+        for t in g.tiles() {
+            prop_assert_eq!(t.valid_start, covered);
+            prop_assert!(t.valid_len > 0);
+            covered = t.valid_end();
+        }
+        prop_assert_eq!(covered, extent);
+    }
+
+    /// Every tile's read window contains its valid region expanded by the
+    /// halo (clamped to the mesh), and is aligned.
+    #[test]
+    fn tile1d_reads_cover_halo_and_align(
+        extent in 1usize..20_000,
+        tile in 8usize..2048,
+        halo in 0usize..64,
+    ) {
+        prop_assume!(tile > 2 * halo);
+        let g = TileGrid1D::new(extent, tile, halo, 16);
+        for t in g.tiles() {
+            prop_assert!(t.read_start <= t.valid_start.saturating_sub(halo));
+            prop_assert!(t.read_end() >= (t.valid_end() + halo).min(extent));
+            prop_assert!(t.read_end() <= extent);
+            prop_assert_eq!(t.read_start % 16, 0);
+            prop_assert!(t.read_end() % 16 == 0 || t.read_end() == extent);
+        }
+    }
+
+    /// Redundancy is ≥ 1 and bounded by the nominal overlap fraction.
+    #[test]
+    fn tile1d_redundancy_bounded(
+        extent in 1000usize..50_000,
+        tile in 128usize..4096,
+        halo in 1usize..60,
+    ) {
+        prop_assume!(tile > 2 * halo + 32);
+        let g = TileGrid1D::new(extent, tile, halo, 16);
+        let r = g.redundancy();
+        prop_assert!(r >= 1.0);
+        // each tile adds at most 2*halo + 2*align extra cells
+        let bound = 1.0 + g.len() as f64 * (2.0 * halo as f64 + 32.0) / extent as f64;
+        prop_assert!(r <= bound, "redundancy {} exceeds bound {}", r, bound);
+    }
+
+    /// 2D product grids tile the plane: sum of valid cells equals the area.
+    #[test]
+    fn tile2d_valid_cells_tile_plane(
+        nx in 1usize..2000,
+        ny in 1usize..2000,
+        tile in 32usize..512,
+        halo in 0usize..12,
+    ) {
+        prop_assume!(tile > 2 * halo);
+        let g = TileGrid2D::new(nx, ny, tile, tile, halo, 16);
+        let total: usize = g.tiles().map(|t| t.valid_cells()).sum();
+        prop_assert_eq!(total, nx * ny);
+    }
+
+    /// Batch2D: every global row has exactly one owner and the seam guard
+    /// agrees with the per-mesh interior predicate.
+    #[test]
+    fn batch2d_owner_consistent(
+        nx in 3usize..64,
+        ny in 3usize..64,
+        b in 1usize..8,
+        r in 1usize..3,
+    ) {
+        let batch = Batch2D::<f32>::zeros(nx, ny, b);
+        for gy in 0..batch.stacked_ny() {
+            let (i, ly) = batch.owner(gy);
+            prop_assert!(i < b);
+            prop_assert_eq!(i * ny + ly, gy);
+            for x in 0..nx {
+                let mesh = Mesh2D::<f32>::zeros(nx, ny);
+                prop_assert_eq!(
+                    batch.is_interior_global(x, gy, r),
+                    mesh.is_interior(x, ly, r)
+                );
+            }
+        }
+    }
+
+    /// Batch3D: round-trip through from_meshes/mesh preserves every mesh.
+    #[test]
+    fn batch3d_roundtrip(
+        nx in 2usize..12,
+        ny in 2usize..12,
+        nz in 2usize..12,
+        b in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let batch = Batch3D::<f32>::random(nx, ny, nz, b, seed, -1.0, 1.0);
+        for i in 0..b {
+            let m = batch.mesh(i);
+            prop_assert_eq!((m.nx(), m.ny(), m.nz()), (nx, ny, nz));
+            for z in 0..nz {
+                for y in 0..ny {
+                    for x in 0..nx {
+                        prop_assert_eq!(m.get(x, y, z), batch.get(i, x, y, z));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Mesh2D extract/insert_valid with identity regions is a no-op copy.
+    #[test]
+    fn mesh2d_extract_insert_identity(
+        nx in 2usize..40,
+        ny in 2usize..40,
+        seed in 0u64..1000,
+    ) {
+        let m = Mesh2D::<f32>::random(nx, ny, seed, -10.0, 10.0);
+        let t = m.extract(0, 0, nx, ny);
+        prop_assert_eq!(&t, &m);
+        let mut dst = Mesh2D::<f32>::zeros(nx, ny);
+        dst.insert_valid(&t, 0, 0, 0, 0, nx, ny);
+        prop_assert_eq!(&dst, &m);
+    }
+}

@@ -1,0 +1,236 @@
+//! Model-accuracy validation: the paper's "±15 % of the achieved runtime"
+//! claim, reproduced against the cycle-level simulator.
+//!
+//! [`accuracy_suite`] evaluates every configuration from the paper's
+//! evaluation section (Tables IV–VI / Figs. 3–5) and compares the
+//! [`crate::predict`] model at both levels against the simulator's achieved
+//! runtime. The extended model should land within ±15 % on ≥ 85 % of the
+//! suite (the abstract's "over 85 % predictive model accuracy"); the ideal
+//! equations drift on latency-dominated small baselines and memory-bound 3D
+//! tiles — exactly the places the paper itself flags.
+
+use crate::predict::{predict, PredictionLevel};
+use serde::{Deserialize, Serialize};
+use sf_fpga::cycles;
+use sf_fpga::design::{synthesize, ExecMode, StencilDesign, Workload};
+use sf_fpga::{FpgaDevice, MemKind};
+use sf_kernels::{AppId, StencilSpec};
+
+/// One prediction-vs-achieved comparison.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyCase {
+    /// Human-readable configuration label.
+    pub label: String,
+    /// Application.
+    pub app: AppId,
+    /// Ideal-model runtime (s).
+    pub ideal_s: f64,
+    /// Extended-model runtime (s).
+    pub extended_s: f64,
+    /// Simulator (achieved) runtime (s).
+    pub achieved_s: f64,
+}
+
+impl AccuracyCase {
+    /// Signed relative error of the ideal model, percent.
+    pub fn ideal_err_pct(&self) -> f64 {
+        (self.ideal_s - self.achieved_s) / self.achieved_s * 100.0
+    }
+
+    /// Signed relative error of the extended model, percent.
+    pub fn extended_err_pct(&self) -> f64 {
+        (self.extended_s - self.achieved_s) / self.achieved_s * 100.0
+    }
+}
+
+/// Aggregate statistics over a suite.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyStats {
+    /// All evaluated cases.
+    pub cases: Vec<AccuracyCase>,
+}
+
+impl AccuracyStats {
+    /// Fraction of cases whose |error| ≤ `pct` at the chosen level.
+    pub fn frac_within(&self, pct: f64, level: PredictionLevel) -> f64 {
+        if self.cases.is_empty() {
+            return 0.0;
+        }
+        let n = self
+            .cases
+            .iter()
+            .filter(|c| {
+                let e = match level {
+                    PredictionLevel::Ideal => c.ideal_err_pct(),
+                    PredictionLevel::Extended => c.extended_err_pct(),
+                };
+                e.abs() <= pct
+            })
+            .count();
+        n as f64 / self.cases.len() as f64
+    }
+
+    /// Worst absolute error (percent) at the chosen level.
+    pub fn worst_abs_err_pct(&self, level: PredictionLevel) -> f64 {
+        self.cases
+            .iter()
+            .map(|c| match level {
+                PredictionLevel::Ideal => c.ideal_err_pct().abs(),
+                PredictionLevel::Extended => c.extended_err_pct().abs(),
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+fn eval(
+    dev: &FpgaDevice,
+    label: &str,
+    design: &StencilDesign,
+    wl: &Workload,
+    niter: u64,
+    out: &mut AccuracyStats,
+) {
+    let achieved = cycles::plan(dev, design, wl, niter).runtime_s;
+    let ideal = predict(dev, design, wl, niter, PredictionLevel::Ideal).runtime_s;
+    let extended = predict(dev, design, wl, niter, PredictionLevel::Extended).runtime_s;
+    out.cases.push(AccuracyCase {
+        label: label.to_string(),
+        app: design.spec.app,
+        ideal_s: ideal,
+        extended_s: extended,
+        achieved_s: achieved,
+    });
+}
+
+/// Evaluate the full paper-configuration suite (every mesh/batch/tile of
+/// Tables IV–VI) on a device.
+pub fn accuracy_suite(dev: &FpgaDevice) -> AccuracyStats {
+    let mut stats = AccuracyStats::default();
+
+    // ---- Poisson-5pt-2D ----
+    let ps = StencilSpec::poisson();
+    let meshes2d = [(200usize, 100usize), (200, 200), (300, 150), (300, 300), (400, 200), (400, 400)];
+    for &(nx, ny) in &meshes2d {
+        let wl = Workload::D2 { nx, ny, batch: 1 };
+        let ds = synthesize(dev, &ps, 8, 60, ExecMode::Baseline, MemKind::Hbm, &wl).unwrap();
+        eval(dev, &format!("poisson base {nx}x{ny}"), &ds, &wl, 60_000, &mut stats);
+        for b in [100usize, 1000] {
+            let wlb = Workload::D2 { nx, ny, batch: b };
+            let dsb = synthesize(dev, &ps, 8, 60, ExecMode::Batched { b }, MemKind::Hbm, &wlb).unwrap();
+            eval(dev, &format!("poisson {b}B {nx}x{ny}"), &dsb, &wlb, 60_000, &mut stats);
+        }
+    }
+    for &n in &[15_000usize, 20_000] {
+        for &tile in &[1024usize, 4096, 8000] {
+            let wl = Workload::D2 { nx: n, ny: n, batch: 1 };
+            let ds = synthesize(dev, &ps, 8, 60, ExecMode::Tiled1D { tile_m: tile }, MemKind::Ddr4, &wl)
+                .unwrap();
+            eval(dev, &format!("poisson tiled {n}² M={tile}"), &ds, &wl, 6_000, &mut stats);
+        }
+    }
+
+    // ---- Jacobi-7pt-3D ----
+    let js = StencilSpec::jacobi();
+    for &n in &[50usize, 100, 200, 250, 300] {
+        let wl = Workload::D3 { nx: n, ny: n, nz: n, batch: 1 };
+        let ds = synthesize(dev, &js, 8, 29, ExecMode::Baseline, MemKind::Hbm, &wl).unwrap();
+        eval(dev, &format!("jacobi base {n}³"), &ds, &wl, 29_000, &mut stats);
+    }
+    for &n in &[50usize, 100, 200] {
+        for b in [10usize, 50] {
+            let wl = Workload::D3 { nx: n, ny: n, nz: n, batch: b };
+            let ds = synthesize(dev, &js, 8, 29, ExecMode::Batched { b }, MemKind::Hbm, &wl).unwrap();
+            eval(dev, &format!("jacobi {b}B {n}³"), &ds, &wl, 2_900, &mut stats);
+        }
+    }
+    for &tile in &[256usize, 512, 640] {
+        let wl = Workload::D3 { nx: 600, ny: 600, nz: 600, batch: 1 };
+        let ds = synthesize(dev, &js, 64, 3, ExecMode::Tiled2D { tile_m: tile, tile_n: tile }, MemKind::Hbm, &wl)
+            .unwrap();
+        eval(dev, &format!("jacobi tiled 600³ M={tile}"), &ds, &wl, 120, &mut stats);
+        let wl2 = Workload::D3 { nx: 1800, ny: 1800, nz: 100, batch: 1 };
+        let ds2 = synthesize(dev, &js, 64, 3, ExecMode::Tiled2D { tile_m: tile, tile_n: tile }, MemKind::Hbm, &wl2)
+            .unwrap();
+        eval(dev, &format!("jacobi tiled 1800²x100 M={tile}"), &ds2, &wl2, 120, &mut stats);
+    }
+
+    // ---- beyond the paper: custom kernels through the same model ----
+    {
+        let heat = sf_kernels::StarStencil2D::laplace9_order4(0.05, 1.0).spec();
+        for (nx, ny) in [(512usize, 256usize), (2000, 1000)] {
+            let wl = Workload::D2 { nx, ny, batch: 1 };
+            let v = 8;
+            let p = crate::equations::p_dsp(dev.dsp_total, dev.dsp_util_target, v, heat.gdsp())
+                .min(32);
+            let ds = synthesize(dev, &heat, v, p, ExecMode::Baseline, MemKind::Hbm, &wl).unwrap();
+            eval(dev, &format!("heat9 base {nx}x{ny}"), &ds, &wl, 5_000, &mut stats);
+        }
+        let wave = sf_kernels::wave2d::spec();
+        let wl = Workload::D2 { nx: 1024, ny: 512, batch: 1 };
+        let ds = synthesize(dev, &wave, 4, 8, ExecMode::Baseline, MemKind::Hbm, &wl).unwrap();
+        eval(dev, "wave2d base 1024x512", &ds, &wl, 10_000, &mut stats);
+    }
+
+    // ---- RTM ----
+    let rs = StencilSpec::rtm();
+    let rtm_meshes = [(32usize, 32usize, 32usize), (32, 32, 50), (50, 50, 16), (50, 50, 32), (50, 50, 50)];
+    for &(nx, ny, nz) in &rtm_meshes {
+        let wl = Workload::D3 { nx, ny, nz, batch: 1 };
+        let ds = synthesize(dev, &rs, 1, 3, ExecMode::Baseline, MemKind::Hbm, &wl).unwrap();
+        eval(dev, &format!("rtm base {nx}x{ny}x{nz}"), &ds, &wl, 1_800, &mut stats);
+        for b in [20usize, 40] {
+            let wlb = Workload::D3 { nx, ny, nz, batch: b };
+            let dsb = synthesize(dev, &rs, 1, 3, ExecMode::Batched { b }, MemKind::Hbm, &wlb).unwrap();
+            eval(dev, &format!("rtm {b}B {nx}x{ny}x{nz}"), &dsb, &wlb, 180, &mut stats);
+        }
+    }
+
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extended_model_meets_paper_accuracy_claim() {
+        let dev = FpgaDevice::u280();
+        let stats = accuracy_suite(&dev);
+        assert!(stats.cases.len() > 50, "suite covers the full evaluation section");
+        let frac = stats.frac_within(15.0, PredictionLevel::Extended);
+        assert!(
+            frac >= 0.85,
+            "extended model within ±15 % on only {:.0} % of cases",
+            frac * 100.0
+        );
+    }
+
+    #[test]
+    fn ideal_model_drifts_where_paper_says_it_does() {
+        let dev = FpgaDevice::u280();
+        let stats = accuracy_suite(&dev);
+        let frac_ideal = stats.frac_within(15.0, PredictionLevel::Ideal);
+        let frac_ext = stats.frac_within(15.0, PredictionLevel::Extended);
+        assert!(frac_ext >= frac_ideal, "extended must not be worse overall");
+        // the latency-dominated small baselines must exceed ±15 % under the
+        // pure equations (the gap the overhead calibration exists to close)
+        let small = stats
+            .cases
+            .iter()
+            .find(|c| c.label == "poisson base 200x100")
+            .unwrap();
+        assert!(small.ideal_err_pct().abs() > 15.0);
+    }
+
+    #[test]
+    fn errors_are_signed_and_finite() {
+        let dev = FpgaDevice::u280();
+        let stats = accuracy_suite(&dev);
+        for c in &stats.cases {
+            assert!(c.ideal_err_pct().is_finite(), "{}", c.label);
+            assert!(c.extended_err_pct().is_finite(), "{}", c.label);
+            // the ideal model never over-predicts (it omits only overheads)
+            assert!(c.ideal_s <= c.achieved_s * 1.0001, "{}", c.label);
+        }
+    }
+}

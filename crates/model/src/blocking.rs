@@ -1,0 +1,201 @@
+//! Tile-size selection for spatial blocking (§IV-A).
+//!
+//! Eq. (11) gives the continuous memory-optimal square tile
+//! `M = sqrt(FPGA_mem/(k·p·D))`, but the sizes the paper actually deploys
+//! are set by **block quantization**:
+//!
+//! * Poisson (BRAM-buffered 2D rows): one BRAM36 per lane at power-of-two
+//!   depth 1024 → `M = V · 1024 = 8192` (Table III).
+//! * Jacobi (URAM-buffered 3D planes): one URAM288 per lane per plane →
+//!   `M·N/V · 4 B = 36 KiB` → `M = N = 768` at `V = 64` (Table III).
+//!
+//! [`recommended_tile_2d`]/[`recommended_tile_3d`] implement exactly those
+//! rules; the continuous optima are re-exported from [`crate::equations`]
+//! for comparison.
+
+use crate::equations;
+use sf_fpga::FpgaDevice;
+use sf_kernels::StencilSpec;
+
+/// Largest power of two ≤ `n` (0 → 0).
+fn floor_pow2(n: usize) -> usize {
+    if n == 0 {
+        0
+    } else {
+        1 << (usize::BITS - 1 - n.leading_zeros())
+    }
+}
+
+/// Recommended 2D tile width `M` for a `(V, p)` design: BRAM-buffered lanes
+/// at the largest power-of-two depth the BRAM budget allows.
+pub fn recommended_tile_2d(dev: &FpgaDevice, spec: &StencilSpec, v: usize, p: usize) -> usize {
+    assert_eq!(spec.dims, 2);
+    let lane_buffers = p * spec.stages * spec.order * v;
+    let budget = (dev.bram_blocks as f64 * dev.dsp_util_target) as usize;
+    let blocks_per_lane = (budget / lane_buffers).max(1);
+    let depth_cells = blocks_per_lane * dev.bram_block_bytes / spec.window_elem_bytes;
+    let depth = floor_pow2(depth_cells);
+    depth * v
+}
+
+/// Recommended square 3D tile `(M, N)` for a `(V, p)` design: one URAM per
+/// lane per plane buffer (the routing-friendly single-block banking the
+/// paper's designs use), `M` rounded down to a multiple of `V`.
+pub fn recommended_tile_3d(dev: &FpgaDevice, spec: &StencilSpec, v: usize, p: usize) -> (usize, usize) {
+    assert_eq!(spec.dims, 3);
+    let lane_plane_cells = dev.uram_block_bytes / spec.window_elem_bytes;
+    let plane_cells = lane_plane_cells * v;
+    let m = sf_mesh::round_down((plane_cells as f64).sqrt() as usize, v).max(v);
+    // verify the URAM budget actually covers it; shrink M if not
+    let lane_buffers = p * spec.stages * spec.order * v;
+    if lane_buffers > dev.uram_blocks {
+        // fall back to the continuous optimum within whatever memory remains
+        let cont = equations::m_opt(
+            dev.internal_mem_bytes() as f64 * dev.mem_util_target,
+            spec.window_elem_bytes as f64,
+            p as f64,
+            (spec.order * spec.stages) as f64,
+        ) as usize;
+        let m2 = sf_mesh::round_down(cont, v).max(v);
+        return (m2, m2);
+    }
+    (m, m)
+}
+
+/// A complete spatial/temporal blocking recommendation for an application.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BlockingPlan {
+    /// Continuous memory-optimal square tile edge (eq. 11).
+    pub m_continuous: f64,
+    /// Quantized, deployable tile edge (`M`).
+    pub m: usize,
+    /// Second tile dimension (`N`, 3D only).
+    pub n: Option<usize>,
+    /// Throughput-optimal unroll for the quantized tile (eq. 12), before
+    /// resource limits.
+    pub p_throughput_opt: f64,
+    /// The unroll actually deployable: `min(p_dsp, ⌊p_throughput_opt⌋)`,
+    /// at least 1.
+    pub p: usize,
+    /// Minimum tile edge eq. (12) demands to support the given `p`
+    /// (`M = 3·D·p` — the paper's "tile size dimension M = 96 from (12)
+    /// given D is 8" for RTM at p = 4).
+    pub m_required_for_p: usize,
+    /// Predicted valid-cells-per-cycle throughput (eq. 13/14, `l → ∞`).
+    pub throughput: f64,
+}
+
+/// Derive a blocking plan for an application at vectorization `v`.
+pub fn blocking_plan(dev: &FpgaDevice, spec: &StencilSpec, v: usize) -> BlockingPlan {
+    let d_eff = spec.order * spec.stages;
+    let p_dsp = equations::p_dsp(dev.dsp_total, dev.dsp_util_target, v, spec.gdsp());
+    let (m, n) = if spec.dims == 2 {
+        (recommended_tile_2d(dev, spec, v, p_dsp.max(1)), None)
+    } else {
+        let (m, n) = recommended_tile_3d(dev, spec, v, p_dsp.max(1));
+        (m, Some(n))
+    };
+    let m_continuous = equations::m_opt(
+        dev.internal_mem_bytes() as f64 * dev.mem_util_target,
+        spec.window_elem_bytes as f64,
+        p_dsp.max(1) as f64,
+        d_eff as f64,
+    );
+    let p_throughput_opt = equations::p_max_for_tile(m as f64, spec.order as f64);
+    let p = p_dsp.min(p_throughput_opt.floor() as usize).max(1);
+    let m_required_for_p = 3 * spec.order * p;
+    let dsp = (p * v * spec.gdsp()) as f64;
+    let throughput = if spec.dims == 2 {
+        equations::t2d(m as f64, 1e12, p as f64, spec.order as f64, dsp, spec.gdsp() as f64)
+    } else {
+        equations::t3d(m as f64, 1e12, p as f64, spec.order as f64, dsp, spec.gdsp() as f64)
+    };
+    BlockingPlan {
+        m_continuous,
+        m,
+        n,
+        p_throughput_opt,
+        p,
+        m_required_for_p,
+        throughput,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> FpgaDevice {
+        FpgaDevice::u280()
+    }
+
+    #[test]
+    fn poisson_tile_matches_table3() {
+        // Table III: Poisson p=60, V=8 → M = 8192
+        let m = recommended_tile_2d(&dev(), &StencilSpec::poisson(), 8, 60);
+        assert_eq!(m, 8192);
+    }
+
+    #[test]
+    fn jacobi_tile_matches_table3() {
+        // Table III: Jacobi p=3, V=64 → M = N = 768
+        let (m, n) = recommended_tile_3d(&dev(), &StencilSpec::jacobi(), 64, 3);
+        assert_eq!((m, n), (768, 768));
+    }
+
+    #[test]
+    fn smaller_p_gives_deeper_2d_tiles() {
+        let m60 = recommended_tile_2d(&dev(), &StencilSpec::poisson(), 8, 60);
+        let m20 = recommended_tile_2d(&dev(), &StencilSpec::poisson(), 8, 20);
+        assert!(m20 >= m60, "fewer modules leave more BRAM per lane");
+    }
+
+    #[test]
+    fn tile_is_multiple_of_v() {
+        for v in [8usize, 16, 32, 64] {
+            let (m, _) = recommended_tile_3d(&dev(), &StencilSpec::jacobi(), v, 3);
+            assert_eq!(m % v, 0, "V={v}: M={m}");
+        }
+    }
+
+    #[test]
+    fn rtm_tiling_needs_m96_like_the_paper() {
+        // §V-C: "A solution for the limited mesh size is of course spatial
+        // blocking, but it requires p=4. This leads to a tile size dimension
+        // M=96 from (12) given D is 8" — eq. (12) inverted: M = 3·D·p.
+        assert_eq!(3 * 8 * 4, 96);
+        let plan = blocking_plan(&dev(), &StencilSpec::rtm(), 1);
+        // at p=3 the requirement is 72; the plan must report the identity
+        assert_eq!(plan.m_required_for_p, 3 * 8 * plan.p);
+        assert!(plan.p <= 3, "RTM unroll is DSP-capped at 3");
+    }
+
+    #[test]
+    fn jacobi_blocking_plan_matches_table3() {
+        let plan = blocking_plan(&dev(), &StencilSpec::jacobi(), 64);
+        assert_eq!(plan.m, 768);
+        assert_eq!(plan.n, Some(768));
+        assert_eq!(plan.p, 3, "p_dsp = 3 at V = 64");
+        assert!((plan.throughput - 189.0).abs() < 0.5, "T = {}", plan.throughput);
+    }
+
+    #[test]
+    fn poisson_blocking_plan_matches_table3() {
+        let plan = blocking_plan(&dev(), &StencilSpec::poisson(), 8);
+        assert_eq!(plan.m, 8192);
+        assert_eq!(plan.n, None);
+        // p capped by DSPs (68), well below eq-12's M/3D = 1365
+        assert_eq!(plan.p, 68);
+        assert!(plan.p_throughput_opt > 1000.0);
+        assert!(plan.throughput > 500.0);
+    }
+
+    #[test]
+    fn floor_pow2_basics() {
+        assert_eq!(floor_pow2(0), 0);
+        assert_eq!(floor_pow2(1), 1);
+        assert_eq!(floor_pow2(1023), 512);
+        assert_eq!(floor_pow2(1024), 1024);
+        assert_eq!(floor_pow2(1152), 1024);
+    }
+}

@@ -1,0 +1,229 @@
+//! The paper's model equations (2)–(15), verbatim.
+//!
+//! Symbol glossary (paper → here): mesh `m × n (× l)` → `m, n, l` with `m`
+//! the fastest (row) dimension; `V` vectorization factor; `p` iterative
+//! unroll; `D` stencil order; `k` element bytes; `B` batch size; `M × N`
+//! tile dimensions.
+
+/// Eq. (2): total clock cycles to run `niter` iterations of a 2D stencil on
+/// an `m × n` mesh:
+/// `Clks₂D = niter/p × (⌈m/V⌉ × (n + p·D/2))`.
+pub fn clks_2d(niter: u64, p: u64, m: u64, n: u64, v: u64, d: u64) -> u64 {
+    niter.div_ceil(p) * (m.div_ceil(v) * (n + p * d / 2))
+}
+
+/// Eq. (3): the 3D analogue on an `m × n × l` mesh:
+/// `Clks₃D = niter/p × (⌈m/V⌉ × n × (l + p·D/2))`.
+pub fn clks_3d(niter: u64, p: u64, m: u64, n: u64, l: u64, v: u64, d: u64) -> u64 {
+    niter.div_ceil(p) * (m.div_ceil(v) * n * (l + p * d / 2))
+}
+
+/// Eq. (4) rearranged: the maximum vectorization factor sustainable by
+/// `channels` memory channels of `bw_channel` bytes/s at clock `f`:
+/// `BW ≥ 2·V·f·sizeof(t)` → `V_max = ⌊BW / (2·f·k)⌋`.
+pub fn v_max(bw_channel: f64, channels: usize, f_hz: f64, elem_bytes: usize) -> usize {
+    ((bw_channel * channels as f64) / (2.0 * f_hz * elem_bytes as f64)).floor() as usize
+}
+
+/// Eq. (5): clock cycles per mesh point per iteration for a 2D mesh whose
+/// width is a multiple of `V`: `1/V + p·D/(2·n·V)`.
+pub fn clks_per_cell_2d(p: u64, n: u64, v: u64, d: u64) -> f64 {
+    1.0 / v as f64 + (p * d) as f64 / (2 * n * v) as f64
+}
+
+/// Eq. (6): DSP-limited unroll factor
+/// `p_dsp = ⌊util · FPGA_dsp / (V · G_dsp)⌋`.
+pub fn p_dsp(fpga_dsp: usize, util: f64, v: usize, gdsp: usize) -> usize {
+    ((util * fpga_dsp as f64) / (v * gdsp) as f64).floor() as usize
+}
+
+/// Eq. (7): memory-limited unroll factor for a 2D app buffering `D` rows of
+/// `m` elements of `k` bytes: `p_mem = ⌊util · FPGA_mem / (k·D·m)⌋`.
+/// For 3D pass `m = m·n` (the plane size), as the paper notes.
+pub fn p_mem(fpga_mem_bytes: usize, util: f64, k: usize, d: usize, unit_cells: usize) -> usize {
+    ((util * fpga_mem_bytes as f64) / (k * d * unit_cells) as f64).floor() as usize
+}
+
+/// Eq. (8): valid mesh points per `M × N × l` block: `(M−pD)(N−pD)·l`.
+pub fn block_valid_3d(m: u64, n: u64, l: u64, p: u64, d: u64) -> u64 {
+    m.saturating_sub(p * d) * n.saturating_sub(p * d) * l
+}
+
+/// Eq. (9): average cycles to process one `M × N × l` block for `p`
+/// iterations: `M/V × N × (l + pD/2) / p`.
+pub fn clks_block_3d(m: u64, n: u64, l: u64, p: u64, v: u64, d: u64) -> f64 {
+    (m as f64 / v as f64) * n as f64 * ((l + p * d / 2) as f64) / p as f64
+}
+
+/// Eq. (10): blocked throughput in valid cells per cycle:
+/// `T = (1 − pD/M)(1 − pD/N)(p·V·l/(l + pD/2))`.
+pub fn throughput_3d(m: f64, n: f64, l: f64, p: f64, v: f64, d: f64) -> f64 {
+    (1.0 - p * d / m) * (1.0 - p * d / n) * (p * v * l / (l + p * d / 2.0))
+}
+
+/// Eq. (11): memory-optimal square tile edge `M = sqrt(FPGA_mem/(k·p·D))`.
+pub fn m_opt(fpga_mem_bytes: f64, k: f64, p: f64, d: f64) -> f64 {
+    (fpga_mem_bytes / (k * p * d)).sqrt()
+}
+
+/// Eq. (12): throughput-optimal unroll for a given square tile `M`:
+/// `p_max = M / (3·D)`.
+pub fn p_max_for_tile(m: f64, d: f64) -> f64 {
+    m / (3.0 * d)
+}
+
+/// Eq. (13): DSP-normalized 3D blocked throughput
+/// `T₃D = (1 − pD/M)² × (DSP/G_dsp) × (l/(l + pD/2))`.
+pub fn t3d(m: f64, l: f64, p: f64, d: f64, dsp: f64, gdsp: f64) -> f64 {
+    let vf = 1.0 - p * d / m;
+    vf * vf * (dsp / gdsp) * (l / (l + p * d / 2.0))
+}
+
+/// Eq. (14): the 2D analogue
+/// `T₂D = (1 − pD/M) × (DSP/G_dsp) × (n/(n + pD/2))`.
+pub fn t2d(m: f64, n: f64, p: f64, d: f64, dsp: f64, gdsp: f64) -> f64 {
+    (1.0 - p * d / m) * (dsp / gdsp) * (n / (n + p * d / 2.0))
+}
+
+/// Eq. (15): cycles to process **one mesh** within a batch of `B` 2D meshes:
+/// `⌈m/V⌉ × (n + p·D/(2B))` — the fill is amortized over the batch.
+pub fn clks_2d_batched_mesh(m: u64, n: u64, b: u64, p: u64, v: u64, d: u64) -> f64 {
+    m.div_ceil(v) as f64 * (n as f64 + (p * d) as f64 / (2 * b) as f64)
+}
+
+/// Eq. (15) inverted: the smallest batch `B` at which the per-mesh cost is
+/// within `efficiency` (e.g. 0.99) of the fill-free ideal `⌈m/V⌉·n` — how
+/// one chooses the paper's `B = 100`/`B = 1000` operating points:
+/// `B ≥ p·D·ε / (2·n·(1−ε))`.
+pub fn batch_for_efficiency(n: u64, p: u64, d: u64, efficiency: f64) -> u64 {
+    assert!((0.0..1.0).contains(&efficiency), "efficiency must be in [0,1)");
+    let b = (p * d) as f64 * efficiency / (2.0 * n as f64 * (1.0 - efficiency));
+    (b.ceil() as u64).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq2_poisson_example() {
+        // 60 000 iters, p=60, 200×100, V=8, D=2:
+        // 1000 × (25 × (100+60)) = 4 000 000
+        assert_eq!(clks_2d(60_000, 60, 200, 100, 8, 2), 4_000_000);
+    }
+
+    #[test]
+    fn eq2_rounds_partial_rows_and_passes() {
+        // m=201 → ⌈201/8⌉ = 26; niter=61, p=60 → 2 passes
+        assert_eq!(clks_2d(61, 60, 201, 100, 8, 2), 2 * 26 * 160);
+    }
+
+    #[test]
+    fn eq3_jacobi_example() {
+        // 29 000 iters, p=29, 100³, V=8: 1000 × (13×100×129)
+        assert_eq!(clks_3d(29_000, 29, 100, 100, 100, 8, 2), 1000 * 13 * 100 * 129);
+    }
+
+    #[test]
+    fn eq4_poisson_v8() {
+        // §V-A: "a value of 8 for V is calculated when using a single DDR4
+        // channel or two HBM channels with a frequency of 300MHz"
+        let v_ddr = v_max(19.2e9, 1, 300e6, 4);
+        assert_eq!(v_ddr, 8);
+        let v_hbm2 = v_max(460.0e9 / 32.0, 2, 300e6, 4);
+        assert_eq!(v_hbm2, 11); // ≥ 8 → paper picks the power of two 8
+    }
+
+    #[test]
+    fn eq5_limits() {
+        // n → ∞ gives the ideal 1/V
+        let c = clks_per_cell_2d(60, 1_000_000, 8, 2);
+        assert!((c - 0.125).abs() < 1e-4);
+        // small n shows pipeline idling
+        let c_small = clks_per_cell_2d(60, 100, 8, 2);
+        assert!(c_small > 0.19);
+    }
+
+    #[test]
+    fn eq6_matches_paper_table2() {
+        // Poisson: ⌊0.9·8490/(8·14)⌋ = 68
+        assert_eq!(p_dsp(8490, 0.9, 8, 14), 68);
+        // Jacobi: ⌊0.9·8490/(8·33)⌋ = 28
+        assert_eq!(p_dsp(8490, 0.9, 8, 33), 28);
+        // RTM at the paper's G_dsp = 2444: ⌊0.9·8490/2444⌋ = 3
+        assert_eq!(p_dsp(8490, 0.9, 1, 2444), 3);
+        // …and at our kernel's G_dsp = 1974: still 3
+        assert_eq!(p_dsp(8490, 0.9, 1, 1974), 3);
+    }
+
+    #[test]
+    fn eq7_large_mesh_starves_memory() {
+        let mem = 42_200_000;
+        // Jacobi on 4000×4000 planes: k·D·m·n = 4·2·16e6 = 128 MB → p_mem = 0
+        assert_eq!(p_mem(mem, 0.9, 4, 2, 4000 * 4000), 0);
+        // on 300×300 planes: 0.9·42.2e6 / (4·2·9e4) = 52
+        assert_eq!(p_mem(mem, 0.9, 4, 2, 300 * 300), 52);
+    }
+
+    #[test]
+    fn eq8_eq10_valid_fraction() {
+        let valid = block_valid_3d(768, 768, 600, 3, 2);
+        assert_eq!(valid, 762 * 762 * 600);
+        let t = throughput_3d(768.0, 768.0, 1e9, 3.0, 64.0, 2.0);
+        // (1−6/768)² × 192 = 189.01 — exactly the paper's Table III T = 189
+        assert!((t - 189.01).abs() < 0.1, "T = {t}");
+    }
+
+    #[test]
+    fn eq9_block_cycles() {
+        let c = clks_block_3d(768, 768, 600, 3, 64, 2);
+        assert!((c - 12.0 * 768.0 * 603.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn eq11_eq12_optimal_tile() {
+        // Jacobi-like: mem 42.2 MB, k=4, p=3, D=2 → continuous M ≈ 1326
+        // (quantization then pulls it to the URAM-native 768; see blocking.rs)
+        let m = m_opt(42.2e6, 4.0, 3.0, 2.0);
+        assert!((1300.0..1350.0).contains(&m), "M_opt = {m}");
+        let p = p_max_for_tile(8192.0, 2.0);
+        assert!((p - 1365.3).abs() < 0.1);
+    }
+
+    #[test]
+    fn eq13_eq14_throughput_forms() {
+        // Poisson Table III check: T₂D with pV-equivalent DSP count:
+        // (1−120/8192) × (60·8·14/14) × 1 = 472.97 — paper prints 472
+        let t = t2d(8192.0, 1e12, 60.0, 2.0, (60 * 8 * 14) as f64, 14.0);
+        assert!((t - 472.97).abs() < 0.5, "T2D = {t}");
+        // Jacobi: (1−6/768)² × (3·64·33/33) × 1 = 189.01 — paper prints 189
+        let t3 = t3d(768.0, 1e12, 3.0, 2.0, (3 * 64 * 33) as f64, 33.0);
+        assert!((t3 - 189.01).abs() < 0.1, "T3D = {t3}");
+    }
+
+    #[test]
+    fn eq15_batching_amortizes_fill() {
+        let solo = clks_2d_batched_mesh(200, 100, 1, 60, 8, 2);
+        let batched = clks_2d_batched_mesh(200, 100, 1000, 60, 8, 2);
+        assert!((solo - 25.0 * 160.0).abs() < 1e-9);
+        assert!((batched - 25.0 * 100.06).abs() < 1e-9);
+        assert!(batched < solo * 0.7);
+    }
+
+    #[test]
+    fn eq15_inverse_selects_paper_scale_batches() {
+        // Poisson 200×100, p=60, D=2: fill = 60 rows vs 100 data rows.
+        // 99% efficiency needs B ≥ 60·0.99/(2·0.01·100) ≈ 30
+        let b99 = batch_for_efficiency(100, 60, 2, 0.99);
+        assert_eq!(b99, 30);
+        // 99.9% needs ≈ 300 — between the paper's 100B and 1000B points
+        let b999 = batch_for_efficiency(100, 60, 2, 0.999);
+        assert!((250..=350).contains(&b999), "B = {b999}");
+        // the chosen B indeed delivers the promised efficiency
+        let per_mesh = clks_2d_batched_mesh(200, 100, b99, 60, 8, 2);
+        let ideal = 25.0 * 100.0;
+        assert!(ideal / per_mesh >= 0.99);
+        // degenerate: tiny fill → B = 1 suffices
+        assert_eq!(batch_for_efficiency(10_000, 1, 2, 0.99), 1);
+    }
+}

@@ -1,0 +1,195 @@
+//! Feasibility analysis: can this stencil application profitably target this
+//! FPGA at all, and with what `V` and `p`?
+//!
+//! This packages the paper's §III-A limits (eqs. 4, 6, 7) together with the
+//! §VI "determinants for a given stencil code to be amenable to FPGA
+//! implementation" into one queryable report.
+
+use crate::equations;
+use serde::{Deserialize, Serialize};
+use sf_fpga::{FpgaDevice, MemKind};
+use sf_kernels::StencilSpec;
+
+/// The paper's nominal vectorization factor: eq. (4) evaluated on a
+/// two-channel budget at the default clock, floored to a power of two —
+/// "a value of 8 for V is calculated when using a single DDR4 channel or two
+/// HBM channels with a frequency of 300MHz" (§V-A); the same rule yields
+/// V = 1 for RTM's 24-byte elements.
+pub fn nominal_v(dev: &FpgaDevice, spec: &StencilSpec, mem: MemKind) -> usize {
+    let mem_spec = match mem {
+        MemKind::Hbm => &dev.hbm,
+        MemKind::Ddr4 => &dev.ddr4,
+    };
+    let channels = match mem {
+        MemKind::Hbm => 2,
+        MemKind::Ddr4 => 1,
+    };
+    let vmax = equations::v_max(mem_spec.channel_bw, channels, dev.default_clock_hz, spec.elem_bytes);
+    if vmax == 0 {
+        1
+    } else {
+        1 << (usize::BITS - 1 - vmax.leading_zeros())
+    }
+}
+
+/// Feasibility summary for one `(app, device, workload shape, V)` choice.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FeasibilityReport {
+    /// Application analyzed.
+    pub app: String,
+    /// Vectorization factor analyzed.
+    pub v: usize,
+    /// Bandwidth-limited maximum `V` (eq. 4) for the chosen memory.
+    pub v_max_bandwidth: usize,
+    /// DSP-limited unroll (eq. 6).
+    pub p_dsp: usize,
+    /// Window-memory-limited unroll (eq. 7) for the given streaming unit.
+    pub p_mem: usize,
+    /// `min(p_dsp, p_mem)` — the design-point unroll the workflow starts at.
+    pub p_recommended: usize,
+    /// Whether a baseline (untiled) design is possible at all (`p_mem ≥ 1`).
+    pub baseline_feasible: bool,
+    /// Whether spatial blocking is required/advised for this mesh.
+    pub needs_tiling: bool,
+    /// Arithmetic intensity in flops per external byte — the §VI
+    /// profitability determinant (higher = more FPGA-friendly, because the
+    /// unrolled pipeline multiplies it by `p`).
+    pub flops_per_byte: f64,
+}
+
+impl FeasibilityReport {
+    /// Analyze an application on a device.
+    ///
+    /// `unit_cells` is the streaming buffer unit: row length `m` for 2D,
+    /// plane size `m·n` for 3D (per paper eq. 7's denominators).
+    pub fn analyze(
+        dev: &FpgaDevice,
+        spec: &StencilSpec,
+        v: usize,
+        unit_cells: usize,
+        mem: MemKind,
+    ) -> Self {
+        let mem_spec = match mem {
+            MemKind::Hbm => &dev.hbm,
+            MemKind::Ddr4 => &dev.ddr4,
+        };
+        // eq. 4 with as many channels as one direction of the memory offers
+        let v_max = equations::v_max(
+            mem_spec.channel_bw,
+            (mem_spec.channels / 2).max(1),
+            dev.default_clock_hz,
+            spec.elem_bytes,
+        );
+        let p_dsp = equations::p_dsp(dev.dsp_total, dev.dsp_util_target, v, spec.gdsp());
+        let p_mem = equations::p_mem(
+            dev.internal_mem_bytes(),
+            dev.mem_util_target,
+            spec.window_elem_bytes,
+            spec.order * spec.stages,
+            unit_cells,
+        );
+        let ext_bytes = (spec.ext_read_bytes + spec.ext_write_bytes) as f64;
+        FeasibilityReport {
+            app: format!("{}", spec.app),
+            v,
+            v_max_bandwidth: v_max,
+            p_dsp,
+            p_mem,
+            p_recommended: p_dsp.min(p_mem),
+            baseline_feasible: p_mem >= 1,
+            needs_tiling: p_mem < p_dsp.max(1),
+            flops_per_byte: spec.flops_per_cell() as f64 / ext_bytes,
+        }
+    }
+
+    /// The §VI verdict: an application profits from the FPGA when a deep
+    /// pipeline fits (`p_recommended` large enough that on-chip reuse beats
+    /// the device's external-bandwidth disadvantage vs a GPU).
+    pub fn is_profitable(&self, min_p: usize) -> bool {
+        self.baseline_feasible && self.p_recommended >= min_p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> FpgaDevice {
+        FpgaDevice::u280()
+    }
+
+    #[test]
+    fn poisson_analysis_matches_table2() {
+        let r = FeasibilityReport::analyze(&dev(), &StencilSpec::poisson(), 8, 400, MemKind::Hbm);
+        assert_eq!(r.p_dsp, 68);
+        assert!(r.p_mem > 68, "small 2D rows leave memory unconstrained");
+        assert_eq!(r.p_recommended, 68);
+        assert!(r.baseline_feasible);
+        assert!(!r.needs_tiling);
+    }
+
+    #[test]
+    fn jacobi_analysis_small_and_large() {
+        let small =
+            FeasibilityReport::analyze(&dev(), &StencilSpec::jacobi(), 8, 100 * 100, MemKind::Hbm);
+        assert_eq!(small.p_dsp, 28);
+        assert!(small.baseline_feasible);
+
+        let large = FeasibilityReport::analyze(
+            &dev(),
+            &StencilSpec::jacobi(),
+            8,
+            4000 * 4000,
+            MemKind::Hbm,
+        );
+        assert_eq!(large.p_mem, 0, "eq. 7: even one module cannot be synthesized");
+        assert!(!large.baseline_feasible);
+        assert!(large.needs_tiling);
+    }
+
+    #[test]
+    fn rtm_analysis_p3() {
+        let r = FeasibilityReport::analyze(&dev(), &StencilSpec::rtm(), 1, 64 * 64, MemKind::Hbm);
+        assert_eq!(r.p_dsp, 3);
+        assert!(r.p_mem >= 3, "64² planes must admit p=3 (p_mem = {})", r.p_mem);
+        assert_eq!(r.p_recommended, 3);
+        // RTM's fused intensity is enormous — the reason it suits the FPGA
+        assert!(r.flops_per_byte > 10.0);
+    }
+
+    #[test]
+    fn profitability_threshold() {
+        let r = FeasibilityReport::analyze(&dev(), &StencilSpec::poisson(), 8, 400, MemKind::Hbm);
+        assert!(r.is_profitable(10));
+        let starved = FeasibilityReport::analyze(
+            &dev(),
+            &StencilSpec::jacobi(),
+            8,
+            4000 * 4000,
+            MemKind::Hbm,
+        );
+        assert!(!starved.is_profitable(1));
+    }
+
+    #[test]
+    fn ddr4_limits_v_harder_than_hbm() {
+        let hbm = FeasibilityReport::analyze(&dev(), &StencilSpec::poisson(), 8, 400, MemKind::Hbm);
+        let ddr = FeasibilityReport::analyze(&dev(), &StencilSpec::poisson(), 8, 400, MemKind::Ddr4);
+        assert!(ddr.v_max_bandwidth < hbm.v_max_bandwidth);
+        assert_eq!(ddr.v_max_bandwidth, 8, "paper: V = 8 on a single DDR4 channel");
+    }
+}
+
+#[cfg(test)]
+mod nominal_v_tests {
+    use super::*;
+
+    #[test]
+    fn nominal_v_matches_paper_choices() {
+        let d = FpgaDevice::u280();
+        assert_eq!(nominal_v(&d, &StencilSpec::poisson(), MemKind::Hbm), 8);
+        assert_eq!(nominal_v(&d, &StencilSpec::poisson(), MemKind::Ddr4), 8);
+        assert_eq!(nominal_v(&d, &StencilSpec::jacobi(), MemKind::Hbm), 8);
+        assert_eq!(nominal_v(&d, &StencilSpec::rtm(), MemKind::Hbm), 1);
+    }
+}

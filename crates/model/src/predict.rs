@@ -1,0 +1,261 @@
+//! Runtime prediction for a synthesized design.
+//!
+//! Two levels:
+//!
+//! * [`PredictionLevel::Ideal`] — the paper's equations (2)/(3)/(9)/(15)
+//!   verbatim: pure streaming cycles, no protocol overheads. This is what
+//!   §III-A/§IV derive.
+//! * [`PredictionLevel::Extended`] — ideal plus the two overheads the paper
+//!   discusses qualitatively and we calibrated quantitatively: the per-row
+//!   AXI request-issue gap and the per-pass host enqueue latency, plus the
+//!   compute-pipeline fill. Deliberately *not* included: the memory-side
+//!   `max()` of strided tile rows — so 3D tiled predictions under-estimate,
+//!   reproducing the paper's own observation that its "model predictions
+//!   [are] slightly less accurate" for Jacobi spatial blocking (Fig. 4c).
+
+use serde::{Deserialize, Serialize};
+use sf_fpga::design::{ExecMode, StencilDesign, Workload};
+use sf_fpga::FpgaDevice;
+use sf_mesh::TileGrid1D;
+
+/// Fidelity of a prediction.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PredictionLevel {
+    /// Paper equations only.
+    Ideal,
+    /// Equations + calibrated row-gap and host-call overheads.
+    Extended,
+}
+
+/// A predicted execution.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// Fidelity level used.
+    pub level: PredictionLevel,
+    /// Predicted kernel cycles.
+    pub cycles: u64,
+    /// Predicted wall-clock seconds.
+    pub runtime_s: f64,
+    /// Predicted bandwidth (paper convention), GB/s.
+    pub bandwidth_gbs: f64,
+}
+
+/// Rows (2D) or plane-rows (3D) streamed per pass, including fill, together
+/// with the per-row compute cycles — the common core of both levels.
+struct StreamShape {
+    /// (rows, cells_per_row) segments; tiled modes have one per tile.
+    segments: Vec<(u64, u64)>,
+    /// Per-pass extra cycles charged per segment at Extended level
+    /// (per-tile control turnaround).
+    per_segment_overhead: u64,
+}
+
+fn shape(dev: &FpgaDevice, design: &StencilDesign, wl: &Workload) -> StreamShape {
+    let d_eff = (design.spec.order * design.spec.stages) as u64;
+    let p = design.p as u64;
+    let fill = p * d_eff / 2;
+    match (*wl, design.mode) {
+        (Workload::D2 { nx, ny, batch }, ExecMode::Baseline | ExecMode::Batched { .. }) => {
+            StreamShape {
+                segments: vec![((batch * ny) as u64 + fill, nx as u64)],
+                per_segment_overhead: 0,
+            }
+        }
+        (Workload::D3 { nx, ny, nz, batch }, ExecMode::Baseline | ExecMode::Batched { .. }) => {
+            StreamShape {
+                segments: vec![(((batch * nz) as u64 + fill) * ny as u64, nx as u64)],
+                per_segment_overhead: 0,
+            }
+        }
+        (Workload::D2 { nx, ny, .. }, ExecMode::Tiled1D { tile_m }) => {
+            let halo = design.p * design.spec.halo_order() / 2;
+            let align = (dev.axi_bus_bytes / design.spec.elem_bytes).max(1);
+            let grid = TileGrid1D::new(nx, tile_m, halo, align);
+            StreamShape {
+                segments: grid
+                    .tiles()
+                    .iter()
+                    .map(|t| (ny as u64 + fill, t.read_len as u64))
+                    .collect(),
+                per_segment_overhead: dev.axi_latency_cycles as u64,
+            }
+        }
+        (Workload::D3 { nx, ny, nz, .. }, ExecMode::Tiled2D { tile_m, tile_n }) => {
+            let halo = design.p * design.spec.halo_order() / 2;
+            let align = (dev.axi_bus_bytes / design.spec.elem_bytes).max(1);
+            let gx = TileGrid1D::new(nx, tile_m, halo, align);
+            let gy = TileGrid1D::new(ny, tile_n, halo, 1);
+            let mut segments = Vec::new();
+            for ty in gy.tiles() {
+                for tx in gx.tiles() {
+                    segments.push((
+                        (nz as u64 + fill) * ty.read_len as u64,
+                        tx.read_len as u64,
+                    ));
+                }
+            }
+            StreamShape {
+                segments,
+                per_segment_overhead: dev.axi_latency_cycles as u64,
+            }
+        }
+        _ => unreachable!("synthesis rejects mismatched mode/workload"),
+    }
+}
+
+/// Predict the execution of `niter` iterations of a workload on a design.
+pub fn predict(
+    dev: &FpgaDevice,
+    design: &StencilDesign,
+    wl: &Workload,
+    niter: u64,
+    level: PredictionLevel,
+) -> Prediction {
+    let p = design.p as u64;
+    let passes = niter.div_ceil(p).max(1);
+    let v = design.v as u64;
+    let sh = shape(dev, design, wl);
+
+    let gap = match level {
+        PredictionLevel::Ideal => 0,
+        PredictionLevel::Extended => dev.axi_issue_gap_cycles as u64,
+    };
+    let mut per_pass = 0u64;
+    for &(rows, cells) in &sh.segments {
+        per_pass += rows * (cells.div_ceil(v) + gap);
+        if level == PredictionLevel::Extended {
+            per_pass += sh.per_segment_overhead;
+        }
+    }
+    if level == PredictionLevel::Extended {
+        per_pass += design.pipeline_latency_cycles;
+    }
+    let cycles = passes * per_pass;
+    let mut runtime_s = cycles as f64 / design.freq_hz;
+    if level == PredictionLevel::Extended {
+        runtime_s += passes as f64 * dev.host_call_latency_s;
+    }
+    let logical = niter * wl.total_cells() * design.spec.logical_rw_bytes as u64;
+    Prediction {
+        level,
+        cycles,
+        runtime_s,
+        bandwidth_gbs: logical as f64 / runtime_s / 1.0e9,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equations;
+    use sf_fpga::design::{synthesize, MemKind};
+    use sf_fpga::cycles;
+    use sf_kernels::StencilSpec;
+
+    fn dev() -> FpgaDevice {
+        FpgaDevice::u280()
+    }
+
+    #[test]
+    fn ideal_matches_eq2_exactly() {
+        let d = dev();
+        let wl = Workload::D2 { nx: 200, ny: 100, batch: 1 };
+        let ds = synthesize(&d, &StencilSpec::poisson(), 8, 60, ExecMode::Baseline, MemKind::Hbm, &wl)
+            .unwrap();
+        let pr = predict(&d, &ds, &wl, 60_000, PredictionLevel::Ideal);
+        assert_eq!(pr.cycles, equations::clks_2d(60_000, 60, 200, 100, 8, 2));
+    }
+
+    #[test]
+    fn ideal_matches_eq3_exactly() {
+        let d = dev();
+        let wl = Workload::D3 { nx: 100, ny: 100, nz: 100, batch: 1 };
+        let ds = synthesize(&d, &StencilSpec::jacobi(), 8, 29, ExecMode::Baseline, MemKind::Hbm, &wl)
+            .unwrap();
+        let pr = predict(&d, &ds, &wl, 29_000, PredictionLevel::Ideal);
+        assert_eq!(pr.cycles, equations::clks_3d(29_000, 29, 100, 100, 100, 8, 2));
+    }
+
+    #[test]
+    fn extended_dominates_ideal() {
+        let d = dev();
+        let wl = Workload::D2 { nx: 200, ny: 100, batch: 1 };
+        let ds = synthesize(&d, &StencilSpec::poisson(), 8, 60, ExecMode::Baseline, MemKind::Hbm, &wl)
+            .unwrap();
+        let i = predict(&d, &ds, &wl, 60_000, PredictionLevel::Ideal);
+        let e = predict(&d, &ds, &wl, 60_000, PredictionLevel::Extended);
+        assert!(e.runtime_s > i.runtime_s);
+        assert!(e.bandwidth_gbs < i.bandwidth_gbs);
+    }
+
+    #[test]
+    fn extended_matches_simulator_on_compute_bound_cases() {
+        // For baseline/batched Poisson the simulator rows are compute-bound,
+        // so the extended prediction equals the simulator's plan exactly.
+        let d = dev();
+        for (nx, ny, b) in [(200usize, 100usize, 1usize), (400, 400, 1), (200, 100, 100)] {
+            let wl = Workload::D2 { nx, ny, batch: b };
+            let mode = if b == 1 { ExecMode::Baseline } else { ExecMode::Batched { b } };
+            let ds = synthesize(&d, &StencilSpec::poisson(), 8, 60, mode, MemKind::Hbm, &wl).unwrap();
+            let e = predict(&d, &ds, &wl, 6000, PredictionLevel::Extended);
+            let plan = cycles::plan(&d, &ds, &wl, 6000);
+            assert_eq!(e.cycles, plan.total_cycles, "{nx}x{ny} b={b}");
+            assert!((e.runtime_s - plan.runtime_s).abs() / plan.runtime_s < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ideal_underpredicts_tiled_3d_like_the_paper() {
+        // The pure eq. (9) model knows nothing about per-run transfer
+        // overheads, so it under-predicts tiled 3D runtimes substantially —
+        // the paper's own "slightly less accurate model predictions in
+        // Fig. 4(c)". The extended model closes most of the gap and never
+        // exceeds the simulator (which additionally prices memory-bound
+        // rows).
+        let d = dev();
+        let wl = Workload::D3 { nx: 600, ny: 600, nz: 600, batch: 1 };
+        let ds = synthesize(
+            &d,
+            &StencilSpec::jacobi(),
+            64,
+            3,
+            ExecMode::Tiled2D { tile_m: 640, tile_n: 640 },
+            MemKind::Hbm,
+            &wl,
+        )
+        .unwrap();
+        let plan = cycles::plan(&d, &ds, &wl, 120);
+        let i = predict(&d, &ds, &wl, 120, PredictionLevel::Ideal);
+        let e = predict(&d, &ds, &wl, 120, PredictionLevel::Extended);
+        assert!(
+            i.runtime_s < plan.runtime_s * 0.85,
+            "ideal {} must underpredict simulator {} by >15%",
+            i.runtime_s,
+            plan.runtime_s
+        );
+        assert!(e.runtime_s <= plan.runtime_s * 1.0001);
+        assert!(e.runtime_s > i.runtime_s);
+    }
+
+    #[test]
+    fn batching_prediction_improves_bandwidth() {
+        let d = dev();
+        let solo = Workload::D2 { nx: 200, ny: 100, batch: 1 };
+        let ds1 = synthesize(&d, &StencilSpec::poisson(), 8, 60, ExecMode::Baseline, MemKind::Hbm, &solo)
+            .unwrap();
+        let b1 = predict(&d, &ds1, &solo, 60_000, PredictionLevel::Extended).bandwidth_gbs;
+        let batched = Workload::D2 { nx: 200, ny: 100, batch: 1000 };
+        let ds2 = synthesize(
+            &d,
+            &StencilSpec::poisson(),
+            8,
+            60,
+            ExecMode::Batched { b: 1000 },
+            MemKind::Hbm,
+            &batched,
+        )
+        .unwrap();
+        let b2 = predict(&d, &ds2, &batched, 60_000, PredictionLevel::Extended).bandwidth_gbs;
+        assert!(b2 > b1 * 1.5, "batched {b2} vs baseline {b1}");
+    }
+}

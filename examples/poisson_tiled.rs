@@ -1,0 +1,77 @@
+//! Spatial blocking for meshes far beyond on-chip memory (§IV-A).
+//!
+//! A 20000² single-precision mesh is 1.6 GB — the window buffers can hold
+//! only a sliver of a row set, so the solver streams overlapped tiles from
+//! DDR4. This example reproduces the tiled rows of the paper's Table IV and
+//! validates the tiled dataflow numerically on a reduced mesh.
+//!
+//! ```text
+//! cargo run --release --example poisson_tiled
+//! ```
+
+use sf_core::prelude::*;
+use sf_fpga::design::synthesize;
+
+fn main() {
+    let wf = Workflow::u280_vs_v100();
+    let spec = StencilSpec::poisson();
+    let niter = 100u64;
+
+    println!("Poisson-5pt-2D, spatially blocked, {niter} iterations, V=8 p=60, DDR4\n");
+    println!(
+        "{:<10} {:>10} {:>8} {:>12} {:>12} {:>12} {:>12}",
+        "mesh", "tile M", "tiles", "FPGA ms", "FPGA GB/s", "GPU GB/s", "energy kJ"
+    );
+    for n in [15_000usize, 20_000] {
+        let wl = Workload::D2 { nx: n, ny: n, batch: 1 };
+        let gpu = wf.gpu_estimate(&spec, &wl, niter);
+        for tile in [1024usize, 4096, 8000] {
+            let design = synthesize(
+                &wf.device,
+                &spec,
+                8,
+                60,
+                ExecMode::Tiled1D { tile_m: tile },
+                MemKind::Ddr4,
+                &wl,
+            )
+            .expect("tiled design fits");
+            let rep = wf.fpga_estimate(&design, &wl, niter);
+            let halo = design.p * spec.order;
+            let tiles = n.div_ceil(tile - halo);
+            println!(
+                "{:<10} {:>10} {:>8} {:>12.1} {:>12.0} {:>12.0} {:>12.3}",
+                format!("{n}²"),
+                tile,
+                tiles,
+                rep.runtime_s * 1e3,
+                rep.bandwidth_gbs,
+                gpu.bandwidth_gbs,
+                rep.energy_j / 1e3,
+            );
+        }
+    }
+
+    // numeric validation of the overlapped-tile machinery on a reduced mesh:
+    // tile halos, 512-bit alignment, valid-region writeback — all bit-exact
+    let wl = Workload::D2 { nx: 1000, ny: 120, batch: 1 };
+    let design = synthesize(
+        &wf.device,
+        &spec,
+        8,
+        16,
+        ExecMode::Tiled1D { tile_m: 256 },
+        MemKind::Ddr4,
+        &wl,
+    )
+    .unwrap();
+    let solver = PoissonSolver::with_design(wf.device.clone(), design);
+    let mesh = Batch2D::<f32>::random(1000, 120, 1, 7, -1.0, 1.0);
+    let (_out, rep) = solver.run_validated(&mesh, 32);
+    println!(
+        "\nnumeric validation: 1000×120 mesh through 256-wide overlapped tiles\n\
+         (halo {}, {} passes) — bit-exact vs unblocked golden reference ✓",
+        16 * 2,
+        rep.passes
+    );
+}

@@ -1,0 +1,59 @@
+//! Quickstart: take a stencil application from description to a validated,
+//! simulated FPGA accelerator in five steps.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use sf_core::prelude::*;
+
+fn main() {
+    // ── 1. Platform: the paper's Alveo U280 vs Tesla V100 setup ──────────
+    let wf = Workflow::u280_vs_v100();
+
+    // ── 2. Application + workload: Poisson-5pt-2D on a 300×300 mesh ─────
+    let spec = StencilSpec::poisson();
+    let wl = Workload::D2 { nx: 300, ny: 300, batch: 1 };
+    let niter = 60_000u64;
+
+    // ── 3. Feasibility (paper eqs. 4, 6, 7) ──────────────────────────────
+    let feas = wf.feasibility(&spec, &wl);
+    println!("── feasibility ──────────────────────────────────────────────");
+    println!("  app                 : {}", feas.app);
+    println!("  V_max (bandwidth)   : {}", feas.v_max_bandwidth);
+    println!("  p_dsp / p_mem       : {} / {}", feas.p_dsp, feas.p_mem);
+    println!("  baseline feasible   : {}", feas.baseline_feasible);
+    println!("  flops per ext. byte : {:.2}", feas.flops_per_byte);
+
+    // ── 4. Design-space exploration with the predictive model ───────────
+    let best = wf.best_design(&spec, &wl, niter).expect("a design must exist");
+    println!("\n── chosen design ────────────────────────────────────────────");
+    println!(
+        "  V={} p={} mode={:?} @ {:.0} MHz  (DSP {} / BRAM {} / URAM {})",
+        best.design.v,
+        best.design.p,
+        best.design.mode,
+        best.design.freq_mhz(),
+        best.design.resources.dsp,
+        best.design.resources.bram_blocks,
+        best.design.resources.uram_blocks,
+    );
+    println!(
+        "  model predicts      : {:.3} ms, {:.0} GB/s",
+        best.prediction.runtime_s * 1e3,
+        best.prediction.bandwidth_gbs
+    );
+    println!("\n{}", sf_fpga::report::utilization_report(&wf.device, &best.design));
+
+    // ── 5. Numeric execution through the dataflow simulator, validated
+    //       bit-exactly against the golden reference (reduced iterations) ─
+    let solver = PoissonSolver::auto(&wf, &wl, niter).unwrap();
+    let input = Batch2D::<f32>::random(300, 300, 1, 42, -1.0, 1.0);
+    let (_result, _) = solver.run_validated(&input, 16);
+    println!("\n  numeric validation  : bit-exact vs golden reference ✓");
+
+    // ── and the head-to-head the paper's Fig. 3 plots ────────────────────
+    let cmp = wf.compare(&spec, &wl, niter).unwrap();
+    println!("\n── U280 (sim) vs V100 (model), {niter} iterations ──────────");
+    println!("  {}", cmp.verdict());
+}

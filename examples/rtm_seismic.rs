@@ -1,0 +1,72 @@
+//! Reverse Time Migration forward pass — the paper's industrial application
+//! (§V-C): an RK4 integrator over a 6-component wavefield with a 25-point,
+//! 8th-order stencil and PML damping, fused into a single 4-stage dataflow
+//! pipeline (12 chained stencil stages at p = 3).
+//!
+//! ```text
+//! cargo run --release --example rtm_seismic
+//! ```
+
+use sf_core::prelude::*;
+use sf_kernels::rtm;
+
+fn main() {
+    let wf = Workflow::u280_vs_v100();
+    let spec = StencilSpec::rtm();
+    let params = RtmParams::default();
+
+    // ── design: the workflow must land on the paper's configuration ──────
+    let wl = Workload::D3 { nx: 32, ny: 32, nz: 32, batch: 1 };
+    let best = wf.best_design(&spec, &wl, 1800).expect("RTM fits the U280");
+    println!("── RTM design on the U280 ───────────────────────────────────");
+    println!(
+        "  V={} p={} @ {:.0} MHz — G_dsp={} (paper: 2444), DSP {}/{}, URAM {}/960",
+        best.design.v,
+        best.design.p,
+        best.design.freq_mhz(),
+        spec.gdsp(),
+        best.design.resources.dsp,
+        wf.device.dsp_total,
+        best.design.resources.uram_blocks,
+    );
+
+    // ── a seismic shot: Gaussian source pulse, smooth ρ/μ earth model ─────
+    let (y, rho, mu) = rtm::demo_workload(24, 24, 24);
+    let solver = RtmSolver::with_design(
+        wf.device.clone(),
+        {
+            let wl = Workload::D3 { nx: 24, ny: 24, nz: 24, batch: 1 };
+            wf.best_design(&spec, &wl, 1800).unwrap().design
+        },
+        params,
+    );
+    let (wavefield, rep) = solver.run_validated(&y, &rho, &mu, 12);
+    let peak = sf_mesh::norms::max_norm_3d(&wavefield);
+    println!("\n── forward pass, 12 RK4 steps on 24³ ────────────────────────");
+    println!("  wavefield peak |u|  : {peak:.4} (finite, damped by the PML sponge)");
+    println!("  fused pipeline      : bit-exact vs golden Algorithm-1 reference ✓");
+    println!("  simulated kernel    : {} cycles over {} passes", rep.total_cycles, rep.passes);
+
+    // ── the paper's Fig. 5 / Table VI story: baseline vs batched, vs GPU ──
+    println!("\n── U280 (sim) vs V100 (model) ───────────────────────────────");
+    println!(
+        "{:<14} {:>6} {:>12} {:>12} {:>11} {:>11} {:>9}",
+        "mesh", "batch", "FPGA GB/s", "GPU GB/s", "FPGA kJ", "GPU kJ", "energy×"
+    );
+    for &(nx, ny, nz) in &[(32usize, 32usize, 32usize), (50, 50, 50)] {
+        for (b, iters) in [(1usize, 1800u64), (40, 180)] {
+            let wl = Workload::D3 { nx, ny, nz, batch: b };
+            let cmp = wf.compare(&spec, &wl, iters).unwrap();
+            println!(
+                "{:<14} {:>6} {:>12.0} {:>12.0} {:>11.3} {:>11.3} {:>8.2}x",
+                format!("{nx}x{ny}x{nz}"),
+                b,
+                cmp.fpga.bandwidth_gbs,
+                cmp.gpu.bandwidth_gbs,
+                cmp.fpga.energy_j / 1e3,
+                cmp.gpu.energy_j / 1e3,
+                cmp.energy_ratio(),
+            );
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! The paper's qualitative claims, asserted end-to-end against the
+//! simulator + models. These are the *shape* results the reproduction must
+//! preserve even where absolute numbers differ from the authors' testbed:
+//!
+//! 1. Baseline/batched Poisson-2D: FPGA ≥ GPU (Fig. 3a/3b).
+//! 2. Tiled Poisson-2D on huge meshes: FPGA > GPU bandwidth (Fig. 3c).
+//! 3. Jacobi-3D large baseline/batched: GPU wins runtime, FPGA wins energy
+//!    (Fig. 4, Table V).
+//! 4. Jacobi-3D tiled: GPU clearly faster (strided-transfer penalty), FPGA
+//!    still more energy-efficient (Fig. 4c, Table V).
+//! 5. RTM: FPGA matches or marginally beats the GPU, with ≥ 2× energy
+//!    savings (Fig. 5, Table VI, abstract).
+//! 6. Batching improves small-mesh throughput dramatically on both
+//!    platforms (§IV-B).
+//! 7. The predictive model achieves the ±15 % / >85 % accuracy claim.
+
+use sf_core::prelude::*;
+use sf_fpga::design::synthesize;
+use sf_model::accuracy;
+
+fn wf() -> Workflow {
+    Workflow::u280_vs_v100()
+}
+
+#[test]
+fn claim1_poisson_batched_fpga_wins() {
+    let wf = wf();
+    let spec = StencilSpec::poisson();
+    for (nx, ny) in [(200usize, 100usize), (300, 300), (400, 400)] {
+        for b in [100usize, 1000] {
+            let wl = Workload::D2 { nx, ny, batch: b };
+            let cmp = wf.compare(&spec, &wl, 60_000).unwrap();
+            assert!(
+                cmp.speedup() > 1.0,
+                "paper Fig. 3b: FPGA must beat GPU on {nx}x{ny} {b}B (speedup {:.2})",
+                cmp.speedup()
+            );
+        }
+    }
+}
+
+#[test]
+fn claim2_poisson_tiled_fpga_higher_bandwidth() {
+    let wf = wf();
+    let spec = StencilSpec::poisson();
+    let wl = Workload::D2 { nx: 15_000, ny: 15_000, batch: 1 };
+    let design = synthesize(
+        &wf.device,
+        &spec,
+        8,
+        60,
+        ExecMode::Tiled1D { tile_m: 8000 },
+        MemKind::Ddr4,
+        &wl,
+    )
+    .unwrap();
+    let fpga = wf.fpga_estimate(&design, &wl, 100);
+    let gpu = wf.gpu_estimate(&spec, &wl, 100);
+    // paper Table IV: 905 vs 607 GB/s
+    assert!(
+        fpga.bandwidth_gbs > gpu.bandwidth_gbs,
+        "FPGA {:.0} vs GPU {:.0} GB/s",
+        fpga.bandwidth_gbs,
+        gpu.bandwidth_gbs
+    );
+    assert!(fpga.energy_j < gpu.energy_j);
+}
+
+#[test]
+fn claim3_jacobi_large_gpu_wins_runtime_fpga_wins_energy() {
+    let wf = wf();
+    let spec = StencilSpec::jacobi();
+    // paper Table V: 200³+ baselines and batched runs favour the V100
+    let wl = Workload::D3 { nx: 250, ny: 250, nz: 250, batch: 1 };
+    let design = synthesize(&wf.device, &spec, 8, 29, ExecMode::Baseline, MemKind::Hbm, &wl).unwrap();
+    let fpga = wf.fpga_estimate(&design, &wl, 29_000);
+    let gpu = wf.gpu_estimate(&spec, &wl, 29_000);
+    assert!(
+        gpu.runtime_s < fpga.runtime_s,
+        "paper Fig. 4a: GPU must win large Jacobi (GPU {:.2}s vs FPGA {:.2}s)",
+        gpu.runtime_s,
+        fpga.runtime_s
+    );
+    assert!(
+        fpga.energy_j < gpu.energy_j,
+        "paper Table V: FPGA must stay more energy-efficient"
+    );
+}
+
+#[test]
+fn claim4_jacobi_tiled_strided_penalty() {
+    let wf = wf();
+    let spec = StencilSpec::jacobi();
+    let wl = Workload::D3 { nx: 600, ny: 600, nz: 600, batch: 1 };
+    let design = synthesize(
+        &wf.device,
+        &spec,
+        64,
+        3,
+        ExecMode::Tiled2D { tile_m: 640, tile_n: 640 },
+        MemKind::Hbm,
+        &wl,
+    )
+    .unwrap();
+    let fpga = wf.fpga_estimate(&design, &wl, 120);
+    let gpu = wf.gpu_estimate(&spec, &wl, 120);
+    // paper: "the resulting FPGA design … was about 40% slower than the GPU"
+    assert!(
+        fpga.runtime_s > gpu.runtime_s * 1.1,
+        "GPU must clearly win tiled 3D (FPGA {:.3}s vs GPU {:.3}s)",
+        fpga.runtime_s,
+        gpu.runtime_s
+    );
+    // "the FPGA was again more energy efficient … consuming about 40–50% less"
+    assert!(
+        fpga.energy_j < gpu.energy_j,
+        "FPGA {:.3} kJ vs GPU {:.3} kJ",
+        fpga.energy_j / 1e3,
+        gpu.energy_j / 1e3
+    );
+}
+
+#[test]
+fn claim5_rtm_parity_and_2x_energy() {
+    let wf = wf();
+    let spec = StencilSpec::rtm();
+    for &(nx, ny, nz) in &[(32usize, 32usize, 32usize), (50, 50, 50)] {
+        let wl = Workload::D3 { nx, ny, nz, batch: 40 };
+        let cmp = wf.compare(&spec, &wl, 180).unwrap();
+        // "matching or marginally better performing than the GPU": allow ±60 %
+        assert!(
+            (0.4..2.5).contains(&cmp.speedup()),
+            "RTM {nx}³ 40B speedup {:.2} out of parity band",
+            cmp.speedup()
+        );
+        // "consuming 2× less energy"
+        assert!(
+            cmp.energy_ratio() > 1.5,
+            "RTM {nx}³ 40B energy ratio {:.2} (paper: >2)",
+            cmp.energy_ratio()
+        );
+    }
+}
+
+#[test]
+fn claim6_batching_lifts_both_platforms() {
+    let wf = wf();
+    let spec = StencilSpec::poisson();
+    let solo = Workload::D2 { nx: 200, ny: 100, batch: 1 };
+    let batched = Workload::D2 { nx: 200, ny: 100, batch: 1000 };
+    let c1 = wf.compare(&spec, &solo, 60_000).unwrap();
+    let c2 = wf.compare(&spec, &batched, 60_000).unwrap();
+    // per-mesh throughput must rise on both platforms
+    let fpga_gain = (c1.fpga.runtime_s) / (c2.fpga.runtime_s / 1000.0);
+    let gpu_gain = (c1.gpu.runtime_s) / (c2.gpu.runtime_s / 1000.0);
+    assert!(fpga_gain > 1.2, "FPGA batching gain {fpga_gain:.2}");
+    assert!(gpu_gain > 5.0, "GPU batching gain {gpu_gain:.2} (GPU was unsaturated)");
+    // and the GPU gains *more* — exactly why the paper batches the GPU
+    // baseline before comparing ("The batching of 2D meshes as in [27]
+    // improves GPU performance significantly and offers a closer comparison")
+    assert!(gpu_gain > fpga_gain);
+}
+
+#[test]
+fn claim7_model_accuracy() {
+    let stats = accuracy::accuracy_suite(&FpgaDevice::u280());
+    let frac = stats.frac_within(15.0, PredictionLevel::Extended);
+    assert!(
+        frac >= 0.85,
+        "abstract claim: >85% of configs within ±15% (got {:.0}%)",
+        frac * 100.0
+    );
+}
+
+#[test]
+fn table2_reproduction() {
+    // Freq (±10 MHz), G_dsp (exact for Poisson/Jacobi), p actual (exact)
+    let wf = wf();
+    let cases: [(StencilSpec, usize, usize, f64, Workload); 3] = [
+        (StencilSpec::poisson(), 8, 60, 250.0, Workload::D2 { nx: 400, ny: 400, batch: 1 }),
+        (StencilSpec::jacobi(), 8, 29, 246.0, Workload::D3 { nx: 300, ny: 300, nz: 300, batch: 1 }),
+        (StencilSpec::rtm(), 1, 3, 261.0, Workload::D3 { nx: 64, ny: 64, nz: 64, batch: 1 }),
+    ];
+    for (spec, v, p, paper_mhz, wl) in cases {
+        let d = synthesize(&wf.device, &spec, v, p, ExecMode::Baseline, MemKind::Hbm, &wl)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.app));
+        assert!(
+            (d.freq_mhz() - paper_mhz).abs() <= 10.0,
+            "{}: {:.0} MHz vs paper {paper_mhz}",
+            spec.app,
+            d.freq_mhz()
+        );
+    }
+    assert_eq!(StencilSpec::poisson().gdsp(), 14);
+    assert_eq!(StencilSpec::jacobi().gdsp(), 33);
+}

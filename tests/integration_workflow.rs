@@ -1,0 +1,134 @@
+//! Cross-crate integration: the full workflow (feasibility → DSE →
+//! synthesize → simulate → validate) for all three applications.
+
+use sf_core::prelude::*;
+use sf_fpga::design::synthesize;
+use sf_kernels::rtm;
+
+fn wf() -> Workflow {
+    Workflow::u280_vs_v100()
+}
+
+#[test]
+fn poisson_full_workflow_all_modes() {
+    let wf = wf();
+    let spec = StencilSpec::poisson();
+
+    // baseline
+    let wl = Workload::D2 { nx: 64, ny: 32, batch: 1 };
+    let solver = PoissonSolver::auto(&wf, &wl, 100).unwrap();
+    let input = Batch2D::<f32>::random(64, 32, 1, 1, -1.0, 1.0);
+    let (out, rep) = solver.run_validated(&input, 10);
+    assert!(out.mesh(0).all_finite());
+    assert!(rep.total_cycles > 0);
+
+    // batched
+    let wlb = Workload::D2 { nx: 64, ny: 32, batch: 6 };
+    let solver_b = PoissonSolver::auto(&wf, &wlb, 100).unwrap();
+    let batch = Batch2D::<f32>::random(64, 32, 6, 2, -1.0, 1.0);
+    let (_, rep_b) = solver_b.run_validated(&batch, 10);
+    assert!(matches!(rep_b.mode, ExecMode::Batched { b: 6 }));
+
+    // tiled (explicit design on a wide mesh)
+    let wlt = Workload::D2 { nx: 640, ny: 40, batch: 1 };
+    let design = synthesize(
+        &wf.device,
+        &spec,
+        8,
+        10,
+        ExecMode::Tiled1D { tile_m: 160 },
+        MemKind::Ddr4,
+        &wlt,
+    )
+    .unwrap();
+    let solver_t = PoissonSolver::with_design(wf.device.clone(), design);
+    let mesh = Batch2D::<f32>::random(640, 40, 1, 3, -1.0, 1.0);
+    let (_, rep_t) = solver_t.run_validated(&mesh, 20);
+    assert!(rep_t.ext_read_bytes > rep_t.ext_write_bytes, "halo redundancy must show");
+}
+
+#[test]
+fn jacobi_full_workflow_all_modes() {
+    let wf = wf();
+    let spec = StencilSpec::jacobi();
+
+    let wl = Workload::D3 { nx: 20, ny: 16, nz: 12, batch: 1 };
+    let solver = JacobiSolver::auto(&wf, &wl, 50).unwrap();
+    let input = Batch3D::<f32>::random(20, 16, 12, 1, 4, -1.0, 1.0);
+    let (_, rep) = solver.run_validated(&input, 8);
+    assert!(rep.freq_mhz > 200.0);
+
+    // batched
+    let wlb = Workload::D3 { nx: 12, ny: 12, nz: 10, batch: 5 };
+    let solver_b = JacobiSolver::auto(&wf, &wlb, 50).unwrap();
+    let batch = Batch3D::<f32>::random(12, 12, 10, 5, 5, -1.0, 1.0);
+    let (_, _) = solver_b.run_validated(&batch, 6);
+
+    // tiled
+    let wlt = Workload::D3 { nx: 96, ny: 80, nz: 8, batch: 1 };
+    let design = synthesize(
+        &wf.device,
+        &spec,
+        8,
+        4,
+        ExecMode::Tiled2D { tile_m: 48, tile_n: 40 },
+        MemKind::Hbm,
+        &wlt,
+    )
+    .unwrap();
+    let solver_t = JacobiSolver::with_design(wf.device.clone(), design, Jacobi3D::smoothing());
+    let mesh = Batch3D::<f32>::random(96, 80, 8, 1, 6, -1.0, 1.0);
+    let (_, _) = solver_t.run_validated(&mesh, 8);
+}
+
+#[test]
+fn rtm_full_workflow() {
+    let wf = wf();
+    // design selection at the paper's scale must land on V=1, p=3
+    let paper_wl = Workload::D3 { nx: 64, ny: 64, nz: 64, batch: 1 };
+    let chosen = wf.best_design(&StencilSpec::rtm(), &paper_wl, 1800).unwrap();
+    assert_eq!(chosen.design.v, 1, "RTM must run at V=1 (paper §V-C)");
+    assert_eq!(chosen.design.p, 3, "RTM must unroll p=3 (paper §V-C)");
+
+    // numeric validation of the fused pipeline on a reduced mesh with the
+    // same (V=1, p=3) configuration
+    let wl = Workload::D3 { nx: 16, ny: 14, nz: 12, batch: 1 };
+    let design = synthesize(&wf.device, &StencilSpec::rtm(), 1, 3, ExecMode::Baseline, MemKind::Hbm, &wl)
+        .unwrap();
+    let solver = RtmSolver::with_design(wf.device.clone(), design, RtmParams::default());
+    let (y, rho, mu) = rtm::demo_workload(16, 14, 12);
+    let (out, rep) = solver.run_validated(&y, &rho, &mu, 9);
+    assert!(out.all_finite());
+    assert_eq!(rep.passes, 3);
+}
+
+#[test]
+fn dse_feasibility_consistency() {
+    // every DSE candidate must (a) fit the device, (b) respect the
+    // dimensionality of its workload, (c) carry a positive prediction
+    let wf = wf();
+    for (spec, wl) in [
+        (StencilSpec::poisson(), Workload::D2 { nx: 400, ny: 400, batch: 1 }),
+        (StencilSpec::jacobi(), Workload::D3 { nx: 100, ny: 100, nz: 100, batch: 1 }),
+        (StencilSpec::rtm(), Workload::D3 { nx: 32, ny: 32, nz: 32, batch: 1 }),
+    ] {
+        let cands = wf.explore(&spec, &wl, 1000);
+        assert!(!cands.is_empty(), "{}: no candidates", spec.app);
+        for c in &cands {
+            assert!(c.design.resources.fits(&wf.device));
+            assert!(c.prediction.runtime_s > 0.0);
+            assert!(c.design.freq_hz >= 100.0e6);
+        }
+    }
+}
+
+#[test]
+fn reports_serialize_roundtrip() {
+    // reports and designs are serde-serializable for the experiment harness
+    let wf = wf();
+    let wl = Workload::D2 { nx: 100, ny: 100, batch: 1 };
+    let cmp = wf.compare(&StencilSpec::poisson(), &wl, 100).unwrap();
+    let json = serde_json::to_string(&cmp.fpga).unwrap();
+    let back: SimReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, cmp.fpga);
+}

@@ -1,0 +1,138 @@
+//! Property-based cross-crate tests: randomized shapes, batch sizes, tile
+//! sizes and unroll factors must never break the bit-exactness of the FPGA
+//! dataflow simulator against the golden references.
+
+use proptest::prelude::*;
+use sf_core::prelude::*;
+use sf_fpga::design::synthesize;
+use sf_fpga::exec2d;
+use sf_kernels::{reference, Poisson2D};
+use sf_mesh::norms;
+
+fn dev() -> FpgaDevice {
+    FpgaDevice::u280()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Baseline simulation is bit-exact for arbitrary mesh shapes, unrolls
+    /// and iteration counts.
+    #[test]
+    fn fpga_baseline_always_bit_exact(
+        nx in 3usize..40,
+        ny in 3usize..24,
+        p in 1usize..7,
+        iters in 1usize..14,
+        seed in 0u64..500,
+    ) {
+        let m = Mesh2D::<f32>::random(nx, ny, seed, -1.0, 1.0);
+        let wl = Workload::D2 { nx, ny, batch: 1 };
+        let ds = synthesize(&dev(), &StencilSpec::poisson(), 4, p, ExecMode::Baseline, MemKind::Hbm, &wl)
+            .unwrap();
+        let (out, _) = exec2d::simulate_mesh_2d(&dev(), &ds, &[Poisson2D], &m, iters);
+        let expect = reference::run_2d(&Poisson2D, &m, iters);
+        prop_assert!(norms::bit_equal(out.as_slice(), expect.as_slice()));
+    }
+
+    /// Batched simulation equals independent solves for arbitrary batches.
+    #[test]
+    fn fpga_batched_always_bit_exact(
+        nx in 4usize..24,
+        ny in 3usize..16,
+        b in 1usize..6,
+        iters in 1usize..10,
+        seed in 0u64..500,
+    ) {
+        let batch = Batch2D::<f32>::random(nx, ny, b, seed, -1.0, 1.0);
+        let wl = Workload::D2 { nx, ny, batch: b };
+        let ds = synthesize(
+            &dev(),
+            &StencilSpec::poisson(),
+            4,
+            3,
+            ExecMode::Batched { b },
+            MemKind::Hbm,
+            &wl,
+        )
+        .unwrap();
+        let (out, _) = exec2d::simulate_2d(&dev(), &ds, &[Poisson2D], &batch, iters);
+        let expect = reference::run_batch_2d(&Poisson2D, &batch, iters);
+        prop_assert!(norms::bit_equal(out.as_slice(), expect.as_slice()));
+    }
+
+    /// Tiled simulation is bit-exact for arbitrary tiles (≥ halo) and meshes.
+    #[test]
+    fn fpga_tiled_always_bit_exact(
+        nx in 60usize..240,
+        ny in 4usize..14,
+        p in 1usize..5,
+        tile_sel in 0usize..3,
+        iters in 1usize..9,
+        seed in 0u64..500,
+    ) {
+        let tile = [32usize, 48, 80][tile_sel];
+        prop_assume!(tile > 2 * p); // M > pD with D = 2
+        let m = Mesh2D::<f32>::random(nx, ny, seed, -1.0, 1.0);
+        let wl = Workload::D2 { nx, ny, batch: 1 };
+        let ds = synthesize(
+            &dev(),
+            &StencilSpec::poisson(),
+            4,
+            p,
+            ExecMode::Tiled1D { tile_m: tile },
+            MemKind::Ddr4,
+            &wl,
+        )
+        .unwrap();
+        let (out, _) = exec2d::simulate_mesh_2d(&dev(), &ds, &[Poisson2D], &m, iters);
+        let expect = reference::run_2d(&Poisson2D, &m, iters);
+        prop_assert!(
+            norms::bit_equal(out.as_slice(), expect.as_slice()),
+            "first mismatch: {:?}",
+            norms::first_mismatch(out.as_slice(), expect.as_slice())
+        );
+    }
+
+    /// The analytic plan's traffic accounting is conservative and consistent:
+    /// reads ≥ writes ≥ the mesh payload per pass.
+    #[test]
+    fn plan_traffic_invariants(
+        nx in 50usize..500,
+        ny in 10usize..100,
+        p in 1usize..10,
+        niter in 1u64..50,
+    ) {
+        let wl = Workload::D2 { nx, ny, batch: 1 };
+        let ds = synthesize(&dev(), &StencilSpec::poisson(), 8, p, ExecMode::Baseline, MemKind::Hbm, &wl)
+            .unwrap();
+        let plan = sf_fpga::cycles::plan(&dev(), &ds, &wl, niter);
+        let mesh_bytes = (nx * ny * 4) as u64;
+        prop_assert_eq!(plan.ext_read_bytes, plan.passes * mesh_bytes);
+        prop_assert_eq!(plan.ext_write_bytes, plan.passes * mesh_bytes);
+        prop_assert!(plan.total_cycles > 0);
+        prop_assert!(plan.runtime_s > 0.0);
+        // deeper unrolls never increase total external traffic
+        prop_assert!(plan.passes <= niter);
+    }
+
+    /// DSE candidates always fit the device and improve monotonically in the
+    /// ranking.
+    #[test]
+    fn dse_candidates_always_fit(
+        nx in 32usize..400,
+        ny in 32usize..400,
+        niter in 10u64..5000,
+    ) {
+        let wf = Workflow::u280_vs_v100();
+        let wl = Workload::D2 { nx, ny, batch: 1 };
+        let cands = wf.explore(&StencilSpec::poisson(), &wl, niter);
+        prop_assert!(!cands.is_empty());
+        let mut last = 0.0f64;
+        for c in &cands {
+            prop_assert!(c.design.resources.fits(&wf.device));
+            prop_assert!(c.planned_runtime_s >= last);
+            last = c.planned_runtime_s;
+        }
+    }
+}
