@@ -55,27 +55,11 @@ fn bench_wave2d_chain(c: &mut Criterion) {
     g.throughput(Throughput::Elements((m.len() * 3) as u64));
     g.bench_function("kick_x3", |b| {
         let chain = vec![kick; 3];
-        b.iter(|| {
-            run_chain_2d(
-                &chain,
-                128,
-                96,
-                96,
-                m.as_slice().chunks(128).map(|r| r.to_vec()),
-            )
-        })
+        b.iter(|| run_chain_2d(&chain, 128, 96, 96, m.as_slice().chunks(128).map(|r| r.to_vec())))
     });
     g.bench_function("drift_x3", |b| {
         let chain = vec![drift; 3];
-        b.iter(|| {
-            run_chain_2d(
-                &chain,
-                128,
-                96,
-                96,
-                m.as_slice().chunks(128).map(|r| r.to_vec()),
-            )
-        })
+        b.iter(|| run_chain_2d(&chain, 128, 96, 96, m.as_slice().chunks(128).map(|r| r.to_vec())))
     });
     g.finish();
 }

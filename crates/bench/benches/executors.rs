@@ -13,12 +13,8 @@ fn bench_poisson_paths(c: &mut Criterion) {
     let m = Mesh2D::<f32>::random(256, 256, 3, -1.0, 1.0);
     let iters = 4usize;
     g.throughput(Throughput::Elements((m.len() * iters) as u64));
-    g.bench_function("reference_seq", |b| {
-        b.iter(|| reference::run_2d(&Poisson2D, &m, iters))
-    });
-    g.bench_function("rayon_parallel", |b| {
-        b.iter(|| parallel::par_run_2d(&Poisson2D, &m, iters))
-    });
+    g.bench_function("reference_seq", |b| b.iter(|| reference::run_2d(&Poisson2D, &m, iters)));
+    g.bench_function("rayon_parallel", |b| b.iter(|| parallel::par_run_2d(&Poisson2D, &m, iters)));
     let d = FpgaDevice::u280();
     let wl = Workload::D2 { nx: 256, ny: 256, batch: 1 };
     let ds = synthesize(&d, &StencilSpec::poisson(), 8, 4, ExecMode::Baseline, MemKind::Hbm, &wl)
@@ -53,9 +49,7 @@ fn bench_rtm_paths(c: &mut Criterion) {
     let prm = sf_kernels::RtmParams::default();
     let iters = 2usize;
     g.throughput(Throughput::Elements((y.len() * iters) as u64));
-    g.bench_function("reference_seq", |b| {
-        b.iter(|| reference::rtm_run(&y, &rho, &mu, prm, iters))
-    });
+    g.bench_function("reference_seq", |b| b.iter(|| reference::rtm_run(&y, &rho, &mu, prm, iters)));
     g.bench_function("rayon_parallel", |b| {
         b.iter(|| parallel::par_rtm_run(&y, &rho, &mu, prm, iters))
     });

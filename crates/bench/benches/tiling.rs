@@ -15,9 +15,7 @@ fn bench_grid_construction(c: &mut Criterion) {
             b.iter(|| TileGrid1D::new(n, 4096, 60, 16))
         });
     }
-    g.bench_function("grid2d_600", |b| {
-        b.iter(|| TileGrid2D::new(600, 600, 256, 256, 3, 16))
-    });
+    g.bench_function("grid2d_600", |b| b.iter(|| TileGrid2D::new(600, 600, 256, 256, 3, 16)));
     g.finish();
 }
 

@@ -14,13 +14,7 @@ fn bench_chain_2d(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("poisson_depth", depth), &depth, |b, &d| {
             let chain = vec![Poisson2D; d];
             b.iter(|| {
-                run_chain_2d(
-                    &chain,
-                    256,
-                    128,
-                    128,
-                    m.as_slice().chunks(256).map(|r| r.to_vec()),
-                )
+                run_chain_2d(&chain, 256, 128, 128, m.as_slice().chunks(256).map(|r| r.to_vec()))
             })
         });
     }
@@ -58,14 +52,7 @@ fn bench_rtm_stages(c: &mut Criterion) {
     g.throughput(Throughput::Elements(packed.len() as u64 * 4));
     g.bench_function("fused_rk4_step_20cubed", |b| {
         b.iter(|| {
-            run_chain_3d(
-                &stages,
-                20,
-                20,
-                20,
-                20,
-                packed.as_slice().chunks(400).map(|p| p.to_vec()),
-            )
+            run_chain_3d(&stages, 20, 20, 20, 20, packed.as_slice().chunks(400).map(|p| p.to_vec()))
         })
     });
     g.finish();

@@ -1,21 +1,31 @@
 //! `sfstencil` — the design workflow as a command-line tool.
 //!
 //! ```text
-//! sfstencil feasibility --app jacobi --mesh 200x200x200
-//! sfstencil dse         --app poisson --mesh 400x400 --iters 60000 [--top 5]
+//! sfstencil feasibility --app jacobi --mesh 200x200x200 [--json]
+//! sfstencil dse         --app poisson --mesh 400x400 --iters 60000 [--top 5] [--json]
 //! sfstencil compare     --app rtm --mesh 50x50x50 --batch 40 --iters 180
-//! sfstencil report      --app poisson --mesh 400x400 --v 8 --p 60
+//! sfstencil report      --app poisson --mesh 400x400 --v 8 --p 60 [--json]
 //! sfstencil explain     --app rtm --mesh 32x32x32 --iters 1800
+//! sfstencil profile     --app poisson --mesh 200x100 --iters 100 \
+//!                       [--trace-out trace.json] [--json]
 //! ```
+//!
+//! `profile` runs the best design with telemetry enabled and reports the
+//! stall attribution (compute vs memory vs backpressure) and the
+//! predicted-vs-simulated cycle divergence. `--trace-out` writes a Chrome
+//! trace-event file loadable in Perfetto / `chrome://tracing`.
 
 use sf_core::prelude::*;
 use sf_fpga::design::synthesize;
+use sf_telemetry::{chrome, metrics, StallClass};
 
 fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: sfstencil <feasibility|dse|compare|report|explain> --app <poisson|jacobi|rtm> \
-         --mesh <NXxNY[xNZ]> [--batch B] [--iters N] [--top K] [--v V] [--p P]"
+        "usage: sfstencil <feasibility|dse|compare|report|explain|profile> \
+         --app <poisson|jacobi|rtm> \
+         --mesh <NXxNY[xNZ]> [--batch B] [--iters N] [--top K] [--v V] [--p P] \
+         [--json] [--trace-out FILE]"
     );
     std::process::exit(2);
 }
@@ -28,6 +38,8 @@ struct Args {
     top: usize,
     v: usize,
     p: usize,
+    json: bool,
+    trace_out: Option<String>,
 }
 
 fn parse() -> Args {
@@ -36,24 +48,34 @@ fn parse() -> Args {
         fail("missing command");
     }
     let cmd = argv[0].clone();
+    const COMMANDS: [&str; 6] = ["feasibility", "dse", "compare", "report", "explain", "profile"];
+    if !COMMANDS.contains(&cmd.as_str()) {
+        fail(&format!("unknown command '{cmd}'"));
+    }
     let get = |flag: &str| -> Option<String> {
-        argv.iter()
-            .position(|a| a == flag)
-            .and_then(|i| argv.get(i + 1).cloned())
+        argv.iter().position(|a| a == flag).and_then(|i| argv.get(i + 1).cloned())
     };
     let app = sf_bench::cli::parse_app(&get("--app").unwrap_or_else(|| fail("--app required")))
         .unwrap_or_else(|e| fail(&e));
     let mesh = get("--mesh").unwrap_or_else(|| fail("--mesh required"));
-    let batch: usize = get("--batch").map(|s| s.parse().unwrap_or_else(|_| fail("bad --batch"))).unwrap_or(1);
+    let batch: usize =
+        get("--batch").map(|s| s.parse().unwrap_or_else(|_| fail("bad --batch"))).unwrap_or(1);
     let wl = sf_bench::cli::parse_mesh(app.dims, &mesh, batch).unwrap_or_else(|e| fail(&e));
     Args {
         cmd,
         app,
         wl,
-        iters: get("--iters").map(|s| s.parse().unwrap_or_else(|_| fail("bad --iters"))).unwrap_or(1000),
+        iters: get("--iters")
+            .map(|s| match s.parse() {
+                Ok(0) | Err(_) => fail("--iters must be a positive integer"),
+                Ok(n) => n,
+            })
+            .unwrap_or(1000),
         top: get("--top").map(|s| s.parse().unwrap_or_else(|_| fail("bad --top"))).unwrap_or(5),
         v: get("--v").map(|s| s.parse().unwrap_or_else(|_| fail("bad --v"))).unwrap_or(0),
         p: get("--p").map(|s| s.parse().unwrap_or_else(|_| fail("bad --p"))).unwrap_or(0),
+        json: argv.iter().any(|a| a == "--json"),
+        trace_out: get("--trace-out"),
     }
 }
 
@@ -63,6 +85,10 @@ fn main() {
     match a.cmd.as_str() {
         "feasibility" => {
             let r = wf.feasibility(&a.app, &a.wl);
+            if a.json {
+                println!("{}", serde_json::to_string_pretty(&r).unwrap());
+                return;
+            }
             println!("application        : {}", r.app);
             println!("nominal V          : {}", r.v);
             println!("V_max (bandwidth)  : {}", r.v_max_bandwidth);
@@ -74,6 +100,11 @@ fn main() {
         }
         "dse" => {
             let cands = wf.explore(&a.app, &a.wl, a.iters);
+            if a.json {
+                let top: Vec<_> = cands.iter().take(a.top).collect();
+                println!("{}", serde_json::to_string_pretty(&top).unwrap());
+                return;
+            }
             if cands.is_empty() {
                 println!("no feasible design (try tiling or a smaller mesh)");
                 return;
@@ -106,10 +137,15 @@ fn main() {
             if a.v == 0 || a.p == 0 {
                 fail("report needs explicit --v and --p");
             }
-            match synthesize(&wf.device, &a.app, a.v, a.p, ExecMode::Baseline, MemKind::Hbm, &a.wl) {
+            match synthesize(&wf.device, &a.app, a.v, a.p, ExecMode::Baseline, MemKind::Hbm, &a.wl)
+            {
                 Ok(ds) => {
-                    println!("{}", sf_fpga::report::utilization_report(&wf.device, &ds));
                     let rep = wf.fpga_estimate(&ds, &a.wl, a.iters);
+                    if a.json {
+                        println!("{}", serde_json::to_string_pretty(&rep).unwrap());
+                        return;
+                    }
+                    println!("{}", sf_fpga::report::utilization_report(&wf.device, &ds));
                     println!("{}", rep.summary());
                 }
                 Err(e) => println!("synthesis rejected the configuration: {e}"),
@@ -120,6 +156,44 @@ fn main() {
                 println!("{}", sf_fpga::report::utilization_report(&wf.device, &best.design));
                 let tr = sf_fpga::trace::explain(&wf.device, &best.design, &a.wl, a.iters);
                 println!("{}", tr.render());
+            }
+            Err(e) => fail(&format!("{e}")),
+        },
+        "profile" => match wf.profile(&a.app, &a.wl, a.iters) {
+            Ok(pr) => {
+                if let Some(path) = &a.trace_out {
+                    let json = chrome::to_chrome_json(&pr.recorder);
+                    std::fs::write(path, json)
+                        .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+                    eprintln!("chrome trace written to {path}");
+                }
+                if a.json {
+                    println!("{}", metrics::to_metrics_json(&pr.recorder));
+                    return;
+                }
+                println!("{}", sf_fpga::report::utilization_report(&wf.device, &pr.design));
+                println!(
+                    "mode               : {}",
+                    if pr.behavioral { "behavioral (numerics streamed)" } else { "schedule-only" }
+                );
+                println!("total cycles       : {}", pr.report.total_cycles);
+                println!("runtime            : {:.3} ms", pr.report.runtime_s * 1e3);
+                let b = pr.recorder.stall_breakdown();
+                println!("stall attribution  :");
+                for (label, class) in [
+                    ("compute", StallClass::Compute),
+                    ("memory", StallClass::Memory),
+                    ("backpressure", StallClass::Backpressure),
+                ] {
+                    println!(
+                        "  {:<14} {:>14} cycles  ({:5.1} %)",
+                        label,
+                        b.cycles(class),
+                        b.fraction(class) * 100.0
+                    );
+                }
+                println!("  dominant       {:?}", b.dominant());
+                println!("model accuracy     : {}", pr.divergence.summary());
             }
             Err(e) => fail(&format!("{e}")),
         },

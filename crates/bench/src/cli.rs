@@ -21,7 +21,7 @@ pub fn parse_mesh(dims: usize, mesh: &str, batch: usize) -> Result<Workload, Str
     }
     let parts: Result<Vec<usize>, _> = mesh.split('x').map(|s| s.parse::<usize>()).collect();
     let parts = parts.map_err(|_| format!("bad mesh '{mesh}'"))?;
-    if parts.iter().any(|&d| d == 0) {
+    if parts.contains(&0) {
         return Err(format!("mesh '{mesh}' has a zero dimension"));
     }
     match (dims, parts.as_slice()) {

@@ -37,7 +37,8 @@ fn rtm_design(wl: &Workload, mode: ExecMode) -> StencilDesign {
 pub fn table1() -> Experiment {
     let d = FpgaDevice::u280();
     let g = GpuDevice::v100();
-    let mut e = Experiment::new("Table I", "Experimental systems specifications", &["item", "value"]);
+    let mut e =
+        Experiment::new("Table I", "Experimental systems specifications", &["item", "value"]);
     e.row(vec!["FPGA".into(), d.name.clone()]);
     e.row(vec!["DSP blocks".into(), d.dsp_total.to_string()]);
     e.row(vec![
@@ -52,11 +53,21 @@ pub fn table1() -> Experiment {
     ]);
     e.row(vec![
         "HBM".into(),
-        format!("{} GB, {:.0} GB/s, {} channels", d.hbm.bytes >> 30, d.hbm.total_bw() / 1e9, d.hbm.channels),
+        format!(
+            "{} GB, {:.0} GB/s, {} channels",
+            d.hbm.bytes >> 30,
+            d.hbm.total_bw() / 1e9,
+            d.hbm.channels
+        ),
     ]);
     e.row(vec![
         "DDR4".into(),
-        format!("{} GB, {:.1} GB/s, {} banks", d.ddr4.bytes >> 30, d.ddr4.total_bw() / 1e9, d.ddr4.channels),
+        format!(
+            "{} GB, {:.1} GB/s, {} banks",
+            d.ddr4.bytes >> 30,
+            d.ddr4.total_bw() / 1e9,
+            d.ddr4.channels
+        ),
     ]);
     e.row(vec!["GPU".into(), g.name.clone()]);
     e.row(vec![
@@ -75,14 +86,39 @@ pub fn table2() -> Experiment {
         "Table II",
         "Baseline and batching, model parameters",
         &[
-            "application", "freq MHz (ours)", "(paper)", "G_dsp (ours)", "(paper)",
-            "p_dsp model (ours)", "(paper)", "p actual (ours)", "(paper)",
+            "application",
+            "freq MHz (ours)",
+            "(paper)",
+            "G_dsp (ours)",
+            "(paper)",
+            "p_dsp model (ours)",
+            "(paper)",
+            "p actual (ours)",
+            "(paper)",
         ],
     );
     let designs: [(&str, StencilSpec, usize, usize, Workload); 3] = [
-        ("Poisson-5pt-2D", StencilSpec::poisson(), 8, 60, Workload::D2 { nx: 400, ny: 400, batch: 1 }),
-        ("Jacobi-7pt-3D", StencilSpec::jacobi(), 8, 29, Workload::D3 { nx: 300, ny: 300, nz: 300, batch: 1 }),
-        ("Reverse Time Migration", StencilSpec::rtm(), 1, 3, Workload::D3 { nx: 64, ny: 64, nz: 64, batch: 1 }),
+        (
+            "Poisson-5pt-2D",
+            StencilSpec::poisson(),
+            8,
+            60,
+            Workload::D2 { nx: 400, ny: 400, batch: 1 },
+        ),
+        (
+            "Jacobi-7pt-3D",
+            StencilSpec::jacobi(),
+            8,
+            29,
+            Workload::D3 { nx: 300, ny: 300, nz: 300, batch: 1 },
+        ),
+        (
+            "Reverse Time Migration",
+            StencilSpec::rtm(),
+            1,
+            3,
+            Workload::D3 { nx: 64, ny: 64, nz: 64, batch: 1 },
+        ),
     ];
     for ((name, spec, v, p_actual, wl), paper) in designs.into_iter().zip(paper::TABLE2) {
         let ds = synthesize(&d, &spec, v, p_actual, ExecMode::Baseline, MemKind::Hbm, &wl).unwrap();
@@ -110,7 +146,18 @@ pub fn table3() -> Experiment {
     let mut e = Experiment::new(
         "Table III",
         "Spatial blocking model parameters",
-        &["app", "p", "V", "M (ours)", "(paper)", "N", "T cells/clk (ours)", "(paper)", "valid % (ours)", "(paper)"],
+        &[
+            "app",
+            "p",
+            "V",
+            "M (ours)",
+            "(paper)",
+            "N",
+            "T cells/clk (ours)",
+            "(paper)",
+            "valid % (ours)",
+            "(paper)",
+        ],
     );
     // Poisson: quantized 2D tile
     let m2 = sf_model::blocking::recommended_tile_2d(&d, &StencilSpec::poisson(), 8, 60);
@@ -162,7 +209,13 @@ pub fn fig3a() -> Experiment {
         let wl = Workload::D2 { nx, ny, batch: 1 };
         let ds = poisson_design(&wl, ExecMode::Baseline, MemKind::Hbm);
         let fpga = wf.fpga_estimate(&ds, &wl, paper::iters::POISSON);
-        let pred = sf_model::predict(&wf.device, &ds, &wl, paper::iters::POISSON, PredictionLevel::Extended);
+        let pred = sf_model::predict(
+            &wf.device,
+            &ds,
+            &wl,
+            paper::iters::POISSON,
+            PredictionLevel::Extended,
+        );
         let gpu = wf.gpu_estimate(&spec, &wl, paper::iters::POISSON);
         e.row(vec![
             format!("{nx}x{ny}"),
@@ -190,7 +243,13 @@ pub fn fig3b() -> Experiment {
             let wl = Workload::D2 { nx, ny, batch: b };
             let ds = poisson_design(&wl, ExecMode::Batched { b }, MemKind::Hbm);
             let fpga = wf.fpga_estimate(&ds, &wl, paper::iters::POISSON);
-            let pred = sf_model::predict(&wf.device, &ds, &wl, paper::iters::POISSON, PredictionLevel::Extended);
+            let pred = sf_model::predict(
+                &wf.device,
+                &ds,
+                &wl,
+                paper::iters::POISSON,
+                PredictionLevel::Extended,
+            );
             let gpu = wf.gpu_estimate(&spec, &wl, paper::iters::POISSON);
             e.row(vec![
                 format!("{nx}x{ny}"),
@@ -219,7 +278,13 @@ pub fn fig3c() -> Experiment {
         let wl = Workload::D2 { nx: n, ny: n, batch: 1 };
         let ds = poisson_design(&wl, ExecMode::Tiled1D { tile_m: tile }, MemKind::Ddr4);
         let fpga = wf.fpga_estimate(&ds, &wl, paper::iters::POISSON_TILED);
-        let pred = sf_model::predict(&wf.device, &ds, &wl, paper::iters::POISSON_TILED, PredictionLevel::Extended);
+        let pred = sf_model::predict(
+            &wf.device,
+            &ds,
+            &wl,
+            paper::iters::POISSON_TILED,
+            PredictionLevel::Extended,
+        );
         let gpu = wf.gpu_estimate(&spec, &wl, paper::iters::POISSON_TILED);
         e.row(vec![
             format!("{n}²"),
@@ -241,8 +306,8 @@ pub fn table4() -> Experiment {
         "Table IV",
         "Poisson-5pt: bandwidth (GB/s) and energy (kJ)",
         &[
-            "mesh", "cfg", "FPGA BW", "paper", "Δ", "GPU BW", "paper", "Δ",
-            "FPGA kJ", "paper", "GPU kJ", "paper",
+            "mesh", "cfg", "FPGA BW", "paper", "Δ", "GPU BW", "paper", "Δ", "FPGA kJ", "paper",
+            "GPU kJ", "paper",
         ],
     );
     for (nx, ny, pb_f, pb_g, p100_f, p100_g, p1000_f, p1000_g, pe_f, pe_g) in paper::TABLE4_BASE {
@@ -331,7 +396,13 @@ pub fn fig4a() -> Experiment {
         let wl = Workload::D3 { nx: n, ny: n, nz: n, batch: 1 };
         let ds = jacobi_design(&wl, ExecMode::Baseline);
         let f = wf.fpga_estimate(&ds, &wl, paper::iters::JACOBI);
-        let pred = sf_model::predict(&wf.device, &ds, &wl, paper::iters::JACOBI, PredictionLevel::Extended);
+        let pred = sf_model::predict(
+            &wf.device,
+            &ds,
+            &wl,
+            paper::iters::JACOBI,
+            PredictionLevel::Extended,
+        );
         let g = wf.gpu_estimate(&spec, &wl, paper::iters::JACOBI);
         e.row(vec![
             format!("{n}³"),
@@ -386,7 +457,13 @@ pub fn fig4c() -> Experiment {
         let wl = Workload::D3 { nx, ny, nz, batch: 1 };
         let ds = jacobi_design(&wl, ExecMode::Tiled2D { tile_m: tile, tile_n: tile });
         let f = wf.fpga_estimate(&ds, &wl, paper::iters::JACOBI_TILED);
-        let pred = sf_model::predict(&wf.device, &ds, &wl, paper::iters::JACOBI_TILED, PredictionLevel::Extended);
+        let pred = sf_model::predict(
+            &wf.device,
+            &ds,
+            &wl,
+            paper::iters::JACOBI_TILED,
+            PredictionLevel::Extended,
+        );
         let g = wf.gpu_estimate(&spec, &wl, paper::iters::JACOBI_TILED);
         e.row(vec![
             label.to_string(),
@@ -409,8 +486,8 @@ pub fn table5() -> Experiment {
         "Table V",
         "Jacobi-7pt-3D: bandwidth (GB/s) and energy (kJ)",
         &[
-            "mesh", "cfg", "FPGA BW", "paper", "Δ", "GPU BW", "paper", "Δ",
-            "FPGA kJ", "paper", "GPU kJ", "paper",
+            "mesh", "cfg", "FPGA BW", "paper", "Δ", "GPU BW", "paper", "Δ", "FPGA kJ", "paper",
+            "GPU kJ", "paper",
         ],
     );
     for (n, pb_f, pb_g, p10_f, p10_g, p50_f, p50_g, pe_f, pe_g) in paper::TABLE5_BASE {
@@ -427,12 +504,14 @@ pub fn table5() -> Experiment {
             format!("{:.0}", g.bandwidth_gbs),
             fmt::f0(Some(pb_g)),
             fmt::ratio(g.bandwidth_gbs, Some(pb_g)),
-            "-".into(), "-".into(), "-".into(), "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
         ]);
-        for (b, pf, pg, pef, peg) in [
-            (10usize, Some(p10_f), Some(p10_g), None, None),
-            (50, p50_f, p50_g, pe_f, pe_g),
-        ] {
+        for (b, pf, pg, pef, peg) in
+            [(10usize, Some(p10_f), Some(p10_g), None, None), (50, p50_f, p50_g, pe_f, pe_g)]
+        {
             if pf.is_none() {
                 continue;
             }
@@ -476,7 +555,9 @@ pub fn table5() -> Experiment {
             format!("{peg}"),
         ]);
     }
-    e.note("tiled rows pay the strided-run AXI penalty — the paper's 'transfers less than 4K' effect");
+    e.note(
+        "tiled rows pay the strided-run AXI penalty — the paper's 'transfers less than 4K' effect",
+    );
     e
 }
 
@@ -493,7 +574,8 @@ pub fn fig5a() -> Experiment {
         let wl = Workload::D3 { nx, ny, nz, batch: 1 };
         let ds = rtm_design(&wl, ExecMode::Baseline);
         let f = wf.fpga_estimate(&ds, &wl, paper::iters::RTM);
-        let pred = sf_model::predict(&wf.device, &ds, &wl, paper::iters::RTM, PredictionLevel::Extended);
+        let pred =
+            sf_model::predict(&wf.device, &ds, &wl, paper::iters::RTM, PredictionLevel::Extended);
         let g = wf.gpu_estimate(&spec, &wl, paper::iters::RTM);
         e.row(vec![
             format!("{nx}x{ny}x{nz}"),
@@ -541,8 +623,8 @@ pub fn table6() -> Experiment {
         "Table VI",
         "RTM: avg bandwidth (GB/s) and energy (kJ)",
         &[
-            "mesh", "cfg", "FPGA BW", "paper", "Δ", "GPU BW", "paper", "Δ",
-            "FPGA kJ", "paper", "GPU kJ", "paper",
+            "mesh", "cfg", "FPGA BW", "paper", "Δ", "GPU BW", "paper", "Δ", "FPGA kJ", "paper",
+            "GPU kJ", "paper",
         ],
     );
     for (nx, ny, nz, pb_f, pb_g, p20_f, p20_g, p40_f, p40_g, pe_f, pe_g) in paper::TABLE6 {
@@ -559,12 +641,14 @@ pub fn table6() -> Experiment {
             format!("{:.0}", g.bandwidth_gbs),
             fmt::f0(Some(pb_g)),
             fmt::ratio(g.bandwidth_gbs, Some(pb_g)),
-            "-".into(), "-".into(), "-".into(), "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
         ]);
-        for (b, pf, pg, pef, peg) in [
-            (20usize, p20_f, p20_g, None, None),
-            (40, p40_f, p40_g, Some(pe_f), Some(pe_g)),
-        ] {
+        for (b, pf, pg, pef, peg) in
+            [(20usize, p20_f, p20_g, None, None), (40, p40_f, p40_g, Some(pe_f), Some(pe_g))]
+        {
             let wl = Workload::D3 { nx, ny, nz, batch: b };
             let ds = rtm_design(&wl, ExecMode::Batched { b });
             let f = wf.fpga_estimate(&ds, &wl, paper::iters::RTM_BATCHED);
@@ -633,7 +717,9 @@ pub fn ablation_precision() -> Experiment {
     ];
     for (base, v, wl, niter) in cases {
         let mut fp32_ms = None;
-        for fmt in [NumberFormat::Fp32, NumberFormat::Fp16, NumberFormat::Fixed18, NumberFormat::Fixed32] {
+        for fmt in
+            [NumberFormat::Fp32, NumberFormat::Fp16, NumberFormat::Fixed18, NumberFormat::Fixed32]
+        {
             let spec = base.with_format(fmt);
             let p_dsp = equations::p_dsp(d.dsp_total, d.dsp_util_target, v, spec.gdsp());
             // deepest p that synthesizes (memory may bind first)
@@ -650,13 +736,17 @@ pub fn ablation_precision() -> Experiment {
                     fmt.to_string(),
                     spec.gdsp().to_string(),
                     p_dsp.to_string(),
-                    "-".into(), "-".into(), "-".into(), "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
                 ]);
                 continue;
             };
             let rep = wf.fpga_estimate(&ds, &wl, niter);
             let ms = rep.runtime_s * 1e3;
-            let speedup = fp32_ms.map(|f: f64| format!("{:.2}x", f / ms)).unwrap_or_else(|| "1.00x".into());
+            let speedup =
+                fp32_ms.map(|f: f64| format!("{:.2}x", f / ms)).unwrap_or_else(|| "1.00x".into());
             if fmt == NumberFormat::Fp32 {
                 fp32_ms = Some(ms);
             }
@@ -694,14 +784,17 @@ pub fn ablation_overheads() -> Experiment {
     for (nx, ny, ..) in paper::TABLE4_BASE {
         let wl = Workload::D2 { nx, ny, batch: 1 };
         let bw = |dev: &FpgaDevice, zero_latency: bool| -> f64 {
-            let mut ds = synthesize(dev, &spec, 8, 60, ExecMode::Baseline, MemKind::Hbm, &wl).unwrap();
+            let mut ds =
+                synthesize(dev, &spec, 8, 60, ExecMode::Baseline, MemKind::Hbm, &wl).unwrap();
             if zero_latency {
                 ds.pipeline_latency_cycles = 0;
             }
             sf_fpga::cycles::plan(dev, &ds, &wl, paper::iters::POISSON).bandwidth_gbs()
         };
-        let ds = synthesize(&base_dev, &spec, 8, 60, ExecMode::Baseline, MemKind::Hbm, &wl).unwrap();
-        let ideal = sf_model::predict(&base_dev, &ds, &wl, paper::iters::POISSON, PredictionLevel::Ideal);
+        let ds =
+            synthesize(&base_dev, &spec, 8, 60, ExecMode::Baseline, MemKind::Hbm, &wl).unwrap();
+        let ideal =
+            sf_model::predict(&base_dev, &ds, &wl, paper::iters::POISSON, PredictionLevel::Ideal);
         e.row(vec![
             format!("{nx}x{ny}"),
             format!("{:.0}", bw(&base_dev, false)),
@@ -822,12 +915,18 @@ pub fn ablation_device_scaling() -> Experiment {
                 Err(_) => e.row(vec![
                     format!("{}", spec.app),
                     dev.name.clone(),
-                    "-".into(), "-".into(), "-".into(), "-".into(), "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
                 ]),
             }
         }
     }
-    e.note("the 2x device roughly doubles feasible pV; RTM gains the most (its p was DSP-walled at 3)");
+    e.note(
+        "the 2x device roughly doubles feasible pV; RTM gains the most (its p was DSP-walled at 3)",
+    );
     e
 }
 
@@ -907,8 +1006,12 @@ mod regression_bands {
                 let ds = poisson_design(&wl, mode, MemKind::Hbm);
                 let r = wf.fpga_estimate(&ds, &wl, paper::iters::POISSON);
                 let dev = (r.bandwidth_gbs - paper_bw).abs() / paper_bw;
-                assert!(dev < 0.15, "{nx}x{ny} b={b}: {:.0} vs paper {paper_bw} ({:.0}%)",
-                    r.bandwidth_gbs, dev * 100.0);
+                assert!(
+                    dev < 0.15,
+                    "{nx}x{ny} b={b}: {:.0} vs paper {paper_bw} ({:.0}%)",
+                    r.bandwidth_gbs,
+                    dev * 100.0
+                );
             };
             check(ExecMode::Baseline, 1, pb_f);
             check(ExecMode::Batched { b: 100 }, 100, p100_f);

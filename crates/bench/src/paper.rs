@@ -24,7 +24,18 @@ pub const TABLE3: [(&str, usize, usize, usize, Option<usize>, f64, f64); 2] = [
 ///   energy1000_fpga_kj, energy1000_gpu_kj)` — 1000B columns only published
 /// for the first three meshes.
 #[allow(clippy::type_complexity)]
-pub const TABLE4_BASE: [(usize, usize, f64, f64, f64, f64, Option<f64>, Option<f64>, Option<f64>, Option<f64>); 6] = [
+pub const TABLE4_BASE: [(
+    usize,
+    usize,
+    f64,
+    f64,
+    f64,
+    f64,
+    Option<f64>,
+    Option<f64>,
+    Option<f64>,
+    Option<f64>,
+); 6] = [
     (200, 100, 384.0, 18.0, 857.0, 404.0, Some(867.0), Some(530.0), Some(0.77), Some(3.48)),
     (200, 200, 543.0, 32.0, 886.0, 465.0, Some(892.0), Some(540.0), Some(1.50), Some(6.74)),
     (300, 150, 535.0, 38.0, 901.0, 483.0, Some(907.0), Some(560.0), Some(1.66), Some(7.60)),
@@ -47,7 +58,17 @@ pub const TABLE4_TILED: [(usize, usize, f64, f64, f64, f64); 5] = [
 /// `(n, base_fpga, base_gpu, b10_fpga, b10_gpu, b50_fpga, b50_gpu,
 ///   energy50_fpga_kj, energy50_gpu_kj)` — 50B only for the first three.
 #[allow(clippy::type_complexity)]
-pub const TABLE5_BASE: [(usize, f64, f64, f64, f64, Option<f64>, Option<f64>, Option<f64>, Option<f64>); 5] = [
+pub const TABLE5_BASE: [(
+    usize,
+    f64,
+    f64,
+    f64,
+    f64,
+    Option<f64>,
+    Option<f64>,
+    Option<f64>,
+    Option<f64>,
+); 5] = [
     (50, 202.0, 83.0, 307.0, 284.0, Some(323.0), Some(404.0), Some(0.04), Some(0.07)),
     (100, 301.0, 284.0, 378.0, 434.0, Some(387.0), Some(469.0), Some(0.27), Some(0.51)),
     (200, 374.0, 496.0, 421.0, 548.0, Some(426.0), Some(543.0), Some(1.96), Some(3.77)),

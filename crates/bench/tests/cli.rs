@@ -1,0 +1,76 @@
+//! End-to-end tests for the `sfstencil` binary.
+
+use serde::Value;
+use std::process::Command;
+
+fn sfstencil() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sfstencil"))
+}
+
+#[test]
+fn unknown_subcommand_exits_2_with_usage() {
+    let out = sfstencil().arg("frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown command 'frobnicate'"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+    assert!(stderr.contains("profile"), "usage must list profile: {stderr}");
+}
+
+#[test]
+fn missing_command_exits_2() {
+    let out = sfstencil().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn profile_writes_loadable_chrome_trace() {
+    let path = std::env::temp_dir().join("sfstencil_cli_trace.json");
+    let out = sfstencil()
+        .args(["profile", "--app", "poisson", "--mesh", "200x100", "--iters", "100", "--trace-out"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("stall attribution"), "{stdout}");
+    assert!(stdout.contains("model divergence"), "{stdout}");
+
+    let doc: Value = serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    let events = doc.get("traceEvents").and_then(Value::as_array).unwrap();
+    assert!(events.len() > 10);
+    for e in events {
+        assert!(e.get("ph").and_then(Value::as_str).is_some());
+        assert!(e.get("pid").and_then(Value::as_u64).is_some());
+        assert!(e.get("name").and_then(Value::as_str).is_some());
+        if e.get("ph").and_then(Value::as_str) == Some("X") {
+            assert!(e.get("ts").is_some() && e.get("dur").is_some());
+            assert!(e.get("tid").and_then(Value::as_u64).is_some());
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn profile_json_emits_metrics_document() {
+    let out = sfstencil()
+        .args(["profile", "--app", "poisson", "--mesh", "200x100", "--iters", "100", "--json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let doc: Value = serde_json::from_str(&String::from_utf8(out.stdout).unwrap()).unwrap();
+    assert!(doc.get("stalls").is_some());
+    let div = doc.get("divergence").expect("divergence emitted on every run");
+    assert!(div.get("pct").is_some());
+}
+
+#[test]
+fn feasibility_json_parses() {
+    let out = sfstencil()
+        .args(["feasibility", "--app", "jacobi", "--mesh", "100x100x100", "--json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let doc: Value = serde_json::from_str(&String::from_utf8(out.stdout).unwrap()).unwrap();
+    assert!(doc.get("baseline_feasible").is_some());
+}

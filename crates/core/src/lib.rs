@@ -36,15 +36,18 @@
 //! [`solvers::JacobiSolver`], [`solvers::RtmSolver`].
 
 pub mod compare;
+pub mod profile;
 pub mod solvers;
 pub mod workflow;
 
 pub use compare::Comparison;
+pub use profile::ProfileResult;
 pub use workflow::{Workflow, WorkflowError};
 
 /// Everything a typical user needs.
 pub mod prelude {
     pub use crate::compare::Comparison;
+    pub use crate::profile::ProfileResult;
     pub use crate::solvers::{JacobiSolver, PoissonSolver, RtmSolver};
     pub use crate::workflow::{Workflow, WorkflowError};
     pub use sf_fpga::design::{ExecMode, MemKind, StencilDesign, Workload};

@@ -1,0 +1,182 @@
+//! Step 6 — profiling: run the winning design with full telemetry.
+//!
+//! [`Workflow::profile`] selects the best design (like
+//! [`Workflow::compare`]), runs it with an enabled `sf-telemetry`
+//! [`Recorder`], and packages everything an engineer needs to see where
+//! the cycles went: the schedule trace (per-pass/per-tile spans, AXI
+//! channel utilisation, FIFO backpressure), the stall-attribution
+//! breakdown, and the continuous model-accuracy check — predicted vs
+//! simulated cycles, the paper's ±15 % invariant, emitted on every run.
+//!
+//! Validation-scale workloads additionally stream real numerics through
+//! the behavioral window-buffer pipeline (so the trace carries genuine
+//! buffer fill/drain events); paper-scale workloads trace the schedule
+//! only — the cycle accounting is identical either way.
+
+use crate::workflow::{Workflow, WorkflowError};
+use serde::Value;
+use sf_fpga::design::{StencilDesign, Workload};
+use sf_fpga::trace::PlanTrace;
+use sf_fpga::{exec2d, exec3d, trace, Recorder, SimReport};
+use sf_kernels::{rtm, AppId, Jacobi3D, Poisson2D, RtmStage, StencilSpec};
+use sf_mesh::{Batch2D, Batch3D};
+use sf_model::{predict, Prediction, PredictionLevel};
+use sf_telemetry::Divergence;
+
+/// Cell-iterations (total cells × niter) up to which `profile` streams the
+/// behavioral pipeline; beyond that only the schedule is traced.
+pub const BEHAVIORAL_BUDGET: u64 = 20_000_000;
+
+/// Seed for the synthetic input meshes the behavioral profile streams.
+const PROFILE_SEED: u64 = 42;
+
+/// Everything [`Workflow::profile`] produces.
+#[derive(Clone, Debug)]
+pub struct ProfileResult {
+    /// The profiled design.
+    pub design: StencilDesign,
+    /// The model's prediction for it (Extended level).
+    pub prediction: Prediction,
+    /// Simulated performance report.
+    pub report: SimReport,
+    /// The annotated cycle breakdown ([`trace::explain`]).
+    pub trace: PlanTrace,
+    /// The event recorder — feed to `sf_telemetry::chrome::to_chrome_json`
+    /// or `sf_telemetry::metrics::to_metrics_json`.
+    pub recorder: Recorder,
+    /// Predicted-vs-simulated cycles (also stored in the recorder).
+    pub divergence: Divergence,
+    /// Whether real numerics were streamed (vs schedule-only tracing).
+    pub behavioral: bool,
+}
+
+impl Workflow {
+    /// Profile the best design for `(spec, wl, niter)` with telemetry
+    /// enabled. See the module docs for what gets recorded.
+    pub fn profile(
+        &self,
+        spec: &StencilSpec,
+        wl: &Workload,
+        niter: u64,
+    ) -> Result<ProfileResult, WorkflowError> {
+        let best = self.best_design(spec, wl, niter)?;
+        let design = best.design.clone();
+        let dev = &self.device;
+        let mut rec = Recorder::enabled(design.freq_hz / 1e6);
+        rec.set_meta("app", Value::String(format!("{}", spec.app)));
+        rec.set_meta("workload", Value::String(format!("{wl:?}")));
+        rec.set_meta("niter", Value::U64(niter));
+
+        let behavioral = wl.total_cells() * niter <= BEHAVIORAL_BUDGET;
+        let report =
+            if behavioral { run_behavioral(dev, &design, spec, wl, niter, &mut rec) } else { None };
+        let report = match report {
+            Some(r) => r,
+            None => {
+                // Schedule-only: same cycle accounting, no numerics.
+                let plan = sf_fpga::profile::trace_schedule(dev, &design, wl, niter, &mut rec);
+                SimReport::from_plan(
+                    &design,
+                    &plan,
+                    niter,
+                    sf_fpga::power::fpga_power_w(dev, &design),
+                )
+            }
+        };
+
+        let prediction = predict(dev, &design, wl, niter, PredictionLevel::Extended);
+        let divergence = Divergence::new(prediction.cycles, report.total_cycles);
+        rec.set_divergence(divergence);
+        let tr = trace::explain(dev, &design, wl, niter);
+        Ok(ProfileResult {
+            design,
+            prediction,
+            report,
+            trace: tr,
+            recorder: rec,
+            divergence,
+            behavioral: wl.total_cells() * niter <= BEHAVIORAL_BUDGET,
+        })
+    }
+}
+
+/// Stream real numerics through the traced executors for the paper's apps.
+/// Returns `None` for custom specs (no concrete kernel to run) — the caller
+/// falls back to schedule-only tracing.
+fn run_behavioral(
+    dev: &sf_fpga::FpgaDevice,
+    design: &StencilDesign,
+    spec: &StencilSpec,
+    wl: &Workload,
+    niter: u64,
+    rec: &mut Recorder,
+) -> Option<SimReport> {
+    match (spec.app, *wl) {
+        (AppId::Poisson2D, Workload::D2 { nx, ny, batch }) => {
+            let input = Batch2D::<f32>::random(nx, ny, batch, PROFILE_SEED, -1.0, 1.0);
+            let (_, rep) =
+                exec2d::simulate_2d_traced(dev, design, &[Poisson2D], &input, niter as usize, rec);
+            Some(rep)
+        }
+        (AppId::Jacobi3D, Workload::D3 { nx, ny, nz, batch }) => {
+            let input = Batch3D::<f32>::random(nx, ny, nz, batch, PROFILE_SEED, -1.0, 1.0);
+            let k = Jacobi3D::smoothing();
+            let (_, rep) =
+                exec3d::simulate_3d_traced(dev, design, &[k], &input, niter as usize, rec);
+            Some(rep)
+        }
+        (AppId::Rtm3D, Workload::D3 { nx, ny, nz, batch: 1 }) => {
+            let (y, rho, mu) = rtm::demo_workload(nx, ny, nz);
+            let packed = rtm::pack(&y, &rho, &mu);
+            let input = Batch3D::from_meshes(std::slice::from_ref(&packed));
+            let stages = RtmStage::pipeline(sf_kernels::RtmParams::default());
+            let (_, rep) =
+                exec3d::simulate_3d_traced(dev, design, &stages, &input, niter as usize, rec);
+            Some(rep)
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_telemetry::StallClass;
+
+    #[test]
+    fn profile_poisson_behavioral_with_divergence() {
+        let wf = Workflow::u280_vs_v100();
+        let spec = StencilSpec::poisson();
+        let wl = Workload::D2 { nx: 200, ny: 100, batch: 1 };
+        let pr = wf.profile(&spec, &wl, 100).unwrap();
+        assert!(pr.behavioral);
+        // Divergence is emitted on every run and within the paper tolerance.
+        assert!(pr.divergence.within(15.0), "{}", pr.divergence.summary());
+        assert!(pr.recorder.divergence().is_some());
+        // Stall attribution agrees with the plan trace.
+        let expect = pr.trace.stall_breakdown();
+        let got = pr.recorder.stall_breakdown();
+        assert_eq!(got.compute_cycles, expect.compute_cycles);
+        assert_eq!(got.memory_cycles, expect.memory_cycles);
+        // Pipeline spans reconcile with the simulated total.
+        let pipe = pr.recorder.find_track("pipeline").unwrap();
+        assert_eq!(pr.recorder.track_span_cycles(pipe), pr.report.total_cycles);
+        // Behavioral window events present.
+        assert!(pr.recorder.counter("window.rows_streamed") > 0);
+    }
+
+    #[test]
+    fn profile_paper_scale_falls_back_to_schedule_only() {
+        let wf = Workflow::u280_vs_v100();
+        let spec = StencilSpec::poisson();
+        let wl = Workload::D2 { nx: 400, ny: 400, batch: 1 };
+        let pr = wf.profile(&spec, &wl, 60_000).unwrap();
+        assert!(!pr.behavioral);
+        assert_eq!(pr.recorder.counter("window.rows_streamed"), 0);
+        let pipe = pr.recorder.find_track("pipeline").unwrap();
+        assert_eq!(pr.recorder.track_span_cycles(pipe), pr.report.total_cycles);
+        assert!(pr.divergence.within(15.0), "{}", pr.divergence.summary());
+        // A compute-bound design must be reported as such.
+        assert_eq!(pr.recorder.stall_breakdown().dominant(), StallClass::Compute);
+    }
+}

@@ -26,10 +26,7 @@ impl PoissonSolver {
     /// Build from a workflow-selected best design for the workload.
     pub fn auto(wf: &Workflow, wl: &Workload, niter: u64) -> Result<Self, WorkflowError> {
         let best = wf.best_design(&StencilSpec::poisson(), wl, niter)?;
-        Ok(PoissonSolver {
-            design: best.design,
-            device: wf.device.clone(),
-        })
+        Ok(PoissonSolver { design: best.design, device: wf.device.clone() })
     }
 
     /// Build around an explicit design.
@@ -112,13 +109,14 @@ pub struct RtmSolver {
 
 impl RtmSolver {
     /// Build from a workflow-selected best design.
-    pub fn auto(wf: &Workflow, wl: &Workload, niter: u64, params: RtmParams) -> Result<Self, WorkflowError> {
+    pub fn auto(
+        wf: &Workflow,
+        wl: &Workload,
+        niter: u64,
+        params: RtmParams,
+    ) -> Result<Self, WorkflowError> {
         let best = wf.best_design(&StencilSpec::rtm(), wl, niter)?;
-        Ok(RtmSolver {
-            design: best.design,
-            params,
-            device: wf.device.clone(),
-        })
+        Ok(RtmSolver { design: best.design, params, device: wf.device.clone() })
     }
 
     /// Build around an explicit design.
@@ -173,11 +171,7 @@ pub fn solve_poisson_book(
     let mut results: Vec<Option<sf_mesh::Mesh2D<f32>>> = vec![None; book.len()];
     let mut reports = Vec::new();
     for (batch, idxs) in sf_mesh::batch::group_by_shape_2d(book) {
-        let wl = Workload::D2 {
-            nx: batch.nx(),
-            ny: batch.ny(),
-            batch: batch.batch(),
-        };
+        let wl = Workload::D2 { nx: batch.nx(), ny: batch.ny(), batch: batch.batch() };
         let best = wf.best_design(&StencilSpec::poisson(), &wl, niter as u64)?;
         let solver = PoissonSolver::with_design(wf.device.clone(), best.design);
         let (out, rep) = solver.run(&batch, niter);
@@ -227,11 +221,7 @@ impl PoissonSolver {
             }
         }
         let report = {
-            let wl = Workload::D2 {
-                nx: input.nx(),
-                ny: input.ny(),
-                batch: input.batch(),
-            };
+            let wl = Workload::D2 { nx: input.nx(), ny: input.ny(), batch: input.batch() };
             let plan = sf_fpga::cycles::plan(&self.device, &self.design, &wl, done as u64);
             SimReport::from_plan(
                 &self.design,
@@ -240,15 +230,7 @@ impl PoissonSolver {
                 sf_fpga::power::fpga_power_w(&self.device, &self.design),
             )
         };
-        (
-            SteadyState {
-                converged: residual < tol,
-                result: cur,
-                iterations: done,
-                residual,
-            },
-            report,
-        )
+        (SteadyState { converged: residual < tol, result: cur, iterations: done, residual }, report)
     }
 }
 
@@ -277,8 +259,9 @@ mod tests {
     fn jacobi_solver_explicit_design() {
         let d = FpgaDevice::u280();
         let wl = Workload::D3 { nx: 16, ny: 12, nz: 10, batch: 1 };
-        let design = synthesize(&d, &StencilSpec::jacobi(), 8, 3, ExecMode::Baseline, MemKind::Hbm, &wl)
-            .unwrap();
+        let design =
+            synthesize(&d, &StencilSpec::jacobi(), 8, 3, ExecMode::Baseline, MemKind::Hbm, &wl)
+                .unwrap();
         let solver = JacobiSolver::with_design(d, design, Jacobi3D::smoothing());
         let input = Batch3D::<f32>::random(16, 12, 10, 1, 9, -1.0, 1.0);
         let (_, rep) = solver.run_validated(&input, 7);
@@ -346,8 +329,9 @@ mod tests {
     fn rtm_solver_runs_validated() {
         let d = FpgaDevice::u280();
         let wl = Workload::D3 { nx: 13, ny: 12, nz: 14, batch: 1 };
-        let design = synthesize(&d, &StencilSpec::rtm(), 1, 3, ExecMode::Baseline, MemKind::Hbm, &wl)
-            .unwrap();
+        let design =
+            synthesize(&d, &StencilSpec::rtm(), 1, 3, ExecMode::Baseline, MemKind::Hbm, &wl)
+                .unwrap();
         let solver = RtmSolver::with_design(d, design, RtmParams::default());
         let (y, rho, mu) = rtm::demo_workload(13, 12, 14);
         let (out, rep) = solver.run_validated(&y, &rho, &mu, 6);

@@ -46,11 +46,7 @@ pub struct Workflow {
 impl Workflow {
     /// The paper's experimental setup: Alveo U280 vs Tesla V100.
     pub fn u280_vs_v100() -> Self {
-        Workflow {
-            device: FpgaDevice::u280(),
-            gpu: GpuDevice::v100(),
-            opts: DseOptions::default(),
-        }
+        Workflow { device: FpgaDevice::u280(), gpu: GpuDevice::v100(), opts: DseOptions::default() }
     }
 
     /// Step 1 — feasibility analysis (eqs. 4/6/7 + §VI determinants).
@@ -77,11 +73,8 @@ impl Workflow {
         wl: &Workload,
         niter: u64,
     ) -> Result<Candidate, WorkflowError> {
-        dse::best(&self.device, spec, wl, niter, &self.opts).ok_or_else(|| {
-            WorkflowError::NoFeasibleDesign {
-                app: format!("{}", spec.app),
-            }
-        })
+        dse::best(&self.device, spec, wl, niter, &self.opts)
+            .ok_or_else(|| WorkflowError::NoFeasibleDesign { app: format!("{}", spec.app) })
     }
 
     /// Step 4 — achieved performance of a design on the simulated U280.
@@ -105,12 +98,7 @@ impl Workflow {
         let best = self.best_design(spec, wl, niter)?;
         let fpga = self.fpga_estimate(&best.design, wl, niter);
         let gpu = self.gpu_estimate(spec, wl, niter);
-        Ok(Comparison {
-            design: best.design,
-            prediction: best.prediction,
-            fpga,
-            gpu,
-        })
+        Ok(Comparison { design: best.design, prediction: best.prediction, fpga, gpu })
     }
 }
 

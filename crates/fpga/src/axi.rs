@@ -18,9 +18,78 @@ use crate::device::{FpgaDevice, MemorySpec};
 /// `bytes_per_cell` in one direction — the paper's eq. (4) feasibility:
 /// each 512-bit AXI port delivers at most `min(64 B, channel_bw/f)` per
 /// cycle, evaluated at the default target clock.
-pub fn channels_needed(dev: &FpgaDevice, mem: &MemorySpec, v: usize, bytes_per_cell: usize) -> usize {
+pub fn channels_needed(
+    dev: &FpgaDevice,
+    mem: &MemorySpec,
+    v: usize,
+    bytes_per_cell: usize,
+) -> usize {
     let per_channel = mem.channel_bytes_per_cycle(dev.default_clock_hz, dev.axi_bus_bytes);
     ((v * bytes_per_cell) as f64 / per_channel).ceil().max(1.0) as usize
+}
+
+/// Per-row cycle timing broken out by pipeline side, for telemetry.
+///
+/// [`row_cycles`] only reports the max; stall attribution and per-channel
+/// utilisation need the individual components.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct RowTiming {
+    /// Compute-issue cycles: `⌈cells / V⌉`.
+    pub compute: u64,
+    /// Read-side memory beats across the assigned read channels.
+    pub read: u64,
+    /// Write-side memory beats across the assigned write channels.
+    pub write: u64,
+    /// Per-row request-issue gap.
+    pub gap: u64,
+}
+
+impl RowTiming {
+    /// Total row cycles — identical to [`row_cycles`] by construction.
+    pub fn total(&self) -> u64 {
+        self.compute.max(self.read).max(self.write) + self.gap
+    }
+
+    /// The productive (non-gap) portion of the row.
+    pub fn busy(&self) -> u64 {
+        self.compute.max(self.read).max(self.write)
+    }
+
+    /// Fraction of the row the read channels spend moving data.
+    pub fn read_utilization(&self) -> f64 {
+        self.read as f64 / self.total().max(1) as f64
+    }
+
+    /// Fraction of the row the write channels spend moving data.
+    pub fn write_utilization(&self) -> f64 {
+        self.write as f64 / self.total().max(1) as f64
+    }
+
+    /// Fraction of the row the compute datapath is issuing vectors.
+    pub fn compute_utilization(&self) -> f64 {
+        self.compute as f64 / self.total().max(1) as f64
+    }
+}
+
+/// Break a streamed row into its timing components (see [`row_cycles`]).
+#[allow(clippy::too_many_arguments)]
+pub fn row_timing(
+    dev: &FpgaDevice,
+    mem: &MemorySpec,
+    f_hz: f64,
+    v: usize,
+    cells: usize,
+    read_bytes: usize,
+    write_bytes: usize,
+    read_channels: usize,
+    write_channels: usize,
+) -> RowTiming {
+    debug_assert!(v > 0 && read_channels > 0 && write_channels > 0);
+    let compute = cells.div_ceil(v) as u64;
+    let bpc = mem.channel_bytes_per_cycle(f_hz, dev.axi_bus_bytes);
+    let rd = (read_bytes as f64 / (bpc * read_channels as f64)).ceil() as u64;
+    let wr = (write_bytes as f64 / (bpc * write_channels as f64)).ceil() as u64;
+    RowTiming { compute, read: rd, write: wr, gap: dev.axi_issue_gap_cycles as u64 }
 }
 
 /// Cycles for one streamed row of `cells` mesh points:
@@ -43,12 +112,8 @@ pub fn row_cycles(
     read_channels: usize,
     write_channels: usize,
 ) -> u64 {
-    debug_assert!(v > 0 && read_channels > 0 && write_channels > 0);
-    let compute = cells.div_ceil(v) as u64;
-    let bpc = mem.channel_bytes_per_cycle(f_hz, dev.axi_bus_bytes);
-    let rd = (read_bytes as f64 / (bpc * read_channels as f64)).ceil() as u64;
-    let wr = (write_bytes as f64 / (bpc * write_channels as f64)).ceil() as u64;
-    compute.max(rd).max(wr) + dev.axi_issue_gap_cycles as u64
+    row_timing(dev, mem, f_hz, v, cells, read_bytes, write_bytes, read_channels, write_channels)
+        .total()
 }
 
 /// Effective fraction of raw bandwidth achieved by contiguous runs of
@@ -102,6 +167,21 @@ mod tests {
         // few read channels but fewer write channels → write dominates
         let c = row_cycles(&d, &d.hbm, 250e6, 64, 640, 0, 2560, 4, 1);
         assert_eq!(c, 45 + 3); // 2560/57.5 = 44.5 → 45
+    }
+
+    #[test]
+    fn row_timing_components_agree_with_row_cycles() {
+        let d = FpgaDevice::u280();
+        let t = row_timing(&d, &d.hbm, 250e6, 8, 200, 800, 800, 1, 1);
+        assert_eq!(t.compute, 25);
+        assert_eq!(t.read, 14);
+        assert_eq!(t.write, 14);
+        assert_eq!(t.gap, 3);
+        assert_eq!(t.total(), row_cycles(&d, &d.hbm, 250e6, 8, 200, 800, 800, 1, 1));
+        // Compute-bound row: compute utilisation highest, < 1 (gap).
+        assert!(t.compute_utilization() > t.read_utilization());
+        assert!((t.compute_utilization() - 25.0 / 28.0).abs() < 1e-12);
+        assert!((t.read_utilization() - 14.0 / 28.0).abs() < 1e-12);
     }
 
     #[test]

@@ -73,7 +73,12 @@ pub fn fill_units(design: &StencilDesign) -> u64 {
 }
 
 /// Cycles for one streamed row of the design.
-fn design_row_cycles(dev: &FpgaDevice, design: &StencilDesign, cells: usize, write_cells: usize) -> u64 {
+pub(crate) fn design_row_cycles(
+    dev: &FpgaDevice,
+    design: &StencilDesign,
+    cells: usize,
+    write_cells: usize,
+) -> u64 {
     axi::row_cycles(
         dev,
         mem_spec(dev, design.mem),
@@ -155,7 +160,8 @@ pub fn plan(dev: &FpgaDevice, design: &StencilDesign, wl: &Workload, niter: u64)
                     let rc = design_row_cycles(dev, design, tx.read_len, tx.valid_len);
                     cycles += rows * rc + dev.axi_latency_cycles as u64;
                     read += (tx.read_len * ty.read_len * nz) as u64 * spec.ext_read_bytes as u64;
-                    write += (tx.valid_len * ty.valid_len * nz) as u64 * spec.ext_write_bytes as u64;
+                    write +=
+                        (tx.valid_len * ty.valid_len * nz) as u64 * spec.ext_write_bytes as u64;
                 }
             }
             (cycles + design.pipeline_latency_cycles, read, write)
@@ -261,8 +267,16 @@ mod tests {
         let d = dev();
         for (n, paper_bw) in [(100usize, 301.0), (300, 403.0)] {
             let wl = Workload::D3 { nx: n, ny: n, nz: n, batch: 1 };
-            let ds = synthesize(&d, &StencilSpec::jacobi(), 8, 29, ExecMode::Baseline, MemKind::Hbm, &wl)
-                .unwrap();
+            let ds = synthesize(
+                &d,
+                &StencilSpec::jacobi(),
+                8,
+                29,
+                ExecMode::Baseline,
+                MemKind::Hbm,
+                &wl,
+            )
+            .unwrap();
             let pl = plan(&d, &ds, &wl, 29_000);
             let ratio = pl.bandwidth_gbs() / paper_bw;
             assert!(
@@ -349,8 +363,8 @@ mod tests {
         let p1 = plan(&d, &ds1, &solo, 1800);
 
         let batch = Workload::D3 { nx: 32, ny: 32, nz: 32, batch: 40 };
-        let ds2 = synthesize(&d, &spec, 1, 3, ExecMode::Batched { b: 40 }, MemKind::Hbm, &batch)
-            .unwrap();
+        let ds2 =
+            synthesize(&d, &spec, 1, 3, ExecMode::Batched { b: 40 }, MemKind::Hbm, &batch).unwrap();
         let p2 = plan(&d, &ds2, &batch, 180);
 
         // throughput in cell-iterations/s must rise substantially with batching

@@ -176,10 +176,9 @@ impl core::fmt::Display for SynthesisError {
             }
             SynthesisError::Invalid(s) => write!(f, "invalid configuration: {s}"),
             SynthesisError::PlacementFailed(s) => write!(f, "SLR placement failed: {s}"),
-            SynthesisError::MeshTooLarge { need_bytes, have_bytes } => write!(
-                f,
-                "workload needs {need_bytes} B resident, memory holds {have_bytes} B"
-            ),
+            SynthesisError::MeshTooLarge { need_bytes, have_bytes } => {
+                write!(f, "workload needs {need_bytes} B resident, memory holds {have_bytes} B")
+            }
         }
     }
 }
@@ -223,7 +222,11 @@ impl StencilDesign {
 
 /// Width (cells) of the buffered streaming unit for a mode/workload: rows
 /// for 2D, planes for 3D; tiles shrink it.
-fn buffered_unit_cells(spec: &StencilSpec, mode: &ExecMode, wl: &Workload) -> Result<usize, SynthesisError> {
+fn buffered_unit_cells(
+    spec: &StencilSpec,
+    mode: &ExecMode,
+    wl: &Workload,
+) -> Result<usize, SynthesisError> {
     match (wl, mode) {
         (Workload::D2 { nx, .. }, ExecMode::Tiled1D { tile_m }) => {
             let _ = nx;
@@ -312,8 +315,7 @@ pub fn synthesize(
     let write_channels = axi::channels_needed(dev, mem_spec, v, spec.ext_write_bytes);
 
     // --- external capacity: ping-pong input/output buffers must be resident ---
-    let resident =
-        wl.total_cells() * (spec.ext_read_bytes + spec.ext_write_bytes) as u64;
+    let resident = wl.total_cells() * (spec.ext_read_bytes + spec.ext_write_bytes) as u64;
     if resident > mem_spec.bytes {
         return Err(SynthesisError::MeshTooLarge {
             need_bytes: resident,
@@ -331,10 +333,7 @@ pub fn synthesize(
     // --- resources ---
     let dsp = p * v * spec.gdsp();
     if dsp > dev.dsp_total {
-        return Err(SynthesisError::InsufficientDsp {
-            need: dsp,
-            have: dev.dsp_total,
-        });
+        return Err(SynthesisError::InsufficientDsp { need: dsp, have: dev.dsp_total });
     }
     let unit = buffered_unit_cells(spec, &mode, wl)?;
     let alloc = alloc_window(dev, unit, spec.window_elem_bytes, v, spec.order, spec.stages, p);
@@ -415,8 +414,9 @@ mod tests {
     fn poisson_paper_design_synthesizes() {
         let d = dev();
         let wl = Workload::D2 { nx: 400, ny: 400, batch: 1 };
-        let ds = synthesize(&d, &StencilSpec::poisson(), 8, 60, ExecMode::Baseline, MemKind::Hbm, &wl)
-            .expect("paper design must synthesize");
+        let ds =
+            synthesize(&d, &StencilSpec::poisson(), 8, 60, ExecMode::Baseline, MemKind::Hbm, &wl)
+                .expect("paper design must synthesize");
         assert_eq!(ds.resources.dsp, 6720);
         assert_eq!(ds.read_channels, 1);
         assert_eq!(ds.write_channels, 1);
@@ -428,8 +428,9 @@ mod tests {
     fn jacobi_paper_design_synthesizes() {
         let d = dev();
         let wl = Workload::D3 { nx: 300, ny: 300, nz: 300, batch: 1 };
-        let ds = synthesize(&d, &StencilSpec::jacobi(), 8, 29, ExecMode::Baseline, MemKind::Hbm, &wl)
-            .expect("paper design must synthesize");
+        let ds =
+            synthesize(&d, &StencilSpec::jacobi(), 8, 29, ExecMode::Baseline, MemKind::Hbm, &wl)
+                .expect("paper design must synthesize");
         assert_eq!(ds.resources.dsp, 7656);
         assert_eq!(ds.resources.uram_blocks, 928);
         assert!((ds.freq_mhz() - 246.0).abs() <= 10.0);
@@ -462,8 +463,9 @@ mod tests {
         // eq. (7): big meshes can push p_mem below 1
         let d = dev();
         let wl = Workload::D3 { nx: 2500, ny: 2500, nz: 100, batch: 1 };
-        let err = synthesize(&d, &StencilSpec::jacobi(), 8, 29, ExecMode::Baseline, MemKind::Hbm, &wl)
-            .unwrap_err();
+        let err =
+            synthesize(&d, &StencilSpec::jacobi(), 8, 29, ExecMode::Baseline, MemKind::Hbm, &wl)
+                .unwrap_err();
         assert!(matches!(err, SynthesisError::InsufficientMemory { .. }));
     }
 
@@ -490,8 +492,9 @@ mod tests {
     fn excessive_dsp_rejected() {
         let d = dev();
         let wl = Workload::D2 { nx: 400, ny: 400, batch: 1 };
-        let err = synthesize(&d, &StencilSpec::poisson(), 64, 60, ExecMode::Baseline, MemKind::Hbm, &wl)
-            .unwrap_err();
+        let err =
+            synthesize(&d, &StencilSpec::poisson(), 64, 60, ExecMode::Baseline, MemKind::Hbm, &wl)
+                .unwrap_err();
         assert!(matches!(err, SynthesisError::InsufficientDsp { .. }));
     }
 
@@ -628,8 +631,26 @@ mod capacity_tests {
         // Poisson 20000² on DDR4 (3.2 GB), Jacobi 600³ on HBM (1.7 GB)
         let d = FpgaDevice::u280();
         let p = Workload::D2 { nx: 20_000, ny: 20_000, batch: 1 };
-        assert!(synthesize(&d, &StencilSpec::poisson(), 8, 60, ExecMode::Tiled1D { tile_m: 4096 }, MemKind::Ddr4, &p).is_ok());
+        assert!(synthesize(
+            &d,
+            &StencilSpec::poisson(),
+            8,
+            60,
+            ExecMode::Tiled1D { tile_m: 4096 },
+            MemKind::Ddr4,
+            &p
+        )
+        .is_ok());
         let j = Workload::D3 { nx: 600, ny: 600, nz: 600, batch: 1 };
-        assert!(synthesize(&d, &StencilSpec::jacobi(), 64, 3, ExecMode::Tiled2D { tile_m: 640, tile_n: 640 }, MemKind::Hbm, &j).is_ok());
+        assert!(synthesize(
+            &d,
+            &StencilSpec::jacobi(),
+            64,
+            3,
+            ExecMode::Tiled2D { tile_m: 640, tile_n: 640 },
+            MemKind::Hbm,
+            &j
+        )
+        .is_ok());
     }
 }

@@ -97,16 +97,8 @@ impl FpgaDevice {
             lut_total: 1_304_000,
             ff_total: 2_607_000,
             slr_count: 3,
-            hbm: MemorySpec {
-                bytes: 8 << 30,
-                channels: 32,
-                channel_bw: 460.0e9 / 32.0,
-            },
-            ddr4: MemorySpec {
-                bytes: 32 << 30,
-                channels: 2,
-                channel_bw: 38.4e9 / 2.0,
-            },
+            hbm: MemorySpec { bytes: 8 << 30, channels: 32, channel_bw: 460.0e9 / 32.0 },
+            ddr4: MemorySpec { bytes: 32 << 30, channels: 2, channel_bw: 38.4e9 / 2.0 },
             default_clock_hz: 300.0e6,
             axi_bus_bytes: 64,
             axi_burst_bytes: 4096,

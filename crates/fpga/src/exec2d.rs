@@ -12,13 +12,20 @@ use crate::cycles;
 use crate::design::{ExecMode, StencilDesign, Workload};
 use crate::device::FpgaDevice;
 use crate::power;
+use crate::profile;
 use crate::report::SimReport;
-use crate::window::run_chain_2d;
+use crate::window::run_chain_2d_traced;
 use sf_kernels::StencilOp2D;
 use sf_mesh::{Batch2D, Element, Mesh2D, TileGrid1D};
+use sf_telemetry::Recorder;
 
 /// Timing/power estimate for a workload without executing the numerics.
-pub fn estimate_2d(dev: &FpgaDevice, design: &StencilDesign, wl: &Workload, niter: u64) -> SimReport {
+pub fn estimate_2d(
+    dev: &FpgaDevice,
+    design: &StencilDesign,
+    wl: &Workload,
+    niter: u64,
+) -> SimReport {
     assert!(matches!(wl, Workload::D2 { .. }), "2D estimator needs a 2D workload");
     let plan = cycles::plan(dev, design, wl, niter);
     SimReport::from_plan(design, &plan, niter, power::fpga_power_w(dev, design))
@@ -57,6 +64,22 @@ pub fn simulate_2d<T: Element, K: StencilOp2D<T> + Clone>(
     input: &Batch2D<T>,
     niter: usize,
 ) -> (Batch2D<T>, SimReport) {
+    simulate_2d_traced(dev, design, stages_per_iter, input, niter, &mut Recorder::disabled())
+}
+
+/// [`simulate_2d`] with telemetry: emits the schedule trace
+/// ([`profile::trace_schedule`] — per-pass/per-tile spans, AXI channel
+/// utilisation, stall attribution) plus behavioral window-buffer events
+/// (fill gauges, primed/drain instants) for the first pass. The schedule
+/// repeats identically every pass, so later passes stream untraced.
+pub fn simulate_2d_traced<T: Element, K: StencilOp2D<T> + Clone>(
+    dev: &FpgaDevice,
+    design: &StencilDesign,
+    stages_per_iter: &[K],
+    input: &Batch2D<T>,
+    niter: usize,
+    rec: &mut Recorder,
+) -> (Batch2D<T>, SimReport) {
     assert!(niter > 0, "niter must be positive");
     assert_eq!(
         stages_per_iter.len(),
@@ -71,23 +94,27 @@ pub fn simulate_2d<T: Element, K: StencilOp2D<T> + Clone>(
         ExecMode::Tiled2D { .. } => panic!("Tiled2D is a 3D mode"),
     }
     let wl = Workload::D2 { nx, ny, batch: b };
+    let plan = profile::trace_schedule(dev, design, &wl, niter as u64, rec);
+    let rc = cycles::design_row_cycles(dev, design, nx, nx);
 
     let mut cur = input.clone();
     let mut remaining = niter;
+    let mut first_pass = true;
+    let mut off = Recorder::disabled();
     while remaining > 0 {
         let p_eff = design.p.min(remaining);
-        let chain: Vec<K> = (0..p_eff)
-            .flat_map(|_| stages_per_iter.iter().cloned())
-            .collect();
+        let chain: Vec<K> = (0..p_eff).flat_map(|_| stages_per_iter.iter().cloned()).collect();
+        let pass_rec: &mut Recorder = if first_pass { &mut *rec } else { &mut off };
         cur = match design.mode {
             ExecMode::Tiled1D { tile_m } => {
                 let mesh = cur.mesh(0);
-                let out = tiled_pass_2d(design, &chain, &mesh, tile_m);
+                let out = tiled_pass_2d(dev, design, &chain, &mesh, tile_m, pass_rec);
                 Batch2D::from_meshes(&[out])
             }
             _ => {
                 let rows = cur.as_slice().chunks(nx).map(|r| r.to_vec());
-                let out_rows = run_chain_2d(&chain, nx, b * ny, ny, rows);
+                let out_rows =
+                    run_chain_2d_traced(&chain, nx, b * ny, ny, rows, pass_rec, "window/", 0, rc);
                 let mut out = Batch2D::<T>::zeros(nx, ny, b);
                 for (gy, row) in out_rows.into_iter().enumerate() {
                     out.as_mut_slice()[gy * nx..(gy + 1) * nx].copy_from_slice(&row);
@@ -96,10 +123,11 @@ pub fn simulate_2d<T: Element, K: StencilOp2D<T> + Clone>(
             }
         };
         remaining -= p_eff;
+        first_pass = false;
     }
 
-    let plan = cycles::plan(dev, design, &wl, niter as u64);
-    let report = SimReport::from_plan(design, &plan, niter as u64, power::fpga_power_w(dev, design));
+    let report =
+        SimReport::from_plan(design, &plan, niter as u64, power::fpga_power_w(dev, design));
     (cur, report)
 }
 
@@ -121,10 +149,12 @@ pub fn simulate_mesh_2d<T: Element, K: StencilOp2D<T> + Clone>(
 /// mesh, and only its valid columns are written back — exactly the paper's
 /// overlapped-block scheme.
 fn tiled_pass_2d<T: Element, K: StencilOp2D<T> + Clone>(
+    dev: &FpgaDevice,
     design: &StencilDesign,
     chain: &[K],
     mesh: &Mesh2D<T>,
     tile_m: usize,
+    rec: &mut Recorder,
 ) -> Mesh2D<T> {
     let (nx, ny) = (mesh.nx(), mesh.ny());
     // halo sized for the full design depth p (covers shorter final passes too)
@@ -132,12 +162,18 @@ fn tiled_pass_2d<T: Element, K: StencilOp2D<T> + Clone>(
     let align = (64 / design.spec.elem_bytes).max(1);
     let grid = TileGrid1D::new(nx, tile_m, halo, align);
     let mut out = Mesh2D::<T>::zeros(nx, ny);
-    for t in grid.tiles() {
+    let mut off = Recorder::disabled();
+    for (i, t) in grid.tiles().iter().enumerate() {
         let rows = (0..ny).map(|y| {
             let s = y * nx + t.read_start;
             mesh.as_slice()[s..s + t.read_len].to_vec()
         });
-        let tile_rows = run_chain_2d(chain, t.read_len, ny, ny, rows);
+        // Window-level events for the first tile only: every tile streams
+        // the same chain, differing only in width.
+        let tile_rec: &mut Recorder = if i == 0 { &mut *rec } else { &mut off };
+        let rc = cycles::design_row_cycles(dev, design, t.read_len, t.valid_len);
+        let tile_rows =
+            run_chain_2d_traced(chain, t.read_len, ny, ny, rows, tile_rec, "tile0/", 0, rc);
         let off = t.valid_offset();
         for (y, row) in tile_rows.into_iter().enumerate() {
             let dst = y * nx + t.valid_start;
@@ -235,6 +271,48 @@ mod tests {
     }
 
     #[test]
+    fn traced_simulation_matches_untraced_and_reconciles_with_plan() {
+        let m = Mesh2D::<f32>::random(40, 24, 7, -1.0, 1.0);
+        let wl = Workload::D2 { nx: 40, ny: 24, batch: 1 };
+        let ds = design(&wl, 8, 4, ExecMode::Baseline);
+        let (plain, rep) = simulate_mesh_2d(&dev(), &ds, &[Poisson2D], &m, 12);
+
+        let mut rec = Recorder::enabled(ds.freq_hz / 1e6);
+        let batch = Batch2D::from_meshes(std::slice::from_ref(&m));
+        let (traced, rep2) = simulate_2d_traced(&dev(), &ds, &[Poisson2D], &batch, 12, &mut rec);
+        assert!(norms::bit_equal(traced.mesh(0).as_slice(), plain.as_slice()));
+        assert_eq!(rep.total_cycles, rep2.total_cycles);
+
+        // Schedule spans reconcile with the plan totals.
+        let pipe = rec.find_track("pipeline").unwrap();
+        assert_eq!(rec.track_span_cycles(pipe), rep.total_cycles);
+        // Behavioral window events present for the first pass.
+        assert!(rec.track_names().iter().any(|t| t.starts_with("window/stage:")));
+        assert_eq!(rec.counter("window.rows_streamed"), 24);
+        assert!(rec.instants().iter().any(|i| i.name == "primed"));
+    }
+
+    #[test]
+    fn traced_tiled_simulation_traces_first_tile_only() {
+        let m = Mesh2D::<f32>::random(200, 30, 13, -1.0, 1.0);
+        let wl = Workload::D2 { nx: 200, ny: 30, batch: 1 };
+        let ds = design(&wl, 8, 8, ExecMode::Tiled1D { tile_m: 64 });
+        let mut rec = Recorder::enabled(ds.freq_hz / 1e6);
+        let batch = Batch2D::from_meshes(std::slice::from_ref(&m));
+        let (out, _) = simulate_2d_traced(&dev(), &ds, &[Poisson2D], &batch, 16, &mut rec);
+        let expect = reference::run_2d(&Poisson2D, &m, 16);
+        assert!(norms::bit_equal(out.mesh(0).as_slice(), expect.as_slice()));
+        // Window tracks exist only for the first tile's chain.
+        let stage_tracks: Vec<_> =
+            rec.track_names().iter().filter(|t| t.contains("stage:")).collect();
+        assert!(!stage_tracks.is_empty());
+        assert!(stage_tracks.iter().all(|t| t.starts_with("tile0/")));
+        // Schedule segments cover every tile, though.
+        let seg = rec.find_track("segments").unwrap();
+        assert!(rec.spans().iter().filter(|s| s.track == seg).count() > 2);
+    }
+
+    #[test]
     #[should_panic(expected = "batch size mismatch")]
     fn batch_size_checked() {
         let batch = Batch2D::<f32>::zeros(16, 8, 3);
@@ -251,8 +329,8 @@ mod multistage_2d_tests {
 
     use super::*;
     use crate::design::{synthesize, MemKind};
-    use sf_kernels::wave2d::{self, WaveParams};
     use sf_kernels::reference;
+    use sf_kernels::wave2d::{self, WaveParams};
     use sf_mesh::norms;
 
     fn dev() -> FpgaDevice {
@@ -323,15 +401,20 @@ mod multistage_2d_tests {
             .collect();
         let batch = Batch2D::from_meshes(&meshes);
         let wl = Workload::D2 { nx: 20, ny: 16, batch: 4 };
-        let ds = synthesize(&dev(), &wave2d::spec(), 4, 2, ExecMode::Batched { b: 4 }, MemKind::Hbm, &wl)
-            .unwrap();
+        let ds = synthesize(
+            &dev(),
+            &wave2d::spec(),
+            4,
+            2,
+            ExecMode::Batched { b: 4 },
+            MemKind::Hbm,
+            &wl,
+        )
+        .unwrap();
         let (out, _) = simulate_2d(&dev(), &ds, &stages(), &batch, 5);
         for (i, m) in meshes.iter().enumerate() {
             let solo = reference::run_stages_2d(&stages(), m, 5);
-            assert!(
-                norms::bit_equal(out.mesh(i).as_slice(), solo.as_slice()),
-                "mesh {i} diverged"
-            );
+            assert!(norms::bit_equal(out.mesh(i).as_slice(), solo.as_slice()), "mesh {i} diverged");
         }
     }
 

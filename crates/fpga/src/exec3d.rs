@@ -7,13 +7,20 @@ use crate::cycles;
 use crate::design::{ExecMode, StencilDesign, Workload};
 use crate::device::FpgaDevice;
 use crate::power;
+use crate::profile;
 use crate::report::SimReport;
-use crate::window::run_chain_3d;
+use crate::window::run_chain_3d_traced;
 use sf_kernels::StencilOp3D;
 use sf_mesh::{Batch3D, Element, Mesh3D, TileGrid1D};
+use sf_telemetry::Recorder;
 
 /// Timing/power estimate without executing the numerics.
-pub fn estimate_3d(dev: &FpgaDevice, design: &StencilDesign, wl: &Workload, niter: u64) -> SimReport {
+pub fn estimate_3d(
+    dev: &FpgaDevice,
+    design: &StencilDesign,
+    wl: &Workload,
+    niter: u64,
+) -> SimReport {
     assert!(matches!(wl, Workload::D3 { .. }), "3D estimator needs a 3D workload");
     let plan = cycles::plan(dev, design, wl, niter);
     SimReport::from_plan(design, &plan, niter, power::fpga_power_w(dev, design))
@@ -27,6 +34,19 @@ pub fn simulate_3d<T: Element, K: StencilOp3D<T> + Clone>(
     stages_per_iter: &[K],
     input: &Batch3D<T>,
     niter: usize,
+) -> (Batch3D<T>, SimReport) {
+    simulate_3d_traced(dev, design, stages_per_iter, input, niter, &mut Recorder::disabled())
+}
+
+/// [`simulate_3d`] with telemetry (see [`crate::exec2d::simulate_2d_traced`]):
+/// schedule trace plus window-buffer events for the first pass / first tile.
+pub fn simulate_3d_traced<T: Element, K: StencilOp3D<T> + Clone>(
+    dev: &FpgaDevice,
+    design: &StencilDesign,
+    stages_per_iter: &[K],
+    input: &Batch3D<T>,
+    niter: usize,
+    rec: &mut Recorder,
 ) -> (Batch3D<T>, SimReport) {
     assert!(niter > 0, "niter must be positive");
     assert_eq!(
@@ -43,23 +63,38 @@ pub fn simulate_3d<T: Element, K: StencilOp3D<T> + Clone>(
     }
     let wl = Workload::D3 { nx, ny, nz, batch: b };
     let plane = nx * ny;
+    let plan = profile::trace_schedule(dev, design, &wl, niter as u64, rec);
+    // The streamed unit is a plane: ny rows at the design's row rate.
+    let plane_cycles = cycles::design_row_cycles(dev, design, nx, nx) * ny as u64;
 
     let mut cur = input.clone();
     let mut remaining = niter;
+    let mut first_pass = true;
+    let mut off = Recorder::disabled();
     while remaining > 0 {
         let p_eff = design.p.min(remaining);
-        let chain: Vec<K> = (0..p_eff)
-            .flat_map(|_| stages_per_iter.iter().cloned())
-            .collect();
+        let chain: Vec<K> = (0..p_eff).flat_map(|_| stages_per_iter.iter().cloned()).collect();
+        let pass_rec: &mut Recorder = if first_pass { &mut *rec } else { &mut off };
         cur = match design.mode {
             ExecMode::Tiled2D { tile_m, tile_n } => {
                 let mesh = cur.mesh(0);
-                let out = tiled_pass_3d(design, &chain, &mesh, tile_m, tile_n);
+                let out = tiled_pass_3d(dev, design, &chain, &mesh, tile_m, tile_n, pass_rec);
                 Batch3D::from_meshes(&[out])
             }
             _ => {
                 let planes = cur.as_slice().chunks(plane).map(|p| p.to_vec());
-                let out_planes = run_chain_3d(&chain, nx, ny, b * nz, nz, planes);
+                let out_planes = run_chain_3d_traced(
+                    &chain,
+                    nx,
+                    ny,
+                    b * nz,
+                    nz,
+                    planes,
+                    pass_rec,
+                    "window/",
+                    0,
+                    plane_cycles,
+                );
                 let mut out = Batch3D::<T>::zeros(nx, ny, nz, b);
                 for (gz, pl) in out_planes.into_iter().enumerate() {
                     out.as_mut_slice()[gz * plane..(gz + 1) * plane].copy_from_slice(&pl);
@@ -68,10 +103,11 @@ pub fn simulate_3d<T: Element, K: StencilOp3D<T> + Clone>(
             }
         };
         remaining -= p_eff;
+        first_pass = false;
     }
 
-    let plan = cycles::plan(dev, design, &wl, niter as u64);
-    let report = SimReport::from_plan(design, &plan, niter as u64, power::fpga_power_w(dev, design));
+    let report =
+        SimReport::from_plan(design, &plan, niter as u64, power::fpga_power_w(dev, design));
     (cur, report)
 }
 
@@ -91,11 +127,13 @@ pub fn simulate_mesh_3d<T: Element, K: StencilOp3D<T> + Clone>(
 /// One spatially-blocked pass over a 3D mesh: `M × N` tiles spanning the
 /// full `z` extent, streamed plane by plane.
 fn tiled_pass_3d<T: Element, K: StencilOp3D<T> + Clone>(
+    dev: &FpgaDevice,
     design: &StencilDesign,
     chain: &[K],
     mesh: &Mesh3D<T>,
     tile_m: usize,
     tile_n: usize,
+    rec: &mut Recorder,
 ) -> Mesh3D<T> {
     let (nx, ny, nz) = (mesh.nx(), mesh.ny(), mesh.nz());
     let halo = design.p * design.spec.halo_order() / 2;
@@ -103,6 +141,8 @@ fn tiled_pass_3d<T: Element, K: StencilOp3D<T> + Clone>(
     let gx = TileGrid1D::new(nx, tile_m, halo, align);
     let gy = TileGrid1D::new(ny, tile_n, halo, 1);
     let mut out = Mesh3D::<T>::zeros(nx, ny, nz);
+    let mut off = Recorder::disabled();
+    let mut first_tile = true;
     for ty in gy.tiles() {
         for tx in gx.tiles() {
             let planes = (0..nz).map(|z| {
@@ -113,7 +153,22 @@ fn tiled_pass_3d<T: Element, K: StencilOp3D<T> + Clone>(
                 }
                 buf
             });
-            let tile_planes = run_chain_3d(chain, tx.read_len, ty.read_len, nz, nz, planes);
+            let tile_rec: &mut Recorder = if first_tile { &mut *rec } else { &mut off };
+            first_tile = false;
+            let plane_cycles = cycles::design_row_cycles(dev, design, tx.read_len, tx.valid_len)
+                * ty.read_len as u64;
+            let tile_planes = run_chain_3d_traced(
+                chain,
+                tx.read_len,
+                ty.read_len,
+                nz,
+                nz,
+                planes,
+                tile_rec,
+                "tile0/",
+                0,
+                plane_cycles,
+            );
             let (offx, offy) = (tx.valid_offset(), ty.valid_offset());
             for (z, pl) in tile_planes.into_iter().enumerate() {
                 for vy in 0..ty.valid_len {
@@ -143,8 +198,9 @@ mod tests {
     fn jacobi_baseline_bit_exact() {
         let m = Mesh3D::<f32>::random(16, 12, 10, 3, -1.0, 1.0);
         let wl = Workload::D3 { nx: 16, ny: 12, nz: 10, batch: 1 };
-        let ds = synthesize(&dev(), &StencilSpec::jacobi(), 8, 4, ExecMode::Baseline, MemKind::Hbm, &wl)
-            .unwrap();
+        let ds =
+            synthesize(&dev(), &StencilSpec::jacobi(), 8, 4, ExecMode::Baseline, MemKind::Hbm, &wl)
+                .unwrap();
         let k = Jacobi3D::smoothing();
         let (out, rep) = simulate_mesh_3d(&dev(), &ds, &[k], &m, 9);
         let expect = reference::run_3d(&k, &m, 9);
@@ -204,8 +260,9 @@ mod tests {
         let prm = RtmParams::default();
         let packed = rtm::pack(&y, &rho, &mu);
         let wl = Workload::D3 { nx: 14, ny: 13, nz: 12, batch: 1 };
-        let ds = synthesize(&dev(), &StencilSpec::rtm(), 1, 3, ExecMode::Baseline, MemKind::Hbm, &wl)
-            .unwrap();
+        let ds =
+            synthesize(&dev(), &StencilSpec::rtm(), 1, 3, ExecMode::Baseline, MemKind::Hbm, &wl)
+                .unwrap();
         let stages = RtmStage::pipeline(prm);
         let (out_packed, rep) = simulate_mesh_3d(&dev(), &ds, &stages, &packed, 6);
         let out = rtm::unpack(&out_packed);
@@ -255,21 +312,39 @@ mod tests {
         let stages = RtmStage::pipeline(prm);
         let (out, _) = simulate_3d(&dev(), &ds, &stages, &batch, 3);
         let expect = {
-            let per: Vec<_> = meshes
-                .iter()
-                .map(|m| reference::run_stages_3d(&stages, m, 3))
-                .collect();
+            let per: Vec<_> =
+                meshes.iter().map(|m| reference::run_stages_3d(&stages, m, 3)).collect();
             Batch3D::from_meshes(&per)
         };
         assert!(norms::bit_equal(out.as_slice(), expect.as_slice()));
     }
 
     #[test]
+    fn traced_3d_simulation_matches_untraced() {
+        let m = Mesh3D::<f32>::random(16, 12, 10, 3, -1.0, 1.0);
+        let wl = Workload::D3 { nx: 16, ny: 12, nz: 10, batch: 1 };
+        let ds =
+            synthesize(&dev(), &StencilSpec::jacobi(), 8, 4, ExecMode::Baseline, MemKind::Hbm, &wl)
+                .unwrap();
+        let k = Jacobi3D::smoothing();
+        let (plain, rep) = simulate_mesh_3d(&dev(), &ds, &[k], &m, 9);
+        let mut rec = crate::Recorder::enabled(ds.freq_hz / 1e6);
+        let batch = Batch3D::from_meshes(std::slice::from_ref(&m));
+        let (traced, rep2) = simulate_3d_traced(&dev(), &ds, &[k], &batch, 9, &mut rec);
+        assert!(norms::bit_equal(traced.mesh(0).as_slice(), plain.as_slice()));
+        assert_eq!(rep.total_cycles, rep2.total_cycles);
+        let pipe = rec.find_track("pipeline").unwrap();
+        assert_eq!(rec.track_span_cycles(pipe), rep.total_cycles);
+        assert_eq!(rec.counter("window.planes_streamed"), 10);
+    }
+
+    #[test]
     fn estimate_matches_simulate_timing_3d() {
         let m = Mesh3D::<f32>::random(12, 12, 12, 2, 0.0, 1.0);
         let wl = Workload::D3 { nx: 12, ny: 12, nz: 12, batch: 1 };
-        let ds = synthesize(&dev(), &StencilSpec::jacobi(), 8, 2, ExecMode::Baseline, MemKind::Hbm, &wl)
-            .unwrap();
+        let ds =
+            synthesize(&dev(), &StencilSpec::jacobi(), 8, 2, ExecMode::Baseline, MemKind::Hbm, &wl)
+                .unwrap();
         let k = Jacobi3D::smoothing();
         let (_, sim) = simulate_mesh_3d(&dev(), &ds, &[k], &m, 4);
         let est = estimate_3d(&dev(), &ds, &wl, 4);
@@ -345,7 +420,8 @@ mod rtm_tiling_future_work {
         let wl = Workload::D3 { nx: 256, ny: 256, nz: 64, batch: 1 };
         let mode = ExecMode::Tiled2D { tile_m: 96, tile_n: 96 };
         let spec = StencilSpec::rtm();
-        let err = synthesize(&FpgaDevice::u280(), &spec, 1, 2, mode, MemKind::Hbm, &wl).unwrap_err();
+        let err =
+            synthesize(&FpgaDevice::u280(), &spec, 1, 2, mode, MemKind::Hbm, &wl).unwrap_err();
         assert!(matches!(err, SynthesisError::InsufficientMemory { .. }), "{err}");
         let ds = synthesize(&FpgaDevice::hypothetical_2x(), &spec, 1, 2, mode, MemKind::Hbm, &wl)
             .expect("2x device must fit p=2 tiling");

@@ -86,6 +86,21 @@ impl<T> Fifo<T> {
     pub fn total_pushes(&self) -> u64 {
         self.total_pushes
     }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Fraction of push attempts rejected for backpressure:
+    /// `stalls / (stalls + total_pushes)`, 0.0 before any attempt.
+    pub fn stall_rate(&self) -> f64 {
+        let attempts = self.stalls + self.total_pushes;
+        if attempts == 0 {
+            return 0.0;
+        }
+        self.stalls as f64 / attempts as f64
+    }
 }
 
 /// Depth of the FIFO between two chained pipeline stages: two vector words
@@ -109,11 +124,73 @@ pub struct FifoStats {
 impl<T> Fifo<T> {
     /// Snapshot the statistics.
     pub fn stats(&self) -> FifoStats {
-        FifoStats {
-            capacity: self.capacity,
-            high_water: self.high_water,
-            stalls: self.stalls,
+        FifoStats { capacity: self.capacity, high_water: self.high_water, stalls: self.stalls }
+    }
+}
+
+/// Result of a [`simulate_backpressure`] run.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct BackpressureReport {
+    /// Final FIFO statistics (capacity, high-water, stall count).
+    pub stats: FifoStats,
+    /// Elements accepted into the FIFO.
+    pub total_pushes: u64,
+    /// Cycles the producer spent blocked on a full FIFO.
+    pub stall_cycles: u64,
+    /// Cycle at which the consumer drained the last element.
+    pub finish_cycle: u64,
+}
+
+/// Cycle-stepped producer/consumer rate model over a real [`Fifo`].
+///
+/// The producer emits one element every `produce_interval` cycles, the
+/// consumer drains one every `drain_interval` cycles, through a FIFO of
+/// `capacity` elements. Every cycle the producer is ready but the FIFO is
+/// full counts as one stall cycle — the backpressure the dataflow
+/// simulator attributes to inter-stage FIFOs when the downstream (write)
+/// side is slower than the upstream (compute) side.
+pub fn simulate_backpressure(
+    items: u64,
+    produce_interval: u64,
+    drain_interval: u64,
+    capacity: usize,
+) -> BackpressureReport {
+    assert!(produce_interval > 0 && drain_interval > 0);
+    let mut fifo: Fifo<u64> = Fifo::new(capacity);
+    let mut produced: u64 = 0;
+    let mut drained: u64 = 0;
+    let mut next_produce: u64 = 0;
+    let mut next_drain: u64 = drain_interval;
+    let mut stall_cycles: u64 = 0;
+    let mut cycle: u64 = 0;
+    let mut finish_cycle: u64 = 0;
+    // Hard bound so a degenerate parameterization cannot loop forever.
+    let horizon = items
+        .saturating_mul(produce_interval.max(drain_interval))
+        .saturating_add(items.saturating_mul(capacity as u64))
+        .saturating_add(produce_interval + drain_interval);
+    while drained < items && cycle <= horizon {
+        if produced < items && cycle >= next_produce {
+            match fifo.try_push(produced) {
+                Ok(()) => {
+                    produced += 1;
+                    next_produce = cycle + produce_interval;
+                }
+                Err(Full) => stall_cycles += 1,
+            }
         }
+        if cycle >= next_drain && fifo.pop().is_some() {
+            drained += 1;
+            next_drain = cycle + drain_interval;
+            finish_cycle = cycle;
+        }
+        cycle += 1;
+    }
+    BackpressureReport {
+        stats: fifo.stats(),
+        total_pushes: fifo.total_pushes(),
+        stall_cycles,
+        finish_cycle,
     }
 }
 
@@ -191,6 +268,51 @@ mod tests {
         assert_eq!(interstage_depth(4096, 1, 80), 102);
         // floor at 16
         assert_eq!(interstage_depth(64, 64, 4), 16);
+    }
+
+    #[test]
+    fn stall_rate_counts_rejected_fraction() {
+        let mut f = Fifo::new(2);
+        assert_eq!(f.stall_rate(), 0.0);
+        f.try_push(0).unwrap();
+        f.try_push(1).unwrap();
+        assert_eq!(f.try_push(2), Err(Full));
+        assert_eq!(f.try_push(3), Err(Full));
+        // 2 accepted, 2 rejected → 50 % stall rate.
+        assert!((f.stall_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(f.capacity(), 2);
+    }
+
+    #[test]
+    fn matched_rates_never_stall() {
+        let r = simulate_backpressure(100, 3, 3, 4);
+        assert_eq!(r.stall_cycles, 0);
+        assert_eq!(r.stats.stalls, 0);
+        assert_eq!(r.total_pushes, 100);
+        // Steady state keeps at most a couple of elements in flight.
+        assert!(r.stats.high_water <= 2, "high_water {}", r.stats.high_water);
+    }
+
+    #[test]
+    fn fast_producer_slow_consumer_stalls() {
+        // Producer twice as fast as the consumer behind a small FIFO: once
+        // the FIFO fills, the producer stalls roughly every other cycle.
+        let r = simulate_backpressure(200, 1, 2, 4);
+        assert!(r.stall_cycles > 0);
+        assert_eq!(r.stats.high_water, 4, "FIFO should hit capacity");
+        assert_eq!(r.total_pushes, 200);
+        // Finish time is consumer-bound: ~2 cycles per element.
+        assert!(r.finish_cycle >= 2 * 200 - 2);
+    }
+
+    #[test]
+    fn deep_fifo_absorbs_a_burst() {
+        // Same rates, FIFO deep enough to hold everything → no stalls.
+        let r = simulate_backpressure(50, 1, 2, 64);
+        assert_eq!(r.stall_cycles, 0);
+        assert_eq!(r.stats.stalls, 0);
+        // The burst piles up (~half the items) but never hits capacity.
+        assert!(r.stats.high_water > 20 && r.stats.high_water < 64);
     }
 
     #[test]

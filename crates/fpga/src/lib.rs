@@ -32,6 +32,10 @@
 //!   [`report::SimReport`]; `simulate_*` runs numerics + timing,
 //!   `estimate_*` produces timing only (for paper-scale workloads).
 //! * [`power`] — the xbutil-equivalent power/energy model.
+//! * [`profile`] — schedule-level telemetry: feeds an `sf-telemetry`
+//!   [`Recorder`] with per-pass/per-tile spans, AXI channel utilisation,
+//!   FIFO backpressure and stall attribution; `simulate_*_traced` adds
+//!   behavioral window-buffer events on top.
 
 pub mod axi;
 pub mod clock;
@@ -42,6 +46,7 @@ pub mod exec2d;
 pub mod exec3d;
 pub mod fifo;
 pub mod power;
+pub mod profile;
 pub mod report;
 pub mod resources;
 pub mod slr;
@@ -52,3 +57,4 @@ pub use design::{ExecMode, MemKind, StencilDesign, SynthesisError};
 pub use device::{FpgaDevice, MemorySpec};
 pub use report::SimReport;
 pub use resources::ResourceUsage;
+pub use sf_telemetry::{Recorder, StallClass};

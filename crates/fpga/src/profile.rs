@@ -1,0 +1,338 @@
+//! Schedule-level telemetry: turn a design's cycle plan into recorder
+//! events — per-pass and per-segment spans, per-channel AXI utilisation,
+//! FIFO backpressure, and a compute/memory/backpressure stall breakdown.
+//!
+//! The emitted spans follow the *deterministic* streaming schedule of
+//! [`crate::cycles::plan`] (model cycles, not wall clock), so they
+//! reconcile exactly with the plan's totals:
+//!
+//! * spans on the `pipeline` track sum to `total_cycles`;
+//! * spans on the `segments` track (tiles plus the pipeline-latency
+//!   remainder) sum to `cycles_per_pass`;
+//! * the compute/memory stall attribution equals
+//!   [`crate::trace::PlanTrace::stall_breakdown`] by construction, with
+//!   FIFO backpressure observed by a producer/consumer model on top.
+//!
+//! Both invariants are pinned by property tests.
+
+use crate::axi;
+use crate::cycles::{self, CyclePlan};
+use crate::design::{ExecMode, MemKind, StencilDesign, Workload};
+use crate::device::{FpgaDevice, MemorySpec};
+use crate::fifo;
+use crate::trace;
+use serde::Value;
+use sf_telemetry::{Recorder, StallClass};
+
+/// Individual pass spans beyond this count are collapsed into one
+/// aggregate span so 60 000-iteration runs don't emit 1 000 identical
+/// events.
+const MAX_PASS_SPANS: u64 = 256;
+
+/// Rows actually stepped by the FIFO backpressure model; longer streams
+/// are sampled and scaled.
+const MAX_BACKPRESSURE_ROWS: u64 = 4096;
+
+fn mem_spec(dev: &FpgaDevice, mem: MemKind) -> &MemorySpec {
+    match mem {
+        MemKind::Hbm => &dev.hbm,
+        MemKind::Ddr4 => &dev.ddr4,
+    }
+}
+
+/// Emit the full schedule trace for `(design, wl, niter)` into `rec` and
+/// return the cycle plan it narrates. With a disabled recorder this is
+/// exactly [`cycles::plan`].
+pub fn trace_schedule(
+    dev: &FpgaDevice,
+    design: &StencilDesign,
+    wl: &Workload,
+    niter: u64,
+    rec: &mut Recorder,
+) -> CyclePlan {
+    let plan = cycles::plan(dev, design, wl, niter);
+    if !rec.is_enabled() {
+        return plan;
+    }
+    let tr = trace::explain(dev, design, wl, niter);
+
+    rec.set_meta("mode", Value::String(format!("{:?}", design.mode)));
+    rec.set_meta("v", Value::U64(design.v as u64));
+    rec.set_meta("p", Value::U64(design.p as u64));
+    rec.set_meta("freq_mhz", Value::F64(design.freq_hz / 1e6));
+    rec.set_meta("passes", Value::U64(plan.passes));
+    rec.set_meta("cycles_per_pass", Value::U64(plan.cycles_per_pass));
+    rec.set_meta("total_cycles", Value::U64(plan.total_cycles));
+
+    // ---- per-pass spans: pass i occupies [i·cpp, (i+1)·cpp) ----------------
+    let pipe = rec.track("pipeline");
+    let cpp = plan.cycles_per_pass;
+    let shown = plan.passes.min(MAX_PASS_SPANS);
+    for i in 0..shown {
+        rec.span(pipe, &format!("pass {i}"), i * cpp, (i + 1) * cpp);
+    }
+    if plan.passes > shown {
+        rec.span_with_args(
+            pipe,
+            &format!("passes {shown}..{}", plan.passes),
+            shown * cpp,
+            plan.passes * cpp,
+            vec![("aggregated_passes".into(), Value::U64(plan.passes - shown))],
+        );
+    }
+
+    // ---- per-segment (tile) spans inside the first pass --------------------
+    // Each segment costs (data + fill) rows at its row rate, plus — for
+    // blocked modes — the per-tile AXI turnaround; the pass closes with the
+    // compute-pipeline latency. The sum reproduces cycles_per_pass exactly.
+    let seg_track = rec.track("segments");
+    let tile_overhead = match design.mode {
+        ExecMode::Tiled1D { .. } | ExecMode::Tiled2D { .. } => dev.axi_latency_cycles as u64,
+        _ => 0,
+    };
+    let mem = mem_spec(dev, design.mem);
+    let spec = &design.spec;
+    let mut cursor = 0u64;
+    for s in &tr.segments {
+        let dur = (s.data_rows + s.fill_rows) * s.row_cycles + tile_overhead;
+        rec.span_with_args(
+            seg_track,
+            &s.label,
+            cursor,
+            cursor + dur,
+            vec![
+                ("data_rows".into(), Value::U64(s.data_rows)),
+                ("fill_rows".into(), Value::U64(s.fill_rows)),
+                ("row_cycles".into(), Value::U64(s.row_cycles)),
+                ("bound".into(), Value::String(format!("{:?}", s.bound))),
+            ],
+        );
+        // Per-channel burst utilisation for this segment's rows: bytes are
+        // spread evenly across the assigned channels, so every channel in a
+        // direction sees the same duty cycle.
+        let t = axi::row_timing(
+            dev,
+            mem,
+            design.freq_hz,
+            design.v,
+            s.cells_per_row,
+            s.cells_per_row * spec.ext_read_bytes,
+            s.write_cells_per_row * spec.ext_write_bytes,
+            design.read_channels,
+            design.write_channels,
+        );
+        for ch in 0..design.read_channels {
+            let track = rec.track(&format!("axi:rd{ch}"));
+            rec.gauge(track, "utilization", cursor, t.read_utilization());
+        }
+        for ch in 0..design.write_channels {
+            let track = rec.track(&format!("axi:wr{ch}"));
+            rec.gauge(track, "utilization", cursor, t.write_utilization());
+        }
+        cursor += dur;
+    }
+    rec.span(seg_track, "pipeline latency", cursor, cursor + design.pipeline_latency_cycles);
+    debug_assert_eq!(
+        cursor + design.pipeline_latency_cycles,
+        cpp,
+        "segment spans must tile cycles_per_pass"
+    );
+
+    // ---- stall attribution --------------------------------------------------
+    // Compute/memory come straight from the plan's per-row classification;
+    // backpressure from a FIFO model below.
+    let b = tr.stall_breakdown();
+    rec.stall(StallClass::Compute, b.compute_cycles);
+    rec.stall(StallClass::Memory, b.memory_cycles);
+
+    // ---- FIFO backpressure between the compute chain and the write engine --
+    // The producer emits one row every max(compute, read) + gap cycles; the
+    // write engine drains one every `write` cycles, through the interstage
+    // FIFO the synthesizer sizes. With write ≤ producer rate (every design
+    // the static plan calls compute- or read-bound) the FIFO never fills and
+    // zero backpressure is recorded — matching PlanTrace. A write-dominated
+    // segment fills the FIFO and surfaces producer stalls here.
+    if let Some(s) = tr.segments.iter().max_by_key(|s| s.data_rows + s.fill_rows) {
+        let t = axi::row_timing(
+            dev,
+            mem,
+            design.freq_hz,
+            design.v,
+            s.cells_per_row,
+            s.cells_per_row * spec.ext_read_bytes,
+            s.write_cells_per_row * spec.ext_write_bytes,
+            design.read_channels,
+            design.write_channels,
+        );
+        let produce = t.compute.max(t.read) + t.gap;
+        let drain = t.write.max(1);
+        let depth_words = fifo::interstage_depth(dev.axi_burst_bytes, design.v, spec.elem_bytes);
+        let cap_rows = (depth_words * design.v / s.cells_per_row.max(1)).max(1);
+        let rows_per_pass = s.data_rows + s.fill_rows;
+        let sim_rows = rows_per_pass.min(MAX_BACKPRESSURE_ROWS);
+        let bp = fifo::simulate_backpressure(sim_rows, produce, drain, cap_rows);
+        // Scale the sampled pass back up to the full run.
+        let scale = |x: u64| {
+            (x as f64 * (rows_per_pass as f64 / sim_rows.max(1) as f64) * plan.passes as f64) as u64
+        };
+        rec.counter_add("fifo.total_pushes", scale(bp.total_pushes));
+        rec.counter_add("fifo.stalls", scale(bp.stats.stalls));
+        let fifo_track = rec.track("fifo:chain->wr");
+        rec.gauge(fifo_track, "high_water", 0, bp.stats.high_water as f64);
+        rec.gauge(fifo_track, "capacity", 0, bp.stats.capacity as f64);
+        rec.gauge(fifo_track, "stall_rate", 0, {
+            let attempts = bp.stats.stalls + bp.total_pushes;
+            if attempts == 0 {
+                0.0
+            } else {
+                bp.stats.stalls as f64 / attempts as f64
+            }
+        });
+        rec.stall(StallClass::Backpressure, scale(bp.stall_cycles));
+    }
+
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::synthesize;
+    use sf_kernels::StencilSpec;
+
+    fn dev() -> FpgaDevice {
+        FpgaDevice::u280()
+    }
+
+    #[test]
+    fn pass_spans_sum_to_total_cycles() {
+        let wl = Workload::D2 { nx: 200, ny: 100, batch: 1 };
+        let ds = synthesize(
+            &dev(),
+            &StencilSpec::poisson(),
+            8,
+            60,
+            ExecMode::Baseline,
+            MemKind::Hbm,
+            &wl,
+        )
+        .unwrap();
+        let mut rec = Recorder::enabled(300.0);
+        let plan = trace_schedule(&dev(), &ds, &wl, 600, &mut rec);
+        let pipe = rec.find_track("pipeline").unwrap();
+        assert_eq!(rec.track_span_cycles(pipe), plan.total_cycles);
+        assert_eq!(rec.max_cycle(), plan.total_cycles);
+    }
+
+    #[test]
+    fn aggregated_passes_still_sum_exactly() {
+        let wl = Workload::D2 { nx: 200, ny: 100, batch: 1 };
+        let ds = synthesize(
+            &dev(),
+            &StencilSpec::poisson(),
+            8,
+            60,
+            ExecMode::Baseline,
+            MemKind::Hbm,
+            &wl,
+        )
+        .unwrap();
+        let mut rec = Recorder::enabled(300.0);
+        // 60 000 iters → 1000 passes > MAX_PASS_SPANS → aggregate tail span.
+        let plan = trace_schedule(&dev(), &ds, &wl, 60_000, &mut rec);
+        assert_eq!(plan.passes, 1000);
+        let pipe = rec.find_track("pipeline").unwrap();
+        assert_eq!(rec.track_span_cycles(pipe), plan.total_cycles);
+        let n_spans = rec.spans().iter().filter(|s| s.track == pipe).count() as u64;
+        assert_eq!(n_spans, MAX_PASS_SPANS + 1);
+    }
+
+    #[test]
+    fn segment_spans_tile_one_pass() {
+        let wl = Workload::D2 { nx: 15_000, ny: 15_000, batch: 1 };
+        let ds = synthesize(
+            &dev(),
+            &StencilSpec::poisson(),
+            8,
+            60,
+            ExecMode::Tiled1D { tile_m: 4096 },
+            MemKind::Ddr4,
+            &wl,
+        )
+        .unwrap();
+        let mut rec = Recorder::enabled(300.0);
+        let plan = trace_schedule(&dev(), &ds, &wl, 6_000, &mut rec);
+        let seg = rec.find_track("segments").unwrap();
+        assert_eq!(rec.track_span_cycles(seg), plan.cycles_per_pass);
+    }
+
+    #[test]
+    fn compute_memory_attribution_matches_plan_trace() {
+        let wl = Workload::D2 { nx: 200, ny: 100, batch: 1 };
+        let ds = synthesize(
+            &dev(),
+            &StencilSpec::poisson(),
+            8,
+            60,
+            ExecMode::Baseline,
+            MemKind::Hbm,
+            &wl,
+        )
+        .unwrap();
+        let mut rec = Recorder::enabled(300.0);
+        trace_schedule(&dev(), &ds, &wl, 600, &mut rec);
+        let expect = trace::explain(&dev(), &ds, &wl, 600).stall_breakdown();
+        let got = rec.stall_breakdown();
+        assert_eq!(got.compute_cycles, expect.compute_cycles);
+        assert_eq!(got.memory_cycles, expect.memory_cycles);
+        // Poisson baseline: write side no slower than compute → no
+        // backpressure, and the FIFO counters say so.
+        assert_eq!(got.backpressure_cycles, 0);
+        assert_eq!(rec.counter("fifo.stalls"), 0);
+        assert!(rec.counter("fifo.total_pushes") > 0);
+    }
+
+    #[test]
+    fn axi_utilization_gauges_per_channel() {
+        let wl = Workload::D3 { nx: 600, ny: 600, nz: 600, batch: 1 };
+        let ds = synthesize(
+            &dev(),
+            &StencilSpec::jacobi(),
+            64,
+            3,
+            ExecMode::Tiled2D { tile_m: 640, tile_n: 640 },
+            MemKind::Hbm,
+            &wl,
+        )
+        .unwrap();
+        let mut rec = Recorder::enabled(300.0);
+        trace_schedule(&dev(), &ds, &wl, 120, &mut rec);
+        // One gauge track per read and write channel.
+        for ch in 0..ds.read_channels {
+            let t = rec.find_track(&format!("axi:rd{ch}")).unwrap();
+            let g: Vec<_> = rec.gauges().iter().filter(|g| g.track == t).collect();
+            assert!(!g.is_empty());
+            assert!(g.iter().all(|g| (0.0..=1.0).contains(&g.value)));
+        }
+        assert!(rec.track_names().iter().any(|t| t.starts_with("axi:wr")));
+    }
+
+    #[test]
+    fn disabled_recorder_reduces_to_plan() {
+        let wl = Workload::D2 { nx: 200, ny: 100, batch: 1 };
+        let ds = synthesize(
+            &dev(),
+            &StencilSpec::poisson(),
+            8,
+            60,
+            ExecMode::Baseline,
+            MemKind::Hbm,
+            &wl,
+        )
+        .unwrap();
+        let mut rec = Recorder::disabled();
+        let plan = trace_schedule(&dev(), &ds, &wl, 600, &mut rec);
+        assert_eq!(plan, cycles::plan(&dev(), &ds, &wl, 600));
+        assert!(rec.spans().is_empty());
+    }
+}

@@ -66,9 +66,7 @@ impl SimReport {
             power_w,
             energy_j: power_w * runtime,
             cells_per_sec: plan.cells_per_sec(),
-            gflops: plan.cell_iters as f64 * design.spec.flops_per_cell() as f64
-                / runtime
-                / 1.0e9,
+            gflops: plan.cell_iters as f64 * design.spec.flops_per_cell() as f64 / runtime / 1.0e9,
         }
     }
 
@@ -101,7 +99,10 @@ pub fn utilization_report(dev: &crate::device::FpgaDevice, design: &StencilDesig
         dev.default_clock_hz / 1e6
     ));
     let line = |name: &str, used: usize, avail: usize| {
-        format!("│ {name:<10}: {used:>6} / {avail:<6} ({:>5.1} %)\n", used as f64 / avail as f64 * 100.0)
+        format!(
+            "│ {name:<10}: {used:>6} / {avail:<6} ({:>5.1} %)\n",
+            used as f64 / avail as f64 * 100.0
+        )
     };
     s.push_str(&line("DSP48", u.dsp, dev.dsp_total));
     s.push_str(&line("BRAM36", u.bram_blocks, dev.bram_blocks));

@@ -46,10 +46,7 @@ pub struct ResourceUsage {
 pub fn estimate_fabric(ops: &sf_kernels::OpCount, v: usize, p: usize) -> (usize, usize) {
     let per_lane_luts = ops.adds * LUT_PER_FADD + ops.muls * LUT_PER_FMUL;
     let per_lane_ffs = ops.flops() * FF_PER_FOP;
-    (
-        p * (v * per_lane_luts + LUT_PER_MODULE),
-        p * v * per_lane_ffs,
-    )
+    (p * (v * per_lane_luts + LUT_PER_MODULE), p * v * per_lane_ffs)
 }
 
 impl ResourceUsage {
@@ -245,10 +242,7 @@ mod tests {
         assert!(u.fits(&d));
         assert!(u.mem_util(&d) > 0.6 && u.mem_util(&d) < 0.7);
 
-        let too_big = ResourceUsage {
-            dsp: 9000,
-            ..u
-        };
+        let too_big = ResourceUsage { dsp: 9000, ..u };
         assert!(!too_big.fits(&d));
     }
 

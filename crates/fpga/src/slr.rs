@@ -150,11 +150,7 @@ pub fn place_chain(
         }
     }
     let crossings = assignments.windows(2).filter(|w| w[0] != w[1]).count();
-    Ok(SlrPlacement {
-        assignments,
-        crossings,
-        spanning_modules: spanning,
-    })
+    Ok(SlrPlacement { assignments, crossings, spanning_modules: spanning })
 }
 
 #[cfg(test)]

@@ -33,6 +33,8 @@ pub struct SegmentTrace {
     pub fill_rows: u64,
     /// Cells per row.
     pub cells_per_row: usize,
+    /// Cells written back per row (< `cells_per_row` for halo tiles).
+    pub write_cells_per_row: usize,
     /// Cycles per row.
     pub row_cycles: u64,
     /// Compute cycles per row (`⌈cells/V⌉`).
@@ -59,6 +61,26 @@ pub struct PlanTrace {
 }
 
 impl PlanTrace {
+    /// Attribute the plan's streamed-row cycles to stall classes.
+    ///
+    /// Each segment's `passes × (data + fill) × row_cycles` goes to the
+    /// class its [`RowBound`] names. The static plan sizes inter-stage
+    /// FIFOs so chained stages never backpressure ([`crate::fifo::interstage_depth`]),
+    /// so `backpressure_cycles` is always 0 here — the dataflow simulator's
+    /// recorder reports any observed backpressure separately, and the two
+    /// breakdowns are cross-checked in tests.
+    pub fn stall_breakdown(&self) -> sf_telemetry::StallBreakdown {
+        let mut b = sf_telemetry::StallBreakdown::default();
+        for s in &self.segments {
+            let cycles = self.passes * (s.data_rows + s.fill_rows) * s.row_cycles;
+            match s.bound {
+                RowBound::Compute => b.compute_cycles += cycles,
+                RowBound::Memory => b.memory_cycles += cycles,
+            }
+        }
+        b
+    }
+
     /// Render a human-readable explanation.
     pub fn render(&self) -> String {
         let mut s = String::new();
@@ -123,6 +145,7 @@ fn seg(
         data_rows,
         fill_rows,
         cells_per_row: cells,
+        write_cells_per_row: write_cells,
         row_cycles,
         compute_cycles: compute,
         bound: if row_cycles - dev.axi_issue_gap_cycles as u64 > compute {
@@ -215,8 +238,16 @@ mod tests {
     #[test]
     fn poisson_baseline_is_compute_bound() {
         let wl = Workload::D2 { nx: 200, ny: 100, batch: 1 };
-        let ds = synthesize(&dev(), &StencilSpec::poisson(), 8, 60, ExecMode::Baseline, MemKind::Hbm, &wl)
-            .unwrap();
+        let ds = synthesize(
+            &dev(),
+            &StencilSpec::poisson(),
+            8,
+            60,
+            ExecMode::Baseline,
+            MemKind::Hbm,
+            &wl,
+        )
+        .unwrap();
         let tr = explain(&dev(), &ds, &wl, 60_000);
         assert_eq!(tr.segments.len(), 1);
         assert_eq!(tr.segments[0].bound, RowBound::Compute);
@@ -230,11 +261,27 @@ mod tests {
     #[test]
     fn batching_shrinks_fill_fraction() {
         let solo = Workload::D2 { nx: 200, ny: 100, batch: 1 };
-        let d1 = synthesize(&dev(), &StencilSpec::poisson(), 8, 60, ExecMode::Baseline, MemKind::Hbm, &solo)
-            .unwrap();
+        let d1 = synthesize(
+            &dev(),
+            &StencilSpec::poisson(),
+            8,
+            60,
+            ExecMode::Baseline,
+            MemKind::Hbm,
+            &solo,
+        )
+        .unwrap();
         let batched = Workload::D2 { nx: 200, ny: 100, batch: 1000 };
-        let d2 = synthesize(&dev(), &StencilSpec::poisson(), 8, 60, ExecMode::Batched { b: 1000 }, MemKind::Hbm, &batched)
-            .unwrap();
+        let d2 = synthesize(
+            &dev(),
+            &StencilSpec::poisson(),
+            8,
+            60,
+            ExecMode::Batched { b: 1000 },
+            MemKind::Hbm,
+            &batched,
+        )
+        .unwrap();
         let f1 = explain(&dev(), &d1, &solo, 60_000).fill_fraction;
         let f2 = explain(&dev(), &d2, &batched, 60_000).fill_fraction;
         assert!(f2 < f1 / 100.0, "batched fill {f2} vs baseline {f1}");
@@ -243,11 +290,40 @@ mod tests {
     #[test]
     fn rtm_baseline_fill_dominates_small_meshes() {
         let wl = Workload::D3 { nx: 32, ny: 32, nz: 32, batch: 1 };
-        let ds = synthesize(&dev(), &StencilSpec::rtm(), 1, 3, ExecMode::Baseline, MemKind::Hbm, &wl)
-            .unwrap();
+        let ds =
+            synthesize(&dev(), &StencilSpec::rtm(), 1, 3, ExecMode::Baseline, MemKind::Hbm, &wl)
+                .unwrap();
         let tr = explain(&dev(), &ds, &wl, 1_800);
         // 48 fill planes vs 32 data planes — the Table VI baseline penalty
         assert!(tr.fill_fraction > 0.5, "fill fraction {}", tr.fill_fraction);
+    }
+
+    #[test]
+    fn stall_breakdown_matches_row_bounds() {
+        let wl = Workload::D2 { nx: 200, ny: 100, batch: 1 };
+        let ds = synthesize(
+            &dev(),
+            &StencilSpec::poisson(),
+            8,
+            60,
+            ExecMode::Baseline,
+            MemKind::Hbm,
+            &wl,
+        )
+        .unwrap();
+        let tr = explain(&dev(), &ds, &wl, 60_000);
+        let b = tr.stall_breakdown();
+        // Poisson baseline is compute-bound: all attributed cycles land there.
+        assert_eq!(b.memory_cycles, 0);
+        assert_eq!(b.backpressure_cycles, 0);
+        assert_eq!(
+            b.compute_cycles,
+            tr.passes
+                * (tr.segments[0].data_rows + tr.segments[0].fill_rows)
+                * tr.segments[0].row_cycles
+        );
+        use sf_telemetry::StallClass;
+        assert_eq!(b.dominant(), StallClass::Compute);
     }
 
     #[test]

@@ -14,8 +14,9 @@
 //! own mesh (`mesh_extent`-periodic in the streaming dimension), so stencils
 //! never read across a batch seam.
 
-use sf_mesh::Element;
 use sf_kernels::{StencilOp2D, StencilOp3D};
+use sf_mesh::Element;
+use sf_telemetry::{Recorder, TrackId};
 
 /// Fixed-capacity ring of stream units (rows or planes), addressable by
 /// absolute unit index.
@@ -32,11 +33,7 @@ impl<T> RingBuffer<T> {
     /// Create a ring holding up to `capacity` units.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
-        RingBuffer {
-            slots: Vec::with_capacity(capacity),
-            capacity,
-            pushed: 0,
-        }
+        RingBuffer { slots: Vec::with_capacity(capacity), capacity, pushed: 0 }
     }
 
     /// Push the next unit (evicting the oldest once full).
@@ -63,6 +60,16 @@ impl<T> RingBuffer<T> {
     /// Units pushed so far.
     pub fn pushed(&self) -> usize {
         self.pushed
+    }
+
+    /// Units currently resident (≤ capacity).
+    pub fn resident(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 }
 
@@ -136,6 +143,11 @@ impl<T: Element, K: StencilOp2D<T>> StageProcessor2D<T, K> {
             out.push(self.emit(self.next_out));
         }
         out
+    }
+
+    /// Rows currently held in the window buffer.
+    pub fn window_fill(&self) -> usize {
+        self.ring.resident()
     }
 }
 
@@ -216,6 +228,30 @@ impl<T: Element, K: StencilOp3D<T>> StageProcessor3D<T, K> {
         }
         out
     }
+
+    /// Planes currently held in the window buffer.
+    pub fn window_fill(&self) -> usize {
+        self.ring.resident()
+    }
+}
+
+/// Per-stage telemetry state shared by the traced chain runners.
+struct StageTrace {
+    track: TrackId,
+    primed: bool,
+}
+
+fn stage_tracks(rec: &mut Recorder, prefix: &str, n: usize) -> Vec<StageTrace> {
+    (0..n)
+        .map(|i| StageTrace {
+            track: if rec.is_enabled() {
+                rec.track(&format!("{prefix}stage:{i}"))
+            } else {
+                TrackId(0)
+            },
+            primed: false,
+        })
+        .collect()
 }
 
 /// Stream a row iterator through a chain of 2D stages (the unrolled pipeline
@@ -227,35 +263,77 @@ pub fn run_chain_2d<T: Element, K: StencilOp2D<T> + Clone>(
     mesh_ny: usize,
     rows: impl Iterator<Item = Vec<T>>,
 ) -> Vec<Vec<T>> {
-    let mut procs: Vec<StageProcessor2D<T, K>> = chain
-        .iter()
-        .map(|k| StageProcessor2D::new(k.clone(), nx, stream_rows, mesh_ny))
-        .collect();
+    run_chain_2d_traced(chain, nx, stream_rows, mesh_ny, rows, &mut Recorder::disabled(), "", 0, 1)
+}
+
+/// [`run_chain_2d`] with window-buffer telemetry: per-stage fill gauges while
+/// each window primes, a "primed" instant when a stage first emits, a
+/// "drain" instant when its trailing rows flush, and row counters. Cycle
+/// stamps follow the streaming schedule: input unit `j` arrives at
+/// `base_cycle + j · cycles_per_row`. With a disabled recorder every hook
+/// is a single predictable branch.
+#[allow(clippy::too_many_arguments)]
+pub fn run_chain_2d_traced<T: Element, K: StencilOp2D<T> + Clone>(
+    chain: &[K],
+    nx: usize,
+    stream_rows: usize,
+    mesh_ny: usize,
+    rows: impl Iterator<Item = Vec<T>>,
+    rec: &mut Recorder,
+    track_prefix: &str,
+    base_cycle: u64,
+    cycles_per_row: u64,
+) -> Vec<Vec<T>> {
+    let mut procs: Vec<StageProcessor2D<T, K>> =
+        chain.iter().map(|k| StageProcessor2D::new(k.clone(), nx, stream_rows, mesh_ny)).collect();
+    let mut tr = stage_tracks(rec, track_prefix, procs.len());
     let mut out = Vec::with_capacity(stream_rows);
 
+    // Iterative feed (equivalent to cascading recursion): push into stage
+    // `from`; an emitted row continues down the chain, a buffered row stops.
     fn feed<T: Element, K: StencilOp2D<T>>(
         procs: &mut [StageProcessor2D<T, K>],
+        tr: &mut [StageTrace],
+        from: usize,
         row: Vec<T>,
         out: &mut Vec<Vec<T>>,
+        rec: &mut Recorder,
+        cycle: u64,
     ) {
-        match procs.split_first_mut() {
-            None => out.push(row),
-            Some((first, rest)) => {
-                if let Some(r) = first.push_row(row) {
-                    feed(rest, r, out);
+        let mut current = row;
+        for i in from..procs.len() {
+            match procs[i].push_row(current) {
+                Some(r) => {
+                    if !tr[i].primed {
+                        tr[i].primed = true;
+                        rec.instant(tr[i].track, "primed", cycle);
+                    }
+                    current = r;
+                }
+                None => {
+                    rec.gauge(tr[i].track, "window_fill", cycle, procs[i].window_fill() as f64);
+                    return;
                 }
             }
         }
+        out.push(current);
     }
 
+    let mut j: u64 = 0;
     for row in rows {
-        feed(&mut procs, row, &mut out);
+        let cycle = base_cycle + j * cycles_per_row;
+        feed(&mut procs, &mut tr, 0, row, &mut out, rec, cycle);
+        j += 1;
     }
+    rec.counter_add("window.rows_streamed", j);
     // flush stage by stage, cascading trailing rows downstream
+    let end_cycle = base_cycle + j * cycles_per_row;
     for i in 0..procs.len() {
-        let (head, tail) = procs.split_at_mut(i + 1);
-        for row in head[i].finish() {
-            feed(tail, row, &mut out);
+        let trailing = procs[i].finish();
+        rec.counter_add("window.drain_rows", trailing.len() as u64);
+        rec.instant(tr[i].track, "drain", end_cycle);
+        for row in trailing {
+            feed(&mut procs, &mut tr, i + 1, row, &mut out, rec, end_cycle);
         }
     }
     assert_eq!(out.len(), stream_rows, "chain must emit the full stream");
@@ -271,34 +349,85 @@ pub fn run_chain_3d<T: Element, K: StencilOp3D<T> + Clone>(
     mesh_nz: usize,
     planes: impl Iterator<Item = Vec<T>>,
 ) -> Vec<Vec<T>> {
+    run_chain_3d_traced(
+        chain,
+        nx,
+        ny,
+        stream_planes,
+        mesh_nz,
+        planes,
+        &mut Recorder::disabled(),
+        "",
+        0,
+        1,
+    )
+}
+
+/// [`run_chain_3d`] with window-buffer telemetry (see
+/// [`run_chain_2d_traced`]); the streamed unit is a plane, so
+/// `cycles_per_row` here is cycles per *plane*.
+#[allow(clippy::too_many_arguments)]
+pub fn run_chain_3d_traced<T: Element, K: StencilOp3D<T> + Clone>(
+    chain: &[K],
+    nx: usize,
+    ny: usize,
+    stream_planes: usize,
+    mesh_nz: usize,
+    planes: impl Iterator<Item = Vec<T>>,
+    rec: &mut Recorder,
+    track_prefix: &str,
+    base_cycle: u64,
+    cycles_per_row: u64,
+) -> Vec<Vec<T>> {
     let mut procs: Vec<StageProcessor3D<T, K>> = chain
         .iter()
         .map(|k| StageProcessor3D::new(k.clone(), nx, ny, stream_planes, mesh_nz))
         .collect();
+    let mut tr = stage_tracks(rec, track_prefix, procs.len());
     let mut out = Vec::with_capacity(stream_planes);
 
     fn feed<T: Element, K: StencilOp3D<T>>(
         procs: &mut [StageProcessor3D<T, K>],
+        tr: &mut [StageTrace],
+        from: usize,
         plane: Vec<T>,
         out: &mut Vec<Vec<T>>,
+        rec: &mut Recorder,
+        cycle: u64,
     ) {
-        match procs.split_first_mut() {
-            None => out.push(plane),
-            Some((first, rest)) => {
-                if let Some(p) = first.push_plane(plane) {
-                    feed(rest, p, out);
+        let mut current = plane;
+        for i in from..procs.len() {
+            match procs[i].push_plane(current) {
+                Some(p) => {
+                    if !tr[i].primed {
+                        tr[i].primed = true;
+                        rec.instant(tr[i].track, "primed", cycle);
+                    }
+                    current = p;
+                }
+                None => {
+                    rec.gauge(tr[i].track, "window_fill", cycle, procs[i].window_fill() as f64);
+                    return;
                 }
             }
         }
+        out.push(current);
     }
 
+    let mut j: u64 = 0;
     for plane in planes {
-        feed(&mut procs, plane, &mut out);
+        let cycle = base_cycle + j * cycles_per_row;
+        feed(&mut procs, &mut tr, 0, plane, &mut out, rec, cycle);
+        j += 1;
     }
+    rec.counter_add("window.planes_streamed", j);
+    let end_cycle = base_cycle + j * cycles_per_row;
     for i in 0..procs.len() {
-        let (head, tail) = procs.split_at_mut(i + 1);
-        for plane in head[i].finish() {
-            feed(tail, plane, &mut out);
+        let trailing = procs[i].finish();
+        rec.counter_add("window.drain_planes", trailing.len() as u64);
+        rec.instant(tr[i].track, "drain", end_cycle);
+        for plane in trailing {
+            feed(&mut procs, &mut tr, i + 1, plane, &mut out, rec, end_cycle);
         }
     }
     assert_eq!(out.len(), stream_planes, "chain must emit the full stream");
@@ -325,13 +454,8 @@ mod tests {
     #[test]
     fn single_stage_equals_reference_step() {
         let m = Mesh2D::<f32>::random(17, 9, 3, -1.0, 1.0);
-        let rows = run_chain_2d(
-            &[Poisson2D],
-            17,
-            9,
-            9,
-            m.as_slice().chunks(17).map(|r| r.to_vec()),
-        );
+        let rows =
+            run_chain_2d(&[Poisson2D], 17, 9, 9, m.as_slice().chunks(17).map(|r| r.to_vec()));
         let expect = reference::step_2d(&Poisson2D, &m);
         let got: Vec<f32> = rows.into_iter().flatten().collect();
         assert!(norms::bit_equal(&got, expect.as_slice()));
@@ -341,13 +465,7 @@ mod tests {
     fn chained_stages_equal_iterated_reference() {
         let m = Mesh2D::<f32>::random(21, 13, 4, -1.0, 1.0);
         let chain = vec![Poisson2D; 5];
-        let rows = run_chain_2d(
-            &chain,
-            21,
-            13,
-            13,
-            m.as_slice().chunks(21).map(|r| r.to_vec()),
-        );
+        let rows = run_chain_2d(&chain, 21, 13, 13, m.as_slice().chunks(21).map(|r| r.to_vec()));
         let expect = reference::run_2d(&Poisson2D, &m, 5);
         let got: Vec<f32> = rows.into_iter().flatten().collect();
         assert!(norms::bit_equal(&got, expect.as_slice()));
@@ -375,30 +493,76 @@ mod tests {
         let m = Mesh3D::<f32>::random(9, 8, 7, 5, -1.0, 1.0);
         let k = Jacobi3D::smoothing();
         let chain = vec![k; 3];
-        let planes = run_chain_3d(
-            &chain,
-            9,
-            8,
-            7,
-            7,
-            m.as_slice().chunks(72).map(|p| p.to_vec()),
-        );
+        let planes = run_chain_3d(&chain, 9, 8, 7, 7, m.as_slice().chunks(72).map(|p| p.to_vec()));
         let got: Vec<f32> = planes.into_iter().flatten().collect();
         let expect = reference::run_3d(&k, &m, 3);
         assert!(norms::bit_equal(&got, expect.as_slice()));
     }
 
     #[test]
+    fn traced_chain_matches_untraced_and_records_events() {
+        let m = Mesh2D::<f32>::random(21, 13, 4, -1.0, 1.0);
+        let chain = vec![Poisson2D; 3];
+        let plain = run_chain_2d(&chain, 21, 13, 13, m.as_slice().chunks(21).map(|r| r.to_vec()));
+
+        let mut rec = Recorder::enabled(300.0);
+        let traced = run_chain_2d_traced(
+            &chain,
+            21,
+            13,
+            13,
+            m.as_slice().chunks(21).map(|r| r.to_vec()),
+            &mut rec,
+            "p0/",
+            100,
+            28,
+        );
+        assert_eq!(plain, traced, "telemetry must not change results");
+
+        // One track per stage, each primed exactly once and drained once.
+        assert_eq!(rec.track_names(), &["p0/stage:0", "p0/stage:1", "p0/stage:2"]);
+        let primed: Vec<_> = rec.instants().iter().filter(|i| i.name == "primed").collect();
+        assert_eq!(primed.len(), 3);
+        // Stage s first emits on input row s·r + r (radius 1) → cycle stamps
+        // follow base + j·cpr and grow down the chain.
+        assert_eq!(primed[0].cycle, 100 + 28);
+        assert!(primed[1].cycle > primed[0].cycle);
+        assert_eq!(rec.instants().iter().filter(|i| i.name == "drain").count(), 3);
+        // Fill gauges only while windows prime: r rows per stage.
+        assert_eq!(rec.gauges().iter().filter(|g| g.name == "window_fill").count(), 3);
+        assert_eq!(rec.counter("window.rows_streamed"), 13);
+        assert_eq!(rec.counter("window.drain_rows"), 3);
+    }
+
+    #[test]
+    fn traced_chain_3d_matches_untraced() {
+        let m = Mesh3D::<f32>::random(9, 8, 7, 5, -1.0, 1.0);
+        let k = Jacobi3D::smoothing();
+        let chain = vec![k; 2];
+        let plain = run_chain_3d(&chain, 9, 8, 7, 7, m.as_slice().chunks(72).map(|p| p.to_vec()));
+        let mut rec = Recorder::enabled(300.0);
+        let traced = run_chain_3d_traced(
+            &chain,
+            9,
+            8,
+            7,
+            7,
+            m.as_slice().chunks(72).map(|p| p.to_vec()),
+            &mut rec,
+            "",
+            0,
+            10,
+        );
+        assert_eq!(plain, traced);
+        assert_eq!(rec.counter("window.planes_streamed"), 7);
+        assert_eq!(rec.instants().iter().filter(|i| i.name == "primed").count(), 2);
+    }
+
+    #[test]
     fn tiny_mesh_all_boundary() {
         // 2×2 mesh with radius-1 stencil: everything is boundary
         let m = Mesh2D::<f32>::random(2, 2, 1, 0.0, 1.0);
-        let rows = run_chain_2d(
-            &[Poisson2D],
-            2,
-            2,
-            2,
-            m.as_slice().chunks(2).map(|r| r.to_vec()),
-        );
+        let rows = run_chain_2d(&[Poisson2D], 2, 2, 2, m.as_slice().chunks(2).map(|r| r.to_vec()));
         let got: Vec<f32> = rows.into_iter().flatten().collect();
         assert!(norms::bit_equal(&got, m.as_slice()));
     }

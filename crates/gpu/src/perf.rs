@@ -39,15 +39,9 @@ pub fn kernel_chain(spec: &StencilSpec) -> Vec<KernelCost> {
                 });
             }
             for _ in 0..3 {
-                chain.push(KernelCost {
-                    bytes_per_cell: 24 + 24 + 24,
-                    efficiency: 1.0,
-                });
+                chain.push(KernelCost { bytes_per_cell: 24 + 24 + 24, efficiency: 1.0 });
             }
-            chain.push(KernelCost {
-                bytes_per_cell: 24 * 5 + 24,
-                efficiency: 1.0,
-            });
+            chain.push(KernelCost { bytes_per_cell: 24 * 5 + 24, efficiency: 1.0 });
             chain
         }
     }
@@ -91,11 +85,7 @@ pub fn gpu_report(gpu: &GpuDevice, spec: &StencilSpec, wl: &Workload, niter: u64
     let mut t_iter = 0.0f64;
     let mut bytes_iter = 0u64;
     for k in &chain {
-        let eff = if k.efficiency.is_nan() {
-            gpu.high_order_eff
-        } else {
-            k.efficiency
-        };
+        let eff = if k.efficiency.is_nan() { gpu.high_order_eff } else { k.efficiency };
         let bytes = cells * k.bytes_per_cell as u64;
         let bw = gpu.bw_eff(bytes as f64) * eff * droop;
         t_iter += gpu.launch_latency_s + bytes as f64 / bw;
@@ -105,11 +95,8 @@ pub fn gpu_report(gpu: &GpuDevice, spec: &StencilSpec, wl: &Workload, niter: u64
     let total_bytes = bytes_iter * niter;
     let bw_avg = total_bytes as f64 / runtime_s;
     let power_w = gpu.power_w(bw_avg);
-    let mode = if wl.batch() > 1 {
-        ExecMode::Batched { b: wl.batch() }
-    } else {
-        ExecMode::Baseline
-    };
+    let mode =
+        if wl.batch() > 1 { ExecMode::Batched { b: wl.batch() } } else { ExecMode::Baseline };
     SimReport {
         app: spec.app,
         platform: gpu.name.clone(),

@@ -90,12 +90,27 @@ fn calibration_against_every_published_gpu_cell() {
 
     // Table V baseline + tiled-mesh shapes
     for (n, base) in [(50usize, 83.0), (100, 284.0), (200, 496.0), (250, 559.0), (300, 553.0)] {
-        let r = gpu_report(&g, &StencilSpec::jacobi(), &Workload::D3 { nx: n, ny: n, nz: n, batch: 1 }, 29_000);
+        let r = gpu_report(
+            &g,
+            &StencilSpec::jacobi(),
+            &Workload::D3 { nx: n, ny: n, nz: n, batch: 1 },
+            29_000,
+        );
         check(r.bandwidth_gbs, base, format!("jacobi {n}³ base"));
     }
-    let r = gpu_report(&g, &StencilSpec::jacobi(), &Workload::D3 { nx: 600, ny: 600, nz: 600, batch: 1 }, 120);
+    let r = gpu_report(
+        &g,
+        &StencilSpec::jacobi(),
+        &Workload::D3 { nx: 600, ny: 600, nz: 600, batch: 1 },
+        120,
+    );
     check(r.bandwidth_gbs, 392.0, "jacobi 600³ tiled".into());
-    let r = gpu_report(&g, &StencilSpec::jacobi(), &Workload::D3 { nx: 1800, ny: 1800, nz: 100, batch: 1 }, 120);
+    let r = gpu_report(
+        &g,
+        &StencilSpec::jacobi(),
+        &Workload::D3 { nx: 1800, ny: 1800, nz: 100, batch: 1 },
+        120,
+    );
     check(r.bandwidth_gbs, 363.0, "jacobi 1800²x100 tiled".into());
 
     // Table VI

@@ -28,9 +28,7 @@ impl Jacobi3D {
     /// weighted 1/2) — the default benchmark workload; iterating converges.
     pub fn smoothing() -> Self {
         let s = 1.0 / 12.0;
-        Jacobi3D {
-            k: [s, s, s, 0.5, s, s, s],
-        }
+        Jacobi3D { k: [s, s, s, 0.5, s, s, s] }
     }
 
     /// Construct with explicit coefficients.
@@ -75,26 +73,13 @@ mod tests {
     #[test]
     fn coefficients_pick_out_terms() {
         // coefficient i = 1, rest 0 → update equals that neighbor
-        let offsets = [
-            (1, 0, 0),
-            (-1, 0, 0),
-            (0, -1, 0),
-            (0, 0, 0),
-            (0, 1, 0),
-            (0, 0, 1),
-            (0, 0, -1),
-        ];
+        let offsets =
+            [(1, 0, 0), (-1, 0, 0), (0, -1, 0), (0, 0, 0), (0, 1, 0), (0, 0, 1), (0, 0, -1)];
         for (i, &(ox, oy, oz)) in offsets.iter().enumerate() {
             let mut k = [0.0f32; 7];
             k[i] = 1.0;
             let kern = Jacobi3D::with_coefficients(k);
-            let v = kern.apply(|dx, dy, dz| {
-                if (dx, dy, dz) == (ox, oy, oz) {
-                    42.0
-                } else {
-                    1.0
-                }
-            });
+            let v = kern.apply(|dx, dy, dz| if (dx, dy, dz) == (ox, oy, oz) { 42.0 } else { 1.0 });
             assert_eq!(v, 42.0, "coefficient {i} should select offset {:?}", (ox, oy, oz));
         }
     }

@@ -126,11 +126,7 @@ impl OpCount {
 
     /// Scale by a stage replication factor.
     pub const fn times(self, k: usize) -> OpCount {
-        OpCount {
-            adds: self.adds * k,
-            muls: self.muls * k,
-            divs: self.divs * k,
-        }
+        OpCount { adds: self.adds * k, muls: self.muls * k, divs: self.divs * k }
     }
 
     /// Rough pipeline latency (cycles) of a balanced adder/multiplier tree at

@@ -22,20 +22,15 @@ pub fn par_step_2d<T: Element, K: StencilOp2D<T>>(k: &K, input: &Mesh2D<T>) -> M
     let (nx, ny) = (input.nx(), input.ny());
     let r = k.radius();
     let mut out = Mesh2D::<T>::zeros(nx, ny);
-    out.as_mut_slice()
-        .par_chunks_mut(nx)
-        .enumerate()
-        .for_each(|(y, row)| {
-            for (x, cell) in row.iter_mut().enumerate() {
-                *cell = if input.is_interior(x, y, r) {
-                    k.apply(|dx, dy| {
-                        input.get((x as i32 + dx) as usize, (y as i32 + dy) as usize)
-                    })
-                } else {
-                    k.on_boundary(input.get(x, y))
-                };
-            }
-        });
+    out.as_mut_slice().par_chunks_mut(nx).enumerate().for_each(|(y, row)| {
+        for (x, cell) in row.iter_mut().enumerate() {
+            *cell = if input.is_interior(x, y, r) {
+                k.apply(|dx, dy| input.get((x as i32 + dx) as usize, (y as i32 + dy) as usize))
+            } else {
+                k.on_boundary(input.get(x, y))
+            };
+        }
+    });
     out
 }
 
@@ -57,26 +52,23 @@ pub fn par_step_3d<T: Element, K: StencilOp3D<T>>(k: &K, input: &Mesh3D<T>) -> M
     let (nx, ny, nz) = (input.nx(), input.ny(), input.nz());
     let r = k.radius();
     let mut out = Mesh3D::<T>::zeros(nx, ny, nz);
-    out.as_mut_slice()
-        .par_chunks_mut(nx)
-        .enumerate()
-        .for_each(|(row_idx, row)| {
-            let z = row_idx / ny;
-            let y = row_idx % ny;
-            for (x, cell) in row.iter_mut().enumerate() {
-                *cell = if input.is_interior(x, y, z, r) {
-                    k.apply(|dx, dy, dz| {
-                        input.get(
-                            (x as i32 + dx) as usize,
-                            (y as i32 + dy) as usize,
-                            (z as i32 + dz) as usize,
-                        )
-                    })
-                } else {
-                    k.on_boundary(input.get(x, y, z))
-                };
-            }
-        });
+    out.as_mut_slice().par_chunks_mut(nx).enumerate().for_each(|(row_idx, row)| {
+        let z = row_idx / ny;
+        let y = row_idx % ny;
+        for (x, cell) in row.iter_mut().enumerate() {
+            *cell = if input.is_interior(x, y, z, r) {
+                k.apply(|dx, dy, dz| {
+                    input.get(
+                        (x as i32 + dx) as usize,
+                        (y as i32 + dy) as usize,
+                        (z as i32 + dz) as usize,
+                    )
+                })
+            } else {
+                k.on_boundary(input.get(x, y, z))
+            };
+        }
+    });
     out
 }
 
@@ -130,10 +122,8 @@ pub fn par_run_batch_2d<T: Element, K: StencilOp2D<T>>(
     batch: &Batch2D<T>,
     iters: usize,
 ) -> Batch2D<T> {
-    let meshes: Vec<_> = (0..batch.batch())
-        .into_par_iter()
-        .map(|i| par_run_2d(k, &batch.mesh(i), iters))
-        .collect();
+    let meshes: Vec<_> =
+        (0..batch.batch()).into_par_iter().map(|i| par_run_2d(k, &batch.mesh(i), iters)).collect();
     Batch2D::from_meshes(&meshes)
 }
 
@@ -143,10 +133,8 @@ pub fn par_run_batch_3d<T: Element, K: StencilOp3D<T>>(
     batch: &Batch3D<T>,
     iters: usize,
 ) -> Batch3D<T> {
-    let meshes: Vec<_> = (0..batch.batch())
-        .into_par_iter()
-        .map(|i| par_run_3d(k, &batch.mesh(i), iters))
-        .collect();
+    let meshes: Vec<_> =
+        (0..batch.batch()).into_par_iter().map(|i| par_run_3d(k, &batch.mesh(i), iters)).collect();
     Batch3D::from_meshes(&meshes)
 }
 

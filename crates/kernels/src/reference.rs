@@ -105,9 +105,7 @@ pub fn run_batch_2d<T: Element, K: StencilOp2D<T>>(
     batch: &Batch2D<T>,
     iters: usize,
 ) -> Batch2D<T> {
-    let meshes: Vec<_> = (0..batch.batch())
-        .map(|i| run_2d(k, &batch.mesh(i), iters))
-        .collect();
+    let meshes: Vec<_> = (0..batch.batch()).map(|i| run_2d(k, &batch.mesh(i), iters)).collect();
     Batch2D::from_meshes(&meshes)
 }
 
@@ -117,9 +115,7 @@ pub fn run_batch_3d<T: Element, K: StencilOp3D<T>>(
     batch: &Batch3D<T>,
     iters: usize,
 ) -> Batch3D<T> {
-    let meshes: Vec<_> = (0..batch.batch())
-        .map(|i| run_3d(k, &batch.mesh(i), iters))
-        .collect();
+    let meshes: Vec<_> = (0..batch.batch()).map(|i| run_3d(k, &batch.mesh(i), iters)).collect();
     Batch3D::from_meshes(&meshes)
 }
 

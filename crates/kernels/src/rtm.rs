@@ -101,13 +101,7 @@ pub mod packed {
 
 /// 8th-order central second-derivative weights `w0, w1..w4`
 /// (`w0 = −205/72`, symmetric).
-pub const W2: [f32; 5] = [
-    -205.0 / 72.0,
-    8.0 / 5.0,
-    -1.0 / 5.0,
-    8.0 / 315.0,
-    -1.0 / 560.0,
-];
+pub const W2: [f32; 5] = [-205.0 / 72.0, 8.0 / 5.0, -1.0 / 5.0, 8.0 / 315.0, -1.0 / 560.0];
 
 /// 8th-order central first-derivative weights `w1..w4` (antisymmetric).
 pub const W1: [f32; 4] = [4.0 / 5.0, -1.0 / 5.0, 4.0 / 105.0, -1.0 / 280.0];
@@ -132,11 +126,7 @@ impl Default for RtmParams {
     fn default() -> Self {
         // Stable for |μ| ≤ 0.05, |ρ| ≤ 1 meshes (CFL margin ≈ 4× at dt=1e-3
         // given the ∇² weight sum ≈ 8.54 per dim).
-        RtmParams {
-            dt: 1e-3,
-            sigma: 0.05,
-            sigma2: 0.02,
-        }
+        RtmParams { dt: 1e-3, sigma: 0.05, sigma2: 0.02 }
     }
 }
 
@@ -147,7 +137,12 @@ impl Default for RtmParams {
 /// The floating-point evaluation order is fixed so every executor computes
 /// bit-identical results.
 #[inline]
-pub fn f_pml<F: Fn(i32, i32, i32) -> RtmPacked>(at: &F, rho: f32, mu: f32, prm: &RtmParams) -> [f32; 6] {
+pub fn f_pml<F: Fn(i32, i32, i32) -> RtmPacked>(
+    at: &F,
+    rho: f32,
+    mu: f32,
+    prm: &RtmParams,
+) -> [f32; 6] {
     #[inline(always)]
     fn t(at: &impl Fn(i32, i32, i32) -> RtmPacked, dx: i32, dy: i32, dz: i32, c: usize) -> f32 {
         at(dx, dy, dz).0[packed::T + c]
@@ -353,7 +348,11 @@ pub fn unpack(packed_mesh: &Mesh3D<RtmPacked>) -> Mesh3D<RtmState> {
 /// A deterministic, physically-plausible RTM workload: a Gaussian pressure
 /// pulse in the mesh center, smooth ρ and μ coefficient fields. Returns
 /// `(Y, ρ, μ)`.
-pub fn demo_workload(nx: usize, ny: usize, nz: usize) -> (Mesh3D<RtmState>, Mesh3D<f32>, Mesh3D<f32>) {
+pub fn demo_workload(
+    nx: usize,
+    ny: usize,
+    nz: usize,
+) -> (Mesh3D<RtmState>, Mesh3D<f32>, Mesh3D<f32>) {
     let (cx, cy, cz) = (nx as f32 / 2.0, ny as f32 / 2.0, nz as f32 / 2.0);
     let y = Mesh3D::from_fn(nx, ny, nz, |x, yy, z| {
         let r2 = (x as f32 - cx).powi(2) + (yy as f32 - cy).powi(2) + (z as f32 - cz).powi(2);
@@ -392,11 +391,7 @@ mod tests {
             e.0[packed::T + c] = 1.0;
         }
         let at = move |_: i32, _: i32, _: i32| e;
-        let prm = RtmParams {
-            dt: 1e-3,
-            sigma: 0.1,
-            sigma2: 0.05,
-        };
+        let prm = RtmParams { dt: 1e-3, sigma: 0.1, sigma2: 0.05 };
         let du = f_pml(&at, 2.0, 1.0, &prm);
         // dp = mu*lq + rho*psi - sigma*p ≈ 0 + 2 - 0.1
         assert!((du[0] - 1.9).abs() < 1e-4, "dp = {}", du[0]);
@@ -417,11 +412,7 @@ mod tests {
             e.0[packed::T + lane::Q] = x * x;
             e
         };
-        let prm = RtmParams {
-            dt: 1.0,
-            sigma: 0.0,
-            sigma2: 0.0,
-        };
+        let prm = RtmParams { dt: 1.0, sigma: 0.0, sigma2: 0.0 };
         // dp = mu * lap(q): with mu = 1 → should be ≈ 2
         let du = f_pml(&at, 0.0, 1.0, &prm);
         assert!((du[0] - 2.0).abs() < 1e-3, "lap8(x²) = {}", du[0]);
@@ -435,11 +426,7 @@ mod tests {
             e.0[packed::T + lane::P] = 3.0 * dx as f32;
             e
         };
-        let prm = RtmParams {
-            dt: 1.0,
-            sigma: 0.0,
-            sigma2: 0.0,
-        };
+        let prm = RtmParams { dt: 1.0, sigma: 0.0, sigma2: 0.0 };
         // dvx = rho * d1x(p): rho = 1 → 3
         let du = f_pml(&at, 1.0, 0.0, &prm);
         assert!((du[2] - 3.0).abs() < 1e-4, "d1(3x) = {}", du[2]);

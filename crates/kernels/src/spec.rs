@@ -250,7 +250,7 @@ mod tests {
         assert_eq!(s.elem_bytes, 2);
         assert_eq!(s.logical_rw_bytes, 4);
         assert_eq!(s.gdsp(), 6); // 4 adds + 2 muls at 1 DSP each
-        // round-trip back to fp32 restores everything
+                                 // round-trip back to fp32 restores everything
         let back = s.with_format(NumberFormat::Fp32);
         assert_eq!(back, StencilSpec::poisson());
 

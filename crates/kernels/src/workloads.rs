@@ -76,7 +76,11 @@ pub fn shot_batch_3d(n: usize, b: usize, seed: u64) -> Batch3D<f32> {
 
 /// The RTM seismic workload: Gaussian pressure pulse, smooth ρ/μ earth
 /// model (re-exported from [`crate::rtm::demo_workload`]).
-pub fn seismic_shot(nx: usize, ny: usize, nz: usize) -> (Mesh3D<RtmState>, Mesh3D<f32>, Mesh3D<f32>) {
+pub fn seismic_shot(
+    nx: usize,
+    ny: usize,
+    nz: usize,
+) -> (Mesh3D<RtmState>, Mesh3D<f32>, Mesh3D<f32>) {
     rtm::demo_workload(nx, ny, nz)
 }
 

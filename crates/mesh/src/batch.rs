@@ -27,12 +27,7 @@ impl<T: Element> Batch2D<T> {
     /// Create a batch of `b` zero meshes.
     pub fn zeros(nx: usize, ny: usize, b: usize) -> Self {
         assert!(nx > 0 && ny > 0 && b > 0, "batch dimensions must be positive");
-        Batch2D {
-            nx,
-            ny,
-            b,
-            data: vec![T::default(); nx * ny * b],
-        }
+        Batch2D { nx, ny, b, data: vec![T::default(); nx * ny * b] }
     }
 
     /// Build a batch from `b` individual meshes (all must share the shape).
@@ -50,9 +45,8 @@ impl<T: Element> Batch2D<T> {
 
     /// Deterministic random batch; mesh `i` uses `seed + i`.
     pub fn random(nx: usize, ny: usize, b: usize, seed: u64, lo: f32, hi: f32) -> Self {
-        let meshes: Vec<_> = (0..b)
-            .map(|i| Mesh2D::random(nx, ny, seed + i as u64, lo, hi))
-            .collect();
+        let meshes: Vec<_> =
+            (0..b).map(|i| Mesh2D::random(nx, ny, seed + i as u64, lo, hi)).collect();
         Self::from_meshes(&meshes)
     }
 
@@ -189,17 +183,8 @@ pub struct Batch3D<T: Element> {
 impl<T: Element> Batch3D<T> {
     /// Create a batch of `b` zero meshes.
     pub fn zeros(nx: usize, ny: usize, nz: usize, b: usize) -> Self {
-        assert!(
-            nx > 0 && ny > 0 && nz > 0 && b > 0,
-            "batch dimensions must be positive"
-        );
-        Batch3D {
-            nx,
-            ny,
-            nz,
-            b,
-            data: vec![T::default(); nx * ny * nz * b],
-        }
+        assert!(nx > 0 && ny > 0 && nz > 0 && b > 0, "batch dimensions must be positive");
+        Batch3D { nx, ny, nz, b, data: vec![T::default(); nx * ny * nz * b] }
     }
 
     /// Build a batch from individual meshes (all must share the shape).
@@ -216,18 +201,9 @@ impl<T: Element> Batch3D<T> {
     }
 
     /// Deterministic random batch; mesh `i` uses `seed + i`.
-    pub fn random(
-        nx: usize,
-        ny: usize,
-        nz: usize,
-        b: usize,
-        seed: u64,
-        lo: f32,
-        hi: f32,
-    ) -> Self {
-        let meshes: Vec<_> = (0..b)
-            .map(|i| Mesh3D::random(nx, ny, nz, seed + i as u64, lo, hi))
-            .collect();
+    pub fn random(nx: usize, ny: usize, nz: usize, b: usize, seed: u64, lo: f32, hi: f32) -> Self {
+        let meshes: Vec<_> =
+            (0..b).map(|i| Mesh3D::random(nx, ny, nz, seed + i as u64, lo, hi)).collect();
         Self::from_meshes(&meshes)
     }
 
@@ -386,7 +362,8 @@ mod tests {
         let a2 = Mesh2D::<f32>::random(8, 4, 3, 0.0, 1.0);
         let c1 = Mesh2D::<f32>::random(10, 2, 4, 0.0, 1.0);
         let a3 = Mesh2D::<f32>::random(8, 4, 5, 0.0, 1.0);
-        let groups = group_by_shape_2d(&[a1.clone(), b1.clone(), a2.clone(), c1.clone(), a3.clone()]);
+        let groups =
+            group_by_shape_2d(&[a1.clone(), b1.clone(), a2.clone(), c1.clone(), a3.clone()]);
         assert_eq!(groups.len(), 3);
         // first group: the 8×4 meshes, in order 0, 2, 4
         assert_eq!(groups[0].1, vec![0, 2, 4]);

@@ -33,11 +33,7 @@ impl<T: Element> Mesh2D<T> {
     /// Panics if either dimension is zero.
     pub fn zeros(nx: usize, ny: usize) -> Self {
         assert!(nx > 0 && ny > 0, "mesh dimensions must be positive");
-        Mesh2D {
-            nx,
-            ny,
-            data: vec![T::default(); nx * ny],
-        }
+        Mesh2D { nx, ny, data: vec![T::default(); nx * ny] }
     }
 
     /// Create a mesh filled by `f(x, y)`.
@@ -144,10 +140,7 @@ impl<T: Element> Mesh2D<T> {
     /// Iterate `(x, y, value)` over all points in streaming (row-major) order.
     pub fn iter_points(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
         let nx = self.nx;
-        self.data
-            .iter()
-            .enumerate()
-            .map(move |(i, &v)| (i % nx, i / nx, v))
+        self.data.iter().enumerate().map(move |(i, &v)| (i % nx, i / nx, v))
     }
 
     /// `true` if every lane of every element is finite.

@@ -24,12 +24,7 @@ impl<T: Element> Mesh3D<T> {
     /// Panics if any dimension is zero.
     pub fn zeros(nx: usize, ny: usize, nz: usize) -> Self {
         assert!(nx > 0 && ny > 0 && nz > 0, "mesh dimensions must be positive");
-        Mesh3D {
-            nx,
-            ny,
-            nz,
-            data: vec![T::default(); nx * ny * nz],
-        }
+        Mesh3D { nx, ny, nz, data: vec![T::default(); nx * ny * nz] }
     }
 
     /// Create a mesh filled by `f(x, y, z)`.
@@ -133,12 +128,7 @@ impl<T: Element> Mesh3D<T> {
     /// `true` when `(x, y, z)` is at least `r` cells from every boundary.
     #[inline]
     pub fn is_interior(&self, x: usize, y: usize, z: usize, r: usize) -> bool {
-        x >= r
-            && y >= r
-            && z >= r
-            && x + r < self.nx
-            && y + r < self.ny
-            && z + r < self.nz
+        x >= r && y >= r && z >= r && x + r < self.nx && y + r < self.ny && z + r < self.nz
     }
 
     /// `true` if every lane of every element is finite.
@@ -168,10 +158,7 @@ impl<T: Element> Mesh3D<T> {
     ) {
         assert_eq!(src.nz, self.nz, "tile must span full z extent");
         assert!(vx0 + vw <= src.nx && vy0 + vh <= src.ny, "valid region out of src");
-        assert!(
-            x0 + vx0 + vw <= self.nx && y0 + vy0 + vh <= self.ny,
-            "insert out of bounds"
-        );
+        assert!(x0 + vx0 + vw <= self.nx && y0 + vy0 + vh <= self.ny, "insert out of bounds");
         for z in 0..self.nz {
             for y in vy0..vy0 + vh {
                 for x in vx0..vx0 + vw {
@@ -190,10 +177,7 @@ mod tests {
     #[test]
     fn layout_x_fastest_z_slowest() {
         let m = Mesh3D::<f32>::from_fn(2, 2, 2, |x, y, z| (z * 100 + y * 10 + x) as f32);
-        assert_eq!(
-            m.as_slice(),
-            &[0.0, 1.0, 10.0, 11.0, 100.0, 101.0, 110.0, 111.0]
-        );
+        assert_eq!(m.as_slice(), &[0.0, 1.0, 10.0, 11.0, 100.0, 101.0, 110.0, 111.0]);
         assert_eq!(m.get(1, 0, 1), 101.0);
     }
 

@@ -42,9 +42,9 @@ pub fn bit_equal<T: Element>(a: &[T], b: &[T]) -> bool {
     if a.len() != b.len() {
         return false;
     }
-    a.iter().zip(b).all(|(ea, eb)| {
-        (0..T::LANES).all(|c| ea.lane(c).to_bits() == eb.lane(c).to_bits())
-    })
+    a.iter()
+        .zip(b)
+        .all(|(ea, eb)| (0..T::LANES).all(|c| ea.lane(c).to_bits() == eb.lane(c).to_bits()))
 }
 
 /// Max-norm over a whole mesh (largest absolute lane value).

@@ -104,9 +104,8 @@ mod tests {
 
     #[test]
     fn stats_counts_vector_lanes() {
-        let m = Mesh3D::<VecN<3>>::from_fn(2, 1, 1, |x, _, _| {
-            VecN::new([x as f32, -(x as f32), 2.0])
-        });
+        let m =
+            Mesh3D::<VecN<3>>::from_fn(2, 1, 1, |x, _, _| VecN::new([x as f32, -(x as f32), 2.0]));
         let s = stats_3d(&m);
         assert_eq!(s.lanes, 6);
         assert_eq!(s.min, -1.0);

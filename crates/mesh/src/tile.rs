@@ -86,10 +86,7 @@ impl TileGrid1D {
     pub fn new(extent: usize, tile: usize, halo: usize, align: usize) -> Self {
         assert!(extent > 0, "extent must be positive");
         assert!(align > 0, "alignment must be positive");
-        assert!(
-            tile > 2 * halo,
-            "tile size {tile} must exceed twice the halo {halo} (M > pD)"
-        );
+        assert!(tile > 2 * halo, "tile size {tile} must exceed twice the halo {halo} (M > pD)");
         let step = tile - 2 * halo;
         let mut tiles = Vec::new();
         let mut vstart = 0usize;
@@ -110,13 +107,7 @@ impl TileGrid1D {
             });
             vstart = vend;
         }
-        TileGrid1D {
-            extent,
-            tile,
-            halo,
-            align,
-            tiles,
-        }
+        TileGrid1D { extent, tile, halo, align, tiles }
     }
 
     /// The tiles, in ascending order.
@@ -192,7 +183,14 @@ impl TileGrid2D {
     /// Decompose an `nx × ny` domain into `tile_m × tile_n` blocks with the
     /// same halo on both axes. Only the `x` axis needs AXI alignment (it is
     /// the contiguous one); `y` tiles align to 1.
-    pub fn new(nx: usize, ny: usize, tile_m: usize, tile_n: usize, halo: usize, align: usize) -> Self {
+    pub fn new(
+        nx: usize,
+        ny: usize,
+        tile_m: usize,
+        tile_n: usize,
+        halo: usize,
+        align: usize,
+    ) -> Self {
         TileGrid2D {
             gx: TileGrid1D::new(nx, tile_m, halo, align),
             gy: TileGrid1D::new(ny, tile_n, halo, 1),
@@ -201,9 +199,10 @@ impl TileGrid2D {
 
     /// Iterate all tiles in row-major (y-outer) order.
     pub fn tiles(&self) -> impl Iterator<Item = Tile2D> + '_ {
-        self.gy.tiles().iter().flat_map(move |&ty| {
-            self.gx.tiles().iter().map(move |&tx| Tile2D { x: tx, y: ty })
-        })
+        self.gy
+            .tiles()
+            .iter()
+            .flat_map(move |&ty| self.gx.tiles().iter().map(move |&tx| Tile2D { x: tx, y: ty }))
     }
 
     /// Number of tiles.

@@ -109,22 +109,25 @@ pub fn accuracy_suite(dev: &FpgaDevice) -> AccuracyStats {
 
     // ---- Poisson-5pt-2D ----
     let ps = StencilSpec::poisson();
-    let meshes2d = [(200usize, 100usize), (200, 200), (300, 150), (300, 300), (400, 200), (400, 400)];
+    let meshes2d =
+        [(200usize, 100usize), (200, 200), (300, 150), (300, 300), (400, 200), (400, 400)];
     for &(nx, ny) in &meshes2d {
         let wl = Workload::D2 { nx, ny, batch: 1 };
         let ds = synthesize(dev, &ps, 8, 60, ExecMode::Baseline, MemKind::Hbm, &wl).unwrap();
         eval(dev, &format!("poisson base {nx}x{ny}"), &ds, &wl, 60_000, &mut stats);
         for b in [100usize, 1000] {
             let wlb = Workload::D2 { nx, ny, batch: b };
-            let dsb = synthesize(dev, &ps, 8, 60, ExecMode::Batched { b }, MemKind::Hbm, &wlb).unwrap();
+            let dsb =
+                synthesize(dev, &ps, 8, 60, ExecMode::Batched { b }, MemKind::Hbm, &wlb).unwrap();
             eval(dev, &format!("poisson {b}B {nx}x{ny}"), &dsb, &wlb, 60_000, &mut stats);
         }
     }
     for &n in &[15_000usize, 20_000] {
         for &tile in &[1024usize, 4096, 8000] {
             let wl = Workload::D2 { nx: n, ny: n, batch: 1 };
-            let ds = synthesize(dev, &ps, 8, 60, ExecMode::Tiled1D { tile_m: tile }, MemKind::Ddr4, &wl)
-                .unwrap();
+            let ds =
+                synthesize(dev, &ps, 8, 60, ExecMode::Tiled1D { tile_m: tile }, MemKind::Ddr4, &wl)
+                    .unwrap();
             eval(dev, &format!("poisson tiled {n}² M={tile}"), &ds, &wl, 6_000, &mut stats);
         }
     }
@@ -139,18 +142,35 @@ pub fn accuracy_suite(dev: &FpgaDevice) -> AccuracyStats {
     for &n in &[50usize, 100, 200] {
         for b in [10usize, 50] {
             let wl = Workload::D3 { nx: n, ny: n, nz: n, batch: b };
-            let ds = synthesize(dev, &js, 8, 29, ExecMode::Batched { b }, MemKind::Hbm, &wl).unwrap();
+            let ds =
+                synthesize(dev, &js, 8, 29, ExecMode::Batched { b }, MemKind::Hbm, &wl).unwrap();
             eval(dev, &format!("jacobi {b}B {n}³"), &ds, &wl, 2_900, &mut stats);
         }
     }
     for &tile in &[256usize, 512, 640] {
         let wl = Workload::D3 { nx: 600, ny: 600, nz: 600, batch: 1 };
-        let ds = synthesize(dev, &js, 64, 3, ExecMode::Tiled2D { tile_m: tile, tile_n: tile }, MemKind::Hbm, &wl)
-            .unwrap();
+        let ds = synthesize(
+            dev,
+            &js,
+            64,
+            3,
+            ExecMode::Tiled2D { tile_m: tile, tile_n: tile },
+            MemKind::Hbm,
+            &wl,
+        )
+        .unwrap();
         eval(dev, &format!("jacobi tiled 600³ M={tile}"), &ds, &wl, 120, &mut stats);
         let wl2 = Workload::D3 { nx: 1800, ny: 1800, nz: 100, batch: 1 };
-        let ds2 = synthesize(dev, &js, 64, 3, ExecMode::Tiled2D { tile_m: tile, tile_n: tile }, MemKind::Hbm, &wl2)
-            .unwrap();
+        let ds2 = synthesize(
+            dev,
+            &js,
+            64,
+            3,
+            ExecMode::Tiled2D { tile_m: tile, tile_n: tile },
+            MemKind::Hbm,
+            &wl2,
+        )
+        .unwrap();
         eval(dev, &format!("jacobi tiled 1800²x100 M={tile}"), &ds2, &wl2, 120, &mut stats);
     }
 
@@ -160,8 +180,8 @@ pub fn accuracy_suite(dev: &FpgaDevice) -> AccuracyStats {
         for (nx, ny) in [(512usize, 256usize), (2000, 1000)] {
             let wl = Workload::D2 { nx, ny, batch: 1 };
             let v = 8;
-            let p = crate::equations::p_dsp(dev.dsp_total, dev.dsp_util_target, v, heat.gdsp())
-                .min(32);
+            let p =
+                crate::equations::p_dsp(dev.dsp_total, dev.dsp_util_target, v, heat.gdsp()).min(32);
             let ds = synthesize(dev, &heat, v, p, ExecMode::Baseline, MemKind::Hbm, &wl).unwrap();
             eval(dev, &format!("heat9 base {nx}x{ny}"), &ds, &wl, 5_000, &mut stats);
         }
@@ -173,14 +193,16 @@ pub fn accuracy_suite(dev: &FpgaDevice) -> AccuracyStats {
 
     // ---- RTM ----
     let rs = StencilSpec::rtm();
-    let rtm_meshes = [(32usize, 32usize, 32usize), (32, 32, 50), (50, 50, 16), (50, 50, 32), (50, 50, 50)];
+    let rtm_meshes =
+        [(32usize, 32usize, 32usize), (32, 32, 50), (50, 50, 16), (50, 50, 32), (50, 50, 50)];
     for &(nx, ny, nz) in &rtm_meshes {
         let wl = Workload::D3 { nx, ny, nz, batch: 1 };
         let ds = synthesize(dev, &rs, 1, 3, ExecMode::Baseline, MemKind::Hbm, &wl).unwrap();
         eval(dev, &format!("rtm base {nx}x{ny}x{nz}"), &ds, &wl, 1_800, &mut stats);
         for b in [20usize, 40] {
             let wlb = Workload::D3 { nx, ny, nz, batch: b };
-            let dsb = synthesize(dev, &rs, 1, 3, ExecMode::Batched { b }, MemKind::Hbm, &wlb).unwrap();
+            let dsb =
+                synthesize(dev, &rs, 1, 3, ExecMode::Batched { b }, MemKind::Hbm, &wlb).unwrap();
             eval(dev, &format!("rtm {b}B {nx}x{ny}x{nz}"), &dsb, &wlb, 180, &mut stats);
         }
     }
@@ -198,11 +220,7 @@ mod tests {
         let stats = accuracy_suite(&dev);
         assert!(stats.cases.len() > 50, "suite covers the full evaluation section");
         let frac = stats.frac_within(15.0, PredictionLevel::Extended);
-        assert!(
-            frac >= 0.85,
-            "extended model within ±15 % on only {:.0} % of cases",
-            frac * 100.0
-        );
+        assert!(frac >= 0.85, "extended model within ±15 % on only {:.0} % of cases", frac * 100.0);
     }
 
     #[test]
@@ -214,11 +232,7 @@ mod tests {
         assert!(frac_ext >= frac_ideal, "extended must not be worse overall");
         // the latency-dominated small baselines must exceed ±15 % under the
         // pure equations (the gap the overhead calibration exists to close)
-        let small = stats
-            .cases
-            .iter()
-            .find(|c| c.label == "poisson base 200x100")
-            .unwrap();
+        let small = stats.cases.iter().find(|c| c.label == "poisson base 200x100").unwrap();
         assert!(small.ideal_err_pct().abs() > 15.0);
     }
 

@@ -41,7 +41,12 @@ pub fn recommended_tile_2d(dev: &FpgaDevice, spec: &StencilSpec, v: usize, p: us
 /// Recommended square 3D tile `(M, N)` for a `(V, p)` design: one URAM per
 /// lane per plane buffer (the routing-friendly single-block banking the
 /// paper's designs use), `M` rounded down to a multiple of `V`.
-pub fn recommended_tile_3d(dev: &FpgaDevice, spec: &StencilSpec, v: usize, p: usize) -> (usize, usize) {
+pub fn recommended_tile_3d(
+    dev: &FpgaDevice,
+    spec: &StencilSpec,
+    v: usize,
+    p: usize,
+) -> (usize, usize) {
     assert_eq!(spec.dims, 3);
     let lane_plane_cells = dev.uram_block_bytes / spec.window_elem_bytes;
     let plane_cells = lane_plane_cells * v;
@@ -110,15 +115,7 @@ pub fn blocking_plan(dev: &FpgaDevice, spec: &StencilSpec, v: usize) -> Blocking
     } else {
         equations::t3d(m as f64, 1e12, p as f64, spec.order as f64, dsp, spec.gdsp() as f64)
     };
-    BlockingPlan {
-        m_continuous,
-        m,
-        n,
-        p_throughput_opt,
-        p,
-        m_required_for_p,
-        throughput,
-    }
+    BlockingPlan { m_continuous, m, n, p_throughput_opt, p, m_required_for_p, throughput }
 }
 
 #[cfg(test)]

@@ -80,11 +80,7 @@ pub fn explore(
             .min(opts.max_p);
         for p in 1..=p_cap {
             // whole-mesh (baseline/batched) candidate
-            let mode = if batch > 1 {
-                ExecMode::Batched { b: batch }
-            } else {
-                ExecMode::Baseline
-            };
+            let mode = if batch > 1 { ExecMode::Batched { b: batch } } else { ExecMode::Baseline };
             if let Ok(design) = synthesize(dev, spec, v, p, mode, opts.mem, wl) {
                 out.push(candidate(dev, design, wl, niter));
             }
@@ -121,9 +117,7 @@ pub fn explore(
         }
     }
     out.sort_by(|a, b| {
-        a.planned_runtime_s
-            .partial_cmp(&b.planned_runtime_s)
-            .expect("runtimes are finite")
+        a.planned_runtime_s.partial_cmp(&b.planned_runtime_s).expect("runtimes are finite")
     });
     out
 }
@@ -131,11 +125,7 @@ pub fn explore(
 fn candidate(dev: &FpgaDevice, design: StencilDesign, wl: &Workload, niter: u64) -> Candidate {
     let prediction = predict(dev, &design, wl, niter, PredictionLevel::Extended);
     let planned_runtime_s = sf_fpga::cycles::plan(dev, &design, wl, niter).runtime_s;
-    Candidate {
-        design,
-        prediction,
-        planned_runtime_s,
-    }
+    Candidate { design, prediction, planned_runtime_s }
 }
 
 /// The single best candidate, if any design is feasible.
@@ -175,8 +165,9 @@ mod tests {
             best.design.p
         );
         assert_eq!(best.design.spec.app, AppId::Poisson2D);
-        let paper = synthesize(&d, &StencilSpec::poisson(), 8, 60, ExecMode::Baseline, MemKind::Hbm, &wl)
-            .unwrap();
+        let paper =
+            synthesize(&d, &StencilSpec::poisson(), 8, 60, ExecMode::Baseline, MemKind::Hbm, &wl)
+                .unwrap();
         let paper_plan = sf_fpga::cycles::plan(&d, &paper, &wl, 60_000);
         assert!(best.planned_runtime_s <= paper_plan.runtime_s * 1.001);
     }

@@ -212,13 +212,13 @@ mod tests {
 
     #[test]
     fn eq15_inverse_selects_paper_scale_batches() {
-        // Poisson 200×100, p=60, D=2: fill = 60 rows vs 100 data rows.
-        // 99% efficiency needs B ≥ 60·0.99/(2·0.01·100) ≈ 30
+        // Poisson 200×100, p=60, D=2: fill = p·D/2 = 60 rows vs 100 data rows.
+        // 99% efficiency needs B ≥ 120·0.99/(2·0.01·100) = 59.4 → 60
         let b99 = batch_for_efficiency(100, 60, 2, 0.99);
-        assert_eq!(b99, 30);
-        // 99.9% needs ≈ 300 — between the paper's 100B and 1000B points
+        assert_eq!(b99, 60);
+        // 99.9% needs ≈ 600 — between the paper's 100B and 1000B points
         let b999 = batch_for_efficiency(100, 60, 2, 0.999);
-        assert!((250..=350).contains(&b999), "B = {b999}");
+        assert!((550..=650).contains(&b999), "B = {b999}");
         // the chosen B indeed delivers the promised efficiency
         let per_mesh = clks_2d_batched_mesh(200, 100, b99, 60, 8, 2);
         let ideal = 25.0 * 100.0;

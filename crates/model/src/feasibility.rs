@@ -24,7 +24,8 @@ pub fn nominal_v(dev: &FpgaDevice, spec: &StencilSpec, mem: MemKind) -> usize {
         MemKind::Hbm => 2,
         MemKind::Ddr4 => 1,
     };
-    let vmax = equations::v_max(mem_spec.channel_bw, channels, dev.default_clock_hz, spec.elem_bytes);
+    let vmax =
+        equations::v_max(mem_spec.channel_bw, channels, dev.default_clock_hz, spec.elem_bytes);
     if vmax == 0 {
         1
     } else {
@@ -174,7 +175,8 @@ mod tests {
     #[test]
     fn ddr4_limits_v_harder_than_hbm() {
         let hbm = FeasibilityReport::analyze(&dev(), &StencilSpec::poisson(), 8, 400, MemKind::Hbm);
-        let ddr = FeasibilityReport::analyze(&dev(), &StencilSpec::poisson(), 8, 400, MemKind::Ddr4);
+        let ddr =
+            FeasibilityReport::analyze(&dev(), &StencilSpec::poisson(), 8, 400, MemKind::Ddr4);
         assert!(ddr.v_max_bandwidth < hbm.v_max_bandwidth);
         assert_eq!(ddr.v_max_bandwidth, 8, "paper: V = 8 on a single DDR4 channel");
     }

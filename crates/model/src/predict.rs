@@ -88,16 +88,10 @@ fn shape(dev: &FpgaDevice, design: &StencilDesign, wl: &Workload) -> StreamShape
             let mut segments = Vec::new();
             for ty in gy.tiles() {
                 for tx in gx.tiles() {
-                    segments.push((
-                        (nz as u64 + fill) * ty.read_len as u64,
-                        tx.read_len as u64,
-                    ));
+                    segments.push(((nz as u64 + fill) * ty.read_len as u64, tx.read_len as u64));
                 }
             }
-            StreamShape {
-                segments,
-                per_segment_overhead: dev.axi_latency_cycles as u64,
-            }
+            StreamShape { segments, per_segment_overhead: dev.axi_latency_cycles as u64 }
         }
         _ => unreachable!("synthesis rejects mismatched mode/workload"),
     }
@@ -136,20 +130,15 @@ pub fn predict(
         runtime_s += passes as f64 * dev.host_call_latency_s;
     }
     let logical = niter * wl.total_cells() * design.spec.logical_rw_bytes as u64;
-    Prediction {
-        level,
-        cycles,
-        runtime_s,
-        bandwidth_gbs: logical as f64 / runtime_s / 1.0e9,
-    }
+    Prediction { level, cycles, runtime_s, bandwidth_gbs: logical as f64 / runtime_s / 1.0e9 }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::equations;
-    use sf_fpga::design::{synthesize, MemKind};
     use sf_fpga::cycles;
+    use sf_fpga::design::{synthesize, MemKind};
     use sf_kernels::StencilSpec;
 
     fn dev() -> FpgaDevice {
@@ -160,8 +149,9 @@ mod tests {
     fn ideal_matches_eq2_exactly() {
         let d = dev();
         let wl = Workload::D2 { nx: 200, ny: 100, batch: 1 };
-        let ds = synthesize(&d, &StencilSpec::poisson(), 8, 60, ExecMode::Baseline, MemKind::Hbm, &wl)
-            .unwrap();
+        let ds =
+            synthesize(&d, &StencilSpec::poisson(), 8, 60, ExecMode::Baseline, MemKind::Hbm, &wl)
+                .unwrap();
         let pr = predict(&d, &ds, &wl, 60_000, PredictionLevel::Ideal);
         assert_eq!(pr.cycles, equations::clks_2d(60_000, 60, 200, 100, 8, 2));
     }
@@ -170,8 +160,9 @@ mod tests {
     fn ideal_matches_eq3_exactly() {
         let d = dev();
         let wl = Workload::D3 { nx: 100, ny: 100, nz: 100, batch: 1 };
-        let ds = synthesize(&d, &StencilSpec::jacobi(), 8, 29, ExecMode::Baseline, MemKind::Hbm, &wl)
-            .unwrap();
+        let ds =
+            synthesize(&d, &StencilSpec::jacobi(), 8, 29, ExecMode::Baseline, MemKind::Hbm, &wl)
+                .unwrap();
         let pr = predict(&d, &ds, &wl, 29_000, PredictionLevel::Ideal);
         assert_eq!(pr.cycles, equations::clks_3d(29_000, 29, 100, 100, 100, 8, 2));
     }
@@ -180,8 +171,9 @@ mod tests {
     fn extended_dominates_ideal() {
         let d = dev();
         let wl = Workload::D2 { nx: 200, ny: 100, batch: 1 };
-        let ds = synthesize(&d, &StencilSpec::poisson(), 8, 60, ExecMode::Baseline, MemKind::Hbm, &wl)
-            .unwrap();
+        let ds =
+            synthesize(&d, &StencilSpec::poisson(), 8, 60, ExecMode::Baseline, MemKind::Hbm, &wl)
+                .unwrap();
         let i = predict(&d, &ds, &wl, 60_000, PredictionLevel::Ideal);
         let e = predict(&d, &ds, &wl, 60_000, PredictionLevel::Extended);
         assert!(e.runtime_s > i.runtime_s);
@@ -196,7 +188,8 @@ mod tests {
         for (nx, ny, b) in [(200usize, 100usize, 1usize), (400, 400, 1), (200, 100, 100)] {
             let wl = Workload::D2 { nx, ny, batch: b };
             let mode = if b == 1 { ExecMode::Baseline } else { ExecMode::Batched { b } };
-            let ds = synthesize(&d, &StencilSpec::poisson(), 8, 60, mode, MemKind::Hbm, &wl).unwrap();
+            let ds =
+                synthesize(&d, &StencilSpec::poisson(), 8, 60, mode, MemKind::Hbm, &wl).unwrap();
             let e = predict(&d, &ds, &wl, 6000, PredictionLevel::Extended);
             let plan = cycles::plan(&d, &ds, &wl, 6000);
             assert_eq!(e.cycles, plan.total_cycles, "{nx}x{ny} b={b}");
@@ -241,8 +234,9 @@ mod tests {
     fn batching_prediction_improves_bandwidth() {
         let d = dev();
         let solo = Workload::D2 { nx: 200, ny: 100, batch: 1 };
-        let ds1 = synthesize(&d, &StencilSpec::poisson(), 8, 60, ExecMode::Baseline, MemKind::Hbm, &solo)
-            .unwrap();
+        let ds1 =
+            synthesize(&d, &StencilSpec::poisson(), 8, 60, ExecMode::Baseline, MemKind::Hbm, &solo)
+                .unwrap();
         let b1 = predict(&d, &ds1, &solo, 60_000, PredictionLevel::Extended).bandwidth_gbs;
         let batched = Workload::D2 { nx: 200, ny: 100, batch: 1000 };
         let ds2 = synthesize(

@@ -1,0 +1,92 @@
+//! Predicted-vs-simulated cycle divergence — the paper's model-accuracy
+//! claim (predictions within ±15 % of achieved) turned into a continuous,
+//! per-run invariant instead of a one-off table.
+
+use serde::{Deserialize, Serialize};
+
+/// Cycle counts from the analytic model and from the simulated schedule
+/// for the same (device, design, workload) run.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Divergence {
+    pub predicted_cycles: u64,
+    pub simulated_cycles: u64,
+}
+
+impl Divergence {
+    pub fn new(predicted_cycles: u64, simulated_cycles: u64) -> Self {
+        Divergence { predicted_cycles, simulated_cycles }
+    }
+
+    /// Signed divergence in percent: positive when the model
+    /// under-predicts (simulation ran longer than predicted).
+    pub fn pct(&self) -> f64 {
+        if self.predicted_cycles == 0 {
+            return if self.simulated_cycles == 0 { 0.0 } else { f64::INFINITY };
+        }
+        (self.simulated_cycles as f64 - self.predicted_cycles as f64) / self.predicted_cycles as f64
+            * 100.0
+    }
+
+    pub fn abs_pct(&self) -> f64 {
+        self.pct().abs()
+    }
+
+    /// True when the divergence is within `tol_pct` percent — the paper's
+    /// headline tolerance is 15.0.
+    pub fn within(&self, tol_pct: f64) -> bool {
+        self.abs_pct() <= tol_pct
+    }
+
+    /// One-line human summary, emitted after every simulated run.
+    pub fn summary(&self) -> String {
+        format!(
+            "model divergence: predicted {} cycles, simulated {} cycles ({:+.2}%)",
+            self.predicted_cycles,
+            self.simulated_cycles,
+            self.pct()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_is_zero() {
+        let d = Divergence::new(1000, 1000);
+        assert_eq!(d.pct(), 0.0);
+        assert!(d.within(15.0));
+        assert!(d.within(0.0));
+    }
+
+    #[test]
+    fn sign_convention() {
+        // Simulation slower than prediction => positive.
+        assert!(Divergence::new(1000, 1100).pct() > 0.0);
+        assert!(Divergence::new(1000, 900).pct() < 0.0);
+    }
+
+    #[test]
+    fn tolerance_boundary() {
+        let d = Divergence::new(1000, 1150);
+        assert!((d.pct() - 15.0).abs() < 1e-12);
+        assert!(d.within(15.0));
+        assert!(!Divergence::new(1000, 1151).within(15.0));
+    }
+
+    #[test]
+    fn zero_prediction_guard() {
+        assert_eq!(Divergence::new(0, 0).pct(), 0.0);
+        assert!(Divergence::new(0, 5).pct().is_infinite());
+        assert!(!Divergence::new(0, 5).within(15.0));
+    }
+
+    #[test]
+    fn summary_mentions_both_counts() {
+        let s = Divergence::new(200, 230).summary();
+        assert!(s.contains("200"));
+        assert!(s.contains("230"));
+        assert!(s.contains('%'));
+    }
+}

@@ -1,0 +1,29 @@
+//! # sf-telemetry — cycle-stamped observability for the simulated accelerator
+//!
+//! The simulator is deterministic: every pass, tile, FIFO push and AXI burst
+//! happens at a cycle computed by the performance plan, not at a wall-clock
+//! instant. Telemetry therefore stamps events with **model cycles**, which
+//! makes traces exactly reproducible and lets exporters convert to
+//! wall-time units using the design's clock.
+//!
+//! Pieces:
+//!
+//! - [`Recorder`] — typed counters, gauges and spans, grouped into named
+//!   tracks (one per stage / FIFO / AXI channel). A disabled recorder costs
+//!   a single branch per call, so instrumented hot paths stay free when
+//!   profiling is off.
+//! - [`chrome`] — Chrome trace-event JSON exporter (loadable in Perfetto /
+//!   `chrome://tracing`), one track per stage/FIFO/channel.
+//! - [`metrics`] — flat JSON metrics dump for scripting.
+//! - [`Divergence`] — predicted-vs-simulated cycle monitor backing the
+//!   paper's ±15 % model-accuracy claim as a continuous invariant.
+//! - [`StallBreakdown`] — compute / memory / backpressure attribution,
+//!   cross-checked against the plan's per-segment `RowBound`.
+
+pub mod chrome;
+pub mod divergence;
+pub mod metrics;
+pub mod recorder;
+
+pub use divergence::Divergence;
+pub use recorder::{Recorder, SpanEvent, StallBreakdown, StallClass, TrackId};

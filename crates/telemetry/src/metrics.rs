@@ -1,0 +1,127 @@
+//! Flat JSON metrics dump — the scripting-friendly counterpart to the
+//! Chrome trace. One object, stable keys, no nesting deeper than two
+//! levels, so `jq .counters` / `jq .stalls` pipelines stay trivial.
+
+use crate::recorder::Recorder;
+use serde::{Serialize, Value};
+
+fn obj(fields: Vec<(String, Value)>) -> Value {
+    Value::Object(fields)
+}
+
+/// Build the metrics object:
+///
+/// ```json
+/// {
+///   "meta":      { "app": "poisson", ... },
+///   "counters":  { "fifo.stalls": 0, ... },
+///   "stalls":    { "compute_cycles": ..., "memory_cycles": ...,
+///                  "backpressure_cycles": ..., "dominant": "Compute" },
+///   "tracks":    { "stage:0": { "spans": 3, "busy_cycles": 900 }, ... },
+///   "divergence": { "predicted_cycles": ..., "simulated_cycles": ...,
+///                   "pct": ..., "within_15pct": true },
+///   "max_cycle": 12345
+/// }
+/// ```
+pub fn metrics(rec: &Recorder) -> Value {
+    let mut fields: Vec<(String, Value)> = Vec::new();
+
+    fields.push(("meta".into(), Value::Object(rec.meta().to_vec())));
+
+    let counters: Vec<(String, Value)> =
+        rec.counters().iter().map(|(k, v)| (k.clone(), Value::U64(*v))).collect();
+    fields.push(("counters".into(), Value::Object(counters)));
+
+    let b = rec.stall_breakdown();
+    fields.push((
+        "stalls".into(),
+        obj(vec![
+            ("compute_cycles".into(), Value::U64(b.compute_cycles)),
+            ("memory_cycles".into(), Value::U64(b.memory_cycles)),
+            ("backpressure_cycles".into(), Value::U64(b.backpressure_cycles)),
+            ("dominant".into(), b.dominant().to_value()),
+        ]),
+    ));
+
+    let tracks: Vec<(String, Value)> = rec
+        .track_names()
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let id = crate::recorder::TrackId(i as u32);
+            let spans = rec.spans().iter().filter(|s| s.track == id).count();
+            (
+                name.clone(),
+                obj(vec![
+                    ("spans".into(), Value::U64(spans as u64)),
+                    ("busy_cycles".into(), Value::U64(rec.track_span_cycles(id))),
+                ]),
+            )
+        })
+        .collect();
+    fields.push(("tracks".into(), Value::Object(tracks)));
+
+    if let Some(d) = rec.divergence() {
+        fields.push((
+            "divergence".into(),
+            obj(vec![
+                ("predicted_cycles".into(), Value::U64(d.predicted_cycles)),
+                ("simulated_cycles".into(), Value::U64(d.simulated_cycles)),
+                ("pct".into(), Value::F64(d.pct())),
+                ("within_15pct".into(), Value::Bool(d.within(15.0))),
+            ]),
+        ));
+    }
+
+    fields.push(("max_cycle".into(), Value::U64(rec.max_cycle())));
+    Value::Object(fields)
+}
+
+/// Pretty-printed metrics dump.
+pub fn to_metrics_json(rec: &Recorder) -> String {
+    serde_json::to_string_pretty(&metrics(rec)).expect("metrics serialization cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::divergence::Divergence;
+    use crate::recorder::{Recorder, StallClass};
+
+    #[test]
+    fn metrics_shape() {
+        let mut r = Recorder::enabled(300.0);
+        let t = r.track("stage:0");
+        r.span(t, "pass 0", 0, 300);
+        r.counter_add("fifo.total_pushes", 9);
+        r.stall(StallClass::Memory, 120);
+        r.set_divergence(Divergence::new(1000, 1050));
+        r.set_meta("app", Value::String("jacobi".into()));
+
+        let m = metrics(&r);
+        assert_eq!(
+            m.get("meta").and_then(|x| x.get("app")).and_then(|x| x.as_str()),
+            Some("jacobi")
+        );
+        assert_eq!(
+            m.get("counters").and_then(|c| c.get("fifo.total_pushes")).and_then(|v| v.as_u64()),
+            Some(9)
+        );
+        assert_eq!(
+            m.get("stalls").and_then(|s| s.get("memory_cycles")).and_then(|v| v.as_u64()),
+            Some(120)
+        );
+        assert_eq!(
+            m.get("tracks")
+                .and_then(|t| t.get("stage:0"))
+                .and_then(|t| t.get("busy_cycles"))
+                .and_then(|v| v.as_u64()),
+            Some(300)
+        );
+        let d = m.get("divergence").unwrap();
+        assert_eq!(d.get("within_15pct").and_then(|v| v.as_bool()), Some(true));
+        // Round-trips through the JSON writer/parser.
+        let s = to_metrics_json(&r);
+        assert!(serde_json::parse_value(&s).is_ok());
+    }
+}

@@ -1,0 +1,399 @@
+//! The event recorder: tracks, spans, counters, gauges and stall
+//! attribution, all stamped in model cycles.
+
+use crate::divergence::Divergence;
+use serde::{Deserialize, Serialize, Value};
+use std::collections::BTreeMap;
+
+/// Interned handle for a named track (stage, FIFO, AXI channel, …).
+///
+/// Tracks map to trace-viewer threads in the Chrome exporter, so each
+/// pipeline component gets its own swimlane.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TrackId(pub u32);
+
+/// A closed interval of model cycles on one track.
+#[derive(Clone, Debug, Serialize)]
+pub struct SpanEvent {
+    pub track: TrackId,
+    pub name: String,
+    pub start_cycle: u64,
+    pub end_cycle: u64,
+    pub args: Vec<(String, Value)>,
+}
+
+impl SpanEvent {
+    pub fn duration(&self) -> u64 {
+        self.end_cycle.saturating_sub(self.start_cycle)
+    }
+}
+
+/// A point event on a track (e.g. "buffer primed").
+#[derive(Clone, Debug, Serialize)]
+pub struct InstantEvent {
+    pub track: TrackId,
+    pub name: String,
+    pub cycle: u64,
+}
+
+/// One sample of a time-varying quantity (FIFO occupancy, burst
+/// utilisation, …). Rendered as a counter track by the Chrome exporter.
+#[derive(Clone, Debug, Serialize)]
+pub struct GaugeSample {
+    pub track: TrackId,
+    pub name: String,
+    pub cycle: u64,
+    pub value: f64,
+}
+
+/// What a stalled (non-productive) cycle was waiting on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StallClass {
+    /// Pipeline limited by datapath depth/initiation interval.
+    Compute,
+    /// Pipeline limited by external-memory bandwidth.
+    Memory,
+    /// Pipeline limited by a full downstream FIFO.
+    Backpressure,
+}
+
+/// Cycle totals attributed to each stall class.
+///
+/// "Attributed" cycles are row cycles classified by which resource bounds
+/// them — the same classification `PlanTrace::RowBound` makes per segment —
+/// plus FIFO backpressure observed during dataflow simulation.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct StallBreakdown {
+    pub compute_cycles: u64,
+    pub memory_cycles: u64,
+    pub backpressure_cycles: u64,
+}
+
+impl StallBreakdown {
+    pub fn total(&self) -> u64 {
+        self.compute_cycles + self.memory_cycles + self.backpressure_cycles
+    }
+
+    /// Cycles attributed to `class`.
+    pub fn cycles(&self, class: StallClass) -> u64 {
+        match class {
+            StallClass::Compute => self.compute_cycles,
+            StallClass::Memory => self.memory_cycles,
+            StallClass::Backpressure => self.backpressure_cycles,
+        }
+    }
+
+    /// Fraction of attributed cycles in `class` (0.0 when nothing recorded).
+    pub fn fraction(&self, class: StallClass) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            return 0.0;
+        }
+        let c = match class {
+            StallClass::Compute => self.compute_cycles,
+            StallClass::Memory => self.memory_cycles,
+            StallClass::Backpressure => self.backpressure_cycles,
+        };
+        c as f64 / t as f64
+    }
+
+    /// The class holding the most attributed cycles.
+    pub fn dominant(&self) -> StallClass {
+        if self.backpressure_cycles > self.compute_cycles
+            && self.backpressure_cycles > self.memory_cycles
+        {
+            StallClass::Backpressure
+        } else if self.memory_cycles > self.compute_cycles {
+            StallClass::Memory
+        } else {
+            StallClass::Compute
+        }
+    }
+}
+
+/// Cycle-stamped event recorder.
+///
+/// Construct with [`Recorder::enabled`] to collect events or
+/// [`Recorder::disabled`] for a no-op sink: every recording method begins
+/// with a single `if !self.on` branch and touches nothing else when off,
+/// so instrumented simulator paths pay (almost) nothing unless profiling
+/// was requested.
+#[derive(Clone, Debug)]
+pub struct Recorder {
+    on: bool,
+    /// Clock used by exporters to convert cycles to wall time.
+    cycles_per_us: f64,
+    tracks: Vec<String>,
+    spans: Vec<SpanEvent>,
+    instants: Vec<InstantEvent>,
+    gauges: Vec<GaugeSample>,
+    counters: BTreeMap<String, u64>,
+    stalls: StallBreakdown,
+    divergence: Option<Divergence>,
+    meta: Vec<(String, Value)>,
+}
+
+impl Recorder {
+    /// A recorder that collects events. `cycles_per_us` is the design
+    /// clock in MHz (cycles per microsecond), used only for export.
+    pub fn enabled(cycles_per_us: f64) -> Self {
+        Recorder {
+            on: true,
+            cycles_per_us: if cycles_per_us > 0.0 { cycles_per_us } else { 1.0 },
+            tracks: Vec::new(),
+            spans: Vec::new(),
+            instants: Vec::new(),
+            gauges: Vec::new(),
+            counters: BTreeMap::new(),
+            stalls: StallBreakdown::default(),
+            divergence: None,
+            meta: Vec::new(),
+        }
+    }
+
+    /// A no-op sink: all recording methods return after one branch.
+    pub fn disabled() -> Self {
+        let mut r = Self::enabled(1.0);
+        r.on = false;
+        r
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.on
+    }
+
+    /// Intern a track name; repeated calls with the same name return the
+    /// same id. Disabled recorders return a dummy id.
+    pub fn track(&mut self, name: &str) -> TrackId {
+        if !self.on {
+            return TrackId(0);
+        }
+        if let Some(i) = self.tracks.iter().position(|t| t == name) {
+            return TrackId(i as u32);
+        }
+        self.tracks.push(name.to_string());
+        TrackId((self.tracks.len() - 1) as u32)
+    }
+
+    /// Record a `[start_cycle, end_cycle)` span on `track`.
+    #[inline]
+    pub fn span(&mut self, track: TrackId, name: &str, start_cycle: u64, end_cycle: u64) {
+        if !self.on {
+            return;
+        }
+        self.spans.push(SpanEvent {
+            track,
+            name: name.to_string(),
+            start_cycle,
+            end_cycle,
+            args: Vec::new(),
+        });
+    }
+
+    /// Record a span carrying extra key/value arguments.
+    #[inline]
+    pub fn span_with_args(
+        &mut self,
+        track: TrackId,
+        name: &str,
+        start_cycle: u64,
+        end_cycle: u64,
+        args: Vec<(String, Value)>,
+    ) {
+        if !self.on {
+            return;
+        }
+        self.spans.push(SpanEvent { track, name: name.to_string(), start_cycle, end_cycle, args });
+    }
+
+    /// Record a point event.
+    #[inline]
+    pub fn instant(&mut self, track: TrackId, name: &str, cycle: u64) {
+        if !self.on {
+            return;
+        }
+        self.instants.push(InstantEvent { track, name: name.to_string(), cycle });
+    }
+
+    /// Sample a gauge (occupancy, utilisation, …) at `cycle`.
+    #[inline]
+    pub fn gauge(&mut self, track: TrackId, name: &str, cycle: u64, value: f64) {
+        if !self.on {
+            return;
+        }
+        self.gauges.push(GaugeSample { track, name: name.to_string(), cycle, value });
+    }
+
+    /// Add `delta` to the named monotonic counter.
+    #[inline]
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        if !self.on {
+            return;
+        }
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Attribute `cycles` to a stall class.
+    #[inline]
+    pub fn stall(&mut self, class: StallClass, cycles: u64) {
+        if !self.on {
+            return;
+        }
+        match class {
+            StallClass::Compute => self.stalls.compute_cycles += cycles,
+            StallClass::Memory => self.stalls.memory_cycles += cycles,
+            StallClass::Backpressure => self.stalls.backpressure_cycles += cycles,
+        }
+    }
+
+    /// Record the predicted-vs-simulated divergence for this run.
+    pub fn set_divergence(&mut self, d: Divergence) {
+        if !self.on {
+            return;
+        }
+        self.divergence = Some(d);
+    }
+
+    /// Attach run-level metadata (app name, mesh, …) shown by exporters.
+    pub fn set_meta(&mut self, key: &str, value: Value) {
+        if !self.on {
+            return;
+        }
+        if let Some(slot) = self.meta.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            self.meta.push((key.to_string(), value));
+        }
+    }
+
+    // ---- accessors (exporters & tests) -------------------------------------
+
+    pub fn cycles_per_us(&self) -> f64 {
+        self.cycles_per_us
+    }
+
+    pub fn track_names(&self) -> &[String] {
+        &self.tracks
+    }
+
+    /// Look up an existing track by name without interning a new one.
+    pub fn find_track(&self, name: &str) -> Option<TrackId> {
+        self.tracks.iter().position(|t| t == name).map(|i| TrackId(i as u32))
+    }
+
+    pub fn track_name(&self, id: TrackId) -> &str {
+        self.tracks.get(id.0 as usize).map(|s| s.as_str()).unwrap_or("<unknown>")
+    }
+
+    pub fn spans(&self) -> &[SpanEvent] {
+        &self.spans
+    }
+
+    pub fn instants(&self) -> &[InstantEvent] {
+        &self.instants
+    }
+
+    pub fn gauges(&self) -> &[GaugeSample] {
+        &self.gauges
+    }
+
+    pub fn counters(&self) -> &BTreeMap<String, u64> {
+        &self.counters
+    }
+
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn stall_breakdown(&self) -> StallBreakdown {
+        self.stalls
+    }
+
+    pub fn divergence(&self) -> Option<&Divergence> {
+        self.divergence.as_ref()
+    }
+
+    pub fn meta(&self) -> &[(String, Value)] {
+        &self.meta
+    }
+
+    /// Sum of span durations on one track (used to reconcile against the
+    /// cycle plan's totals).
+    pub fn track_span_cycles(&self, track: TrackId) -> u64 {
+        self.spans.iter().filter(|s| s.track == track).map(|s| s.duration()).sum()
+    }
+
+    /// Last cycle stamped on any event — the trace's horizon.
+    pub fn max_cycle(&self) -> u64 {
+        let spans = self.spans.iter().map(|s| s.end_cycle).max().unwrap_or(0);
+        let inst = self.instants.iter().map(|i| i.cycle).max().unwrap_or(0);
+        let gauges = self.gauges.iter().map(|g| g.cycle).max().unwrap_or(0);
+        spans.max(inst).max(gauges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_collects_nothing() {
+        let mut r = Recorder::disabled();
+        let t = r.track("stage:0");
+        r.span(t, "pass", 0, 100);
+        r.counter_add("pushes", 5);
+        r.gauge(t, "occ", 10, 3.0);
+        r.stall(StallClass::Memory, 42);
+        assert!(!r.is_enabled());
+        assert!(r.spans().is_empty());
+        assert!(r.counters().is_empty());
+        assert!(r.gauges().is_empty());
+        assert_eq!(r.stall_breakdown().total(), 0);
+    }
+
+    #[test]
+    fn track_interning_is_stable() {
+        let mut r = Recorder::enabled(300.0);
+        let a = r.track("axi:rd0");
+        let b = r.track("axi:wr0");
+        let a2 = r.track("axi:rd0");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(r.track_name(a), "axi:rd0");
+    }
+
+    #[test]
+    fn span_totals_and_max_cycle() {
+        let mut r = Recorder::enabled(300.0);
+        let t = r.track("stage:0");
+        r.span(t, "pass0", 0, 100);
+        r.span(t, "pass1", 100, 250);
+        let u = r.track("stage:1");
+        r.span(u, "pass0", 50, 80);
+        assert_eq!(r.track_span_cycles(t), 250);
+        assert_eq!(r.track_span_cycles(u), 30);
+        assert_eq!(r.max_cycle(), 250);
+    }
+
+    #[test]
+    fn stall_breakdown_fractions() {
+        let mut r = Recorder::enabled(300.0);
+        r.stall(StallClass::Compute, 60);
+        r.stall(StallClass::Memory, 30);
+        r.stall(StallClass::Backpressure, 10);
+        let b = r.stall_breakdown();
+        assert_eq!(b.total(), 100);
+        assert!((b.fraction(StallClass::Compute) - 0.6).abs() < 1e-12);
+        assert_eq!(b.dominant(), StallClass::Compute);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut r = Recorder::enabled(300.0);
+        r.counter_add("fifo.stalls", 3);
+        r.counter_add("fifo.stalls", 4);
+        assert_eq!(r.counter("fifo.stalls"), 7);
+        assert_eq!(r.counter("missing"), 0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Golden-file test for the Chrome trace exporter.
+//!
+//! Pins the trace-event schema: `traceEvents` entries carry `ph`, `pid`,
+//! `tid`, `name` (and `ts`/`dur` for complete events) so the output loads
+//! in Perfetto / `chrome://tracing`. Regenerate the golden with
+//! `SF_UPDATE_GOLDEN=1 cargo test -p sf-telemetry --test chrome_golden`.
+
+use serde::Value;
+use sf_telemetry::{chrome, Divergence, Recorder, StallClass};
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/chrome_trace.json");
+
+/// A small deterministic recorder exercising every event kind.
+fn sample_recorder() -> Recorder {
+    let mut rec = Recorder::enabled(250.0); // 250 MHz → 250 cycles/µs
+    rec.set_meta("app", Value::String("golden".into()));
+    rec.set_meta("v", Value::U64(8));
+    let pipe = rec.track("pipeline");
+    rec.span(pipe, "pass 0", 0, 1000);
+    rec.span_with_args(pipe, "pass 1", 1000, 2000, vec![("passes".into(), Value::U64(1))]);
+    let seg = rec.track("segments");
+    rec.span(seg, "mesh", 0, 900);
+    rec.instant(seg, "primed", 120);
+    let fifo = rec.track("fifo:chain->wr");
+    rec.gauge(fifo, "high_water", 500, 12.0);
+    rec.counter_add("fifo.total_pushes", 640);
+    rec.stall(StallClass::Compute, 1800);
+    rec.stall(StallClass::Memory, 200);
+    rec.set_divergence(Divergence::new(1980, 2000));
+    rec
+}
+
+#[test]
+fn chrome_trace_matches_golden() {
+    let json = chrome::to_chrome_json(&sample_recorder());
+    if std::env::var("SF_UPDATE_GOLDEN").is_ok() {
+        std::fs::write(GOLDEN_PATH, &json).unwrap();
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file missing — regenerate with SF_UPDATE_GOLDEN=1");
+    assert_eq!(json.trim(), golden.trim(), "chrome trace output drifted from the golden file");
+}
+
+#[test]
+fn chrome_trace_schema_is_loadable() {
+    let json = chrome::to_chrome_json(&sample_recorder());
+    let doc: Value = serde_json::from_str(&json).unwrap();
+    let events =
+        doc.get("traceEvents").and_then(Value::as_array).expect("top-level traceEvents array");
+    assert!(!events.is_empty());
+    for e in events {
+        let ph = e.get("ph").and_then(Value::as_str).expect("ph");
+        assert!(e.get("pid").and_then(Value::as_u64).is_some(), "pid");
+        assert!(e.get("name").and_then(Value::as_str).is_some(), "name");
+        match ph {
+            "X" => {
+                assert!(e.get("ts").is_some() && e.get("dur").is_some());
+                assert!(e.get("tid").and_then(Value::as_u64).is_some());
+            }
+            "i" | "C" => assert!(e.get("ts").is_some()),
+            "M" => {}
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    // Both span tracks and the counter/gauge samples survive the export.
+    let spans = events.iter().filter(|e| e.get("ph").and_then(Value::as_str) == Some("X")).count();
+    assert_eq!(spans, 3);
+}

@@ -8,7 +8,7 @@
 //! ```
 
 use sf_core::prelude::*;
-use sf_fpga::{exec2d, design::synthesize};
+use sf_fpga::{design::synthesize, exec2d};
 use sf_kernels::{reference, StarStencil2D};
 use sf_mesh::norms;
 
@@ -17,7 +17,12 @@ fn main() {
     //    plus identity (explicit Euler step of the heat equation) ──────────
     let kernel = StarStencil2D::laplace9_order4(0.05, 1.0);
     let spec = kernel.spec();
-    println!("custom kernel: {} points, order D = {}, G_dsp = {}", kernel.points().len(), spec.order, spec.gdsp());
+    println!(
+        "custom kernel: {} points, order D = {}, G_dsp = {}",
+        kernel.points().len(),
+        spec.order,
+        spec.gdsp()
+    );
 
     // ── the workflow treats it like any application ──────────────────────
     let wf = Workflow::u280_vs_v100();
@@ -57,7 +62,8 @@ fn main() {
         &wl,
     )
     .unwrap();
-    let (out, rep) = exec2d::simulate_mesh_2d(&wf.device, &design, std::slice::from_ref(&kernel), &mesh, 12);
+    let (out, rep) =
+        exec2d::simulate_mesh_2d(&wf.device, &design, std::slice::from_ref(&kernel), &mesh, 12);
     let golden = reference::run_2d(&kernel, &mesh, 12);
     assert!(
         norms::bit_equal(out.as_slice(), golden.as_slice()),

@@ -46,7 +46,12 @@ fn main() {
 
     show(&wf, &StencilSpec::poisson(), &Workload::D2 { nx: 400, ny: 400, batch: 1 }, 60_000);
     show(&wf, &StencilSpec::poisson(), &Workload::D2 { nx: 200, ny: 100, batch: 1000 }, 60_000);
-    show(&wf, &StencilSpec::jacobi(), &Workload::D3 { nx: 200, ny: 200, nz: 200, batch: 1 }, 29_000);
+    show(
+        &wf,
+        &StencilSpec::jacobi(),
+        &Workload::D3 { nx: 200, ny: 200, nz: 200, batch: 1 },
+        29_000,
+    );
     show(&wf, &StencilSpec::jacobi(), &Workload::D3 { nx: 600, ny: 600, nz: 600, batch: 1 }, 120);
     show(&wf, &StencilSpec::rtm(), &Workload::D3 { nx: 32, ny: 32, nz: 32, batch: 1 }, 1_800);
 

@@ -55,16 +55,9 @@ fn main() {
     // numeric validation of the overlapped-tile machinery on a reduced mesh:
     // tile halos, 512-bit alignment, valid-region writeback — all bit-exact
     let wl = Workload::D2 { nx: 1000, ny: 120, batch: 1 };
-    let design = synthesize(
-        &wf.device,
-        &spec,
-        8,
-        16,
-        ExecMode::Tiled1D { tile_m: 256 },
-        MemKind::Ddr4,
-        &wl,
-    )
-    .unwrap();
+    let design =
+        synthesize(&wf.device, &spec, 8, 16, ExecMode::Tiled1D { tile_m: 256 }, MemKind::Ddr4, &wl)
+            .unwrap();
     let solver = PoissonSolver::with_design(wf.device.clone(), design);
     let mesh = Batch2D::<f32>::random(1000, 120, 1, 7, -1.0, 1.0);
     let (_out, rep) = solver.run_validated(&mesh, 32);

@@ -22,8 +22,9 @@ fn poisson_three_way_agreement() {
     assert!(norms::bit_equal(seq.as_slice(), par.as_slice()), "rayon vs seq");
 
     let wl = Workload::D2 { nx: 50, ny: 34, batch: 1 };
-    let ds = synthesize(&dev(), &StencilSpec::poisson(), 8, 4, ExecMode::Baseline, MemKind::Hbm, &wl)
-        .unwrap();
+    let ds =
+        synthesize(&dev(), &StencilSpec::poisson(), 8, 4, ExecMode::Baseline, MemKind::Hbm, &wl)
+            .unwrap();
     let (fpga, _) = exec2d::simulate_mesh_2d(&dev(), &ds, &[Poisson2D], &m, iters);
     assert!(norms::bit_equal(seq.as_slice(), fpga.as_slice()), "fpga vs seq");
 }
@@ -39,8 +40,9 @@ fn jacobi_three_way_agreement() {
     assert!(norms::bit_equal(seq.as_slice(), par.as_slice()));
 
     let wl = Workload::D3 { nx: 18, ny: 14, nz: 11, batch: 1 };
-    let ds = synthesize(&dev(), &StencilSpec::jacobi(), 8, 2, ExecMode::Baseline, MemKind::Hbm, &wl)
-        .unwrap();
+    let ds =
+        synthesize(&dev(), &StencilSpec::jacobi(), 8, 2, ExecMode::Baseline, MemKind::Hbm, &wl)
+            .unwrap();
     let (fpga, _) = exec3d::simulate_mesh_3d(&dev(), &ds, &[k], &m, iters);
     assert!(norms::bit_equal(seq.as_slice(), fpga.as_slice()));
 }
@@ -77,8 +79,9 @@ fn tiled_equals_baseline_equals_reference() {
     let seq = reference::run_2d(&Poisson2D, &m, iters);
 
     let wl = Workload::D2 { nx: 320, ny: 28, batch: 1 };
-    let base = synthesize(&dev(), &StencilSpec::poisson(), 8, 6, ExecMode::Baseline, MemKind::Hbm, &wl)
-        .unwrap();
+    let base =
+        synthesize(&dev(), &StencilSpec::poisson(), 8, 6, ExecMode::Baseline, MemKind::Hbm, &wl)
+            .unwrap();
     let (out_b, _) = exec2d::simulate_mesh_2d(&dev(), &base, &[Poisson2D], &m, iters);
     assert!(norms::bit_equal(seq.as_slice(), out_b.as_slice()));
 

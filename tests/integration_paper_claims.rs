@@ -72,7 +72,8 @@ fn claim3_jacobi_large_gpu_wins_runtime_fpga_wins_energy() {
     let spec = StencilSpec::jacobi();
     // paper Table V: 200³+ baselines and batched runs favour the V100
     let wl = Workload::D3 { nx: 250, ny: 250, nz: 250, batch: 1 };
-    let design = synthesize(&wf.device, &spec, 8, 29, ExecMode::Baseline, MemKind::Hbm, &wl).unwrap();
+    let design =
+        synthesize(&wf.device, &spec, 8, 29, ExecMode::Baseline, MemKind::Hbm, &wl).unwrap();
     let fpga = wf.fpga_estimate(&design, &wl, 29_000);
     let gpu = wf.gpu_estimate(&spec, &wl, 29_000);
     assert!(
@@ -81,10 +82,7 @@ fn claim3_jacobi_large_gpu_wins_runtime_fpga_wins_energy() {
         gpu.runtime_s,
         fpga.runtime_s
     );
-    assert!(
-        fpga.energy_j < gpu.energy_j,
-        "paper Table V: FPGA must stay more energy-efficient"
-    );
+    assert!(fpga.energy_j < gpu.energy_j, "paper Table V: FPGA must stay more energy-efficient");
 }
 
 #[test]
@@ -165,11 +163,7 @@ fn claim6_batching_lifts_both_platforms() {
 fn claim7_model_accuracy() {
     let stats = accuracy::accuracy_suite(&FpgaDevice::u280());
     let frac = stats.frac_within(15.0, PredictionLevel::Extended);
-    assert!(
-        frac >= 0.85,
-        "abstract claim: >85% of configs within ±15% (got {:.0}%)",
-        frac * 100.0
-    );
+    assert!(frac >= 0.85, "abstract claim: >85% of configs within ±15% (got {:.0}%)", frac * 100.0);
 }
 
 #[test]
@@ -193,4 +187,27 @@ fn table2_reproduction() {
     }
     assert_eq!(StencilSpec::poisson().gdsp(), 14);
     assert_eq!(StencilSpec::jacobi().gdsp(), 33);
+}
+
+#[test]
+fn claim8_profile_divergence_within_15pct_for_all_apps() {
+    // The profiler emits a predicted-vs-simulated divergence on every run;
+    // for the paper's three applications it must sit inside the ±15 %
+    // model-accuracy envelope, and the recorder's stall attribution must
+    // agree with the static plan trace class for class.
+    let wf = wf();
+    let cases: [(StencilSpec, Workload, u64); 3] = [
+        (StencilSpec::poisson(), Workload::D2 { nx: 200, ny: 100, batch: 1 }, 100),
+        (StencilSpec::jacobi(), Workload::D3 { nx: 64, ny: 64, nz: 64, batch: 1 }, 10),
+        (StencilSpec::rtm(), Workload::D3 { nx: 32, ny: 32, nz: 32, batch: 1 }, 10),
+    ];
+    for (spec, wl, niter) in cases {
+        let pr = wf.profile(&spec, &wl, niter).unwrap();
+        let d = pr.recorder.divergence().expect("divergence emitted on every run");
+        assert!(d.within(15.0), "{}: {} (behavioral: {})", spec.app, d.summary(), pr.behavioral);
+        let got = pr.recorder.stall_breakdown();
+        let expect = pr.trace.stall_breakdown();
+        assert_eq!(got.compute_cycles, expect.compute_cycles, "{}", spec.app);
+        assert_eq!(got.memory_cycles, expect.memory_cycles, "{}", spec.app);
+    }
 }

@@ -93,8 +93,9 @@ fn rtm_full_workflow() {
     // numeric validation of the fused pipeline on a reduced mesh with the
     // same (V=1, p=3) configuration
     let wl = Workload::D3 { nx: 16, ny: 14, nz: 12, batch: 1 };
-    let design = synthesize(&wf.device, &StencilSpec::rtm(), 1, 3, ExecMode::Baseline, MemKind::Hbm, &wl)
-        .unwrap();
+    let design =
+        synthesize(&wf.device, &StencilSpec::rtm(), 1, 3, ExecMode::Baseline, MemKind::Hbm, &wl)
+            .unwrap();
     let solver = RtmSolver::with_design(wf.device.clone(), design, RtmParams::default());
     let (y, rho, mu) = rtm::demo_workload(16, 14, 12);
     let (out, rep) = solver.run_validated(&y, &rho, &mu, 9);

@@ -136,3 +136,55 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Telemetry reconciliation: for arbitrary shapes and unrolls, the
+    /// recorder's "pipeline" track spans must sum to exactly the plan's
+    /// total cycles, and the recorder's schedule-derived stall attribution
+    /// must match `PlanTrace::stall_breakdown` class for class.
+    #[test]
+    fn recorder_spans_reconcile_with_cycle_plan(
+        nx in 16usize..256,
+        ny in 8usize..128,
+        v_log2 in 0u32..4,
+        p in 1usize..20,
+        niter in 1u64..400,
+    ) {
+        let v = 1usize << v_log2;
+        let d = dev();
+        let spec = StencilSpec::poisson();
+        let wl = Workload::D2 { nx, ny, batch: 1 };
+        let ds = match synthesize(&d, &spec, v, p, ExecMode::Baseline, MemKind::Hbm, &wl) {
+            Ok(ds) => ds,
+            Err(_) => return Ok(()), // config exceeds device — nothing to check
+        };
+        let mut rec = sf_fpga::Recorder::enabled(ds.freq_mhz());
+        let plan = sf_fpga::profile::trace_schedule(&d, &ds, &wl, niter, &mut rec);
+        prop_assert_eq!(&plan, &sf_fpga::cycles::plan(&d, &ds, &wl, niter));
+
+        // Pipeline track (pass spans + aggregated tail) tiles the whole run.
+        let pipe = rec.find_track("pipeline").unwrap();
+        prop_assert_eq!(rec.track_span_cycles(pipe), plan.total_cycles);
+
+        // Segments track + per-pass pipeline latency tile one pass exactly.
+        let tr = sf_fpga::trace::explain(&d, &ds, &wl, niter);
+        let seg_cycles: u64 = tr
+            .segments
+            .iter()
+            .map(|s| (s.data_rows + s.fill_rows) * s.row_cycles)
+            .sum();
+        prop_assert_eq!(
+            seg_cycles + tr.pipeline_latency_cycles,
+            plan.cycles_per_pass
+        );
+
+        // Stall attribution: recorder == plan trace (backpressure separate).
+        let got = rec.stall_breakdown();
+        let expect = tr.stall_breakdown();
+        prop_assert_eq!(got.compute_cycles, expect.compute_cycles);
+        prop_assert_eq!(got.memory_cycles, expect.memory_cycles);
+        prop_assert_eq!(expect.backpressure_cycles, 0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Vendored minimal `rand` stand-in for offline builds.
+//!
+//! Implements the small API surface this workspace uses: a deterministic
+//! seedable RNG (`rngs::StdRng`, backed by SplitMix64) and
+//! `Rng::gen_range` over half-open ranges of floats and integers. Not
+//! cryptographic and not bit-compatible with the real `rand` crate — the
+//! workspace only needs reproducible uniform workload data.
+
+use core::ops::Range;
+
+/// Seedable RNG constructor trait (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniform sampling over a range, dispatched per type.
+pub trait SampleRange {
+    type Output;
+    fn sample(self, rng: &mut dyn RngCore) -> Self::Output;
+}
+
+/// Core entropy source: 64 uniform bits per call.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing sampling trait (subset of `rand::Rng`).
+pub trait Rng: RngCore + Sized {
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+}
+
+impl<T: RngCore + Sized> Rng for T {}
+
+macro_rules! impl_float_range {
+    ($t:ty, $bits:expr) => {
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                // Uniform in [0, 1) from the top mantissa bits.
+                let unit = (rng.next_u64() >> (64 - $bits)) as $t / (1u64 << $bits) as $t;
+                self.start + unit * (self.end - self.start)
+            }
+        }
+    };
+}
+
+impl_float_range!(f32, 24);
+impl_float_range!(f64, 53);
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Modulo bias is ≤ span/2^64 — irrelevant for test data.
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic 64-bit RNG (SplitMix64). Stands in for `rand::rngs::StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f32 = a.gen_range(-2.0f32..3.0);
+            let y: f32 = b.gen_range(-2.0f32..3.0);
+            assert_eq!(x, y);
+            assert!((-2.0..3.0).contains(&x));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let n: u64 = c.gen_range(10u64..20);
+        assert!((10..20).contains(&n));
+        let i: i32 = c.gen_range(-5i32..5);
+        assert!((-5..5).contains(&i));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let xs: Vec<f64> = (0..8).map(|_| a.gen_range(0.0f64..1.0)).collect();
+        let ys: Vec<f64> = (0..8).map(|_| b.gen_range(0.0f64..1.0)).collect();
+        assert_ne!(xs, ys);
+    }
+}

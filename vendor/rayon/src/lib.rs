@@ -1,0 +1,121 @@
+//! Vendored stand-in for the `rayon` parallel-iterator API surface this
+//! workspace uses. Execution is sequential — the target container exposes a
+//! single hardware thread, so a work-stealing pool would add overhead for
+//! nothing — but the adapter types keep call sites source-compatible with
+//! real rayon (`par_chunks_mut`, `into_par_iter`, `enumerate`, `map`,
+//! `for_each`, `collect`), so swapping the real crate back in is a
+//! one-line manifest change.
+
+use core::ops::Range;
+
+/// Iterator adapter standing in for rayon's parallel iterators.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    pub fn enumerate(self) -> ParIter<core::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> ParIter<core::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<core::iter::Filter<I, F>> {
+        ParIter(self.0.filter(f))
+    }
+
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+}
+
+/// `[T]::par_chunks_mut` (subset of `rayon::slice::ParallelSliceMut`).
+pub trait ParallelSliceMut<T> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<core::slice::ChunksMut<'_, T>>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<core::slice::ChunksMut<'_, T>> {
+        ParIter(self.chunks_mut(chunk_size))
+    }
+}
+
+/// `.par_iter()` over shared slices (subset of `rayon::slice::ParallelSlice`).
+pub trait ParallelSlice<T> {
+    fn par_iter(&self) -> ParIter<core::slice::Iter<'_, T>>;
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<core::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<core::slice::Iter<'_, T>> {
+        ParIter(self.iter())
+    }
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<core::slice::Chunks<'_, T>> {
+        ParIter(self.chunks(chunk_size))
+    }
+}
+
+/// `into_par_iter()` (subset of `rayon::iter::IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter: Iterator<Item = Self::Item>;
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = Range<usize>;
+    fn into_par_iter(self) -> ParIter<Range<usize>> {
+        ParIter(self)
+    }
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+pub mod prelude {
+    pub use super::{IntoParallelIterator, ParIter, ParallelSlice, ParallelSliceMut};
+}
+
+pub mod iter {
+    pub use super::{IntoParallelIterator, ParIter};
+}
+
+pub mod slice {
+    pub use super::{ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunks_enumerate_for_each() {
+        let mut data = vec![0u32; 12];
+        data.par_chunks_mut(4).enumerate().for_each(|(i, chunk)| {
+            for c in chunk.iter_mut() {
+                *c = i as u32;
+            }
+        });
+        assert_eq!(data, [0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn range_map_collect() {
+        let v: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(v, [0, 1, 4, 9, 16]);
+    }
+}

@@ -1,0 +1,388 @@
+//! Minimal `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! in-tree `serde` facade (see `vendor/serde`).
+//!
+//! This workspace builds fully offline, so the real serde stack is replaced
+//! by a small value-model facade. The derives support exactly the shapes the
+//! workspace uses:
+//!
+//! * structs with named fields,
+//! * unit structs and tuple structs,
+//! * enums with unit, named-field and tuple variants (externally tagged,
+//!   matching serde's default JSON encoding).
+//!
+//! Generics and `#[serde(...)]` attributes are intentionally unsupported and
+//! produce a compile error, so silent drift from real-serde semantics is
+//! impossible.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+enum Def {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<(String, Fields)> },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skip `#[...]` attributes (including doc comments) and visibility.
+fn skip_meta(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` followed by a bracket group
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Parse the comma-separated named fields of a brace group, returning the
+/// field names in declaration order.
+fn parse_named_fields(group: TokenStream) -> Result<Vec<String>, String> {
+    let toks: Vec<TokenTree> = group.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_meta(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            t => return Err(format!("expected field name, found `{t}`")),
+        };
+        i += 1;
+        match &toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            t => return Err(format!("expected `:` after field `{name}`, found {t:?}")),
+        }
+        // Consume the type: everything until a comma at angle-bracket depth 0.
+        let mut angle = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Count the comma-separated items of a paren group (tuple fields).
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = group.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut angle = 0i32;
+    let mut count = 1;
+    let mut saw_item = false;
+    for t in &toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                saw_item = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_item = true;
+    }
+    if !saw_item {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(group: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let toks: Vec<TokenTree> = group.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_meta(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            t => return Err(format!("expected variant name, found `{t}`")),
+        };
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream())?);
+                i += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                i += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // skip an optional discriminant `= expr` up to the next comma
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        variants.push((name, fields));
+    }
+    Ok(variants)
+}
+
+fn parse_def(input: TokenStream) -> Result<Def, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_meta(&toks, 0);
+    let kind = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        t => return Err(format!("expected `struct` or `enum`, found {t:?}")),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        t => return Err(format!("expected type name, found {t:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!("vendored serde derive does not support generic type `{name}`"));
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Ok(Def::Struct { name, fields })
+        }
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Def::Enum { name, variants: parse_variants(g.stream())? })
+            }
+            t => Err(format!("expected enum body, found {t:?}")),
+        },
+        k => Err(format!("cannot derive for `{k}` items")),
+    }
+}
+
+fn gen_serialize(def: &Def) -> String {
+    let mut s = String::new();
+    match def {
+        Def::Struct { name, fields } => {
+            s.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n fn to_value(&self) -> ::serde::Value {{\n"
+            ));
+            match fields {
+                Fields::Unit => s.push_str("  ::serde::Value::Null\n"),
+                Fields::Named(fs) => {
+                    s.push_str("  ::serde::Value::Object(::std::vec![\n");
+                    for f in fs {
+                        s.push_str(&format!(
+                            "   ({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})),\n"
+                        ));
+                    }
+                    s.push_str("  ])\n");
+                }
+                Fields::Tuple(n) if *n == 1 => {
+                    s.push_str("  ::serde::Serialize::to_value(&self.0)\n");
+                }
+                Fields::Tuple(n) => {
+                    s.push_str("  ::serde::Value::Array(::std::vec![\n");
+                    for k in 0..*n {
+                        s.push_str(&format!("   ::serde::Serialize::to_value(&self.{k}),\n"));
+                    }
+                    s.push_str("  ])\n");
+                }
+            }
+            s.push_str(" }\n}\n");
+        }
+        Def::Enum { name, variants } => {
+            s.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n fn to_value(&self) -> ::serde::Value {{\n  match self {{\n"
+            ));
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => s.push_str(&format!(
+                        "   {name}::{v} => ::serde::Value::String({v:?}.to_string()),\n"
+                    )),
+                    Fields::Named(fs) => {
+                        let binds = fs.join(", ");
+                        s.push_str(&format!("   {name}::{v} {{ {binds} }} => ::serde::Value::Object(::std::vec![({v:?}.to_string(), ::serde::Value::Object(::std::vec!["));
+                        for f in fs {
+                            s.push_str(&format!(
+                                "({f:?}.to_string(), ::serde::Serialize::to_value({f})),"
+                            ));
+                        }
+                        s.push_str("]))]),\n");
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let pat = binds.join(", ");
+                        if *n == 1 {
+                            s.push_str(&format!("   {name}::{v}({pat}) => ::serde::Value::Object(::std::vec![({v:?}.to_string(), ::serde::Serialize::to_value(__f0))]),\n"));
+                        } else {
+                            s.push_str(&format!("   {name}::{v}({pat}) => ::serde::Value::Object(::std::vec![({v:?}.to_string(), ::serde::Value::Array(::std::vec!["));
+                            for b in &binds {
+                                s.push_str(&format!("::serde::Serialize::to_value({b}),"));
+                            }
+                            s.push_str("]))]),\n");
+                        }
+                    }
+                }
+            }
+            s.push_str("  }\n }\n}\n");
+        }
+    }
+    s
+}
+
+fn gen_deserialize(def: &Def) -> String {
+    let mut s = String::new();
+    match def {
+        Def::Struct { name, fields } => {
+            s.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n"
+            ));
+            match fields {
+                Fields::Unit => s.push_str(&format!("  ::std::result::Result::Ok({name})\n")),
+                Fields::Named(fs) => {
+                    s.push_str(&format!(
+                        "  let __obj = __v.as_object().ok_or_else(|| ::serde::Error::expected(\"object\", {:?}))?;\n",
+                        name
+                    ));
+                    s.push_str(&format!("  ::std::result::Result::Ok({name} {{\n"));
+                    for f in fs {
+                        s.push_str(&format!(
+                            "   {f}: ::serde::Deserialize::from_value(::serde::__private::field(__obj, {f:?}, {name:?})?)?,\n"
+                        ));
+                    }
+                    s.push_str("  })\n");
+                }
+                Fields::Tuple(n) if *n == 1 => {
+                    s.push_str(&format!(
+                        "  ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))\n"
+                    ));
+                }
+                Fields::Tuple(n) => {
+                    s.push_str(&format!(
+                        "  let __arr = ::serde::__private::array(__v, {n}, {name:?})?;\n"
+                    ));
+                    s.push_str(&format!("  ::std::result::Result::Ok({name}(\n"));
+                    for k in 0..*n {
+                        s.push_str(&format!(
+                            "   ::serde::Deserialize::from_value(&__arr[{k}])?,\n"
+                        ));
+                    }
+                    s.push_str("  ))\n");
+                }
+            }
+            s.push_str(" }\n}\n");
+        }
+        Def::Enum { name, variants } => {
+            s.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n"
+            ));
+            s.push_str(&format!(
+                "  let (__tag, __inner) = ::serde::__private::enum_parts(__v, {name:?})?;\n  match __tag {{\n"
+            ));
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => s.push_str(&format!(
+                        "   {v:?} => ::std::result::Result::Ok({name}::{v}),\n"
+                    )),
+                    Fields::Named(fs) => {
+                        s.push_str(&format!(
+                            "   {v:?} => {{\n    let __inner = __inner.ok_or_else(|| ::serde::Error::expected(\"variant data\", {name:?}))?;\n    let __obj = __inner.as_object().ok_or_else(|| ::serde::Error::expected(\"object\", {name:?}))?;\n    ::std::result::Result::Ok({name}::{v} {{\n"
+                        ));
+                        for f in fs {
+                            s.push_str(&format!(
+                                "     {f}: ::serde::Deserialize::from_value(::serde::__private::field(__obj, {f:?}, {name:?})?)?,\n"
+                            ));
+                        }
+                        s.push_str("    })\n   }\n");
+                    }
+                    Fields::Tuple(n) => {
+                        s.push_str(&format!(
+                            "   {v:?} => {{\n    let __inner = __inner.ok_or_else(|| ::serde::Error::expected(\"variant data\", {name:?}))?;\n"
+                        ));
+                        if *n == 1 {
+                            s.push_str(&format!(
+                                "    ::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_value(__inner)?))\n"
+                            ));
+                        } else {
+                            s.push_str(&format!(
+                                "    let __arr = ::serde::__private::array(__inner, {n}, {name:?})?;\n    ::std::result::Result::Ok({name}::{v}(\n"
+                            ));
+                            for k in 0..*n {
+                                s.push_str(&format!(
+                                    "     ::serde::Deserialize::from_value(&__arr[{k}])?,\n"
+                                ));
+                            }
+                            s.push_str("    ))\n");
+                        }
+                        s.push_str("   }\n");
+                    }
+                }
+            }
+            s.push_str(&format!(
+                "   __other => ::std::result::Result::Err(::serde::Error::unknown_variant(__other, {name:?})),\n  }}\n }}\n}}\n"
+            ));
+        }
+    }
+    s
+}
+
+/// Derive `serde::Serialize` (vendored facade).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_def(input) {
+        Ok(def) => gen_serialize(&def).parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}
+
+/// Derive `serde::Deserialize` (vendored facade).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_def(input) {
+        Ok(def) => gen_deserialize(&def).parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}
