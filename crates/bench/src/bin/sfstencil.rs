@@ -8,12 +8,20 @@
 //! sfstencil explain     --app rtm --mesh 32x32x32 --iters 1800
 //! sfstencil profile     --app poisson --mesh 200x100 --iters 100 \
 //!                       [--trace-out trace.json] [--json]
+//! sfstencil faults      [--app poisson2d|jacobi3d|rtm3d] [--seed 42] \
+//!                       [--rate PPM]... [--trials N] [--json]
 //! ```
 //!
 //! `profile` runs the best design with telemetry enabled and reports the
 //! stall attribution (compute vs memory vs backpressure) and the
 //! predicted-vs-simulated cycle divergence. `--trace-out` writes a Chrome
 //! trace-event file loadable in Perfetto / `chrome://tracing`.
+//!
+//! `faults` runs the deterministic fault-injection campaign (see
+//! `sf_bench::faults`): seeded datapath faults swept over every fault kind
+//! and rate, each trial classified by how it was detected (watchdog,
+//! checksum, AXI retry, divergence) and recovered. Exits non-zero if any
+//! injected fault goes unaccounted.
 
 use sf_core::prelude::*;
 use sf_fpga::design::synthesize;
@@ -25,7 +33,9 @@ fn fail(msg: &str) -> ! {
         "usage: sfstencil <feasibility|dse|compare|report|explain|profile> \
          --app <poisson|jacobi|rtm> \
          --mesh <NXxNY[xNZ]> [--batch B] [--iters N] [--top K] [--v V] [--p P] \
-         [--json] [--trace-out FILE]"
+         [--json] [--trace-out FILE]\n       \
+         sfstencil faults [--app <poisson2d|jacobi3d|rtm3d>] [--seed N] \
+         [--rate PPM]... [--trials N] [--json]"
     );
     std::process::exit(2);
 }
@@ -55,36 +65,96 @@ fn parse() -> Args {
     let get = |flag: &str| -> Option<String> {
         argv.iter().position(|a| a == flag).and_then(|i| argv.get(i + 1).cloned())
     };
+    // every numeric flag is validated up front: zero and non-numeric values
+    // are rejected with the flag name before any work starts
+    let positive = |flag: &str, s: String| -> usize {
+        match s.parse::<usize>() {
+            Ok(0) | Err(_) => fail(&format!("{flag} must be a positive integer (got '{s}')")),
+            Ok(n) => n,
+        }
+    };
     let app = sf_bench::cli::parse_app(&get("--app").unwrap_or_else(|| fail("--app required")))
         .unwrap_or_else(|e| fail(&e));
     let mesh = get("--mesh").unwrap_or_else(|| fail("--mesh required"));
-    let batch: usize =
-        get("--batch").map(|s| s.parse().unwrap_or_else(|_| fail("bad --batch"))).unwrap_or(1);
+    let batch: usize = get("--batch").map(|s| positive("--batch", s)).unwrap_or(1);
     let wl = sf_bench::cli::parse_mesh(app.dims, &mesh, batch).unwrap_or_else(|e| fail(&e));
     Args {
         cmd,
         app,
         wl,
-        iters: get("--iters")
-            .map(|s| match s.parse() {
-                Ok(0) | Err(_) => fail("--iters must be a positive integer"),
-                Ok(n) => n,
-            })
-            .unwrap_or(1000),
-        top: get("--top").map(|s| s.parse().unwrap_or_else(|_| fail("bad --top"))).unwrap_or(5),
-        v: get("--v").map(|s| s.parse().unwrap_or_else(|_| fail("bad --v"))).unwrap_or(0),
-        p: get("--p").map(|s| s.parse().unwrap_or_else(|_| fail("bad --p"))).unwrap_or(0),
+        iters: get("--iters").map(|s| positive("--iters", s) as u64).unwrap_or(1000),
+        top: get("--top").map(|s| positive("--top", s)).unwrap_or(5),
+        v: get("--v").map(|s| positive("--v", s)).unwrap_or(0),
+        p: get("--p").map(|s| positive("--p", s)).unwrap_or(0),
         json: argv.iter().any(|a| a == "--json"),
         trace_out: get("--trace-out"),
     }
 }
 
+/// The `faults` subcommand has its own flag set (no `--mesh`: campaign
+/// workloads are fixed so seeds stay comparable across runs).
+fn run_faults(argv: &[String]) {
+    use sf_bench::faults::{run_campaign, CampaignApp, CampaignConfig};
+    let get = |flag: &str| -> Option<String> {
+        argv.iter().position(|a| a == flag).and_then(|i| argv.get(i + 1).cloned())
+    };
+    let apps: Vec<CampaignApp> = match get("--app") {
+        None => CampaignApp::ALL.to_vec(),
+        Some(name) => match CampaignApp::parse(&name) {
+            Some(a) => vec![a],
+            None => fail(&format!("unknown app '{name}' (expected poisson2d|jacobi3d|rtm3d)")),
+        },
+    };
+    let seed: u64 = match get("--seed") {
+        None => 42,
+        Some(s) => {
+            s.parse().unwrap_or_else(|_| fail(&format!("--seed must be an integer (got '{s}')")))
+        }
+    };
+    let mut cfg = CampaignConfig { seed, ..CampaignConfig::default() };
+    let rates: Vec<u32> = argv
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.as_str() == "--rate")
+        .map(|(i, _)| {
+            let s = argv.get(i + 1).cloned().unwrap_or_else(|| fail("--rate needs a value"));
+            match s.parse::<u32>() {
+                Ok(0) | Err(_) => fail(&format!("--rate must be a positive ppm count (got '{s}')")),
+                Ok(r) => r,
+            }
+        })
+        .collect();
+    if !rates.is_empty() {
+        cfg.rates_ppm = rates;
+    }
+    if let Some(s) = get("--trials") {
+        cfg.trials_per_cell = match s.parse::<u32>() {
+            Ok(0) | Err(_) => fail(&format!("--trials must be a positive integer (got '{s}')")),
+            Ok(n) => n,
+        };
+    }
+    let report = run_campaign(&apps, &cfg);
+    if argv.iter().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(&report).unwrap());
+    } else {
+        print!("{}", report.render_table());
+    }
+    if !report.all_accounted() {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("faults") {
+        run_faults(&argv[1..]);
+        return;
+    }
     let a = parse();
     let wf = Workflow::u280_vs_v100();
     match a.cmd.as_str() {
         "feasibility" => {
-            let r = wf.feasibility(&a.app, &a.wl);
+            let r = wf.feasibility(&a.app, &a.wl).unwrap_or_else(|e| fail(&format!("{e}")));
             if a.json {
                 println!("{}", serde_json::to_string_pretty(&r).unwrap());
                 return;
@@ -99,7 +169,8 @@ fn main() {
             println!("flops per ext byte : {:.2}", r.flops_per_byte);
         }
         "dse" => {
-            let cands = wf.explore(&a.app, &a.wl, a.iters);
+            let cands =
+                wf.explore(&a.app, &a.wl, a.iters).unwrap_or_else(|e| fail(&format!("{e}")));
             if a.json {
                 let top: Vec<_> = cands.iter().take(a.top).collect();
                 println!("{}", serde_json::to_string_pretty(&top).unwrap());

@@ -24,11 +24,18 @@ pub fn parse_mesh(dims: usize, mesh: &str, batch: usize) -> Result<Workload, Str
     if parts.contains(&0) {
         return Err(format!("mesh '{mesh}' has a zero dimension"));
     }
-    match (dims, parts.as_slice()) {
-        (2, [nx, ny]) => Ok(Workload::D2 { nx: *nx, ny: *ny, batch }),
-        (3, [nx, ny, nz]) => Ok(Workload::D3 { nx: *nx, ny: *ny, nz: *nz, batch }),
-        (d, p) => Err(format!("{d}D app needs a {d}-component mesh, got {}", p.len())),
+    let wl = match (dims, parts.as_slice()) {
+        (2, [nx, ny]) => Workload::D2 { nx: *nx, ny: *ny, batch },
+        (3, [nx, ny, nz]) => Workload::D3 { nx: *nx, ny: *ny, nz: *nz, batch },
+        (d, p) => return Err(format!("{d}D app needs a {d}-component mesh, got {}", p.len())),
+    };
+    // reject sizes whose cell count overflows before they reach the cycle
+    // model's u64 arithmetic
+    let total: u128 = parts.iter().map(|&d| d as u128).product::<u128>() * batch as u128;
+    if total > u64::MAX as u128 / 1024 {
+        return Err(format!("mesh '{mesh}' x batch {batch} overflows the cell budget"));
     }
+    Ok(wl)
 }
 
 #[cfg(test)]
@@ -62,5 +69,14 @@ mod tests {
         assert!(parse_mesh(2, "4xzebra", 1).unwrap_err().contains("bad mesh"));
         assert!(parse_mesh(2, "4x0", 1).unwrap_err().contains("zero dimension"));
         assert!(parse_mesh(2, "4x4", 0).unwrap_err().contains("batch"));
+    }
+
+    #[test]
+    fn overflowing_meshes_are_rejected_up_front() {
+        let huge = format!("{0}x{0}", u64::MAX / 2);
+        assert!(parse_mesh(2, &huge, 1).unwrap_err().contains("overflows"));
+        assert!(parse_mesh(2, "1000000x1000000", usize::MAX).unwrap_err().contains("overflows"));
+        // a large-but-sane mesh still parses
+        assert!(parse_mesh(3, "4000x4000x1000", 1).is_ok());
     }
 }

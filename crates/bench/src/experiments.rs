@@ -215,7 +215,8 @@ pub fn fig3a() -> Experiment {
             &wl,
             paper::iters::POISSON,
             PredictionLevel::Extended,
-        );
+        )
+        .expect("design matches workload");
         let gpu = wf.gpu_estimate(&spec, &wl, paper::iters::POISSON);
         e.row(vec![
             format!("{nx}x{ny}"),
@@ -249,7 +250,8 @@ pub fn fig3b() -> Experiment {
                 &wl,
                 paper::iters::POISSON,
                 PredictionLevel::Extended,
-            );
+            )
+            .expect("design matches workload");
             let gpu = wf.gpu_estimate(&spec, &wl, paper::iters::POISSON);
             e.row(vec![
                 format!("{nx}x{ny}"),
@@ -284,7 +286,8 @@ pub fn fig3c() -> Experiment {
             &wl,
             paper::iters::POISSON_TILED,
             PredictionLevel::Extended,
-        );
+        )
+        .expect("design matches workload");
         let gpu = wf.gpu_estimate(&spec, &wl, paper::iters::POISSON_TILED);
         e.row(vec![
             format!("{n}²"),
@@ -402,7 +405,8 @@ pub fn fig4a() -> Experiment {
             &wl,
             paper::iters::JACOBI,
             PredictionLevel::Extended,
-        );
+        )
+        .expect("design matches workload");
         let g = wf.gpu_estimate(&spec, &wl, paper::iters::JACOBI);
         e.row(vec![
             format!("{n}³"),
@@ -463,7 +467,8 @@ pub fn fig4c() -> Experiment {
             &wl,
             paper::iters::JACOBI_TILED,
             PredictionLevel::Extended,
-        );
+        )
+        .expect("design matches workload");
         let g = wf.gpu_estimate(&spec, &wl, paper::iters::JACOBI_TILED);
         e.row(vec![
             label.to_string(),
@@ -575,7 +580,8 @@ pub fn fig5a() -> Experiment {
         let ds = rtm_design(&wl, ExecMode::Baseline);
         let f = wf.fpga_estimate(&ds, &wl, paper::iters::RTM);
         let pred =
-            sf_model::predict(&wf.device, &ds, &wl, paper::iters::RTM, PredictionLevel::Extended);
+            sf_model::predict(&wf.device, &ds, &wl, paper::iters::RTM, PredictionLevel::Extended)
+                .expect("design matches workload");
         let g = wf.gpu_estimate(&spec, &wl, paper::iters::RTM);
         e.row(vec![
             format!("{nx}x{ny}x{nz}"),
@@ -794,7 +800,8 @@ pub fn ablation_overheads() -> Experiment {
         let ds =
             synthesize(&base_dev, &spec, 8, 60, ExecMode::Baseline, MemKind::Hbm, &wl).unwrap();
         let ideal =
-            sf_model::predict(&base_dev, &ds, &wl, paper::iters::POISSON, PredictionLevel::Ideal);
+            sf_model::predict(&base_dev, &ds, &wl, paper::iters::POISSON, PredictionLevel::Ideal)
+                .expect("design matches workload");
         e.row(vec![
             format!("{nx}x{ny}"),
             format!("{:.0}", bw(&base_dev, false)),

@@ -14,6 +14,7 @@
 
 pub mod cli;
 pub mod experiments;
+pub mod faults;
 pub mod paper;
 pub mod table;
 

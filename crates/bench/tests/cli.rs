@@ -74,3 +74,75 @@ fn feasibility_json_parses() {
     let doc: Value = serde_json::from_str(&String::from_utf8(out.stdout).unwrap()).unwrap();
     assert!(doc.get("baseline_feasible").is_some());
 }
+
+#[test]
+fn invalid_numeric_flags_exit_2() {
+    for (flag, val) in [("--iters", "0"), ("--batch", "-3"), ("--top", "zebra")] {
+        let out = sfstencil()
+            .args(["dse", "--app", "poisson", "--mesh", "64x64", flag, val])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(2), "{flag}={val} must be rejected");
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(stderr.contains(flag), "error names the flag: {stderr}");
+    }
+}
+
+#[test]
+fn faults_campaign_accounts_for_every_injection() {
+    let out = sfstencil()
+        .args(["faults", "--app", "poisson2d", "--seed", "42", "--json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let doc: Value = serde_json::from_str(&String::from_utf8(out.stdout).unwrap()).unwrap();
+    assert_eq!(doc.get("campaign_seed").and_then(Value::as_u64), Some(42));
+    let s = doc.get("summary").expect("summary block");
+    let injected = s.get("injected").and_then(Value::as_u64).unwrap();
+    assert!(injected > 0, "the campaign must inject faults");
+    assert_eq!(
+        s.get("detected_or_recovered").and_then(Value::as_u64),
+        Some(injected),
+        "every injected fault detected or recovered"
+    );
+    assert_eq!(s.get("silent_wrong").and_then(Value::as_u64), Some(0));
+    assert_eq!(s.get("recovery_failed").and_then(Value::as_u64), Some(0));
+}
+
+#[test]
+fn faults_campaign_is_reproducible_per_seed() {
+    let run = || {
+        sfstencil()
+            .args([
+                "faults", "--app", "jacobi3d", "--seed", "7", "--rate", "1000000", "--trials", "1",
+                "--json",
+            ])
+            .output()
+            .unwrap()
+    };
+    let (a, b) = (run(), run());
+    assert!(a.status.success() && b.status.success());
+    assert_eq!(a.stdout, b.stdout, "same seed must reproduce byte-identical output");
+    let other = sfstencil()
+        .args([
+            "faults", "--app", "jacobi3d", "--seed", "8", "--rate", "1000000", "--trials", "1",
+            "--json",
+        ])
+        .output()
+        .unwrap();
+    assert_ne!(a.stdout, other.stdout, "a different seed changes the schedule");
+}
+
+#[test]
+fn faults_rejects_bad_arguments() {
+    for args in [
+        vec!["faults", "--app", "fft"],
+        vec!["faults", "--seed", "banana"],
+        vec!["faults", "--rate", "0"],
+        vec!["faults", "--trials", "0"],
+    ] {
+        let out = sfstencil().args(&args).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{args:?} must be rejected");
+        assert!(String::from_utf8(out.stderr).unwrap().contains("usage:"));
+    }
+}

@@ -1,0 +1,95 @@
+//! The unified error type for the end-to-end workflow.
+//!
+//! Every fallible step of the pipeline — model queries, design-space
+//! exploration, synthesis, simulated execution — has its own typed error;
+//! [`SfError`] is the umbrella the workflow-level APIs return so callers
+//! (the CLI, the fault-campaign runner) handle one type and still see
+//! exactly which layer failed.
+
+use sf_fpga::design::SynthesisError;
+use sf_fpga::ExecError;
+use sf_model::ModelError;
+
+use crate::workflow::WorkflowError;
+
+/// Any failure along the stencil-to-FPGA workflow.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SfError {
+    /// The analytic model rejected its inputs (see [`ModelError`]).
+    Model(ModelError),
+    /// The workflow found no viable path (see [`WorkflowError`]).
+    Workflow(WorkflowError),
+    /// Synthesis rejected the configuration (see [`SynthesisError`]).
+    Synthesis(SynthesisError),
+    /// Simulated execution failed (see [`ExecError`]) — deadlock, exhausted
+    /// AXI retries, or a shape mismatch.
+    Exec(ExecError),
+}
+
+impl core::fmt::Display for SfError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SfError::Model(e) => write!(f, "model: {e}"),
+            SfError::Workflow(e) => write!(f, "workflow: {e}"),
+            SfError::Synthesis(e) => write!(f, "synthesis: {e}"),
+            SfError::Exec(e) => write!(f, "execution: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SfError::Model(e) => Some(e),
+            SfError::Workflow(e) => Some(e),
+            SfError::Synthesis(e) => Some(e),
+            SfError::Exec(e) => Some(e),
+        }
+    }
+}
+
+impl From<ModelError> for SfError {
+    fn from(e: ModelError) -> Self {
+        SfError::Model(e)
+    }
+}
+
+impl From<WorkflowError> for SfError {
+    fn from(e: WorkflowError) -> Self {
+        SfError::Workflow(e)
+    }
+}
+
+impl From<SynthesisError> for SfError {
+    fn from(e: SynthesisError) -> Self {
+        SfError::Synthesis(e)
+    }
+}
+
+impl From<ExecError> for SfError {
+    fn from(e: ExecError) -> Self {
+        SfError::Exec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failing_layer() {
+        let e: SfError = ModelError::invalid("v", "must be >= 1").into();
+        assert!(format!("{e}").starts_with("model:"));
+        let e: SfError = WorkflowError::NoFeasibleDesign { app: "Poisson2D".into() }.into();
+        assert!(format!("{e}").starts_with("workflow:"));
+        let e: SfError = SynthesisError::Invalid("V and p must be positive".into()).into();
+        assert!(format!("{e}").starts_with("synthesis:"));
+    }
+
+    #[test]
+    fn source_chain_reaches_the_layer_error() {
+        use std::error::Error;
+        let e: SfError = ModelError::invalid("max_p", "must be >= 1").into();
+        assert!(e.source().unwrap().to_string().contains("max_p"));
+    }
+}

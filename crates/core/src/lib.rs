@@ -17,7 +17,7 @@
 //! let wl = Workload::D2 { nx: 300, ny: 300, batch: 1 };
 //!
 //! // 2. feasibility: V_max, p_dsp, p_mem, amenability (paper §III-A, §VI)
-//! let feas = wf.feasibility(&spec, &wl);
+//! let feas = wf.feasibility(&spec, &wl).unwrap();
 //! assert!(feas.baseline_feasible);
 //!
 //! // 3. design-space exploration with the predictive model (§III–§IV)
@@ -36,18 +36,24 @@
 //! [`solvers::JacobiSolver`], [`solvers::RtmSolver`].
 
 pub mod compare;
+pub mod error;
 pub mod profile;
+pub mod resilience;
 pub mod solvers;
 pub mod workflow;
 
 pub use compare::Comparison;
+pub use error::SfError;
 pub use profile::ProfileResult;
+pub use resilience::{synthesize_degraded, Degradation, DegradedDesign};
 pub use workflow::{Workflow, WorkflowError};
 
 /// Everything a typical user needs.
 pub mod prelude {
     pub use crate::compare::Comparison;
+    pub use crate::error::SfError;
     pub use crate::profile::ProfileResult;
+    pub use crate::resilience::{synthesize_degraded, Degradation, DegradedDesign};
     pub use crate::solvers::{JacobiSolver, PoissonSolver, RtmSolver};
     pub use crate::workflow::{Workflow, WorkflowError};
     pub use sf_fpga::design::{ExecMode, MemKind, StencilDesign, Workload};

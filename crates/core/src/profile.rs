@@ -13,7 +13,9 @@
 //! buffer fill/drain events); paper-scale workloads trace the schedule
 //! only — the cycle accounting is identical either way.
 
-use crate::workflow::{Workflow, WorkflowError};
+use crate::error::SfError;
+use crate::resilience::Degradation;
+use crate::workflow::Workflow;
 use serde::Value;
 use sf_fpga::design::{StencilDesign, Workload};
 use sf_fpga::trace::PlanTrace;
@@ -48,6 +50,10 @@ pub struct ProfileResult {
     pub divergence: Divergence,
     /// Whether real numerics were streamed (vs schedule-only tracing).
     pub behavioral: bool,
+    /// Concessions made to produce this profile (schedule-only fallback
+    /// when the workload exceeds [`BEHAVIORAL_BUDGET`] or has no concrete
+    /// kernel to stream).
+    pub degradations: Vec<Degradation>,
 }
 
 impl Workflow {
@@ -58,7 +64,7 @@ impl Workflow {
         spec: &StencilSpec,
         wl: &Workload,
         niter: u64,
-    ) -> Result<ProfileResult, WorkflowError> {
+    ) -> Result<ProfileResult, SfError> {
         let best = self.best_design(spec, wl, niter)?;
         let design = best.design.clone();
         let dev = &self.device;
@@ -70,6 +76,7 @@ impl Workflow {
         let behavioral = wl.total_cells() * niter <= BEHAVIORAL_BUDGET;
         let report =
             if behavioral { run_behavioral(dev, &design, spec, wl, niter, &mut rec) } else { None };
+        let behavioral = report.is_some();
         let report = match report {
             Some(r) => r,
             None => {
@@ -84,10 +91,12 @@ impl Workflow {
             }
         };
 
-        let prediction = predict(dev, &design, wl, niter, PredictionLevel::Extended);
+        let prediction = predict(dev, &design, wl, niter, PredictionLevel::Extended)?;
         let divergence = Divergence::new(prediction.cycles, report.total_cycles);
         rec.set_divergence(divergence);
         let tr = trace::explain(dev, &design, wl, niter);
+        let degradations =
+            if behavioral { Vec::new() } else { vec![Degradation::ScheduleOnlyProfile] };
         Ok(ProfileResult {
             design,
             prediction,
@@ -95,7 +104,8 @@ impl Workflow {
             trace: tr,
             recorder: rec,
             divergence,
-            behavioral: wl.total_cells() * niter <= BEHAVIORAL_BUDGET,
+            behavioral,
+            degradations,
         })
     }
 }
@@ -150,6 +160,7 @@ mod tests {
         let wl = Workload::D2 { nx: 200, ny: 100, batch: 1 };
         let pr = wf.profile(&spec, &wl, 100).unwrap();
         assert!(pr.behavioral);
+        assert!(pr.degradations.is_empty());
         // Divergence is emitted on every run and within the paper tolerance.
         assert!(pr.divergence.within(15.0), "{}", pr.divergence.summary());
         assert!(pr.recorder.divergence().is_some());
@@ -172,6 +183,7 @@ mod tests {
         let wl = Workload::D2 { nx: 400, ny: 400, batch: 1 };
         let pr = wf.profile(&spec, &wl, 60_000).unwrap();
         assert!(!pr.behavioral);
+        assert_eq!(pr.degradations, vec![Degradation::ScheduleOnlyProfile]);
         assert_eq!(pr.recorder.counter("window.rows_streamed"), 0);
         let pipe = pr.recorder.find_track("pipeline").unwrap();
         assert_eq!(pr.recorder.track_span_cycles(pipe), pr.report.total_cycles);

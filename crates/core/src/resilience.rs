@@ -1,0 +1,253 @@
+//! Graceful degradation policies.
+//!
+//! When the requested configuration cannot be synthesized (or a fault
+//! campaign needs a safe re-run configuration), the workflow does not just
+//! fail: it degrades along the paper's own axes and records what it gave up:
+//!
+//! * **full unroll → largest feasible prefix** — the chained `p`-deep
+//!   pipeline shrinks to the deepest `p′ < p` the device accepts
+//!   ([`Degradation::ReducedUnroll`]);
+//! * **batched → unbatched** — a batch too large to keep resident in
+//!   external memory falls back to per-mesh baseline execution
+//!   ([`Degradation::UnbatchedFallback`]);
+//! * **behavioral → schedule-only profiling** — [`crate::Workflow::profile`]
+//!   traces the schedule without streaming numerics when the workload
+//!   exceeds the behavioral budget ([`Degradation::ScheduleOnlyProfile`]).
+
+use serde::{Deserialize, Serialize};
+use sf_fpga::design::{synthesize, ExecMode, StencilDesign, Workload};
+use sf_fpga::{FpgaDevice, MemKind};
+use sf_kernels::StencilSpec;
+
+use crate::error::SfError;
+use crate::workflow::WorkflowError;
+
+/// One concession made to keep a run alive.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Degradation {
+    /// The unroll factor shrank to the largest feasible prefix of the
+    /// requested chain.
+    ReducedUnroll {
+        /// Unroll factor originally requested.
+        requested: usize,
+        /// Unroll factor actually synthesized.
+        achieved: usize,
+    },
+    /// A batched design was infeasible; the run falls back to per-mesh
+    /// baseline execution.
+    UnbatchedFallback {
+        /// Batch size that was given up.
+        batch: usize,
+    },
+    /// Profiling traced the schedule only (no behavioral numerics).
+    ScheduleOnlyProfile,
+}
+
+impl core::fmt::Display for Degradation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Degradation::ReducedUnroll { requested, achieved } => {
+                write!(f, "unroll reduced p={requested} -> p={achieved}")
+            }
+            Degradation::UnbatchedFallback { batch } => {
+                write!(f, "batched(b={batch}) -> unbatched baseline")
+            }
+            Degradation::ScheduleOnlyProfile => write!(f, "behavioral -> schedule-only profile"),
+        }
+    }
+}
+
+/// A synthesized design plus the concessions that made it feasible.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegradedDesign {
+    /// The design that did synthesize.
+    pub design: StencilDesign,
+    /// Concessions applied, in the order they were taken (empty when the
+    /// requested configuration synthesized as-is).
+    pub applied: Vec<Degradation>,
+    /// The workload the design targets — differs from the requested one
+    /// after an unbatched fallback (batch = 1).
+    pub workload: Workload,
+}
+
+impl DegradedDesign {
+    /// Whether any concession was needed.
+    pub fn degraded(&self) -> bool {
+        !self.applied.is_empty()
+    }
+}
+
+/// Deepest `p' <= p` that synthesizes, with its design.
+fn largest_feasible(
+    dev: &FpgaDevice,
+    spec: &StencilSpec,
+    v: usize,
+    p: usize,
+    mode: ExecMode,
+    mem: MemKind,
+    wl: &Workload,
+) -> Option<(StencilDesign, usize)> {
+    (1..=p).rev().find_map(|pp| synthesize(dev, spec, v, pp, mode, mem, wl).ok().map(|d| (d, pp)))
+}
+
+/// Synthesize the requested configuration, degrading instead of failing:
+/// first the unroll prefix scan, then (for batched modes) the unbatched
+/// fallback with its own prefix scan. Only when every policy is exhausted
+/// does this return [`WorkflowError::NoFeasibleDesign`].
+pub fn synthesize_degraded(
+    dev: &FpgaDevice,
+    spec: &StencilSpec,
+    v: usize,
+    p: usize,
+    mode: ExecMode,
+    mem: MemKind,
+    wl: &Workload,
+) -> Result<DegradedDesign, SfError> {
+    if let Some((design, pp)) = largest_feasible(dev, spec, v, p, mode, mem, wl) {
+        let mut applied = Vec::new();
+        if pp < p {
+            applied.push(Degradation::ReducedUnroll { requested: p, achieved: pp });
+        }
+        return Ok(DegradedDesign { design, applied, workload: *wl });
+    }
+    if let ExecMode::Batched { b } = mode {
+        let wl1 = match *wl {
+            Workload::D2 { nx, ny, .. } => Workload::D2 { nx, ny, batch: 1 },
+            Workload::D3 { nx, ny, nz, .. } => Workload::D3 { nx, ny, nz, batch: 1 },
+        };
+        if let Some((design, pp)) = largest_feasible(dev, spec, v, p, ExecMode::Baseline, mem, &wl1)
+        {
+            let mut applied = vec![Degradation::UnbatchedFallback { batch: b }];
+            if pp < p {
+                applied.push(Degradation::ReducedUnroll { requested: p, achieved: pp });
+            }
+            return Ok(DegradedDesign { design, applied, workload: wl1 });
+        }
+    }
+    Err(WorkflowError::NoFeasibleDesign { app: format!("{}", spec.app) }.into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> FpgaDevice {
+        FpgaDevice::u280()
+    }
+
+    #[test]
+    fn feasible_request_is_not_degraded() {
+        let d = dev();
+        let wl = Workload::D2 { nx: 400, ny: 400, batch: 1 };
+        let dd = synthesize_degraded(
+            &d,
+            &StencilSpec::poisson(),
+            8,
+            60,
+            ExecMode::Baseline,
+            MemKind::Hbm,
+            &wl,
+        )
+        .unwrap();
+        assert!(!dd.degraded());
+        assert_eq!(dd.design.p, 60);
+    }
+
+    #[test]
+    fn oversized_unroll_degrades_to_largest_prefix() {
+        let d = dev();
+        let wl = Workload::D2 { nx: 400, ny: 400, batch: 1 };
+        let p_req = 500; // far beyond the DSP wall (p_dsp = 68 at V = 8)
+        assert!(synthesize(
+            &d,
+            &StencilSpec::poisson(),
+            8,
+            p_req,
+            ExecMode::Baseline,
+            MemKind::Hbm,
+            &wl
+        )
+        .is_err());
+        let dd = synthesize_degraded(
+            &d,
+            &StencilSpec::poisson(),
+            8,
+            p_req,
+            ExecMode::Baseline,
+            MemKind::Hbm,
+            &wl,
+        )
+        .unwrap();
+        assert!(dd.degraded());
+        assert!(matches!(
+            dd.applied[0],
+            Degradation::ReducedUnroll { requested: 500, achieved } if achieved >= 1
+        ));
+        assert_eq!(
+            dd.design.p,
+            match dd.applied[0] {
+                Degradation::ReducedUnroll { achieved, .. } => achieved,
+                _ => unreachable!(),
+            }
+        );
+        // the prefix really is maximal: one deeper must fail
+        assert!(synthesize(
+            &d,
+            &StencilSpec::poisson(),
+            8,
+            dd.design.p + 1,
+            ExecMode::Baseline,
+            MemKind::Hbm,
+            &wl
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn resident_overflow_falls_back_to_unbatched() {
+        // 400x400 x 1M meshes cannot stay resident in 8 GB of HBM at any p,
+        // but a single mesh can: the policy gives up batching, not the run.
+        let d = dev();
+        let b = 1_000_000;
+        let wl = Workload::D2 { nx: 400, ny: 400, batch: b };
+        let dd = synthesize_degraded(
+            &d,
+            &StencilSpec::poisson(),
+            8,
+            60,
+            ExecMode::Batched { b },
+            MemKind::Hbm,
+            &wl,
+        )
+        .unwrap();
+        assert!(dd.applied.contains(&Degradation::UnbatchedFallback { batch: b }));
+        assert_eq!(dd.workload, Workload::D2 { nx: 400, ny: 400, batch: 1 });
+        assert!(matches!(dd.design.mode, ExecMode::Baseline));
+    }
+
+    #[test]
+    fn exhausted_policies_report_no_feasible_design() {
+        // 4000^2 x 100 cells exceed external memory even unbatched.
+        let d = dev();
+        let wl = Workload::D3 { nx: 4000, ny: 4000, nz: 100, batch: 1 };
+        let err = synthesize_degraded(
+            &d,
+            &StencilSpec::jacobi(),
+            8,
+            4,
+            ExecMode::Baseline,
+            MemKind::Hbm,
+            &wl,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SfError::Workflow(WorkflowError::NoFeasibleDesign { .. })), "{err}");
+    }
+
+    #[test]
+    fn degradations_render_for_reports() {
+        let s = format!("{}", Degradation::ReducedUnroll { requested: 60, achieved: 12 });
+        assert!(s.contains("p=60") && s.contains("p=12"));
+        let s = format!("{}", Degradation::UnbatchedFallback { batch: 100 });
+        assert!(s.contains("unbatched"));
+    }
+}

@@ -7,7 +7,8 @@
 //! reference (`validate = true` is the default for anything
 //! correctness-critical; turn it off for timing studies on larger meshes).
 
-use crate::workflow::{Workflow, WorkflowError};
+use crate::error::SfError;
+use crate::workflow::Workflow;
 use sf_fpga::design::{StencilDesign, Workload};
 use sf_fpga::{exec2d, exec3d, FpgaDevice, SimReport};
 use sf_kernels::rtm::{self, RtmState};
@@ -24,7 +25,7 @@ pub struct PoissonSolver {
 
 impl PoissonSolver {
     /// Build from a workflow-selected best design for the workload.
-    pub fn auto(wf: &Workflow, wl: &Workload, niter: u64) -> Result<Self, WorkflowError> {
+    pub fn auto(wf: &Workflow, wl: &Workload, niter: u64) -> Result<Self, SfError> {
         let best = wf.best_design(&StencilSpec::poisson(), wl, niter)?;
         Ok(PoissonSolver { design: best.design, device: wf.device.clone() })
     }
@@ -64,7 +65,7 @@ pub struct JacobiSolver {
 
 impl JacobiSolver {
     /// Build from a workflow-selected best design (smoothing coefficients).
-    pub fn auto(wf: &Workflow, wl: &Workload, niter: u64) -> Result<Self, WorkflowError> {
+    pub fn auto(wf: &Workflow, wl: &Workload, niter: u64) -> Result<Self, SfError> {
         let best = wf.best_design(&StencilSpec::jacobi(), wl, niter)?;
         Ok(JacobiSolver {
             design: best.design,
@@ -114,7 +115,7 @@ impl RtmSolver {
         wl: &Workload,
         niter: u64,
         params: RtmParams,
-    ) -> Result<Self, WorkflowError> {
+    ) -> Result<Self, SfError> {
         let best = wf.best_design(&StencilSpec::rtm(), wl, niter)?;
         Ok(RtmSolver { design: best.design, params, device: wf.device.clone() })
     }
@@ -167,7 +168,7 @@ pub fn solve_poisson_book(
     wf: &Workflow,
     book: &[sf_mesh::Mesh2D<f32>],
     niter: usize,
-) -> Result<(Vec<sf_mesh::Mesh2D<f32>>, Vec<SimReport>), WorkflowError> {
+) -> Result<(Vec<sf_mesh::Mesh2D<f32>>, Vec<SimReport>), SfError> {
     let mut results: Vec<Option<sf_mesh::Mesh2D<f32>>> = vec![None; book.len()];
     let mut reports = Vec::new();
     for (batch, idxs) in sf_mesh::batch::group_by_shape_2d(book) {

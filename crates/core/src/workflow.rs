@@ -1,6 +1,7 @@
 //! The step-wise design workflow (paper §III–§IV as an API).
 
 use crate::compare::Comparison;
+use crate::error::SfError;
 use serde::{Deserialize, Serialize};
 use sf_fpga::design::{StencilDesign, Workload};
 use sf_fpga::{cycles, power, FpgaDevice, SimReport};
@@ -52,18 +53,27 @@ impl Workflow {
     /// Step 1 — feasibility analysis (eqs. 4/6/7 + §VI determinants).
     /// The streaming buffer unit is derived from the workload: row length for
     /// 2D, plane size for 3D.
-    pub fn feasibility(&self, spec: &StencilSpec, wl: &Workload) -> FeasibilityReport {
+    pub fn feasibility(
+        &self,
+        spec: &StencilSpec,
+        wl: &Workload,
+    ) -> Result<FeasibilityReport, SfError> {
         let unit = match *wl {
             Workload::D2 { nx, .. } => nx,
             Workload::D3 { nx, ny, .. } => nx * ny,
         };
         let v = sf_model::feasibility::nominal_v(&self.device, spec, self.opts.mem);
-        FeasibilityReport::analyze(&self.device, spec, v, unit, self.opts.mem)
+        Ok(FeasibilityReport::analyze(&self.device, spec, v, unit, self.opts.mem)?)
     }
 
     /// Step 2 — design-space exploration, ranked fastest-first.
-    pub fn explore(&self, spec: &StencilSpec, wl: &Workload, niter: u64) -> Vec<Candidate> {
-        dse::explore(&self.device, spec, wl, niter, &self.opts)
+    pub fn explore(
+        &self,
+        spec: &StencilSpec,
+        wl: &Workload,
+        niter: u64,
+    ) -> Result<Vec<Candidate>, SfError> {
+        Ok(dse::explore(&self.device, spec, wl, niter, &self.opts)?)
     }
 
     /// Step 3 — the winning design.
@@ -72,9 +82,9 @@ impl Workflow {
         spec: &StencilSpec,
         wl: &Workload,
         niter: u64,
-    ) -> Result<Candidate, WorkflowError> {
-        dse::best(&self.device, spec, wl, niter, &self.opts)
-            .ok_or_else(|| WorkflowError::NoFeasibleDesign { app: format!("{}", spec.app) })
+    ) -> Result<Candidate, SfError> {
+        dse::best(&self.device, spec, wl, niter, &self.opts)?
+            .ok_or_else(|| WorkflowError::NoFeasibleDesign { app: format!("{}", spec.app) }.into())
     }
 
     /// Step 4 — achieved performance of a design on the simulated U280.
@@ -94,7 +104,7 @@ impl Workflow {
         spec: &StencilSpec,
         wl: &Workload,
         niter: u64,
-    ) -> Result<Comparison, WorkflowError> {
+    ) -> Result<Comparison, SfError> {
         let best = self.best_design(spec, wl, niter)?;
         let fpga = self.fpga_estimate(&best.design, wl, niter);
         let gpu = self.gpu_estimate(spec, wl, niter);
@@ -112,7 +122,7 @@ mod tests {
         let wf = Workflow::u280_vs_v100();
         let spec = StencilSpec::poisson();
         let wl = Workload::D2 { nx: 300, ny: 300, batch: 1 };
-        let feas = wf.feasibility(&spec, &wl);
+        let feas = wf.feasibility(&spec, &wl).unwrap();
         assert!(feas.baseline_feasible);
         let cmp = wf.compare(&spec, &wl, 60_000).unwrap();
         assert_eq!(cmp.fpga.app, AppId::Poisson2D);
@@ -130,7 +140,7 @@ mod tests {
         // baseline on a mesh whose planes exceed on-chip memory
         let wl = Workload::D3 { nx: 2500, ny: 2500, nz: 50, batch: 1 };
         let err = wf.best_design(&spec, &wl, 100).unwrap_err();
-        assert!(matches!(err, WorkflowError::NoFeasibleDesign { .. }));
+        assert!(matches!(err, SfError::Workflow(WorkflowError::NoFeasibleDesign { .. })));
         assert!(format!("{err}").contains("Jacobi"));
     }
 

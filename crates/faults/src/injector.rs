@@ -1,0 +1,393 @@
+//! Seed-driven fault plans and the runtime injector.
+//!
+//! A [`FaultPlan`] names *what* to inject (one [`FaultKind`]), *how often*
+//! (a rate in faults per million opportunities) and *from which seed*. The
+//! [`FaultInjector`] executes the plan: the simulator consults it at every
+//! opportunity point and the injector rolls a SplitMix64 stream to decide.
+//! Identical seeds and identical simulator schedules therefore reproduce
+//! identical fault sequences — the property every campaign test pins.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The datapath fault taxonomy (ISSUE 2 / §Resilience in EXPERIMENTS.md).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Flip one bit of one lane of a window-buffer cell.
+    BitFlip,
+    /// Drop one element (row/plane) from a stream FIFO.
+    FifoDrop,
+    /// Duplicate one element of a stream FIFO.
+    FifoDup,
+    /// Corrupt the payload of one stream FIFO element.
+    FifoCorrupt,
+    /// Delay an AXI burst (absorbed by the retry/backoff model).
+    AxiDelay,
+    /// Fail an AXI burst (retried with backoff; may exhaust the budget).
+    AxiFail,
+}
+
+impl FaultKind {
+    /// Every kind, in campaign sweep order.
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::BitFlip,
+        FaultKind::FifoDrop,
+        FaultKind::FifoDup,
+        FaultKind::FifoCorrupt,
+        FaultKind::AxiDelay,
+        FaultKind::AxiFail,
+    ];
+
+    /// Stable lowercase name (CLI flag values, JSON keys).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::BitFlip => "bitflip",
+            FaultKind::FifoDrop => "fifo-drop",
+            FaultKind::FifoDup => "fifo-dup",
+            FaultKind::FifoCorrupt => "fifo-corrupt",
+            FaultKind::AxiDelay => "axi-delay",
+            FaultKind::AxiFail => "axi-fail",
+        }
+    }
+
+    /// Parse a CLI name produced by [`FaultKind::name`].
+    pub fn parse(s: &str) -> Option<FaultKind> {
+        FaultKind::ALL.iter().copied().find(|k| k.name() == s)
+    }
+}
+
+impl core::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A deterministic fault campaign cell: one kind, one rate, one seed.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// RNG seed — same seed, same schedule ⇒ same injections.
+    pub seed: u64,
+    /// Fault kind to inject.
+    pub kind: FaultKind,
+    /// Injection rate in faults per million opportunities.
+    pub rate_ppm: u32,
+    /// Hard cap on injections (0 = unlimited) so a high rate cannot turn a
+    /// run into noise.
+    pub max_injections: u32,
+}
+
+impl FaultPlan {
+    /// A plan injecting `kind` at `rate_ppm` from `seed`, capped at one
+    /// injection — the campaign default (single-fault trials make
+    /// detection attribution unambiguous).
+    pub fn single(seed: u64, kind: FaultKind, rate_ppm: u32) -> Self {
+        FaultPlan { seed, kind, rate_ppm, max_injections: 1 }
+    }
+}
+
+/// Where a fault landed, for the campaign report.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultSite {
+    /// Window-buffer cell: pipeline stage, stream unit, cell, lane, bit.
+    Window {
+        /// Chained-stage index.
+        stage: usize,
+        /// Stream unit (row or plane) index.
+        unit: usize,
+        /// Cell within the unit.
+        cell: usize,
+        /// f32 lane within the cell.
+        lane: usize,
+        /// Bit within the lane.
+        bit: u32,
+    },
+    /// Stream FIFO element (row/plane index in the stream).
+    Stream {
+        /// Stream unit index.
+        unit: usize,
+    },
+    /// AXI burst index within the run.
+    Axi {
+        /// Burst index.
+        burst: u64,
+    },
+}
+
+/// One injected fault: what and where.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultRecord {
+    /// The injected kind.
+    pub kind: FaultKind,
+    /// The injection site.
+    pub site: FaultSite,
+}
+
+/// A window-buffer bit flip: which cell, lane and bit to corrupt.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct BitFlip {
+    /// Cell within the streamed unit.
+    pub cell: usize,
+    /// f32 lane within the cell.
+    pub lane: usize,
+    /// Bit within the lane (0..32).
+    pub bit: u32,
+}
+
+/// What to do with one stream element.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum StreamFault {
+    /// Pass through untouched.
+    None,
+    /// Drop the element (the consumer starves — watchdog territory).
+    Drop,
+    /// Duplicate the element (shifts the stream — checksum territory).
+    Dup,
+    /// Corrupt the element payload.
+    Corrupt,
+}
+
+/// The runtime fault source. Deterministic: consult order × seed fixes the
+/// entire injection sequence.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: StdRng,
+    opportunities: u64,
+    log: Vec<FaultRecord>,
+}
+
+impl FaultInjector {
+    /// Build an injector executing `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            plan,
+            rng: StdRng::seed_from_u64(plan.seed ^ 0x5f5f_fa17_u64.rotate_left(plan.kind as u32)),
+            opportunities: 0,
+            log: Vec::new(),
+        }
+    }
+
+    /// An injector that never injects (rate 0) — the executors' default.
+    pub fn disabled() -> Self {
+        FaultInjector::new(FaultPlan {
+            seed: 0,
+            kind: FaultKind::BitFlip,
+            rate_ppm: 0,
+            max_injections: 0,
+        })
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Number of injections performed so far.
+    pub fn injected(&self) -> u64 {
+        self.log.len() as u64
+    }
+
+    /// Opportunity points consulted so far.
+    pub fn opportunities(&self) -> u64 {
+        self.opportunities
+    }
+
+    /// Every injection, in order.
+    pub fn log(&self) -> &[FaultRecord] {
+        &self.log
+    }
+
+    /// One Bernoulli roll at the plan's rate. Advances the RNG exactly once
+    /// per opportunity of the plan's kind, so the stream is stable under
+    /// refactors that do not reorder opportunity points.
+    fn roll(&mut self, kind: FaultKind) -> bool {
+        if kind != self.plan.kind || self.plan.rate_ppm == 0 {
+            return false;
+        }
+        if self.plan.max_injections != 0 && self.log.len() as u32 >= self.plan.max_injections {
+            return false;
+        }
+        self.opportunities += 1;
+        (self.rng.next_u64() % 1_000_000) < self.plan.rate_ppm as u64
+    }
+
+    /// Window-buffer opportunity: should the cell fed to `stage` as part of
+    /// stream `unit` (of `cells` cells × `lanes` lanes) take a bit flip?
+    pub fn window_bitflip(
+        &mut self,
+        stage: usize,
+        unit: usize,
+        cells: usize,
+        lanes: usize,
+    ) -> Option<BitFlip> {
+        if cells == 0 || lanes == 0 || !self.roll(FaultKind::BitFlip) {
+            return None;
+        }
+        let cell = (self.rng.next_u64() % cells as u64) as usize;
+        let lane = (self.rng.next_u64() % lanes as u64) as usize;
+        let bit = (self.rng.next_u64() % 32) as u32;
+        self.log.push(FaultRecord {
+            kind: FaultKind::BitFlip,
+            site: FaultSite::Window { stage, unit, cell, lane, bit },
+        });
+        Some(BitFlip { cell, lane, bit })
+    }
+
+    /// Stream-FIFO opportunity for element `unit`: drop, duplicate, corrupt
+    /// or pass through.
+    pub fn stream_fault(&mut self, unit: usize) -> StreamFault {
+        for (kind, fault) in [
+            (FaultKind::FifoDrop, StreamFault::Drop),
+            (FaultKind::FifoDup, StreamFault::Dup),
+            (FaultKind::FifoCorrupt, StreamFault::Corrupt),
+        ] {
+            if self.roll(kind) {
+                self.log.push(FaultRecord { kind, site: FaultSite::Stream { unit } });
+                return fault;
+            }
+        }
+        StreamFault::None
+    }
+
+    /// AXI burst opportunity: `Ok` to proceed normally, or a verdict from
+    /// the retry model. `burst` is the burst index (for the record only).
+    pub fn axi_burst(&mut self, burst: u64, policy: &RetryPolicy) -> AxiVerdict {
+        use crate::retry::AxiVerdict as V;
+        if self.roll(FaultKind::AxiDelay) {
+            self.log
+                .push(FaultRecord { kind: FaultKind::AxiDelay, site: FaultSite::Axi { burst } });
+            // One transient retry: backoff for attempt 1.
+            return V::Recovered { attempts: 1, extra_cycles: policy.backoff_cycles(1) };
+        }
+        if self.roll(FaultKind::AxiFail) {
+            self.log.push(FaultRecord { kind: FaultKind::AxiFail, site: FaultSite::Axi { burst } });
+            // The burst fails `fails` consecutive times before succeeding —
+            // or exhausts the retry budget.
+            let fails = 1 + (self.rng.next_u64() % (policy.max_retries as u64 + 1)) as u32;
+            if fails > policy.max_retries {
+                return V::Exhausted { attempts: fails };
+            }
+            return V::Recovered { attempts: fails, extra_cycles: policy.total_backoff(fails) };
+        }
+        V::Ok
+    }
+}
+
+use crate::retry::{AxiVerdict, RetryPolicy};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_injections() {
+        let mk = || {
+            let mut inj = FaultInjector::new(FaultPlan {
+                seed: 42,
+                kind: FaultKind::BitFlip,
+                rate_ppm: 200_000,
+                max_injections: 0,
+            });
+            let mut hits = Vec::new();
+            for unit in 0..200 {
+                if let Some(f) = inj.window_bitflip(0, unit, 64, 1) {
+                    hits.push((unit, f.cell, f.lane, f.bit));
+                }
+            }
+            (hits, inj.log().to_vec())
+        };
+        let (a, la) = mk();
+        let (b, lb) = mk();
+        assert_eq!(a, b);
+        assert_eq!(la, lb);
+        assert!(!a.is_empty(), "20% rate over 200 opportunities must fire");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let run = |seed| {
+            let mut inj = FaultInjector::new(FaultPlan {
+                seed,
+                kind: FaultKind::FifoDrop,
+                rate_ppm: 100_000,
+                max_injections: 0,
+            });
+            (0..500).map(|u| inj.stream_fault(u)).collect::<Vec<_>>()
+        };
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn rate_zero_never_fires_and_disabled_is_free() {
+        let mut inj = FaultInjector::disabled();
+        for unit in 0..1000 {
+            assert_eq!(inj.stream_fault(unit), StreamFault::None);
+            assert!(inj.window_bitflip(0, unit, 8, 1).is_none());
+        }
+        assert_eq!(inj.injected(), 0);
+        assert_eq!(inj.opportunities(), 0);
+    }
+
+    #[test]
+    fn max_injections_caps_the_plan() {
+        let mut inj = FaultInjector::new(FaultPlan::single(7, FaultKind::FifoCorrupt, 1_000_000));
+        let faults: Vec<_> =
+            (0..50).map(|u| inj.stream_fault(u)).filter(|f| *f != StreamFault::None).collect();
+        assert_eq!(faults.len(), 1, "single-fault plan must stop after one injection");
+        assert_eq!(inj.injected(), 1);
+    }
+
+    #[test]
+    fn kinds_do_not_cross_fire() {
+        // A BitFlip plan must never produce stream or AXI faults.
+        let mut inj = FaultInjector::new(FaultPlan {
+            seed: 3,
+            kind: FaultKind::BitFlip,
+            rate_ppm: 1_000_000,
+            max_injections: 0,
+        });
+        let policy = RetryPolicy::default();
+        for u in 0..100 {
+            assert_eq!(inj.stream_fault(u), StreamFault::None);
+            assert!(matches!(inj.axi_burst(u as u64, &policy), AxiVerdict::Ok));
+        }
+        assert!(inj.window_bitflip(0, 0, 4, 1).is_some());
+    }
+
+    #[test]
+    fn fault_kind_names_roundtrip() {
+        for k in FaultKind::ALL {
+            assert_eq!(FaultKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(FaultKind::parse("meteor-strike"), None);
+    }
+
+    #[test]
+    fn axi_fail_recovers_or_exhausts() {
+        let policy = RetryPolicy::default();
+        let mut inj = FaultInjector::new(FaultPlan {
+            seed: 11,
+            kind: FaultKind::AxiFail,
+            rate_ppm: 1_000_000,
+            max_injections: 0,
+        });
+        let mut recovered = 0;
+        let mut exhausted = 0;
+        for b in 0..64 {
+            match inj.axi_burst(b, &policy) {
+                AxiVerdict::Recovered { attempts, extra_cycles } => {
+                    assert!(attempts >= 1 && attempts <= policy.max_retries);
+                    assert!(extra_cycles > 0);
+                    recovered += 1;
+                }
+                AxiVerdict::Exhausted { attempts } => {
+                    assert!(attempts > policy.max_retries);
+                    exhausted += 1;
+                }
+                AxiVerdict::Ok => unreachable!("rate is 100%"),
+            }
+        }
+        assert!(recovered > 0 && exhausted > 0, "both outcomes must occur over 64 bursts");
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # sf-faults — deterministic fault injection & resilience primitives
+//!
+//! The paper's workflow assumes an ideal device: every FIFO drains, every
+//! AXI burst completes, every configuration is feasible. A production-scale
+//! simulator must instead *survive* corrupted state, stalled pipelines and
+//! invalid configurations — and prove that it does. This crate provides the
+//! building blocks the rest of the workspace composes into that proof:
+//!
+//! * [`FaultPlan`] / [`FaultInjector`] — a seed-driven, fully deterministic
+//!   fault source. The injector is consulted at well-defined *opportunity
+//!   points* in the simulator (window-buffer pushes, stream elements, AXI
+//!   bursts) and decides — reproducibly for a given seed — whether to flip a
+//!   bit, drop/duplicate/corrupt a FIFO element, or fail/delay a burst.
+//!   Every injection is recorded with its site so campaigns can assert that
+//!   each one was detected or recovered.
+//! * [`Watchdog`] — a cycle-budget forward-progress monitor. The dataflow
+//!   simulator reports progress (rows/planes emitted) as model cycles
+//!   advance; when no progress is observed for the configured budget the
+//!   watchdog trips with a structured [`WatchdogTrip`] diagnosis (built from
+//!   the telemetry stall attribution) instead of letting the run hang.
+//! * [`RetryPolicy`] — the AXI retry/backoff model: failed bursts are
+//!   retried with exponential backoff, the extra cycles flow into the cycle
+//!   plan and telemetry, and exhaustion becomes a typed error instead of a
+//!   silent wrong answer.
+//!
+//! Everything here is deterministic by construction: the injector's RNG is
+//! SplitMix64 seeded from the campaign seed, and the simulator consults it
+//! in a deterministic order, so the same seed reproduces the same faults,
+//! detections and recoveries bit for bit.
+
+pub mod injector;
+pub mod retry;
+pub mod watchdog;
+
+pub use injector::{
+    BitFlip, FaultInjector, FaultKind, FaultPlan, FaultRecord, FaultSite, StreamFault,
+};
+pub use retry::{AxiVerdict, RetryPolicy};
+pub use watchdog::{Watchdog, WatchdogTrip};

@@ -1,0 +1,102 @@
+//! AXI retry/backoff model.
+//!
+//! A failed or delayed burst is retried with exponential backoff. The extra
+//! cycles are *modeled*, not wall-clock: they flow into the cycle plan (so a
+//! faulty-but-recovered run is visibly slower) and into telemetry counters.
+//! When the retry budget is exhausted the caller gets a typed verdict it
+//! must turn into an error — never a silent wrong answer.
+
+use serde::{Deserialize, Serialize};
+
+/// Exponential-backoff retry policy for AXI bursts.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Maximum retries before a burst is declared exhausted.
+    pub max_retries: u32,
+    /// Backoff for the first retry, in model cycles.
+    pub base_backoff_cycles: u64,
+    /// Backoff multiplier per further retry (≥ 1).
+    pub multiplier: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        // 4 retries starting at 64 cycles, doubling: 64+128+256+512 = 960
+        // extra cycles worst case per recovered burst — visible in the plan
+        // but far below a pass worth of work.
+        RetryPolicy { max_retries: 4, base_backoff_cycles: 64, multiplier: 2 }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff for retry `attempt` (1-based), in model cycles.
+    pub fn backoff_cycles(&self, attempt: u32) -> u64 {
+        if attempt == 0 {
+            return 0;
+        }
+        let mult = (self.multiplier.max(1) as u64).saturating_pow(attempt - 1);
+        self.base_backoff_cycles.saturating_mul(mult)
+    }
+
+    /// Total backoff across retries `1..=attempts`.
+    pub fn total_backoff(&self, attempts: u32) -> u64 {
+        (1..=attempts.min(self.max_retries))
+            .fold(0u64, |acc, a| acc.saturating_add(self.backoff_cycles(a)))
+    }
+
+    /// Worst-case extra cycles a single recovered burst can cost.
+    pub fn worst_case_backoff(&self) -> u64 {
+        self.total_backoff(self.max_retries)
+    }
+}
+
+/// Outcome of pushing one AXI burst through the fault/retry model.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AxiVerdict {
+    /// Burst completed normally.
+    Ok,
+    /// Burst failed/was delayed but a retry succeeded; `extra_cycles` of
+    /// backoff must be charged to the plan.
+    Recovered {
+        /// Attempts that failed before success.
+        attempts: u32,
+        /// Modeled backoff cycles to charge.
+        extra_cycles: u64,
+    },
+    /// Retry budget exhausted; the caller must abort with a typed error.
+    Exhausted {
+        /// Attempts made (> policy max_retries).
+        attempts: u32,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_exponential() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_cycles(1), 64);
+        assert_eq!(p.backoff_cycles(2), 128);
+        assert_eq!(p.backoff_cycles(3), 256);
+        assert_eq!(p.backoff_cycles(4), 512);
+        assert_eq!(p.total_backoff(4), 960);
+        assert_eq!(p.worst_case_backoff(), 960);
+    }
+
+    #[test]
+    fn zero_attempts_cost_nothing() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_cycles(0), 0);
+        assert_eq!(p.total_backoff(0), 0);
+    }
+
+    #[test]
+    fn huge_attempts_saturate_instead_of_overflowing() {
+        let p = RetryPolicy { max_retries: 200, base_backoff_cycles: u64::MAX / 2, multiplier: 8 };
+        // Must not panic in release or debug.
+        let _ = p.backoff_cycles(200);
+        let _ = p.total_backoff(200);
+    }
+}

@@ -1,0 +1,195 @@
+//! Cycle-budget watchdog: deadlock/livelock detection with a structured
+//! diagnosis instead of a hang.
+//!
+//! The dataflow simulator reports forward progress (stream units emitted)
+//! as model cycles advance. If no progress is observed within the budget,
+//! [`Watchdog::check`] returns a [`WatchdogTrip`] describing *where* the
+//! pipeline wedged, enriched with PR 1's stall attribution when available.
+
+use serde::{Deserialize, Serialize};
+use sf_telemetry::{StallBreakdown, StallClass};
+
+/// Structured deadlock diagnosis produced when the watchdog fires.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WatchdogTrip {
+    /// Model cycle at which progress was last observed.
+    pub last_progress_cycle: u64,
+    /// Model cycle at which the trip was detected.
+    pub tripped_at_cycle: u64,
+    /// The configured no-progress budget, in cycles.
+    pub budget_cycles: u64,
+    /// Stream units (rows/planes) emitted before the wedge.
+    pub units_emitted: u64,
+    /// Stream units the run was expected to emit.
+    pub units_expected: u64,
+    /// Dominant stall class from telemetry attribution, if recorded.
+    pub dominant_stall: Option<String>,
+    /// Human-readable site detail (e.g. "stage 3 starved: stream ended
+    /// after 17/24 rows").
+    pub detail: String,
+}
+
+impl WatchdogTrip {
+    /// Fold a telemetry stall breakdown into the diagnosis.
+    pub fn with_stalls(mut self, stalls: &StallBreakdown) -> Self {
+        if stalls.total() > 0 {
+            let name = match stalls.dominant() {
+                StallClass::Compute => "compute",
+                StallClass::Memory => "memory",
+                StallClass::Backpressure => "backpressure",
+            };
+            self.dominant_stall = Some(name.to_string());
+        }
+        self
+    }
+}
+
+impl core::fmt::Display for WatchdogTrip {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "watchdog: no forward progress for {} cycles (last progress at cycle {}, \
+             tripped at cycle {}); {}/{} units emitted",
+            self.budget_cycles,
+            self.last_progress_cycle,
+            self.tripped_at_cycle,
+            self.units_emitted,
+            self.units_expected
+        )?;
+        if let Some(s) = &self.dominant_stall {
+            write!(f, "; dominant stall: {s}")?;
+        }
+        if !self.detail.is_empty() {
+            write!(f, "; {}", self.detail)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for WatchdogTrip {}
+
+/// Forward-progress monitor with a fixed cycle budget.
+#[derive(Clone, Debug)]
+pub struct Watchdog {
+    budget_cycles: u64,
+    units_expected: u64,
+    units_emitted: u64,
+    last_progress_cycle: u64,
+}
+
+impl Watchdog {
+    /// A watchdog allowing at most `budget_cycles` between progress events,
+    /// expecting `units_expected` stream units in total.
+    pub fn new(budget_cycles: u64, units_expected: u64) -> Self {
+        Watchdog {
+            budget_cycles: budget_cycles.max(1),
+            units_expected,
+            units_emitted: 0,
+            last_progress_cycle: 0,
+        }
+    }
+
+    /// The configured budget in cycles.
+    pub fn budget_cycles(&self) -> u64 {
+        self.budget_cycles
+    }
+
+    /// Units emitted so far.
+    pub fn units_emitted(&self) -> u64 {
+        self.units_emitted
+    }
+
+    /// Record forward progress (`units` stream units emitted) at `cycle`.
+    pub fn observe(&mut self, cycle: u64, units: u64) {
+        self.units_emitted += units;
+        if cycle > self.last_progress_cycle {
+            self.last_progress_cycle = cycle;
+        }
+    }
+
+    /// Check for a wedge at `cycle`. Returns the trip if the budget has
+    /// elapsed without progress.
+    pub fn check(&self, cycle: u64, detail: &str) -> Result<(), WatchdogTrip> {
+        if cycle.saturating_sub(self.last_progress_cycle) <= self.budget_cycles {
+            return Ok(());
+        }
+        Err(WatchdogTrip {
+            last_progress_cycle: self.last_progress_cycle,
+            tripped_at_cycle: cycle,
+            budget_cycles: self.budget_cycles,
+            units_emitted: self.units_emitted,
+            units_expected: self.units_expected,
+            dominant_stall: None,
+            detail: detail.to_string(),
+        })
+    }
+
+    /// End-of-run check: the stream completed only if every expected unit
+    /// was emitted; a short stream is a starvation wedge even if cycles
+    /// kept advancing.
+    pub fn finish(&self, cycle: u64, detail: &str) -> Result<(), WatchdogTrip> {
+        if self.units_emitted >= self.units_expected {
+            return Ok(());
+        }
+        Err(WatchdogTrip {
+            last_progress_cycle: self.last_progress_cycle,
+            tripped_at_cycle: cycle,
+            budget_cycles: self.budget_cycles,
+            units_emitted: self.units_emitted,
+            units_expected: self.units_expected,
+            dominant_stall: None,
+            detail: detail.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_progress_never_trips() {
+        let mut w = Watchdog::new(100, 10);
+        for i in 0..10u64 {
+            w.observe(i * 50, 1);
+            assert!(w.check(i * 50 + 40, "").is_ok());
+        }
+        assert!(w.finish(500, "").is_ok());
+    }
+
+    #[test]
+    fn stalled_pipeline_trips_with_diagnosis() {
+        let mut w = Watchdog::new(100, 10);
+        w.observe(10, 3);
+        let err = w.check(200, "stage 1 starved").unwrap_err();
+        assert_eq!(err.last_progress_cycle, 10);
+        assert_eq!(err.tripped_at_cycle, 200);
+        assert_eq!(err.units_emitted, 3);
+        assert_eq!(err.units_expected, 10);
+        let msg = err.to_string();
+        assert!(msg.contains("no forward progress"), "{msg}");
+        assert!(msg.contains("stage 1 starved"), "{msg}");
+    }
+
+    #[test]
+    fn short_stream_fails_finish() {
+        let mut w = Watchdog::new(1000, 24);
+        w.observe(100, 17);
+        let err = w.finish(150, "stream ended early").unwrap_err();
+        assert_eq!(err.units_emitted, 17);
+        assert!(err.to_string().contains("17/24"));
+    }
+
+    #[test]
+    fn stall_attribution_enriches_trip() {
+        let stalls = StallBreakdown {
+            backpressure_cycles: 500,
+            memory_cycles: 10,
+            ..StallBreakdown::default()
+        };
+        let w = Watchdog::new(10, 4);
+        let trip = w.check(100, "").unwrap_err().with_stalls(&stalls);
+        assert_eq!(trip.dominant_stall.as_deref(), Some("backpressure"));
+        assert!(trip.to_string().contains("dominant stall: backpressure"));
+    }
+}

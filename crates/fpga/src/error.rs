@@ -1,0 +1,55 @@
+//! Typed executor errors.
+//!
+//! The resilient execution paths ([`crate::resilient`]) never panic on a
+//! datapath fault: a wedged pipeline becomes [`ExecError::Deadlock`] carrying
+//! the watchdog's structured diagnosis, an exhausted AXI retry budget becomes
+//! [`ExecError::AxiExhausted`], and configuration mismatches that the plain
+//! executors assert on become [`ExecError::ShapeMismatch`].
+
+use sf_faults::WatchdogTrip;
+
+/// Error from a resilient executor run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExecError {
+    /// The pipeline made no forward progress within the watchdog budget
+    /// (e.g. a dropped FIFO element starved a downstream stage).
+    Deadlock(WatchdogTrip),
+    /// An AXI burst failed more times than the retry policy allows.
+    AxiExhausted {
+        /// Index of the exhausted burst.
+        burst: u64,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// The input shape disagrees with the design's execution mode.
+    ShapeMismatch {
+        /// What disagreed.
+        detail: String,
+    },
+    /// The requested combination is not supported by the resilient path.
+    Unsupported {
+        /// What is unsupported.
+        detail: String,
+    },
+}
+
+impl core::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ExecError::Deadlock(trip) => write!(f, "pipeline deadlock: {trip}"),
+            ExecError::AxiExhausted { burst, attempts } => {
+                write!(f, "AXI burst {burst} failed {attempts} times; retry budget exhausted")
+            }
+            ExecError::ShapeMismatch { detail } => write!(f, "shape mismatch: {detail}"),
+            ExecError::Unsupported { detail } => write!(f, "unsupported: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<WatchdogTrip> for ExecError {
+    fn from(t: WatchdogTrip) -> Self {
+        ExecError::Deadlock(t)
+    }
+}

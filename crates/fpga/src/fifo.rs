@@ -11,6 +11,7 @@
 //!   synthesizer uses to charge FIFO BRAM.
 
 use serde::{Deserialize, Serialize};
+use sf_faults::{Watchdog, WatchdogTrip};
 use std::collections::VecDeque;
 
 /// Error returned when pushing into a full FIFO (backpressure).
@@ -25,6 +26,7 @@ pub struct Fifo<T> {
     high_water: usize,
     stalls: u64,
     total_pushes: u64,
+    underflows: u64,
 }
 
 impl<T> Fifo<T> {
@@ -37,6 +39,7 @@ impl<T> Fifo<T> {
             high_water: 0,
             stalls: 0,
             total_pushes: 0,
+            underflows: 0,
         }
     }
 
@@ -52,9 +55,14 @@ impl<T> Fifo<T> {
         Ok(())
     }
 
-    /// Pop the oldest element.
+    /// Pop the oldest element. A pop from an empty FIFO is counted as an
+    /// underflow (consumer starvation) and returns `None`.
     pub fn pop(&mut self) -> Option<T> {
-        self.buf.pop_front()
+        let v = self.buf.pop_front();
+        if v.is_none() {
+            self.underflows += 1;
+        }
+        v
     }
 
     /// Current occupancy.
@@ -80,6 +88,11 @@ impl<T> Fifo<T> {
     /// Rejected pushes (producer stalls).
     pub fn stalls(&self) -> u64 {
         self.stalls
+    }
+
+    /// Pops attempted on an empty FIFO (consumer starvation).
+    pub fn underflows(&self) -> u64 {
+        self.underflows
     }
 
     /// Accepted pushes.
@@ -119,12 +132,19 @@ pub struct FifoStats {
     pub high_water: usize,
     /// Producer stalls.
     pub stalls: u64,
+    /// Pops attempted on an empty FIFO.
+    pub underflows: u64,
 }
 
 impl<T> Fifo<T> {
     /// Snapshot the statistics.
     pub fn stats(&self) -> FifoStats {
-        FifoStats { capacity: self.capacity, high_water: self.high_water, stalls: self.stalls }
+        FifoStats {
+            capacity: self.capacity,
+            high_water: self.high_water,
+            stalls: self.stalls,
+            underflows: self.underflows,
+        }
     }
 }
 
@@ -192,6 +212,68 @@ pub fn simulate_backpressure(
         stall_cycles,
         finish_cycle,
     }
+}
+
+/// [`simulate_backpressure`] guarded by a [`Watchdog`] instead of the silent
+/// horizon bound: the watchdog observes each drained element, and a run that
+/// stops making forward progress for `watchdog_budget` cycles returns the
+/// structured [`WatchdogTrip`] diagnosis instead of a truncated report.
+///
+/// `wedge_after_drains` artificially stops the consumer after that many
+/// elements — an injected downstream stall that wedges the pipeline once the
+/// FIFO fills, exactly the deadlock the watchdog exists to catch.
+pub fn simulate_backpressure_watched(
+    items: u64,
+    produce_interval: u64,
+    drain_interval: u64,
+    capacity: usize,
+    wedge_after_drains: Option<u64>,
+    watchdog_budget: u64,
+) -> Result<BackpressureReport, WatchdogTrip> {
+    assert!(produce_interval > 0 && drain_interval > 0);
+    let mut fifo: Fifo<u64> = Fifo::new(capacity);
+    let mut dog = Watchdog::new(watchdog_budget, items);
+    let mut produced: u64 = 0;
+    let mut drained: u64 = 0;
+    let mut next_produce: u64 = 0;
+    let mut next_drain: u64 = drain_interval;
+    let mut stall_cycles: u64 = 0;
+    let mut cycle: u64 = 0;
+    let mut finish_cycle: u64 = 0;
+    while drained < items {
+        if produced < items && cycle >= next_produce {
+            match fifo.try_push(produced) {
+                Ok(()) => {
+                    produced += 1;
+                    next_produce = cycle + produce_interval;
+                }
+                Err(Full) => stall_cycles += 1,
+            }
+        }
+        let consumer_wedged = wedge_after_drains.is_some_and(|n| drained >= n);
+        if !consumer_wedged && cycle >= next_drain && fifo.pop().is_some() {
+            drained += 1;
+            next_drain = cycle + drain_interval;
+            finish_cycle = cycle;
+            dog.observe(cycle, 1);
+        }
+        dog.check(
+            cycle,
+            &format!(
+                "fifo {}/{} occupied, producer {} stall cycles",
+                fifo.len(),
+                fifo.capacity(),
+                stall_cycles
+            ),
+        )?;
+        cycle += 1;
+    }
+    Ok(BackpressureReport {
+        stats: fifo.stats(),
+        total_pushes: fifo.total_pushes(),
+        stall_cycles,
+        finish_cycle,
+    })
 }
 
 /// BRAM18/36 blocks for a design's stream FIFOs: one FIFO per chained stage
@@ -313,6 +395,69 @@ mod tests {
         assert_eq!(r.stats.stalls, 0);
         // The burst piles up (~half the items) but never hits capacity.
         assert!(r.stats.high_water > 20 && r.stats.high_water < 64);
+    }
+
+    #[test]
+    fn overflow_under_sustained_backpressure_bounds_occupancy() {
+        // Producer 4× faster than the consumer: the FIFO must saturate at
+        // capacity (never beyond), and every surplus push must be counted
+        // as a stall, not silently dropped or grown.
+        let r = simulate_backpressure(400, 1, 4, 8);
+        assert_eq!(r.stats.high_water, 8, "occupancy must cap at capacity");
+        assert_eq!(r.total_pushes, 400, "every element is eventually accepted");
+        // Sustained backpressure: producer blocked most of the run.
+        assert!(r.stall_cycles > 400, "expected heavy stalling, got {}", r.stall_cycles);
+        assert!(r.stats.stalls > 0);
+    }
+
+    #[test]
+    fn underflow_on_drained_producer_is_counted() {
+        let mut f = Fifo::<u32>::new(4);
+        assert_eq!(f.pop(), None);
+        assert_eq!(f.underflows(), 1);
+        f.try_push(1).unwrap();
+        assert_eq!(f.pop(), Some(1));
+        assert_eq!(f.pop(), None);
+        assert_eq!(f.pop(), None);
+        assert_eq!(f.underflows(), 3);
+        assert_eq!(f.stats().underflows, 3);
+    }
+
+    #[test]
+    fn slow_producer_starves_consumer_underflows() {
+        // Consumer polls every cycle, producer delivers every 8 cycles: the
+        // consumer finds the FIFO empty most of the time.
+        let r = simulate_backpressure(20, 8, 1, 4);
+        assert!(r.stats.underflows > 0, "starved consumer must record underflows");
+        assert_eq!(r.total_pushes, 20);
+    }
+
+    #[test]
+    fn watched_simulation_matches_unwatched_when_healthy() {
+        let plain = simulate_backpressure(200, 1, 2, 4);
+        let watched = simulate_backpressure_watched(200, 1, 2, 4, None, 1_000).unwrap();
+        assert_eq!(plain, watched);
+    }
+
+    #[test]
+    fn watchdog_fires_on_wedged_pipeline() {
+        // Consumer stops after 10 elements: FIFO fills, producer stalls
+        // forever. The watchdog must trip with a structured diagnosis
+        // instead of hanging or silently truncating.
+        let trip = simulate_backpressure_watched(100, 1, 2, 8, Some(10), 500).unwrap_err();
+        assert_eq!(trip.units_emitted, 10);
+        assert_eq!(trip.units_expected, 100);
+        assert!(trip.tripped_at_cycle > trip.last_progress_cycle + 500);
+        let msg = trip.to_string();
+        assert!(msg.contains("no forward progress"), "{msg}");
+        assert!(msg.contains("8/8 occupied"), "diagnosis must show the full FIFO: {msg}");
+    }
+
+    #[test]
+    fn watchdog_fires_when_consumer_never_starts() {
+        let trip = simulate_backpressure_watched(10, 2, 3, 4, Some(0), 100).unwrap_err();
+        assert_eq!(trip.units_emitted, 0);
+        assert_eq!(trip.last_progress_cycle, 0);
     }
 
     #[test]

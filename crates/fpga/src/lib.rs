@@ -42,12 +42,14 @@ pub mod clock;
 pub mod cycles;
 pub mod design;
 pub mod device;
+pub mod error;
 pub mod exec2d;
 pub mod exec3d;
 pub mod fifo;
 pub mod power;
 pub mod profile;
 pub mod report;
+pub mod resilient;
 pub mod resources;
 pub mod slr;
 pub mod trace;
@@ -55,6 +57,9 @@ pub mod window;
 
 pub use design::{ExecMode, MemKind, StencilDesign, SynthesisError};
 pub use device::{FpgaDevice, MemorySpec};
+pub use error::ExecError;
 pub use report::SimReport;
+pub use resilient::{plan_with_faults, simulate_2d_resilient, simulate_3d_resilient, FaultyPlan};
 pub use resources::ResourceUsage;
+pub use sf_faults::{FaultInjector, FaultKind, FaultPlan, RetryPolicy, Watchdog, WatchdogTrip};
 pub use sf_telemetry::{Recorder, StallClass};

@@ -1,0 +1,671 @@
+//! Fault-aware execution: the plain executors with every panic replaced by a
+//! typed [`ExecError`] and every datapath guarded by the `sf-faults` hooks.
+//!
+//! The resilient chain runners mirror [`crate::window::run_chain_2d_traced`] /
+//! `run_chain_3d_traced`, consulting a [`FaultInjector`] at each opportunity
+//! point:
+//!
+//! * **window-buffer cells** — a [`FaultKind::BitFlip`](sf_faults::FaultKind)
+//!   flips one bit of one lane before the cell enters the first window
+//!   buffer; the run completes but the output checksum vs the golden
+//!   reference catches it.
+//! * **stream elements** — `FifoDrop` starves the downstream stages, which
+//!   the [`Watchdog`] reports as a deadlock with a structured diagnosis;
+//!   `FifoDup` overflows the input FIFO (the surplus element is discarded at
+//!   the full queue) and shifts the stream; `FifoCorrupt` mangles a payload.
+//! * **AXI bursts** — `AxiDelay`/`AxiFail` go through the
+//!   [`RetryPolicy`] backoff model: recovered bursts charge their extra
+//!   cycles to the [`CyclePlan`] (and telemetry), an exhausted retry budget
+//!   becomes [`ExecError::AxiExhausted`].
+//!
+//! With a [`FaultInjector::disabled`] injector the resilient executors are
+//! bit-exact with the plain ones.
+
+use crate::cycles::{self, CyclePlan};
+use crate::design::{ExecMode, StencilDesign, Workload};
+use crate::device::FpgaDevice;
+use crate::error::ExecError;
+use crate::power;
+use crate::report::SimReport;
+use crate::window::{StageProcessor2D, StageProcessor3D};
+use sf_faults::{AxiVerdict, FaultInjector, RetryPolicy, StreamFault, Watchdog};
+use sf_kernels::{StencilOp2D, StencilOp3D};
+use sf_mesh::{Batch2D, Batch3D, Element};
+use sf_telemetry::Recorder;
+
+/// Flip bit `bit` of lane `lane` of `cell` in a streamed unit.
+fn apply_bitflip<T: Element>(unit: &mut [T], cell: usize, lane: usize, bit: u32) {
+    let mut v = unit[cell];
+    let bits = v.lane(lane).to_bits() ^ (1u32 << (bit % 32));
+    v.set_lane(lane, f32::from_bits(bits));
+    unit[cell] = v;
+}
+
+/// Deterministic payload corruption for `FifoCorrupt`: mangle the mantissa
+/// of the middle cell's first lane.
+fn corrupt_unit<T: Element>(unit: &mut [T]) {
+    let mid = unit.len() / 2;
+    apply_bitflip(unit, mid, 0, 22);
+}
+
+/// Fault-aware variant of [`crate::window::run_chain_2d`]: streams `rows`
+/// through the chain, consulting `inj` per stream unit and reporting forward
+/// progress to `dog`. Dropped units starve the pipeline and surface as
+/// [`ExecError::Deadlock`]; duplicated/corrupted/bit-flipped units complete
+/// with wrong data (caught downstream by checksum).
+#[allow(clippy::too_many_arguments)]
+pub fn run_chain_2d_resilient<T: Element, K: StencilOp2D<T> + Clone>(
+    chain: &[K],
+    nx: usize,
+    stream_rows: usize,
+    mesh_ny: usize,
+    rows: impl Iterator<Item = Vec<T>>,
+    inj: &mut FaultInjector,
+    dog: &mut Watchdog,
+    cycles_per_row: u64,
+) -> Result<Vec<Vec<T>>, ExecError> {
+    let mut procs: Vec<StageProcessor2D<T, K>> =
+        chain.iter().map(|k| StageProcessor2D::new(k.clone(), nx, stream_rows, mesh_ny)).collect();
+    let mut out = Vec::with_capacity(stream_rows);
+
+    fn feed<T: Element, K: StencilOp2D<T>>(
+        procs: &mut [StageProcessor2D<T, K>],
+        from: usize,
+        row: Vec<T>,
+        out: &mut Vec<Vec<T>>,
+    ) {
+        let mut current = row;
+        for p in procs[from..].iter_mut() {
+            match p.push_row(current) {
+                Some(r) => current = r,
+                None => return,
+            }
+        }
+        out.push(current);
+    }
+
+    let mut fed = 0usize;
+    let mut j = 0u64;
+    for mut row in rows {
+        let cycle = j * cycles_per_row;
+        if let Some(flip) = inj.window_bitflip(0, j as usize, nx, T::LANES) {
+            apply_bitflip(&mut row, flip.cell, flip.lane, flip.bit);
+        }
+        let fault = inj.stream_fault(j as usize);
+        j += 1;
+        let copies: usize = match fault {
+            StreamFault::Drop => 0,
+            StreamFault::Dup => 2,
+            StreamFault::Corrupt => {
+                corrupt_unit(&mut row);
+                1
+            }
+            StreamFault::None => 1,
+        };
+        for c in 0..copies {
+            if fed == stream_rows {
+                // Input FIFO already holds the whole stream: the surplus
+                // element is discarded at the full queue.
+                break;
+            }
+            let r = if c + 1 < copies { row.clone() } else { std::mem::take(&mut row) };
+            let before = out.len();
+            feed(&mut procs, 0, r, &mut out);
+            fed += 1;
+            if out.len() > before {
+                dog.observe(cycle, (out.len() - before) as u64);
+            }
+        }
+        dog.check(cycle, "streaming input rows")?;
+    }
+    let end_cycle = j * cycles_per_row;
+    if fed < stream_rows {
+        // The stages wait forever for the missing rows — a starvation
+        // deadlock on real hardware; report it via the watchdog.
+        let detail = format!("input stream starved: {fed}/{stream_rows} rows reached the pipeline");
+        return Err(dog
+            .finish(end_cycle, &detail)
+            .expect_err("starved stream cannot have emitted the full output")
+            .into());
+    }
+    for i in 0..procs.len() {
+        let trailing = procs[i].finish();
+        for row in trailing {
+            let before = out.len();
+            feed(&mut procs, i + 1, row, &mut out);
+            if out.len() > before {
+                dog.observe(end_cycle, (out.len() - before) as u64);
+            }
+        }
+    }
+    dog.finish(end_cycle, "chain drained")?;
+    Ok(out)
+}
+
+/// Fault-aware variant of [`crate::window::run_chain_3d`] — the streamed
+/// unit is a plane of `nx × ny` cells.
+#[allow(clippy::too_many_arguments)]
+pub fn run_chain_3d_resilient<T: Element, K: StencilOp3D<T> + Clone>(
+    chain: &[K],
+    nx: usize,
+    ny: usize,
+    stream_planes: usize,
+    mesh_nz: usize,
+    planes: impl Iterator<Item = Vec<T>>,
+    inj: &mut FaultInjector,
+    dog: &mut Watchdog,
+    cycles_per_plane: u64,
+) -> Result<Vec<Vec<T>>, ExecError> {
+    let mut procs: Vec<StageProcessor3D<T, K>> = chain
+        .iter()
+        .map(|k| StageProcessor3D::new(k.clone(), nx, ny, stream_planes, mesh_nz))
+        .collect();
+    let mut out = Vec::with_capacity(stream_planes);
+
+    fn feed<T: Element, K: StencilOp3D<T>>(
+        procs: &mut [StageProcessor3D<T, K>],
+        from: usize,
+        plane: Vec<T>,
+        out: &mut Vec<Vec<T>>,
+    ) {
+        let mut current = plane;
+        for p in procs[from..].iter_mut() {
+            match p.push_plane(current) {
+                Some(r) => current = r,
+                None => return,
+            }
+        }
+        out.push(current);
+    }
+
+    let mut fed = 0usize;
+    let mut j = 0u64;
+    for mut plane in planes {
+        let cycle = j * cycles_per_plane;
+        if let Some(flip) = inj.window_bitflip(0, j as usize, nx * ny, T::LANES) {
+            apply_bitflip(&mut plane, flip.cell, flip.lane, flip.bit);
+        }
+        let fault = inj.stream_fault(j as usize);
+        j += 1;
+        let copies: usize = match fault {
+            StreamFault::Drop => 0,
+            StreamFault::Dup => 2,
+            StreamFault::Corrupt => {
+                corrupt_unit(&mut plane);
+                1
+            }
+            StreamFault::None => 1,
+        };
+        for c in 0..copies {
+            if fed == stream_planes {
+                break;
+            }
+            let r = if c + 1 < copies { plane.clone() } else { std::mem::take(&mut plane) };
+            let before = out.len();
+            feed(&mut procs, 0, r, &mut out);
+            fed += 1;
+            if out.len() > before {
+                dog.observe(cycle, (out.len() - before) as u64);
+            }
+        }
+        dog.check(cycle, "streaming input planes")?;
+    }
+    let end_cycle = j * cycles_per_plane;
+    if fed < stream_planes {
+        let detail =
+            format!("input stream starved: {fed}/{stream_planes} planes reached the pipeline");
+        return Err(dog
+            .finish(end_cycle, &detail)
+            .expect_err("starved stream cannot have emitted the full output")
+            .into());
+    }
+    for i in 0..procs.len() {
+        let trailing = procs[i].finish();
+        for plane in trailing {
+            let before = out.len();
+            feed(&mut procs, i + 1, plane, &mut out);
+            if out.len() > before {
+                dog.observe(end_cycle, (out.len() - before) as u64);
+            }
+        }
+    }
+    dog.finish(end_cycle, "chain drained")?;
+    Ok(out)
+}
+
+/// A [`CyclePlan`] with the AXI fault/retry model applied.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultyPlan {
+    /// The plan including retry backoff in `total_cycles`/`runtime_s`.
+    pub plan: CyclePlan,
+    /// Backoff cycles added by recovered bursts.
+    pub extra_axi_cycles: u64,
+    /// Bursts that failed and recovered via retry.
+    pub bursts_recovered: u64,
+    /// Total bursts the solve issues.
+    pub bursts_total: u64,
+}
+
+/// Bursts actually walked through the injector; beyond this the sampled
+/// backoff is scaled to the full burst population (keeps paper-scale
+/// workloads plannable).
+const MAX_BURST_WALK: u64 = 65_536;
+
+/// [`cycles::plan`] with AXI faults: every burst (up to [`MAX_BURST_WALK`],
+/// then scaled) is pushed through the injector's retry model. Recovered
+/// bursts add their backoff to the plan; an exhausted burst aborts with
+/// [`ExecError::AxiExhausted`].
+pub fn plan_with_faults(
+    dev: &FpgaDevice,
+    design: &StencilDesign,
+    wl: &Workload,
+    niter: u64,
+    inj: &mut FaultInjector,
+    policy: &RetryPolicy,
+) -> Result<FaultyPlan, ExecError> {
+    let mut plan = cycles::plan(dev, design, wl, niter);
+    let bytes = plan.ext_read_bytes + plan.ext_write_bytes;
+    let bursts_total = (bytes / dev.axi_burst_bytes as u64).max(1);
+    let walk = bursts_total.min(MAX_BURST_WALK);
+    let mut extra = 0u64;
+    let mut recovered = 0u64;
+    for b in 0..walk {
+        match inj.axi_burst(b, policy) {
+            AxiVerdict::Ok => {}
+            AxiVerdict::Recovered { extra_cycles, .. } => {
+                extra += extra_cycles;
+                recovered += 1;
+            }
+            AxiVerdict::Exhausted { attempts } => {
+                return Err(ExecError::AxiExhausted { burst: b, attempts })
+            }
+        }
+    }
+    if bursts_total > walk {
+        extra = (extra as f64 * bursts_total as f64 / walk as f64) as u64;
+    }
+    plan.total_cycles += extra;
+    plan.runtime_s = plan.total_cycles as f64 / design.freq_hz
+        + plan.host_calls as f64 * dev.host_call_latency_s;
+    Ok(FaultyPlan { plan, extra_axi_cycles: extra, bursts_recovered: recovered, bursts_total })
+}
+
+fn check_mode(design: &StencilDesign, b: usize) -> Result<(), ExecError> {
+    match design.mode {
+        ExecMode::Baseline if b != 1 => Err(ExecError::ShapeMismatch {
+            detail: format!("baseline design runs one mesh, got batch {b}"),
+        }),
+        ExecMode::Batched { b: db } if b != db => {
+            Err(ExecError::ShapeMismatch { detail: format!("design batch {db} fed batch {b}") })
+        }
+        ExecMode::Tiled1D { .. } | ExecMode::Tiled2D { .. } => Err(ExecError::Unsupported {
+            detail: "fault injection targets whole-mesh streaming designs".to_string(),
+        }),
+        _ => Ok(()),
+    }
+}
+
+/// Watchdog budget for one pass: a full pass worth of cycles with no
+/// forward progress means the pipeline is wedged.
+fn pass_budget(design: &StencilDesign, stream_units: u64, unit_cycles: u64) -> u64 {
+    unit_cycles * (stream_units + cycles::fill_units(design)) + design.pipeline_latency_cycles + 1
+}
+
+/// Fault-aware [`crate::exec2d::simulate_2d`]: never panics on datapath
+/// faults or shape mismatches, charges AXI retry backoff into the report,
+/// and feeds `fault.*` counters into `rec`.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_2d_resilient<T: Element, K: StencilOp2D<T> + Clone>(
+    dev: &FpgaDevice,
+    design: &StencilDesign,
+    stages_per_iter: &[K],
+    input: &Batch2D<T>,
+    niter: usize,
+    inj: &mut FaultInjector,
+    policy: &RetryPolicy,
+    rec: &mut Recorder,
+) -> Result<(Batch2D<T>, SimReport), ExecError> {
+    if niter == 0 {
+        return Err(ExecError::ShapeMismatch { detail: "niter must be positive".to_string() });
+    }
+    if stages_per_iter.len() != design.spec.stages {
+        return Err(ExecError::ShapeMismatch {
+            detail: format!(
+                "design expects {} stages per iteration, got {}",
+                design.spec.stages,
+                stages_per_iter.len()
+            ),
+        });
+    }
+    let (nx, ny, b) = (input.nx(), input.ny(), input.batch());
+    check_mode(design, b)?;
+    let wl = Workload::D2 { nx, ny, batch: b };
+    let fp = plan_with_faults(dev, design, &wl, niter as u64, inj, policy)?;
+    let rc = cycles::design_row_cycles(dev, design, nx, nx);
+    let stream_rows = b * ny;
+    let budget = pass_budget(design, stream_rows as u64, rc);
+
+    let mut cur = input.clone();
+    let mut remaining = niter;
+    while remaining > 0 {
+        let p_eff = design.p.min(remaining);
+        let chain: Vec<K> = (0..p_eff).flat_map(|_| stages_per_iter.iter().cloned()).collect();
+        let mut dog = Watchdog::new(budget, stream_rows as u64);
+        let rows = cur.as_slice().chunks(nx).map(|r| r.to_vec());
+        let out_rows = run_chain_2d_resilient(&chain, nx, stream_rows, ny, rows, inj, &mut dog, rc)
+            .map_err(|e| match e {
+                ExecError::Deadlock(t) => {
+                    ExecError::Deadlock(t.with_stalls(&rec.stall_breakdown()))
+                }
+                other => other,
+            })?;
+        let mut out = Batch2D::<T>::zeros(nx, ny, b);
+        for (gy, row) in out_rows.into_iter().enumerate() {
+            out.as_mut_slice()[gy * nx..(gy + 1) * nx].copy_from_slice(&row);
+        }
+        cur = out;
+        remaining -= p_eff;
+    }
+
+    rec.counter_add("fault.injected", inj.injected());
+    rec.counter_add("fault.axi.extra_cycles", fp.extra_axi_cycles);
+    rec.counter_add("fault.axi.recovered", fp.bursts_recovered);
+    let report =
+        SimReport::from_plan(design, &fp.plan, niter as u64, power::fpga_power_w(dev, design));
+    Ok((cur, report))
+}
+
+/// Fault-aware [`crate::exec3d::simulate_3d`] (see
+/// [`simulate_2d_resilient`]); the streamed unit is a plane.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_3d_resilient<T: Element, K: StencilOp3D<T> + Clone>(
+    dev: &FpgaDevice,
+    design: &StencilDesign,
+    stages_per_iter: &[K],
+    input: &Batch3D<T>,
+    niter: usize,
+    inj: &mut FaultInjector,
+    policy: &RetryPolicy,
+    rec: &mut Recorder,
+) -> Result<(Batch3D<T>, SimReport), ExecError> {
+    if niter == 0 {
+        return Err(ExecError::ShapeMismatch { detail: "niter must be positive".to_string() });
+    }
+    if stages_per_iter.len() != design.spec.stages {
+        return Err(ExecError::ShapeMismatch {
+            detail: format!(
+                "design expects {} stages per iteration, got {}",
+                design.spec.stages,
+                stages_per_iter.len()
+            ),
+        });
+    }
+    let (nx, ny, nz, b) = (input.nx(), input.ny(), input.nz(), input.batch());
+    check_mode(design, b)?;
+    let wl = Workload::D3 { nx, ny, nz, batch: b };
+    let fp = plan_with_faults(dev, design, &wl, niter as u64, inj, policy)?;
+    let plane = nx * ny;
+    let plane_cycles = cycles::design_row_cycles(dev, design, nx, nx) * ny as u64;
+    let stream_planes = b * nz;
+    let budget = pass_budget(design, stream_planes as u64, plane_cycles);
+
+    let mut cur = input.clone();
+    let mut remaining = niter;
+    while remaining > 0 {
+        let p_eff = design.p.min(remaining);
+        let chain: Vec<K> = (0..p_eff).flat_map(|_| stages_per_iter.iter().cloned()).collect();
+        let mut dog = Watchdog::new(budget, stream_planes as u64);
+        let planes = cur.as_slice().chunks(plane).map(|p| p.to_vec());
+        let out_planes = run_chain_3d_resilient(
+            &chain,
+            nx,
+            ny,
+            stream_planes,
+            nz,
+            planes,
+            inj,
+            &mut dog,
+            plane_cycles,
+        )
+        .map_err(|e| match e {
+            ExecError::Deadlock(t) => ExecError::Deadlock(t.with_stalls(&rec.stall_breakdown())),
+            other => other,
+        })?;
+        let mut out = Batch3D::<T>::zeros(nx, ny, nz, b);
+        for (gz, pl) in out_planes.into_iter().enumerate() {
+            out.as_mut_slice()[gz * plane..(gz + 1) * plane].copy_from_slice(&pl);
+        }
+        cur = out;
+        remaining -= p_eff;
+    }
+
+    rec.counter_add("fault.injected", inj.injected());
+    rec.counter_add("fault.axi.extra_cycles", fp.extra_axi_cycles);
+    rec.counter_add("fault.axi.recovered", fp.bursts_recovered);
+    let report =
+        SimReport::from_plan(design, &fp.plan, niter as u64, power::fpga_power_w(dev, design));
+    Ok((cur, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::{synthesize, MemKind};
+    use sf_faults::{FaultKind, FaultPlan};
+    use sf_kernels::{reference, Jacobi3D, Poisson2D, StencilSpec};
+    use sf_mesh::{norms, Mesh2D, Mesh3D};
+
+    fn dev() -> FpgaDevice {
+        FpgaDevice::u280()
+    }
+
+    fn design_2d(wl: &Workload, v: usize, p: usize) -> StencilDesign {
+        synthesize(&dev(), &StencilSpec::poisson(), v, p, ExecMode::Baseline, MemKind::Hbm, wl)
+            .unwrap()
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn run_2d(
+        plan: FaultPlan,
+        niter: usize,
+    ) -> (Result<(Batch2D<f32>, SimReport), ExecError>, Mesh2D<f32>, FaultInjector) {
+        let m = Mesh2D::<f32>::random(40, 24, 7, -1.0, 1.0);
+        let wl = Workload::D2 { nx: 40, ny: 24, batch: 1 };
+        let ds = design_2d(&wl, 8, 4);
+        let batch = Batch2D::from_meshes(std::slice::from_ref(&m));
+        let mut inj = FaultInjector::new(plan);
+        let policy = RetryPolicy::default();
+        let mut rec = Recorder::disabled();
+        let r = simulate_2d_resilient(
+            &dev(),
+            &ds,
+            &[Poisson2D],
+            &batch,
+            niter,
+            &mut inj,
+            &policy,
+            &mut rec,
+        );
+        (r, m, inj)
+    }
+
+    #[test]
+    fn disabled_injector_is_bit_exact() {
+        let (r, m, inj) = run_2d(FaultInjector::disabled().plan().to_owned(), 12);
+        let (out, rep) = r.unwrap();
+        let expect = reference::run_2d(&Poisson2D, &m, 12);
+        assert!(norms::bit_equal(out.mesh(0).as_slice(), expect.as_slice()));
+        assert!(rep.total_cycles > 0);
+        assert_eq!(inj.injected(), 0);
+    }
+
+    #[test]
+    fn bitflip_completes_but_diverges_from_reference() {
+        let (r, m, inj) = run_2d(FaultPlan::single(42, FaultKind::BitFlip, 1_000_000), 12);
+        let (out, _) = r.unwrap();
+        assert_eq!(inj.injected(), 1, "single-fault plan injects exactly once");
+        let expect = reference::run_2d(&Poisson2D, &m, 12);
+        assert!(
+            !norms::bit_equal(out.mesh(0).as_slice(), expect.as_slice()),
+            "a window-buffer bit flip must corrupt the result"
+        );
+    }
+
+    #[test]
+    fn fifo_drop_trips_the_watchdog() {
+        let (r, _, inj) = run_2d(FaultPlan::single(7, FaultKind::FifoDrop, 1_000_000), 12);
+        match r {
+            Err(ExecError::Deadlock(trip)) => {
+                assert!(trip.units_emitted < trip.units_expected);
+                assert!(trip.to_string().contains("starved"), "{trip}");
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+        assert_eq!(inj.injected(), 1);
+    }
+
+    #[test]
+    fn fifo_dup_completes_but_diverges() {
+        let (r, m, _) = run_2d(FaultPlan::single(3, FaultKind::FifoDup, 1_000_000), 12);
+        let (out, _) = r.unwrap();
+        let expect = reference::run_2d(&Poisson2D, &m, 12);
+        assert!(!norms::bit_equal(out.mesh(0).as_slice(), expect.as_slice()));
+    }
+
+    #[test]
+    fn fifo_corrupt_completes_but_diverges() {
+        let (r, m, _) = run_2d(FaultPlan::single(5, FaultKind::FifoCorrupt, 1_000_000), 12);
+        let (out, _) = r.unwrap();
+        let expect = reference::run_2d(&Poisson2D, &m, 12);
+        assert!(!norms::bit_equal(out.mesh(0).as_slice(), expect.as_slice()));
+    }
+
+    #[test]
+    fn axi_delay_recovers_and_charges_extra_cycles() {
+        let (clean, _, _) = run_2d(FaultInjector::disabled().plan().to_owned(), 12);
+        let (_, clean_rep) = clean.unwrap();
+        let (r, m, _) = run_2d(
+            FaultPlan { seed: 9, kind: FaultKind::AxiDelay, rate_ppm: 500_000, max_injections: 0 },
+            12,
+        );
+        let (out, rep) = r.unwrap();
+        // Numerically untouched but measurably slower.
+        let expect = reference::run_2d(&Poisson2D, &m, 12);
+        assert!(norms::bit_equal(out.mesh(0).as_slice(), expect.as_slice()));
+        assert!(
+            rep.total_cycles > clean_rep.total_cycles,
+            "retry backoff must be visible in the plan: {} vs {}",
+            rep.total_cycles,
+            clean_rep.total_cycles
+        );
+    }
+
+    #[test]
+    fn axi_fail_exhausts_to_typed_error() {
+        // 100 % failure rate over many bursts: some burst draws a failure
+        // count above the retry budget.
+        let (r, _, _) = run_2d(
+            FaultPlan {
+                seed: 11,
+                kind: FaultKind::AxiFail,
+                rate_ppm: 1_000_000,
+                max_injections: 0,
+            },
+            12,
+        );
+        match r {
+            Err(ExecError::AxiExhausted { attempts, .. }) => assert!(attempts > 0),
+            other => panic!("expected AxiExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error_not_a_panic() {
+        let wl = Workload::D2 { nx: 16, ny: 8, batch: 4 };
+        let ds = synthesize(
+            &dev(),
+            &StencilSpec::poisson(),
+            8,
+            2,
+            ExecMode::Batched { b: 4 },
+            MemKind::Hbm,
+            &wl,
+        )
+        .unwrap();
+        let batch = Batch2D::<f32>::zeros(16, 8, 3);
+        let mut inj = FaultInjector::disabled();
+        let mut rec = Recorder::disabled();
+        let r = simulate_2d_resilient(
+            &dev(),
+            &ds,
+            &[Poisson2D],
+            &batch,
+            2,
+            &mut inj,
+            &RetryPolicy::default(),
+            &mut rec,
+        );
+        assert!(matches!(r, Err(ExecError::ShapeMismatch { .. })), "{r:?}");
+    }
+
+    #[test]
+    fn resilient_3d_bit_exact_without_faults() {
+        let m = Mesh3D::<f32>::random(12, 10, 8, 5, -1.0, 1.0);
+        let wl = Workload::D3 { nx: 12, ny: 10, nz: 8, batch: 1 };
+        let ds =
+            synthesize(&dev(), &StencilSpec::jacobi(), 8, 3, ExecMode::Baseline, MemKind::Hbm, &wl)
+                .unwrap();
+        let batch = Batch3D::from_meshes(std::slice::from_ref(&m));
+        let k = Jacobi3D::smoothing();
+        let mut inj = FaultInjector::disabled();
+        let mut rec = Recorder::disabled();
+        let (out, _) = simulate_3d_resilient(
+            &dev(),
+            &ds,
+            &[k],
+            &batch,
+            6,
+            &mut inj,
+            &RetryPolicy::default(),
+            &mut rec,
+        )
+        .unwrap();
+        let expect = reference::run_3d(&k, &m, 6);
+        assert!(norms::bit_equal(out.mesh(0).as_slice(), expect.as_slice()));
+    }
+
+    #[test]
+    fn resilient_3d_drop_trips_watchdog() {
+        let m = Mesh3D::<f32>::random(12, 10, 8, 5, -1.0, 1.0);
+        let wl = Workload::D3 { nx: 12, ny: 10, nz: 8, batch: 1 };
+        let ds =
+            synthesize(&dev(), &StencilSpec::jacobi(), 8, 3, ExecMode::Baseline, MemKind::Hbm, &wl)
+                .unwrap();
+        let batch = Batch3D::from_meshes(std::slice::from_ref(&m));
+        let k = Jacobi3D::smoothing();
+        let mut inj = FaultInjector::new(FaultPlan::single(13, FaultKind::FifoDrop, 1_000_000));
+        let mut rec = Recorder::disabled();
+        let r = simulate_3d_resilient(
+            &dev(),
+            &ds,
+            &[k],
+            &batch,
+            6,
+            &mut inj,
+            &RetryPolicy::default(),
+            &mut rec,
+        );
+        assert!(matches!(r, Err(ExecError::Deadlock(_))), "{r:?}");
+    }
+
+    #[test]
+    fn same_seed_reproduces_identical_fault_runs() {
+        let plan = FaultPlan::single(42, FaultKind::BitFlip, 1_000_000);
+        let (r1, _, i1) = run_2d(plan, 12);
+        let (r2, _, i2) = run_2d(plan, 12);
+        let (o1, _) = r1.unwrap();
+        let (o2, _) = r2.unwrap();
+        assert!(norms::bit_equal(o1.mesh(0).as_slice(), o2.mesh(0).as_slice()));
+        assert_eq!(i1.log(), i2.log());
+    }
+}

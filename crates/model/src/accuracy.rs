@@ -91,8 +91,13 @@ fn eval(
     out: &mut AccuracyStats,
 ) {
     let achieved = cycles::plan(dev, design, wl, niter).runtime_s;
-    let ideal = predict(dev, design, wl, niter, PredictionLevel::Ideal).runtime_s;
-    let extended = predict(dev, design, wl, niter, PredictionLevel::Extended).runtime_s;
+    // the suite only evaluates designs synthesized for their own workload
+    let ideal = predict(dev, design, wl, niter, PredictionLevel::Ideal)
+        .expect("suite design matches workload")
+        .runtime_s;
+    let extended = predict(dev, design, wl, niter, PredictionLevel::Extended)
+        .expect("suite design matches workload")
+        .runtime_s;
     out.cases.push(AccuracyCase {
         label: label.to_string(),
         app: design.spec.app,

@@ -8,6 +8,7 @@
 //! model, and returns candidates ranked fastest-first.
 
 use crate::blocking;
+use crate::error::ModelError;
 use crate::predict::{predict, Prediction, PredictionLevel};
 use serde::{Deserialize, Serialize};
 use sf_fpga::design::{synthesize, ExecMode, StencilDesign, Workload};
@@ -53,7 +54,9 @@ pub struct Candidate {
 
 /// Enumerate feasible designs for `niter` iterations of `wl`, ranked by
 /// predicted runtime (fastest first). Infeasible configurations are silently
-/// skipped — that *is* the model's job.
+/// skipped — that *is* the model's job. Malformed options (an empty or
+/// zero-valued `v_candidates` sweep, `max_p == 0`) are
+/// [`ModelError::InvalidParameter`]s.
 /// ```
 /// use sf_fpga::design::Workload;
 /// use sf_fpga::FpgaDevice;
@@ -62,7 +65,7 @@ pub struct Candidate {
 ///
 /// let dev = FpgaDevice::u280();
 /// let wl = Workload::D3 { nx: 64, ny: 64, nz: 64, batch: 1 };
-/// let cands = explore(&dev, &StencilSpec::rtm(), &wl, 1800, &DseOptions::default());
+/// let cands = explore(&dev, &StencilSpec::rtm(), &wl, 1800, &DseOptions::default()).unwrap();
 /// // the paper's configuration wins: V=1, p=3
 /// assert_eq!((cands[0].design.v, cands[0].design.p), (1, 3));
 /// ```
@@ -72,7 +75,16 @@ pub fn explore(
     wl: &Workload,
     niter: u64,
     opts: &DseOptions,
-) -> Vec<Candidate> {
+) -> Result<Vec<Candidate>, ModelError> {
+    if opts.v_candidates.is_empty() {
+        return Err(ModelError::invalid("v_candidates", "sweep must name at least one V"));
+    }
+    if opts.v_candidates.contains(&0) {
+        return Err(ModelError::invalid("v_candidates", "vectorization factors must be >= 1"));
+    }
+    if opts.max_p == 0 {
+        return Err(ModelError::invalid("max_p", "unroll sweep bound must be >= 1"));
+    }
     let mut out = Vec::new();
     let batch = wl.batch();
     for &v in &opts.v_candidates {
@@ -82,7 +94,7 @@ pub fn explore(
             // whole-mesh (baseline/batched) candidate
             let mode = if batch > 1 { ExecMode::Batched { b: batch } } else { ExecMode::Baseline };
             if let Ok(design) = synthesize(dev, spec, v, p, mode, opts.mem, wl) {
-                out.push(candidate(dev, design, wl, niter));
+                out.push(candidate(dev, design, wl, niter)?);
             }
             // tiled candidate (single-mesh workloads only)
             if opts.allow_tiling && batch == 1 {
@@ -110,22 +122,33 @@ pub fn explore(
                 };
                 if tile_fits_mesh {
                     if let Ok(design) = synthesize(dev, spec, v, p, mode, opts.mem, wl) {
-                        out.push(candidate(dev, design, wl, niter));
+                        out.push(candidate(dev, design, wl, niter)?);
                     }
                 }
             }
         }
     }
-    out.sort_by(|a, b| {
-        a.planned_runtime_s.partial_cmp(&b.planned_runtime_s).expect("runtimes are finite")
-    });
-    out
+    // total_cmp instead of partial_cmp: candidate() already rejected
+    // non-finite runtimes, so the ordering is total either way, but this
+    // ranking must never be a panic site.
+    out.sort_by(|a, b| a.planned_runtime_s.total_cmp(&b.planned_runtime_s));
+    Ok(out)
 }
 
-fn candidate(dev: &FpgaDevice, design: StencilDesign, wl: &Workload, niter: u64) -> Candidate {
-    let prediction = predict(dev, &design, wl, niter, PredictionLevel::Extended);
+fn candidate(
+    dev: &FpgaDevice,
+    design: StencilDesign,
+    wl: &Workload,
+    niter: u64,
+) -> Result<Candidate, ModelError> {
+    let prediction = predict(dev, &design, wl, niter, PredictionLevel::Extended)?;
     let planned_runtime_s = sf_fpga::cycles::plan(dev, &design, wl, niter).runtime_s;
-    Candidate { design, prediction, planned_runtime_s }
+    if !planned_runtime_s.is_finite() {
+        return Err(ModelError::NonFiniteRuntime {
+            detail: format!("V={} p={} mode {:?} on {:?}", design.v, design.p, design.mode, wl),
+        });
+    }
+    Ok(Candidate { design, prediction, planned_runtime_s })
 }
 
 /// The single best candidate, if any design is feasible.
@@ -135,8 +158,8 @@ pub fn best(
     wl: &Workload,
     niter: u64,
     opts: &DseOptions,
-) -> Option<Candidate> {
-    explore(dev, spec, wl, niter, opts).into_iter().next()
+) -> Result<Option<Candidate>, ModelError> {
+    Ok(explore(dev, spec, wl, niter, opts)?.into_iter().next())
 }
 
 #[cfg(test)]
@@ -153,7 +176,7 @@ mod tests {
         let d = dev();
         let wl = Workload::D2 { nx: 400, ny: 400, batch: 1 };
         let opts = DseOptions { allow_tiling: false, ..DseOptions::default() };
-        let best = best(&d, &StencilSpec::poisson(), &wl, 60_000, &opts).unwrap();
+        let best = best(&d, &StencilSpec::poisson(), &wl, 60_000, &opts).unwrap().unwrap();
         // the paper lands at V=8, p=60 (pV = 480) under its two-channel
         // budget; with HBM channels unconstrained the DSE may trade V against
         // p, but must deliver at least the paper's aggregate parallelism and
@@ -176,7 +199,7 @@ mod tests {
     fn rtm_dse_respects_dsp_wall() {
         let d = dev();
         let wl = Workload::D3 { nx: 64, ny: 64, nz: 64, batch: 1 };
-        let cands = explore(&d, &StencilSpec::rtm(), &wl, 1800, &DseOptions::default());
+        let cands = explore(&d, &StencilSpec::rtm(), &wl, 1800, &DseOptions::default()).unwrap();
         assert!(!cands.is_empty());
         for c in &cands {
             assert!(c.design.p <= 3, "no RTM design can exceed p=3 (got {})", c.design.p);
@@ -192,7 +215,7 @@ mod tests {
         // 41 MB of on-chip memory at any V — eq. (7)'s p_mem < 1 case.
         let d = dev();
         let wl = Workload::D3 { nx: 2500, ny: 2500, nz: 100, batch: 1 };
-        let cands = explore(&d, &StencilSpec::jacobi(), &wl, 120, &DseOptions::default());
+        let cands = explore(&d, &StencilSpec::jacobi(), &wl, 120, &DseOptions::default()).unwrap();
         assert!(!cands.is_empty(), "tiling must rescue the oversized mesh");
         assert!(cands.iter().all(|c| c.design.mode.is_tiled()));
     }
@@ -201,7 +224,8 @@ mod tests {
     fn ranking_is_fastest_first() {
         let d = dev();
         let wl = Workload::D2 { nx: 300, ny: 300, batch: 1 };
-        let cands = explore(&d, &StencilSpec::poisson(), &wl, 1000, &DseOptions::default());
+        let cands =
+            explore(&d, &StencilSpec::poisson(), &wl, 1000, &DseOptions::default()).unwrap();
         assert!(cands.len() > 10, "sweep should produce many candidates");
         for w in cands.windows(2) {
             assert!(w[0].planned_runtime_s <= w[1].planned_runtime_s);
@@ -212,7 +236,27 @@ mod tests {
     fn batched_workload_explores_batched_designs() {
         let d = dev();
         let wl = Workload::D2 { nx: 200, ny: 100, batch: 100 };
-        let best = best(&d, &StencilSpec::poisson(), &wl, 60_000, &DseOptions::default()).unwrap();
+        let best = best(&d, &StencilSpec::poisson(), &wl, 60_000, &DseOptions::default())
+            .unwrap()
+            .unwrap();
         assert!(matches!(best.design.mode, ExecMode::Batched { b: 100 }));
+    }
+
+    #[test]
+    fn malformed_options_are_typed_errors() {
+        let d = dev();
+        let wl = Workload::D2 { nx: 100, ny: 100, batch: 1 };
+        let spec = StencilSpec::poisson();
+        let empty = DseOptions { v_candidates: vec![], ..DseOptions::default() };
+        assert!(matches!(
+            explore(&d, &spec, &wl, 100, &empty).unwrap_err(),
+            crate::ModelError::InvalidParameter { .. }
+        ));
+        let zero_v = DseOptions { v_candidates: vec![0, 8], ..DseOptions::default() };
+        assert!(explore(&d, &spec, &wl, 100, &zero_v).is_err());
+        let zero_p = DseOptions { max_p: 0, ..DseOptions::default() };
+        assert!(explore(&d, &spec, &wl, 100, &zero_p).is_err());
+        // and best() propagates rather than panicking
+        assert!(best(&d, &spec, &wl, 100, &zero_p).is_err());
     }
 }

@@ -1,0 +1,79 @@
+//! Typed errors for the analytic model's public APIs.
+//!
+//! The model functions ([`crate::predict`], [`crate::explore`],
+//! [`FeasibilityReport::analyze`](crate::FeasibilityReport::analyze)) used to
+//! panic on malformed inputs; they now return [`ModelError`] so callers (the
+//! workflow, the CLI, the fault-campaign runner) can degrade gracefully
+//! instead of aborting.
+
+use serde::{Deserialize, Serialize};
+
+/// Error from a model-crate public API.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelError {
+    /// A caller-supplied parameter is out of the model's domain.
+    InvalidParameter {
+        /// Which parameter.
+        param: String,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// The design's execution mode cannot run the given workload shape
+    /// (e.g. a 1D-tiled 2D design asked to predict a 3D workload).
+    WorkloadMismatch {
+        /// What disagreed.
+        detail: String,
+    },
+    /// A prediction produced a non-finite runtime — the design/workload
+    /// combination is outside the calibrated model's domain.
+    NonFiniteRuntime {
+        /// The offending design point.
+        detail: String,
+    },
+}
+
+impl ModelError {
+    /// Shorthand for [`ModelError::InvalidParameter`].
+    pub fn invalid(param: &str, detail: impl Into<String>) -> Self {
+        ModelError::InvalidParameter { param: param.to_string(), detail: detail.into() }
+    }
+}
+
+impl core::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ModelError::InvalidParameter { param, detail } => {
+                write!(f, "invalid parameter `{param}`: {detail}")
+            }
+            ModelError::WorkloadMismatch { detail } => {
+                write!(f, "workload/mode mismatch: {detail}")
+            }
+            ModelError::NonFiniteRuntime { detail } => {
+                write!(f, "model produced a non-finite runtime for {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::invalid("v", "must be >= 1 (got 0)");
+        assert!(format!("{e}").contains("invalid parameter `v`"));
+        let e = ModelError::WorkloadMismatch { detail: "Tiled1D vs D3".into() };
+        assert!(format!("{e}").contains("mismatch"));
+    }
+
+    #[test]
+    fn roundtrips_through_serde() {
+        let e = ModelError::invalid("max_p", "must be >= 1");
+        let s = serde_json::to_string(&e).unwrap();
+        let back: ModelError = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, e);
+    }
+}

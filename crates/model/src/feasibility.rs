@@ -6,6 +6,7 @@
 //! implementation" into one queryable report.
 
 use crate::equations;
+use crate::error::ModelError;
 use serde::{Deserialize, Serialize};
 use sf_fpga::{FpgaDevice, MemKind};
 use sf_kernels::StencilSpec;
@@ -63,13 +64,25 @@ impl FeasibilityReport {
     ///
     /// `unit_cells` is the streaming buffer unit: row length `m` for 2D,
     /// plane size `m·n` for 3D (per paper eq. 7's denominators).
+    ///
+    /// Fails with [`ModelError::InvalidParameter`] when `v` or `unit_cells`
+    /// is zero — both enter eq. (6)/(7) as divisors/denominators.
     pub fn analyze(
         dev: &FpgaDevice,
         spec: &StencilSpec,
         v: usize,
         unit_cells: usize,
         mem: MemKind,
-    ) -> Self {
+    ) -> Result<Self, ModelError> {
+        if v == 0 {
+            return Err(ModelError::invalid("v", "vectorization factor must be >= 1 (got 0)"));
+        }
+        if unit_cells == 0 {
+            return Err(ModelError::invalid(
+                "unit_cells",
+                "streaming buffer unit must be >= 1 cell (got 0)",
+            ));
+        }
         let mem_spec = match mem {
             MemKind::Hbm => &dev.hbm,
             MemKind::Ddr4 => &dev.ddr4,
@@ -90,7 +103,7 @@ impl FeasibilityReport {
             unit_cells,
         );
         let ext_bytes = (spec.ext_read_bytes + spec.ext_write_bytes) as f64;
-        FeasibilityReport {
+        Ok(FeasibilityReport {
             app: format!("{}", spec.app),
             v,
             v_max_bandwidth: v_max,
@@ -100,7 +113,7 @@ impl FeasibilityReport {
             baseline_feasible: p_mem >= 1,
             needs_tiling: p_mem < p_dsp.max(1),
             flops_per_byte: spec.flops_per_cell() as f64 / ext_bytes,
-        }
+        })
     }
 
     /// The §VI verdict: an application profits from the FPGA when a deep
@@ -121,7 +134,8 @@ mod tests {
 
     #[test]
     fn poisson_analysis_matches_table2() {
-        let r = FeasibilityReport::analyze(&dev(), &StencilSpec::poisson(), 8, 400, MemKind::Hbm);
+        let r = FeasibilityReport::analyze(&dev(), &StencilSpec::poisson(), 8, 400, MemKind::Hbm)
+            .unwrap();
         assert_eq!(r.p_dsp, 68);
         assert!(r.p_mem > 68, "small 2D rows leave memory unconstrained");
         assert_eq!(r.p_recommended, 68);
@@ -132,7 +146,8 @@ mod tests {
     #[test]
     fn jacobi_analysis_small_and_large() {
         let small =
-            FeasibilityReport::analyze(&dev(), &StencilSpec::jacobi(), 8, 100 * 100, MemKind::Hbm);
+            FeasibilityReport::analyze(&dev(), &StencilSpec::jacobi(), 8, 100 * 100, MemKind::Hbm)
+                .unwrap();
         assert_eq!(small.p_dsp, 28);
         assert!(small.baseline_feasible);
 
@@ -142,7 +157,8 @@ mod tests {
             8,
             4000 * 4000,
             MemKind::Hbm,
-        );
+        )
+        .unwrap();
         assert_eq!(large.p_mem, 0, "eq. 7: even one module cannot be synthesized");
         assert!(!large.baseline_feasible);
         assert!(large.needs_tiling);
@@ -150,7 +166,8 @@ mod tests {
 
     #[test]
     fn rtm_analysis_p3() {
-        let r = FeasibilityReport::analyze(&dev(), &StencilSpec::rtm(), 1, 64 * 64, MemKind::Hbm);
+        let r = FeasibilityReport::analyze(&dev(), &StencilSpec::rtm(), 1, 64 * 64, MemKind::Hbm)
+            .unwrap();
         assert_eq!(r.p_dsp, 3);
         assert!(r.p_mem >= 3, "64² planes must admit p=3 (p_mem = {})", r.p_mem);
         assert_eq!(r.p_recommended, 3);
@@ -160,7 +177,8 @@ mod tests {
 
     #[test]
     fn profitability_threshold() {
-        let r = FeasibilityReport::analyze(&dev(), &StencilSpec::poisson(), 8, 400, MemKind::Hbm);
+        let r = FeasibilityReport::analyze(&dev(), &StencilSpec::poisson(), 8, 400, MemKind::Hbm)
+            .unwrap();
         assert!(r.is_profitable(10));
         let starved = FeasibilityReport::analyze(
             &dev(),
@@ -168,17 +186,32 @@ mod tests {
             8,
             4000 * 4000,
             MemKind::Hbm,
-        );
+        )
+        .unwrap();
         assert!(!starved.is_profitable(1));
     }
 
     #[test]
     fn ddr4_limits_v_harder_than_hbm() {
-        let hbm = FeasibilityReport::analyze(&dev(), &StencilSpec::poisson(), 8, 400, MemKind::Hbm);
+        let hbm = FeasibilityReport::analyze(&dev(), &StencilSpec::poisson(), 8, 400, MemKind::Hbm)
+            .unwrap();
         let ddr =
-            FeasibilityReport::analyze(&dev(), &StencilSpec::poisson(), 8, 400, MemKind::Ddr4);
+            FeasibilityReport::analyze(&dev(), &StencilSpec::poisson(), 8, 400, MemKind::Ddr4)
+                .unwrap();
         assert!(ddr.v_max_bandwidth < hbm.v_max_bandwidth);
         assert_eq!(ddr.v_max_bandwidth, 8, "paper: V = 8 on a single DDR4 channel");
+    }
+
+    #[test]
+    fn zero_inputs_are_typed_errors() {
+        let err = FeasibilityReport::analyze(&dev(), &StencilSpec::poisson(), 0, 400, MemKind::Hbm)
+            .unwrap_err();
+        assert!(matches!(err, ModelError::InvalidParameter { ref param, .. } if param == "v"));
+        let err = FeasibilityReport::analyze(&dev(), &StencilSpec::poisson(), 8, 0, MemKind::Hbm)
+            .unwrap_err();
+        assert!(
+            matches!(err, ModelError::InvalidParameter { ref param, .. } if param == "unit_cells")
+        );
     }
 }
 

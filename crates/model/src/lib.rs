@@ -29,15 +29,19 @@
 //!   the "model significantly narrows the design space" workflow of §V-A.
 //! * [`accuracy`] — the ±15 % validation harness comparing predictions
 //!   against the cycle-level simulator across a configuration suite.
+//! * [`error`] — [`ModelError`], the typed error every public model API
+//!   returns instead of panicking on out-of-domain inputs.
 
 pub mod accuracy;
 pub mod blocking;
 pub mod dse;
 pub mod equations;
+pub mod error;
 pub mod feasibility;
 pub mod predict;
 
 pub use accuracy::{accuracy_suite, AccuracyCase, AccuracyStats};
 pub use dse::{explore, Candidate, DseOptions};
+pub use error::ModelError;
 pub use feasibility::FeasibilityReport;
 pub use predict::{predict, Prediction, PredictionLevel};

@@ -13,6 +13,7 @@
 //!   reproducing the paper's own observation that its "model predictions
 //!   [are] slightly less accurate" for Jacobi spatial blocking (Fig. 4c).
 
+use crate::error::ModelError;
 use serde::{Deserialize, Serialize};
 use sf_fpga::design::{ExecMode, StencilDesign, Workload};
 use sf_fpga::FpgaDevice;
@@ -50,11 +51,15 @@ struct StreamShape {
     per_segment_overhead: u64,
 }
 
-fn shape(dev: &FpgaDevice, design: &StencilDesign, wl: &Workload) -> StreamShape {
+fn shape(
+    dev: &FpgaDevice,
+    design: &StencilDesign,
+    wl: &Workload,
+) -> Result<StreamShape, ModelError> {
     let d_eff = (design.spec.order * design.spec.stages) as u64;
     let p = design.p as u64;
     let fill = p * d_eff / 2;
-    match (*wl, design.mode) {
+    Ok(match (*wl, design.mode) {
         (Workload::D2 { nx, ny, batch }, ExecMode::Baseline | ExecMode::Batched { .. }) => {
             StreamShape {
                 segments: vec![((batch * ny) as u64 + fill, nx as u64)],
@@ -93,22 +98,31 @@ fn shape(dev: &FpgaDevice, design: &StencilDesign, wl: &Workload) -> StreamShape
             }
             StreamShape { segments, per_segment_overhead: dev.axi_latency_cycles as u64 }
         }
-        _ => unreachable!("synthesis rejects mismatched mode/workload"),
-    }
+        _ => {
+            return Err(ModelError::WorkloadMismatch {
+                detail: format!("mode {:?} cannot stream workload {:?}", design.mode, wl),
+            })
+        }
+    })
 }
 
 /// Predict the execution of `niter` iterations of a workload on a design.
+///
+/// Fails with [`ModelError::WorkloadMismatch`] when the design's execution
+/// mode cannot stream the workload shape (the plain executors assert on the
+/// same condition), and with [`ModelError::NonFiniteRuntime`] when the
+/// design point falls outside the calibrated model's domain.
 pub fn predict(
     dev: &FpgaDevice,
     design: &StencilDesign,
     wl: &Workload,
     niter: u64,
     level: PredictionLevel,
-) -> Prediction {
+) -> Result<Prediction, ModelError> {
     let p = design.p as u64;
     let passes = niter.div_ceil(p).max(1);
     let v = design.v as u64;
-    let sh = shape(dev, design, wl);
+    let sh = shape(dev, design, wl)?;
 
     let gap = match level {
         PredictionLevel::Ideal => 0,
@@ -130,7 +144,12 @@ pub fn predict(
         runtime_s += passes as f64 * dev.host_call_latency_s;
     }
     let logical = niter * wl.total_cells() * design.spec.logical_rw_bytes as u64;
-    Prediction { level, cycles, runtime_s, bandwidth_gbs: logical as f64 / runtime_s / 1.0e9 }
+    if !runtime_s.is_finite() || runtime_s <= 0.0 {
+        return Err(ModelError::NonFiniteRuntime {
+            detail: format!("V={} p={} mode {:?} on {:?}", design.v, design.p, design.mode, wl),
+        });
+    }
+    Ok(Prediction { level, cycles, runtime_s, bandwidth_gbs: logical as f64 / runtime_s / 1.0e9 })
 }
 
 #[cfg(test)]
@@ -152,7 +171,7 @@ mod tests {
         let ds =
             synthesize(&d, &StencilSpec::poisson(), 8, 60, ExecMode::Baseline, MemKind::Hbm, &wl)
                 .unwrap();
-        let pr = predict(&d, &ds, &wl, 60_000, PredictionLevel::Ideal);
+        let pr = predict(&d, &ds, &wl, 60_000, PredictionLevel::Ideal).unwrap();
         assert_eq!(pr.cycles, equations::clks_2d(60_000, 60, 200, 100, 8, 2));
     }
 
@@ -163,7 +182,7 @@ mod tests {
         let ds =
             synthesize(&d, &StencilSpec::jacobi(), 8, 29, ExecMode::Baseline, MemKind::Hbm, &wl)
                 .unwrap();
-        let pr = predict(&d, &ds, &wl, 29_000, PredictionLevel::Ideal);
+        let pr = predict(&d, &ds, &wl, 29_000, PredictionLevel::Ideal).unwrap();
         assert_eq!(pr.cycles, equations::clks_3d(29_000, 29, 100, 100, 100, 8, 2));
     }
 
@@ -174,8 +193,8 @@ mod tests {
         let ds =
             synthesize(&d, &StencilSpec::poisson(), 8, 60, ExecMode::Baseline, MemKind::Hbm, &wl)
                 .unwrap();
-        let i = predict(&d, &ds, &wl, 60_000, PredictionLevel::Ideal);
-        let e = predict(&d, &ds, &wl, 60_000, PredictionLevel::Extended);
+        let i = predict(&d, &ds, &wl, 60_000, PredictionLevel::Ideal).unwrap();
+        let e = predict(&d, &ds, &wl, 60_000, PredictionLevel::Extended).unwrap();
         assert!(e.runtime_s > i.runtime_s);
         assert!(e.bandwidth_gbs < i.bandwidth_gbs);
     }
@@ -190,7 +209,7 @@ mod tests {
             let mode = if b == 1 { ExecMode::Baseline } else { ExecMode::Batched { b } };
             let ds =
                 synthesize(&d, &StencilSpec::poisson(), 8, 60, mode, MemKind::Hbm, &wl).unwrap();
-            let e = predict(&d, &ds, &wl, 6000, PredictionLevel::Extended);
+            let e = predict(&d, &ds, &wl, 6000, PredictionLevel::Extended).unwrap();
             let plan = cycles::plan(&d, &ds, &wl, 6000);
             assert_eq!(e.cycles, plan.total_cycles, "{nx}x{ny} b={b}");
             assert!((e.runtime_s - plan.runtime_s).abs() / plan.runtime_s < 1e-12);
@@ -218,8 +237,8 @@ mod tests {
         )
         .unwrap();
         let plan = cycles::plan(&d, &ds, &wl, 120);
-        let i = predict(&d, &ds, &wl, 120, PredictionLevel::Ideal);
-        let e = predict(&d, &ds, &wl, 120, PredictionLevel::Extended);
+        let i = predict(&d, &ds, &wl, 120, PredictionLevel::Ideal).unwrap();
+        let e = predict(&d, &ds, &wl, 120, PredictionLevel::Extended).unwrap();
         assert!(
             i.runtime_s < plan.runtime_s * 0.85,
             "ideal {} must underpredict simulator {} by >15%",
@@ -237,7 +256,7 @@ mod tests {
         let ds1 =
             synthesize(&d, &StencilSpec::poisson(), 8, 60, ExecMode::Baseline, MemKind::Hbm, &solo)
                 .unwrap();
-        let b1 = predict(&d, &ds1, &solo, 60_000, PredictionLevel::Extended).bandwidth_gbs;
+        let b1 = predict(&d, &ds1, &solo, 60_000, PredictionLevel::Extended).unwrap().bandwidth_gbs;
         let batched = Workload::D2 { nx: 200, ny: 100, batch: 1000 };
         let ds2 = synthesize(
             &d,
@@ -249,7 +268,29 @@ mod tests {
             &batched,
         )
         .unwrap();
-        let b2 = predict(&d, &ds2, &batched, 60_000, PredictionLevel::Extended).bandwidth_gbs;
+        let b2 =
+            predict(&d, &ds2, &batched, 60_000, PredictionLevel::Extended).unwrap().bandwidth_gbs;
         assert!(b2 > b1 * 1.5, "batched {b2} vs baseline {b1}");
+    }
+
+    #[test]
+    fn mismatched_mode_and_workload_is_a_typed_error() {
+        // A 1D-tiled (2D) design cannot stream a 3D workload; this used to be
+        // an `unreachable!` panic.
+        let d = dev();
+        let wl2 = Workload::D2 { nx: 400, ny: 400, batch: 1 };
+        let ds = synthesize(
+            &d,
+            &StencilSpec::poisson(),
+            8,
+            4,
+            ExecMode::Tiled1D { tile_m: 128 },
+            MemKind::Hbm,
+            &wl2,
+        )
+        .unwrap();
+        let wl3 = Workload::D3 { nx: 64, ny: 64, nz: 64, batch: 1 };
+        let err = predict(&d, &ds, &wl3, 100, PredictionLevel::Extended).unwrap_err();
+        assert!(matches!(err, ModelError::WorkloadMismatch { .. }), "{err}");
     }
 }

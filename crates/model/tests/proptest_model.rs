@@ -68,10 +68,10 @@ proptest! {
         let wl = Workload::D2 { nx, ny, batch: 1 };
         let ds = synthesize(&d, &StencilSpec::poisson(), 8, p, ExecMode::Baseline, MemKind::Hbm, &wl)
             .unwrap();
-        let i1 = predict(&d, &ds, &wl, niter, PredictionLevel::Ideal);
-        let e1 = predict(&d, &ds, &wl, niter, PredictionLevel::Extended);
+        let i1 = predict(&d, &ds, &wl, niter, PredictionLevel::Ideal).unwrap();
+        let e1 = predict(&d, &ds, &wl, niter, PredictionLevel::Extended).unwrap();
         prop_assert!(e1.runtime_s >= i1.runtime_s);
-        let i2 = predict(&d, &ds, &wl, niter + p as u64, PredictionLevel::Ideal);
+        let i2 = predict(&d, &ds, &wl, niter + p as u64, PredictionLevel::Ideal).unwrap();
         prop_assert!(i2.cycles > i1.cycles);
     }
 
@@ -86,7 +86,9 @@ proptest! {
         let d = dev();
         let wl = Workload::D2 { nx, ny, batch: 1 };
         let opts = DseOptions::default();
-        let best = sf_model::dse::best(&d, &StencilSpec::poisson(), &wl, niter, &opts).unwrap();
+        let best = sf_model::dse::best(&d, &StencilSpec::poisson(), &wl, niter, &opts)
+            .unwrap()
+            .unwrap();
         let manual = synthesize(&d, &StencilSpec::poisson(), 8, 60, ExecMode::Baseline, MemKind::Hbm, &wl)
             .unwrap();
         let manual_rt = sf_fpga::cycles::plan(&d, &manual, &wl, niter).runtime_s;
@@ -104,7 +106,7 @@ proptest! {
         let v = 1usize << v_pow;
         let spec = StencilSpec::poisson();
         let wl = Workload::D2 { nx: 256, ny, batch: 1 };
-        let rep = FeasibilityReport::analyze(&d, &spec, v, 256, MemKind::Hbm);
+        let rep = FeasibilityReport::analyze(&d, &spec, v, 256, MemKind::Hbm).unwrap();
         prop_assume!(rep.p_dsp >= 1);
         // p = p_dsp either synthesizes or is rejected for *memory* (very deep
         // V=1 chains exhaust window/FIFO BRAM first) — never for DSPs

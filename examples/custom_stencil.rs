@@ -27,7 +27,7 @@ fn main() {
     // ── the workflow treats it like any application ──────────────────────
     let wf = Workflow::u280_vs_v100();
     let wl = Workload::D2 { nx: 512, ny: 256, batch: 1 };
-    let feas = wf.feasibility(&spec, &wl);
+    let feas = wf.feasibility(&spec, &wl).expect("valid workload");
     println!(
         "feasibility: p_dsp = {}, p_mem = {}, baseline feasible = {}",
         feas.p_dsp, feas.p_mem, feas.baseline_feasible

@@ -10,7 +10,7 @@
 use sf_core::prelude::*;
 
 fn show(wf: &Workflow, spec: &StencilSpec, wl: &Workload, niter: u64) {
-    let cands = wf.explore(spec, wl, niter);
+    let cands = wf.explore(spec, wl, niter).expect("valid exploration options");
     println!(
         "\n═══ {} on {:?} — {} feasible designs (of the swept space) ═══",
         spec.app,
@@ -57,7 +57,7 @@ fn main() {
 
     // the feasibility wall: a mesh no baseline design can buffer
     let wl = Workload::D3 { nx: 2500, ny: 2500, nz: 100, batch: 1 };
-    let feas = wf.feasibility(&StencilSpec::jacobi(), &wl);
+    let feas = wf.feasibility(&StencilSpec::jacobi(), &wl).expect("valid workload");
     println!(
         "\n2500×2500×100 Jacobi: p_mem = {} → baseline infeasible (eq. 7); \
          every surviving candidate is spatially blocked.",

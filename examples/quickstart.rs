@@ -17,7 +17,7 @@ fn main() {
     let niter = 60_000u64;
 
     // ── 3. Feasibility (paper eqs. 4, 6, 7) ──────────────────────────────
-    let feas = wf.feasibility(&spec, &wl);
+    let feas = wf.feasibility(&spec, &wl).expect("valid workload");
     println!("── feasibility ──────────────────────────────────────────────");
     println!("  app                 : {}", feas.app);
     println!("  V_max (bandwidth)   : {}", feas.v_max_bandwidth);

@@ -113,7 +113,7 @@ fn dse_feasibility_consistency() {
         (StencilSpec::jacobi(), Workload::D3 { nx: 100, ny: 100, nz: 100, batch: 1 }),
         (StencilSpec::rtm(), Workload::D3 { nx: 32, ny: 32, nz: 32, batch: 1 }),
     ] {
-        let cands = wf.explore(&spec, &wl, 1000);
+        let cands = wf.explore(&spec, &wl, 1000).unwrap();
         assert!(!cands.is_empty(), "{}: no candidates", spec.app);
         for c in &cands {
             assert!(c.design.resources.fits(&wf.device));

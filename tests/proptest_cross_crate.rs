@@ -126,7 +126,7 @@ proptest! {
     ) {
         let wf = Workflow::u280_vs_v100();
         let wl = Workload::D2 { nx, ny, batch: 1 };
-        let cands = wf.explore(&StencilSpec::poisson(), &wl, niter);
+        let cands = wf.explore(&StencilSpec::poisson(), &wl, niter).unwrap();
         prop_assert!(!cands.is_empty());
         let mut last = 0.0f64;
         for c in &cands {
