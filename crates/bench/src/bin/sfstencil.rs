@@ -8,9 +8,20 @@
 //! sfstencil explain     --app rtm --mesh 32x32x32 --iters 1800
 //! sfstencil profile     --app poisson --mesh 200x100 --iters 100 \
 //!                       [--trace-out trace.json] [--json]
+//! sfstencil check       --app poisson --mesh 400x400 [--v 8 --p 60] \
+//!                       [--mem hbm|ddr4] [--tile M[xN]] [--fifo-depth D] \
+//!                       [--window-units U] [--json]
 //! sfstencil faults      [--app poisson2d|jacobi3d|rtm3d] [--seed 42] \
 //!                       [--rate PPM]... [--trials N] [--json]
 //! ```
+//!
+//! `check` runs the `sf-check` static design-rule analyzer — window-buffer
+//! sizing, FIFO deadlock-freedom, loop-carried RAW hazards, tile/halo and
+//! vectorization legality, per-SLR resource budgets — without executing
+//! anything. With explicit `--v`/`--p` it verifies exactly that
+//! configuration (plus any seeded `--fifo-depth`/`--window-units`
+//! overrides); otherwise it verifies the DSE-selected best design. Exits 1
+//! if any error-severity diagnostic fires.
 //!
 //! `profile` runs the best design with telemetry enabled and reports the
 //! stall attribution (compute vs memory vs backpressure) and the
@@ -30,9 +41,10 @@ use sf_telemetry::{chrome, metrics, StallClass};
 fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: sfstencil <feasibility|dse|compare|report|explain|profile> \
+        "usage: sfstencil <feasibility|dse|compare|report|explain|profile|check> \
          --app <poisson|jacobi|rtm> \
          --mesh <NXxNY[xNZ]> [--batch B] [--iters N] [--top K] [--v V] [--p P] \
+         [--mem hbm|ddr4] [--tile M[xN]] [--fifo-depth D] [--window-units U] \
          [--json] [--trace-out FILE]\n       \
          sfstencil faults [--app <poisson2d|jacobi3d|rtm3d>] [--seed N] \
          [--rate PPM]... [--trials N] [--json]"
@@ -48,6 +60,10 @@ struct Args {
     top: usize,
     v: usize,
     p: usize,
+    mem: MemKind,
+    tile: Option<(usize, Option<usize>)>,
+    fifo_depth: Option<usize>,
+    window_units: Option<usize>,
     json: bool,
     trace_out: Option<String>,
 }
@@ -58,7 +74,8 @@ fn parse() -> Args {
         fail("missing command");
     }
     let cmd = argv[0].clone();
-    const COMMANDS: [&str; 6] = ["feasibility", "dse", "compare", "report", "explain", "profile"];
+    const COMMANDS: [&str; 7] =
+        ["feasibility", "dse", "compare", "report", "explain", "profile", "check"];
     if !COMMANDS.contains(&cmd.as_str()) {
         fail(&format!("unknown command '{cmd}'"));
     }
@@ -78,6 +95,19 @@ fn parse() -> Args {
     let mesh = get("--mesh").unwrap_or_else(|| fail("--mesh required"));
     let batch: usize = get("--batch").map(|s| positive("--batch", s)).unwrap_or(1);
     let wl = sf_bench::cli::parse_mesh(app.dims, &mesh, batch).unwrap_or_else(|e| fail(&e));
+    let mem = match get("--mem").as_deref() {
+        None | Some("hbm") => MemKind::Hbm,
+        Some("ddr4") => MemKind::Ddr4,
+        Some(other) => fail(&format!("--mem must be hbm or ddr4 (got '{other}')")),
+    };
+    let tile = get("--tile").map(|s| {
+        let parts: Vec<&str> = s.split('x').collect();
+        match parts.as_slice() {
+            [m] => (positive("--tile", m.to_string()), None),
+            [m, n] => (positive("--tile", m.to_string()), Some(positive("--tile", n.to_string()))),
+            _ => fail(&format!("--tile must be M or MxN (got '{s}')")),
+        }
+    });
     Args {
         cmd,
         app,
@@ -86,8 +116,56 @@ fn parse() -> Args {
         top: get("--top").map(|s| positive("--top", s)).unwrap_or(5),
         v: get("--v").map(|s| positive("--v", s)).unwrap_or(0),
         p: get("--p").map(|s| positive("--p", s)).unwrap_or(0),
+        mem,
+        tile,
+        fifo_depth: get("--fifo-depth").map(|s| positive("--fifo-depth", s)),
+        window_units: get("--window-units").map(|s| positive("--window-units", s)),
         json: argv.iter().any(|a| a == "--json"),
         trace_out: get("--trace-out"),
+    }
+}
+
+/// The `check` subcommand: static design-rule analysis, no execution.
+fn run_check(a: &Args, wf: &Workflow) {
+    let (design, source) = if a.v > 0 || a.p > 0 {
+        if a.v == 0 || a.p == 0 {
+            fail("check needs both --v and --p (or neither, for the DSE-selected design)");
+        }
+        let batch = match a.wl {
+            Workload::D2 { batch, .. } | Workload::D3 { batch, .. } => batch,
+        };
+        let mode = match (a.tile, a.app.dims) {
+            (Some((m, None)), 2) => ExecMode::Tiled1D { tile_m: m },
+            (Some((m, n)), 3) => ExecMode::Tiled2D { tile_m: m, tile_n: n.unwrap_or(m) },
+            (Some((_, Some(_))), _) => fail("--tile MxN is for 3D apps; 2D tiling takes one M"),
+            (None, _) if batch > 1 => ExecMode::Batched { b: batch },
+            (None, _) => ExecMode::Baseline,
+            (Some(_), d) => fail(&format!("--tile unsupported for a {d}D app")),
+        };
+        let mut d = sf_check::Design::new(a.app, a.v, a.p, mode, a.mem, a.wl);
+        d.fifo_depth = a.fifo_depth;
+        d.window_units = a.window_units;
+        (d, format!("explicit V={} p={} {mode:?} {:?}", a.v, a.p, a.mem))
+    } else {
+        let best = wf.best_design(&a.app, &a.wl, a.iters).unwrap_or_else(|e| fail(&format!("{e}")));
+        let mut d = sf_check::Design::from_synthesized(&best.design, &a.wl);
+        d.fifo_depth = a.fifo_depth;
+        d.window_units = a.window_units;
+        let src = format!(
+            "DSE-selected V={} p={} {:?} {:?}",
+            best.design.v, best.design.p, best.design.mode, best.design.mem
+        );
+        (d, src)
+    };
+    let rep = sf_check::check(&wf.device, &design);
+    if a.json {
+        println!("{}", serde_json::to_string_pretty(&rep).unwrap());
+    } else {
+        println!("design             : {source}");
+        print!("{}", rep.render());
+    }
+    if rep.has_errors() {
+        std::process::exit(1);
     }
 }
 
@@ -132,6 +210,18 @@ fn run_faults(argv: &[String]) {
             Ok(0) | Err(_) => fail(&format!("--trials must be a positive integer (got '{s}')")),
             Ok(n) => n,
         };
+    }
+    // Mandatory static pre-flight of every campaign design, reported (on
+    // stderr, so --json stdout stays machine-parseable) before a single
+    // trial executes: any later detection is attributable to the injected
+    // fault, not a latent design-rule violation.
+    for (app, rep) in sf_bench::faults::preflight(&apps) {
+        if rep.diagnostics.is_empty() {
+            eprintln!("preflight {}: ok — no design-rule diagnostics", app.name());
+        } else {
+            eprintln!("preflight {}:", app.name());
+            eprint!("{}", rep.render());
+        }
     }
     let report = run_campaign(&apps, &cfg);
     if argv.iter().any(|a| a == "--json") {
@@ -243,6 +333,14 @@ fn main() {
                     return;
                 }
                 println!("{}", sf_fpga::report::utilization_report(&wf.device, &pr.design));
+                // the pre-flight ran (mandatorily) before execution inside
+                // Workflow::profile; surface its verdict first
+                if pr.preflight.diagnostics.is_empty() {
+                    println!("preflight          : ok — no design-rule diagnostics");
+                } else {
+                    println!("preflight          :");
+                    print!("{}", pr.preflight.render());
+                }
                 println!(
                     "mode               : {}",
                     if pr.behavioral { "behavioral (numerics streamed)" } else { "schedule-only" }
@@ -268,6 +366,7 @@ fn main() {
             }
             Err(e) => fail(&format!("{e}")),
         },
+        "check" => run_check(&a, &wf),
         other => fail(&format!("unknown command '{other}'")),
     }
 }

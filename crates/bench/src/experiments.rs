@@ -681,7 +681,8 @@ pub fn table6() -> Experiment {
 
 /// §V accuracy claim — model-predicted vs achieved runtime across the suite.
 pub fn model_accuracy() -> Experiment {
-    let stats = accuracy::accuracy_suite(&FpgaDevice::u280());
+    let stats =
+        accuracy::accuracy_suite(&FpgaDevice::u280()).expect("paper suite is feasible on the U280");
     let mut e = Experiment::new(
         "Model accuracy",
         "predicted vs achieved runtime (paper claim: ±15% on >85% of configs)",

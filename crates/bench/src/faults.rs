@@ -61,6 +61,41 @@ impl CampaignApp {
     pub const ALL: [CampaignApp; 3] =
         [CampaignApp::Poisson2D, CampaignApp::Jacobi3D, CampaignApp::Rtm3D];
 
+    /// The fixed campaign configuration for this app: `(spec, v, p,
+    /// workload)` — kept small so seeds and detections stay comparable
+    /// across runs, and shared between the trial runners and the static
+    /// pre-flight.
+    pub fn campaign_params(&self) -> (StencilSpec, usize, usize, Workload) {
+        match self {
+            CampaignApp::Poisson2D => {
+                (StencilSpec::poisson(), 8, 4, Workload::D2 { nx: 48, ny: 24, batch: 1 })
+            }
+            CampaignApp::Jacobi3D => {
+                (StencilSpec::jacobi(), 8, 3, Workload::D3 { nx: 16, ny: 12, nz: 10, batch: 1 })
+            }
+            CampaignApp::Rtm3D => {
+                (StencilSpec::rtm(), 1, 3, Workload::D3 { nx: 12, ny: 10, nz: 8, batch: 1 })
+            }
+        }
+    }
+}
+
+/// Static pre-flight of every campaign design: the `sf-check` design-rule
+/// report for each app's fixed configuration, in sweep order. The CLI
+/// prints these before executing a single trial so any static diagnostic
+/// can be correlated with the runtime detections that follow.
+pub fn preflight(apps: &[CampaignApp]) -> Vec<(CampaignApp, sf_check::CheckReport)> {
+    let dev = FpgaDevice::u280();
+    apps.iter()
+        .map(|&app| {
+            let (spec, v, p, wl) = app.campaign_params();
+            let design = sf_check::Design::new(spec, v, p, ExecMode::Baseline, MemKind::Hbm, wl);
+            (app, sf_check::check(&dev, &design))
+        })
+        .collect()
+}
+
+impl CampaignApp {
     /// Stable lowercase name (CLI values, JSON keys).
     pub fn name(&self) -> &'static str {
         match self {
@@ -242,9 +277,10 @@ fn finish_trial(
 
 fn poisson_trial(plan: FaultPlan, policy: &RetryPolicy) -> TrialRun {
     let dev = FpgaDevice::u280();
-    let (nx, ny, niter) = (48usize, 24usize, 12usize);
-    let wl = Workload::D2 { nx, ny, batch: 1 };
-    let ds = synthesize(&dev, &StencilSpec::poisson(), 8, 4, ExecMode::Baseline, MemKind::Hbm, &wl)
+    let (spec, v, p, wl) = CampaignApp::Poisson2D.campaign_params();
+    let (Workload::D2 { nx, ny, .. } | Workload::D3 { nx, ny, .. }) = wl;
+    let niter = 12usize;
+    let ds = synthesize(&dev, &spec, v, p, ExecMode::Baseline, MemKind::Hbm, &wl)
         .expect("campaign poisson design is feasible");
     let input = Batch2D::<f32>::random(nx, ny, 1, INPUT_SEED, -1.0, 1.0);
     let golden = reference::run_batch_2d(&Poisson2D, &input, niter);
@@ -261,9 +297,13 @@ fn poisson_trial(plan: FaultPlan, policy: &RetryPolicy) -> TrialRun {
 
 fn jacobi_trial(plan: FaultPlan, policy: &RetryPolicy) -> TrialRun {
     let dev = FpgaDevice::u280();
-    let (nx, ny, nz, niter) = (16usize, 12usize, 10usize, 6usize);
-    let wl = Workload::D3 { nx, ny, nz, batch: 1 };
-    let ds = synthesize(&dev, &StencilSpec::jacobi(), 8, 3, ExecMode::Baseline, MemKind::Hbm, &wl)
+    let (spec, v, p, wl) = CampaignApp::Jacobi3D.campaign_params();
+    let (nx, ny, nz) = match wl {
+        Workload::D3 { nx, ny, nz, .. } => (nx, ny, nz),
+        Workload::D2 { .. } => unreachable!("jacobi campaign workload is 3D"),
+    };
+    let niter = 6usize;
+    let ds = synthesize(&dev, &spec, v, p, ExecMode::Baseline, MemKind::Hbm, &wl)
         .expect("campaign jacobi design is feasible");
     let k = Jacobi3D::smoothing();
     let input = Batch3D::<f32>::random(nx, ny, nz, 1, INPUT_SEED, -1.0, 1.0);
@@ -278,9 +318,13 @@ fn jacobi_trial(plan: FaultPlan, policy: &RetryPolicy) -> TrialRun {
 
 fn rtm_trial(plan: FaultPlan, policy: &RetryPolicy) -> TrialRun {
     let dev = FpgaDevice::u280();
-    let (nx, ny, nz, niter) = (12usize, 10usize, 8usize, 4usize);
-    let wl = Workload::D3 { nx, ny, nz, batch: 1 };
-    let ds = synthesize(&dev, &StencilSpec::rtm(), 1, 3, ExecMode::Baseline, MemKind::Hbm, &wl)
+    let (spec, v, p, wl) = CampaignApp::Rtm3D.campaign_params();
+    let (nx, ny, nz) = match wl {
+        Workload::D3 { nx, ny, nz, .. } => (nx, ny, nz),
+        Workload::D2 { .. } => unreachable!("rtm campaign workload is 3D"),
+    };
+    let niter = 4usize;
+    let ds = synthesize(&dev, &spec, v, p, ExecMode::Baseline, MemKind::Hbm, &wl)
         .expect("campaign rtm design is feasible");
     let (y, rho, mu) = rtm::demo_workload(nx, ny, nz);
     let packed = rtm::pack(&y, &rho, &mu);
@@ -479,6 +523,16 @@ mod tests {
 
     fn quick_cfg() -> CampaignConfig {
         CampaignConfig { seed: 42, rates_ppm: vec![1_000_000], trials_per_cell: 1 }
+    }
+
+    #[test]
+    fn campaign_designs_pass_preflight() {
+        // the campaign exercises *runtime* detection of injected faults;
+        // its fixed designs must be statically clean so every diagnostic
+        // the CLI prints afterwards is attributable to the injection
+        for (app, rep) in preflight(&CampaignApp::ALL) {
+            assert!(!rep.has_errors(), "{}: {}", app.name(), rep.render());
+        }
     }
 
     #[test]

@@ -89,6 +89,122 @@ fn invalid_numeric_flags_exit_2() {
 }
 
 #[test]
+fn check_paper_designs_are_clean() {
+    for (app, mesh, v, p) in [
+        ("poisson", "400x400", "8", "60"),
+        ("jacobi", "300x300x300", "8", "29"),
+        ("rtm", "64x64x64", "1", "3"),
+    ] {
+        let out = sfstencil()
+            .args(["check", "--app", app, "--mesh", mesh, "--v", v, "--p", p])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{app}: {}", String::from_utf8_lossy(&out.stdout));
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        assert!(stdout.contains("ok: no design-rule violations"), "{app}: {stdout}");
+    }
+}
+
+#[test]
+fn check_without_v_p_verifies_the_dse_selection() {
+    let out =
+        sfstencil().args(["check", "--app", "poisson", "--mesh", "400x400"]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("DSE-selected"), "{stdout}");
+    assert!(stdout.contains("ok: no design-rule violations"), "{stdout}");
+}
+
+#[test]
+fn check_seeded_violations_exit_1_with_the_right_rule() {
+    for (p, extra, rule) in [
+        ("60", Some(["--fifo-depth", "4"]), "SFC-F01"),
+        ("60", Some(["--window-units", "100"]), "SFC-W01"),
+        ("500", None, "SFC-S01"),
+    ] {
+        let mut args = vec!["check", "--app", "poisson", "--mesh", "400x400", "--v", "8", "--p", p];
+        if let Some(extra) = extra {
+            args.extend(extra.iter());
+        }
+        let out = sfstencil().args(&args).output().unwrap();
+        assert_eq!(out.status.code(), Some(1), "{args:?}");
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        assert!(stdout.contains(rule), "{args:?}: {stdout}");
+        assert!(stdout.contains("error"), "{stdout}");
+    }
+}
+
+#[test]
+fn check_tile_halo_violation_exits_1() {
+    let out = sfstencil()
+        .args([
+            "check",
+            "--app",
+            "poisson",
+            "--mesh",
+            "15000x15000",
+            "--v",
+            "8",
+            "--p",
+            "60",
+            "--tile",
+            "50",
+            "--mem",
+            "ddr4",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("SFC-T01"), "{stdout}");
+}
+
+#[test]
+fn check_json_matches_golden() {
+    let out = sfstencil()
+        .args([
+            "check",
+            "--app",
+            "poisson",
+            "--mesh",
+            "400x400",
+            "--v",
+            "8",
+            "--p",
+            "60",
+            "--fifo-depth",
+            "4",
+            "--json",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "seeded deadlock must exit 1");
+    let got = String::from_utf8(out.stdout).unwrap();
+    let golden = include_str!("golden/check_poisson_fifo4.json");
+    assert_eq!(got.trim(), golden.trim(), "check --json output drifted from the golden file");
+    // and the document is structurally sound
+    let doc: Value = serde_json::from_str(&got).unwrap();
+    let diags = doc.get("diagnostics").and_then(Value::as_array).unwrap();
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].get("rule").and_then(Value::as_str), Some("FifoDeadlock"));
+    assert_eq!(diags[0].get("severity").and_then(Value::as_str), Some("Error"));
+}
+
+#[test]
+fn faults_preflight_reports_before_the_campaign() {
+    let out = sfstencil()
+        .args(["faults", "--app", "poisson2d", "--rate", "1000000", "--trials", "1"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("preflight poisson2d: ok"),
+        "pre-flight verdict must precede the campaign: {stderr}"
+    );
+}
+
+#[test]
 fn faults_campaign_accounts_for_every_injection() {
     let out = sfstencil()
         .args(["faults", "--app", "poisson2d", "--seed", "42", "--json"])

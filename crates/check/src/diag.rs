@@ -1,0 +1,372 @@
+//! Structured diagnostics: rule identifiers, severities, and the report a
+//! check run produces.
+//!
+//! Every rule the analyzer applies has a stable [`RuleId`] with a short code
+//! (`SFC-…`) and a pointer to the paper equation or mechanism it encodes, so
+//! diagnostics are greppable across the CLI, CI logs and JSON output.
+
+use serde::{Deserialize, Serialize};
+use sf_fpga::design::{ExecMode, MemKind, Workload};
+
+/// Identity of a design rule. The code is stable across releases; the
+/// variant name is what serializes into `--json` output.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RuleId {
+    /// `SFC-P01` — `V` and `p` must be positive.
+    InvalidParam,
+    /// `SFC-P02` — execution mode / stencil / workload dimensionality agree.
+    DimsMismatch,
+    /// `SFC-W01` — window buffers must cover the stencil reach (`D` stream
+    /// units per stage; rows at least as wide as the footprint).
+    WindowReach,
+    /// `SFC-W02` — quantized window buffers + stream FIFOs must fit the
+    /// on-chip BRAM/URAM pools (paper eq. 7).
+    WindowCapacity,
+    /// `SFC-F01` — every dataflow-graph FIFO must absorb one full AXI burst
+    /// while its consumer fills; shallower depths wedge the pipeline (the
+    /// static dual of the runtime watchdog).
+    FifoDeadlock,
+    /// `SFC-F02` — FIFO depth below the two-bursts-of-slack sizing rule:
+    /// deadlock-free but the producer stalls on every burst refill.
+    FifoSlack,
+    /// `SFC-R01` — loop-carried RAW hazard: the unrolled iterative pipeline
+    /// keeps `p` iteration passes in flight; the streaming extent must
+    /// exceed that or iteration `i+p` would read rows iteration `i` has not
+    /// written back.
+    RawHazard,
+    /// `SFC-T01` — tiles must exceed the halo `p·D_fused` (paper eq. 8).
+    TileHalo,
+    /// `SFC-T02` — tile larger than the mesh extent it blocks (wasteful;
+    /// the executor clamps, redundant halo is still streamed).
+    TileHalo2,
+    /// `SFC-T03` — tile below the paper's `M ≥ 3·D·p` throughput guideline
+    /// (eq. 12): halo overhead dominates the useful work.
+    TileThroughput,
+    /// `SFC-T04` — tile width not a multiple of `V`: vector lanes straddle
+    /// the tile boundary and need realignment logic.
+    VectorAlignment,
+    /// `SFC-S01` — DSP demand `p·V·G_dsp` exceeds the device (paper eq. 6).
+    DspOversubscribed,
+    /// `SFC-S02` — estimated LUT/FF demand exceeds the fabric.
+    FabricOversubscribed,
+    /// `SFC-S03` — the module chain cannot be floorplanned onto the SLRs.
+    SlrOverflow,
+    /// `SFC-S04` — a single module is too large for one SLR and must span
+    /// regions (inter-SLR routing congestion derates the clock).
+    SlrSpanning,
+    /// `SFC-B01` — vectorization exceeds the memory channels per direction
+    /// (paper eq. 4).
+    BandwidthChannels,
+    /// `SFC-B02` — the workload's ping-pong buffers exceed external memory.
+    ExternalCapacity,
+}
+
+impl RuleId {
+    /// Stable short code for logs and human output.
+    pub fn code(&self) -> &'static str {
+        match self {
+            RuleId::InvalidParam => "SFC-P01",
+            RuleId::DimsMismatch => "SFC-P02",
+            RuleId::WindowReach => "SFC-W01",
+            RuleId::WindowCapacity => "SFC-W02",
+            RuleId::FifoDeadlock => "SFC-F01",
+            RuleId::FifoSlack => "SFC-F02",
+            RuleId::RawHazard => "SFC-R01",
+            RuleId::TileHalo => "SFC-T01",
+            RuleId::TileHalo2 => "SFC-T02",
+            RuleId::TileThroughput => "SFC-T03",
+            RuleId::VectorAlignment => "SFC-T04",
+            RuleId::DspOversubscribed => "SFC-S01",
+            RuleId::FabricOversubscribed => "SFC-S02",
+            RuleId::SlrOverflow => "SFC-S03",
+            RuleId::SlrSpanning => "SFC-S04",
+            RuleId::BandwidthChannels => "SFC-B01",
+            RuleId::ExternalCapacity => "SFC-B02",
+        }
+    }
+
+    /// The paper equation / mechanism the rule encodes (for the catalogue).
+    pub fn reference(&self) -> &'static str {
+        match self {
+            RuleId::InvalidParam => "design domain",
+            RuleId::DimsMismatch => "§IV-A blocking modes",
+            RuleId::WindowReach => "§III window buffers (D stream units)",
+            RuleId::WindowCapacity => "eq. (7)",
+            RuleId::FifoDeadlock => "§III FIFO burst reuse / PR 2 watchdog",
+            RuleId::FifoSlack => "interstage sizing rule (2 bursts)",
+            RuleId::RawHazard => "§III-A iterative unroll dependency",
+            RuleId::TileHalo => "eq. (8)",
+            RuleId::TileHalo2 => "§IV-A tiling",
+            RuleId::TileThroughput => "eq. (12)",
+            RuleId::VectorAlignment => "§III-A vectorization",
+            RuleId::DspOversubscribed => "eq. (6)",
+            RuleId::FabricOversubscribed => "fabric estimate",
+            RuleId::SlrOverflow => "§III SLR floorplan",
+            RuleId::SlrSpanning => "§V-C SLR spanning",
+            RuleId::BandwidthChannels => "eq. (4)",
+            RuleId::ExternalCapacity => "external capacity",
+        }
+    }
+}
+
+impl core::fmt::Display for RuleId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// How bad a finding is.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// The design is illegal: it will fail synthesis or wedge the pipeline.
+    Error,
+    /// The design works but leaves performance or margin on the table.
+    Warning,
+}
+
+/// One finding from one rule, anchored to a dataflow-graph location.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Where in the dataflow graph (node/edge label, or `design` for
+    /// whole-design findings).
+    pub location: String,
+    /// What is wrong, with the numbers that prove it.
+    pub message: String,
+    /// How to fix it.
+    pub hint: String,
+}
+
+impl core::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        write!(f, "{sev:<7} {} [{}] {}", self.rule.code(), self.location, self.message)
+    }
+}
+
+/// Everything one check run produced.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CheckReport {
+    /// Device the design was checked against.
+    pub device: String,
+    /// Application name.
+    pub app: String,
+    /// Vectorization factor checked.
+    pub v: usize,
+    /// Unroll factor checked.
+    pub p: usize,
+    /// Execution mode checked.
+    pub mode: ExecMode,
+    /// External memory binding.
+    pub mem: MemKind,
+    /// Workload the design targets.
+    pub workload: Workload,
+    /// Nodes in the constructed dataflow graph.
+    pub graph_nodes: usize,
+    /// FIFO edges in the constructed dataflow graph.
+    pub graph_edges: usize,
+    /// All findings, errors first.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl CheckReport {
+    /// `true` if any diagnostic is an [`Severity::Error`].
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Error-severity findings.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.errors().count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.len() - self.error_count()
+    }
+
+    /// Rule ids that fired, in order.
+    pub fn fired_rules(&self) -> Vec<RuleId> {
+        self.diagnostics.iter().map(|d| d.rule).collect()
+    }
+
+    /// `true` if the given rule fired at any severity.
+    pub fn fired(&self, rule: RuleId) -> bool {
+        self.diagnostics.iter().any(|d| d.rule == rule)
+    }
+
+    /// Convert into a `Result`: `Err` carries the report when any rule
+    /// fired at error severity.
+    pub fn into_result(self) -> Result<CheckReport, CheckError> {
+        if self.has_errors() {
+            Err(CheckError { report: Box::new(self) })
+        } else {
+            Ok(self)
+        }
+    }
+
+    /// Human-readable rendering, errors first.
+    pub fn render(&self) -> String {
+        use core::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "sf-check: {} V={} p={} {:?} on {:?} ({})",
+            self.app, self.v, self.p, self.mode, self.workload, self.device
+        );
+        let _ = writeln!(
+            s,
+            "dataflow graph: {} nodes, {} FIFO edges",
+            self.graph_nodes, self.graph_edges
+        );
+        if self.diagnostics.is_empty() {
+            let _ = writeln!(s, "ok: no design-rule violations");
+            return s;
+        }
+        for sev in [Severity::Error, Severity::Warning] {
+            for d in self.diagnostics.iter().filter(|d| d.severity == sev) {
+                let _ = writeln!(s, "  {d}");
+                if !d.hint.is_empty() {
+                    let _ = writeln!(s, "          fix: {}", d.hint);
+                }
+            }
+        }
+        let _ = writeln!(s, "{} error(s), {} warning(s)", self.error_count(), self.warning_count());
+        s
+    }
+}
+
+/// A check run that found at least one error-severity violation.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CheckError {
+    /// The full report, warnings included. Boxed so error enums that embed
+    /// a `CheckError` stay pointer-sized on their happy paths.
+    pub report: Box<CheckReport>,
+}
+
+impl core::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let errs: Vec<&Diagnostic> = self.report.errors().collect();
+        write!(f, "{} design-rule error(s):", errs.len())?;
+        for d in errs {
+            write!(f, " [{} {}]", d.rule.code(), d.message)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with(diags: Vec<Diagnostic>) -> CheckReport {
+        CheckReport {
+            device: "test".into(),
+            app: "Poisson-5pt-2D".into(),
+            v: 8,
+            p: 4,
+            mode: ExecMode::Baseline,
+            mem: MemKind::Hbm,
+            workload: Workload::D2 { nx: 40, ny: 40, batch: 1 },
+            graph_nodes: 6,
+            graph_edges: 5,
+            diagnostics: diags,
+        }
+    }
+
+    fn diag(rule: RuleId, severity: Severity) -> Diagnostic {
+        Diagnostic {
+            rule,
+            severity,
+            location: "design".into(),
+            message: "msg".into(),
+            hint: "hint".into(),
+        }
+    }
+
+    #[test]
+    fn codes_are_unique_and_stable() {
+        let all = [
+            RuleId::InvalidParam,
+            RuleId::DimsMismatch,
+            RuleId::WindowReach,
+            RuleId::WindowCapacity,
+            RuleId::FifoDeadlock,
+            RuleId::FifoSlack,
+            RuleId::RawHazard,
+            RuleId::TileHalo,
+            RuleId::TileHalo2,
+            RuleId::TileThroughput,
+            RuleId::VectorAlignment,
+            RuleId::DspOversubscribed,
+            RuleId::FabricOversubscribed,
+            RuleId::SlrOverflow,
+            RuleId::SlrSpanning,
+            RuleId::BandwidthChannels,
+            RuleId::ExternalCapacity,
+        ];
+        let mut codes: Vec<&str> = all.iter().map(|r| r.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), all.len(), "duplicate rule code");
+        for r in all {
+            assert!(r.code().starts_with("SFC-"));
+            assert!(!r.reference().is_empty());
+        }
+    }
+
+    #[test]
+    fn report_counts_and_result() {
+        let clean = report_with(vec![]);
+        assert!(!clean.has_errors());
+        assert!(clean.clone().into_result().is_ok());
+        assert!(clean.render().contains("ok: no design-rule violations"));
+
+        let mixed = report_with(vec![
+            diag(RuleId::FifoSlack, Severity::Warning),
+            diag(RuleId::FifoDeadlock, Severity::Error),
+        ]);
+        assert!(mixed.has_errors());
+        assert_eq!(mixed.error_count(), 1);
+        assert_eq!(mixed.warning_count(), 1);
+        assert!(mixed.fired(RuleId::FifoDeadlock));
+        assert!(!mixed.fired(RuleId::RawHazard));
+        let err = mixed.into_result().unwrap_err();
+        let s = format!("{err}");
+        assert!(s.contains("1 design-rule error"), "{s}");
+        assert!(s.contains("SFC-F01"), "{s}");
+    }
+
+    #[test]
+    fn render_orders_errors_first() {
+        let rep = report_with(vec![
+            diag(RuleId::FifoSlack, Severity::Warning),
+            diag(RuleId::DspOversubscribed, Severity::Error),
+        ]);
+        let out = rep.render();
+        let e = out.find("SFC-S01").unwrap();
+        let w = out.find("SFC-F02").unwrap();
+        assert!(e < w, "{out}");
+    }
+
+    #[test]
+    fn diagnostics_roundtrip_serde() {
+        let d = diag(RuleId::RawHazard, Severity::Error);
+        let s = serde_json::to_string(&d).unwrap();
+        let back: Diagnostic = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, d);
+    }
+}

@@ -1,0 +1,128 @@
+//! The dataflow graph the rules run over.
+//!
+//! An accelerator design is a linear HLS dataflow chain: a memory-read
+//! stage, `p × stages` chained compute stages (one per fused stage of each
+//! unrolled iteration module), and a memory-write stage, with a stream FIFO
+//! on every edge. [`DataflowGraph::build`] reconstructs that chain from the
+//! design parameters so diagnostics can point at a concrete node or edge
+//! (`module[3].stage[1]`, `mem.read→module[0].stage[0]`) instead of "the
+//! design".
+
+use sf_kernels::StencilSpec;
+
+/// What a node in the chain is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// AXI read side: bursts from DDR4/HBM into the first stream.
+    MemRead,
+    /// One fused stage of one unrolled iteration module.
+    Stage {
+        /// Unrolled-iteration index (`0..p`).
+        module: usize,
+        /// Fused-stage index within the module (`0..stages`).
+        stage: usize,
+    },
+    /// AXI write side: bursts the last stream back out.
+    MemWrite,
+}
+
+/// One node of the dataflow graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Node {
+    /// Index into [`DataflowGraph::nodes`].
+    pub id: usize,
+    /// Stable label used in diagnostic locations.
+    pub label: String,
+    /// Role of the node.
+    pub kind: NodeKind,
+}
+
+/// A stream FIFO between two chained nodes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Edge {
+    /// Producer node id.
+    pub from: usize,
+    /// Consumer node id.
+    pub to: usize,
+    /// FIFO depth in vector elements (after any override).
+    pub depth: usize,
+}
+
+/// The reconstructed dataflow chain of a design.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DataflowGraph {
+    /// `mem.read`, the `p·stages` compute stages in chain order, `mem.write`.
+    pub nodes: Vec<Node>,
+    /// One FIFO per chain link: `p·stages + 1` edges.
+    pub edges: Vec<Edge>,
+}
+
+impl DataflowGraph {
+    /// Build the chain for an unroll factor `p` with every FIFO at `depth`
+    /// elements. Degenerate parameters (`p == 0`) produce the two memory
+    /// endpoints joined by a single stream.
+    pub fn build(spec: &StencilSpec, p: usize, depth: usize) -> Self {
+        let mut nodes = Vec::with_capacity(p * spec.stages + 2);
+        nodes.push(Node { id: 0, label: "mem.read".into(), kind: NodeKind::MemRead });
+        for module in 0..p {
+            for stage in 0..spec.stages {
+                let id = nodes.len();
+                nodes.push(Node {
+                    id,
+                    label: format!("module[{module}].stage[{stage}]"),
+                    kind: NodeKind::Stage { module, stage },
+                });
+            }
+        }
+        let id = nodes.len();
+        nodes.push(Node { id, label: "mem.write".into(), kind: NodeKind::MemWrite });
+
+        let edges = (0..nodes.len() - 1).map(|i| Edge { from: i, to: i + 1, depth }).collect();
+        DataflowGraph { nodes, edges }
+    }
+
+    /// `producer→consumer` label for an edge, for diagnostic locations.
+    pub fn edge_label(&self, edge: &Edge) -> String {
+        format!("{}→{}", self.nodes[edge.from].label, self.nodes[edge.to].label)
+    }
+
+    /// Label of the first compute stage (or `mem.write` for `p == 0`).
+    pub fn first_stage_label(&self) -> &str {
+        &self.nodes[1.min(self.nodes.len() - 1)].label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_shape_matches_unroll() {
+        let g = DataflowGraph::build(&StencilSpec::poisson(), 4, 256);
+        assert_eq!(g.nodes.len(), 4 + 2);
+        assert_eq!(g.edges.len(), 4 + 1);
+        assert_eq!(g.nodes[0].kind, NodeKind::MemRead);
+        assert_eq!(g.nodes[5].kind, NodeKind::MemWrite);
+        assert_eq!(g.nodes[1].label, "module[0].stage[0]");
+        assert_eq!(g.edge_label(&g.edges[0]), "mem.read→module[0].stage[0]");
+        assert!(g.edges.iter().all(|e| e.depth == 256));
+    }
+
+    #[test]
+    fn fused_stages_expand_the_chain() {
+        // RTM: 4 fused stages per module
+        let g = DataflowGraph::build(&StencilSpec::rtm(), 3, 102);
+        assert_eq!(g.nodes.len(), 3 * 4 + 2);
+        assert_eq!(g.edges.len(), 3 * 4 + 1);
+        assert_eq!(g.nodes[4].label, "module[0].stage[3]");
+        assert_eq!(g.nodes[5].label, "module[1].stage[0]");
+    }
+
+    #[test]
+    fn degenerate_p_zero_is_two_endpoints() {
+        let g = DataflowGraph::build(&StencilSpec::poisson(), 0, 16);
+        assert_eq!(g.nodes.len(), 2);
+        assert_eq!(g.edges.len(), 1);
+        assert_eq!(g.first_stage_label(), "mem.write");
+    }
+}

@@ -6,6 +6,7 @@
 //! (the CLI, the fault-campaign runner) handle one type and still see
 //! exactly which layer failed.
 
+use sf_check::CheckError;
 use sf_fpga::design::SynthesisError;
 use sf_fpga::ExecError;
 use sf_model::ModelError;
@@ -24,6 +25,9 @@ pub enum SfError {
     /// Simulated execution failed (see [`ExecError`]) — deadlock, exhausted
     /// AXI retries, or a shape mismatch.
     Exec(ExecError),
+    /// The static design-rule pre-flight found error-severity violations
+    /// (see [`CheckError`]); the full diagnostic report rides along.
+    Check(CheckError),
 }
 
 impl core::fmt::Display for SfError {
@@ -33,6 +37,7 @@ impl core::fmt::Display for SfError {
             SfError::Workflow(e) => write!(f, "workflow: {e}"),
             SfError::Synthesis(e) => write!(f, "synthesis: {e}"),
             SfError::Exec(e) => write!(f, "execution: {e}"),
+            SfError::Check(e) => write!(f, "check: {e}"),
         }
     }
 }
@@ -44,6 +49,7 @@ impl std::error::Error for SfError {
             SfError::Workflow(e) => Some(e),
             SfError::Synthesis(e) => Some(e),
             SfError::Exec(e) => Some(e),
+            SfError::Check(e) => Some(e),
         }
     }
 }
@@ -69,6 +75,12 @@ impl From<SynthesisError> for SfError {
 impl From<ExecError> for SfError {
     fn from(e: ExecError) -> Self {
         SfError::Exec(e)
+    }
+}
+
+impl From<CheckError> for SfError {
+    fn from(e: CheckError) -> Self {
+        SfError::Check(e)
     }
 }
 

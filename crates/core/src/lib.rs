@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # sf-core — the unified stencil-to-FPGA design workflow
@@ -56,6 +57,7 @@ pub mod prelude {
     pub use crate::resilience::{synthesize_degraded, Degradation, DegradedDesign};
     pub use crate::solvers::{JacobiSolver, PoissonSolver, RtmSolver};
     pub use crate::workflow::{Workflow, WorkflowError};
+    pub use sf_check::{check, CheckError, CheckReport, Design, Diagnostic, RuleId, Severity};
     pub use sf_fpga::design::{ExecMode, MemKind, StencilDesign, Workload};
     pub use sf_fpga::{FpgaDevice, SimReport};
     pub use sf_gpu::GpuDevice;

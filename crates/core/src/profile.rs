@@ -41,6 +41,10 @@ pub struct ProfileResult {
     pub prediction: Prediction,
     /// Simulated performance report.
     pub report: SimReport,
+    /// The mandatory static pre-flight report for the profiled design
+    /// (error-free by construction — errors abort the profile — but any
+    /// warnings ride along for the caller to surface).
+    pub preflight: sf_check::CheckReport,
     /// The annotated cycle breakdown ([`trace::explain`]).
     pub trace: PlanTrace,
     /// The event recorder — feed to `sf_telemetry::chrome::to_chrome_json`
@@ -67,6 +71,7 @@ impl Workflow {
     ) -> Result<ProfileResult, SfError> {
         let best = self.best_design(spec, wl, niter)?;
         let design = best.design.clone();
+        let preflight = self.preflight(&design, wl).into_result().map_err(SfError::Check)?;
         let dev = &self.device;
         let mut rec = Recorder::enabled(design.freq_hz / 1e6);
         rec.set_meta("app", Value::String(format!("{}", spec.app)));
@@ -101,6 +106,7 @@ impl Workflow {
             design,
             prediction,
             report,
+            preflight,
             trace: tr,
             recorder: rec,
             divergence,

@@ -68,6 +68,10 @@ pub struct DegradedDesign {
     /// The workload the design targets — differs from the requested one
     /// after an unbatched fallback (batch = 1).
     pub workload: Workload,
+    /// The static checker's diagnostics for the *requested* configuration:
+    /// empty when nothing was conceded, otherwise the design-rule
+    /// violations that explain why degradation was needed.
+    pub diagnostics: Vec<sf_check::Diagnostic>,
 }
 
 impl DegradedDesign {
@@ -91,9 +95,13 @@ fn largest_feasible(
 }
 
 /// Synthesize the requested configuration, degrading instead of failing:
-/// first the unroll prefix scan, then (for batched modes) the unbatched
+/// a mandatory static pre-flight of the *requested* configuration first,
+/// then the unroll prefix scan, then (for batched modes) the unbatched
 /// fallback with its own prefix scan. Only when every policy is exhausted
-/// does this return [`WorkflowError::NoFeasibleDesign`].
+/// does this return [`WorkflowError::NoFeasibleDesign`]. Whenever a
+/// concession is made, the pre-flight's diagnostics ride along in
+/// [`DegradedDesign::diagnostics`] to explain *why* the request was
+/// infeasible as stated.
 pub fn synthesize_degraded(
     dev: &FpgaDevice,
     spec: &StencilSpec,
@@ -103,12 +111,22 @@ pub fn synthesize_degraded(
     mem: MemKind,
     wl: &Workload,
 ) -> Result<DegradedDesign, SfError> {
+    let requested = sf_check::Design::new(*spec, v, p, mode, mem, *wl);
+    let preflight = sf_check::check(dev, &requested);
+    let cite = |applied: &[Degradation]| {
+        if applied.is_empty() {
+            Vec::new()
+        } else {
+            preflight.diagnostics.clone()
+        }
+    };
     if let Some((design, pp)) = largest_feasible(dev, spec, v, p, mode, mem, wl) {
         let mut applied = Vec::new();
         if pp < p {
             applied.push(Degradation::ReducedUnroll { requested: p, achieved: pp });
         }
-        return Ok(DegradedDesign { design, applied, workload: *wl });
+        let diagnostics = cite(&applied);
+        return Ok(DegradedDesign { design, applied, workload: *wl, diagnostics });
     }
     if let ExecMode::Batched { b } = mode {
         let wl1 = match *wl {
@@ -121,7 +139,8 @@ pub fn synthesize_degraded(
             if pp < p {
                 applied.push(Degradation::ReducedUnroll { requested: p, achieved: pp });
             }
-            return Ok(DegradedDesign { design, applied, workload: wl1 });
+            let diagnostics = cite(&applied);
+            return Ok(DegradedDesign { design, applied, workload: wl1, diagnostics });
         }
     }
     Err(WorkflowError::NoFeasibleDesign { app: format!("{}", spec.app) }.into())
@@ -151,6 +170,7 @@ mod tests {
         .unwrap();
         assert!(!dd.degraded());
         assert_eq!(dd.design.p, 60);
+        assert!(dd.diagnostics.is_empty(), "no concessions, no citations");
     }
 
     #[test]
@@ -201,6 +221,13 @@ mod tests {
             &wl
         )
         .is_err());
+        // the degradation cites the static checker's verdict on the request:
+        // p = 500 at V = 8 blows the DSP budget (rule SFC-S01)
+        assert!(
+            dd.diagnostics.iter().any(|x| x.rule == sf_check::RuleId::DspOversubscribed),
+            "{:?}",
+            dd.diagnostics
+        );
     }
 
     #[test]
@@ -223,6 +250,12 @@ mod tests {
         assert!(dd.applied.contains(&Degradation::UnbatchedFallback { batch: b }));
         assert_eq!(dd.workload, Workload::D2 { nx: 400, ny: 400, batch: 1 });
         assert!(matches!(dd.design.mode, ExecMode::Baseline));
+        // the citation names the capacity rule that sank the batched request
+        assert!(
+            dd.diagnostics.iter().any(|x| x.rule == sf_check::RuleId::ExternalCapacity),
+            "{:?}",
+            dd.diagnostics
+        );
     }
 
     #[test]

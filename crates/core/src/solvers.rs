@@ -181,7 +181,9 @@ pub fn solve_poisson_book(
         }
         reports.push(rep);
     }
-    Ok((results.into_iter().map(|m| m.expect("every mesh solved")).collect(), reports))
+    let out: Vec<_> = results.into_iter().flatten().collect();
+    debug_assert_eq!(out.len(), book.len(), "every mesh is covered by exactly one shape group");
+    Ok((out, reports))
 }
 
 /// Result of a run-to-steady-state solve.

@@ -76,6 +76,15 @@ impl Workflow {
         Ok(dse::explore(&self.device, spec, wl, niter, &self.opts)?)
     }
 
+    /// Step 0 — mandatory static pre-flight: the `sf-check` design-rule
+    /// checker applied to a synthesized design before anything executes it.
+    /// Returns the full diagnostic report (warnings included); callers that
+    /// must not proceed on errors convert it with
+    /// [`sf_check::CheckReport::into_result`].
+    pub fn preflight(&self, design: &StencilDesign, wl: &Workload) -> sf_check::CheckReport {
+        sf_check::check(&self.device, &sf_check::Design::from_synthesized(design, wl))
+    }
+
     /// Step 3 — the winning design.
     pub fn best_design(
         &self,

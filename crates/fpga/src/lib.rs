@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # sf-fpga — the U280 substrate: a behavioral + cycle-approximate FPGA

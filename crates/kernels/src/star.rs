@@ -47,7 +47,7 @@ impl StarStencil2D {
             .iter()
             .map(|&(dx, dy, _)| dx.unsigned_abs().max(dy.unsigned_abs()) as usize)
             .max()
-            .unwrap();
+            .unwrap_or(0);
         StarStencil2D { radius, points }
     }
 
@@ -147,7 +147,7 @@ impl StarStencil3D {
                 dx.unsigned_abs().max(dy.unsigned_abs()).max(dz.unsigned_abs()) as usize
             })
             .max()
-            .unwrap();
+            .unwrap_or(0);
         StarStencil3D { radius, points }
     }
 

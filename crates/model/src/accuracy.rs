@@ -9,6 +9,7 @@
 //! equations drift on latency-dominated small baselines and memory-bound 3D
 //! tiles — exactly the places the paper itself flags.
 
+use crate::error::ModelError;
 use crate::predict::{predict, PredictionLevel};
 use serde::{Deserialize, Serialize};
 use sf_fpga::cycles;
@@ -89,15 +90,13 @@ fn eval(
     wl: &Workload,
     niter: u64,
     out: &mut AccuracyStats,
-) {
+) -> Result<(), ModelError> {
     let achieved = cycles::plan(dev, design, wl, niter).runtime_s;
-    // the suite only evaluates designs synthesized for their own workload
-    let ideal = predict(dev, design, wl, niter, PredictionLevel::Ideal)
-        .expect("suite design matches workload")
-        .runtime_s;
-    let extended = predict(dev, design, wl, niter, PredictionLevel::Extended)
-        .expect("suite design matches workload")
-        .runtime_s;
+    // the suite only evaluates designs synthesized for their own workload,
+    // so predict() can only fail on a genuinely broken suite entry — which
+    // the caller should see as a typed error, not a panic
+    let ideal = predict(dev, design, wl, niter, PredictionLevel::Ideal)?.runtime_s;
+    let extended = predict(dev, design, wl, niter, PredictionLevel::Extended)?.runtime_s;
     out.cases.push(AccuracyCase {
         label: label.to_string(),
         app: design.spec.app,
@@ -105,11 +104,30 @@ fn eval(
         extended_s: extended,
         achieved_s: achieved,
     });
+    Ok(())
+}
+
+/// Synthesize a fixed suite configuration, converting a rejection into the
+/// typed [`ModelError::Infeasible`] naming the configuration.
+#[allow(clippy::too_many_arguments)]
+fn synth(
+    dev: &FpgaDevice,
+    spec: &StencilSpec,
+    v: usize,
+    p: usize,
+    mode: ExecMode,
+    mem: MemKind,
+    wl: &Workload,
+    label: &str,
+) -> Result<StencilDesign, ModelError> {
+    synthesize(dev, spec, v, p, mode, mem, wl)
+        .map_err(|e| ModelError::Infeasible { detail: format!("{label}: {e}") })
 }
 
 /// Evaluate the full paper-configuration suite (every mesh/batch/tile of
-/// Tables IV–VI) on a device.
-pub fn accuracy_suite(dev: &FpgaDevice) -> AccuracyStats {
+/// Tables IV–VI) on a device. Errs with [`ModelError::Infeasible`] if the
+/// device cannot synthesize one of the paper's fixed configurations.
+pub fn accuracy_suite(dev: &FpgaDevice) -> Result<AccuracyStats, ModelError> {
     let mut stats = AccuracyStats::default();
 
     // ---- Poisson-5pt-2D ----
@@ -118,22 +136,23 @@ pub fn accuracy_suite(dev: &FpgaDevice) -> AccuracyStats {
         [(200usize, 100usize), (200, 200), (300, 150), (300, 300), (400, 200), (400, 400)];
     for &(nx, ny) in &meshes2d {
         let wl = Workload::D2 { nx, ny, batch: 1 };
-        let ds = synthesize(dev, &ps, 8, 60, ExecMode::Baseline, MemKind::Hbm, &wl).unwrap();
-        eval(dev, &format!("poisson base {nx}x{ny}"), &ds, &wl, 60_000, &mut stats);
+        let label = format!("poisson base {nx}x{ny}");
+        let ds = synth(dev, &ps, 8, 60, ExecMode::Baseline, MemKind::Hbm, &wl, &label)?;
+        eval(dev, &label, &ds, &wl, 60_000, &mut stats)?;
         for b in [100usize, 1000] {
             let wlb = Workload::D2 { nx, ny, batch: b };
-            let dsb =
-                synthesize(dev, &ps, 8, 60, ExecMode::Batched { b }, MemKind::Hbm, &wlb).unwrap();
-            eval(dev, &format!("poisson {b}B {nx}x{ny}"), &dsb, &wlb, 60_000, &mut stats);
+            let label = format!("poisson {b}B {nx}x{ny}");
+            let dsb = synth(dev, &ps, 8, 60, ExecMode::Batched { b }, MemKind::Hbm, &wlb, &label)?;
+            eval(dev, &label, &dsb, &wlb, 60_000, &mut stats)?;
         }
     }
     for &n in &[15_000usize, 20_000] {
         for &tile in &[1024usize, 4096, 8000] {
             let wl = Workload::D2 { nx: n, ny: n, batch: 1 };
-            let ds =
-                synthesize(dev, &ps, 8, 60, ExecMode::Tiled1D { tile_m: tile }, MemKind::Ddr4, &wl)
-                    .unwrap();
-            eval(dev, &format!("poisson tiled {n}² M={tile}"), &ds, &wl, 6_000, &mut stats);
+            let label = format!("poisson tiled {n}² M={tile}");
+            let mode = ExecMode::Tiled1D { tile_m: tile };
+            let ds = synth(dev, &ps, 8, 60, mode, MemKind::Ddr4, &wl, &label)?;
+            eval(dev, &label, &ds, &wl, 6_000, &mut stats)?;
         }
     }
 
@@ -141,42 +160,28 @@ pub fn accuracy_suite(dev: &FpgaDevice) -> AccuracyStats {
     let js = StencilSpec::jacobi();
     for &n in &[50usize, 100, 200, 250, 300] {
         let wl = Workload::D3 { nx: n, ny: n, nz: n, batch: 1 };
-        let ds = synthesize(dev, &js, 8, 29, ExecMode::Baseline, MemKind::Hbm, &wl).unwrap();
-        eval(dev, &format!("jacobi base {n}³"), &ds, &wl, 29_000, &mut stats);
+        let label = format!("jacobi base {n}³");
+        let ds = synth(dev, &js, 8, 29, ExecMode::Baseline, MemKind::Hbm, &wl, &label)?;
+        eval(dev, &label, &ds, &wl, 29_000, &mut stats)?;
     }
     for &n in &[50usize, 100, 200] {
         for b in [10usize, 50] {
             let wl = Workload::D3 { nx: n, ny: n, nz: n, batch: b };
-            let ds =
-                synthesize(dev, &js, 8, 29, ExecMode::Batched { b }, MemKind::Hbm, &wl).unwrap();
-            eval(dev, &format!("jacobi {b}B {n}³"), &ds, &wl, 2_900, &mut stats);
+            let label = format!("jacobi {b}B {n}³");
+            let ds = synth(dev, &js, 8, 29, ExecMode::Batched { b }, MemKind::Hbm, &wl, &label)?;
+            eval(dev, &label, &ds, &wl, 2_900, &mut stats)?;
         }
     }
     for &tile in &[256usize, 512, 640] {
+        let mode = ExecMode::Tiled2D { tile_m: tile, tile_n: tile };
         let wl = Workload::D3 { nx: 600, ny: 600, nz: 600, batch: 1 };
-        let ds = synthesize(
-            dev,
-            &js,
-            64,
-            3,
-            ExecMode::Tiled2D { tile_m: tile, tile_n: tile },
-            MemKind::Hbm,
-            &wl,
-        )
-        .unwrap();
-        eval(dev, &format!("jacobi tiled 600³ M={tile}"), &ds, &wl, 120, &mut stats);
+        let label = format!("jacobi tiled 600³ M={tile}");
+        let ds = synth(dev, &js, 64, 3, mode, MemKind::Hbm, &wl, &label)?;
+        eval(dev, &label, &ds, &wl, 120, &mut stats)?;
         let wl2 = Workload::D3 { nx: 1800, ny: 1800, nz: 100, batch: 1 };
-        let ds2 = synthesize(
-            dev,
-            &js,
-            64,
-            3,
-            ExecMode::Tiled2D { tile_m: tile, tile_n: tile },
-            MemKind::Hbm,
-            &wl2,
-        )
-        .unwrap();
-        eval(dev, &format!("jacobi tiled 1800²x100 M={tile}"), &ds2, &wl2, 120, &mut stats);
+        let label2 = format!("jacobi tiled 1800²x100 M={tile}");
+        let ds2 = synth(dev, &js, 64, 3, mode, MemKind::Hbm, &wl2, &label2)?;
+        eval(dev, &label2, &ds2, &wl2, 120, &mut stats)?;
     }
 
     // ---- beyond the paper: custom kernels through the same model ----
@@ -187,13 +192,15 @@ pub fn accuracy_suite(dev: &FpgaDevice) -> AccuracyStats {
             let v = 8;
             let p =
                 crate::equations::p_dsp(dev.dsp_total, dev.dsp_util_target, v, heat.gdsp()).min(32);
-            let ds = synthesize(dev, &heat, v, p, ExecMode::Baseline, MemKind::Hbm, &wl).unwrap();
-            eval(dev, &format!("heat9 base {nx}x{ny}"), &ds, &wl, 5_000, &mut stats);
+            let label = format!("heat9 base {nx}x{ny}");
+            let ds = synth(dev, &heat, v, p, ExecMode::Baseline, MemKind::Hbm, &wl, &label)?;
+            eval(dev, &label, &ds, &wl, 5_000, &mut stats)?;
         }
         let wave = sf_kernels::wave2d::spec();
         let wl = Workload::D2 { nx: 1024, ny: 512, batch: 1 };
-        let ds = synthesize(dev, &wave, 4, 8, ExecMode::Baseline, MemKind::Hbm, &wl).unwrap();
-        eval(dev, "wave2d base 1024x512", &ds, &wl, 10_000, &mut stats);
+        let label = "wave2d base 1024x512";
+        let ds = synth(dev, &wave, 4, 8, ExecMode::Baseline, MemKind::Hbm, &wl, label)?;
+        eval(dev, label, &ds, &wl, 10_000, &mut stats)?;
     }
 
     // ---- RTM ----
@@ -202,17 +209,18 @@ pub fn accuracy_suite(dev: &FpgaDevice) -> AccuracyStats {
         [(32usize, 32usize, 32usize), (32, 32, 50), (50, 50, 16), (50, 50, 32), (50, 50, 50)];
     for &(nx, ny, nz) in &rtm_meshes {
         let wl = Workload::D3 { nx, ny, nz, batch: 1 };
-        let ds = synthesize(dev, &rs, 1, 3, ExecMode::Baseline, MemKind::Hbm, &wl).unwrap();
-        eval(dev, &format!("rtm base {nx}x{ny}x{nz}"), &ds, &wl, 1_800, &mut stats);
+        let label = format!("rtm base {nx}x{ny}x{nz}");
+        let ds = synth(dev, &rs, 1, 3, ExecMode::Baseline, MemKind::Hbm, &wl, &label)?;
+        eval(dev, &label, &ds, &wl, 1_800, &mut stats)?;
         for b in [20usize, 40] {
             let wlb = Workload::D3 { nx, ny, nz, batch: b };
-            let dsb =
-                synthesize(dev, &rs, 1, 3, ExecMode::Batched { b }, MemKind::Hbm, &wlb).unwrap();
-            eval(dev, &format!("rtm {b}B {nx}x{ny}x{nz}"), &dsb, &wlb, 180, &mut stats);
+            let label = format!("rtm {b}B {nx}x{ny}x{nz}");
+            let dsb = synth(dev, &rs, 1, 3, ExecMode::Batched { b }, MemKind::Hbm, &wlb, &label)?;
+            eval(dev, &label, &dsb, &wlb, 180, &mut stats)?;
         }
     }
 
-    stats
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -222,7 +230,7 @@ mod tests {
     #[test]
     fn extended_model_meets_paper_accuracy_claim() {
         let dev = FpgaDevice::u280();
-        let stats = accuracy_suite(&dev);
+        let stats = accuracy_suite(&dev).unwrap();
         assert!(stats.cases.len() > 50, "suite covers the full evaluation section");
         let frac = stats.frac_within(15.0, PredictionLevel::Extended);
         assert!(frac >= 0.85, "extended model within ±15 % on only {:.0} % of cases", frac * 100.0);
@@ -231,7 +239,7 @@ mod tests {
     #[test]
     fn ideal_model_drifts_where_paper_says_it_does() {
         let dev = FpgaDevice::u280();
-        let stats = accuracy_suite(&dev);
+        let stats = accuracy_suite(&dev).unwrap();
         let frac_ideal = stats.frac_within(15.0, PredictionLevel::Ideal);
         let frac_ext = stats.frac_within(15.0, PredictionLevel::Extended);
         assert!(frac_ext >= frac_ideal, "extended must not be worse overall");
@@ -244,7 +252,7 @@ mod tests {
     #[test]
     fn errors_are_signed_and_finite() {
         let dev = FpgaDevice::u280();
-        let stats = accuracy_suite(&dev);
+        let stats = accuracy_suite(&dev).unwrap();
         for c in &stats.cases {
             assert!(c.ideal_err_pct().is_finite(), "{}", c.label);
             assert!(c.extended_err_pct().is_finite(), "{}", c.label);

@@ -6,6 +6,15 @@
 //! synthesizes each on the simulated device (which applies the real resource,
 //! bandwidth and clock constraints), predicts runtime with the extended
 //! model, and returns candidates ranked fastest-first.
+//!
+//! Before any candidate is synthesized or costed it is pre-filtered through
+//! the static checker (`sf_check::check`): configurations with
+//! error-severity diagnostics — resource over-subscription, loop-carried
+//! RAW hazards, illegal tiles — never reach the cost model. The checker's
+//! error rules are a superset of the synthesizer's rejections, so the
+//! filter is sound; it is also stricter (the RAW-hazard rule rejects deep
+//! unrolls the synthesizer would accept), which keeps statically-unsafe
+//! designs out of the ranking entirely.
 
 use crate::blocking;
 use crate::error::ModelError;
@@ -93,8 +102,10 @@ pub fn explore(
         for p in 1..=p_cap {
             // whole-mesh (baseline/batched) candidate
             let mode = if batch > 1 { ExecMode::Batched { b: batch } } else { ExecMode::Baseline };
-            if let Ok(design) = synthesize(dev, spec, v, p, mode, opts.mem, wl) {
-                out.push(candidate(dev, design, wl, niter)?);
+            if statically_legal(dev, spec, v, p, mode, opts.mem, wl) {
+                if let Ok(design) = synthesize(dev, spec, v, p, mode, opts.mem, wl) {
+                    out.push(candidate(dev, design, wl, niter)?);
+                }
             }
             // tiled candidate (single-mesh workloads only)
             if opts.allow_tiling && batch == 1 {
@@ -120,7 +131,7 @@ pub fn explore(
                     }
                     _ => false,
                 };
-                if tile_fits_mesh {
+                if tile_fits_mesh && statically_legal(dev, spec, v, p, mode, opts.mem, wl) {
                     if let Ok(design) = synthesize(dev, spec, v, p, mode, opts.mem, wl) {
                         out.push(candidate(dev, design, wl, niter)?);
                     }
@@ -133,6 +144,22 @@ pub fn explore(
     // ranking must never be a panic site.
     out.sort_by(|a, b| a.planned_runtime_s.total_cmp(&b.planned_runtime_s));
     Ok(out)
+}
+
+/// The DSE pruning filter: `true` when the static checker reports no
+/// error-severity diagnostics for the configuration. Warnings (tile
+/// alignment, FIFO slack) do not prune — they trade throughput, not
+/// legality.
+fn statically_legal(
+    dev: &FpgaDevice,
+    spec: &StencilSpec,
+    v: usize,
+    p: usize,
+    mode: ExecMode,
+    mem: MemKind,
+    wl: &Workload,
+) -> bool {
+    !sf_check::check(dev, &sf_check::Design::new(*spec, v, p, mode, mem, *wl)).has_errors()
 }
 
 fn candidate(
@@ -240,6 +267,41 @@ mod tests {
             .unwrap()
             .unwrap();
         assert!(matches!(best.design.mode, ExecMode::Batched { b: 100 }));
+    }
+
+    #[test]
+    fn every_candidate_is_check_clean() {
+        // the pruning filter must guarantee: nothing the DSE ranks carries
+        // an error-severity diagnostic
+        let d = dev();
+        let wl = Workload::D2 { nx: 400, ny: 400, batch: 1 };
+        let cands =
+            explore(&d, &StencilSpec::poisson(), &wl, 1000, &DseOptions::default()).unwrap();
+        assert!(!cands.is_empty());
+        for c in &cands {
+            let rep = sf_check::check(&d, &sf_check::Design::from_synthesized(&c.design, &wl));
+            assert!(!rep.has_errors(), "ranked candidate has errors: {}", rep.render());
+        }
+    }
+
+    #[test]
+    fn raw_hazard_prunes_deep_unrolls_on_short_meshes() {
+        // a 50-row mesh: unrolls p ≥ 50 synthesize fine (resources allow up
+        // to p=68 at V=8) but carry a loop-carried RAW hazard — the static
+        // filter must keep them out of the ranking
+        let d = dev();
+        let wl = Workload::D2 { nx: 400, ny: 50, batch: 1 };
+        let spec = StencilSpec::poisson();
+        assert!(
+            synthesize(&d, &spec, 8, 50, ExecMode::Baseline, MemKind::Hbm, &wl).is_ok(),
+            "precondition: the synthesizer alone would accept p=50"
+        );
+        let opts = DseOptions { allow_tiling: false, ..DseOptions::default() };
+        let cands = explore(&d, &spec, &wl, 1000, &opts).unwrap();
+        assert!(!cands.is_empty());
+        for c in &cands {
+            assert!(c.design.p < 50, "RAW-hazardous p={} survived pruning", c.design.p);
+        }
     }
 
     #[test]

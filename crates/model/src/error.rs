@@ -30,6 +30,13 @@ pub enum ModelError {
         /// The offending design point.
         detail: String,
     },
+    /// A reference configuration the caller named could not be synthesized
+    /// on the device (the accuracy suite's fixed paper designs, for
+    /// example, on a device too small for them).
+    Infeasible {
+        /// The configuration and the synthesis failure.
+        detail: String,
+    },
 }
 
 impl ModelError {
@@ -50,6 +57,9 @@ impl core::fmt::Display for ModelError {
             }
             ModelError::NonFiniteRuntime { detail } => {
                 write!(f, "model produced a non-finite runtime for {detail}")
+            }
+            ModelError::Infeasible { detail } => {
+                write!(f, "infeasible configuration: {detail}")
             }
         }
     }

@@ -20,6 +20,7 @@
 //! - [`StallBreakdown`] — compute / memory / backpressure attribution,
 //!   cross-checked against the plan's per-segment `RowBound`.
 
+#![forbid(unsafe_code)]
 pub mod chrome;
 pub mod divergence;
 pub mod metrics;

@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# Grep-based lint gate: no `.unwrap()` / `.expect(` in library-crate
+# non-test code paths. Scanning stops at the first `#[cfg(test)]` in each
+# file (test modules are exempt), comment lines are skipped, and
+# `.expect_err(` (a legitimate assertion helper) is not a match.
+#
+# Covered crates: the library layers a downstream user links against.
+# Binaries, benches and the experiment harness (sf-bench src) may still
+# panic on genuinely impossible states.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+status=0
+for crate in fpga model mesh kernels check core gpu telemetry faults; do
+    for f in $(find "crates/$crate/src" -name '*.rs' 2>/dev/null); do
+        hits=$(awk '
+            /#\[cfg\(test\)\]/ { exit }
+            /^[[:space:]]*\/\// { next }
+            /\.expect_err\(/ { next }
+            /\.unwrap\(|\.expect\(/ { print FILENAME ":" FNR ": " $0 }
+        ' "$f")
+        if [ -n "$hits" ]; then
+            echo "$hits"
+            status=1
+        fi
+    done
+done
+
+if [ "$status" -ne 0 ]; then
+    echo "error: unwrap()/expect() found in library non-test code (route through typed errors instead)" >&2
+fi
+exit "$status"

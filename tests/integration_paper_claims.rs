@@ -161,7 +161,8 @@ fn claim6_batching_lifts_both_platforms() {
 
 #[test]
 fn claim7_model_accuracy() {
-    let stats = accuracy::accuracy_suite(&FpgaDevice::u280());
+    let stats =
+        accuracy::accuracy_suite(&FpgaDevice::u280()).expect("paper suite is feasible on the U280");
     let frac = stats.frac_within(15.0, PredictionLevel::Extended);
     assert!(frac >= 0.85, "abstract claim: >85% of configs within ±15% (got {:.0}%)", frac * 100.0);
 }
