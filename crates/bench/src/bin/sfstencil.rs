@@ -15,6 +15,11 @@
 //!                       [--rate PPM]... [--trials N] [--json]
 //! ```
 //!
+//! `dse`, `profile` and `faults` additionally accept `--jobs N` to fan
+//! their work (candidate evaluation, batched meshes, fault trials) across
+//! N worker threads. Output is byte-identical for any N; the default is
+//! `SF_JOBS` or the machine's available parallelism.
+//!
 //! `check` runs the `sf-check` static design-rule analyzer — window-buffer
 //! sizing, FIFO deadlock-freedom, loop-carried RAW hazards, tile/halo and
 //! vectorization legality, per-SLR resource budgets — without executing
@@ -45,9 +50,9 @@ fn fail(msg: &str) -> ! {
          --app <poisson|jacobi|rtm> \
          --mesh <NXxNY[xNZ]> [--batch B] [--iters N] [--top K] [--v V] [--p P] \
          [--mem hbm|ddr4] [--tile M[xN]] [--fifo-depth D] [--window-units U] \
-         [--json] [--trace-out FILE]\n       \
+         [--jobs N] [--json] [--trace-out FILE]\n       \
          sfstencil faults [--app <poisson2d|jacobi3d|rtm3d>] [--seed N] \
-         [--rate PPM]... [--trials N] [--json]"
+         [--rate PPM]... [--trials N] [--jobs N] [--json]"
     );
     std::process::exit(2);
 }
@@ -64,6 +69,7 @@ struct Args {
     tile: Option<(usize, Option<usize>)>,
     fifo_depth: Option<usize>,
     window_units: Option<usize>,
+    jobs: usize,
     json: bool,
     trace_out: Option<String>,
 }
@@ -120,6 +126,7 @@ fn parse() -> Args {
         tile,
         fifo_depth: get("--fifo-depth").map(|s| positive("--fifo-depth", s)),
         window_units: get("--window-units").map(|s| positive("--window-units", s)),
+        jobs: sf_par::resolve_jobs(get("--jobs").map(|s| positive("--jobs", s))),
         json: argv.iter().any(|a| a == "--json"),
         trace_out: get("--trace-out"),
     }
@@ -211,6 +218,10 @@ fn run_faults(argv: &[String]) {
             Ok(n) => n,
         };
     }
+    cfg.jobs = sf_par::resolve_jobs(get("--jobs").map(|s| match s.parse::<usize>() {
+        Ok(0) | Err(_) => fail(&format!("--jobs must be a positive integer (got '{s}')")),
+        Ok(n) => n,
+    }));
     // Mandatory static pre-flight of every campaign design, reported (on
     // stderr, so --json stdout stays machine-parseable) before a single
     // trial executes: any later detection is attributable to the injected
@@ -259,8 +270,9 @@ fn main() {
             println!("flops per ext byte : {:.2}", r.flops_per_byte);
         }
         "dse" => {
-            let cands =
-                wf.explore(&a.app, &a.wl, a.iters).unwrap_or_else(|e| fail(&format!("{e}")));
+            let cands = wf
+                .explore_jobs(&a.app, &a.wl, a.iters, a.jobs)
+                .unwrap_or_else(|e| fail(&format!("{e}")));
             if a.json {
                 let top: Vec<_> = cands.iter().take(a.top).collect();
                 println!("{}", serde_json::to_string_pretty(&top).unwrap());
@@ -320,7 +332,7 @@ fn main() {
             }
             Err(e) => fail(&format!("{e}")),
         },
-        "profile" => match wf.profile(&a.app, &a.wl, a.iters) {
+        "profile" => match wf.profile_jobs(&a.app, &a.wl, a.iters, a.jobs) {
             Ok(pr) => {
                 if let Some(path) = &a.trace_out {
                     let json = chrome::to_chrome_json(&pr.recorder);

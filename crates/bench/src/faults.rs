@@ -242,11 +242,15 @@ pub struct CampaignConfig {
     pub rates_ppm: Vec<u32>,
     /// Trials per (app × kind × rate) cell.
     pub trials_per_cell: u32,
+    /// Worker threads for trial execution (`--jobs`). The report is
+    /// byte-identical for any value: cells are enumerated in sweep order
+    /// up front, fanned across workers, and classified in that same order.
+    pub jobs: usize,
 }
 
 impl Default for CampaignConfig {
     fn default() -> Self {
-        CampaignConfig { seed: 42, rates_ppm: vec![50_000, 1_000_000], trials_per_cell: 2 }
+        CampaignConfig { seed: 42, rates_ppm: vec![50_000, 1_000_000], trials_per_cell: 2, jobs: 1 }
     }
 }
 
@@ -413,16 +417,33 @@ fn classify(app: CampaignApp, run: &TrialRun, plan: &FaultPlan, clean_ok: bool) 
     }
 }
 
+/// One enumerated (app × kind × rate × trial) cell, ready to execute.
+struct Cell {
+    app: CampaignApp,
+    plan: FaultPlan,
+    clean_ok: bool,
+}
+
 /// Run a deterministic fault campaign over `apps`.
+///
+/// Trials fan across `cfg.jobs` worker threads; each trial is an
+/// independent resilient simulation keyed by its derived seed, so the
+/// report (table and JSON) is byte-identical for any worker count.
 pub fn run_campaign(apps: &[CampaignApp], cfg: &CampaignConfig) -> CampaignReport {
     let policy = RetryPolicy::default();
-    let mut trials = Vec::new();
-    for app in apps {
+    // Recovery path shared by every trial of an app: the clean rerun
+    // (injector disabled) must reproduce the golden answer. One run per
+    // app — fanned across workers like the trials themselves.
+    let clean_ok: Vec<bool> = sf_par::par_map(cfg.jobs, apps.to_vec(), |_, app| {
+        let clean = run_app(app, FaultInjector::disabled().plan().to_owned(), &policy);
+        matches!(clean.result, Ok((true, _)))
+    });
+    // Enumerate every cell in the fixed sweep order, then execute them in
+    // parallel; `par_map` returns results in enumeration order, so the
+    // trial list (and everything derived from it) is schedule-independent.
+    let mut cells = Vec::new();
+    for (i, app) in apps.iter().enumerate() {
         let app_idx = CampaignApp::ALL.iter().position(|a| a == app).unwrap_or(0) as u64;
-        // Recovery path shared by every trial of this app: the clean rerun
-        // (injector disabled) must reproduce the golden answer.
-        let clean = run_app(*app, FaultInjector::disabled().plan().to_owned(), &policy);
-        let clean_ok = matches!(clean.result, Ok((true, _)));
         for (kind_idx, kind) in FaultKind::ALL.iter().enumerate() {
             for &rate_ppm in &cfg.rates_ppm {
                 for t in 0..cfg.trials_per_cell {
@@ -436,12 +457,15 @@ pub fn run_campaign(apps: &[CampaignApp], cfg: &CampaignConfig) -> CampaignRepor
                         }
                         _ => FaultPlan::single(seed, *kind, rate_ppm),
                     };
-                    let run = run_app(*app, plan, &policy);
-                    trials.push(classify(*app, &run, &plan, clean_ok));
+                    cells.push(Cell { app: *app, plan, clean_ok: clean_ok[i] });
                 }
             }
         }
     }
+    let trials = sf_par::par_map(cfg.jobs, cells, |_, cell| {
+        let run = run_app(cell.app, cell.plan, &policy);
+        classify(cell.app, &run, &cell.plan, cell.clean_ok)
+    });
     let injected: Vec<&Trial> = trials.iter().filter(|t| t.injected > 0).collect();
     let summary = Summary {
         trials: trials.len(),
@@ -522,7 +546,7 @@ mod tests {
     use super::*;
 
     fn quick_cfg() -> CampaignConfig {
-        CampaignConfig { seed: 42, rates_ppm: vec![1_000_000], trials_per_cell: 1 }
+        CampaignConfig { seed: 42, rates_ppm: vec![1_000_000], trials_per_cell: 1, jobs: 1 }
     }
 
     #[test]
@@ -567,6 +591,21 @@ mod tests {
         let r2 = run_campaign(&all, &quick_cfg());
         assert_eq!(r1.render_table(), r2.render_table());
         assert_eq!(serde_json::to_string(&r1).unwrap(), serde_json::to_string(&r2).unwrap());
+    }
+
+    #[test]
+    fn campaign_is_jobs_invariant() {
+        let apps = [CampaignApp::Poisson2D, CampaignApp::Jacobi3D];
+        let serial = run_campaign(&apps, &quick_cfg());
+        for jobs in [2, 4] {
+            let par = run_campaign(&apps, &CampaignConfig { jobs, ..quick_cfg() });
+            assert_eq!(par.render_table(), serial.render_table(), "jobs={jobs}");
+            assert_eq!(
+                serde_json::to_string(&par).unwrap(),
+                serde_json::to_string(&serial).unwrap(),
+                "jobs={jobs}"
+            );
+        }
     }
 
     #[test]

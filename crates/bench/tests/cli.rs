@@ -77,7 +77,7 @@ fn feasibility_json_parses() {
 
 #[test]
 fn invalid_numeric_flags_exit_2() {
-    for (flag, val) in [("--iters", "0"), ("--batch", "-3"), ("--top", "zebra")] {
+    for (flag, val) in [("--iters", "0"), ("--batch", "-3"), ("--top", "zebra"), ("--jobs", "0")] {
         let out = sfstencil()
             .args(["dse", "--app", "poisson", "--mesh", "64x64", flag, val])
             .output()
@@ -159,6 +159,12 @@ fn check_tile_halo_violation_exits_1() {
     assert!(stdout.contains("SFC-T01"), "{stdout}");
 }
 
+/// Golden file location anchored to the crate, not the invocation CWD, so
+/// the test passes from any working directory (workspace root, crate dir,
+/// CI). Regenerate with `SF_UPDATE_GOLDEN=1 cargo test -p sf-bench`.
+const CHECK_GOLDEN_PATH: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/check_poisson_fifo4.json");
+
 #[test]
 fn check_json_matches_golden() {
     let out = sfstencil()
@@ -180,7 +186,10 @@ fn check_json_matches_golden() {
         .unwrap();
     assert_eq!(out.status.code(), Some(1), "seeded deadlock must exit 1");
     let got = String::from_utf8(out.stdout).unwrap();
-    let golden = include_str!("golden/check_poisson_fifo4.json");
+    if std::env::var_os("SF_UPDATE_GOLDEN").is_some() {
+        std::fs::write(CHECK_GOLDEN_PATH, &got).unwrap();
+    }
+    let golden = std::fs::read_to_string(CHECK_GOLDEN_PATH).unwrap();
     assert_eq!(got.trim(), golden.trim(), "check --json output drifted from the golden file");
     // and the document is structurally sound
     let doc: Value = serde_json::from_str(&got).unwrap();
@@ -250,12 +259,73 @@ fn faults_campaign_is_reproducible_per_seed() {
 }
 
 #[test]
+fn faults_jobs_output_is_byte_identical_to_serial() {
+    let run = |jobs: &str| {
+        sfstencil()
+            .args([
+                "faults",
+                "--app",
+                "poisson2d",
+                "--seed",
+                "42",
+                "--rate",
+                "1000000",
+                "--trials",
+                "1",
+                "--jobs",
+                jobs,
+                "--json",
+            ])
+            .output()
+            .unwrap()
+    };
+    let serial = run("1");
+    assert!(serial.status.success(), "{}", String::from_utf8_lossy(&serial.stderr));
+    let par = run("3");
+    assert!(par.status.success());
+    assert_eq!(serial.stdout, par.stdout, "--jobs must not change the campaign report");
+}
+
+#[test]
+fn profile_jobs_trace_is_byte_identical_to_serial() {
+    let run = |jobs: &str| {
+        let out = sfstencil()
+            .args([
+                "profile", "--app", "poisson", "--mesh", "64x32", "--batch", "6", "--iters", "50",
+                "--jobs", jobs, "--json",
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        out.stdout
+    };
+    assert_eq!(run("1"), run("4"), "--jobs must not change the profile metrics");
+}
+
+#[test]
+fn dse_jobs_ranking_is_identical_to_serial() {
+    let run = |jobs: &str| {
+        let out = sfstencil()
+            .args([
+                "dse", "--app", "poisson", "--mesh", "96x96", "--iters", "100", "--jobs", jobs,
+                "--json",
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        out.stdout
+    };
+    assert_eq!(run("1"), run("3"), "--jobs must not change the DSE ranking");
+}
+
+#[test]
 fn faults_rejects_bad_arguments() {
     for args in [
         vec!["faults", "--app", "fft"],
         vec!["faults", "--seed", "banana"],
         vec!["faults", "--rate", "0"],
         vec!["faults", "--trials", "0"],
+        vec!["faults", "--jobs", "0"],
     ] {
         let out = sfstencil().args(&args).output().unwrap();
         assert_eq!(out.status.code(), Some(2), "{args:?} must be rejected");

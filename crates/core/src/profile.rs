@@ -19,10 +19,10 @@ use crate::workflow::Workflow;
 use serde::Value;
 use sf_fpga::design::{StencilDesign, Workload};
 use sf_fpga::trace::PlanTrace;
-use sf_fpga::{exec2d, exec3d, trace, Recorder, SimReport};
+use sf_fpga::{exec2d, exec3d, exec_batch, trace, Recorder, SimReport};
 use sf_kernels::{rtm, AppId, Jacobi3D, Poisson2D, RtmStage, StencilSpec};
 use sf_mesh::{Batch2D, Batch3D};
-use sf_model::{predict, Prediction, PredictionLevel};
+use sf_model::{predict_cached, Prediction, PredictionLevel};
 use sf_telemetry::Divergence;
 
 /// Cell-iterations (total cells × niter) up to which `profile` streams the
@@ -63,11 +63,30 @@ pub struct ProfileResult {
 impl Workflow {
     /// Profile the best design for `(spec, wl, niter)` with telemetry
     /// enabled. See the module docs for what gets recorded.
+    ///
+    /// Worker count is resolved from `SF_JOBS` / machine parallelism; the
+    /// profile (numerics, report, every recorded byte) is identical for
+    /// any count — see [`Workflow::profile_jobs`].
     pub fn profile(
         &self,
         spec: &StencilSpec,
         wl: &Workload,
         niter: u64,
+    ) -> Result<ProfileResult, SfError> {
+        self.profile_jobs(spec, wl, niter, sf_par::resolve_jobs(None))
+    }
+
+    /// [`Workflow::profile`] with an explicit worker count (the `--jobs`
+    /// CLI flag lands here). Batched behavioral workloads fan their meshes
+    /// across `jobs` threads via the deterministic batch engine
+    /// ([`exec_batch`]); everything else about the profile is unaffected
+    /// by `jobs`.
+    pub fn profile_jobs(
+        &self,
+        spec: &StencilSpec,
+        wl: &Workload,
+        niter: u64,
+        jobs: usize,
     ) -> Result<ProfileResult, SfError> {
         let best = self.best_design(spec, wl, niter)?;
         let design = best.design.clone();
@@ -79,8 +98,11 @@ impl Workflow {
         rec.set_meta("niter", Value::U64(niter));
 
         let behavioral = wl.total_cells() * niter <= BEHAVIORAL_BUDGET;
-        let report =
-            if behavioral { run_behavioral(dev, &design, spec, wl, niter, &mut rec) } else { None };
+        let report = if behavioral {
+            run_behavioral(dev, &design, spec, wl, niter, jobs, &mut rec)
+        } else {
+            None
+        };
         let behavioral = report.is_some();
         let report = match report {
             Some(r) => r,
@@ -96,7 +118,7 @@ impl Workflow {
             }
         };
 
-        let prediction = predict(dev, &design, wl, niter, PredictionLevel::Extended)?;
+        let prediction = predict_cached(dev, &design, wl, niter, PredictionLevel::Extended)?;
         let divergence = Divergence::new(prediction.cycles, report.total_cycles);
         rec.set_divergence(divergence);
         let tr = trace::explain(dev, &design, wl, niter);
@@ -119,26 +141,53 @@ impl Workflow {
 /// Stream real numerics through the traced executors for the paper's apps.
 /// Returns `None` for custom specs (no concrete kernel to run) — the caller
 /// falls back to schedule-only tracing.
+///
+/// Batched workloads (`batch > 1`) go through the deterministic parallel
+/// batch engine with per-mesh `mesh{i}/window/` swimlanes; single-mesh
+/// workloads keep the single-stream traced executors (tiling included).
 fn run_behavioral(
     dev: &sf_fpga::FpgaDevice,
     design: &StencilDesign,
     spec: &StencilSpec,
     wl: &Workload,
     niter: u64,
+    jobs: usize,
     rec: &mut Recorder,
 ) -> Option<SimReport> {
     match (spec.app, *wl) {
         (AppId::Poisson2D, Workload::D2 { nx, ny, batch }) => {
             let input = Batch2D::<f32>::random(nx, ny, batch, PROFILE_SEED, -1.0, 1.0);
-            let (_, rep) =
-                exec2d::simulate_2d_traced(dev, design, &[Poisson2D], &input, niter as usize, rec);
+            let (_, rep) = if batch > 1 {
+                exec_batch::simulate_batch_2d_parallel(
+                    dev,
+                    design,
+                    &[Poisson2D],
+                    &input,
+                    niter as usize,
+                    jobs,
+                    rec,
+                )
+            } else {
+                exec2d::simulate_2d_traced(dev, design, &[Poisson2D], &input, niter as usize, rec)
+            };
             Some(rep)
         }
         (AppId::Jacobi3D, Workload::D3 { nx, ny, nz, batch }) => {
             let input = Batch3D::<f32>::random(nx, ny, nz, batch, PROFILE_SEED, -1.0, 1.0);
             let k = Jacobi3D::smoothing();
-            let (_, rep) =
-                exec3d::simulate_3d_traced(dev, design, &[k], &input, niter as usize, rec);
+            let (_, rep) = if batch > 1 {
+                exec_batch::simulate_batch_3d_parallel(
+                    dev,
+                    design,
+                    &[k],
+                    &input,
+                    niter as usize,
+                    jobs,
+                    rec,
+                )
+            } else {
+                exec3d::simulate_3d_traced(dev, design, &[k], &input, niter as usize, rec)
+            };
             Some(rep)
         }
         (AppId::Rtm3D, Workload::D3 { nx, ny, nz, batch: 1 }) => {
@@ -180,6 +229,30 @@ mod tests {
         assert_eq!(pr.recorder.track_span_cycles(pipe), pr.report.total_cycles);
         // Behavioral window events present.
         assert!(pr.recorder.counter("window.rows_streamed") > 0);
+    }
+
+    #[test]
+    fn batched_profile_is_jobs_invariant() {
+        let wf = Workflow::u280_vs_v100();
+        let spec = StencilSpec::poisson();
+        let wl = Workload::D2 { nx: 64, ny: 32, batch: 6 };
+        let run = |jobs: usize| {
+            let pr = wf.profile_jobs(&spec, &wl, 50, jobs).unwrap();
+            assert!(pr.behavioral);
+            (
+                sf_telemetry::chrome::to_chrome_json(&pr.recorder),
+                sf_telemetry::metrics::to_metrics_json(&pr.recorder),
+                pr.report.total_cycles,
+            )
+        };
+        let serial = run(1);
+        for jobs in [2, 4] {
+            assert_eq!(run(jobs), serial, "profile must be byte-identical at jobs={jobs}");
+        }
+        // per-mesh swimlanes from the batch engine
+        let pr = wf.profile_jobs(&spec, &wl, 50, 2).unwrap();
+        assert!(pr.recorder.track_names().iter().any(|t| t.starts_with("mesh0/window/")));
+        assert!(pr.recorder.track_names().iter().any(|t| t.starts_with("mesh5/window/")));
     }
 
     #[test]

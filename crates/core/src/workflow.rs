@@ -67,6 +67,10 @@ impl Workflow {
     }
 
     /// Step 2 — design-space exploration, ranked fastest-first.
+    ///
+    /// Candidate evaluation fans across worker threads (resolved from
+    /// `SF_JOBS` / machine parallelism); the ranking is identical for any
+    /// worker count. See [`Workflow::explore_jobs`] for an explicit count.
     pub fn explore(
         &self,
         spec: &StencilSpec,
@@ -76,13 +80,29 @@ impl Workflow {
         Ok(dse::explore(&self.device, spec, wl, niter, &self.opts)?)
     }
 
+    /// [`Workflow::explore`] with an explicit worker count (the `--jobs`
+    /// CLI flag lands here).
+    pub fn explore_jobs(
+        &self,
+        spec: &StencilSpec,
+        wl: &Workload,
+        niter: u64,
+        jobs: usize,
+    ) -> Result<Vec<Candidate>, SfError> {
+        Ok(dse::explore_jobs(&self.device, spec, wl, niter, &self.opts, jobs)?)
+    }
+
     /// Step 0 — mandatory static pre-flight: the `sf-check` design-rule
     /// checker applied to a synthesized design before anything executes it.
     /// Returns the full diagnostic report (warnings included); callers that
     /// must not proceed on errors convert it with
     /// [`sf_check::CheckReport::into_result`].
+    ///
+    /// Served from the process-wide check-report cache shared with the DSE
+    /// pruning filter, so preflighting a design the DSE already vetted is
+    /// a lookup, not a re-derivation.
     pub fn preflight(&self, design: &StencilDesign, wl: &Workload) -> sf_check::CheckReport {
-        sf_check::check(&self.device, &sf_check::Design::from_synthesized(design, wl))
+        sf_model::check_cached(&self.device, &sf_check::Design::from_synthesized(design, wl))
     }
 
     /// Step 3 — the winning design.

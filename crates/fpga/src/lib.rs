@@ -46,6 +46,7 @@ pub mod device;
 pub mod error;
 pub mod exec2d;
 pub mod exec3d;
+pub mod exec_batch;
 pub mod fifo;
 pub mod power;
 pub mod profile;
@@ -59,6 +60,7 @@ pub mod window;
 pub use design::{ExecMode, MemKind, StencilDesign, SynthesisError};
 pub use device::{FpgaDevice, MemorySpec};
 pub use error::ExecError;
+pub use exec_batch::{simulate_batch_2d_parallel, simulate_batch_3d_parallel};
 pub use report::SimReport;
 pub use resilient::{plan_with_faults, simulate_2d_resilient, simulate_3d_resilient, FaultyPlan};
 pub use resources::ResourceUsage;

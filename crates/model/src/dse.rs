@@ -17,8 +17,9 @@
 //! designs out of the ranking entirely.
 
 use crate::blocking;
+use crate::cache::{check_cached, predict_cached};
 use crate::error::ModelError;
-use crate::predict::{predict, Prediction, PredictionLevel};
+use crate::predict::{Prediction, PredictionLevel};
 use serde::{Deserialize, Serialize};
 use sf_fpga::design::{synthesize, ExecMode, StencilDesign, Workload};
 use sf_fpga::{FpgaDevice, MemKind};
@@ -85,6 +86,27 @@ pub fn explore(
     niter: u64,
     opts: &DseOptions,
 ) -> Result<Vec<Candidate>, ModelError> {
+    explore_jobs(dev, spec, wl, niter, opts, sf_par::resolve_jobs(None))
+}
+
+/// [`explore`] with an explicit worker count.
+///
+/// Candidate `(V, p, mode)` points are enumerated in the deterministic
+/// sweep order, evaluated (static check → synthesis → prediction) on up to
+/// `jobs` threads via [`sf_par::par_map`], then re-assembled in sweep
+/// order before ranking — so the returned vector is identical for every
+/// `jobs` value, including the tie-break order among equal runtimes.
+/// Predictions and check reports go through the process-wide caches in
+/// [`crate::cache`], so a repeated sweep (or a following
+/// `Workflow::preflight`) is mostly cache hits.
+pub fn explore_jobs(
+    dev: &FpgaDevice,
+    spec: &StencilSpec,
+    wl: &Workload,
+    niter: u64,
+    opts: &DseOptions,
+    jobs: usize,
+) -> Result<Vec<Candidate>, ModelError> {
     if opts.v_candidates.is_empty() {
         return Err(ModelError::invalid("v_candidates", "sweep must name at least one V"));
     }
@@ -94,19 +116,17 @@ pub fn explore(
     if opts.max_p == 0 {
         return Err(ModelError::invalid("max_p", "unroll sweep bound must be >= 1"));
     }
-    let mut out = Vec::new();
     let batch = wl.batch();
+    // Enumerate the sweep serially (cheap arithmetic only) so the work
+    // list — and therefore the result order — is independent of `jobs`.
+    let mut configs: Vec<(usize, usize, ExecMode)> = Vec::new();
     for &v in &opts.v_candidates {
         let p_cap = crate::equations::p_dsp(dev.dsp_total, dev.dsp_util_target, v, spec.gdsp())
             .min(opts.max_p);
         for p in 1..=p_cap {
             // whole-mesh (baseline/batched) candidate
             let mode = if batch > 1 { ExecMode::Batched { b: batch } } else { ExecMode::Baseline };
-            if statically_legal(dev, spec, v, p, mode, opts.mem, wl) {
-                if let Ok(design) = synthesize(dev, spec, v, p, mode, opts.mem, wl) {
-                    out.push(candidate(dev, design, wl, niter)?);
-                }
-            }
+            configs.push((v, p, mode));
             // tiled candidate (single-mesh workloads only)
             if opts.allow_tiling && batch == 1 {
                 let mode = match wl {
@@ -131,17 +151,34 @@ pub fn explore(
                     }
                     _ => false,
                 };
-                if tile_fits_mesh && statically_legal(dev, spec, v, p, mode, opts.mem, wl) {
-                    if let Ok(design) = synthesize(dev, spec, v, p, mode, opts.mem, wl) {
-                        out.push(candidate(dev, design, wl, niter)?);
-                    }
+                if tile_fits_mesh {
+                    configs.push((v, p, mode));
                 }
             }
         }
     }
+
+    // Evaluate every point independently; results come back in sweep order.
+    let evaluated: Vec<Result<Option<Candidate>, ModelError>> =
+        sf_par::par_map(jobs, configs, |_, (v, p, mode)| {
+            if !statically_legal(dev, spec, v, p, mode, opts.mem, wl) {
+                return Ok(None);
+            }
+            match synthesize(dev, spec, v, p, mode, opts.mem, wl) {
+                Ok(design) => candidate(dev, design, wl, niter).map(Some),
+                Err(_) => Ok(None), // infeasible: silently skipped, as before
+            }
+        });
+    let mut out = Vec::new();
+    for r in evaluated {
+        if let Some(c) = r? {
+            out.push(c);
+        }
+    }
     // total_cmp instead of partial_cmp: candidate() already rejected
     // non-finite runtimes, so the ordering is total either way, but this
-    // ranking must never be a panic site.
+    // ranking must never be a panic site. The sort is stable, so equal
+    // runtimes keep their sweep order for every `jobs` value.
     out.sort_by(|a, b| a.planned_runtime_s.total_cmp(&b.planned_runtime_s));
     Ok(out)
 }
@@ -159,7 +196,7 @@ fn statically_legal(
     mem: MemKind,
     wl: &Workload,
 ) -> bool {
-    !sf_check::check(dev, &sf_check::Design::new(*spec, v, p, mode, mem, *wl)).has_errors()
+    !check_cached(dev, &sf_check::Design::new(*spec, v, p, mode, mem, *wl)).has_errors()
 }
 
 fn candidate(
@@ -168,7 +205,7 @@ fn candidate(
     wl: &Workload,
     niter: u64,
 ) -> Result<Candidate, ModelError> {
-    let prediction = predict(dev, &design, wl, niter, PredictionLevel::Extended)?;
+    let prediction = predict_cached(dev, &design, wl, niter, PredictionLevel::Extended)?;
     let planned_runtime_s = sf_fpga::cycles::plan(dev, &design, wl, niter).runtime_s;
     if !planned_runtime_s.is_finite() {
         return Err(ModelError::NonFiniteRuntime {
@@ -302,6 +339,38 @@ mod tests {
         for c in &cands {
             assert!(c.design.p < 50, "RAW-hazardous p={} survived pruning", c.design.p);
         }
+    }
+
+    #[test]
+    fn parallel_sweep_is_jobs_invariant() {
+        let d = dev();
+        let wl = Workload::D2 { nx: 300, ny: 300, batch: 1 };
+        let spec = StencilSpec::poisson();
+        let opts = DseOptions::default();
+        let serial = explore_jobs(&d, &spec, &wl, 1000, &opts, 1).unwrap();
+        assert!(!serial.is_empty());
+        for jobs in [2, 4, 8] {
+            let par = explore_jobs(&d, &spec, &wl, 1000, &opts, jobs).unwrap();
+            assert_eq!(par, serial, "jobs={jobs} must reproduce the serial ranking exactly");
+        }
+    }
+
+    #[test]
+    fn repeated_sweeps_hit_the_prediction_cache() {
+        let d = dev();
+        let wl = Workload::D2 { nx: 180, ny: 180, batch: 1 };
+        let spec = StencilSpec::poisson();
+        let opts = DseOptions { allow_tiling: false, ..DseOptions::default() };
+        let first = explore_jobs(&d, &spec, &wl, 500, &opts, 1).unwrap();
+        let before = crate::cache::prediction_cache_stats();
+        let second = explore_jobs(&d, &spec, &wl, 500, &opts, 1).unwrap();
+        let after = crate::cache::prediction_cache_stats();
+        assert_eq!(first, second);
+        assert_eq!(
+            after.entries, before.entries,
+            "an identical sweep must not add prediction entries"
+        );
+        assert!(after.hits > before.hits, "second sweep must be served from cache");
     }
 
     #[test]

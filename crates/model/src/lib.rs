@@ -35,6 +35,7 @@
 
 pub mod accuracy;
 pub mod blocking;
+pub mod cache;
 pub mod dse;
 pub mod equations;
 pub mod error;
@@ -42,7 +43,8 @@ pub mod feasibility;
 pub mod predict;
 
 pub use accuracy::{accuracy_suite, AccuracyCase, AccuracyStats};
-pub use dse::{explore, Candidate, DseOptions};
+pub use cache::{check_cached, clear_caches, predict_cached};
+pub use dse::{explore, explore_jobs, Candidate, DseOptions};
 pub use error::ModelError;
 pub use feasibility::FeasibilityReport;
 pub use predict::{predict, Prediction, PredictionLevel};

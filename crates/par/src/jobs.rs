@@ -1,0 +1,46 @@
+//! Worker-count resolution shared by every CLI entry point.
+//!
+//! Precedence: explicit `--jobs N` flag, then the `SF_JOBS` environment
+//! variable, then the machine's available parallelism. The result only
+//! affects wall-clock time — every parallel path in the workspace is
+//! deterministic in its output regardless of the worker count.
+
+/// Worker threads the machine can usefully run (≥ 1).
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// `SF_JOBS` environment override, if set to a positive integer.
+fn env_jobs() -> Option<usize> {
+    std::env::var("SF_JOBS").ok().and_then(|s| s.trim().parse::<usize>().ok()).filter(|&n| n > 0)
+}
+
+/// Resolve the worker count: `flag` (a `--jobs N` CLI value) wins, then
+/// `SF_JOBS`, then [`available_jobs`]. A `flag` of `Some(0)` is treated as
+/// unset (CLI validation rejects it before it gets here anyway).
+pub fn resolve_jobs(flag: Option<usize>) -> usize {
+    flag.filter(|&n| n > 0).or_else(env_jobs).unwrap_or_else(available_jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn available_is_positive() {
+        assert!(available_jobs() >= 1);
+    }
+
+    #[test]
+    fn flag_wins() {
+        assert_eq!(resolve_jobs(Some(3)), 3);
+    }
+
+    #[test]
+    fn zero_flag_falls_through() {
+        // With no SF_JOBS in the test environment this resolves to the
+        // machine's parallelism, which is at least 1.
+        assert!(resolve_jobs(Some(0)) >= 1);
+        assert!(resolve_jobs(None) >= 1);
+    }
+}

@@ -1,0 +1,171 @@
+//! Thread-safe, deterministic memoization cache.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// Hit/miss counters snapshot for a [`Memo`] (see [`Memo::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute the value.
+    pub misses: u64,
+    /// Entries currently stored.
+    pub entries: u64,
+}
+
+/// A string-keyed memoization cache safe to share across worker threads.
+///
+/// Built for caching *pure* derivations — analytic-model predictions,
+/// design-rule check reports — keyed by a deterministic fingerprint of the
+/// inputs (typically the `Debug` rendering of design + device + workload).
+/// A `BTreeMap` keeps iteration order deterministic, and values are stored
+/// first-writer-wins so concurrent computes of the same key converge on
+/// one stored value.
+///
+/// The value is computed **outside** the lock: two threads racing on the
+/// same key may both compute it (the derivations cached here are cheap and
+/// pure, so this costs a little CPU, never correctness), but no thread
+/// ever blocks behind another's compute.
+#[derive(Debug, Default)]
+pub struct Memo<V> {
+    map: Mutex<BTreeMap<String, V>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Lock, recovering from poisoning: the guarded `BTreeMap` is only ever
+/// mutated by whole-entry inserts, so a panicking thread cannot leave it
+/// half-updated.
+fn lock<V>(m: &Mutex<BTreeMap<String, V>>) -> MutexGuard<'_, BTreeMap<String, V>> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl<V: Clone> Memo<V> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Memo {
+            map: Mutex::new(BTreeMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The cached value for `key`, if present (counts as a hit/miss).
+    pub fn get(&self, key: &str) -> Option<V> {
+        let found = lock(&self.map).get(key).cloned();
+        match found {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// The value for `key`, computing and storing it on a miss.
+    ///
+    /// On a racing insert the first stored value wins and is returned, so
+    /// every caller observes the same value for a given key.
+    pub fn get_or_insert_with<F: FnOnce() -> V>(&self, key: &str, f: F) -> V {
+        if let Some(v) = self.get(key) {
+            return v;
+        }
+        let v = f();
+        let mut map = lock(&self.map);
+        map.entry(key.to_string()).or_insert(v).clone()
+    }
+
+    /// Fallible variant of [`Memo::get_or_insert_with`]: errors are
+    /// returned to the caller and never cached.
+    pub fn try_get_or_insert_with<E, F: FnOnce() -> Result<V, E>>(
+        &self,
+        key: &str,
+        f: F,
+    ) -> Result<V, E> {
+        if let Some(v) = self.get(key) {
+            return Ok(v);
+        }
+        let v = f()?;
+        let mut map = lock(&self.map);
+        Ok(map.entry(key.to_string()).or_insert(v).clone())
+    }
+
+    /// Hit/miss/entry counters (monotonic since construction or the last
+    /// [`Memo::clear`]).
+    pub fn stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: lock(&self.map).len() as u64,
+        }
+    }
+
+    /// Drop all entries and reset the counters.
+    pub fn clear(&self) {
+        lock(&self.map).clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caches_and_counts() {
+        let memo: Memo<u64> = Memo::new();
+        let mut computes = 0u32;
+        let v1 = memo.get_or_insert_with("k", || {
+            computes += 1;
+            42
+        });
+        let v2 = memo.get_or_insert_with("k", || {
+            computes += 1;
+            99
+        });
+        assert_eq!((v1, v2, computes), (42, 42, 1));
+        let s = memo.stats();
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let memo: Memo<u64> = Memo::new();
+        let e: Result<u64, &str> = memo.try_get_or_insert_with("k", || Err("nope"));
+        assert!(e.is_err());
+        let ok = memo.try_get_or_insert_with("k", || Ok::<u64, &str>(7));
+        assert_eq!(ok, Ok(7));
+        assert_eq!(memo.stats().entries, 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let memo: Memo<u64> = Memo::new();
+        memo.get_or_insert_with("a", || 1);
+        memo.clear();
+        assert_eq!(memo.stats(), MemoStats::default());
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let memo: Memo<u64> = Memo::new();
+        let vals = crate::par_map(4, (0..32u64).collect::<Vec<_>>(), |_, i| {
+            memo.get_or_insert_with(&format!("key{}", i % 4), || i % 4)
+        });
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(*v, i as u64 % 4);
+        }
+        assert_eq!(memo.stats().entries, 4);
+    }
+}

@@ -1,0 +1,134 @@
+//! Ordered parallel map over owned work items.
+
+use std::sync::{Mutex, MutexGuard};
+
+/// Lock a mutex, recovering the data from a poisoned lock.
+///
+/// Every value guarded here is a plain collection with no invariants that
+/// a panicking worker could half-update (items are popped whole, results
+/// pushed whole), so continuing with the inner data is sound. The panic
+/// itself still propagates out of [`std::thread::scope`] when the worker
+/// is joined, so a poisoned lock never turns into a silently wrong result.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Map `f` over `items` on up to `jobs` worker threads, returning results
+/// in input order.
+///
+/// The closure receives `(index, item)` so callers can seed per-item state
+/// (RNG streams, trace track prefixes) from the stable index rather than
+/// from anything scheduling-dependent. Determinism contract: for a pure
+/// `f`, the returned vector is identical for every `jobs` value — workers
+/// pull items from a shared queue in index order and results are reordered
+/// by index before returning.
+///
+/// `jobs <= 1` (or a single item) short-circuits to a plain sequential
+/// loop with no thread or lock overhead, so the serial path and the
+/// parallel path are the same code shape either way.
+///
+/// # Panics
+/// If `f` panics on any item, the panic propagates to the caller after all
+/// workers finish (the behaviour of [`std::thread::scope`]).
+pub fn par_map<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = jobs.max(1).min(n);
+    if workers <= 1 {
+        return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let queue = Mutex::new(items.into_iter().enumerate());
+    let results = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| loop {
+                    // Hold the queue lock only to pop; compute unlocked.
+                    let next = lock(&queue).next();
+                    match next {
+                        Some((i, item)) => {
+                            let r = f(i, item);
+                            lock(&results).push((i, r));
+                        }
+                        None => break,
+                    }
+                })
+            })
+            .collect();
+        // Join explicitly so a worker's original panic payload reaches the
+        // caller (an implicit scope join would replace it with the generic
+        // "a scoped thread panicked" message).
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+
+    let mut out = match results.into_inner() {
+        Ok(v) => v,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    out.sort_by_key(|(i, _)| *i);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order_serial() {
+        let out = par_map(1, vec![1u64, 2, 3, 4], |i, x| (i, x * 10));
+        assert_eq!(out, vec![(0, 10), (1, 20), (2, 30), (3, 40)]);
+    }
+
+    #[test]
+    fn maps_in_order_parallel() {
+        let items: Vec<u64> = (0..100).collect();
+        let serial = par_map(1, items.clone(), |i, x| i as u64 * 1000 + x * x);
+        for jobs in [2, 3, 8, 64] {
+            let par = par_map(jobs, items.clone(), |i, x| i as u64 * 1000 + x * x);
+            assert_eq!(par, serial, "jobs={jobs} must match serial");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(4, empty, |_, x: u32| x).is_empty());
+        assert_eq!(par_map(4, vec![7u32], |i, x| (i, x)), vec![(0, 7)]);
+    }
+
+    #[test]
+    fn more_workers_than_items() {
+        let out = par_map(16, vec![1u32, 2], |_, x| x + 1);
+        assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panic_propagates() {
+        let _ = par_map(2, vec![0u32, 1, 2, 3], |_, x| {
+            if x == 2 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn non_copy_items_move_through() {
+        let items = vec!["a".to_string(), "b".to_string(), "c".to_string()];
+        let out = par_map(2, items, |i, s| format!("{i}:{s}"));
+        assert_eq!(out, vec!["0:a", "1:b", "2:c"]);
+    }
+}

@@ -267,6 +267,68 @@ impl Recorder {
         }
     }
 
+    // ---- shard merging (parallel execution) --------------------------------
+
+    /// Merge per-worker shard recorders into this one, deterministically.
+    ///
+    /// Parallel executors (`sf-fpga`'s batch engine) record each work
+    /// item's events into a private shard `Recorder`, collect the shards
+    /// in **work-item order** (never thread-completion order), and merge
+    /// them here. The merge is a pure function of the shard list:
+    ///
+    /// * shard tracks are re-interned in shard order and every event's
+    ///   [`TrackId`] is remapped, so identically named tracks from
+    ///   different shards coalesce;
+    /// * spans, instants and gauges are appended in cycle-stamp order,
+    ///   with (shard index, within-shard sequence) as the tie-break —
+    ///   byte-identical output however many worker threads produced the
+    ///   shards;
+    /// * counters and stall attributions are summed.
+    ///
+    /// Shard-level `meta` and `divergence` are run-level concerns and are
+    /// intentionally **not** merged — they stay owned by `self`.
+    pub fn merge_shards(&mut self, shards: Vec<Recorder>) {
+        if !self.on {
+            return;
+        }
+        let mut spans: Vec<(u64, usize, usize, SpanEvent)> = Vec::new();
+        let mut instants: Vec<(u64, usize, usize, InstantEvent)> = Vec::new();
+        let mut gauges: Vec<(u64, usize, usize, GaugeSample)> = Vec::new();
+        for (si, shard) in shards.into_iter().enumerate() {
+            let remap: Vec<TrackId> = shard.tracks.iter().map(|t| self.track(t)).collect();
+            let map = |id: TrackId| remap.get(id.0 as usize).copied().unwrap_or(id);
+            for (seq, mut e) in shard.spans.into_iter().enumerate() {
+                e.track = map(e.track);
+                spans.push((e.start_cycle, si, seq, e));
+            }
+            for (seq, mut e) in shard.instants.into_iter().enumerate() {
+                e.track = map(e.track);
+                instants.push((e.cycle, si, seq, e));
+            }
+            for (seq, mut e) in shard.gauges.into_iter().enumerate() {
+                e.track = map(e.track);
+                gauges.push((e.cycle, si, seq, e));
+            }
+            for (k, v) in shard.counters {
+                *self.counters.entry(k).or_insert(0) += v;
+            }
+            self.stalls.compute_cycles += shard.stalls.compute_cycles;
+            self.stalls.memory_cycles += shard.stalls.memory_cycles;
+            self.stalls.backpressure_cycles += shard.stalls.backpressure_cycles;
+        }
+        spans.sort_by_key(|a| (a.0, a.1, a.2));
+        instants.sort_by_key(|a| (a.0, a.1, a.2));
+        gauges.sort_by_key(|a| (a.0, a.1, a.2));
+        self.spans.extend(spans.into_iter().map(|t| t.3));
+        self.instants.extend(instants.into_iter().map(|t| t.3));
+        self.gauges.extend(gauges.into_iter().map(|t| t.3));
+    }
+
+    /// Merge a single shard (see [`Recorder::merge_shards`]).
+    pub fn merge_shard(&mut self, shard: Recorder) {
+        self.merge_shards(vec![shard]);
+    }
+
     // ---- accessors (exporters & tests) -------------------------------------
 
     pub fn cycles_per_us(&self) -> f64 {
@@ -386,6 +448,86 @@ mod tests {
         assert_eq!(b.total(), 100);
         assert!((b.fraction(StallClass::Compute) - 0.6).abs() < 1e-12);
         assert_eq!(b.dominant(), StallClass::Compute);
+    }
+
+    #[test]
+    fn merge_shards_interleaves_by_cycle_and_remaps_tracks() {
+        let mut main = Recorder::enabled(300.0);
+        let sched = main.track("pipeline");
+        main.span(sched, "pass0", 0, 1000);
+
+        let mut s0 = Recorder::enabled(300.0);
+        let t0 = s0.track("mesh0/stage:0");
+        s0.span(t0, "row", 500, 600);
+        s0.instant(t0, "primed", 510);
+        s0.counter_add("window.rows_streamed", 4);
+        s0.stall(StallClass::Memory, 7);
+
+        let mut s1 = Recorder::enabled(300.0);
+        let t1 = s1.track("mesh1/stage:0");
+        s1.span(t1, "row", 100, 200);
+        s1.gauge(t1, "fill", 120, 2.0);
+        s1.counter_add("window.rows_streamed", 4);
+        s1.stall(StallClass::Memory, 3);
+
+        main.merge_shards(vec![s0, s1]);
+        // tracks re-interned in shard order after existing ones
+        assert_eq!(main.track_names(), &["pipeline", "mesh0/stage:0", "mesh1/stage:0"]);
+        // shard spans appended in cycle order: mesh1's earlier span first
+        let merged: Vec<_> = main.spans().iter().map(|s| s.start_cycle).collect();
+        assert_eq!(merged, vec![0, 100, 500]);
+        // events remapped onto the re-interned tracks
+        let m1 = main.find_track("mesh1/stage:0").unwrap();
+        assert_eq!(main.spans()[1].track, m1);
+        assert_eq!(main.gauges()[0].track, m1);
+        // counters and stalls summed
+        assert_eq!(main.counter("window.rows_streamed"), 8);
+        assert_eq!(main.stall_breakdown().memory_cycles, 10);
+    }
+
+    #[test]
+    fn merge_is_pure_in_shard_list() {
+        let shard = |base: u64| {
+            let mut s = Recorder::enabled(300.0);
+            let t = s.track(&format!("mesh{base}/w"));
+            s.span(t, "row", base * 10, base * 10 + 5);
+            s
+        };
+        let mut a = Recorder::enabled(300.0);
+        a.merge_shards(vec![shard(0), shard(1), shard(2)]);
+        let mut b = Recorder::enabled(300.0);
+        for i in 0..3 {
+            b.merge_shard(shard(i));
+        }
+        assert_eq!(a.track_names(), b.track_names());
+        let cycles = |r: &Recorder| r.spans().iter().map(|s| s.start_cycle).collect::<Vec<_>>();
+        assert_eq!(cycles(&a), cycles(&b));
+    }
+
+    #[test]
+    fn merge_into_disabled_is_a_noop() {
+        let mut off = Recorder::disabled();
+        let mut s = Recorder::enabled(300.0);
+        let t = s.track("x");
+        s.span(t, "row", 0, 5);
+        off.merge_shard(s);
+        assert!(off.spans().is_empty());
+        assert!(off.track_names().is_empty());
+    }
+
+    #[test]
+    fn identically_named_shard_tracks_coalesce() {
+        let mut main = Recorder::enabled(300.0);
+        let mk = || {
+            let mut s = Recorder::enabled(300.0);
+            let t = s.track("window/stage:0");
+            s.span(t, "row", 0, 5);
+            s
+        };
+        main.merge_shards(vec![mk(), mk()]);
+        assert_eq!(main.track_names(), &["window/stage:0"]);
+        assert_eq!(main.spans().len(), 2);
+        assert_eq!(main.spans()[0].track, main.spans()[1].track);
     }
 
     #[test]

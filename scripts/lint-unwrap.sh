@@ -12,7 +12,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 status=0
-for crate in fpga model mesh kernels check core gpu telemetry faults; do
+for crate in fpga model mesh kernels check core gpu telemetry faults par; do
     for f in $(find "crates/$crate/src" -name '*.rs' 2>/dev/null); do
         hits=$(awk '
             /#\[cfg\(test\)\]/ { exit }

@@ -7,8 +7,13 @@
 //!
 //! Measurement is deliberately simple — median of `sample_size` timed
 //! samples, each auto-calibrated to run ≥ ~5 ms of iterations — with a
-//! one-line report per benchmark. No plots, no statistics beyond median,
-//! no baseline storage.
+//! one-line report per benchmark. No plots, no statistics beyond median
+//! and sample spread, no baseline storage.
+//!
+//! Passing `--output-format bencher` (the flag real criterion accepts for
+//! CI interchange) switches the per-benchmark report to libtest-bencher
+//! lines — `test <name> ... bench: <ns> ns/iter (+/- <dev>)` — which CI
+//! jobs can parse or archive directly.
 
 use std::time::{Duration, Instant};
 
@@ -74,7 +79,8 @@ fn fmt_time(ns: f64) -> String {
     }
 }
 
-fn run_samples(sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) -> f64 {
+/// Median and half-spread ((max − min) / 2) of the timed samples.
+fn run_samples(sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) -> (f64, f64) {
     let mut samples: Vec<f64> = (0..sample_size.max(1))
         .map(|_| {
             let mut b = Bencher { ns_per_iter: 0.0 };
@@ -83,10 +89,32 @@ fn run_samples(sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) -> f64 {
         })
         .collect();
     samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    samples[samples.len() / 2]
+    let median = samples[samples.len() / 2];
+    let dev = (samples[samples.len() - 1] - samples[0]) / 2.0;
+    (median, dev)
 }
 
-fn report(name: &str, median_ns: f64, throughput: Option<Throughput>) {
+/// Whether `--output-format bencher` was passed to this bench binary.
+fn bencher_output() -> bool {
+    static MODE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *MODE.get_or_init(|| {
+        let args: Vec<String> = std::env::args().collect();
+        args.windows(2).any(|w| w[0] == "--output-format" && w[1] == "bencher")
+    })
+}
+
+fn report(name: &str, median_ns: f64, dev_ns: f64, throughput: Option<Throughput>) {
+    if bencher_output() {
+        // libtest-bencher interchange line; whitespace in names breaks
+        // downstream parsers, so normalize to underscores.
+        let name = name.replace(' ', "_");
+        println!(
+            "test {name} ... bench: {:>11} ns/iter (+/- {})",
+            median_ns.round() as u64,
+            dev_ns.round() as u64
+        );
+        return;
+    }
     let thr = match throughput {
         Some(Throughput::Elements(n)) => {
             format!("  {:.1} Melem/s", n as f64 / median_ns * 1e3)
@@ -127,8 +155,8 @@ impl<'a> BenchmarkGroup<'a> {
     }
 
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
-        let median = run_samples(self.sample_size, &mut f);
-        report(&format!("{}/{id}", self.name), median, self.throughput);
+        let (median, dev) = run_samples(self.sample_size, &mut f);
+        report(&format!("{}/{id}", self.name), median, dev, self.throughput);
         self
     }
 
@@ -138,8 +166,8 @@ impl<'a> BenchmarkGroup<'a> {
         input: &I,
         mut f: F,
     ) -> &mut Self {
-        let median = run_samples(self.sample_size, &mut |b: &mut Bencher| f(b, input));
-        report(&format!("{}/{}", self.name, id.id), median, self.throughput);
+        let (median, dev) = run_samples(self.sample_size, &mut |b: &mut Bencher| f(b, input));
+        report(&format!("{}/{}", self.name, id.id), median, dev, self.throughput);
         self
     }
 
@@ -156,8 +184,8 @@ impl Criterion {
     }
 
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
-        let median = run_samples(10, &mut f);
-        report(id, median, None);
+        let (median, dev) = run_samples(10, &mut f);
+        report(id, median, dev, None);
         self
     }
 }
@@ -212,5 +240,14 @@ mod tests {
     fn id_formats() {
         assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
         assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+
+    #[test]
+    fn samples_report_median_and_nonnegative_spread() {
+        let (median, dev) = run_samples(3, &mut |b: &mut Bencher| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        assert!(median > 0.0);
+        assert!(dev >= 0.0);
     }
 }
