@@ -13,6 +13,8 @@
 //!                       [--window-units U] [--json]
 //! sfstencil faults      [--app poisson2d|jacobi3d|rtm3d] [--seed 42] \
 //!                       [--rate PPM]... [--trials N] [--json]
+//! sfstencil report      runs.jsonl [--json|--md|--html] [--out FILE] \
+//!                       [--compare baseline.json] [--max-regress 5%]
 //! ```
 //!
 //! `dse`, `profile` and `faults` additionally accept `--jobs N` to fan
@@ -38,6 +40,16 @@
 //! and rate, each trial classified by how it was detected (watchdog,
 //! checksum, AXI retry, divergence) and recovered. Exits non-zero if any
 //! injected fault goes unaccounted.
+//!
+//! `profile`, `dse` and `faults` accept `--record-out FILE` to append a
+//! durable, schema-versioned run record (git sha, design point, predicted
+//! vs measured cycles, stall breakdown, fault counters) to a JSONL run
+//! store. `report <store.jsonl>` aggregates such a store into the
+//! cross-run report — roofline gap attribution against the paper's
+//! analytic ceilings (eqs. 4/6/12) — and with `--compare baseline.json`
+//! gates median cycles against a committed baseline (see
+//! `sf_bench::reportcmd`). The per-design estimate form `report --app ...
+//! --v V --p P` is unchanged.
 
 use sf_core::prelude::*;
 use sf_fpga::design::synthesize;
@@ -50,9 +62,11 @@ fn fail(msg: &str) -> ! {
          --app <poisson|jacobi|rtm> \
          --mesh <NXxNY[xNZ]> [--batch B] [--iters N] [--top K] [--v V] [--p P] \
          [--mem hbm|ddr4] [--tile M[xN]] [--fifo-depth D] [--window-units U] \
-         [--jobs N] [--json] [--trace-out FILE]\n       \
+         [--jobs N] [--json] [--trace-out FILE] [--record-out FILE]\n       \
          sfstencil faults [--app <poisson2d|jacobi3d|rtm3d>] [--seed N] \
-         [--rate PPM]... [--trials N] [--jobs N] [--json]"
+         [--rate PPM]... [--trials N] [--jobs N] [--json] [--record-out FILE]\n       \
+         sfstencil report <runs.jsonl> [--json|--md|--html] [--out FILE] \
+         [--compare BASELINE.json] [--max-regress PCT]"
     );
     std::process::exit(2);
 }
@@ -72,6 +86,7 @@ struct Args {
     jobs: usize,
     json: bool,
     trace_out: Option<String>,
+    record_out: Option<String>,
 }
 
 fn parse() -> Args {
@@ -129,7 +144,18 @@ fn parse() -> Args {
         jobs: sf_par::resolve_jobs(get("--jobs").map(|s| positive("--jobs", s))),
         json: argv.iter().any(|a| a == "--json"),
         trace_out: get("--trace-out"),
+        record_out: get("--record-out"),
     }
+}
+
+/// Append a run record to the store named by `--record-out`, stamping the
+/// host wall time of the invocation (stored but never reported, so
+/// reports stay byte-reproducible).
+fn write_record(path: &str, mut rec: sf_report::RunRecord, started: std::time::Instant) {
+    rec.wall_ms = Some(started.elapsed().as_secs_f64() * 1e3);
+    sf_report::append_record(std::path::Path::new(path), &rec)
+        .unwrap_or_else(|e| fail(&format!("{e}")));
+    eprintln!("run record appended to {path}");
 }
 
 /// The `check` subcommand: static design-rule analysis, no execution.
@@ -178,7 +204,7 @@ fn run_check(a: &Args, wf: &Workflow) {
 
 /// The `faults` subcommand has its own flag set (no `--mesh`: campaign
 /// workloads are fixed so seeds stay comparable across runs).
-fn run_faults(argv: &[String]) {
+fn run_faults(argv: &[String], started: std::time::Instant) {
     use sf_bench::faults::{run_campaign, CampaignApp, CampaignConfig};
     let get = |flag: &str| -> Option<String> {
         argv.iter().position(|a| a == flag).and_then(|i| argv.get(i + 1).cloned())
@@ -235,6 +261,11 @@ fn run_faults(argv: &[String]) {
         }
     }
     let report = run_campaign(&apps, &cfg);
+    if let Some(path) = get("--record-out") {
+        for rec in sf_bench::reportcmd::records_for_campaign(&report, &cfg) {
+            write_record(&path, rec, started);
+        }
+    }
     if argv.iter().any(|a| a == "--json") {
         println!("{}", serde_json::to_string_pretty(&report).unwrap());
     } else {
@@ -246,10 +277,18 @@ fn run_faults(argv: &[String]) {
 }
 
 fn main() {
+    let started = std::time::Instant::now();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("faults") {
-        run_faults(&argv[1..]);
+        run_faults(&argv[1..], started);
         return;
+    }
+    // `report <store.jsonl>` (positional path) is the cross-run report;
+    // `report --app ... --v V --p P` stays the per-design estimate.
+    if argv.first().map(String::as_str) == Some("report")
+        && argv.get(1).is_some_and(|arg| !arg.starts_with("--"))
+    {
+        std::process::exit(sf_bench::reportcmd::run(&argv[1..]));
     }
     let a = parse();
     let wf = Workflow::u280_vs_v100();
@@ -273,6 +312,10 @@ fn main() {
             let cands = wf
                 .explore_jobs(&a.app, &a.wl, a.iters, a.jobs)
                 .unwrap_or_else(|e| fail(&format!("{e}")));
+            if let (Some(path), Some(best)) = (&a.record_out, cands.first()) {
+                let rec = sf_bench::reportcmd::record_for_dse(best, &a.wl, a.iters, a.jobs);
+                write_record(path, rec, started);
+            }
             if a.json {
                 let top: Vec<_> = cands.iter().take(a.top).collect();
                 println!("{}", serde_json::to_string_pretty(&top).unwrap());
@@ -339,6 +382,9 @@ fn main() {
                     std::fs::write(path, json)
                         .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
                     eprintln!("chrome trace written to {path}");
+                }
+                if let Some(path) = &a.record_out {
+                    write_record(path, pr.to_run_record(), started);
                 }
                 if a.json {
                     println!("{}", metrics::to_metrics_json(&pr.recorder));

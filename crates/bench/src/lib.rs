@@ -17,6 +17,7 @@ pub mod cli;
 pub mod experiments;
 pub mod faults;
 pub mod paper;
+pub mod reportcmd;
 pub mod table;
 
 pub use experiments::*;

@@ -299,7 +299,27 @@ fn profile_jobs_trace_is_byte_identical_to_serial() {
         assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
         out.stdout
     };
-    assert_eq!(run("1"), run("4"), "--jobs must not change the profile metrics");
+    // The `"parallel"` provenance block exists precisely to record the
+    // worker count, so it is stripped before comparing; everything else
+    // must be byte-identical.
+    let strip_parallel = |bytes: Vec<u8>| -> (String, Option<u64>) {
+        let s = String::from_utf8(bytes).unwrap();
+        let Value::Object(mut fields) = serde_json::parse_value(&s).unwrap() else {
+            panic!("metrics must be a JSON object")
+        };
+        let jobs = fields
+            .iter()
+            .find(|(k, _)| k == "parallel")
+            .and_then(|(_, v)| v.get("jobs"))
+            .and_then(Value::as_u64);
+        fields.retain(|(k, _)| k != "parallel");
+        (serde_json::to_string(&Value::Object(fields)).unwrap(), jobs)
+    };
+    let (serial, serial_jobs) = strip_parallel(run("1"));
+    let (par, par_jobs) = strip_parallel(run("4"));
+    assert_eq!(serial, par, "--jobs must not change the profile metrics");
+    assert_eq!(serial_jobs, Some(1));
+    assert_eq!(par_jobs, Some(4), "provenance block must record the actual worker count");
 }
 
 #[test]

@@ -1,0 +1,273 @@
+//! End-to-end tests for the cross-run observability pipeline:
+//! `--record-out` producers → JSONL run store → `sfstencil report`
+//! (aggregation, roofline attribution, emitters, regression gate).
+
+use serde::Value;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn sfstencil() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sfstencil"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("sfstencil_report_{name}_{}", std::process::id()))
+}
+
+/// Populate `store` with one profile record per paper app (small meshes
+/// so the behavioral pipeline streams real numerics).
+fn record_three_apps(store: &PathBuf) {
+    std::fs::remove_file(store).ok();
+    for (app, mesh, iters) in
+        [("poisson", "200x100", "100"), ("jacobi", "16x12x10", "10"), ("rtm", "12x10x8", "5")]
+    {
+        let out = sfstencil()
+            .args(["profile", "--app", app, "--mesh", mesh, "--iters", iters, "--record-out"])
+            .arg(store)
+            .arg("--json")
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "profile {app} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(stderr.contains("run record appended"), "{stderr}");
+    }
+}
+
+fn report_json(store: &PathBuf) -> (Value, String) {
+    let out = sfstencil().arg("report").arg(store).arg("--json").output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let body = String::from_utf8(out.stdout).unwrap();
+    (serde_json::parse_value(&body).unwrap(), body)
+}
+
+#[test]
+fn record_then_report_attributes_all_three_paper_apps() {
+    let store = tmp("threeapps.jsonl");
+    record_three_apps(&store);
+
+    // the store is line-oriented, schema-stamped JSONL
+    let raw = std::fs::read_to_string(&store).unwrap();
+    assert_eq!(raw.lines().count(), 3);
+    for line in raw.lines() {
+        let rec = serde_json::parse_value(line).unwrap();
+        assert_eq!(rec.get("schema").and_then(Value::as_str), Some("sf-run-record/v1"));
+        assert!(rec.get("measured_cycles").and_then(Value::as_u64).unwrap() > 0);
+    }
+
+    let (doc, _) = report_json(&store);
+    assert_eq!(doc.get("schema").and_then(Value::as_str), Some("sf-report/v1"));
+    assert_eq!(doc.get("total_runs").and_then(Value::as_u64), Some(3));
+    let configs = doc.get("configs").and_then(Value::as_array).unwrap();
+    assert_eq!(configs.len(), 3);
+    for slug in ["poisson2d", "jacobi3d", "rtm3d"] {
+        let cfg = configs
+            .iter()
+            .find(|c| c.get("app").and_then(Value::as_str) == Some(slug))
+            .unwrap_or_else(|| panic!("report must cover {slug}"));
+        // every paper app gets a roofline with gap attribution
+        let rl = cfg.get("roofline").expect("roofline present");
+        assert!(rl.get("ideal_cycles").and_then(Value::as_u64).unwrap() > 0);
+        assert!(rl.get("measured_cycles").and_then(Value::as_u64).unwrap() > 0);
+        let bound = rl.get("bound").and_then(Value::as_str).unwrap();
+        assert!(["Compute", "Memory", "Backpressure"].contains(&bound), "{bound}");
+        let att = rl.get("attribution").expect("attribution present");
+        for key in ["compute_pct", "memory_pct", "backpressure_pct"] {
+            let pct = att.get(key).and_then(Value::as_f64).unwrap();
+            assert!((0.0..=100.0).contains(&pct), "{key}={pct}");
+        }
+        let ceil = rl.get("ceilings").expect("ceilings present");
+        assert!(ceil.get("v_max_bandwidth").and_then(Value::as_u64).unwrap() > 0);
+        assert!(ceil.get("p_dsp").and_then(Value::as_u64).unwrap() > 0);
+        // wall time must never leak into the report
+        assert!(cfg.get("wall_ms").is_none());
+    }
+    std::fs::remove_file(&store).ok();
+}
+
+#[test]
+fn report_output_is_byte_reproducible() {
+    let store = tmp("repro.jsonl");
+    std::fs::remove_file(&store).ok();
+    let out = sfstencil()
+        .args(["profile", "--app", "poisson", "--mesh", "200x100", "--iters", "100"])
+        .arg("--record-out")
+        .arg(&store)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let (_, json_a) = report_json(&store);
+    let (_, json_b) = report_json(&store);
+    assert_eq!(json_a, json_b, "--json report must be byte-reproducible");
+
+    let md = |()| {
+        let out = sfstencil().arg("report").arg(&store).output().unwrap();
+        assert!(out.status.success());
+        out.stdout
+    };
+    assert_eq!(md(()), md(()), "markdown report must be byte-reproducible");
+
+    let html = sfstencil().arg("report").arg(&store).arg("--html").output().unwrap();
+    assert!(html.status.success());
+    let html = String::from_utf8(html.stdout).unwrap();
+    assert!(html.starts_with("<!DOCTYPE html>"), "{html}");
+    std::fs::remove_file(&store).ok();
+}
+
+/// Scale every `measured_p50` in a baseline report down by 10%, so the
+/// (unchanged) current report reads as a >5% regression against it.
+fn tamper_baseline(doc: &mut Value) {
+    let Value::Object(fields) = doc else { panic!("report must be an object") };
+    for (key, v) in fields.iter_mut() {
+        if key == "configs" {
+            let Value::Array(configs) = v else { panic!("configs must be an array") };
+            for cfg in configs {
+                let Value::Object(cf) = cfg else { panic!("config must be an object") };
+                for (k, val) in cf.iter_mut() {
+                    if k == "measured_p50" {
+                        let p50 = val.as_u64().unwrap();
+                        *val = Value::U64(p50 * 9 / 10);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn compare_gate_passes_self_and_fails_injected_regression() {
+    let store = tmp("gate.jsonl");
+    std::fs::remove_file(&store).ok();
+    let out = sfstencil()
+        .args(["profile", "--app", "poisson", "--mesh", "200x100", "--iters", "100"])
+        .arg("--record-out")
+        .arg(&store)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let (mut doc, json) = report_json(&store);
+    let baseline = tmp("baseline.json");
+    std::fs::write(&baseline, &json).unwrap();
+
+    // self-compare: identical medians, gate passes
+    let out = sfstencil()
+        .arg("report")
+        .arg(&store)
+        .arg("--compare")
+        .arg(&baseline)
+        .args(["--max-regress", "5%"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("PASS"));
+
+    // inject a >=5% cycle regression by shrinking the baseline medians
+    tamper_baseline(&mut doc);
+    std::fs::write(&baseline, serde_json::to_string_pretty(&doc).unwrap()).unwrap();
+    let out = sfstencil()
+        .arg("report")
+        .arg(&store)
+        .arg("--compare")
+        .arg(&baseline)
+        .args(["--max-regress", "5"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "gate must fail on an injected regression");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("FAIL"), "{stderr}");
+
+    std::fs::remove_file(&store).ok();
+    std::fs::remove_file(&baseline).ok();
+}
+
+#[test]
+fn dse_and_faults_records_flow_into_the_same_store() {
+    let store = tmp("mixed.jsonl");
+    std::fs::remove_file(&store).ok();
+    let out = sfstencil()
+        .args(["dse", "--app", "poisson", "--mesh", "96x96", "--iters", "100", "--record-out"])
+        .arg(&store)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = sfstencil()
+        .args(["faults", "--app", "poisson2d", "--rate", "500", "--trials", "1", "--record-out"])
+        .arg(&store)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let (doc, _) = report_json(&store);
+    let configs = doc.get("configs").and_then(Value::as_array).unwrap();
+    assert_eq!(configs.len(), 2);
+    let dse = configs
+        .iter()
+        .find(|c| c.get("kind").and_then(Value::as_str) == Some("Dse"))
+        .expect("dse config");
+    assert!(dse.get("measured_p50").and_then(Value::as_u64).unwrap() > 0);
+    let faults = configs
+        .iter()
+        .find(|c| c.get("kind").and_then(Value::as_str) == Some("Faults"))
+        .expect("faults config");
+    let counters = faults.get("fault_counters").expect("counters");
+    assert!(counters.get("trials").and_then(Value::as_u64).unwrap() > 0);
+
+    // the markdown rendering mentions the fault counters
+    let out = sfstencil().arg("report").arg(&store).output().unwrap();
+    assert!(out.status.success());
+    let md = String::from_utf8(out.stdout).unwrap();
+    assert!(md.contains("trials="), "{md}");
+    std::fs::remove_file(&store).ok();
+}
+
+#[test]
+fn report_usage_and_io_errors_exit_2() {
+    // missing store file
+    let out = sfstencil().args(["report", "/nonexistent/runs.jsonl"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("/nonexistent/runs.jsonl"));
+
+    // bad --max-regress
+    let store = tmp("badflag.jsonl");
+    std::fs::write(&store, "").unwrap();
+    let baseline = tmp("badflag_baseline.json");
+    std::fs::write(&baseline, "{}").unwrap();
+    let out = sfstencil()
+        .arg("report")
+        .arg(&store)
+        .arg("--compare")
+        .arg(&baseline)
+        .args(["--max-regress", "banana"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--max-regress"));
+
+    // malformed baseline
+    let out =
+        sfstencil().arg("report").arg(&store).arg("--compare").arg(&baseline).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    std::fs::remove_file(&store).ok();
+    std::fs::remove_file(&baseline).ok();
+}
+
+#[test]
+fn legacy_per_design_report_is_unchanged() {
+    let out = sfstencil()
+        .args(["report", "--app", "poisson", "--mesh", "400x400", "--v", "8", "--p", "60"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(!out.stdout.is_empty());
+    // and the flagless form still demands --v/--p rather than being
+    // swallowed by the cross-run dispatch
+    let out =
+        sfstencil().args(["report", "--app", "poisson", "--mesh", "400x400"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--v"));
+}

@@ -37,6 +37,12 @@ const PROFILE_SEED: u64 = 42;
 pub struct ProfileResult {
     /// The profiled design.
     pub design: StencilDesign,
+    /// The workload that was profiled.
+    pub workload: Workload,
+    /// Iterations solved.
+    pub niter: u64,
+    /// Resolved worker count the run was configured with.
+    pub jobs: usize,
     /// The model's prediction for it (Extended level).
     pub prediction: Prediction,
     /// Simulated performance report.
@@ -93,6 +99,7 @@ impl Workflow {
         let preflight = self.preflight(&design, wl).into_result().map_err(SfError::Check)?;
         let dev = &self.device;
         let mut rec = Recorder::enabled(design.freq_hz / 1e6);
+        rec.set_jobs(jobs as u64);
         rec.set_meta("app", Value::String(format!("{}", spec.app)));
         rec.set_meta("workload", Value::String(format!("{wl:?}")));
         rec.set_meta("niter", Value::U64(niter));
@@ -126,6 +133,9 @@ impl Workflow {
             if behavioral { Vec::new() } else { vec![Degradation::ScheduleOnlyProfile] };
         Ok(ProfileResult {
             design,
+            workload: *wl,
+            niter,
+            jobs,
             prediction,
             report,
             preflight,
@@ -135,6 +145,57 @@ impl Workflow {
             behavioral,
             degradations,
         })
+    }
+}
+
+impl ProfileResult {
+    /// Package the profile as a durable [`sf_report::RunRecord`] for the
+    /// cross-run store (`sfstencil profile --record-out`).
+    pub fn to_run_record(&self) -> sf_report::RunRecord {
+        use sf_check::Severity;
+        use sf_fpga::design::{ExecMode, MemKind};
+
+        let mut rec = sf_report::RunRecord::empty(
+            sf_report::RunKind::Profile,
+            sf_report::app_slug(self.design.spec.app),
+        );
+        let (dims, batch) = match self.workload {
+            Workload::D2 { nx, ny, batch } => (vec![nx as u64, ny as u64], batch),
+            Workload::D3 { nx, ny, nz, batch } => (vec![nx as u64, ny as u64, nz as u64], batch),
+        };
+        rec.dims = dims;
+        rec.batch = batch as u64;
+        rec.niter = self.niter;
+        rec.v = self.design.v as u64;
+        rec.p = self.design.p as u64;
+        rec.mode = format!("{:?}", self.design.mode);
+        rec.tile_m = match self.design.mode {
+            ExecMode::Tiled1D { tile_m } | ExecMode::Tiled2D { tile_m, .. } => Some(tile_m as u64),
+            _ => None,
+        };
+        rec.tile_n = match self.design.mode {
+            ExecMode::Tiled2D { tile_n, .. } => Some(tile_n as u64),
+            _ => None,
+        };
+        rec.mem = match self.design.mem {
+            MemKind::Hbm => "hbm".to_string(),
+            MemKind::Ddr4 => "ddr4".to_string(),
+        };
+        rec.freq_mhz = self.design.freq_mhz();
+        rec.jobs = self.jobs as u64;
+        rec.shards_merged = self.recorder.shards_merged();
+        rec.predicted_cycles = self.prediction.cycles;
+        rec.measured_cycles = self.report.total_cycles;
+        rec.runtime_s = self.report.runtime_s;
+        rec.stalls = self.recorder.stall_breakdown();
+        rec.check_errors =
+            self.preflight.diagnostics.iter().filter(|d| d.severity == Severity::Error).count()
+                as u64;
+        rec.check_warnings =
+            self.preflight.diagnostics.iter().filter(|d| d.severity == Severity::Warning).count()
+                as u64;
+        rec.divergence_pct = self.divergence.pct_finite();
+        rec
     }
 }
 
@@ -231,6 +292,16 @@ mod tests {
         assert!(pr.recorder.counter("window.rows_streamed") > 0);
     }
 
+    /// Drop the `"parallel"` provenance block from a flat-metrics dump:
+    /// it exists precisely to record the worker count, so it is the one
+    /// part of the export that legitimately varies with `--jobs`.
+    fn strip_parallel(metrics_json: &str) -> String {
+        let v = serde_json::parse_value(metrics_json).unwrap();
+        let serde::Value::Object(mut fields) = v else { panic!("metrics must be an object") };
+        fields.retain(|(k, _)| k != "parallel");
+        serde_json::to_string(&serde::Value::Object(fields)).unwrap()
+    }
+
     #[test]
     fn batched_profile_is_jobs_invariant() {
         let wf = Workflow::u280_vs_v100();
@@ -241,7 +312,7 @@ mod tests {
             assert!(pr.behavioral);
             (
                 sf_telemetry::chrome::to_chrome_json(&pr.recorder),
-                sf_telemetry::metrics::to_metrics_json(&pr.recorder),
+                strip_parallel(&sf_telemetry::metrics::to_metrics_json(&pr.recorder)),
                 pr.report.total_cycles,
             )
         };
@@ -253,6 +324,35 @@ mod tests {
         let pr = wf.profile_jobs(&spec, &wl, 50, 2).unwrap();
         assert!(pr.recorder.track_names().iter().any(|t| t.starts_with("mesh0/window/")));
         assert!(pr.recorder.track_names().iter().any(|t| t.starts_with("mesh5/window/")));
+        // ...while the provenance block records the actual worker count
+        assert_eq!(pr.recorder.jobs(), Some(2));
+    }
+
+    #[test]
+    fn profile_packages_a_run_record() {
+        let wf = Workflow::u280_vs_v100();
+        let spec = StencilSpec::poisson();
+        let wl = Workload::D2 { nx: 200, ny: 100, batch: 1 };
+        let pr = wf.profile_jobs(&spec, &wl, 100, 2).unwrap();
+        let rec = pr.to_run_record();
+        assert_eq!(rec.schema, sf_report::RECORD_SCHEMA);
+        assert_eq!(rec.app, "poisson2d");
+        assert_eq!(rec.dims, vec![200, 100]);
+        assert_eq!(rec.niter, 100);
+        assert_eq!(rec.jobs, 2);
+        assert_eq!(rec.v, pr.design.v as u64);
+        assert_eq!(rec.predicted_cycles, pr.prediction.cycles);
+        assert_eq!(rec.measured_cycles, pr.report.total_cycles);
+        assert!(rec.has_measurement());
+        assert_eq!(rec.check_errors, 0);
+        // divergence is finite on a behavioral run
+        assert!(rec.divergence_pct.is_some());
+        // the record's stall attribution is the recorder's
+        assert_eq!(rec.stalls, pr.recorder.stall_breakdown());
+        // and it round-trips through the store format
+        let line = serde_json::to_string(&rec).unwrap();
+        let back: sf_report::RunRecord = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, rec);
     }
 
     #[test]

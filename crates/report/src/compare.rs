@@ -1,0 +1,207 @@
+//! Baseline comparison: the regression gate behind
+//! `sfstencil report --compare baseline.json --max-regress 5%`.
+//!
+//! Both sides are [`Report`] documents. Configurations are matched by
+//! config key; a configuration **regresses** when its current median
+//! cycles exceed the baseline median by more than the tolerance. A
+//! configuration that *disappears* from the current report also fails the
+//! gate — silent coverage loss is how regressions hide.
+
+use crate::report::Report;
+use serde::{Deserialize, Serialize};
+
+/// One matched configuration's baseline-vs-current cycle delta.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Delta {
+    /// The config key matched on.
+    pub key: String,
+    /// Baseline median cycles.
+    pub baseline_p50: u64,
+    /// Current median cycles.
+    pub current_p50: u64,
+    /// Signed percentage change (positive = slower). Finite: only
+    /// configurations with a non-zero baseline median are compared.
+    pub delta_pct: f64,
+    /// Whether the change exceeds the tolerance.
+    pub regressed: bool,
+}
+
+/// Result of comparing a current report against a baseline.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Comparison {
+    /// Tolerance in percent that was applied.
+    pub max_regress_pct: f64,
+    /// Matched, measured configurations in baseline key order.
+    pub deltas: Vec<Delta>,
+    /// Measured baseline configurations absent from the current report
+    /// (coverage loss — fails the gate).
+    pub missing_in_current: Vec<String>,
+    /// Current configurations the baseline has no record of (informational
+    /// only; they start gating once the baseline is refreshed).
+    pub new_in_current: Vec<String>,
+}
+
+impl Comparison {
+    /// Configurations that exceeded the tolerance.
+    pub fn regressions(&self) -> impl Iterator<Item = &Delta> {
+        self.deltas.iter().filter(|d| d.regressed)
+    }
+
+    /// Gate verdict: no regressions and no coverage loss.
+    pub fn passed(&self) -> bool {
+        self.missing_in_current.is_empty() && self.deltas.iter().all(|d| !d.regressed)
+    }
+
+    /// Human-readable verdict table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "regression gate: tolerance {:.2}% on median cycles\n",
+            self.max_regress_pct
+        ));
+        for d in &self.deltas {
+            out.push_str(&format!(
+                "  [{}] {} {} -> {} ({:+.2}%)\n",
+                if d.regressed { "FAIL" } else { " ok " },
+                d.key,
+                d.baseline_p50,
+                d.current_p50,
+                d.delta_pct
+            ));
+        }
+        for key in &self.missing_in_current {
+            out.push_str(&format!("  [FAIL] {key} missing from current report\n"));
+        }
+        for key in &self.new_in_current {
+            out.push_str(&format!("  [new ] {key} (not in baseline)\n"));
+        }
+        let n_regress =
+            self.deltas.iter().filter(|d| d.regressed).count() + self.missing_in_current.len();
+        if self.passed() {
+            out.push_str(&format!(
+                "PASS: {} configuration(s) within tolerance\n",
+                self.deltas.len()
+            ));
+        } else {
+            out.push_str(&format!("FAIL: {n_regress} gate violation(s)\n"));
+        }
+        out
+    }
+}
+
+/// Compare `current` against `baseline` with a tolerance of
+/// `max_regress_pct` percent on median cycles.
+///
+/// Only baseline configurations with a measurement (`measured_p50 > 0`)
+/// participate — fault-campaign and model-only groups carry no cycle
+/// distribution to gate on.
+pub fn compare(current: &Report, baseline: &Report, max_regress_pct: f64) -> Comparison {
+    let tol = if max_regress_pct.is_finite() { max_regress_pct.max(0.0) } else { 0.0 };
+    let mut deltas = Vec::new();
+    let mut missing = Vec::new();
+    for base in baseline.configs.iter().filter(|c| c.measured_p50 > 0) {
+        match current.config(&base.key) {
+            Some(cur) if cur.measured_p50 > 0 => {
+                let b = base.measured_p50;
+                let c = cur.measured_p50;
+                let delta_pct = (c as f64 - b as f64) / b as f64 * 100.0;
+                deltas.push(Delta {
+                    key: base.key.clone(),
+                    baseline_p50: b,
+                    current_p50: c,
+                    delta_pct,
+                    regressed: delta_pct > tol,
+                });
+            }
+            _ => missing.push(base.key.clone()),
+        }
+    }
+    let new_in_current = current
+        .configs
+        .iter()
+        .filter(|c| c.measured_p50 > 0 && baseline.config(&c.key).is_none())
+        .map(|c| c.key.clone())
+        .collect();
+    Comparison { max_regress_pct: tol, deltas, missing_in_current: missing, new_in_current }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{RunKind, RunRecord};
+    use crate::report::Report;
+
+    fn report_with(cycles: u64) -> Report {
+        let mut r = RunRecord::empty(RunKind::Profile, "poisson2d");
+        r.dims = vec![200, 100];
+        r.niter = 100;
+        r.v = 8;
+        r.p = 16;
+        r.mode = "Baseline".into();
+        r.mem = "hbm".into();
+        r.measured_cycles = cycles;
+        Report::build(&[r])
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let rep = report_with(1_000_000);
+        let cmp = compare(&rep, &rep, 5.0);
+        assert!(cmp.passed());
+        assert_eq!(cmp.deltas.len(), 1);
+        assert_eq!(cmp.deltas[0].delta_pct, 0.0);
+        assert!(cmp.render().contains("PASS"));
+    }
+
+    #[test]
+    fn regression_beyond_tolerance_fails() {
+        let base = report_with(1_000_000);
+        // +10% raw; the sketch's ~1.6% relative error cannot absorb it
+        let cur = report_with(1_100_000);
+        let cmp = compare(&cur, &base, 5.0);
+        assert!(!cmp.passed());
+        assert_eq!(cmp.regressions().count(), 1);
+        assert!(cmp.render().contains("FAIL"));
+    }
+
+    #[test]
+    fn improvement_and_small_noise_pass() {
+        let base = report_with(1_000_000);
+        let faster = report_with(900_000);
+        assert!(compare(&faster, &base, 5.0).passed());
+        let noisy = report_with(1_020_000); // +2% < 5% tolerance
+        assert!(compare(&noisy, &base, 5.0).passed());
+    }
+
+    #[test]
+    fn missing_configuration_fails_the_gate() {
+        let base = report_with(1_000_000);
+        let empty = Report::build(&[]);
+        let cmp = compare(&empty, &base, 5.0);
+        assert!(!cmp.passed());
+        assert_eq!(cmp.missing_in_current.len(), 1);
+        assert!(cmp.render().contains("missing from current report"));
+    }
+
+    #[test]
+    fn new_configurations_are_informational() {
+        let base = Report::build(&[]);
+        let cur = report_with(1_000_000);
+        let cmp = compare(&cur, &base, 5.0);
+        assert!(cmp.passed());
+        assert_eq!(cmp.new_in_current.len(), 1);
+    }
+
+    #[test]
+    fn non_finite_tolerance_degrades_to_zero() {
+        let base = report_with(1_000_000);
+        let cur = report_with(1_000_001);
+        let cmp = compare(&cur, &base, f64::NAN);
+        assert_eq!(cmp.max_regress_pct, 0.0);
+        // the sketch may quantize both to the same bucket; tolerance 0
+        // means any positive delta regresses
+        for d in &cmp.deltas {
+            assert_eq!(d.regressed, d.delta_pct > 0.0);
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Deterministic Markdown and HTML emitters for a [`Report`].
+//!
+//! The emitters are pure functions of the report document: no
+//! timestamps, no wall times, no environment reads. The same store
+//! always renders to the same bytes, which is what makes the rendered
+//! report diffable in review and archivable as a CI artifact.
+
+use crate::report::{ConfigStats, Report};
+
+/// Format an optional percentage for human output.
+fn fmt_pct(p: Option<f64>) -> String {
+    match p {
+        Some(p) => format!("{p:+.2}%"),
+        None => "n/a".to_string(),
+    }
+}
+
+/// One-line roofline summary for a config row.
+fn roofline_cell(c: &ConfigStats) -> String {
+    match &c.roofline {
+        None => "—".to_string(),
+        Some(rl) => {
+            let a = &rl.attribution;
+            format!(
+                "ideal {} / gap {} ({}) bound={} [C {:.1}% / M {:.1}% / B {:.1}%]",
+                rl.ideal_cycles,
+                rl.gap_cycles,
+                fmt_pct(rl.gap_pct),
+                rl.bound,
+                a.compute_pct,
+                a.memory_pct,
+                a.backpressure_pct
+            )
+        }
+    }
+}
+
+/// Render fault counters as `name=count` pairs (sorted by name — the
+/// map is a `BTreeMap`).
+fn faults_cell(c: &ConfigStats) -> String {
+    if c.fault_counters.is_empty() {
+        return "—".to_string();
+    }
+    c.fault_counters.iter().map(|(k, v)| format!("{k}={v}")).collect::<Vec<_>>().join(" ")
+}
+
+/// Render a report as GitHub-flavoured Markdown.
+pub fn to_markdown(rep: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("# sfstencil cross-run report\n\n");
+    out.push_str(&format!("- schema: `{}`\n", rep.schema));
+    if let Some(sha) = &rep.git_sha {
+        out.push_str(&format!("- git: `{sha}`\n"));
+    }
+    out.push_str(&format!("- runs aggregated: {}\n\n", rep.total_runs));
+
+    out.push_str(
+        "| config | runs | predicted | p50 | p90 | p99 | div (median) | roofline | faults | check |\n",
+    );
+    out.push_str("|---|---:|---:|---:|---:|---:|---:|---|---|---|\n");
+    for c in &rep.configs {
+        out.push_str(&format!(
+            "| `{}` | {} | {} | {} | {} | {} | {} | {} | {} | {}E/{}W |\n",
+            c.key,
+            c.runs,
+            c.predicted_cycles,
+            c.measured_p50,
+            c.measured_p90,
+            c.measured_p99,
+            fmt_pct(c.divergence_median_pct),
+            roofline_cell(c),
+            faults_cell(c),
+            c.check_errors,
+            c.check_warnings
+        ));
+    }
+
+    let ceilinged: Vec<&ConfigStats> =
+        rep.configs.iter().filter(|c| c.roofline.is_some()).collect();
+    if !ceilinged.is_empty() {
+        out.push_str("\n## Ceilings\n\n");
+        out.push_str("| config | V | V_max (eq. 4) | p_dsp (eq. 6) | p_max tile (eq. 12) |\n");
+        out.push_str("|---|---:|---:|---:|---:|\n");
+        for c in ceilinged {
+            let Some(rl) = &c.roofline else { continue };
+            let v = c.key.split('/').find(|s| s.starts_with('V')).unwrap_or("V?");
+            let tile = match rl.ceilings.p_max_tile {
+                Some(t) => format!("{t:.1}"),
+                None => "—".to_string(),
+            };
+            out.push_str(&format!(
+                "| `{}` | {} | {}{} | {}{} | {} |\n",
+                c.key,
+                v,
+                rl.ceilings.v_max_bandwidth,
+                if rl.ceilings.at_bandwidth_ceiling { " (at ceiling)" } else { "" },
+                rl.ceilings.p_dsp,
+                if rl.ceilings.at_dsp_ceiling { " (at ceiling)" } else { "" },
+                tile
+            ));
+        }
+    }
+    out
+}
+
+/// Minimal HTML escaping for text nodes.
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Render a report as a standalone HTML page.
+pub fn to_html(rep: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">");
+    out.push_str("<title>sfstencil cross-run report</title>");
+    out.push_str(
+        "<style>body{font-family:monospace}table{border-collapse:collapse}\
+         td,th{border:1px solid #999;padding:2px 6px;text-align:right}\
+         td:first-child,th:first-child{text-align:left}</style>",
+    );
+    out.push_str("</head><body>\n<h1>sfstencil cross-run report</h1>\n<ul>");
+    out.push_str(&format!("<li>schema: {}</li>", esc(&rep.schema)));
+    if let Some(sha) = &rep.git_sha {
+        out.push_str(&format!("<li>git: {}</li>", esc(sha)));
+    }
+    out.push_str(&format!("<li>runs aggregated: {}</li></ul>\n", rep.total_runs));
+    out.push_str("<table>\n<tr><th>config</th><th>runs</th><th>predicted</th><th>p50</th>");
+    out.push_str("<th>p90</th><th>p99</th><th>div (median)</th><th>roofline</th>");
+    out.push_str("<th>faults</th><th>check</th></tr>\n");
+    for c in &rep.configs {
+        out.push_str(&format!(
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
+             <td>{}</td><td>{}</td><td>{}</td><td>{}E/{}W</td></tr>\n",
+            esc(&c.key),
+            c.runs,
+            c.predicted_cycles,
+            c.measured_p50,
+            c.measured_p90,
+            c.measured_p99,
+            esc(&fmt_pct(c.divergence_median_pct)),
+            esc(&roofline_cell(c)),
+            esc(&faults_cell(c)),
+            c.check_errors,
+            c.check_warnings
+        ));
+    }
+    out.push_str("</table>\n</body></html>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{RunKind, RunRecord};
+    use crate::report::Report;
+
+    fn sample_report() -> Report {
+        let mut r = RunRecord::empty(RunKind::Profile, "poisson2d");
+        r.dims = vec![200, 100];
+        r.niter = 100;
+        r.v = 8;
+        r.p = 16;
+        r.mode = "Baseline".into();
+        r.mem = "hbm".into();
+        r.measured_cycles = 1_000_000;
+        r.predicted_cycles = 980_000;
+        r.stalls.memory_cycles = 100;
+        r.divergence_pct = Some(2.04);
+        let mut f = RunRecord::empty(RunKind::Faults, "rtm3d");
+        f.fault_counters.insert("injected".into(), 12);
+        f.fault_counters.insert("silent_wrong".into(), 0);
+        Report::build(&[r, f])
+    }
+
+    #[test]
+    fn markdown_has_roofline_and_ceiling_tables() {
+        let md = to_markdown(&sample_report());
+        assert!(md.contains("# sfstencil cross-run report"));
+        assert!(md.contains("bound=Memory"));
+        assert!(md.contains("eq. 4"));
+        assert!(md.contains("injected=12"));
+        assert!(md.contains("+2.04%"));
+    }
+
+    #[test]
+    fn html_is_escaped_and_complete() {
+        let html = to_html(&sample_report());
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.ends_with("</html>\n"));
+        assert!(html.contains("poisson2d"));
+        // config keys contain no raw angle brackets, but the escaper must
+        // be load-bearing anyway
+        assert!(!html.contains("<script"));
+    }
+
+    #[test]
+    fn emitters_are_deterministic() {
+        let rep = sample_report();
+        assert_eq!(to_markdown(&rep), to_markdown(&rep));
+        assert_eq!(to_html(&rep), to_html(&rep));
+    }
+}

@@ -1,0 +1,65 @@
+//! Typed errors for the run store and report pipeline.
+
+/// Everything that can go wrong loading, building or comparing reports.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ReportError {
+    /// Filesystem failure, with the path involved.
+    Io {
+        /// Path being read or written.
+        path: String,
+        /// Rendered OS error.
+        msg: String,
+    },
+    /// A record failed to serialize (vendored-serde error surface).
+    Encode {
+        /// Rendered encoder error.
+        msg: String,
+    },
+    /// A store line failed to parse as JSON.
+    Parse {
+        /// 1-based line number in the store.
+        line: usize,
+        /// Rendered parser error.
+        msg: String,
+    },
+    /// A record declared a schema this build does not speak.
+    Schema {
+        /// 1-based line number in the store.
+        line: usize,
+        /// Schema tag found on the record.
+        found: String,
+        /// Schema tag this build expects.
+        expected: &'static str,
+    },
+    /// A baseline document is not a report of the expected schema.
+    Baseline {
+        /// What was wrong with it.
+        msg: String,
+    },
+}
+
+impl ReportError {
+    /// Wrap an I/O error with its path.
+    pub fn io(path: &std::path::Path, e: std::io::Error) -> Self {
+        ReportError::Io { path: path.display().to_string(), msg: e.to_string() }
+    }
+}
+
+impl core::fmt::Display for ReportError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ReportError::Io { path, msg } => write!(f, "{path}: {msg}"),
+            ReportError::Encode { msg } => write!(f, "cannot encode run record: {msg}"),
+            ReportError::Parse { line, msg } => {
+                write!(f, "run store line {line}: {msg}")
+            }
+            ReportError::Schema { line, found, expected } => write!(
+                f,
+                "run store line {line}: record schema `{found}` (this build reads `{expected}`)"
+            ),
+            ReportError::Baseline { msg } => write!(f, "baseline: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}

@@ -1,0 +1,43 @@
+//! # sf-report — cross-run performance observability
+//!
+//! Every `sfstencil` invocation (profile, dse, faults, bench) can append
+//! a durable, schema-versioned [`RunRecord`] to a JSONL run store. This
+//! crate defines that record and its three consumers:
+//!
+//! 1. **Roofline analyzer** ([`roofline`]) — places each measured run
+//!    against the paper's analytic ceilings (bandwidth eq. 4, DSP eq. 6,
+//!    tile throughput eq. 12) and attributes the measured-vs-ideal gap to
+//!    stall classes.
+//! 2. **Regression gate** ([`compare`]) — `sfstencil report --compare
+//!    baseline.json --max-regress 5%` exits non-zero when any
+//!    configuration's median cycles regress beyond tolerance (or a
+//!    baseline configuration silently disappears).
+//! 3. **Report emitters** ([`emit`]) — byte-reproducible Markdown and
+//!    HTML renderings of the aggregated report for the three paper apps.
+//!
+//! Aggregation ([`Report::build`]) groups records by [`config_key`] and
+//! summarises cycle distributions with HDR-style [`QuantileSketch`]es
+//! from `sf-telemetry`, so the gate compares medians, not single noisy
+//! samples.
+//!
+//! [`config_key`]: RunRecord::config_key
+//! [`QuantileSketch`]: sf_telemetry::QuantileSketch
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod emit;
+pub mod error;
+pub mod record;
+pub mod report;
+pub mod roofline;
+pub mod store;
+
+pub use compare::{compare, Comparison, Delta};
+pub use emit::{to_html, to_markdown};
+pub use error::ReportError;
+pub use record::{app_slug, detect_git_sha, spec_for_slug, RunKind, RunRecord, RECORD_SCHEMA};
+pub use report::{ConfigStats, Report, REPORT_SCHEMA};
+pub use roofline::{analyze, Ceilings, GapAttribution, Roofline};
+pub use store::{append_record, load_records, parse_records};

@@ -1,0 +1,309 @@
+//! The durable, schema-versioned **RunRecord**: one line of JSONL per
+//! profile/dse/faults/bench invocation, capturing everything the cross-run
+//! consumers (roofline analyzer, regression gate, trajectory report) need
+//! without re-running anything.
+
+use serde::{Deserialize, Serialize};
+use sf_kernels::{AppId, StencilSpec};
+use sf_telemetry::StallBreakdown;
+use std::collections::BTreeMap;
+
+/// Schema tag stamped into every record. Bump on any breaking field
+/// change; loaders reject records from other schemas instead of silently
+/// misreading them.
+pub const RECORD_SCHEMA: &str = "sf-run-record/v1";
+
+/// Which workflow invocation produced a record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RunKind {
+    /// `sfstencil profile` — simulated execution with telemetry; carries
+    /// both predicted and measured cycles.
+    Profile,
+    /// `sfstencil dse` — model-only exploration; the best candidate's
+    /// prediction is recorded as both predicted and measured cycles so
+    /// dse-vs-dse comparisons gate the *model's* trajectory.
+    Dse,
+    /// `sfstencil faults` — fault-injection campaign; cycle fields are
+    /// zero, the payload is the fault counters.
+    Faults,
+    /// Benchmark harness runs.
+    Bench,
+}
+
+impl RunKind {
+    /// Lowercase stable label used in config keys.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RunKind::Profile => "profile",
+            RunKind::Dse => "dse",
+            RunKind::Faults => "faults",
+            RunKind::Bench => "bench",
+        }
+    }
+}
+
+/// One run of the workflow, as appended to a run store (JSONL).
+///
+/// Every floating-point field is finite by construction — non-finite
+/// values (e.g. an infinite divergence when the prediction was zero) are
+/// stored as `None` so records always round-trip through JSON.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Always [`RECORD_SCHEMA`]; checked on load.
+    pub schema: String,
+    /// What produced this record.
+    pub kind: RunKind,
+    /// Git commit of the producing tree, when detectable (`SF_GIT_SHA`
+    /// env override, then `.git/HEAD`).
+    pub git_sha: Option<String>,
+    /// Canonical app slug: `poisson2d` | `jacobi3d` | `rtm3d` | `custom`.
+    pub app: String,
+    /// Mesh dimensions, fastest first: `[nx, ny]` or `[nx, ny, nz]`.
+    pub dims: Vec<u64>,
+    /// Batched meshes (1 = single problem).
+    pub batch: u64,
+    /// Iterations solved.
+    pub niter: u64,
+    /// Vectorization factor of the executed design.
+    pub v: u64,
+    /// Iterative unroll factor of the executed design.
+    pub p: u64,
+    /// Execution mode, rendered (`Baseline`, `Batched { b: 6 }`, …).
+    pub mode: String,
+    /// Tile width `M` for tiled modes.
+    pub tile_m: Option<u64>,
+    /// Tile depth `N` for 2D-tiled 3D modes.
+    pub tile_n: Option<u64>,
+    /// External memory binding: `hbm` | `ddr4`.
+    pub mem: String,
+    /// Achieved kernel clock, MHz.
+    pub freq_mhz: f64,
+    /// Resolved worker count the run was configured with (`--jobs`).
+    pub jobs: u64,
+    /// Telemetry shard recorders merged during the run.
+    pub shards_merged: u64,
+    /// Analytic-model cycles (Extended level).
+    pub predicted_cycles: u64,
+    /// Simulated cycles (0 for model-only or campaign records).
+    pub measured_cycles: u64,
+    /// Simulated wall-clock runtime, seconds.
+    pub runtime_s: f64,
+    /// Stall-class attribution from `sf-telemetry`.
+    pub stalls: StallBreakdown,
+    /// Campaign/fault counters (`injected`, `silent_wrong`, …); empty for
+    /// non-fault runs.
+    pub fault_counters: BTreeMap<String, u64>,
+    /// Error-severity design-rule diagnostics from the pre-flight check.
+    pub check_errors: u64,
+    /// Warning-severity design-rule diagnostics from the pre-flight check.
+    pub check_warnings: u64,
+    /// Signed predicted-vs-measured divergence percentage; `None` when
+    /// not finite or not applicable.
+    pub divergence_pct: Option<f64>,
+    /// Host wall time of the invocation, milliseconds. Deliberately
+    /// excluded from report output so reports stay byte-reproducible.
+    pub wall_ms: Option<f64>,
+}
+
+impl RunRecord {
+    /// A record with the schema stamped and every other field zeroed —
+    /// producers fill in what their invocation knows.
+    pub fn empty(kind: RunKind, app: &str) -> Self {
+        RunRecord {
+            schema: RECORD_SCHEMA.to_string(),
+            kind,
+            git_sha: detect_git_sha(),
+            app: app.to_string(),
+            dims: Vec::new(),
+            batch: 1,
+            niter: 0,
+            v: 0,
+            p: 0,
+            mode: String::new(),
+            tile_m: None,
+            tile_n: None,
+            mem: String::new(),
+            freq_mhz: 0.0,
+            jobs: 1,
+            shards_merged: 0,
+            predicted_cycles: 0,
+            measured_cycles: 0,
+            runtime_s: 0.0,
+            stalls: StallBreakdown::default(),
+            fault_counters: BTreeMap::new(),
+            check_errors: 0,
+            check_warnings: 0,
+            divergence_pct: None,
+            wall_ms: None,
+        }
+    }
+
+    /// The grouping key for cross-run aggregation: identical keys mean
+    /// "the same nominal benchmark" — same kind, app, mesh, iteration
+    /// count and design point. Worker count, git sha and wall time are
+    /// deliberately excluded (they vary run to run without changing what
+    /// was measured).
+    pub fn config_key(&self) -> String {
+        let dims = self.dims.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("x");
+        format!(
+            "{}/{}/{}/b{}/i{}/V{}/p{}/{}/{}",
+            self.kind.label(),
+            self.app,
+            dims,
+            self.batch,
+            self.niter,
+            self.v,
+            self.p,
+            self.mode.replace(' ', ""),
+            self.mem
+        )
+    }
+
+    /// Dimensionality implied by `dims` (0 when unset).
+    pub fn dims_rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Whether the record carries a simulated cycle count (vs model-only
+    /// or campaign records, which gate on other fields).
+    pub fn has_measurement(&self) -> bool {
+        self.measured_cycles > 0
+    }
+}
+
+/// Canonical slug for an application id (the names the fault campaign
+/// already uses on its CLI).
+pub fn app_slug(app: AppId) -> &'static str {
+    match app {
+        AppId::Poisson2D => "poisson2d",
+        AppId::Jacobi3D => "jacobi3d",
+        AppId::Rtm3D => "rtm3d",
+        AppId::Custom => "custom",
+    }
+}
+
+/// Resolve a slug back to the paper app's spec. `None` for custom or
+/// unknown slugs — those records are reported without a roofline.
+pub fn spec_for_slug(slug: &str) -> Option<StencilSpec> {
+    match slug {
+        "poisson2d" => Some(StencilSpec::poisson()),
+        "jacobi3d" => Some(StencilSpec::jacobi()),
+        "rtm3d" => Some(StencilSpec::rtm()),
+        _ => None,
+    }
+}
+
+/// Best-effort git commit detection: the `SF_GIT_SHA` environment
+/// variable wins (CI sets it from its own metadata), then `.git/HEAD`
+/// resolved through loose refs and `packed-refs`, walking up from the
+/// current directory. `None` when nothing is found — records stay usable
+/// outside a repository.
+pub fn detect_git_sha() -> Option<String> {
+    if let Ok(sha) = std::env::var("SF_GIT_SHA") {
+        let sha = sha.trim().to_string();
+        if !sha.is_empty() {
+            return Some(sha);
+        }
+    }
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let head = dir.join(".git").join("HEAD");
+        if let Ok(txt) = std::fs::read_to_string(&head) {
+            let txt = txt.trim();
+            let Some(refname) = txt.strip_prefix("ref: ") else {
+                // detached HEAD: the file holds the sha itself
+                return (!txt.is_empty()).then(|| txt.to_string());
+            };
+            let loose = dir.join(".git").join(refname);
+            if let Ok(sha) = std::fs::read_to_string(&loose) {
+                return Some(sha.trim().to_string());
+            }
+            let packed = dir.join(".git").join("packed-refs");
+            if let Ok(body) = std::fs::read_to_string(&packed) {
+                for line in body.lines() {
+                    if let Some((sha, name)) = line.split_once(' ') {
+                        if name.trim() == refname {
+                            return Some(sha.trim().to_string());
+                        }
+                    }
+                }
+            }
+            return None;
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_record_is_schema_stamped() {
+        let r = RunRecord::empty(RunKind::Profile, "poisson2d");
+        assert_eq!(r.schema, RECORD_SCHEMA);
+        assert_eq!(r.app, "poisson2d");
+        assert!(!r.has_measurement());
+    }
+
+    #[test]
+    fn config_key_is_stable_and_spaceless() {
+        let mut r = RunRecord::empty(RunKind::Profile, "poisson2d");
+        r.dims = vec![200, 100];
+        r.niter = 100;
+        r.v = 8;
+        r.p = 60;
+        r.mode = "Batched { b: 6 }".into();
+        r.batch = 6;
+        r.mem = "hbm".into();
+        assert_eq!(r.config_key(), "profile/poisson2d/200x100/b6/i100/V8/p60/Batched{b:6}/hbm");
+        assert!(!r.config_key().contains(' '));
+    }
+
+    #[test]
+    fn config_key_ignores_run_varying_fields() {
+        let mut a = RunRecord::empty(RunKind::Profile, "jacobi3d");
+        a.dims = vec![32, 32, 16];
+        let mut b = a.clone();
+        b.jobs = 8;
+        b.git_sha = Some("deadbeef".into());
+        b.wall_ms = Some(12.5);
+        assert_eq!(a.config_key(), b.config_key());
+    }
+
+    #[test]
+    fn slugs_roundtrip_for_paper_apps() {
+        for app in AppId::ALL {
+            let slug = app_slug(app);
+            let spec = spec_for_slug(slug).expect("paper app must resolve");
+            assert_eq!(spec.app, app);
+        }
+        assert!(spec_for_slug("custom").is_none());
+        assert!(spec_for_slug("fft").is_none());
+    }
+
+    #[test]
+    fn record_roundtrips_through_json() {
+        let mut r = RunRecord::empty(RunKind::Faults, "rtm3d");
+        r.fault_counters.insert("injected".into(), 42);
+        r.divergence_pct = Some(-3.25);
+        r.wall_ms = Some(17.0);
+        let json = serde_json::to_string(&r).unwrap_or_default();
+        let back: RunRecord = serde_json::from_str(&json).expect("roundtrip");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn git_sha_env_override_wins() {
+        // process-wide env var: run the assertion in-line, then restore
+        let prev = std::env::var("SF_GIT_SHA").ok();
+        std::env::set_var("SF_GIT_SHA", "cafebabe");
+        assert_eq!(detect_git_sha().as_deref(), Some("cafebabe"));
+        match prev {
+            Some(v) => std::env::set_var("SF_GIT_SHA", v),
+            None => std::env::remove_var("SF_GIT_SHA"),
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Cross-run report: group a run store by configuration, aggregate cycle
+//! distributions with [`QuantileSketch`]es, and attach a roofline
+//! position to every measured paper-app configuration.
+//!
+//! Reports are **byte-reproducible**: records carry host wall times, but
+//! the report deliberately never reads them, group order is the sorted
+//! config key, and every float that reaches the output is finite.
+
+use crate::error::ReportError;
+use crate::record::{RunKind, RunRecord};
+use crate::roofline::{analyze, Roofline};
+use serde::{Deserialize, Serialize};
+use sf_fpga::FpgaDevice;
+use sf_telemetry::{QuantileSketch, StallBreakdown};
+use std::collections::BTreeMap;
+
+/// Schema tag stamped into every report document (and checked when a
+/// report is re-read as a comparison baseline).
+pub const REPORT_SCHEMA: &str = "sf-report/v1";
+
+/// Aggregated statistics for one configuration (one [`config_key`]).
+///
+/// [`config_key`]: RunRecord::config_key
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ConfigStats {
+    /// The grouping key (kind/app/mesh/design).
+    pub key: String,
+    /// Invocation kind shared by every run in the group.
+    pub kind: RunKind,
+    /// App slug shared by every run in the group.
+    pub app: String,
+    /// Number of runs aggregated.
+    pub runs: u64,
+    /// Analytic-model cycles from the most recent run.
+    pub predicted_cycles: u64,
+    /// Median simulated cycles across runs (0 when unmeasured).
+    pub measured_p50: u64,
+    /// 90th-percentile simulated cycles.
+    pub measured_p90: u64,
+    /// 99th-percentile simulated cycles.
+    pub measured_p99: u64,
+    /// Fastest observed run.
+    pub measured_min: u64,
+    /// Slowest observed run.
+    pub measured_max: u64,
+    /// Median of the finite predicted-vs-measured divergences, percent.
+    pub divergence_median_pct: Option<f64>,
+    /// Fault counters summed across campaign runs; empty otherwise.
+    pub fault_counters: BTreeMap<String, u64>,
+    /// Design-rule errors summed across runs.
+    pub check_errors: u64,
+    /// Design-rule warnings summed across runs.
+    pub check_warnings: u64,
+    /// Roofline position (paper apps with measurements only), computed
+    /// from the group's median cycles and summed stall attribution.
+    pub roofline: Option<Roofline>,
+}
+
+/// The cross-run report document.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Always [`REPORT_SCHEMA`]; checked when loaded as a baseline.
+    pub schema: String,
+    /// Git commit from the most recent record carrying one.
+    pub git_sha: Option<String>,
+    /// Total records aggregated.
+    pub total_runs: u64,
+    /// Per-configuration statistics, sorted by key.
+    pub configs: Vec<ConfigStats>,
+}
+
+/// Median of a slice of finite floats; `None` when empty. Even-length
+/// inputs average the two middle elements.
+fn median(vals: &mut [f64]) -> Option<f64> {
+    if vals.is_empty() {
+        return None;
+    }
+    vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal));
+    let n = vals.len();
+    if n % 2 == 1 {
+        Some(vals[n / 2])
+    } else {
+        Some((vals[n / 2 - 1] + vals[n / 2]) / 2.0)
+    }
+}
+
+impl Report {
+    /// Aggregate a run store into a report, grouping by config key.
+    ///
+    /// The roofline of each group is evaluated against the paper's
+    /// reference device (Alveo U280) at the group's median cycle count.
+    pub fn build(records: &[RunRecord]) -> Report {
+        let dev = FpgaDevice::u280();
+        let mut groups: BTreeMap<String, Vec<&RunRecord>> = BTreeMap::new();
+        let mut git_sha = None;
+        for rec in records {
+            if rec.git_sha.is_some() {
+                git_sha = rec.git_sha.clone();
+            }
+            groups.entry(rec.config_key()).or_default().push(rec);
+        }
+
+        let mut configs = Vec::with_capacity(groups.len());
+        for (key, group) in groups {
+            let mut sketch = QuantileSketch::new();
+            let mut stalls = StallBreakdown::default();
+            let mut divergences = Vec::new();
+            let mut fault_counters: BTreeMap<String, u64> = BTreeMap::new();
+            let mut check_errors = 0u64;
+            let mut check_warnings = 0u64;
+            for rec in &group {
+                if rec.has_measurement() {
+                    sketch.record(rec.measured_cycles);
+                }
+                stalls.compute_cycles += rec.stalls.compute_cycles;
+                stalls.memory_cycles += rec.stalls.memory_cycles;
+                stalls.backpressure_cycles += rec.stalls.backpressure_cycles;
+                if let Some(d) = rec.divergence_pct.filter(|d| d.is_finite()) {
+                    divergences.push(d);
+                }
+                for (name, n) in &rec.fault_counters {
+                    *fault_counters.entry(name.clone()).or_insert(0) += n;
+                }
+                check_errors += rec.check_errors;
+                check_warnings += rec.check_warnings;
+            }
+            // groups are non-empty by construction
+            let Some(last) = group.last() else { continue };
+            let p50 = sketch.p50();
+            let roofline = analyze(&dev, last, p50, &stalls);
+            configs.push(ConfigStats {
+                key,
+                kind: last.kind,
+                app: last.app.clone(),
+                runs: group.len() as u64,
+                predicted_cycles: last.predicted_cycles,
+                measured_p50: p50,
+                measured_p90: sketch.p90(),
+                measured_p99: sketch.p99(),
+                measured_min: sketch.min(),
+                measured_max: sketch.max(),
+                divergence_median_pct: median(&mut divergences),
+                fault_counters,
+                check_errors,
+                check_warnings,
+                roofline,
+            });
+        }
+
+        Report {
+            schema: REPORT_SCHEMA.to_string(),
+            git_sha,
+            total_runs: records.len() as u64,
+            configs,
+        }
+    }
+
+    /// Find a configuration by key.
+    pub fn config(&self, key: &str) -> Option<&ConfigStats> {
+        self.configs.iter().find(|c| c.key == key)
+    }
+
+    /// Serialize the report as pretty JSON (the `--json` output and the
+    /// baseline file format).
+    pub fn to_json_string(&self) -> Result<String, ReportError> {
+        serde_json::to_string_pretty(self).map_err(|e| ReportError::Encode { msg: e.to_string() })
+    }
+
+    /// Parse a report document (e.g. a committed baseline), rejecting
+    /// foreign schemas.
+    pub fn from_json_str(body: &str) -> Result<Report, ReportError> {
+        let rep: Report =
+            serde_json::from_str(body).map_err(|e| ReportError::Baseline { msg: e.to_string() })?;
+        if rep.schema != REPORT_SCHEMA {
+            return Err(ReportError::Baseline {
+                msg: format!("schema `{}` (this build reads `{REPORT_SCHEMA}`)", rep.schema),
+            });
+        }
+        Ok(rep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RunKind;
+
+    fn measured(app: &str, cycles: u64) -> RunRecord {
+        let mut r = RunRecord::empty(RunKind::Profile, app);
+        r.dims = vec![200, 100];
+        r.niter = 100;
+        r.v = 8;
+        r.p = 16;
+        r.mode = "Baseline".into();
+        r.mem = "hbm".into();
+        r.freq_mhz = 300.0;
+        r.predicted_cycles = cycles - cycles / 50;
+        r.measured_cycles = cycles;
+        r.stalls.memory_cycles = 64;
+        r.divergence_pct = Some(2.0);
+        r
+    }
+
+    #[test]
+    fn groups_aggregate_and_sort_by_key() {
+        let mut recs = vec![measured("poisson2d", 1_000_000), measured("poisson2d", 1_010_000)];
+        let mut other = measured("poisson2d", 500_000);
+        other.niter = 50;
+        recs.push(other);
+        let rep = Report::build(&recs);
+        assert_eq!(rep.schema, REPORT_SCHEMA);
+        assert_eq!(rep.total_runs, 3);
+        assert_eq!(rep.configs.len(), 2);
+        let keys: Vec<_> = rep.configs.iter().map(|c| c.key.clone()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        let big = rep.configs.iter().find(|c| c.runs == 2).expect("2-run group");
+        assert!(big.measured_p50 >= 1_000_000 && big.measured_p50 <= 1_010_000 * 102 / 100);
+        assert_eq!(big.divergence_median_pct, Some(2.0));
+    }
+
+    #[test]
+    fn paper_app_groups_carry_a_roofline() {
+        let rep = Report::build(&[measured("poisson2d", 1_000_000)]);
+        let rl = rep.configs[0].roofline.as_ref().expect("roofline");
+        assert!(rl.ideal_cycles > 0);
+        assert_eq!(rl.bound, "Memory");
+    }
+
+    #[test]
+    fn fault_records_aggregate_counters_without_roofline() {
+        let mut r = RunRecord::empty(RunKind::Faults, "rtm3d");
+        r.fault_counters.insert("injected".into(), 10);
+        let mut s = r.clone();
+        s.fault_counters.insert("injected".into(), 7);
+        let rep = Report::build(&[r, s]);
+        assert_eq!(rep.configs.len(), 1);
+        assert_eq!(rep.configs[0].fault_counters.get("injected"), Some(&17));
+        assert!(rep.configs[0].roofline.is_none());
+    }
+
+    #[test]
+    fn report_roundtrips_and_rejects_foreign_schema() {
+        let rep = Report::build(&[measured("jacobi3d", 2_000)]);
+        let json = rep.to_json_string().expect("encode");
+        let back = Report::from_json_str(&json).expect("decode");
+        assert_eq!(back, rep);
+        let bad = json.replace(REPORT_SCHEMA, "sf-report/v999");
+        assert!(Report::from_json_str(&bad).is_err());
+    }
+
+    #[test]
+    fn report_is_byte_reproducible_for_identical_stores() {
+        let recs = vec![measured("poisson2d", 1_000_000), measured("jacobi3d", 9_999)];
+        let a = Report::build(&recs).to_json_string().expect("encode");
+        let b = Report::build(&recs).to_json_string().expect("encode");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wall_time_never_reaches_the_report() {
+        let mut fast = measured("poisson2d", 1_000_000);
+        fast.wall_ms = Some(1.0);
+        let mut slow = measured("poisson2d", 1_000_000);
+        slow.wall_ms = Some(9_999.0);
+        let a = Report::build(&[fast]).to_json_string().expect("encode");
+        let b = Report::build(&[slow]).to_json_string().expect("encode");
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,248 @@
+//! Roofline attribution: place a measured run against the paper's
+//! analytic ceilings and say where the gap went.
+//!
+//! Three ceilings bound any run of the streaming architecture:
+//!
+//! * **bandwidth** (eq. 4) — `V_max = ⌊BW / (2·f·k)⌋`; a design at
+//!   `V = V_max` cannot be fed faster by the external memory. Cycles the
+//!   telemetry attributes to [`StallClass::Memory`] are losses against
+//!   this ceiling.
+//! * **DSP** (eq. 6) — `p_dsp = ⌊util·DSP / (V·G_dsp)⌋`; a design at
+//!   `p = p_dsp` has no fabric left to unroll further. Cycles attributed
+//!   to [`StallClass::Compute`] are bounded by this ceiling (pipeline
+//!   depth and initiation interval live in the datapath).
+//! * **throughput for tiles** (eq. 12) — `p_max = M/(3·D)`; tiled designs
+//!   past it lose more to halo redundancy than the extra unroll returns.
+//!   [`StallClass::Backpressure`] losses (full FIFOs between stages) show
+//!   up as the residual this ceiling predicts.
+//!
+//! The *ideal cycle floor* is the paper's cycle model itself (eq. 2/3)
+//! evaluated at the run's own design point: the best the schedule could
+//! do with perfect memory and no inter-stage stalls. The measured-minus-
+//! ideal gap is then split across stall classes using the run's recorded
+//! attribution fractions.
+//!
+//! [`StallClass::Memory`]: sf_telemetry::StallClass::Memory
+//! [`StallClass::Compute`]: sf_telemetry::StallClass::Compute
+//! [`StallClass::Backpressure`]: sf_telemetry::StallClass::Backpressure
+
+use crate::record::{spec_for_slug, RunRecord};
+use serde::{Deserialize, Serialize};
+use sf_fpga::FpgaDevice;
+use sf_model::equations;
+use sf_telemetry::{StallBreakdown, StallClass};
+
+/// The analytic ceilings for one design point (see module docs).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Ceilings {
+    /// Eq. 4: maximum bandwidth-sustainable vectorization at this clock.
+    pub v_max_bandwidth: u64,
+    /// Eq. 6: maximum DSP-sustainable unroll at this V.
+    pub p_dsp: u64,
+    /// Eq. 12: throughput-optimal unroll for the run's tile (tiled modes
+    /// only).
+    pub p_max_tile: Option<f64>,
+    /// The run's V sits at (or beyond) the bandwidth ceiling.
+    pub at_bandwidth_ceiling: bool,
+    /// The run's p sits at (or beyond) the DSP ceiling.
+    pub at_dsp_ceiling: bool,
+}
+
+/// How the measured-vs-ideal gap splits across stall classes, in percent
+/// of the gap. All zero (with `attributed_cycles == 0`) when the run
+/// recorded no stall telemetry.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GapAttribution {
+    /// Share of the gap on the datapath (eq. 6 side), percent.
+    pub compute_pct: f64,
+    /// Share waiting on external memory (eq. 4 side), percent.
+    pub memory_pct: f64,
+    /// Share blocked on full inter-stage FIFOs (eq. 12 residual), percent.
+    pub backpressure_pct: f64,
+    /// Total stall cycles the split was derived from.
+    pub attributed_cycles: u64,
+}
+
+/// One run's position against the ceilings.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Roofline {
+    /// Eq. 2/3 cycle floor at the run's own (V, p).
+    pub ideal_cycles: u64,
+    /// What the simulation measured.
+    pub measured_cycles: u64,
+    /// `measured - ideal`, saturating at zero (a measurement below the
+    /// floor means the model's floor is conservative, not negative loss).
+    pub gap_cycles: u64,
+    /// Gap as a percentage of the ideal floor; `None` when the floor is
+    /// zero (degenerate run).
+    pub gap_pct: Option<f64>,
+    /// Stall class holding the most attributed cycles — the binding
+    /// resource, named for humans.
+    pub bound: String,
+    /// The analytic ceilings (eqs. 4, 6, 12).
+    pub ceilings: Ceilings,
+    /// Gap split across stall classes.
+    pub attribution: GapAttribution,
+}
+
+/// Percentage helper that can never produce NaN: zero denominators yield
+/// zero.
+fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        return 0.0;
+    }
+    part as f64 / whole as f64 * 100.0
+}
+
+/// Build the gap attribution from a recorded stall breakdown.
+fn attribute(stalls: &StallBreakdown) -> GapAttribution {
+    let total = stalls.total();
+    GapAttribution {
+        compute_pct: pct(stalls.cycles(StallClass::Compute), total),
+        memory_pct: pct(stalls.cycles(StallClass::Memory), total),
+        backpressure_pct: pct(stalls.cycles(StallClass::Backpressure), total),
+        attributed_cycles: total,
+    }
+}
+
+/// Compute the roofline position for one measured run (or an aggregate of
+/// runs sharing a config: pass the aggregated `measured` median and the
+/// summed stall breakdown).
+///
+/// Returns `None` when the record has no measurement, names an app with
+/// no analytic spec (custom stencils), or lacks mesh dimensions.
+pub fn analyze(
+    dev: &FpgaDevice,
+    rec: &RunRecord,
+    measured_cycles: u64,
+    stalls: &StallBreakdown,
+) -> Option<Roofline> {
+    if measured_cycles == 0 {
+        return None;
+    }
+    let spec = spec_for_slug(&rec.app)?;
+    let d_eff = (spec.order * spec.stages) as u64;
+    let (v, p) = (rec.v.max(1), rec.p.max(1));
+    let ideal_cycles = match rec.dims.as_slice() {
+        [nx, ny] => equations::clks_2d(rec.niter, p, *nx, rec.batch.max(1) * ny, v, d_eff),
+        [nx, ny, nz] => equations::clks_3d(rec.niter, p, *nx, *ny, rec.batch.max(1) * nz, v, d_eff),
+        _ => return None,
+    };
+
+    let mem = match rec.mem.as_str() {
+        "ddr4" => &dev.ddr4,
+        _ => &dev.hbm,
+    };
+    let freq_hz = if rec.freq_mhz > 0.0 { rec.freq_mhz * 1e6 } else { dev.default_clock_hz };
+    let v_max = equations::v_max(mem.channel_bw, mem.channels, freq_hz, spec.elem_bytes) as u64;
+    let p_dsp =
+        equations::p_dsp(dev.dsp_total, dev.dsp_util_target, v as usize, spec.gdsp()) as u64;
+    let p_max_tile = rec.tile_m.map(|m| equations::p_max_for_tile(m as f64, d_eff as f64));
+
+    let gap_cycles = measured_cycles.saturating_sub(ideal_cycles);
+    let gap_pct = (ideal_cycles > 0).then(|| gap_cycles as f64 / ideal_cycles as f64 * 100.0);
+
+    Some(Roofline {
+        ideal_cycles,
+        measured_cycles,
+        gap_cycles,
+        gap_pct,
+        bound: format!("{:?}", stalls.dominant()),
+        ceilings: Ceilings {
+            v_max_bandwidth: v_max,
+            p_dsp,
+            p_max_tile,
+            at_bandwidth_ceiling: rec.v >= v_max && v_max > 0,
+            at_dsp_ceiling: rec.p >= p_dsp && p_dsp > 0,
+        },
+        attribution: attribute(stalls),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{RunKind, RunRecord};
+
+    fn poisson_record() -> RunRecord {
+        let mut r = RunRecord::empty(RunKind::Profile, "poisson2d");
+        r.dims = vec![200, 100];
+        r.niter = 60_000;
+        r.v = 8;
+        r.p = 60;
+        r.mem = "hbm".into();
+        r.freq_mhz = 300.0;
+        r.measured_cycles = 4_100_000;
+        r
+    }
+
+    #[test]
+    fn ideal_floor_matches_eq2() {
+        let dev = FpgaDevice::u280();
+        let rec = poisson_record();
+        let stalls = StallBreakdown { compute_cycles: 90, memory_cycles: 10, ..Default::default() };
+        let rl = analyze(&dev, &rec, rec.measured_cycles, &stalls).expect("roofline");
+        // eq. 2 worked example: 60 000 iters, p=60, 200×100, V=8, D=2
+        assert_eq!(rl.ideal_cycles, 4_000_000);
+        assert_eq!(rl.gap_cycles, 100_000);
+        let gap = rl.gap_pct.expect("finite gap");
+        assert!((gap - 2.5).abs() < 1e-9, "{gap}");
+        assert_eq!(rl.bound, "Compute");
+        assert!((rl.attribution.compute_pct - 90.0).abs() < 1e-9);
+        assert!((rl.attribution.memory_pct - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ceilings_match_the_paper_table() {
+        let dev = FpgaDevice::u280();
+        let rec = poisson_record();
+        let rl =
+            analyze(&dev, &rec, rec.measured_cycles, &StallBreakdown::default()).expect("roofline");
+        // eq. 6 at V=8: ⌊0.9·8490/(8·14)⌋ = 68 — p=60 is under the ceiling
+        assert_eq!(rl.ceilings.p_dsp, 68);
+        assert!(!rl.ceilings.at_dsp_ceiling);
+        // full 32-channel HBM at 300 MHz feeds far more than V=8
+        assert!(rl.ceilings.v_max_bandwidth > 8);
+        assert!(!rl.ceilings.at_bandwidth_ceiling);
+        assert_eq!(rl.ceilings.p_max_tile, None);
+    }
+
+    #[test]
+    fn tiled_record_reports_eq12_ceiling() {
+        let dev = FpgaDevice::u280();
+        let mut rec = poisson_record();
+        rec.tile_m = Some(8192);
+        rec.mode = "Tiled1D { tile_m: 8192 }".into();
+        let rl =
+            analyze(&dev, &rec, rec.measured_cycles, &StallBreakdown::default()).expect("roofline");
+        let p_max = rl.ceilings.p_max_tile.expect("tiled ceiling");
+        assert!((p_max - 8192.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unmeasured_or_custom_records_have_no_roofline() {
+        let dev = FpgaDevice::u280();
+        let mut rec = poisson_record();
+        assert!(analyze(&dev, &rec, 0, &StallBreakdown::default()).is_none());
+        rec.app = "custom".into();
+        assert!(analyze(&dev, &rec, 100, &StallBreakdown::default()).is_none());
+        let mut no_dims = poisson_record();
+        no_dims.dims.clear();
+        assert!(analyze(&dev, &no_dims, 100, &StallBreakdown::default()).is_none());
+    }
+
+    #[test]
+    fn zero_stall_telemetry_is_nan_safe() {
+        let dev = FpgaDevice::u280();
+        let rec = poisson_record();
+        let rl =
+            analyze(&dev, &rec, rec.measured_cycles, &StallBreakdown::default()).expect("roofline");
+        assert_eq!(rl.attribution.attributed_cycles, 0);
+        for f in
+            [rl.attribution.compute_pct, rl.attribution.memory_pct, rl.attribution.backpressure_pct]
+        {
+            assert_eq!(f, 0.0);
+            assert!(!f.is_nan());
+        }
+    }
+}

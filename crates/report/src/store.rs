@@ -1,0 +1,113 @@
+//! The run store: append-only JSONL of [`RunRecord`]s.
+//!
+//! One record per line keeps appends atomic-enough for sequential CLI
+//! invocations, trivially diffable, and streamable with `jq`. Loads are
+//! schema-checked: a record from a different schema version is a hard
+//! error naming the line, never a silent misread.
+
+use crate::error::ReportError;
+use crate::record::{RunRecord, RECORD_SCHEMA};
+use std::io::Write;
+use std::path::Path;
+
+/// Append one record to the store at `path`, creating the file (and not
+/// truncating existing records) as needed.
+pub fn append_record(path: &Path, rec: &RunRecord) -> Result<(), ReportError> {
+    let line =
+        serde_json::to_string(rec).map_err(|e| ReportError::Encode { msg: e.to_string() })?;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| ReportError::io(path, e))?;
+    writeln!(f, "{line}").map_err(|e| ReportError::io(path, e))?;
+    Ok(())
+}
+
+/// Load every record from the store at `path`. Blank lines are skipped;
+/// malformed JSON or a schema mismatch fails with the 1-based line number.
+pub fn load_records(path: &Path) -> Result<Vec<RunRecord>, ReportError> {
+    let body = std::fs::read_to_string(path).map_err(|e| ReportError::io(path, e))?;
+    parse_records(&body)
+}
+
+/// Parse a JSONL document into records (the file-less core of
+/// [`load_records`], used directly by tests and in-memory pipelines).
+pub fn parse_records(body: &str) -> Result<Vec<RunRecord>, ReportError> {
+    let mut out = Vec::new();
+    for (i, line) in body.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let rec: RunRecord = serde_json::from_str(line)
+            .map_err(|e| ReportError::Parse { line: i + 1, msg: e.to_string() })?;
+        if rec.schema != RECORD_SCHEMA {
+            return Err(ReportError::Schema {
+                line: i + 1,
+                found: rec.schema,
+                expected: RECORD_SCHEMA,
+            });
+        }
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RunKind;
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("sf_report_store_{name}_{}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn append_then_load_roundtrips_in_order() {
+        let path = tmpfile("roundtrip");
+        std::fs::remove_file(&path).ok();
+        let mut a = RunRecord::empty(RunKind::Profile, "poisson2d");
+        a.measured_cycles = 100;
+        let mut b = RunRecord::empty(RunKind::Dse, "jacobi3d");
+        b.predicted_cycles = 7;
+        append_record(&path, &a).unwrap();
+        append_record(&path, &b).unwrap();
+        let got = load_records(&path).unwrap();
+        assert_eq!(got, vec![a, b]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let r = RunRecord::empty(RunKind::Profile, "rtm3d");
+        let line = serde_json::to_string(&r).unwrap();
+        let body = format!("\n{line}\n\n{line}\n");
+        assert_eq!(parse_records(&body).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn malformed_line_is_rejected_with_its_number() {
+        let r = RunRecord::empty(RunKind::Profile, "poisson2d");
+        let line = serde_json::to_string(&r).unwrap();
+        let body = format!("{line}\nnot json\n");
+        let err = parse_records(&body).unwrap_err();
+        assert!(format!("{err}").contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn foreign_schema_is_rejected_not_misread() {
+        let mut r = RunRecord::empty(RunKind::Profile, "poisson2d");
+        r.schema = "sf-run-record/v999".into();
+        let body = serde_json::to_string(&r).unwrap();
+        let err = parse_records(&body).unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("v999") && msg.contains(RECORD_SCHEMA), "{msg}");
+    }
+
+    #[test]
+    fn missing_store_is_an_io_error_naming_the_path() {
+        let err = load_records(std::path::Path::new("/nonexistent/runs.jsonl")).unwrap_err();
+        assert!(format!("{err}").contains("/nonexistent/runs.jsonl"));
+    }
+}

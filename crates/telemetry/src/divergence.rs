@@ -31,10 +31,34 @@ impl Divergence {
         self.pct().abs()
     }
 
+    /// [`Divergence::pct`] clamped to a JSON-representable value: the
+    /// infinite predicted-zero case becomes `None` instead of `±inf`, so
+    /// serialized run records always round-trip. Never NaN.
+    pub fn pct_finite(&self) -> Option<f64> {
+        let p = self.pct();
+        p.is_finite().then_some(p)
+    }
+
+    /// Signed simulated-minus-predicted cycle gap. Saturates at the `i64`
+    /// range for (unrealistic) counts beyond 2⁶³.
+    pub fn gap_cycles(&self) -> i64 {
+        if self.simulated_cycles >= self.predicted_cycles {
+            i64::try_from(self.simulated_cycles - self.predicted_cycles).unwrap_or(i64::MAX)
+        } else {
+            i64::try_from(self.predicted_cycles - self.simulated_cycles)
+                .map(|d| -d)
+                .unwrap_or(i64::MIN)
+        }
+    }
+
     /// True when the divergence is within `tol_pct` percent — the paper's
-    /// headline tolerance is 15.0.
+    /// headline tolerance is 15.0. A non-finite divergence (prediction was
+    /// zero but the simulation ran) or a non-finite tolerance is never
+    /// "within": NaN comparisons are false, and the infinite case is
+    /// rejected explicitly rather than left to float semantics.
     pub fn within(&self, tol_pct: f64) -> bool {
-        self.abs_pct() <= tol_pct
+        let p = self.abs_pct();
+        p.is_finite() && tol_pct.is_finite() && p <= tol_pct
     }
 
     /// One-line human summary, emitted after every simulated run.
@@ -80,6 +104,64 @@ mod tests {
         assert_eq!(Divergence::new(0, 0).pct(), 0.0);
         assert!(Divergence::new(0, 5).pct().is_infinite());
         assert!(!Divergence::new(0, 5).within(15.0));
+    }
+
+    #[test]
+    fn zero_cycle_run_is_exact_and_within_any_tolerance() {
+        let d = Divergence::new(0, 0);
+        assert_eq!(d.pct(), 0.0);
+        assert_eq!(d.pct_finite(), Some(0.0));
+        assert_eq!(d.gap_cycles(), 0);
+        assert!(d.within(0.0));
+        assert!(d.within(15.0));
+        // the summary renders without panicking
+        assert!(d.summary().contains("0 cycles"));
+    }
+
+    #[test]
+    fn predicted_zero_is_never_within_and_never_nan() {
+        let d = Divergence::new(0, 5);
+        assert!(d.pct().is_infinite());
+        assert!(!d.pct().is_nan());
+        assert_eq!(d.pct_finite(), None);
+        assert_eq!(d.gap_cycles(), 5);
+        assert!(!d.within(15.0));
+        assert!(!d.within(f64::MAX));
+        assert!(d.summary().contains("inf"));
+    }
+
+    #[test]
+    fn percentage_paths_are_nan_safe_across_edge_grid() {
+        // every division path must yield a number or ±inf, never NaN
+        for &pred in &[0u64, 1, 1000, u64::MAX] {
+            for &sim in &[0u64, 1, 1000, u64::MAX] {
+                let d = Divergence::new(pred, sim);
+                assert!(!d.pct().is_nan(), "pct NaN at ({pred}, {sim})");
+                assert!(!d.abs_pct().is_nan(), "abs_pct NaN at ({pred}, {sim})");
+                if let Some(p) = d.pct_finite() {
+                    assert!(p.is_finite());
+                }
+                // within() must return a plain bool under any tolerance
+                let _ = d.within(f64::NAN);
+                let _ = d.within(f64::INFINITY);
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_tolerance_is_rejected() {
+        let d = Divergence::new(1000, 1100);
+        assert!(!d.within(f64::NAN));
+        assert!(!d.within(f64::INFINITY));
+        assert!(d.within(10.0));
+    }
+
+    #[test]
+    fn gap_cycles_sign_and_saturation() {
+        assert_eq!(Divergence::new(1000, 1100).gap_cycles(), 100);
+        assert_eq!(Divergence::new(1100, 1000).gap_cycles(), -100);
+        assert_eq!(Divergence::new(0, u64::MAX).gap_cycles(), i64::MAX);
+        assert_eq!(Divergence::new(u64::MAX, 0).gap_cycles(), i64::MIN);
     }
 
     #[test]

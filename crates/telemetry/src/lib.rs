@@ -19,12 +19,16 @@
 //!   paper's ±15 % model-accuracy claim as a continuous invariant.
 //! - [`StallBreakdown`] — compute / memory / backpressure attribution,
 //!   cross-checked against the plan's per-segment `RowBound`.
+//! - [`QuantileSketch`] — HDR-style log-bucketed quantile sketch for
+//!   cross-run noise characterisation (the `sf-report` regression gate).
 
 #![forbid(unsafe_code)]
 pub mod chrome;
 pub mod divergence;
 pub mod metrics;
+pub mod quantile;
 pub mod recorder;
 
 pub use divergence::Divergence;
+pub use quantile::QuantileSketch;
 pub use recorder::{Recorder, SpanEvent, StallBreakdown, StallClass, TrackId};

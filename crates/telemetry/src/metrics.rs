@@ -73,6 +73,24 @@ pub fn metrics(rec: &Recorder) -> Value {
         ));
     }
 
+    // Parallel-execution provenance: the resolved worker count and how
+    // many shard recorders were merged, so aggregated output can tell a
+    // `--jobs 8` run from a serial one (the event payload itself is
+    // byte-identical by construction).
+    fields.push((
+        "parallel".into(),
+        obj(vec![
+            (
+                "jobs".into(),
+                match rec.jobs() {
+                    Some(j) => Value::U64(j),
+                    None => Value::Null,
+                },
+            ),
+            ("shards_merged".into(), Value::U64(rec.shards_merged())),
+        ]),
+    ));
+
     fields.push(("max_cycle".into(), Value::U64(rec.max_cycle())));
     Value::Object(fields)
 }
@@ -125,5 +143,38 @@ mod tests {
         // Round-trips through the JSON writer/parser.
         let s = to_metrics_json(&r);
         assert!(serde_json::parse_value(&s).is_ok());
+    }
+
+    #[test]
+    fn parallel_provenance_is_exported() {
+        let mut r = Recorder::enabled(300.0);
+        // serial, no jobs recorded → null jobs, zero shards
+        let m = metrics(&r);
+        let par = m.get("parallel").expect("parallel block always present");
+        assert_eq!(par.get("jobs"), Some(&Value::Null));
+        assert_eq!(par.get("shards_merged").and_then(|v| v.as_u64()), Some(0));
+
+        r.set_jobs(4);
+        let mut shard = Recorder::enabled(300.0);
+        let t = shard.track("mesh0/w");
+        shard.span(t, "row", 0, 5);
+        r.merge_shard(shard);
+        let m = metrics(&r);
+        let par = m.get("parallel").unwrap();
+        assert_eq!(par.get("jobs").and_then(|v| v.as_u64()), Some(4));
+        assert_eq!(par.get("shards_merged").and_then(|v| v.as_u64()), Some(1));
+    }
+
+    #[test]
+    fn non_finite_divergence_pct_exports_as_null_and_reparses() {
+        let mut r = Recorder::enabled(300.0);
+        r.set_divergence(Divergence::new(0, 5));
+        let s = to_metrics_json(&r);
+        let doc = serde_json::parse_value(&s).expect("document must stay valid JSON");
+        let d = doc.get("divergence").unwrap();
+        // the writer degrades the infinite percentage to null rather than
+        // emitting invalid JSON
+        assert_eq!(d.get("pct"), Some(&Value::Null));
+        assert_eq!(d.get("within_15pct").and_then(|v| v.as_bool()), Some(false));
     }
 }

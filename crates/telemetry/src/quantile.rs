@@ -1,0 +1,284 @@
+//! HDR-style quantile sketch for cross-run noise characterisation.
+//!
+//! Cross-run consumers (the `sf-report` regression gate) need quantiles of
+//! cycle counts over many runs without keeping every sample. This sketch
+//! uses the HDR-histogram bucketing scheme: values below 2·2^P are exact,
+//! larger values share log₂-spaced buckets with 2^P sub-buckets per octave,
+//! bounding the relative error of any reported quantile at 2^-P (≈ 1.6 %
+//! for the P = 6 used here) — comfortably inside the 5 % regression
+//! tolerance the gate defaults to.
+//!
+//! Everything is integer arithmetic over a `BTreeMap`, so recording order
+//! never changes a reported quantile: merging two sketches is a plain
+//! counter sum, which keeps multi-shard and multi-run aggregation
+//! deterministic.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Sub-bucket precision in bits: 2^P linear sub-buckets per octave.
+const P: u32 = 6;
+
+/// A mergeable, deterministic quantile sketch over `u64` samples.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct QuantileSketch {
+    /// Bucket index → sample count.
+    counts: BTreeMap<String, u64>,
+    /// Total samples recorded.
+    count: u64,
+    /// Exact minimum sample (0 when empty).
+    min: u64,
+    /// Exact maximum sample.
+    max: u64,
+    /// Saturating sum of samples (for the mean).
+    sum: u64,
+}
+
+/// Bucket index for a value: identity below `2^(P+1)`, otherwise
+/// `(msb - P) << P | top-P-bits-after-the-msb`, which is strictly
+/// monotone in `v`.
+fn bucket(v: u64) -> u64 {
+    if v < (1 << (P + 1)) {
+        return v;
+    }
+    let msb = 63 - v.leading_zeros() as u64;
+    let shift = msb - P as u64;
+    (shift << P) + (v >> shift)
+}
+
+/// Lower bound of the value range covered by `bucket(v) == idx` — the
+/// sketch's representative for every sample in the bucket. Reported
+/// quantiles therefore never over-estimate.
+fn bucket_low(idx: u64) -> u64 {
+    if idx < (1 << (P + 1)) {
+        return idx;
+    }
+    // For v ≥ 2^(P+1): idx = (shift << P) + (v >> shift) with
+    // v >> shift ∈ [2^P, 2^(P+1)), so the sub-bucket carries one extra
+    // octave bit into the shift field: idx >> P = shift + 1.
+    let shift = (idx >> P) - 1;
+    let base = (idx & ((1 << P) - 1)) + (1 << P);
+    base << shift
+}
+
+impl QuantileSketch {
+    /// An empty sketch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        if self.count == 0 || v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        *self.counts.entry(bucket(v).to_string()).or_insert(0) += 1;
+    }
+
+    /// Merge another sketch into this one (a pure counter sum).
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 || other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for (k, v) in &other.counts {
+            *self.counts.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact minimum sample; 0 for an empty sketch.
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Exact maximum sample; 0 for an empty sketch.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded samples (0.0 when empty; never NaN).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.count as f64
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), resolved to the lower bound of
+    /// the bucket holding the rank-`⌈q·count⌉` sample. Exact at the
+    /// extremes: `q = 0` returns `min`, `q = 1` returns `max`. Returns 0
+    /// for an empty sketch; out-of-range or non-finite `q` is clamped.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = if q.is_finite() { q.clamp(0.0, 1.0) } else { 1.0 };
+        if q <= 0.0 {
+            return self.min;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        // BTreeMap orders keys lexicographically; bucket indices must be
+        // compared numerically, so collect and sort by value.
+        let mut buckets: Vec<(u64, u64)> = self
+            .counts
+            .iter()
+            .filter_map(|(k, v)| k.parse::<u64>().ok().map(|i| (i, *v)))
+            .collect();
+        buckets.sort_unstable();
+        for (idx, n) in buckets {
+            seen += n;
+            if seen >= rank {
+                return bucket_low(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median shorthand.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile shorthand.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile shorthand.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sketch_is_all_zero() {
+        let s = QuantileSketch::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert!(!s.mean().is_nan());
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut s = QuantileSketch::new();
+        for v in [1u64, 2, 3, 4, 5, 6, 7, 8, 9, 10] {
+            s.record(v);
+        }
+        assert_eq!(s.p50(), 5);
+        assert_eq!(s.quantile(0.0), 1);
+        assert_eq!(s.quantile(1.0), 10);
+        assert_eq!(s.quantile(0.9), 9);
+        assert!((s.mean() - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_values_within_relative_error() {
+        let mut s = QuantileSketch::new();
+        // cycle-count-scale samples
+        let samples: Vec<u64> = (0..1000).map(|i| 4_000_000 + i * 1000).collect();
+        for &v in &samples {
+            s.record(v);
+        }
+        let p50 = s.p50();
+        let exact = samples[499];
+        let rel = (p50 as f64 - exact as f64).abs() / exact as f64;
+        assert!(rel < 0.02, "p50 {p50} vs exact {exact} (rel {rel})");
+        assert_eq!(s.max(), *samples.last().unwrap());
+        assert_eq!(s.min(), samples[0]);
+    }
+
+    #[test]
+    fn quantiles_never_overestimate_max_or_underestimate_min() {
+        let mut s = QuantileSketch::new();
+        for v in [17u64, 170_003, 99_999_999_999] {
+            s.record(v);
+        }
+        for q in [0.0, 0.01, 0.25, 0.5, 0.75, 0.99, 1.0] {
+            let x = s.quantile(q);
+            assert!(x >= s.min() && x <= s.max(), "q={q} → {x}");
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_into_one() {
+        let mut a = QuantileSketch::new();
+        let mut b = QuantileSketch::new();
+        let mut all = QuantileSketch::new();
+        for v in 0..500u64 {
+            let v = v * 7919;
+            if v % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+        // merging an empty sketch changes nothing
+        let snapshot = a.clone();
+        a.merge(&QuantileSketch::new());
+        assert_eq!(a, snapshot);
+    }
+
+    #[test]
+    fn degenerate_quantile_inputs_are_clamped() {
+        let mut s = QuantileSketch::new();
+        s.record(42);
+        assert_eq!(s.quantile(-3.0), 42);
+        assert_eq!(s.quantile(7.0), 42);
+        assert_eq!(s.quantile(f64::NAN), 42);
+        assert_eq!(s.quantile(f64::INFINITY), 42);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut s = QuantileSketch::new();
+        for v in [3u64, 999, 123_456_789] {
+            s.record(v);
+        }
+        let json = serde_json::to_string(&s).unwrap_or_default();
+        let back: QuantileSketch = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.p50(), s.p50());
+    }
+
+    #[test]
+    fn bucket_is_monotone_across_the_exact_boundary() {
+        let mut prev = 0;
+        for v in 0..100_000u64 {
+            let b = bucket(v);
+            assert!(b >= prev, "bucket must be monotone at {v}");
+            prev = b;
+            assert!(bucket_low(b) <= v, "lower bound exceeds value at {v}");
+        }
+    }
+}

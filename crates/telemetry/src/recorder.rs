@@ -62,7 +62,7 @@ pub enum StallClass {
 /// "Attributed" cycles are row cycles classified by which resource bounds
 /// them — the same classification `PlanTrace::RowBound` makes per segment —
 /// plus FIFO backpressure observed during dataflow simulation.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StallBreakdown {
     pub compute_cycles: u64,
     pub memory_cycles: u64,
@@ -131,6 +131,11 @@ pub struct Recorder {
     stalls: StallBreakdown,
     divergence: Option<Divergence>,
     meta: Vec<(String, Value)>,
+    /// Worker count the producing run was configured with (`--jobs`);
+    /// `None` until [`Recorder::set_jobs`] is called.
+    jobs: Option<u64>,
+    /// Shard recorders folded in via [`Recorder::merge_shards`].
+    shards_merged: u64,
 }
 
 impl Recorder {
@@ -148,6 +153,8 @@ impl Recorder {
             stalls: StallBreakdown::default(),
             divergence: None,
             meta: Vec::new(),
+            jobs: None,
+            shards_merged: 0,
         }
     }
 
@@ -255,6 +262,16 @@ impl Recorder {
         self.divergence = Some(d);
     }
 
+    /// Record the worker count this run was configured with (the resolved
+    /// `--jobs` value). Exported by the flat-metrics dump so aggregated
+    /// output distinguishes parallel runs from serial ones.
+    pub fn set_jobs(&mut self, jobs: u64) {
+        if !self.on {
+            return;
+        }
+        self.jobs = Some(jobs);
+    }
+
     /// Attach run-level metadata (app name, mesh, …) shown by exporters.
     pub fn set_meta(&mut self, key: &str, value: Value) {
         if !self.on {
@@ -295,6 +312,7 @@ impl Recorder {
         let mut instants: Vec<(u64, usize, usize, InstantEvent)> = Vec::new();
         let mut gauges: Vec<(u64, usize, usize, GaugeSample)> = Vec::new();
         for (si, shard) in shards.into_iter().enumerate() {
+            self.shards_merged += 1 + shard.shards_merged;
             let remap: Vec<TrackId> = shard.tracks.iter().map(|t| self.track(t)).collect();
             let map = |id: TrackId| remap.get(id.0 as usize).copied().unwrap_or(id);
             for (seq, mut e) in shard.spans.into_iter().enumerate() {
@@ -378,6 +396,16 @@ impl Recorder {
 
     pub fn meta(&self) -> &[(String, Value)] {
         &self.meta
+    }
+
+    /// Worker count recorded with [`Recorder::set_jobs`], if any.
+    pub fn jobs(&self) -> Option<u64> {
+        self.jobs
+    }
+
+    /// Total shard recorders merged into this one (0 for a serial run).
+    pub fn shards_merged(&self) -> u64 {
+        self.shards_merged
     }
 
     /// Sum of span durations on one track (used to reconcile against the
@@ -528,6 +556,31 @@ mod tests {
         assert_eq!(main.track_names(), &["window/stage:0"]);
         assert_eq!(main.spans().len(), 2);
         assert_eq!(main.spans()[0].track, main.spans()[1].track);
+    }
+
+    #[test]
+    fn jobs_and_shard_count_are_tracked() {
+        let mut r = Recorder::enabled(300.0);
+        assert_eq!(r.jobs(), None);
+        assert_eq!(r.shards_merged(), 0);
+        r.set_jobs(4);
+        assert_eq!(r.jobs(), Some(4));
+        let mk = || {
+            let mut s = Recorder::enabled(300.0);
+            let t = s.track("w");
+            s.span(t, "row", 0, 5);
+            s
+        };
+        r.merge_shards(vec![mk(), mk(), mk()]);
+        assert_eq!(r.shards_merged(), 3);
+        // nested merges count transitively
+        let mut outer = Recorder::enabled(300.0);
+        outer.merge_shard(r);
+        assert_eq!(outer.shards_merged(), 4);
+        // disabled recorders track nothing
+        let mut off = Recorder::disabled();
+        off.set_jobs(8);
+        assert_eq!(off.jobs(), None);
     }
 
     #[test]

@@ -4,30 +4,54 @@
 # file (test modules are exempt), comment lines are skipped, and
 # `.expect_err(` (a legitimate assertion helper) is not a match.
 #
-# Covered crates: the library layers a downstream user links against.
-# Binaries, benches and the experiment harness (sf-bench src) may still
-# panic on genuinely impossible states.
+# Covered crates: every `[workspace] members` entry under crates/ — the
+# library layers a downstream user links against — derived from the root
+# Cargo.toml so new crates are covered the day they are added. Excluded:
+# vendor/* (external-API stand-ins) and crates/bench (the experiment
+# harness and its binaries may still panic on genuinely impossible
+# states).
 set -eu
 
 cd "$(dirname "$0")/.."
 
-status=0
-for crate in fpga model mesh kernels check core gpu telemetry faults par; do
-    for f in $(find "crates/$crate/src" -name '*.rs' 2>/dev/null); do
-        hits=$(awk '
+# Expand the workspace member globs from Cargo.toml into directories.
+# The members line is a single-line array: members = ["crates/*", ...]
+member_dirs=$(
+    sed -n 's/^members[[:space:]]*=[[:space:]]*\[\(.*\)\]/\1/p' Cargo.toml |
+        tr ',' '\n' |
+        sed 's/[["[:space:]]*//; s/"[]]*//' |
+        while IFS= read -r pattern; do
+            [ -n "$pattern" ] || continue
+            # shell glob expansion; unmatched patterns expand to themselves
+            for dir in $pattern; do
+                [ -d "$dir" ] && printf '%s\n' "$dir"
+            done
+        done
+)
+[ -n "$member_dirs" ] || { echo "error: no workspace members found in Cargo.toml" >&2; exit 2; }
+
+hits_file=$(mktemp)
+trap 'rm -f "$hits_file"' EXIT
+
+printf '%s\n' "$member_dirs" | while IFS= read -r dir; do
+    case "$dir" in
+        vendor/*) continue ;;       # vendored dependency shims
+        crates/bench) continue ;;   # harness + binaries: panics allowed
+    esac
+    [ -d "$dir/src" ] || continue
+    find "$dir/src" -name '*.rs' | sort | while IFS= read -r f; do
+        awk '
             /#\[cfg\(test\)\]/ { exit }
             /^[[:space:]]*\/\// { next }
             /\.expect_err\(/ { next }
             /\.unwrap\(|\.expect\(/ { print FILENAME ":" FNR ": " $0 }
-        ' "$f")
-        if [ -n "$hits" ]; then
-            echo "$hits"
-            status=1
-        fi
+        ' "$f" >> "$hits_file"
     done
 done
 
-if [ "$status" -ne 0 ]; then
+if [ -s "$hits_file" ]; then
+    cat "$hits_file"
     echo "error: unwrap()/expect() found in library non-test code (route through typed errors instead)" >&2
+    exit 1
 fi
-exit "$status"
+exit 0
