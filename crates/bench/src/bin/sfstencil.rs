@@ -12,7 +12,9 @@
 //!                       [--mem hbm|ddr4] [--tile M[xN]] [--fifo-depth D] \
 //!                       [--window-units U] [--json]
 //! sfstencil faults      [--app poisson2d|jacobi3d|rtm3d] [--seed 42] \
-//!                       [--rate PPM]... [--trials N] [--json]
+//!                       [--rate PPM]... [--trials N] [--kind NAME]... \
+//!                       [--recovery rerun|rollback] [--checkpoint-every N]... \
+//!                       [--max-retries N] [--json]
 //! sfstencil report      runs.jsonl [--json|--md|--html] [--out FILE] \
 //!                       [--compare baseline.json] [--max-regress 5%]
 //! ```
@@ -38,8 +40,16 @@
 //! `faults` runs the deterministic fault-injection campaign (see
 //! `sf_bench::faults`): seeded datapath faults swept over every fault kind
 //! and rate, each trial classified by how it was detected (watchdog,
-//! checksum, AXI retry, divergence) and recovered. Exits non-zero if any
-//! injected fault goes unaccounted.
+//! checksum, AXI retry, divergence, ABFT) and recovered. `--recovery
+//! rollback` switches detected faults from clean re-execution to
+//! checkpoint/rollback recovery (`sf_fpga::recovery`): state is
+//! checkpointed every `--checkpoint-every` passes (repeatable — multiple
+//! values sweep the overhead-vs-MTTR tradeoff), silent corruption is
+//! caught in-run by ABFT block checksums, and a rollback replays only the
+//! lost passes, giving up after `--max-retries` attempts per segment.
+//! `--kind` (repeatable) restricts the fault kinds swept without changing
+//! the surviving kinds' seeds. Exits non-zero if any injected fault goes
+//! unaccounted.
 //!
 //! `profile`, `dse` and `faults` accept `--record-out FILE` to append a
 //! durable, schema-versioned run record (git sha, design point, predicted
@@ -64,7 +74,9 @@ fn fail(msg: &str) -> ! {
          [--mem hbm|ddr4] [--tile M[xN]] [--fifo-depth D] [--window-units U] \
          [--jobs N] [--json] [--trace-out FILE] [--record-out FILE]\n       \
          sfstencil faults [--app <poisson2d|jacobi3d|rtm3d>] [--seed N] \
-         [--rate PPM]... [--trials N] [--jobs N] [--json] [--record-out FILE]\n       \
+         [--rate PPM]... [--trials N] [--kind NAME]... [--recovery rerun|rollback] \
+         [--checkpoint-every N]... [--max-retries N] [--jobs N] [--json] \
+         [--record-out FILE]\n       \
          sfstencil report <runs.jsonl> [--json|--md|--html] [--out FILE] \
          [--compare BASELINE.json] [--max-regress PCT]"
     );
@@ -205,9 +217,19 @@ fn run_check(a: &Args, wf: &Workflow) {
 /// The `faults` subcommand has its own flag set (no `--mesh`: campaign
 /// workloads are fixed so seeds stay comparable across runs).
 fn run_faults(argv: &[String], started: std::time::Instant) {
-    use sf_bench::faults::{run_campaign, CampaignApp, CampaignConfig};
+    use sf_bench::faults::{run_campaign, CampaignApp, CampaignConfig, RecoveryMode};
     let get = |flag: &str| -> Option<String> {
         argv.iter().position(|a| a == flag).and_then(|i| argv.get(i + 1).cloned())
+    };
+    // Collect every value of a repeatable flag, in command-line order.
+    let get_all = |flag: &str| -> Vec<String> {
+        argv.iter()
+            .enumerate()
+            .filter(|(_, a)| a.as_str() == flag)
+            .map(|(i, _)| {
+                argv.get(i + 1).cloned().unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+            })
+            .collect()
     };
     let apps: Vec<CampaignApp> = match get("--app") {
         None => CampaignApp::ALL.to_vec(),
@@ -223,16 +245,11 @@ fn run_faults(argv: &[String], started: std::time::Instant) {
         }
     };
     let mut cfg = CampaignConfig { seed, ..CampaignConfig::default() };
-    let rates: Vec<u32> = argv
-        .iter()
-        .enumerate()
-        .filter(|(_, a)| a.as_str() == "--rate")
-        .map(|(i, _)| {
-            let s = argv.get(i + 1).cloned().unwrap_or_else(|| fail("--rate needs a value"));
-            match s.parse::<u32>() {
-                Ok(0) | Err(_) => fail(&format!("--rate must be a positive ppm count (got '{s}')")),
-                Ok(r) => r,
-            }
+    let rates: Vec<u32> = get_all("--rate")
+        .into_iter()
+        .map(|s| match s.parse::<u32>() {
+            Ok(0) | Err(_) => fail(&format!("--rate must be a positive ppm count (got '{s}')")),
+            Ok(r) => r,
         })
         .collect();
     if !rates.is_empty() {
@@ -248,6 +265,45 @@ fn run_faults(argv: &[String], started: std::time::Instant) {
         Ok(0) | Err(_) => fail(&format!("--jobs must be a positive integer (got '{s}')")),
         Ok(n) => n,
     }));
+    if let Some(s) = get("--recovery") {
+        cfg.recovery = RecoveryMode::parse(&s)
+            .unwrap_or_else(|| fail(&format!("--recovery must be rerun or rollback (got '{s}')")));
+    }
+    // A zero interval would mean "never checkpoint" — under rollback that
+    // is a misconfiguration (nothing to restore), so it is rejected up
+    // front rather than silently clamped.
+    let intervals: Vec<usize> = get_all("--checkpoint-every")
+        .into_iter()
+        .map(|s| match s.parse::<usize>() {
+            Ok(0) | Err(_) => {
+                fail(&format!("--checkpoint-every must be a positive pass count (got '{s}')"))
+            }
+            Ok(n) => n,
+        })
+        .collect();
+    if !intervals.is_empty() {
+        cfg.checkpoint_every = intervals;
+    }
+    if let Some(s) = get("--max-retries") {
+        // u32 parse rejects negatives and values beyond u32::MAX with the
+        // bound spelled out, so a typo'd retry budget cannot wrap around.
+        cfg.max_retries = s.parse::<u32>().unwrap_or_else(|_| {
+            fail(&format!("--max-retries must be an integer in 0..={} (got '{s}')", u32::MAX))
+        });
+    }
+    let kinds: Vec<sf_fpga::FaultKind> = get_all("--kind")
+        .into_iter()
+        .map(|s| {
+            sf_fpga::FaultKind::parse(&s).unwrap_or_else(|| {
+                fail(&format!(
+                    "unknown fault kind '{s}' (expected bitflip|fifo-drop|fifo-dup|fifo-corrupt|axi-delay|axi-fail)"
+                ))
+            })
+        })
+        .collect();
+    if !kinds.is_empty() {
+        cfg.kinds = kinds;
+    }
     // Mandatory static pre-flight of every campaign design, reported (on
     // stderr, so --json stdout stays machine-parseable) before a single
     // trial executes: any later detection is attributable to the injected

@@ -12,7 +12,7 @@
 //! medians against a committed baseline report and exits non-zero on any
 //! regression beyond tolerance (or on coverage loss).
 
-use crate::faults::{CampaignApp, CampaignConfig, CampaignReport};
+use crate::faults::{CampaignApp, CampaignConfig, CampaignReport, Recovery};
 use sf_fpga::design::{ExecMode, MemKind, Workload};
 use sf_model::Candidate;
 use sf_report::{Report, RunKind, RunRecord};
@@ -87,6 +87,11 @@ pub fn records_for_campaign(report: &CampaignReport, cfg: &CampaignConfig) -> Ve
             let mut injected_trials = 0u64;
             let mut faults_injected = 0u64;
             let mut silent_wrong = 0u64;
+            let mut rollbacks = 0u64;
+            let mut sdc_detected = 0u64;
+            let mut recovery_cycles = 0u64;
+            let mut overhead_cycles = 0u64;
+            let mut rollback_recovered = 0u64;
             for t in report.trials.iter().filter(|t| &t.app == name) {
                 trials += 1;
                 faults_injected += t.injected;
@@ -96,11 +101,27 @@ pub fn records_for_campaign(report: &CampaignReport, cfg: &CampaignConfig) -> Ve
                 if t.silent_wrong {
                     silent_wrong += 1;
                 }
+                rollbacks += t.rollbacks;
+                sdc_detected += t.sdc_detected;
+                recovery_cycles += t.recovery_cycles;
+                overhead_cycles += t.overhead_cycles;
+                if t.recovery == Recovery::Rollback {
+                    rollback_recovered += 1;
+                }
             }
             rec.fault_counters.insert("trials".into(), trials);
             rec.fault_counters.insert("injected_trials".into(), injected_trials);
             rec.fault_counters.insert("faults_injected".into(), faults_injected);
             rec.fault_counters.insert("silent_wrong".into(), silent_wrong);
+            rec.fault_counters.insert("rollbacks".into(), rollbacks);
+            rec.fault_counters.insert("sdc_detected".into(), sdc_detected);
+            rec.fault_counters.insert("recovery_cycles".into(), recovery_cycles);
+            rec.fault_counters.insert("recovery_overhead_cycles".into(), overhead_cycles);
+            rec.fault_counters.insert("rollback_recovered".into(), rollback_recovered);
+            rec.fault_counters.insert(
+                "mean_cycles_to_recovery".into(),
+                recovery_cycles.checked_div(rollbacks).unwrap_or(0),
+            );
             rec
         })
         .collect()
@@ -213,7 +234,12 @@ mod tests {
 
     #[test]
     fn campaign_records_carry_the_fault_counters() {
-        let cfg = CampaignConfig { seed: 42, rates_ppm: vec![500], trials_per_cell: 1, jobs: 1 };
+        let cfg = CampaignConfig {
+            seed: 42,
+            rates_ppm: vec![500],
+            trials_per_cell: 1,
+            ..CampaignConfig::default()
+        };
         let apps = [CampaignApp::Poisson2D];
         let report = run_campaign(&apps, &cfg);
         let recs = records_for_campaign(&report, &cfg);
@@ -233,5 +259,28 @@ mod tests {
         // design point from the fixed campaign params
         assert_eq!(rec.dims, vec![48, 24]);
         assert_eq!(rec.v, 8);
+    }
+
+    #[test]
+    fn rollback_campaign_records_carry_recovery_counters() {
+        let cfg = CampaignConfig {
+            seed: 42,
+            rates_ppm: vec![1_000_000],
+            trials_per_cell: 1,
+            recovery: crate::faults::RecoveryMode::Rollback,
+            kinds: vec![sf_fpga::FaultKind::BitFlip],
+            ..CampaignConfig::default()
+        };
+        let report = run_campaign(&[CampaignApp::Poisson2D], &cfg);
+        let recs = records_for_campaign(&report, &cfg);
+        assert_eq!(recs.len(), 1);
+        let counters = &recs[0].fault_counters;
+        let get = |k: &str| counters.get(k).copied().unwrap_or(0);
+        assert!(get("rollbacks") > 0, "{counters:?}");
+        assert!(get("sdc_detected") > 0, "{counters:?}");
+        assert!(get("recovery_cycles") > 0, "{counters:?}");
+        assert!(get("recovery_overhead_cycles") >= get("recovery_cycles"), "{counters:?}");
+        assert_eq!(get("mean_cycles_to_recovery"), get("recovery_cycles") / get("rollbacks"));
+        assert_eq!(get("rollback_recovered"), 1, "{counters:?}");
     }
 }

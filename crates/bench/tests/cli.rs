@@ -346,9 +346,84 @@ fn faults_rejects_bad_arguments() {
         vec!["faults", "--rate", "0"],
         vec!["faults", "--trials", "0"],
         vec!["faults", "--jobs", "0"],
+        vec!["faults", "--recovery", "prayer"],
+        vec!["faults", "--kind", "cosmic-ray"],
     ] {
         let out = sfstencil().args(&args).output().unwrap();
         assert_eq!(out.status.code(), Some(2), "{args:?} must be rejected");
         assert!(String::from_utf8(out.stderr).unwrap().contains("usage:"));
+    }
+}
+
+#[test]
+fn faults_rejects_zero_checkpoint_interval() {
+    let out = sfstencil()
+        .args(["faults", "--recovery", "rollback", "--checkpoint-every", "0"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("--checkpoint-every must be a positive pass count"),
+        "error must name the flag and constraint: {stderr}"
+    );
+}
+
+#[test]
+fn faults_rejects_negative_and_overflowing_retry_counts() {
+    for bad in ["-1", "4294967296", "lots"] {
+        let out = sfstencil()
+            .args(["faults", "--recovery", "rollback", "--max-retries", bad])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(2), "--max-retries {bad} must be rejected");
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(
+            stderr.contains("--max-retries must be an integer in 0..=4294967295"),
+            "error must state the accepted range: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn faults_rollback_campaign_recovers_in_run() {
+    // The CI recovery-smoke shape: SDC + FIFO-corruption kinds under
+    // `--recovery rollback --checkpoint-every 4` on one app, JSON out.
+    let out = sfstencil()
+        .args([
+            "faults",
+            "--app",
+            "poisson2d",
+            "--seed",
+            "42",
+            "--rate",
+            "1000000",
+            "--trials",
+            "1",
+            "--kind",
+            "bitflip",
+            "--kind",
+            "fifo-corrupt",
+            "--recovery",
+            "rollback",
+            "--checkpoint-every",
+            "4",
+            "--json",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let doc: Value = serde_json::from_str(&String::from_utf8(out.stdout).unwrap()).unwrap();
+    let s = doc.get("summary").expect("summary block");
+    let injected = s.get("injected").and_then(Value::as_u64).unwrap();
+    assert!(injected > 0, "saturation rate must inject");
+    assert_eq!(
+        s.get("rollback_recovered").and_then(Value::as_u64),
+        Some(injected),
+        "every injected SDC fault must recover in-run via rollback"
+    );
+    assert!(s.get("sdc_detected").and_then(Value::as_u64).unwrap() > 0);
+    for t in doc.get("trials").and_then(Value::as_array).unwrap() {
+        assert_eq!(t.get("recovery").and_then(Value::as_str), Some("Rollback"), "{t:?}");
     }
 }

@@ -35,6 +35,14 @@
 //! Numeric execution (bit-exact vs the golden references) is available
 //! through the typed solvers in [`solvers`]: [`solvers::PoissonSolver`],
 //! [`solvers::JacobiSolver`], [`solvers::RtmSolver`].
+//!
+//! Fault-tolerant execution is available at two levels: the resilient
+//! executors (`sf_fpga::resilient`, typed detection + clean rerun) and the
+//! checkpoint/rollback recovery layer (`sf_fpga::recovery`, ABFT
+//! silent-corruption detection + in-run rollback); the recovery
+//! configuration types ([`prelude::RecoveryConfig`],
+//! [`prelude::RecoveryPolicy`], [`prelude::RecoveryStats`]) are part of
+//! the prelude.
 
 pub mod compare;
 pub mod error;
@@ -60,6 +68,7 @@ pub mod prelude {
     pub use sf_check::{check, CheckError, CheckReport, Design, Diagnostic, RuleId, Severity};
     pub use sf_fpga::design::{ExecMode, MemKind, StencilDesign, Workload};
     pub use sf_fpga::{FpgaDevice, SimReport};
+    pub use sf_fpga::{RecoveryConfig, RecoveryPolicy, RecoveryStats};
     pub use sf_gpu::GpuDevice;
     pub use sf_kernels::ops::NumberFormat;
     pub use sf_kernels::{AppId, Jacobi3D, Poisson2D, RtmParams, StencilSpec};

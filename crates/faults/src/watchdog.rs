@@ -37,6 +37,7 @@ impl WatchdogTrip {
                 StallClass::Compute => "compute",
                 StallClass::Memory => "memory",
                 StallClass::Backpressure => "backpressure",
+                StallClass::Checkpoint => "checkpoint",
             };
             self.dominant_stall = Some(name.to_string());
         }

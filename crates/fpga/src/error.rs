@@ -31,6 +31,20 @@ pub enum ExecError {
         /// What is unsupported.
         detail: String,
     },
+    /// A checkpoint operation failed (spill I/O, corrupted snapshot on
+    /// restore).
+    Checkpoint {
+        /// What went wrong.
+        detail: String,
+    },
+    /// Rollback recovery gave up: a checkpoint segment kept failing after
+    /// the configured number of restore/replay attempts.
+    RecoveryExhausted {
+        /// Rollbacks attempted on the failing segment.
+        rollbacks: u32,
+        /// What kept going wrong.
+        detail: String,
+    },
 }
 
 impl core::fmt::Display for ExecError {
@@ -42,6 +56,10 @@ impl core::fmt::Display for ExecError {
             }
             ExecError::ShapeMismatch { detail } => write!(f, "shape mismatch: {detail}"),
             ExecError::Unsupported { detail } => write!(f, "unsupported: {detail}"),
+            ExecError::Checkpoint { detail } => write!(f, "checkpoint failure: {detail}"),
+            ExecError::RecoveryExhausted { rollbacks, detail } => {
+                write!(f, "recovery exhausted after {rollbacks} rollback(s): {detail}")
+            }
         }
     }
 }

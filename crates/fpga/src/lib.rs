@@ -50,6 +50,7 @@ pub mod exec_batch;
 pub mod fifo;
 pub mod power;
 pub mod profile;
+pub mod recovery;
 pub mod report;
 pub mod resilient;
 pub mod resources;
@@ -61,8 +62,15 @@ pub use design::{ExecMode, MemKind, StencilDesign, SynthesisError};
 pub use device::{FpgaDevice, MemorySpec};
 pub use error::ExecError;
 pub use exec_batch::{simulate_batch_2d_parallel, simulate_batch_3d_parallel};
+pub use recovery::{
+    simulate_2d_recoverable, simulate_3d_recoverable, simulate_batch_2d_recoverable,
+    simulate_batch_3d_recoverable,
+};
 pub use report::SimReport;
 pub use resilient::{plan_with_faults, simulate_2d_resilient, simulate_3d_resilient, FaultyPlan};
 pub use resources::ResourceUsage;
-pub use sf_faults::{FaultInjector, FaultKind, FaultPlan, RetryPolicy, Watchdog, WatchdogTrip};
+pub use sf_faults::{
+    AxiVerdict, FaultInjector, FaultKind, FaultPlan, RetryPolicy, Watchdog, WatchdogTrip,
+};
+pub use sf_recover::{RecoveryConfig, RecoveryPolicy, RecoveryStats};
 pub use sf_telemetry::{Recorder, StallClass};

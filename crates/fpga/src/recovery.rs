@@ -1,0 +1,1094 @@
+//! Recoverable execution: checkpoint/rollback with ABFT detection layered
+//! over the resilient executors.
+//!
+//! The temporal-batch loop of [`crate::resilient::simulate_2d_resilient`]
+//! already advances the solve `p_eff` iterations per pipeline pass; this
+//! module groups passes into **checkpoint segments** of
+//! [`RecoveryConfig::checkpoint_every`] passes. Per segment:
+//!
+//! 1. the segment is executed through the fault-aware chain runners;
+//! 2. an [`AbftSignature`] (block row/column sums) of the segment output
+//!    is compared against the signature of the reference-propagated state
+//!    from the last verified checkpoint — silent data corruption the
+//!    FIFO/AXI checks miss shows up here as `fault.sdc_detected`;
+//! 3. on an ABFT mismatch *or* a watchdog deadlock, the last checkpoint
+//!    is restored from the in-memory [`CheckpointRing`] (its content
+//!    checksum re-verified) and only the lost passes are recomputed, up
+//!    to [`RecoveryPolicy::Rollback`]'s `max_retries` per segment;
+//! 4. on success the new state is checkpointed (and optionally spilled
+//!    to the versioned on-disk format).
+//!
+//! **Cost model.** Checkpoint writes are charged at the external-memory
+//! write bandwidth of eq. 4 (`bytes / (BW/f)` cycles), ABFT checks at one
+//! vector per cycle, and rollback replay at the plan's per-pass cycle
+//! cost. All three are added to the [`CyclePlan`]'s total and attributed
+//! to the dedicated [`StallClass::Checkpoint`] telemetry class, so the
+//! overhead-vs-MTTR tradeoff of the checkpoint interval is directly
+//! visible in the flat-metrics JSON and in cross-run `RunRecord`s.
+//!
+//! Determinism: the fault injector's RNG advances exactly once per
+//! opportunity, replays re-consult it (a single-injection plan is clean
+//! on replay — its budget is spent), and the batch-parallel variants
+//! derive per-mesh injector seeds by index, so outputs, stats and
+//! telemetry are byte-identical for any `--jobs` value and reproducible
+//! per seed.
+//!
+//! [`CyclePlan`]: crate::cycles::CyclePlan
+
+use crate::cycles;
+use crate::design::{MemKind, StencilDesign, Workload};
+use crate::device::FpgaDevice;
+use crate::error::ExecError;
+use crate::power;
+use crate::report::SimReport;
+use crate::resilient::{
+    check_mode, pass_budget, plan_with_faults, run_chain_2d_resilient, run_chain_3d_resilient,
+    simulate_2d_resilient, simulate_3d_resilient,
+};
+use sf_faults::{FaultInjector, FaultPlan, RetryPolicy, Watchdog};
+use sf_kernels::{reference, StencilOp2D, StencilOp3D};
+use sf_mesh::{Batch2D, Batch3D, Element, Mesh2D, Mesh3D};
+use sf_recover::{
+    abft_check_cycles, spill, AbftSignature, CheckpointRing, RecoveryConfig, RecoveryPolicy,
+    RecoveryStats, Snapshot,
+};
+use sf_telemetry::{Recorder, StallClass};
+use std::path::PathBuf;
+
+/// Cycles to write `bytes` of checkpoint state through the design's
+/// external memory at eq. 4 write bandwidth.
+pub fn checkpoint_cost_cycles(dev: &FpgaDevice, design: &StencilDesign, bytes: u64) -> u64 {
+    let mem = match design.mem {
+        MemKind::Hbm => &dev.hbm,
+        MemKind::Ddr4 => &dev.ddr4,
+    };
+    let bytes_per_cycle = mem.total_bw() / design.freq_hz;
+    if bytes_per_cycle <= 0.0 {
+        return bytes;
+    }
+    (bytes as f64 / bytes_per_cycle).ceil() as u64
+}
+
+/// Per-segment execution parameters shared by the 2D/3D cores.
+struct RecoverParams {
+    /// Passes per checkpoint segment.
+    interval: usize,
+    /// Rollback attempts allowed per segment.
+    max_retries: u32,
+    /// Snapshots retained in memory.
+    ring_capacity: usize,
+    /// ABFT comparison tolerance.
+    abft_tol: f64,
+    /// Spill directory (optional) and file-name prefix for this stream.
+    spill_dir: Option<PathBuf>,
+    spill_prefix: String,
+    /// Cycles charged per checkpoint write.
+    ckpt_cost: u64,
+    /// Cycles charged per ABFT check.
+    abft_cost: u64,
+    /// Replay cost of one pipeline pass.
+    pass_cycles: u64,
+}
+
+impl RecoverParams {
+    fn from_config(
+        rcfg: &RecoveryConfig,
+        max_retries: u32,
+        spill_prefix: &str,
+        ckpt_cost: u64,
+        abft_cost: u64,
+        pass_cycles: u64,
+    ) -> RecoverParams {
+        RecoverParams {
+            interval: rcfg.checkpoint_every.max(1),
+            max_retries,
+            ring_capacity: rcfg.ring_capacity,
+            abft_tol: rcfg.abft_tol,
+            spill_dir: rcfg.spill_dir.clone(),
+            spill_prefix: spill_prefix.to_string(),
+            ckpt_cost,
+            abft_cost,
+            pass_cycles,
+        }
+    }
+
+    /// Capture (and optionally spill) a checkpoint, charging its cost.
+    #[allow(clippy::too_many_arguments)]
+    fn take_checkpoint<T: Element>(
+        &self,
+        ring: &mut CheckpointRing,
+        stats: &mut RecoveryStats,
+        dims: &[u64],
+        batch: u64,
+        cells: &[T],
+        iters_done: u64,
+        passes_done: u64,
+    ) -> Result<(), ExecError> {
+        let snap = Snapshot::capture(iters_done, passes_done, dims, batch, cells);
+        if let Some(dir) = &self.spill_dir {
+            let path = dir.join(format!("{}ckpt_{passes_done:06}.sfckpt", self.spill_prefix));
+            spill::write_file(&path, &snap)
+                .map_err(|e| ExecError::Checkpoint { detail: e.to_string() })?;
+        }
+        ring.push(snap);
+        stats.checkpoints_taken += 1;
+        stats.checkpoint_cycles += self.ckpt_cost;
+        Ok(())
+    }
+
+    /// Restore the most recent checkpoint into `cells` after a detection.
+    fn rollback<T: Element>(
+        &self,
+        ring: &CheckpointRing,
+        cells: &mut [T],
+        rollbacks: u32,
+    ) -> Result<(), ExecError> {
+        let snap = ring.latest().ok_or_else(|| ExecError::Checkpoint {
+            detail: "rollback requested with no retained checkpoint".to_string(),
+        })?;
+        let restored: Vec<T> = snap
+            .restore(cells.len())
+            .map_err(|e| ExecError::Checkpoint { detail: format!("rollback {rollbacks}: {e}") })?;
+        cells.copy_from_slice(&restored);
+        Ok(())
+    }
+}
+
+/// Split the remaining iterations into per-pass `p_eff` chunks for one
+/// checkpoint segment (at most `interval` passes).
+fn segment_passes(p: usize, remaining: usize, interval: usize) -> Vec<usize> {
+    let mut seg = Vec::new();
+    let mut rem = remaining;
+    while rem > 0 && seg.len() < interval {
+        let pe = p.min(rem);
+        seg.push(pe);
+        rem -= pe;
+    }
+    seg
+}
+
+/// Reference propagation of a 2D batch (per mesh, all stages per
+/// iteration) — the expected side of the ABFT comparison.
+fn reference_batch_2d<T: Element, K: StencilOp2D<T>>(
+    stages: &[K],
+    b: &Batch2D<T>,
+    iters: usize,
+) -> Batch2D<T> {
+    let meshes: Vec<Mesh2D<T>> =
+        (0..b.batch()).map(|i| reference::run_stages_2d(stages, &b.mesh(i), iters)).collect();
+    Batch2D::from_meshes(&meshes)
+}
+
+/// 3D twin of [`reference_batch_2d`].
+fn reference_batch_3d<T: Element, K: StencilOp3D<T>>(
+    stages: &[K],
+    b: &Batch3D<T>,
+    iters: usize,
+) -> Batch3D<T> {
+    let meshes: Vec<Mesh3D<T>> =
+        (0..b.batch()).map(|i| reference::run_stages_3d(stages, &b.mesh(i), iters)).collect();
+    Batch3D::from_meshes(&meshes)
+}
+
+/// Run one checkpoint segment (no recovery) through the fault-aware 2D
+/// chain runner.
+#[allow(clippy::too_many_arguments)]
+fn run_segment_2d<T: Element, K: StencilOp2D<T> + Clone>(
+    stages: &[K],
+    start: &Batch2D<T>,
+    seg: &[usize],
+    inj: &mut FaultInjector,
+    budget: u64,
+    rc: u64,
+) -> Result<Batch2D<T>, ExecError> {
+    let (nx, ny, b) = (start.nx(), start.ny(), start.batch());
+    let stream_rows = b * ny;
+    let mut cur = start.clone();
+    for &p_eff in seg {
+        let chain: Vec<K> = (0..p_eff).flat_map(|_| stages.iter().cloned()).collect();
+        let mut dog = Watchdog::new(budget, stream_rows as u64);
+        let rows = cur.as_slice().chunks(nx).map(|r| r.to_vec());
+        let out_rows =
+            run_chain_2d_resilient(&chain, nx, stream_rows, ny, rows, inj, &mut dog, rc)?;
+        let mut out = Batch2D::<T>::zeros(nx, ny, b);
+        for (gy, row) in out_rows.into_iter().enumerate() {
+            out.as_mut_slice()[gy * nx..(gy + 1) * nx].copy_from_slice(&row);
+        }
+        cur = out;
+    }
+    Ok(cur)
+}
+
+/// 3D twin of [`run_segment_2d`]: streams planes.
+#[allow(clippy::too_many_arguments)]
+fn run_segment_3d<T: Element, K: StencilOp3D<T> + Clone>(
+    stages: &[K],
+    start: &Batch3D<T>,
+    seg: &[usize],
+    inj: &mut FaultInjector,
+    budget: u64,
+    plane_cycles: u64,
+) -> Result<Batch3D<T>, ExecError> {
+    let (nx, ny, nz, b) = (start.nx(), start.ny(), start.nz(), start.batch());
+    let plane = nx * ny;
+    let stream_planes = b * nz;
+    let mut cur = start.clone();
+    for &p_eff in seg {
+        let chain: Vec<K> = (0..p_eff).flat_map(|_| stages.iter().cloned()).collect();
+        let mut dog = Watchdog::new(budget, stream_planes as u64);
+        let planes = cur.as_slice().chunks(plane).map(|p| p.to_vec());
+        let out_planes = run_chain_3d_resilient(
+            &chain,
+            nx,
+            ny,
+            stream_planes,
+            nz,
+            planes,
+            inj,
+            &mut dog,
+            plane_cycles,
+        )?;
+        let mut out = Batch3D::<T>::zeros(nx, ny, nz, b);
+        for (gz, pl) in out_planes.into_iter().enumerate() {
+            out.as_mut_slice()[gz * plane..(gz + 1) * plane].copy_from_slice(&pl);
+        }
+        cur = out;
+    }
+    Ok(cur)
+}
+
+/// The checkpoint/ABFT/rollback loop over one 2D stream (a whole batch
+/// for the single-stream executor; one mesh for the batch-parallel path).
+#[allow(clippy::too_many_arguments)]
+fn recover_core_2d<T: Element, K: StencilOp2D<T> + Clone>(
+    design: &StencilDesign,
+    stages: &[K],
+    input: &Batch2D<T>,
+    niter: usize,
+    inj: &mut FaultInjector,
+    rc: u64,
+    budget: u64,
+    prm: &RecoverParams,
+) -> Result<(Batch2D<T>, RecoveryStats), ExecError> {
+    let (nx, ny, b) = (input.nx(), input.ny(), input.batch());
+    let dims = [nx as u64, ny as u64];
+    let mut stats = RecoveryStats::default();
+    let mut ring = CheckpointRing::new(prm.ring_capacity);
+    let mut verified = input.clone();
+    let mut done = 0usize;
+    let mut passes_done = 0u64;
+    prm.take_checkpoint(&mut ring, &mut stats, &dims, b as u64, verified.as_slice(), 0, 0)?;
+
+    while done < niter {
+        let seg = segment_passes(design.p, niter - done, prm.interval);
+        let seg_iters: usize = seg.iter().sum();
+        let seg_replay_cycles = seg.len() as u64 * prm.pass_cycles;
+        let expected = reference_batch_2d(stages, &verified, seg_iters);
+        let expected_sig = AbftSignature::compute(expected.as_slice(), nx);
+
+        let mut attempt = 0u32;
+        let state = loop {
+            let outcome = run_segment_2d(stages, &verified, &seg, inj, budget, rc);
+            match outcome {
+                Ok(state) => {
+                    stats.abft_checks += 1;
+                    stats.abft_cycles += prm.abft_cost;
+                    let sig = AbftSignature::compute(state.as_slice(), nx);
+                    if sig.matches(&expected_sig, prm.abft_tol) {
+                        break state;
+                    }
+                    stats.sdc_detected += 1;
+                    if attempt >= prm.max_retries {
+                        return Err(ExecError::RecoveryExhausted {
+                            rollbacks: attempt,
+                            detail: format!(
+                                "ABFT signature mismatch persisted at iteration {done}"
+                            ),
+                        });
+                    }
+                }
+                Err(ExecError::Deadlock(trip)) => {
+                    if attempt >= prm.max_retries {
+                        return Err(ExecError::Deadlock(trip));
+                    }
+                }
+                Err(other) => return Err(other),
+            }
+            attempt += 1;
+            stats.rollbacks += 1;
+            stats.batches_replayed += seg.len() as u64;
+            stats.recovery_cycles += seg_replay_cycles;
+            prm.rollback(&ring, verified.as_mut_slice(), attempt)?;
+        };
+        verified = state;
+        done += seg_iters;
+        passes_done += seg.len() as u64;
+        prm.take_checkpoint(
+            &mut ring,
+            &mut stats,
+            &dims,
+            b as u64,
+            verified.as_slice(),
+            done as u64,
+            passes_done,
+        )?;
+    }
+    Ok((verified, stats))
+}
+
+/// 3D twin of [`recover_core_2d`].
+#[allow(clippy::too_many_arguments)]
+fn recover_core_3d<T: Element, K: StencilOp3D<T> + Clone>(
+    design: &StencilDesign,
+    stages: &[K],
+    input: &Batch3D<T>,
+    niter: usize,
+    inj: &mut FaultInjector,
+    plane_cycles: u64,
+    budget: u64,
+    prm: &RecoverParams,
+) -> Result<(Batch3D<T>, RecoveryStats), ExecError> {
+    let (nx, ny, nz, b) = (input.nx(), input.ny(), input.nz(), input.batch());
+    let dims = [nx as u64, ny as u64, nz as u64];
+    let unit = nx * ny;
+    let mut stats = RecoveryStats::default();
+    let mut ring = CheckpointRing::new(prm.ring_capacity);
+    let mut verified = input.clone();
+    let mut done = 0usize;
+    let mut passes_done = 0u64;
+    prm.take_checkpoint(&mut ring, &mut stats, &dims, b as u64, verified.as_slice(), 0, 0)?;
+
+    while done < niter {
+        let seg = segment_passes(design.p, niter - done, prm.interval);
+        let seg_iters: usize = seg.iter().sum();
+        let seg_replay_cycles = seg.len() as u64 * prm.pass_cycles;
+        let expected = reference_batch_3d(stages, &verified, seg_iters);
+        let expected_sig = AbftSignature::compute(expected.as_slice(), unit);
+
+        let mut attempt = 0u32;
+        let state = loop {
+            let outcome = run_segment_3d(stages, &verified, &seg, inj, budget, plane_cycles);
+            match outcome {
+                Ok(state) => {
+                    stats.abft_checks += 1;
+                    stats.abft_cycles += prm.abft_cost;
+                    let sig = AbftSignature::compute(state.as_slice(), unit);
+                    if sig.matches(&expected_sig, prm.abft_tol) {
+                        break state;
+                    }
+                    stats.sdc_detected += 1;
+                    if attempt >= prm.max_retries {
+                        return Err(ExecError::RecoveryExhausted {
+                            rollbacks: attempt,
+                            detail: format!(
+                                "ABFT signature mismatch persisted at iteration {done}"
+                            ),
+                        });
+                    }
+                }
+                Err(ExecError::Deadlock(trip)) => {
+                    if attempt >= prm.max_retries {
+                        return Err(ExecError::Deadlock(trip));
+                    }
+                }
+                Err(other) => return Err(other),
+            }
+            attempt += 1;
+            stats.rollbacks += 1;
+            stats.batches_replayed += seg.len() as u64;
+            stats.recovery_cycles += seg_replay_cycles;
+            prm.rollback(&ring, verified.as_mut_slice(), attempt)?;
+        };
+        verified = state;
+        done += seg_iters;
+        passes_done += seg.len() as u64;
+        prm.take_checkpoint(
+            &mut ring,
+            &mut stats,
+            &dims,
+            b as u64,
+            verified.as_slice(),
+            done as u64,
+            passes_done,
+        )?;
+    }
+    Ok((verified, stats))
+}
+
+/// Fold recovery stats into the plan, the recorder and the report.
+#[allow(clippy::too_many_arguments)]
+fn finalize(
+    dev: &FpgaDevice,
+    design: &StencilDesign,
+    mut plan: cycles::CyclePlan,
+    niter: u64,
+    mesh_bytes: u64,
+    stats: &RecoveryStats,
+    extra_axi_cycles: u64,
+    bursts_recovered: u64,
+    injected: u64,
+    rec: &mut Recorder,
+) -> SimReport {
+    let overhead = stats.overhead_cycles();
+    plan.total_cycles += overhead;
+    plan.ext_write_bytes += stats.checkpoints_taken * mesh_bytes;
+    plan.runtime_s = plan.total_cycles as f64 / design.freq_hz
+        + plan.host_calls as f64 * dev.host_call_latency_s;
+    rec.stall(StallClass::Checkpoint, overhead);
+    rec.counter_add("fault.injected", injected);
+    rec.counter_add("fault.axi.extra_cycles", extra_axi_cycles);
+    rec.counter_add("fault.axi.recovered", bursts_recovered);
+    rec.counter_add("fault.sdc_detected", stats.sdc_detected);
+    rec.counter_add("recover.checkpoints", stats.checkpoints_taken);
+    rec.counter_add("recover.checkpoint_cycles", stats.checkpoint_cycles);
+    rec.counter_add("recover.abft_checks", stats.abft_checks);
+    rec.counter_add("recover.abft_cycles", stats.abft_cycles);
+    rec.counter_add("recover.rollbacks", stats.rollbacks);
+    rec.counter_add("recover.batches_replayed", stats.batches_replayed);
+    rec.counter_add("recover.recovery_cycles", stats.recovery_cycles);
+    rec.counter_add("recover.mean_cycles_to_recovery", stats.mean_cycles_to_recovery());
+    SimReport::from_plan(design, &plan, niter, power::fpga_power_w(dev, design))
+}
+
+/// Retry budget of a policy; `None` means the policy is [`RecoveryPolicy::Rerun`].
+fn rollback_budget(policy: RecoveryPolicy) -> Option<u32> {
+    match policy {
+        RecoveryPolicy::Rerun => None,
+        RecoveryPolicy::Rollback { max_retries } => Some(max_retries),
+    }
+}
+
+/// Checkpoint/rollback variant of [`simulate_2d_resilient`].
+///
+/// With [`RecoveryPolicy::Rerun`] this *is* the resilient executor (plus
+/// an empty [`RecoveryStats`]): detections surface to the caller exactly
+/// as before. With [`RecoveryPolicy::Rollback`] the run checkpoints every
+/// [`RecoveryConfig::checkpoint_every`] passes, verifies each segment
+/// with an ABFT signature, and rolls back/replays on watchdog or ABFT
+/// detection — returning the recovered result plus the accounting.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_2d_recoverable<T: Element, K: StencilOp2D<T> + Clone>(
+    dev: &FpgaDevice,
+    design: &StencilDesign,
+    stages_per_iter: &[K],
+    input: &Batch2D<T>,
+    niter: usize,
+    inj: &mut FaultInjector,
+    policy: &RetryPolicy,
+    rcfg: &RecoveryConfig,
+    rec: &mut Recorder,
+) -> Result<(Batch2D<T>, SimReport, RecoveryStats), ExecError> {
+    let Some(max_retries) = rollback_budget(rcfg.policy) else {
+        let (out, rep) =
+            simulate_2d_resilient(dev, design, stages_per_iter, input, niter, inj, policy, rec)?;
+        return Ok((out, rep, RecoveryStats::default()));
+    };
+    if niter == 0 {
+        return Err(ExecError::ShapeMismatch { detail: "niter must be positive".to_string() });
+    }
+    if stages_per_iter.len() != design.spec.stages {
+        return Err(ExecError::ShapeMismatch {
+            detail: format!(
+                "design expects {} stages per iteration, got {}",
+                design.spec.stages,
+                stages_per_iter.len()
+            ),
+        });
+    }
+    let (nx, ny, b) = (input.nx(), input.ny(), input.batch());
+    check_mode(design, b)?;
+    let wl = Workload::D2 { nx, ny, batch: b };
+    let fp = plan_with_faults(dev, design, &wl, niter as u64, inj, policy)?;
+    let rc = cycles::design_row_cycles(dev, design, nx, nx);
+    let stream_rows = b * ny;
+    let budget = pass_budget(design, stream_rows as u64, rc);
+
+    let mesh_bytes = (input.as_slice().len() * T::size_bytes()) as u64;
+    let prm = RecoverParams::from_config(
+        rcfg,
+        max_retries,
+        "",
+        checkpoint_cost_cycles(dev, design, mesh_bytes),
+        abft_check_cycles(input.as_slice().len() as u64, design.v),
+        budget.saturating_sub(1),
+    );
+    let (out, stats) =
+        recover_core_2d(design, stages_per_iter, input, niter, inj, rc, budget, &prm).map_err(
+            |e| match e {
+                ExecError::Deadlock(t) => {
+                    ExecError::Deadlock(t.with_stalls(&rec.stall_breakdown()))
+                }
+                other => other,
+            },
+        )?;
+    let report = finalize(
+        dev,
+        design,
+        fp.plan,
+        niter as u64,
+        mesh_bytes,
+        &stats,
+        fp.extra_axi_cycles,
+        fp.bursts_recovered,
+        inj.injected(),
+        rec,
+    );
+    Ok((out, report, stats))
+}
+
+/// Checkpoint/rollback variant of [`simulate_3d_resilient`] (see
+/// [`simulate_2d_recoverable`]); the streamed unit is a plane.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_3d_recoverable<T: Element, K: StencilOp3D<T> + Clone>(
+    dev: &FpgaDevice,
+    design: &StencilDesign,
+    stages_per_iter: &[K],
+    input: &Batch3D<T>,
+    niter: usize,
+    inj: &mut FaultInjector,
+    policy: &RetryPolicy,
+    rcfg: &RecoveryConfig,
+    rec: &mut Recorder,
+) -> Result<(Batch3D<T>, SimReport, RecoveryStats), ExecError> {
+    let Some(max_retries) = rollback_budget(rcfg.policy) else {
+        let (out, rep) =
+            simulate_3d_resilient(dev, design, stages_per_iter, input, niter, inj, policy, rec)?;
+        return Ok((out, rep, RecoveryStats::default()));
+    };
+    if niter == 0 {
+        return Err(ExecError::ShapeMismatch { detail: "niter must be positive".to_string() });
+    }
+    if stages_per_iter.len() != design.spec.stages {
+        return Err(ExecError::ShapeMismatch {
+            detail: format!(
+                "design expects {} stages per iteration, got {}",
+                design.spec.stages,
+                stages_per_iter.len()
+            ),
+        });
+    }
+    let (nx, ny, nz, b) = (input.nx(), input.ny(), input.nz(), input.batch());
+    check_mode(design, b)?;
+    let wl = Workload::D3 { nx, ny, nz, batch: b };
+    let fp = plan_with_faults(dev, design, &wl, niter as u64, inj, policy)?;
+    let plane_cycles = cycles::design_row_cycles(dev, design, nx, nx) * ny as u64;
+    let stream_planes = b * nz;
+    let budget = pass_budget(design, stream_planes as u64, plane_cycles);
+
+    let mesh_bytes = (input.as_slice().len() * T::size_bytes()) as u64;
+    let prm = RecoverParams::from_config(
+        rcfg,
+        max_retries,
+        "",
+        checkpoint_cost_cycles(dev, design, mesh_bytes),
+        abft_check_cycles(input.as_slice().len() as u64, design.v),
+        budget.saturating_sub(1),
+    );
+    let (out, stats) =
+        recover_core_3d(design, stages_per_iter, input, niter, inj, plane_cycles, budget, &prm)
+            .map_err(|e| match e {
+                ExecError::Deadlock(t) => {
+                    ExecError::Deadlock(t.with_stalls(&rec.stall_breakdown()))
+                }
+                other => other,
+            })?;
+    let report = finalize(
+        dev,
+        design,
+        fp.plan,
+        niter as u64,
+        mesh_bytes,
+        &stats,
+        fp.extra_axi_cycles,
+        fp.bursts_recovered,
+        inj.injected(),
+        rec,
+    );
+    Ok((out, report, stats))
+}
+
+/// SplitMix64 finalizer used to derive independent per-mesh fault seeds.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Per-mesh fault plan for the batch-parallel paths: same kind, rate and
+/// injection budget, seed derived from the base seed and the mesh index.
+pub fn derive_mesh_plan(base: &FaultPlan, mesh_index: usize) -> FaultPlan {
+    FaultPlan {
+        seed: mix(base.seed ^ (mesh_index as u64).wrapping_mul(0xa076_1d64_78bd_642f)),
+        ..*base
+    }
+}
+
+/// Checkpoint/rollback variant of
+/// [`crate::exec_batch::simulate_batch_2d_parallel`]: each batch member
+/// runs its own checkpoint/ABFT/rollback loop as one work item for
+/// [`sf_par::par_map`], with a fault injector seeded from `base_plan` and
+/// the mesh index. AXI faults are applied once at the batched plan level
+/// (they model the shared memory interface, not a member stream).
+///
+/// Output, stats and report are byte-identical for every `jobs` value.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_batch_2d_recoverable<T: Element, K: StencilOp2D<T> + Clone>(
+    dev: &FpgaDevice,
+    design: &StencilDesign,
+    stages_per_iter: &[K],
+    input: &Batch2D<T>,
+    niter: usize,
+    base_plan: &FaultPlan,
+    policy: &RetryPolicy,
+    rcfg: &RecoveryConfig,
+    jobs: usize,
+    rec: &mut Recorder,
+) -> Result<(Batch2D<T>, SimReport, RecoveryStats), ExecError> {
+    let Some(max_retries) = rollback_budget(rcfg.policy) else {
+        return Err(ExecError::Unsupported {
+            detail: "batch-parallel recovery requires the rollback policy".to_string(),
+        });
+    };
+    if niter == 0 {
+        return Err(ExecError::ShapeMismatch { detail: "niter must be positive".to_string() });
+    }
+    if stages_per_iter.len() != design.spec.stages {
+        return Err(ExecError::ShapeMismatch {
+            detail: format!(
+                "design expects {} stages per iteration, got {}",
+                design.spec.stages,
+                stages_per_iter.len()
+            ),
+        });
+    }
+    let (nx, ny, b) = (input.nx(), input.ny(), input.batch());
+    check_mode(design, b)?;
+    let wl = Workload::D2 { nx, ny, batch: b };
+    let mut axi_inj = FaultInjector::new(*base_plan);
+    let fp = plan_with_faults(dev, design, &wl, niter as u64, &mut axi_inj, policy)?;
+    let rc = cycles::design_row_cycles(dev, design, nx, nx);
+    let budget = pass_budget(design, ny as u64, rc);
+    let mesh_cells = nx * ny;
+    let mesh_bytes = (mesh_cells * T::size_bytes()) as u64;
+
+    let meshes: Vec<Mesh2D<T>> = (0..b).map(|i| input.mesh(i)).collect();
+    let results = sf_par::par_map(jobs, meshes, |i, mesh| {
+        let mut inj = FaultInjector::new(derive_mesh_plan(base_plan, i));
+        let prm = RecoverParams::from_config(
+            rcfg,
+            max_retries,
+            &format!("mesh{i}_"),
+            checkpoint_cost_cycles(dev, design, mesh_bytes),
+            abft_check_cycles(mesh_cells as u64, design.v),
+            budget.saturating_sub(1),
+        );
+        let single = Batch2D::from_meshes(std::slice::from_ref(&mesh));
+        let r =
+            recover_core_2d(design, stages_per_iter, &single, niter, &mut inj, rc, budget, &prm);
+        (r, inj.injected())
+    });
+
+    let mut out = Batch2D::<T>::zeros(nx, ny, b);
+    let mut stats = RecoveryStats::default();
+    let mut injected = axi_inj.injected();
+    for (i, (r, inj_n)) in results.into_iter().enumerate() {
+        let (mesh_out, mesh_stats) = r.map_err(|e| match e {
+            ExecError::Deadlock(t) => ExecError::Deadlock(t.with_stalls(&rec.stall_breakdown())),
+            other => other,
+        })?;
+        out.as_mut_slice()[i * mesh_cells..(i + 1) * mesh_cells]
+            .copy_from_slice(mesh_out.as_slice());
+        stats.merge(&mesh_stats);
+        injected += inj_n;
+    }
+    let report = finalize(
+        dev,
+        design,
+        fp.plan,
+        niter as u64,
+        mesh_bytes,
+        &stats,
+        fp.extra_axi_cycles,
+        fp.bursts_recovered,
+        injected,
+        rec,
+    );
+    Ok((out, report, stats))
+}
+
+/// 3D twin of [`simulate_batch_2d_recoverable`].
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_batch_3d_recoverable<T: Element, K: StencilOp3D<T> + Clone>(
+    dev: &FpgaDevice,
+    design: &StencilDesign,
+    stages_per_iter: &[K],
+    input: &Batch3D<T>,
+    niter: usize,
+    base_plan: &FaultPlan,
+    policy: &RetryPolicy,
+    rcfg: &RecoveryConfig,
+    jobs: usize,
+    rec: &mut Recorder,
+) -> Result<(Batch3D<T>, SimReport, RecoveryStats), ExecError> {
+    let Some(max_retries) = rollback_budget(rcfg.policy) else {
+        return Err(ExecError::Unsupported {
+            detail: "batch-parallel recovery requires the rollback policy".to_string(),
+        });
+    };
+    if niter == 0 {
+        return Err(ExecError::ShapeMismatch { detail: "niter must be positive".to_string() });
+    }
+    if stages_per_iter.len() != design.spec.stages {
+        return Err(ExecError::ShapeMismatch {
+            detail: format!(
+                "design expects {} stages per iteration, got {}",
+                design.spec.stages,
+                stages_per_iter.len()
+            ),
+        });
+    }
+    let (nx, ny, nz, b) = (input.nx(), input.ny(), input.nz(), input.batch());
+    check_mode(design, b)?;
+    let wl = Workload::D3 { nx, ny, nz, batch: b };
+    let mut axi_inj = FaultInjector::new(*base_plan);
+    let fp = plan_with_faults(dev, design, &wl, niter as u64, &mut axi_inj, policy)?;
+    let plane_cycles = cycles::design_row_cycles(dev, design, nx, nx) * ny as u64;
+    let budget = pass_budget(design, nz as u64, plane_cycles);
+    let mesh_cells = nx * ny * nz;
+    let mesh_bytes = (mesh_cells * T::size_bytes()) as u64;
+
+    let meshes: Vec<Mesh3D<T>> = (0..b).map(|i| input.mesh(i)).collect();
+    let results = sf_par::par_map(jobs, meshes, |i, mesh| {
+        let mut inj = FaultInjector::new(derive_mesh_plan(base_plan, i));
+        let prm = RecoverParams::from_config(
+            rcfg,
+            max_retries,
+            &format!("mesh{i}_"),
+            checkpoint_cost_cycles(dev, design, mesh_bytes),
+            abft_check_cycles(mesh_cells as u64, design.v),
+            budget.saturating_sub(1),
+        );
+        let single = Batch3D::from_meshes(std::slice::from_ref(&mesh));
+        let r = recover_core_3d(
+            design,
+            stages_per_iter,
+            &single,
+            niter,
+            &mut inj,
+            plane_cycles,
+            budget,
+            &prm,
+        );
+        (r, inj.injected())
+    });
+
+    let mut out = Batch3D::<T>::zeros(nx, ny, nz, b);
+    let mut stats = RecoveryStats::default();
+    let mut injected = axi_inj.injected();
+    for (i, (r, inj_n)) in results.into_iter().enumerate() {
+        let (mesh_out, mesh_stats) = r.map_err(|e| match e {
+            ExecError::Deadlock(t) => ExecError::Deadlock(t.with_stalls(&rec.stall_breakdown())),
+            other => other,
+        })?;
+        out.as_mut_slice()[i * mesh_cells..(i + 1) * mesh_cells]
+            .copy_from_slice(mesh_out.as_slice());
+        stats.merge(&mesh_stats);
+        injected += inj_n;
+    }
+    let report = finalize(
+        dev,
+        design,
+        fp.plan,
+        niter as u64,
+        mesh_bytes,
+        &stats,
+        fp.extra_axi_cycles,
+        fp.bursts_recovered,
+        injected,
+        rec,
+    );
+    Ok((out, report, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::{synthesize, ExecMode, MemKind};
+    use sf_faults::FaultKind;
+    use sf_kernels::{reference, Jacobi3D, Poisson2D, StencilSpec};
+    use sf_mesh::norms;
+
+    fn dev() -> FpgaDevice {
+        FpgaDevice::u280()
+    }
+
+    fn poisson_setup() -> (StencilDesign, Batch2D<f32>, Mesh2D<f32>) {
+        let m = Mesh2D::<f32>::random(40, 24, 7, -1.0, 1.0);
+        let wl = Workload::D2 { nx: 40, ny: 24, batch: 1 };
+        let ds = synthesize(
+            &dev(),
+            &StencilSpec::poisson(),
+            8,
+            4,
+            ExecMode::Baseline,
+            MemKind::Hbm,
+            &wl,
+        )
+        .unwrap();
+        let batch = Batch2D::from_meshes(std::slice::from_ref(&m));
+        (ds, batch, m)
+    }
+
+    fn rollback_cfg(every: usize) -> RecoveryConfig {
+        RecoveryConfig {
+            policy: RecoveryPolicy::Rollback { max_retries: 3 },
+            checkpoint_every: every,
+            ..RecoveryConfig::default()
+        }
+    }
+
+    #[test]
+    fn clean_run_matches_reference_and_charges_overhead() {
+        let (ds, batch, m) = poisson_setup();
+        let mut inj = FaultInjector::disabled();
+        let mut rec = Recorder::enabled(300.0);
+        let (out, rep, stats) = simulate_2d_recoverable(
+            &dev(),
+            &ds,
+            &[Poisson2D],
+            &batch,
+            12,
+            &mut inj,
+            &RetryPolicy::default(),
+            &rollback_cfg(2),
+            &mut rec,
+        )
+        .unwrap();
+        let expect = reference::run_2d(&Poisson2D, &m, 12);
+        assert!(norms::bit_equal(out.mesh(0).as_slice(), expect.as_slice()));
+        assert_eq!(stats.rollbacks, 0);
+        assert_eq!(stats.sdc_detected, 0);
+        // 12 iters at p=4 → 3 passes → 2 segments; initial + 2 checkpoints.
+        assert_eq!(stats.checkpoints_taken, 3);
+        assert_eq!(stats.abft_checks, 2);
+        assert!(stats.checkpoint_cycles > 0 && stats.abft_cycles > 0);
+        assert_eq!(rec.stall_breakdown().checkpoint_cycles, stats.overhead_cycles());
+        assert!(rep.total_cycles > 0);
+    }
+
+    #[test]
+    fn bitflip_is_detected_by_abft_and_rolled_back() {
+        let (ds, batch, m) = poisson_setup();
+        let mut inj = FaultInjector::new(FaultPlan::single(42, FaultKind::BitFlip, 1_000_000));
+        let mut rec = Recorder::enabled(300.0);
+        let (out, _, stats) = simulate_2d_recoverable(
+            &dev(),
+            &ds,
+            &[Poisson2D],
+            &batch,
+            12,
+            &mut inj,
+            &RetryPolicy::default(),
+            &rollback_cfg(4),
+            &mut rec,
+        )
+        .unwrap();
+        assert_eq!(inj.injected(), 1);
+        assert_eq!(stats.sdc_detected, 1, "ABFT must catch the silent corruption");
+        assert_eq!(stats.rollbacks, 1);
+        assert!(stats.recovery_cycles > 0);
+        assert_eq!(stats.mean_cycles_to_recovery(), stats.recovery_cycles);
+        let expect = reference::run_2d(&Poisson2D, &m, 12);
+        assert!(
+            norms::bit_equal(out.mesh(0).as_slice(), expect.as_slice()),
+            "post-rollback result must be bit-exact with the reference"
+        );
+        assert_eq!(rec.counter("fault.sdc_detected"), 1);
+        assert_eq!(rec.counter("recover.rollbacks"), 1);
+    }
+
+    #[test]
+    fn recovery_counters_reach_the_flat_metrics_json() {
+        // The ISSUE acceptance criterion: recovery overhead and
+        // mean-cycles-to-recovery must be visible in the flat-metrics JSON
+        // a recoverable run's recorder produces.
+        let (ds, batch, _) = poisson_setup();
+        let mut inj = FaultInjector::new(FaultPlan::single(42, FaultKind::BitFlip, 1_000_000));
+        let mut rec = Recorder::enabled(300.0);
+        let (_, _, stats) = simulate_2d_recoverable(
+            &dev(),
+            &ds,
+            &[Poisson2D],
+            &batch,
+            12,
+            &mut inj,
+            &RetryPolicy::default(),
+            &rollback_cfg(4),
+            &mut rec,
+        )
+        .unwrap();
+        let doc = sf_telemetry::metrics::metrics(&rec);
+        let counters = doc.get("counters").expect("counters block");
+        let counter = |k: &str| counters.get(k).and_then(serde::Value::as_u64);
+        assert_eq!(counter("recover.checkpoints"), Some(stats.checkpoints_taken));
+        assert_eq!(counter("recover.rollbacks"), Some(stats.rollbacks));
+        assert_eq!(counter("recover.recovery_cycles"), Some(stats.recovery_cycles));
+        assert_eq!(
+            counter("recover.mean_cycles_to_recovery"),
+            Some(stats.mean_cycles_to_recovery())
+        );
+        assert_eq!(counter("fault.sdc_detected"), Some(stats.sdc_detected));
+        let stalls = doc.get("stalls").expect("stalls block");
+        assert_eq!(
+            stalls.get("checkpoint_cycles").and_then(serde::Value::as_u64),
+            Some(stats.overhead_cycles()),
+            "checkpoint overhead must be attributed as its own stall class"
+        );
+    }
+
+    #[test]
+    fn fifo_drop_deadlock_is_rolled_back() {
+        let (ds, batch, m) = poisson_setup();
+        let mut inj = FaultInjector::new(FaultPlan::single(7, FaultKind::FifoDrop, 1_000_000));
+        let mut rec = Recorder::disabled();
+        let (out, _, stats) = simulate_2d_recoverable(
+            &dev(),
+            &ds,
+            &[Poisson2D],
+            &batch,
+            12,
+            &mut inj,
+            &RetryPolicy::default(),
+            &rollback_cfg(4),
+            &mut rec,
+        )
+        .unwrap();
+        assert_eq!(stats.rollbacks, 1, "watchdog trip must trigger a rollback, not an error");
+        assert_eq!(stats.sdc_detected, 0);
+        let expect = reference::run_2d(&Poisson2D, &m, 12);
+        assert!(norms::bit_equal(out.mesh(0).as_slice(), expect.as_slice()));
+    }
+
+    #[test]
+    fn rerun_policy_delegates_to_resilient_behavior() {
+        let (ds, batch, _) = poisson_setup();
+        let mut inj = FaultInjector::new(FaultPlan::single(7, FaultKind::FifoDrop, 1_000_000));
+        let mut rec = Recorder::disabled();
+        let cfg = RecoveryConfig { policy: RecoveryPolicy::Rerun, ..RecoveryConfig::default() };
+        let r = simulate_2d_recoverable(
+            &dev(),
+            &ds,
+            &[Poisson2D],
+            &batch,
+            12,
+            &mut inj,
+            &RetryPolicy::default(),
+            &cfg,
+            &mut rec,
+        );
+        assert!(matches!(r, Err(ExecError::Deadlock(_))), "{r:?}");
+    }
+
+    #[test]
+    fn recoverable_3d_rolls_back_bitflip() {
+        let m = Mesh3D::<f32>::random(12, 10, 8, 5, -1.0, 1.0);
+        let wl = Workload::D3 { nx: 12, ny: 10, nz: 8, batch: 1 };
+        let ds =
+            synthesize(&dev(), &StencilSpec::jacobi(), 8, 3, ExecMode::Baseline, MemKind::Hbm, &wl)
+                .unwrap();
+        let batch = Batch3D::from_meshes(std::slice::from_ref(&m));
+        let k = Jacobi3D::smoothing();
+        let mut inj = FaultInjector::new(FaultPlan::single(21, FaultKind::BitFlip, 1_000_000));
+        let mut rec = Recorder::disabled();
+        let (out, _, stats) = simulate_3d_recoverable(
+            &dev(),
+            &ds,
+            &[k],
+            &batch,
+            6,
+            &mut inj,
+            &RetryPolicy::default(),
+            &rollback_cfg(1),
+            &mut rec,
+        )
+        .unwrap();
+        assert_eq!(stats.sdc_detected, 1);
+        assert_eq!(stats.rollbacks, 1);
+        let expect = reference::run_3d(&k, &m, 6);
+        assert!(norms::bit_equal(out.mesh(0).as_slice(), expect.as_slice()));
+    }
+
+    #[test]
+    fn spill_writes_versioned_checkpoints() {
+        let dir = std::env::temp_dir().join("sf-fpga-recovery-spill-test");
+        let _ = std::fs::create_dir_all(&dir);
+        let (ds, batch, _) = poisson_setup();
+        let mut inj = FaultInjector::disabled();
+        let mut rec = Recorder::disabled();
+        let cfg = RecoveryConfig { spill_dir: Some(dir.clone()), ..rollback_cfg(2) };
+        let (_, _, _stats) = simulate_2d_recoverable(
+            &dev(),
+            &ds,
+            &[Poisson2D],
+            &batch,
+            12,
+            &mut inj,
+            &RetryPolicy::default(),
+            &cfg,
+            &mut rec,
+        )
+        .unwrap();
+        let first = dir.join("ckpt_000000.sfckpt");
+        let snap = spill::read_file(&first).expect("initial spilled checkpoint must decode");
+        assert_eq!(snap.dims, vec![40, 24]);
+        assert_eq!(snap.iters_done, 0);
+        let last = dir.join("ckpt_000003.sfckpt");
+        let snap = spill::read_file(&last).expect("final spilled checkpoint must decode");
+        assert_eq!(snap.iters_done, 12);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batch_parallel_recovery_is_jobs_invariant() {
+        let wl = Workload::D2 { nx: 24, ny: 12, batch: 3 };
+        let ds = synthesize(
+            &dev(),
+            &StencilSpec::poisson(),
+            8,
+            2,
+            ExecMode::Batched { b: 3 },
+            MemKind::Hbm,
+            &wl,
+        )
+        .unwrap();
+        let batch = Batch2D::<f32>::random(24, 12, 3, 11, -1.0, 1.0);
+        let plan = FaultPlan::single(99, FaultKind::BitFlip, 200_000);
+        let run = |jobs: usize| {
+            let mut rec = Recorder::disabled();
+            simulate_batch_2d_recoverable(
+                &dev(),
+                &ds,
+                &[Poisson2D],
+                &batch,
+                8,
+                &plan,
+                &RetryPolicy::default(),
+                &rollback_cfg(2),
+                jobs,
+                &mut rec,
+            )
+            .unwrap()
+        };
+        let (o1, r1, s1) = run(1);
+        let (o4, r4, s4) = run(4);
+        assert!(norms::bit_equal(o1.as_slice(), o4.as_slice()));
+        assert_eq!(s1, s4);
+        assert_eq!(r1.total_cycles, r4.total_cycles);
+        // every mesh result is bit-exact vs its own reference solve
+        for i in 0..3 {
+            let expect = reference::run_2d(&Poisson2D, &batch.mesh(i), 8);
+            assert!(norms::bit_equal(o1.mesh(i).as_slice(), expect.as_slice()), "mesh {i}");
+        }
+    }
+}

@@ -290,7 +290,7 @@ pub fn plan_with_faults(
     Ok(FaultyPlan { plan, extra_axi_cycles: extra, bursts_recovered: recovered, bursts_total })
 }
 
-fn check_mode(design: &StencilDesign, b: usize) -> Result<(), ExecError> {
+pub(crate) fn check_mode(design: &StencilDesign, b: usize) -> Result<(), ExecError> {
     match design.mode {
         ExecMode::Baseline if b != 1 => Err(ExecError::ShapeMismatch {
             detail: format!("baseline design runs one mesh, got batch {b}"),
@@ -307,7 +307,7 @@ fn check_mode(design: &StencilDesign, b: usize) -> Result<(), ExecError> {
 
 /// Watchdog budget for one pass: a full pass worth of cycles with no
 /// forward progress means the pipeline is wedged.
-fn pass_budget(design: &StencilDesign, stream_units: u64, unit_cycles: u64) -> u64 {
+pub(crate) fn pass_budget(design: &StencilDesign, stream_units: u64, unit_cycles: u64) -> u64 {
     unit_cycles * (stream_units + cycles::fill_units(design)) + design.pipeline_latency_cycles + 1
 }
 

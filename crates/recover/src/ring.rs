@@ -1,0 +1,82 @@
+//! Bounded in-memory ring of the most recent checkpoints.
+
+use crate::checkpoint::Snapshot;
+use std::collections::VecDeque;
+
+/// Keeps the last `K` snapshots; pushing onto a full ring evicts the
+/// oldest. `K = 0` is clamped to 1 — a rollback layer with no retained
+/// checkpoint cannot recover anything.
+#[derive(Clone, Debug)]
+pub struct CheckpointRing {
+    cap: usize,
+    slots: VecDeque<Snapshot>,
+}
+
+impl CheckpointRing {
+    /// A ring retaining at most `cap` snapshots (minimum 1).
+    pub fn new(cap: usize) -> CheckpointRing {
+        CheckpointRing { cap: cap.max(1), slots: VecDeque::new() }
+    }
+
+    /// Retention capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Snapshots currently retained.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no snapshot has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Push a snapshot, evicting the oldest when full.
+    pub fn push(&mut self, snap: Snapshot) {
+        if self.slots.len() == self.cap {
+            self.slots.pop_front();
+        }
+        self.slots.push_back(snap);
+    }
+
+    /// The most recent snapshot — the rollback target.
+    pub fn latest(&self) -> Option<&Snapshot> {
+        self.slots.back()
+    }
+
+    /// The oldest retained snapshot.
+    pub fn oldest(&self) -> Option<&Snapshot> {
+        self.slots.front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(pass: u64) -> Snapshot {
+        Snapshot::capture(pass * 4, pass, &[2, 2], 1, &[pass as f32; 4])
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_tracks_latest() {
+        let mut r = CheckpointRing::new(2);
+        assert!(r.is_empty());
+        r.push(snap(1));
+        r.push(snap(2));
+        r.push(snap(3));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.oldest().map(|s| s.passes_done), Some(2));
+        assert_eq!(r.latest().map(|s| s.passes_done), Some(3));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut r = CheckpointRing::new(0);
+        assert_eq!(r.capacity(), 1);
+        r.push(snap(1));
+        assert_eq!(r.len(), 1);
+    }
+}

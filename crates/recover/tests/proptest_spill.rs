@@ -1,0 +1,78 @@
+//! Property tests for checkpoint serialization: snapshot → bytes →
+//! restore is the identity, and corrupted or truncated inputs always
+//! come back as typed errors, never panics.
+
+use proptest::prelude::*;
+use sf_recover::{to_bytes, try_from_bytes, CheckpointError, Snapshot};
+
+/// Deterministically synthesize a payload from a seed (the vendored
+/// proptest has no collection strategies, so meshes are derived from
+/// scalar parameters).
+fn payload(seed: u64, cells: usize) -> Vec<f32> {
+    let mut x = seed | 1;
+    (0..cells)
+        .map(|_| {
+            // SplitMix64 step, folded to a modest float range
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            ((z >> 40) as f32) / 1024.0 - 8000.0
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn roundtrip_is_identity(seed in 0u64..u64::MAX, nx in 1usize..40, ny in 1usize..40,
+                             iters in 0u64..10_000, passes in 0u64..2_500) {
+        let cells = payload(seed, nx * ny);
+        let snap = Snapshot::capture(iters, passes, &[nx as u64, ny as u64], 1, &cells);
+        let back = try_from_bytes(&to_bytes(&snap));
+        prop_assert_eq!(back, Ok(snap.clone()));
+        let restored: Vec<f32> = snap.restore(nx * ny).expect("restore");
+        prop_assert_eq!(restored, cells);
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error(seed in 0u64..u64::MAX, cells in 1usize..64,
+                                   frac in 0usize..1000) {
+        let data = payload(seed, cells);
+        let snap = Snapshot::capture(1, 1, &[cells as u64, 1], 1, &data);
+        let bytes = to_bytes(&snap);
+        let cut = frac * (bytes.len() - 1) / 1000; // always strictly short
+        let r = try_from_bytes(&bytes[..cut]);
+        prop_assert!(r.is_err());
+        prop_assert!(!matches!(r, Err(CheckpointError::Io { .. })));
+    }
+
+    #[test]
+    fn corrupted_byte_never_restores_silently(seed in 0u64..u64::MAX, cells in 1usize..48,
+                                              victim in 0usize..10_000, bit in 0u8..8) {
+        let data = payload(seed, cells);
+        let snap = Snapshot::capture(3, 2, &[cells as u64, 1], 1, &data);
+        let mut bytes = to_bytes(&snap);
+        let idx = victim % bytes.len();
+        bytes[idx] ^= 1 << bit;
+        // FNV-1a steps are bijections in the running hash, so any flip
+        // that leaves the parse structure intact provably changes the
+        // checksum; structural flips (length fields) end in truncation
+        // or a mismatched trailer. Decoding must fail — and never panic.
+        prop_assert!(try_from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn corrupted_header_magic_and_version(byte in 0usize..8, flip in 1u8..255) {
+        let data = payload(7, 16);
+        let snap = Snapshot::capture(0, 0, &[16, 1], 1, &data);
+        let mut bytes = to_bytes(&snap);
+        bytes[byte] ^= flip;
+        let r = try_from_bytes(&bytes);
+        prop_assert!(matches!(
+            r,
+            Err(CheckpointError::BadMagic) | Err(CheckpointError::UnsupportedVersion { .. })
+        ));
+    }
+}

@@ -115,6 +115,7 @@ impl Report {
                 stalls.compute_cycles += rec.stalls.compute_cycles;
                 stalls.memory_cycles += rec.stalls.memory_cycles;
                 stalls.backpressure_cycles += rec.stalls.backpressure_cycles;
+                stalls.checkpoint_cycles += rec.stalls.checkpoint_cycles;
                 if let Some(d) = rec.divergence_pct.filter(|d| d.is_finite()) {
                     divergences.push(d);
                 }

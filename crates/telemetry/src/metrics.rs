@@ -16,7 +16,8 @@ fn obj(fields: Vec<(String, Value)>) -> Value {
 ///   "meta":      { "app": "poisson", ... },
 ///   "counters":  { "fifo.stalls": 0, ... },
 ///   "stalls":    { "compute_cycles": ..., "memory_cycles": ...,
-///                  "backpressure_cycles": ..., "dominant": "Compute" },
+///                  "backpressure_cycles": ..., "checkpoint_cycles": ...,
+///                  "dominant": "Compute" },
 ///   "tracks":    { "stage:0": { "spans": 3, "busy_cycles": 900 }, ... },
 ///   "divergence": { "predicted_cycles": ..., "simulated_cycles": ...,
 ///                   "pct": ..., "within_15pct": true },
@@ -39,6 +40,7 @@ pub fn metrics(rec: &Recorder) -> Value {
             ("compute_cycles".into(), Value::U64(b.compute_cycles)),
             ("memory_cycles".into(), Value::U64(b.memory_cycles)),
             ("backpressure_cycles".into(), Value::U64(b.backpressure_cycles)),
+            ("checkpoint_cycles".into(), Value::U64(b.checkpoint_cycles)),
             ("dominant".into(), b.dominant().to_value()),
         ]),
     ));

@@ -55,6 +55,9 @@ pub enum StallClass {
     Memory,
     /// Pipeline limited by a full downstream FIFO.
     Backpressure,
+    /// Cycles spent on checkpoint writes, ABFT checks and rollback
+    /// replay in the recovery layer (`sf-recover`).
+    Checkpoint,
 }
 
 /// Cycle totals attributed to each stall class.
@@ -67,11 +70,14 @@ pub struct StallBreakdown {
     pub compute_cycles: u64,
     pub memory_cycles: u64,
     pub backpressure_cycles: u64,
+    /// Recovery-layer overhead (checkpoint writes, ABFT checks, rollback
+    /// replay); zero everywhere the recovery layer is not engaged.
+    pub checkpoint_cycles: u64,
 }
 
 impl StallBreakdown {
     pub fn total(&self) -> u64 {
-        self.compute_cycles + self.memory_cycles + self.backpressure_cycles
+        self.compute_cycles + self.memory_cycles + self.backpressure_cycles + self.checkpoint_cycles
     }
 
     /// Cycles attributed to `class`.
@@ -80,6 +86,7 @@ impl StallBreakdown {
             StallClass::Compute => self.compute_cycles,
             StallClass::Memory => self.memory_cycles,
             StallClass::Backpressure => self.backpressure_cycles,
+            StallClass::Checkpoint => self.checkpoint_cycles,
         }
     }
 
@@ -89,25 +96,23 @@ impl StallBreakdown {
         if t == 0 {
             return 0.0;
         }
-        let c = match class {
-            StallClass::Compute => self.compute_cycles,
-            StallClass::Memory => self.memory_cycles,
-            StallClass::Backpressure => self.backpressure_cycles,
-        };
-        c as f64 / t as f64
+        self.cycles(class) as f64 / t as f64
     }
 
-    /// The class holding the most attributed cycles.
+    /// The class holding the most attributed cycles. Ties keep the
+    /// earlier-listed class, preserving the original compute-first bias.
     pub fn dominant(&self) -> StallClass {
-        if self.backpressure_cycles > self.compute_cycles
-            && self.backpressure_cycles > self.memory_cycles
-        {
-            StallClass::Backpressure
-        } else if self.memory_cycles > self.compute_cycles {
-            StallClass::Memory
-        } else {
-            StallClass::Compute
+        let mut best = (StallClass::Compute, self.compute_cycles);
+        for (class, cycles) in [
+            (StallClass::Memory, self.memory_cycles),
+            (StallClass::Backpressure, self.backpressure_cycles),
+            (StallClass::Checkpoint, self.checkpoint_cycles),
+        ] {
+            if cycles > best.1 {
+                best = (class, cycles);
+            }
         }
+        best.0
     }
 }
 
@@ -251,6 +256,7 @@ impl Recorder {
             StallClass::Compute => self.stalls.compute_cycles += cycles,
             StallClass::Memory => self.stalls.memory_cycles += cycles,
             StallClass::Backpressure => self.stalls.backpressure_cycles += cycles,
+            StallClass::Checkpoint => self.stalls.checkpoint_cycles += cycles,
         }
     }
 
@@ -333,6 +339,7 @@ impl Recorder {
             self.stalls.compute_cycles += shard.stalls.compute_cycles;
             self.stalls.memory_cycles += shard.stalls.memory_cycles;
             self.stalls.backpressure_cycles += shard.stalls.backpressure_cycles;
+            self.stalls.checkpoint_cycles += shard.stalls.checkpoint_cycles;
         }
         spans.sort_by_key(|a| (a.0, a.1, a.2));
         instants.sort_by_key(|a| (a.0, a.1, a.2));
