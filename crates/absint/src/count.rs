@@ -1,0 +1,116 @@
+//! The op-counting domain: executing a kernel on [`CountingValue`] tallies
+//! the adds/subs/muls/divs the datapath would execute.
+//!
+//! The counters are **thread-local**, not value-carried: a value-carried
+//! count would double-tally shared subexpressions (RTM's `K = dt·f` feeds
+//! both the `T'` and `Yacc'` updates — the DAG reuses the node, the
+//! pipeline computes it once), whereas a global tally increments exactly
+//! once per executed operator, which is precisely what `G_dsp` prices.
+
+use crate::tally::OpTally;
+use core::ops::{Add, Div, Mul, Sub};
+use sf_kernels::AbstractValue;
+use std::cell::Cell;
+
+thread_local! {
+    static ADDS: Cell<u64> = const { Cell::new(0) };
+    static MULS: Cell<u64> = const { Cell::new(0) };
+    static DIVS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A unit value whose arithmetic bumps the thread-local op tally.
+/// Kernel constants enter via [`AbstractValue::constant`] for free — the
+/// counted ops are exactly those that touch streamed data or runtime
+/// parameters, matching the HLS constant-folding convention.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CountingValue;
+
+impl Add for CountingValue {
+    type Output = CountingValue;
+    fn add(self, _: CountingValue) -> CountingValue {
+        ADDS.with(|c| c.set(c.get() + 1));
+        CountingValue
+    }
+}
+
+impl Sub for CountingValue {
+    type Output = CountingValue;
+    fn sub(self, _: CountingValue) -> CountingValue {
+        // fsub prices like fadd on the DSP datapath
+        ADDS.with(|c| c.set(c.get() + 1));
+        CountingValue
+    }
+}
+
+impl Mul for CountingValue {
+    type Output = CountingValue;
+    fn mul(self, _: CountingValue) -> CountingValue {
+        MULS.with(|c| c.set(c.get() + 1));
+        CountingValue
+    }
+}
+
+impl Div for CountingValue {
+    type Output = CountingValue;
+    fn div(self, _: CountingValue) -> CountingValue {
+        DIVS.with(|c| c.set(c.get() + 1));
+        CountingValue
+    }
+}
+
+impl AbstractValue for CountingValue {
+    fn constant(_: f32) -> Self {
+        CountingValue
+    }
+}
+
+/// Run `f` with zeroed counters and return its result plus the ops it
+/// executed on this thread.
+pub fn count_ops<R>(f: impl FnOnce() -> R) -> (R, OpTally) {
+    ADDS.with(|c| c.set(0));
+    MULS.with(|c| c.set(0));
+    DIVS.with(|c| c.set(0));
+    let r = f();
+    let tally = OpTally {
+        adds: ADDS.with(Cell::get),
+        muls: MULS.with(Cell::get),
+        divs: DIVS.with(Cell::get),
+    };
+    (r, tally)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operators_tally_and_constants_are_free() {
+        let ((), t) = count_ops(|| {
+            let a = CountingValue::constant(1.0);
+            let b = CountingValue::constant(2.0);
+            let c = a + b; // 1 add
+            let d = c - a; // 1 add (sub prices as add)
+            let e = d * b; // 1 mul
+            let _ = e / a; // 1 div
+        });
+        assert_eq!(t, OpTally { adds: 2, muls: 1, divs: 1 });
+    }
+
+    #[test]
+    fn count_resets_between_runs() {
+        let (_, t1) = count_ops(|| CountingValue + CountingValue);
+        let (_, t2) = count_ops(|| CountingValue * CountingValue);
+        assert_eq!(t1.adds, 1);
+        assert_eq!((t2.adds, t2.muls), (0, 1));
+    }
+
+    #[test]
+    fn shared_subexpressions_count_once() {
+        // k is computed once and used twice — the tally must see one mul
+        let (_, t) = count_ops(|| {
+            let k = CountingValue * CountingValue;
+            let _ = (CountingValue + k, CountingValue + k);
+        });
+        assert_eq!((t.muls, t.adds), (1, 2));
+    }
+}

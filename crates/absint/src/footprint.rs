@@ -1,0 +1,100 @@
+//! Footprint + op-tally extraction by probe execution.
+//!
+//! One run of the kernel's generic update on the counting domain, through a
+//! recording accessor ([`sf_kernels::probe`]), yields both the true access
+//! footprint (every offset the code reads) and the op tally (every operator
+//! the code executes). Both come from the *real* kernel math — not from the
+//! hand-written [`sf_kernels::StencilSpec`] declarations they are checked
+//! against.
+
+use crate::count::{count_ops, CountingValue};
+use crate::tally::OpTally;
+use sf_kernels::probe;
+use sf_kernels::rtm::{RtmParams, RtmStage, RTM_PACKED_LANES};
+use sf_kernels::{AbstractOp2D, AbstractOp3D};
+use std::collections::BTreeSet;
+
+/// The extracted truth about one kernel's access/arithmetic behaviour.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Footprint {
+    /// Offsets read, unified to 3D (`dz = 0` for 2D kernels).
+    pub offsets: BTreeSet<(i32, i32, i32)>,
+    /// Chebyshev radius of the read set — the window reach the kernel
+    /// actually needs.
+    pub radius: usize,
+    /// Ops executed by one update (all fused stages for RTM).
+    pub tally: OpTally,
+}
+
+/// Probe a 2D kernel: one counted, recorded execution of its update.
+pub fn extract_2d<K: AbstractOp2D + ?Sized>(op: &K) -> Footprint {
+    let ((_, reads), tally) = count_ops(|| probe::record_2d(op, |_, _| CountingValue));
+    let radius = probe::radius_2d(&reads);
+    let offsets = reads.into_iter().map(|(dx, dy)| (dx, dy, 0)).collect();
+    Footprint { offsets, radius, tally }
+}
+
+/// Probe a 3D kernel.
+pub fn extract_3d<K: AbstractOp3D + ?Sized>(op: &K) -> Footprint {
+    let ((_, reads), tally) = count_ops(|| probe::record_3d(op, |_, _, _| CountingValue));
+    let radius = probe::radius_3d(&reads);
+    Footprint { offsets: reads, radius, tally }
+}
+
+/// Probe the full fused RTM pipeline: union of the four stages' footprints,
+/// sum of their tallies — the counted dual of
+/// [`sf_kernels::rtm::fused_op_count`].
+pub fn extract_rtm(params: RtmParams) -> Footprint {
+    let mut offsets: BTreeSet<(i32, i32, i32)> = BTreeSet::new();
+    let mut tally = OpTally::default();
+    for s in 1..=4 {
+        let stage = RtmStage::new(s, params);
+        let ((_, reads), t) = count_ops(|| {
+            probe::record_rtm_stage(&stage, |_, _, _| [CountingValue; RTM_PACKED_LANES])
+        });
+        offsets.extend(reads);
+        tally = tally.plus(t);
+    }
+    let radius = probe::radius_3d(&offsets);
+    Footprint { offsets, radius, tally }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_kernels::{Jacobi3D, Poisson2D, StarStencil2D};
+
+    #[test]
+    fn poisson_truth_matches_declaration() {
+        let f = extract_2d(&Poisson2D);
+        assert_eq!(f.radius, 1);
+        assert_eq!(f.offsets.len(), 5);
+        assert_eq!(f.tally, OpTally { adds: 4, muls: 2, divs: 0 });
+        assert_eq!(f.tally.as_op_count(), Poisson2D::op_count());
+    }
+
+    #[test]
+    fn jacobi_truth_matches_declaration() {
+        let f = extract_3d(&Jacobi3D::smoothing());
+        assert_eq!(f.radius, 1);
+        assert_eq!(f.offsets.len(), 7);
+        assert_eq!(f.tally.as_op_count(), Jacobi3D::op_count());
+    }
+
+    #[test]
+    fn star_truth_matches_declaration() {
+        let s = StarStencil2D::laplace9_order4(0.1, 1.0);
+        let f = extract_2d(&s);
+        assert_eq!(f.radius, 2);
+        assert_eq!(f.tally.as_op_count(), s.op_count());
+    }
+
+    #[test]
+    fn rtm_fused_truth_matches_declaration() {
+        let f = extract_rtm(RtmParams::default());
+        assert_eq!(f.radius, 4);
+        // 25-point star + nothing else spatial
+        assert_eq!(f.offsets.len(), 25);
+        assert_eq!(f.tally.as_op_count(), sf_kernels::rtm::fused_op_count());
+    }
+}

@@ -1,0 +1,227 @@
+//! The interval domain: executing a kernel on [`Interval`] bounds its
+//! output range over an assumed input range, in one pass, with sticky
+//! hazard flags.
+//!
+//! Bounds are kept in `f64` (exact for every `f32` input, so widening is
+//! purely from the interval arithmetic itself, never from the carrier).
+//! Two hazards ride along every value:
+//!
+//! * `maybe_nan` — a NaN-producing form was reachable (`0·∞`, `∞−∞`,
+//!   `0/0`, or division by an interval containing zero),
+//! * `div_by_zero` — some divisor interval contained zero.
+//!
+//! The flags are *sticky*: once set on any operand they survive to the
+//! result, so the kernel's output interval answers "is a non-finite value
+//! statically reachable anywhere in this update?" without tracking paths.
+
+use core::ops::{Add, Div, Mul, Sub};
+use sf_kernels::AbstractValue;
+
+/// A closed interval `[lo, hi]` with sticky hazard flags.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Interval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// A NaN is statically reachable somewhere in the expression's history.
+    pub maybe_nan: bool,
+    /// A division by an interval containing zero happened in the history.
+    pub div_by_zero: bool,
+}
+
+impl Interval {
+    /// The interval `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Asserts `lo ≤ hi`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "interval bounds out of order: [{lo}, {hi}]");
+        Interval { lo, hi, maybe_nan: false, div_by_zero: false }
+    }
+
+    /// The degenerate interval `[c, c]`.
+    pub fn point(c: f64) -> Self {
+        Interval::new(c, c)
+    }
+
+    /// The unbounded interval (what a poisoned division collapses to).
+    pub fn top() -> Self {
+        Interval::new(f64::NEG_INFINITY, f64::INFINITY)
+    }
+
+    /// `true` if `0 ∈ [lo, hi]`.
+    pub fn contains_zero(&self) -> bool {
+        self.lo <= 0.0 && self.hi >= 0.0
+    }
+
+    /// Largest absolute value in the interval.
+    pub fn max_abs(&self) -> f64 {
+        self.lo.abs().max(self.hi.abs())
+    }
+
+    /// `true` if every value in the interval is a finite `f32`.
+    pub fn finite_in_f32(&self) -> bool {
+        !self.maybe_nan && self.max_abs() <= f32::MAX as f64
+    }
+
+    /// Smallest interval containing both, with hazard flags OR-ed (used to
+    /// join the output lanes of a multi-lane kernel into one range verdict).
+    pub fn hull(self, o: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(o.lo),
+            hi: self.hi.max(o.hi),
+            maybe_nan: self.maybe_nan || o.maybe_nan,
+            div_by_zero: self.div_by_zero || o.div_by_zero,
+        }
+    }
+
+    fn flags_from(a: &Interval, b: &Interval) -> (bool, bool) {
+        (a.maybe_nan || b.maybe_nan, a.div_by_zero || b.div_by_zero)
+    }
+}
+
+impl Add for Interval {
+    type Output = Interval;
+    fn add(self, r: Interval) -> Interval {
+        let (maybe_nan, div_by_zero) = Interval::flags_from(&self, &r);
+        let lo = self.lo + r.lo;
+        let hi = self.hi + r.hi;
+        // ∞ + (−∞) is the only NaN-producing add
+        let nan = lo.is_nan() || hi.is_nan();
+        Interval {
+            lo: if lo.is_nan() { f64::NEG_INFINITY } else { lo },
+            hi: if hi.is_nan() { f64::INFINITY } else { hi },
+            maybe_nan: maybe_nan || nan,
+            div_by_zero,
+        }
+    }
+}
+
+impl Sub for Interval {
+    type Output = Interval;
+    fn sub(self, r: Interval) -> Interval {
+        let (maybe_nan, div_by_zero) = Interval::flags_from(&self, &r);
+        let lo = self.lo - r.hi;
+        let hi = self.hi - r.lo;
+        let nan = lo.is_nan() || hi.is_nan();
+        Interval {
+            lo: if lo.is_nan() { f64::NEG_INFINITY } else { lo },
+            hi: if hi.is_nan() { f64::INFINITY } else { hi },
+            maybe_nan: maybe_nan || nan,
+            div_by_zero,
+        }
+    }
+}
+
+impl Mul for Interval {
+    type Output = Interval;
+    fn mul(self, r: Interval) -> Interval {
+        let (mut maybe_nan, div_by_zero) = Interval::flags_from(&self, &r);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for a in [self.lo, self.hi] {
+            for b in [r.lo, r.hi] {
+                let p = a * b;
+                if p.is_nan() {
+                    // 0·∞ corner
+                    maybe_nan = true;
+                } else {
+                    lo = lo.min(p);
+                    hi = hi.max(p);
+                }
+            }
+        }
+        if lo > hi {
+            // every corner was NaN
+            return Interval { maybe_nan: true, div_by_zero, ..Interval::top() };
+        }
+        Interval { lo, hi, maybe_nan, div_by_zero }
+    }
+}
+
+impl Div for Interval {
+    type Output = Interval;
+    fn div(self, r: Interval) -> Interval {
+        let (maybe_nan, div_by_zero) = Interval::flags_from(&self, &r);
+        if r.contains_zero() {
+            // the divisor can be (arbitrarily close to) zero: the quotient
+            // is unbounded and 0/0 NaN is reachable
+            return Interval { maybe_nan: true, div_by_zero: true, ..Interval::top() };
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for a in [self.lo, self.hi] {
+            for b in [r.lo, r.hi] {
+                let q = a / b;
+                lo = lo.min(q);
+                hi = hi.max(q);
+            }
+        }
+        Interval { lo, hi, maybe_nan, div_by_zero }
+    }
+}
+
+impl AbstractValue for Interval {
+    fn constant(c: f32) -> Self {
+        Interval::point(c as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_arithmetic_bounds() {
+        let a = Interval::new(-1.0, 2.0);
+        let b = Interval::new(0.5, 3.0);
+        let s = a + b;
+        assert_eq!((s.lo, s.hi), (-0.5, 5.0));
+        let d = a - b;
+        assert_eq!((d.lo, d.hi), (-4.0, 1.5));
+        let m = a * b;
+        assert_eq!((m.lo, m.hi), (-3.0, 6.0));
+        let q = a / b;
+        assert_eq!((q.lo, q.hi), (-2.0, 4.0));
+        assert!(!q.maybe_nan && !q.div_by_zero);
+    }
+
+    #[test]
+    fn division_by_zero_poisons() {
+        let a = Interval::new(1.0, 2.0);
+        let z = Interval::new(-0.5, 0.5);
+        let q = a / z;
+        assert!(q.div_by_zero && q.maybe_nan);
+        assert!(!q.finite_in_f32());
+        // stickiness: further arithmetic keeps the flags
+        let later = q * Interval::point(0.0) + Interval::point(1.0);
+        assert!(later.div_by_zero);
+    }
+
+    #[test]
+    fn overflow_detected_against_f32() {
+        let big = Interval::point(1e30);
+        let sq = big * big; // 1e60 — fine in f64, over f32::MAX
+        assert!(!sq.maybe_nan);
+        assert!(!sq.finite_in_f32());
+        assert!(Interval::new(-1.0, 1.0).finite_in_f32());
+    }
+
+    #[test]
+    fn contraction_stays_in_unit_range() {
+        // the poisson update on [-1,1] inputs stays within [-1,1]
+        let u = Interval::new(-1.0, 1.0);
+        let sum = ((u + u) + u) + u;
+        let out = Interval::constant(0.125) * sum + Interval::constant(0.5) * u;
+        assert!(out.lo >= -1.0 - 1e-12 && out.hi <= 1.0 + 1e-12, "{out:?}");
+    }
+
+    #[test]
+    fn mul_nan_corner_is_flagged_not_propagated_as_bounds() {
+        let inf = Interval::new(0.0, f64::INFINITY);
+        let z = Interval::point(0.0);
+        let m = inf * z;
+        assert!(m.maybe_nan);
+    }
+}

@@ -1,0 +1,41 @@
+//! `sf-absint` — abstract interpretation over the real kernel update
+//! functions.
+//!
+//! The kernels in `sf-kernels` are written once, generically over an
+//! [`sf_kernels::AbstractValue`] domain; instantiating them at `f32` *is*
+//! the simulated datapath. This crate instantiates the same code at other
+//! domains to extract static truths the design flow otherwise takes on
+//! faith from the hand-written [`sf_kernels::StencilSpec`] declarations:
+//!
+//! * [`count`] + [`footprint`] — a probe run on the counting domain through
+//!   a recording accessor yields the true access footprint and op tally,
+//!   cross-checked against the spec's declared reach and `G_dsp` inputs
+//!   (rules `SFC-K01`/`SFC-K02`);
+//! * [`interval`] — one update on interval bounds flags statically
+//!   reachable NaN/overflow/division-by-zero (`SFC-K03`/`SFC-K04`);
+//! * [`stability`] — impulse-probed von Neumann symbol analysis rejects
+//!   iterative configurations that diverge (`SFC-K05`).
+//!
+//! [`rules`] packages the three analyses as [`sf_check::Diagnostic`]s and
+//! caches the paper kernels' analyses per process; `sf-core`'s preflight
+//! and the `sfstencil check` CLI consume [`app_diagnostics`] from there.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod count;
+pub mod footprint;
+pub mod interval;
+pub mod rules;
+pub mod stability;
+pub mod tally;
+
+pub use count::{count_ops, CountingValue};
+pub use footprint::Footprint;
+pub use interval::Interval;
+pub use rules::{
+    analyze_2d, analyze_3d, analyze_app, analyze_rtm, app_diagnostics, kernel_diagnostics,
+    AbsintConfig, KernelAnalysis,
+};
+pub use stability::StabilityVerdict;
+pub use tally::OpTally;

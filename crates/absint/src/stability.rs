@@ -1,0 +1,279 @@
+//! Von Neumann stability analysis of linear constant-coefficient stencils.
+//!
+//! For an update `u'[x] = Σ_o c_o · u[x+o]` on a periodic mesh, the Fourier
+//! mode `e^{iθ·x}` is an eigenvector with eigenvalue (the *symbol*)
+//!
+//! ```text
+//! g(θ) = Σ_o c_o · e^{i θ·o},       θ ∈ [0, 2π)^dims
+//! ```
+//!
+//! and the iteration is stable iff `max_θ |g(θ)| ≤ 1`: each pipeline pass
+//! multiplies the amplitude of the worst mode by `max|g|`, so an unrolled
+//! design running `p` passes per mesh traversal amplifies it by `max|g|^p`
+//! before a single result leaves the chain.
+//!
+//! The coefficients are not declared anywhere — they are *extracted from
+//! the kernel itself* by impulse probing its generic update at `V = f32`:
+//! `c_o = update(δ_o)`. Linearity is verified, not assumed: the probe
+//! rejects kernels with a nonzero affine part (`update(0) ≠ 0`) and kernels
+//! that fail superposition on a deterministic pseudo-random field, reporting
+//! [`StabilityVerdict::NotApplicable`] instead of a wrong verdict.
+
+use sf_kernels::{AbstractOp2D, AbstractOp3D};
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+/// Outcome of the stability analysis.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StabilityVerdict {
+    /// The kernel is not a linear constant-coefficient scalar stencil; the
+    /// scalar symbol does not apply.
+    NotApplicable {
+        /// Why the analysis does not apply.
+        reason: String,
+    },
+    /// `max|g| ≤ 1 + tol`: iterating cannot amplify any Fourier mode.
+    Stable {
+        /// The sampled maximum of `|g(θ)|`.
+        max_amplification: f64,
+    },
+    /// `max|g| > 1 + tol`: the iteration diverges.
+    Unstable {
+        /// The sampled maximum of `|g(θ)|`.
+        max_amplification: f64,
+        /// The frequency `(θx, θy, θz)` attaining it.
+        worst_freq: [f64; 3],
+    },
+}
+
+impl StabilityVerdict {
+    /// The sampled `max|g|`, when the analysis applied.
+    pub fn max_amplification(&self) -> Option<f64> {
+        match self {
+            StabilityVerdict::NotApplicable { .. } => None,
+            StabilityVerdict::Stable { max_amplification }
+            | StabilityVerdict::Unstable { max_amplification, .. } => Some(*max_amplification),
+        }
+    }
+}
+
+/// Relative tolerance for the linearity (superposition) check.
+const LINEARITY_TOL: f64 = 1e-4;
+
+/// A kernel evaluation closure: applies the update function to the field
+/// given by the inner accessor (offset → value).
+type KernelEval<'a> = dyn Fn(&dyn Fn(i32, i32, i32) -> f32) -> f32 + 'a;
+
+/// Deterministic pseudo-random field values in roughly `[-1, 1]` (LCG —
+/// reproducible with no dependencies).
+fn pseudo(seed: u64, dx: i32, dy: i32, dz: i32) -> f32 {
+    let mut s = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add((dx as u64).wrapping_mul(0x9e3779b97f4a7c15))
+        .wrapping_add((dy as u64).wrapping_mul(0xc2b2ae3d27d4eb4f))
+        .wrapping_add((dz as u64).wrapping_mul(0x165667b19e3779f9));
+    s ^= s >> 33;
+    s = s.wrapping_mul(0xff51afd7ed558ccd);
+    s ^= s >> 33;
+    ((s >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0) as f32
+}
+
+/// Extract `c_o = update(δ_o)` for every offset the kernel reads, after
+/// verifying `update(0) = 0` and superposition. `None` when the kernel is
+/// not (affinely-zero) linear.
+fn probe_coefficients(
+    offsets: &BTreeSet<(i32, i32, i32)>,
+    eval: &KernelEval<'_>,
+) -> Option<BTreeMap<(i32, i32, i32), f64>> {
+    let zero = eval(&|_, _, _| 0.0f32) as f64;
+    if zero != 0.0 {
+        return None; // affine part: u' = c + Σ... — not the linear form
+    }
+    let mut coeffs = BTreeMap::new();
+    for &o in offsets {
+        let c = eval(&move |dx, dy, dz| if (dx, dy, dz) == o { 1.0f32 } else { 0.0f32 });
+        coeffs.insert(o, c as f64);
+    }
+    // superposition on two deterministic random fields
+    for seed in [1u64, 2u64] {
+        let field = move |dx: i32, dy: i32, dz: i32| pseudo(seed, dx, dy, dz);
+        let direct = eval(&field) as f64;
+        let reconstructed: f64 =
+            coeffs.iter().map(|(&(dx, dy, dz), &c)| c * field(dx, dy, dz) as f64).sum();
+        let scale = coeffs.values().map(|c| c.abs()).sum::<f64>().max(1.0);
+        if (direct - reconstructed).abs() > LINEARITY_TOL * scale {
+            return None;
+        }
+    }
+    Some(coeffs)
+}
+
+/// Sample `max_θ |g(θ)|` on an `n`-per-dimension frequency grid (always
+/// containing `θ = 0` and, for even `n`, the Nyquist mode `θ = π` — the
+/// classic worst case for diffusive stencils). Returns the max and the
+/// frequency attaining it.
+fn symbol_max(coeffs: &BTreeMap<(i32, i32, i32), f64>, dims: usize, n: usize) -> (f64, [f64; 3]) {
+    let n = n.max(2);
+    let step = core::f64::consts::TAU / n as f64;
+    let mut best = (0.0f64, [0.0f64; 3]);
+    let samples_z = if dims >= 3 { n } else { 1 };
+    for kx in 0..n {
+        for ky in 0..n {
+            for kz in 0..samples_z {
+                let th = [kx as f64 * step, ky as f64 * step, kz as f64 * step];
+                let (mut re, mut im) = (0.0f64, 0.0f64);
+                for (&(dx, dy, dz), &c) in coeffs {
+                    let phase = th[0] * dx as f64 + th[1] * dy as f64 + th[2] * dz as f64;
+                    re += c * phase.cos();
+                    im += c * phase.sin();
+                }
+                let mag = (re * re + im * im).sqrt();
+                if mag > best.0 {
+                    best = (mag, th);
+                }
+            }
+        }
+    }
+    best
+}
+
+fn verdict(
+    coeffs: Option<BTreeMap<(i32, i32, i32), f64>>,
+    dims: usize,
+    freq_samples: usize,
+    tol: f64,
+) -> StabilityVerdict {
+    let Some(coeffs) = coeffs else {
+        return StabilityVerdict::NotApplicable {
+            reason: "kernel is not linear constant-coefficient (impulse probe failed \
+                     zero-preservation or superposition)"
+                .into(),
+        };
+    };
+    let (max_amplification, worst_freq) = symbol_max(&coeffs, dims, freq_samples);
+    if max_amplification > 1.0 + tol {
+        StabilityVerdict::Unstable { max_amplification, worst_freq }
+    } else {
+        StabilityVerdict::Stable { max_amplification }
+    }
+}
+
+/// Stability analysis of a 2D scalar kernel over its probed footprint.
+pub fn analyze_2d<K: AbstractOp2D + ?Sized>(
+    op: &K,
+    offsets: &BTreeSet<(i32, i32, i32)>,
+    freq_samples: usize,
+    tol: f64,
+) -> StabilityVerdict {
+    let eval = |field: &dyn Fn(i32, i32, i32) -> f32| -> f32 {
+        op.update::<f32, _>(&|dx, dy| field(dx, dy, 0))
+    };
+    verdict(probe_coefficients(offsets, &eval), 2, freq_samples, tol)
+}
+
+/// Stability analysis of a 3D scalar kernel over its probed footprint.
+pub fn analyze_3d<K: AbstractOp3D + ?Sized>(
+    op: &K,
+    offsets: &BTreeSet<(i32, i32, i32)>,
+    freq_samples: usize,
+    tol: f64,
+) -> StabilityVerdict {
+    let eval = |field: &dyn Fn(i32, i32, i32) -> f32| -> f32 {
+        op.update::<f32, _>(&|dx, dy, dz| field(dx, dy, dz))
+    };
+    verdict(probe_coefficients(offsets, &eval), 3, freq_samples, tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::footprint;
+    use sf_kernels::{Jacobi3D, Poisson2D, StarStencil2D};
+
+    #[test]
+    fn poisson_is_stable_with_unit_symbol_at_dc() {
+        let f = footprint::extract_2d(&Poisson2D);
+        let v = analyze_2d(&Poisson2D, &f.offsets, 16, 1e-4);
+        match v {
+            StabilityVerdict::Stable { max_amplification } => {
+                // coefficients ≥ 0 summing to 1 → max|g| = g(0) = 1
+                assert!((max_amplification - 1.0).abs() < 1e-9, "{max_amplification}");
+            }
+            other => panic!("expected stable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn jacobi_smoothing_is_stable() {
+        let k = Jacobi3D::smoothing();
+        let f = footprint::extract_3d(&k);
+        let v = analyze_3d(&k, &f.offsets, 16, 1e-4);
+        assert!(matches!(v, StabilityVerdict::Stable { .. }), "{v:?}");
+    }
+
+    #[test]
+    fn amplifying_coefficients_are_unstable_at_dc() {
+        // all-0.5 coefficients: g(0) = 3.5 — diverges immediately
+        let k = Jacobi3D::with_coefficients([0.5; 7]);
+        let f = footprint::extract_3d(&k);
+        match analyze_3d(&k, &f.offsets, 16, 1e-4) {
+            StabilityVerdict::Unstable { max_amplification, .. } => {
+                assert!((max_amplification - 3.5).abs() < 1e-6, "{max_amplification}");
+            }
+            other => panic!("expected unstable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overdriven_heat_step_is_unstable_at_nyquist() {
+        // u + α∇²u with α = 0.8 > 1/4: g(π,π) = 1 − 8α = −5.4
+        let k = StarStencil2D::laplace5(0.8, 1.0 - 4.0 * 0.8);
+        let f = footprint::extract_2d(&k);
+        match analyze_2d(&k, &f.offsets, 16, 1e-4) {
+            StabilityVerdict::Unstable { max_amplification, worst_freq } => {
+                assert!((max_amplification - 5.4).abs() < 1e-6, "{max_amplification}");
+                // worst mode is the Nyquist checkerboard
+                assert!((worst_freq[0] - core::f64::consts::PI).abs() < 1e-9);
+            }
+            other => panic!("expected unstable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stable_heat_step_under_cfl_is_accepted() {
+        // α = 0.2 ≤ 1/4: g ∈ [1−8α, 1] = [-0.6, 1]
+        let k = StarStencil2D::laplace5(0.2, 1.0 - 4.0 * 0.2);
+        let f = footprint::extract_2d(&k);
+        assert!(matches!(analyze_2d(&k, &f.offsets, 16, 1e-4), StabilityVerdict::Stable { .. }));
+    }
+
+    #[test]
+    fn nonlinear_kernel_is_not_applicable() {
+        struct Square;
+        impl AbstractOp2D for Square {
+            fn update<V: sf_kernels::AbstractValue, F: Fn(i32, i32) -> V>(&self, at: &F) -> V {
+                at(0, 0) * at(0, 0)
+            }
+        }
+        let f = footprint::extract_2d(&Square);
+        assert!(matches!(
+            analyze_2d(&Square, &f.offsets, 16, 1e-4),
+            StabilityVerdict::NotApplicable { .. }
+        ));
+    }
+
+    #[test]
+    fn affine_kernel_is_not_applicable() {
+        struct Affine;
+        impl AbstractOp2D for Affine {
+            fn update<V: sf_kernels::AbstractValue, F: Fn(i32, i32) -> V>(&self, at: &F) -> V {
+                at(0, 0) + V::constant(1.0)
+            }
+        }
+        let f = footprint::extract_2d(&Affine);
+        assert!(matches!(
+            analyze_2d(&Affine, &f.offsets, 16, 1e-4),
+            StabilityVerdict::NotApplicable { .. }
+        ));
+    }
+}

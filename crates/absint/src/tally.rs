@@ -1,0 +1,51 @@
+//! The counted-op record shared by the counting domain and the K-rules.
+
+use sf_kernels::ops::{NumberFormat, OpCount};
+
+/// Adds (incl. subs), muls and divs executed by one kernel update.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct OpTally {
+    /// Additions + subtractions (both price as fadd).
+    pub adds: u64,
+    /// Multiplications.
+    pub muls: u64,
+    /// Divisions.
+    pub divs: u64,
+}
+
+impl OpTally {
+    /// Total floating-point operations.
+    pub fn flops(&self) -> u64 {
+        self.adds + self.muls + self.divs
+    }
+
+    /// Sum two tallies (e.g. across RTM's four fused stages).
+    pub fn plus(self, o: OpTally) -> OpTally {
+        OpTally { adds: self.adds + o.adds, muls: self.muls + o.muls, divs: self.divs + o.divs }
+    }
+
+    /// The tally as a declared-style [`OpCount`], so the spec's DSP pricing
+    /// applies to counted ops verbatim.
+    pub fn as_op_count(&self) -> OpCount {
+        OpCount::new(self.adds as usize, self.muls as usize, self.divs as usize)
+    }
+
+    /// `G_dsp` of the counted ops under a number format.
+    pub fn gdsp(&self, format: NumberFormat) -> usize {
+        self.as_op_count().dsp_with(format)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_prices_like_the_declared_count() {
+        let t = OpTally { adds: 4, muls: 2, divs: 0 };
+        assert_eq!(t.flops(), 6);
+        assert_eq!(t.gdsp(NumberFormat::Fp32), OpCount::new(4, 2, 0).dsp());
+        let sum = t.plus(OpTally { adds: 1, muls: 1, divs: 1 });
+        assert_eq!(sum, OpTally { adds: 5, muls: 3, divs: 1 });
+    }
+}

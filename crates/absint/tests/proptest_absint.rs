@@ -1,0 +1,145 @@
+//! Property tests tying the abstract domains to the concrete kernels: the
+//! probed footprint stays inside the declared reach, the counted ops match
+//! the declared `flops_per_cell()` for every paper application, the
+//! interval range is sound against concrete execution on randomized meshes,
+//! and the stability verdict agrees with what actually happens when the
+//! kernel is iterated.
+
+use proptest::prelude::*;
+use sf_absint::{analyze_2d, app_diagnostics, AbsintConfig, StabilityVerdict};
+use sf_kernels::{reference, AppId, StarStencil2D, StencilSpec};
+use sf_mesh::Mesh2D;
+
+/// Deterministic star stencil within `radius`, derived from a seed (the
+/// vendored proptest shim has no composite strategies): the center plus a
+/// seed-dependent set of symmetric axis points with bounded weights.
+fn star_from_seed(seed: u64, radius: i32) -> StarStencil2D {
+    let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut next = move || {
+        s ^= s >> 12;
+        s ^= s << 25;
+        s ^= s >> 27;
+        s.wrapping_mul(0x2545F4914F6CDD1D)
+    };
+    let unit = |r: u64| (r >> 11) as f32 / (1u64 << 53) as f32;
+    let mut points = vec![(0, 0, unit(next()) * 2.0 - 1.0)];
+    let pairs = 1 + (next() % 4) as usize;
+    for _ in 0..pairs {
+        let d = 1 + (next() % radius as u64) as i32;
+        let horizontal = next() % 2 == 0;
+        let w = unit(next()) - 0.5;
+        let (dx, dy) = if horizontal { (d, 0) } else { (0, d) };
+        // both sides, so footprints stay symmetric like real stencils
+        points.push((dx, dy, w));
+        points.push((-dx, -dy, w));
+    }
+    StarStencil2D::new(points)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For every paper application, at any unroll factor, the extracted
+    /// footprint fits the declared reach and the counted ops equal the
+    /// declared `flops_per_cell()`/`G_dsp` — i.e. the K-rules stay clean.
+    #[test]
+    fn paper_apps_extracted_truth_matches_declarations(p in 1usize..64, which in 0usize..3) {
+        let app = AppId::ALL[which];
+        let spec = app.spec();
+        let a = sf_absint::analyze_app(app).unwrap();
+        prop_assert!(a.footprint.radius <= spec.radius());
+        prop_assert!(a.footprint.offsets.iter().all(|&(dx, dy, dz)| {
+            dx.unsigned_abs().max(dy.unsigned_abs()).max(dz.unsigned_abs()) as usize
+                <= spec.radius()
+        }));
+        prop_assert_eq!(a.footprint.tally.flops() as usize, spec.flops_per_cell());
+        prop_assert_eq!(a.footprint.tally.gdsp(spec.format), spec.gdsp());
+        prop_assert!(app_diagnostics(&spec, p).is_empty());
+    }
+
+    /// Random custom stencils: the probed tally always equals the stencil's
+    /// own declared op count, and the probed radius never exceeds the
+    /// radius its spec derives.
+    #[test]
+    fn random_star_counted_ops_match_declaration(seed in 0u64..10_000) {
+        let k = star_from_seed(seed, 3);
+        let f = sf_absint::footprint::extract_2d(&k);
+        prop_assert_eq!(f.tally.as_op_count(), k.op_count());
+        prop_assert!(f.radius <= k.spec().radius());
+    }
+
+    /// Interval soundness: one concrete update on a random mesh lands
+    /// inside the interval computed from the mesh's value range.
+    #[test]
+    fn interval_bounds_concrete_execution(
+        kseed in 0u64..10_000,
+        nx in 5usize..24,
+        ny in 5usize..24,
+        seed in 0u64..500,
+        lo in -2.0f32..0.0,
+        span in 0.1f32..3.0,
+    ) {
+        let k = star_from_seed(kseed, 2);
+        let hi = lo + span;
+        let m = Mesh2D::<f32>::random(nx, ny, seed, lo, hi);
+        let cfg = AbsintConfig { input_range: (lo, hi), ..AbsintConfig::default() };
+        let a = analyze_2d(&k, &cfg);
+        let out = reference::step_2d(&k, &m);
+        let r = k.spec().radius();
+        prop_assume!(nx > 2 * r && ny > 2 * r);
+        for y in r..ny - r {
+            for x in r..nx - r {
+                let v = out.get(x, y) as f64;
+                prop_assert!(
+                    v >= a.range.lo - 1e-5 && v <= a.range.hi + 1e-5,
+                    "concrete {} outside abstract [{}, {}]", v, a.range.lo, a.range.hi
+                );
+            }
+        }
+    }
+
+    /// Stability soundness on diffusive steps: a CFL-stable heat step must
+    /// never grow the max-norm of a random field when iterated, and the
+    /// verdict must call it stable; an overdriven step must be rejected.
+    #[test]
+    fn stability_verdict_matches_iterated_behaviour(
+        alpha in 0.01f32..0.24,
+        seed in 0u64..200,
+    ) {
+        let cfg = AbsintConfig::default();
+        let stable = StarStencil2D::laplace5(alpha, 1.0 - 4.0 * alpha);
+        let a = analyze_2d(&stable, &cfg);
+        prop_assert!(matches!(a.stability, StabilityVerdict::Stable { .. }), "{:?}", a.stability);
+        let m = Mesh2D::<f32>::random(24, 24, seed, -1.0, 1.0);
+        let before = m.as_slice().iter().fold(0.0f32, |acc, v| acc.max(v.abs()));
+        let after_mesh = reference::run_2d(&stable, &m, 20);
+        let after = after_mesh.as_slice().iter().fold(0.0f32, |acc, v| acc.max(v.abs()));
+        prop_assert!(after <= before + 1e-4, "stable step grew {} -> {}", before, after);
+
+        let over = 0.3 + alpha; // > 1/4: von Neumann-unstable
+        let unstable = StarStencil2D::laplace5(over, 1.0 - 4.0 * over);
+        let a = analyze_2d(&unstable, &cfg);
+        prop_assert!(
+            matches!(a.stability, StabilityVerdict::Unstable { .. }),
+            "{:?}", a.stability
+        );
+    }
+}
+
+/// The declared spec drifted from the kernel: the K-rules fire through the
+/// public `app_diagnostics` path end to end (per-rule fixtures live in
+/// `sf_absint::rules` unit tests).
+#[test]
+fn drifted_specs_fire_k_rules_through_public_api() {
+    use sf_check::RuleId;
+
+    let mut shrunk = StencilSpec::rtm();
+    shrunk.order = 2; // true radius is 4
+    let ds = app_diagnostics(&shrunk, 3);
+    assert!(ds.iter().any(|d| d.rule == RuleId::KernelFootprint), "{ds:?}");
+
+    let mut drifted = StencilSpec::jacobi();
+    drifted.ops = sf_kernels::OpCount::new(50, 50, 0);
+    let ds = app_diagnostics(&drifted, 8);
+    assert!(ds.iter().any(|d| d.rule == RuleId::KernelOpCount), "{ds:?}");
+}

@@ -10,7 +10,9 @@
 //!                       [--trace-out trace.json] [--json]
 //! sfstencil check       --app poisson --mesh 400x400 [--v 8 --p 60] \
 //!                       [--mem hbm|ddr4] [--tile M[xN]] [--fifo-depth D] \
-//!                       [--window-units U] [--json]
+//!                       [--window-units U] [--assume-order D] \
+//!                       [--assume-gdsp N] [--json]
+//! sfstencil check       --explain SFC-K05
 //! sfstencil faults      [--app poisson2d|jacobi3d|rtm3d] [--seed 42] \
 //!                       [--rate PPM]... [--trials N] [--kind NAME]... \
 //!                       [--recovery rerun|rollback] [--checkpoint-every N]... \
@@ -26,11 +28,19 @@
 //!
 //! `check` runs the `sf-check` static design-rule analyzer — window-buffer
 //! sizing, FIFO deadlock-freedom, loop-carried RAW hazards, tile/halo and
-//! vectorization legality, per-SLR resource budgets — without executing
+//! vectorization legality, per-SLR resource budgets — plus the `sf-absint`
+//! kernel-analysis rules (`SFC-K01`…`SFC-K05`: probed footprint vs declared
+//! reach, counted ops vs declared `G_dsp`, interval NaN/overflow/
+//! div-by-zero hazards, von Neumann stability) — without executing
 //! anything. With explicit `--v`/`--p` it verifies exactly that
 //! configuration (plus any seeded `--fifo-depth`/`--window-units`
-//! overrides); otherwise it verifies the DSE-selected best design. Exits 1
-//! if any error-severity diagnostic fires.
+//! overrides); otherwise it verifies the DSE-selected best design.
+//! `--assume-order`/`--assume-gdsp` override the spec's declared order /
+//! DSP cost on the checked design, seeding kernel-rule violations the same
+//! way `--fifo-depth` seeds FIFO ones. Exits 1 if any error-severity
+//! diagnostic fires. `check --explain SFC-XXX` prints the catalogue entry
+//! for any rule (severity, what it governs, how to fix it) and exits 0;
+//! unknown codes list the catalogue and exit 2.
 //!
 //! `profile` runs the best design with telemetry enabled and reports the
 //! stall attribution (compute vs memory vs backpressure) and the
@@ -72,7 +82,9 @@ fn fail(msg: &str) -> ! {
          --app <poisson|jacobi|rtm> \
          --mesh <NXxNY[xNZ]> [--batch B] [--iters N] [--top K] [--v V] [--p P] \
          [--mem hbm|ddr4] [--tile M[xN]] [--fifo-depth D] [--window-units U] \
+         [--assume-order D] [--assume-gdsp N] \
          [--jobs N] [--json] [--trace-out FILE] [--record-out FILE]\n       \
+         sfstencil check --explain SFC-XXX\n       \
          sfstencil faults [--app <poisson2d|jacobi3d|rtm3d>] [--seed N] \
          [--rate PPM]... [--trials N] [--kind NAME]... [--recovery rerun|rollback] \
          [--checkpoint-every N]... [--max-retries N] [--jobs N] [--json] \
@@ -95,6 +107,8 @@ struct Args {
     tile: Option<(usize, Option<usize>)>,
     fifo_depth: Option<usize>,
     window_units: Option<usize>,
+    assume_order: Option<usize>,
+    assume_gdsp: Option<usize>,
     jobs: usize,
     json: bool,
     trace_out: Option<String>,
@@ -153,6 +167,17 @@ fn parse() -> Args {
         tile,
         fifo_depth: get("--fifo-depth").map(|s| positive("--fifo-depth", s)),
         window_units: get("--window-units").map(|s| positive("--window-units", s)),
+        // order 0 is a legal override (it seeds an SFC-K01 footprint
+        // violation on any kernel with reach), so plain parse, not positive
+        assume_order: get("--assume-order").map(|s| {
+            s.parse::<usize>().unwrap_or_else(|_| {
+                fail(&format!("--assume-order must be a non-negative integer (got '{s}')"))
+            })
+        }),
+        assume_gdsp: get("--assume-gdsp").map(|s| match s.parse::<usize>() {
+            Ok(n) if n >= 2 => n,
+            _ => fail(&format!("--assume-gdsp must be an integer >= 2 (got '{s}')")),
+        }),
         jobs: sf_par::resolve_jobs(get("--jobs").map(|s| positive("--jobs", s))),
         json: argv.iter().any(|a| a == "--json"),
         trace_out: get("--trace-out"),
@@ -168,6 +193,26 @@ fn write_record(path: &str, mut rec: sf_report::RunRecord, started: std::time::I
     sf_report::append_record(std::path::Path::new(path), &rec)
         .unwrap_or_else(|e| fail(&format!("{e}")));
     eprintln!("run record appended to {path}");
+}
+
+/// `check --explain SFC-XXX`: print one rule's catalogue entry and exit 0;
+/// unknown codes list every rule and exit 2 (a usage error, like any other
+/// malformed flag).
+fn run_explain(code: &str) -> ! {
+    match sf_check::RuleId::from_code(code) {
+        Some(rule) => {
+            print!("{}", rule.explain());
+            std::process::exit(0);
+        }
+        None => {
+            eprintln!("error: unknown rule '{code}'");
+            eprintln!("known rules:");
+            for r in sf_check::RuleId::ALL {
+                eprintln!("  {:<8} {}", r.code(), r.summary());
+            }
+            std::process::exit(2);
+        }
+    }
 }
 
 /// The `check` subcommand: static design-rule analysis, no execution.
@@ -202,7 +247,25 @@ fn run_check(a: &Args, wf: &Workflow) {
         );
         (d, src)
     };
-    let rep = sf_check::check(&wf.device, &design);
+    // seeded spec drift: override the declared order / per-cell ops on the
+    // checked design (the DSE above, if any, ran on the clean spec) so the
+    // kernel-analysis rules have something to catch
+    let mut design = design;
+    if let Some(order) = a.assume_order {
+        design.spec.order = order;
+    }
+    if let Some(gdsp) = a.assume_gdsp {
+        // a synthetic OpCount whose fp32 DSP cost is exactly `gdsp`
+        // (adds cost 2; one mul costs 3 covers odd targets)
+        design.spec.ops = if gdsp % 2 == 0 {
+            sf_kernels::OpCount::new(gdsp / 2, 0, 0)
+        } else {
+            sf_kernels::OpCount::new((gdsp - 3) / 2, 1, 0)
+        };
+    }
+    let mut rep = sf_check::check(&wf.device, &design);
+    // the kernel-analysis rules (SFC-K01..K05) ride on every check run
+    rep.extend_diagnostics(sf_absint::app_diagnostics(&design.spec, design.p));
     if a.json {
         println!("{}", serde_json::to_string_pretty(&rep).unwrap());
     } else {
@@ -345,6 +408,16 @@ fn main() {
         && argv.get(1).is_some_and(|arg| !arg.starts_with("--"))
     {
         std::process::exit(sf_bench::reportcmd::run(&argv[1..]));
+    }
+    // `check --explain SFC-XXX` needs no --app/--mesh, so it is routed
+    // before the full argument parser
+    if argv.first().map(String::as_str) == Some("check") {
+        if let Some(i) = argv.iter().position(|arg| arg == "--explain") {
+            match argv.get(i + 1) {
+                Some(code) => run_explain(code),
+                None => fail("--explain needs a rule code (e.g. --explain SFC-K05)"),
+            }
+        }
     }
     let a = parse();
     let wf = Workflow::u280_vs_v100();

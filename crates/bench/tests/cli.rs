@@ -200,6 +200,144 @@ fn check_json_matches_golden() {
 }
 
 #[test]
+fn check_explain_prints_the_catalogue_entry() {
+    for code in ["SFC-K05", "sfc-k05"] {
+        let out = sfstencil().args(["check", "--explain", code]).output().unwrap();
+        assert!(out.status.success(), "{code}: {}", String::from_utf8_lossy(&out.stderr));
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        assert!(stdout.contains("SFC-K05"), "{stdout}");
+        assert!(stdout.contains("[error]"), "{stdout}");
+        assert!(stdout.contains("von Neumann"), "{stdout}");
+        assert!(stdout.contains("fix"), "{stdout}");
+    }
+    // every catalogued rule must explain itself (no --app/--mesh needed)
+    for code in ["SFC-P01", "SFC-F01", "SFC-K01", "SFC-K02", "SFC-K03", "SFC-K04"] {
+        let out = sfstencil().args(["check", "--explain", code]).output().unwrap();
+        assert!(out.status.success(), "{code} must be explainable");
+        assert!(String::from_utf8(out.stdout).unwrap().contains(code));
+    }
+}
+
+#[test]
+fn check_explain_unknown_rule_exits_2_with_suggestions() {
+    let out = sfstencil().args(["check", "--explain", "SFC-ZZZ"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown rule 'SFC-ZZZ'"), "{stderr}");
+    assert!(stderr.contains("known rules:"), "{stderr}");
+    assert!(stderr.contains("SFC-P01") && stderr.contains("SFC-K05"), "{stderr}");
+    // --explain with no value is a usage error, not a crash
+    let out = sfstencil().args(["check", "--explain"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8(out.stderr).unwrap().contains("--explain needs a rule code"));
+}
+
+#[test]
+fn check_assume_order_seeds_a_footprint_violation() {
+    let out = sfstencil()
+        .args([
+            "check",
+            "--app",
+            "poisson",
+            "--mesh",
+            "400x400",
+            "--v",
+            "8",
+            "--p",
+            "60",
+            "--assume-order",
+            "0",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stdout));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("SFC-K01"), "{stdout}");
+    assert!(stdout.contains("radius 1"), "{stdout}");
+}
+
+#[test]
+fn check_assume_gdsp_seeds_an_opcount_violation() {
+    let out = sfstencil()
+        .args([
+            "check",
+            "--app",
+            "jacobi",
+            "--mesh",
+            "300x300x300",
+            "--v",
+            "8",
+            "--p",
+            "29",
+            "--assume-gdsp",
+            "50",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stdout));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("SFC-K02"), "{stdout}");
+    assert!(stdout.contains("G_dsp 33"), "probed truth must be named: {stdout}");
+    assert!(stdout.contains("G_dsp 50"), "drifted declaration must be named: {stdout}");
+}
+
+#[test]
+fn check_rejects_malformed_assume_flags() {
+    for (flag, val) in [("--assume-order", "-1"), ("--assume-gdsp", "1"), ("--assume-gdsp", "x")] {
+        let out = sfstencil()
+            .args(["check", "--app", "poisson", "--mesh", "64x64", "--v", "8", "--p", "4"])
+            .args([flag, val])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(2), "{flag}={val} must be rejected");
+        assert!(String::from_utf8(out.stderr).unwrap().contains(flag));
+    }
+}
+
+/// Golden snapshot of `check --json` with a kernel-analysis (SFC-K02)
+/// diagnostic, proving the K-rules serialize through the same report as the
+/// design rules. Regenerate with `SF_UPDATE_GOLDEN=1 cargo test -p sf-bench`.
+const CHECK_K_GOLDEN_PATH: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/check_jacobi_gdsp34.json");
+
+#[test]
+fn check_json_with_kernel_rules_matches_golden() {
+    // G_dsp 34 vs the probed 33: outside the 2 % model tolerance (fires
+    // SFC-K02) but inside the device's DSP budget, so the kernel rule is
+    // the only diagnostic in the report
+    let out = sfstencil()
+        .args([
+            "check",
+            "--app",
+            "jacobi",
+            "--mesh",
+            "300x300x300",
+            "--v",
+            "8",
+            "--p",
+            "29",
+            "--assume-gdsp",
+            "34",
+            "--json",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "seeded op-count drift must exit 1");
+    let got = String::from_utf8(out.stdout).unwrap();
+    if std::env::var_os("SF_UPDATE_GOLDEN").is_some() {
+        std::fs::write(CHECK_K_GOLDEN_PATH, &got).unwrap();
+    }
+    let golden = std::fs::read_to_string(CHECK_K_GOLDEN_PATH).unwrap();
+    assert_eq!(got.trim(), golden.trim(), "check --json output drifted from the golden file");
+    let doc: Value = serde_json::from_str(&got).unwrap();
+    let diags = doc.get("diagnostics").and_then(Value::as_array).unwrap();
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].get("rule").and_then(Value::as_str), Some("KernelOpCount"));
+    assert_eq!(diags[0].get("severity").and_then(Value::as_str), Some("Error"));
+    assert_eq!(diags[0].get("location").and_then(Value::as_str), Some("kernel"));
+}
+
+#[test]
 fn faults_preflight_reports_before_the_campaign() {
     let out = sfstencil()
         .args(["faults", "--app", "poisson2d", "--rate", "1000000", "--trials", "1"])

@@ -59,6 +59,27 @@ pub enum RuleId {
     BandwidthChannels,
     /// `SFC-B02` — the workload's ping-pong buffers exceed external memory.
     ExternalCapacity,
+    /// `SFC-K01` — the kernel's *extracted* access footprint (probe
+    /// execution of the real update function) is not covered by the spec's
+    /// declared reach `D/2`: window buffers sized from the spec would feed
+    /// the datapath evicted cells.
+    KernelFootprint,
+    /// `SFC-K02` — the op tally counted by abstract interpretation of the
+    /// kernel disagrees with the spec's `flops_per_cell()`/`G_dsp` beyond
+    /// tolerance: every eq. 5/6 sizing decision is built on drifted inputs.
+    KernelOpCount,
+    /// `SFC-K03` — interval analysis over the assumed input range reaches a
+    /// non-finite value (overflow past `f32::MAX` or NaN) in one stencil
+    /// application.
+    KernelNonFinite,
+    /// `SFC-K04` — the kernel divides by a value whose interval contains
+    /// zero: division-by-zero is statically reachable.
+    KernelDivByZero,
+    /// `SFC-K05` — von Neumann analysis of the linear constant-coefficient
+    /// kernel bounds the symbol's max amplification above 1: the iterative
+    /// configuration (unroll `p` per pass) diverges, so simulating it wastes
+    /// every cycle.
+    KernelUnstable,
 }
 
 impl RuleId {
@@ -82,6 +103,11 @@ impl RuleId {
             RuleId::SlrSpanning => "SFC-S04",
             RuleId::BandwidthChannels => "SFC-B01",
             RuleId::ExternalCapacity => "SFC-B02",
+            RuleId::KernelFootprint => "SFC-K01",
+            RuleId::KernelOpCount => "SFC-K02",
+            RuleId::KernelNonFinite => "SFC-K03",
+            RuleId::KernelDivByZero => "SFC-K04",
+            RuleId::KernelUnstable => "SFC-K05",
         }
     }
 
@@ -105,7 +131,138 @@ impl RuleId {
             RuleId::SlrSpanning => "§V-C SLR spanning",
             RuleId::BandwidthChannels => "eq. (4)",
             RuleId::ExternalCapacity => "external capacity",
+            RuleId::KernelFootprint => "eq. (7) window reach vs probe footprint",
+            RuleId::KernelOpCount => "eqs. (5)/(6) G_dsp inputs vs counted ops",
+            RuleId::KernelNonFinite => "interval analysis (one application)",
+            RuleId::KernelDivByZero => "interval analysis (divisor range)",
+            RuleId::KernelUnstable => "von Neumann symbol max|g(θ)| ≤ 1",
         }
+    }
+
+    /// Every rule in the catalogue, in code order.
+    pub const ALL: [RuleId; 22] = [
+        RuleId::InvalidParam,
+        RuleId::DimsMismatch,
+        RuleId::WindowReach,
+        RuleId::WindowCapacity,
+        RuleId::FifoDeadlock,
+        RuleId::FifoSlack,
+        RuleId::RawHazard,
+        RuleId::TileHalo,
+        RuleId::TileHalo2,
+        RuleId::TileThroughput,
+        RuleId::VectorAlignment,
+        RuleId::DspOversubscribed,
+        RuleId::FabricOversubscribed,
+        RuleId::SlrOverflow,
+        RuleId::SlrSpanning,
+        RuleId::BandwidthChannels,
+        RuleId::ExternalCapacity,
+        RuleId::KernelFootprint,
+        RuleId::KernelOpCount,
+        RuleId::KernelNonFinite,
+        RuleId::KernelDivByZero,
+        RuleId::KernelUnstable,
+    ];
+
+    /// Resolve a short code (`SFC-…`, case-insensitive) to its rule.
+    pub fn from_code(code: &str) -> Option<RuleId> {
+        RuleId::ALL.iter().copied().find(|r| r.code().eq_ignore_ascii_case(code.trim()))
+    }
+
+    /// The severity the rule fires at (kernel range rules are heuristic —
+    /// they depend on the assumed input range — and warn; everything else
+    /// that fires at all is either an error or a named warning).
+    pub fn default_severity(&self) -> Severity {
+        match self {
+            RuleId::FifoSlack
+            | RuleId::TileHalo2
+            | RuleId::TileThroughput
+            | RuleId::VectorAlignment
+            | RuleId::SlrSpanning
+            | RuleId::KernelNonFinite
+            | RuleId::KernelDivByZero => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+
+    /// One-line description for the catalogue.
+    pub fn summary(&self) -> &'static str {
+        match self {
+            RuleId::InvalidParam => "vectorization V and unroll p must be positive",
+            RuleId::DimsMismatch => "execution mode, stencil and workload dimensionality agree",
+            RuleId::WindowReach => "window buffers must cover the stencil reach (D stream units)",
+            RuleId::WindowCapacity => "quantized window buffers + FIFOs must fit BRAM/URAM",
+            RuleId::FifoDeadlock => "every FIFO must absorb one full AXI burst (static deadlock)",
+            RuleId::FifoSlack => "FIFO depth below the two-bursts-of-slack sizing rule",
+            RuleId::RawHazard => "p in-flight passes must not outrun the streaming extent",
+            RuleId::TileHalo => "tiles must exceed the halo p·D_fused",
+            RuleId::TileHalo2 => "tile larger than the mesh extent it blocks",
+            RuleId::TileThroughput => "tile below the M ≥ 3·D·p throughput guideline",
+            RuleId::VectorAlignment => "tile width must be a multiple of V",
+            RuleId::DspOversubscribed => "DSP demand p·V·G_dsp exceeds the device",
+            RuleId::FabricOversubscribed => "estimated LUT/FF demand exceeds the fabric",
+            RuleId::SlrOverflow => "the module chain cannot be floorplanned onto the SLRs",
+            RuleId::SlrSpanning => "a module exceeds one SLR and must span regions",
+            RuleId::BandwidthChannels => "V exceeds the memory channels per direction",
+            RuleId::ExternalCapacity => "ping-pong buffers exceed external memory",
+            RuleId::KernelFootprint => {
+                "extracted kernel footprint exceeds the spec's declared reach"
+            }
+            RuleId::KernelOpCount => "counted kernel ops drift from the declared flops/G_dsp",
+            RuleId::KernelNonFinite => "NaN/overflow statically reachable in one application",
+            RuleId::KernelDivByZero => "division by an interval containing zero is reachable",
+            RuleId::KernelUnstable => "von Neumann-unstable iterative configuration",
+        }
+    }
+
+    /// How to fix a firing of this rule, for the catalogue.
+    pub fn fix_guidance(&self) -> &'static str {
+        match self {
+            RuleId::InvalidParam => "choose V ≥ 1 and p ≥ 1",
+            RuleId::DimsMismatch => "match the blocking mode to the workload dimensionality",
+            RuleId::WindowReach => "widen the mesh/tile or size the buffers for the full unit",
+            RuleId::WindowCapacity => "reduce p, tile the mesh, or lower V",
+            RuleId::FifoDeadlock => "deepen every stream FIFO to at least one AXI burst",
+            RuleId::FifoSlack => "deepen the stream FIFOs to the two-burst sizing rule",
+            RuleId::RawHazard => "reduce p below the streaming extent or grow the mesh",
+            RuleId::TileHalo => "grow the tile above p·D_fused cells or reduce p",
+            RuleId::TileHalo2 => "clamp the tile to the extent or drop tiling",
+            RuleId::TileThroughput => "grow the tile to at least 3·D·p cells",
+            RuleId::VectorAlignment => "round the tile to a multiple of V",
+            RuleId::DspOversubscribed => "reduce p·V below the device DSP budget",
+            RuleId::FabricOversubscribed => "reduce p·V or simplify the per-cell arithmetic",
+            RuleId::SlrOverflow => "reduce p, or shrink the per-module window footprint",
+            RuleId::SlrSpanning => "reduce V so one module fits an SLR",
+            RuleId::BandwidthChannels => "reduce V or switch the memory binding",
+            RuleId::ExternalCapacity => "shrink the mesh/batch or use the larger memory",
+            RuleId::KernelFootprint => {
+                "raise the spec's order to 2× the probed radius (or fix the kernel's reads)"
+            }
+            RuleId::KernelOpCount => {
+                "regenerate the spec's OpCount from the kernel (the probe tally is the truth)"
+            }
+            RuleId::KernelNonFinite => "rescale coefficients or tighten the documented input range",
+            RuleId::KernelDivByZero => "guard the divisor away from zero or add an epsilon",
+            RuleId::KernelUnstable => {
+                "shrink the time step / coefficients until max|g| ≤ 1, or reduce p"
+            }
+        }
+    }
+
+    /// Render the full catalogue entry for `--explain`.
+    pub fn explain(&self) -> String {
+        let sev = match self.default_severity() {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        format!(
+            "{code}  [{sev}]\n  rule     : {summary}\n  governs  : {reference}\n  fix      : {fix}\n",
+            code = self.code(),
+            summary = self.summary(),
+            reference = self.reference(),
+            fix = self.fix_guidance(),
+        )
     }
 }
 
@@ -206,6 +363,27 @@ impl CheckReport {
         self.diagnostics.iter().any(|d| d.rule == rule)
     }
 
+    /// Deterministically order the diagnostics: errors first, then by rule
+    /// code, then by graph location, then by message. Rule evaluation order
+    /// (and any later merging of kernel-analysis findings) therefore never
+    /// shows through `--json` output — it is byte-stable.
+    pub fn sort_diagnostics(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            a.severity
+                .cmp(&b.severity)
+                .then_with(|| a.rule.code().cmp(b.rule.code()))
+                .then_with(|| a.location.cmp(&b.location))
+                .then_with(|| a.message.cmp(&b.message))
+        });
+    }
+
+    /// Merge extra findings (e.g. kernel-analysis K-rules) into the report,
+    /// restoring the deterministic order.
+    pub fn extend_diagnostics(&mut self, extra: impl IntoIterator<Item = Diagnostic>) {
+        self.diagnostics.extend(extra);
+        self.sort_diagnostics();
+    }
+
     /// Convert into a `Result`: `Err` carries the report when any rule
     /// fired at error severity.
     pub fn into_result(self) -> Result<CheckReport, CheckError> {
@@ -299,25 +477,7 @@ mod tests {
 
     #[test]
     fn codes_are_unique_and_stable() {
-        let all = [
-            RuleId::InvalidParam,
-            RuleId::DimsMismatch,
-            RuleId::WindowReach,
-            RuleId::WindowCapacity,
-            RuleId::FifoDeadlock,
-            RuleId::FifoSlack,
-            RuleId::RawHazard,
-            RuleId::TileHalo,
-            RuleId::TileHalo2,
-            RuleId::TileThroughput,
-            RuleId::VectorAlignment,
-            RuleId::DspOversubscribed,
-            RuleId::FabricOversubscribed,
-            RuleId::SlrOverflow,
-            RuleId::SlrSpanning,
-            RuleId::BandwidthChannels,
-            RuleId::ExternalCapacity,
-        ];
+        let all = RuleId::ALL;
         let mut codes: Vec<&str> = all.iter().map(|r| r.code()).collect();
         codes.sort_unstable();
         codes.dedup();
@@ -325,7 +485,61 @@ mod tests {
         for r in all {
             assert!(r.code().starts_with("SFC-"));
             assert!(!r.reference().is_empty());
+            assert!(!r.summary().is_empty());
+            assert!(!r.fix_guidance().is_empty());
+            assert_eq!(RuleId::from_code(r.code()), Some(r), "{} resolves", r.code());
         }
+        assert!(all.contains(&RuleId::KernelFootprint));
+        assert_eq!(RuleId::KernelUnstable.code(), "SFC-K05");
+    }
+
+    #[test]
+    fn from_code_is_case_insensitive_and_total() {
+        assert_eq!(RuleId::from_code("sfc-k01"), Some(RuleId::KernelFootprint));
+        assert_eq!(RuleId::from_code(" SFC-F01 "), Some(RuleId::FifoDeadlock));
+        assert_eq!(RuleId::from_code("SFC-Z99"), None);
+    }
+
+    #[test]
+    fn explain_renders_every_rule() {
+        for r in RuleId::ALL {
+            let e = r.explain();
+            assert!(e.contains(r.code()), "{e}");
+            assert!(e.contains("fix"), "{e}");
+        }
+        assert!(RuleId::KernelUnstable.explain().contains("max|g"));
+    }
+
+    #[test]
+    fn sort_is_deterministic_regardless_of_insertion_order() {
+        let a = vec![
+            diag(RuleId::FifoSlack, Severity::Warning),
+            diag(RuleId::KernelUnstable, Severity::Error),
+            diag(RuleId::DspOversubscribed, Severity::Error),
+            diag(RuleId::KernelNonFinite, Severity::Warning),
+        ];
+        let mut b = a.clone();
+        b.reverse();
+        let mut ra = report_with(a);
+        let mut rb = report_with(b);
+        ra.sort_diagnostics();
+        rb.sort_diagnostics();
+        assert_eq!(ra, rb);
+        // errors first, then code order within a severity band
+        let codes: Vec<&str> = ra.diagnostics.iter().map(|d| d.rule.code()).collect();
+        assert_eq!(codes, vec!["SFC-K05", "SFC-S01", "SFC-F02", "SFC-K03"]);
+        let json_a = serde_json::to_string(&ra).unwrap();
+        let json_b = serde_json::to_string(&rb).unwrap();
+        assert_eq!(json_a, json_b, "JSON must be byte-stable");
+    }
+
+    #[test]
+    fn extend_diagnostics_restores_order() {
+        let mut rep = report_with(vec![diag(RuleId::FifoSlack, Severity::Warning)]);
+        rep.sort_diagnostics();
+        rep.extend_diagnostics([diag(RuleId::KernelFootprint, Severity::Error)]);
+        assert_eq!(rep.diagnostics[0].rule, RuleId::KernelFootprint);
+        assert_eq!(rep.diagnostics[1].rule, RuleId::FifoSlack);
     }
 
     #[test]

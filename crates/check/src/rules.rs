@@ -105,9 +105,7 @@ pub fn check(dev: &FpgaDevice, d: &Design) -> CheckReport {
     let mut diags: Vec<Diagnostic> = Vec::new();
 
     let report = |diags: Vec<Diagnostic>, graph: &DataflowGraph| {
-        let mut ds = diags;
-        ds.sort_by_key(|d| d.severity);
-        CheckReport {
+        let mut rep = CheckReport {
             device: dev.name.clone(),
             app: spec.app.to_string(),
             v: d.v,
@@ -117,8 +115,11 @@ pub fn check(dev: &FpgaDevice, d: &Design) -> CheckReport {
             workload: *wl,
             graph_nodes: graph.nodes.len(),
             graph_edges: graph.edges.len(),
-            diagnostics: ds,
-        }
+            diagnostics: diags,
+        };
+        // deterministic: errors first, then rule code, then location
+        rep.sort_diagnostics();
+        rep
     };
 
     // --- SFC-P01: parameter domain -------------------------------------

@@ -93,16 +93,67 @@ impl Workflow {
     }
 
     /// Step 0 — mandatory static pre-flight: the `sf-check` design-rule
-    /// checker applied to a synthesized design before anything executes it.
-    /// Returns the full diagnostic report (warnings included); callers that
-    /// must not proceed on errors convert it with
+    /// checker applied to a synthesized design before anything executes it,
+    /// plus the kernel-analysis rules (`SFC-K01` … `SFC-K05`) from
+    /// `sf-absint`'s probe execution of the canonical kernel behind the
+    /// design's spec. Returns the full diagnostic report (warnings
+    /// included); callers that must not proceed on errors convert it with
     /// [`sf_check::CheckReport::into_result`].
     ///
     /// Served from the process-wide check-report cache shared with the DSE
-    /// pruning filter, so preflighting a design the DSE already vetted is
+    /// pruning filter (design rules) and `sf-absint`'s per-process kernel
+    /// analysis cache, so preflighting a design the DSE already vetted is
     /// a lookup, not a re-derivation.
     pub fn preflight(&self, design: &StencilDesign, wl: &Workload) -> sf_check::CheckReport {
-        sf_model::check_cached(&self.device, &sf_check::Design::from_synthesized(design, wl))
+        let mut rep =
+            sf_model::check_cached(&self.device, &sf_check::Design::from_synthesized(design, wl));
+        rep.extend_diagnostics(sf_absint::app_diagnostics(&design.spec, design.p));
+        rep
+    }
+
+    /// [`Workflow::preflight`] for an explicit 2D kernel (a custom stencil,
+    /// or a paper kernel with overridden coefficients): runs the full
+    /// abstract interpretation — footprint/op-count extraction, interval
+    /// ranges, von Neumann stability — on `op` itself, applies the K-rules
+    /// against the design's spec at its unroll factor, and rejects with a
+    /// typed [`SfError::Check`] on any error-severity finding **before a
+    /// single simulation cycle runs**. A statically-unstable iterative
+    /// configuration (`SFC-K05`) never reaches the executor.
+    pub fn preflight_kernel2d<K: sf_kernels::AbstractOp2D + ?Sized>(
+        &self,
+        op: &K,
+        design: &StencilDesign,
+        wl: &Workload,
+    ) -> Result<sf_check::CheckReport, SfError> {
+        let cfg = sf_absint::AbsintConfig::default();
+        let analysis = sf_absint::analyze_2d(op, &cfg);
+        let mut rep = self.preflight(design, wl);
+        rep.extend_diagnostics(sf_absint::kernel_diagnostics(
+            &analysis,
+            &design.spec,
+            design.p,
+            &cfg,
+        ));
+        rep.into_result().map_err(SfError::Check)
+    }
+
+    /// [`Workflow::preflight_kernel2d`] for 3D kernels.
+    pub fn preflight_kernel3d<K: sf_kernels::AbstractOp3D + ?Sized>(
+        &self,
+        op: &K,
+        design: &StencilDesign,
+        wl: &Workload,
+    ) -> Result<sf_check::CheckReport, SfError> {
+        let cfg = sf_absint::AbsintConfig::default();
+        let analysis = sf_absint::analyze_3d(op, &cfg);
+        let mut rep = self.preflight(design, wl);
+        rep.extend_diagnostics(sf_absint::kernel_diagnostics(
+            &analysis,
+            &design.spec,
+            design.p,
+            &cfg,
+        ));
+        rep.into_result().map_err(SfError::Check)
     }
 
     /// Step 3 — the winning design.
@@ -171,6 +222,51 @@ mod tests {
         let err = wf.best_design(&spec, &wl, 100).unwrap_err();
         assert!(matches!(err, SfError::Workflow(WorkflowError::NoFeasibleDesign { .. })));
         assert!(format!("{err}").contains("Jacobi"));
+    }
+
+    #[test]
+    fn unstable_kernel_is_rejected_before_any_simulation() {
+        use sf_fpga::design::{synthesize, ExecMode};
+        use sf_fpga::MemKind;
+
+        let wf = Workflow::u280_vs_v100();
+        let spec = StencilSpec::jacobi();
+        let wl = Workload::D3 { nx: 64, ny: 64, nz: 64, batch: 1 };
+        let design =
+            synthesize(&wf.device, &spec, 8, 4, ExecMode::Baseline, MemKind::Hbm, &wl).unwrap();
+        // the canonical smoothing kernel passes the full kernel preflight
+        wf.preflight_kernel3d(&sf_kernels::Jacobi3D::smoothing(), &design, &wl).unwrap();
+        // an amplifying coefficient set is statically unstable: rejected
+        // with SFC-K05 before any simulation cycles
+        let bad = sf_kernels::Jacobi3D::with_coefficients([0.5; 7]);
+        let err = wf.preflight_kernel3d(&bad, &design, &wl).unwrap_err();
+        match err {
+            SfError::Check(ce) => {
+                assert!(ce.report.fired(sf_check::RuleId::KernelUnstable));
+                assert!(format!("{ce}").contains("SFC-K05"), "{ce}");
+            }
+            other => panic!("expected SfError::Check, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn preflight_merges_kernel_rules_for_drifted_specs() {
+        use sf_fpga::design::{synthesize, ExecMode};
+        use sf_fpga::MemKind;
+
+        let wf = Workflow::u280_vs_v100();
+        let wl = Workload::D2 { nx: 100, ny: 100, batch: 1 };
+        let mut spec = StencilSpec::poisson();
+        let design =
+            synthesize(&wf.device, &spec, 8, 4, ExecMode::Baseline, MemKind::Hbm, &wl).unwrap();
+        assert!(!wf.preflight(&design, &wl).has_errors());
+        // drift the spec's declared reach after synthesis: preflight's
+        // K-rules catch what the design rules alone cannot see
+        spec.order = 0;
+        let mut drifted = design;
+        drifted.spec = spec;
+        let rep = wf.preflight(&drifted, &wl);
+        assert!(rep.fired(sf_check::RuleId::KernelFootprint), "{}", rep.render());
     }
 
     #[test]

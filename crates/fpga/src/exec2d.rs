@@ -87,11 +87,11 @@ pub fn simulate_2d_traced<T: Element, K: StencilOp2D<T> + Clone>(
         "stage count must match the design's spec"
     );
     let (nx, ny, b) = (input.nx(), input.ny(), input.batch());
+    assert!(!matches!(design.mode, ExecMode::Tiled2D { .. }), "Tiled2D is a 3D mode");
     match design.mode {
         ExecMode::Baseline => assert_eq!(b, 1, "baseline design runs one mesh"),
         ExecMode::Batched { b: db } => assert_eq!(b, db, "batch size mismatch"),
-        ExecMode::Tiled1D { .. } => assert_eq!(b, 1, "tiled design runs one mesh"),
-        ExecMode::Tiled2D { .. } => panic!("Tiled2D is a 3D mode"),
+        _ => assert_eq!(b, 1, "tiled design runs one mesh"),
     }
     let wl = Workload::D2 { nx, ny, batch: b };
     let plan = profile::trace_schedule(dev, design, &wl, niter as u64, rec);

@@ -55,11 +55,11 @@ pub fn simulate_3d_traced<T: Element, K: StencilOp3D<T> + Clone>(
         "stage count must match the design's spec"
     );
     let (nx, ny, nz, b) = (input.nx(), input.ny(), input.nz(), input.batch());
+    assert!(!matches!(design.mode, ExecMode::Tiled1D { .. }), "Tiled1D is a 2D mode");
     match design.mode {
         ExecMode::Baseline => assert_eq!(b, 1, "baseline design runs one mesh"),
         ExecMode::Batched { b: db } => assert_eq!(b, db, "batch size mismatch"),
-        ExecMode::Tiled2D { .. } => assert_eq!(b, 1, "tiled design runs one mesh"),
-        ExecMode::Tiled1D { .. } => panic!("Tiled1D is a 2D mode"),
+        _ => assert_eq!(b, 1, "tiled design runs one mesh"),
     }
     let wl = Workload::D3 { nx, ny, nz, batch: b };
     let plane = nx * ny;

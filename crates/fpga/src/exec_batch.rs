@@ -34,12 +34,13 @@ use sf_telemetry::Recorder;
 
 /// Check a batch executor's design/input agreement (2D and 3D share this).
 fn check_batch_mode(design: &StencilDesign, b: usize) {
+    assert!(
+        matches!(design.mode, ExecMode::Baseline | ExecMode::Batched { .. }),
+        "batch executor needs a Baseline or Batched design"
+    );
     match design.mode {
-        ExecMode::Baseline => assert_eq!(b, 1, "baseline design runs one mesh"),
         ExecMode::Batched { b: db } => assert_eq!(b, db, "batch size mismatch"),
-        ExecMode::Tiled1D { .. } | ExecMode::Tiled2D { .. } => {
-            panic!("batch executor needs a Baseline or Batched design")
-        }
+        _ => assert_eq!(b, 1, "baseline design runs one mesh"),
     }
 }
 

@@ -251,7 +251,7 @@ pub struct FaultyPlan {
 /// workloads plannable).
 const MAX_BURST_WALK: u64 = 65_536;
 
-/// [`cycles::plan`] with AXI faults: every burst (up to [`MAX_BURST_WALK`],
+/// [`cycles::plan`] with AXI faults: every burst (up to `MAX_BURST_WALK`,
 /// then scaled) is pushed through the injector's retry model. Recovered
 /// bursts add their backoff to the plan; an exhausted burst aborts with
 /// [`ExecError::AxiExhausted`].

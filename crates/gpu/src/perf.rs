@@ -58,7 +58,7 @@ pub fn chain_bytes_per_cell(spec: &StencilSpec) -> usize {
 /// report comparable with the FPGA simulator's.
 ///
 /// Batched workloads launch one kernel over the whole batch per chain step
-/// (the paper's OPS-style batching [27]); baselines launch per mesh.
+/// (the paper's OPS-style batching \[27\]); baselines launch per mesh.
 ///
 /// ```
 /// use sf_fpga::design::Workload;

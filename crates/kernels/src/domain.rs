@@ -1,0 +1,152 @@
+//! Abstract-value domains: execute the real kernel math on something other
+//! than `f32`.
+//!
+//! Every kernel in this crate writes its per-cell update exactly once, as a
+//! generic function over an [`AbstractValue`]. Instantiated at `V = f32` it
+//! *is* the concrete update (same operations, same left-to-right order, so
+//! all executors stay bit-exact); instantiated at an abstract domain it
+//! becomes a static analysis of the same code:
+//!
+//! * an op-counting domain tallies the adds/muls/divs actually executed and
+//!   cross-checks the hand-written [`crate::ops::OpCount`] declarations,
+//! * an interval domain bounds the output range of one stencil application
+//!   and proves (or refutes) that NaN/overflow/division-by-zero is
+//!   statically unreachable,
+//! * an impulse probe extracts the linear stencil coefficients that feed the
+//!   von Neumann stability symbol.
+//!
+//! The `sf-absint` crate provides those domains; this module only defines
+//! the contract and the trivial `f32` instance.
+//!
+//! ## Constant-folding convention
+//!
+//! Arithmetic between two Rust compile-time constants (e.g. the `3·w0`
+//! center weight of a folded 3-axis Laplacian) happens *before* the value
+//! enters the domain via [`AbstractValue::constant`], and is therefore never
+//! counted — exactly as HLS constant-folds it out of the datapath. Every
+//! operation that touches a streamed value or a runtime parameter goes
+//! through the domain's operators and is observable.
+
+use core::fmt::Debug;
+use core::ops::{Add, Div, Mul, Sub};
+
+/// A value the generic kernel updates can compute with.
+///
+/// The arithmetic operators mirror `f32` so the generic update bodies read
+/// identically to the concrete ones they replaced; implementations must keep
+/// the operators pure (no interior mutation of `self`), though they may
+/// record effects elsewhere (an op-counting domain bumps thread-local
+/// tallies).
+pub trait AbstractValue:
+    Copy
+    + Clone
+    + Debug
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+{
+    /// Lift a kernel constant (stencil weight, runtime coefficient, time
+    /// step) into the domain.
+    fn constant(c: f32) -> Self;
+}
+
+impl AbstractValue for f32 {
+    #[inline(always)]
+    fn constant(c: f32) -> Self {
+        c
+    }
+}
+
+/// A 2D kernel whose per-cell update is written once, generically over the
+/// value domain. [`crate::StencilOp2D::apply`] implementations delegate here
+/// at `V = f32`.
+pub trait AbstractOp2D: Sync {
+    /// The per-cell update over a neighborhood accessor `at(dx, dy)`.
+    fn update<V: AbstractValue, F: Fn(i32, i32) -> V>(&self, at: &F) -> V;
+}
+
+/// The 3D twin of [`AbstractOp2D`] for scalar-element kernels.
+pub trait AbstractOp3D: Sync {
+    /// The per-cell update over a neighborhood accessor `at(dx, dy, dz)`.
+    fn update<V: AbstractValue, F: Fn(i32, i32, i32) -> V>(&self, at: &F) -> V;
+}
+
+impl<K: AbstractOp2D> AbstractOp2D for &K {
+    fn update<V: AbstractValue, F: Fn(i32, i32) -> V>(&self, at: &F) -> V {
+        (**self).update(at)
+    }
+}
+
+impl<K: AbstractOp3D> AbstractOp3D for &K {
+    fn update<V: AbstractValue, F: Fn(i32, i32, i32) -> V>(&self, at: &F) -> V {
+        (**self).update(at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A domain that mirrors f32 but tags values, to prove the generic
+    /// plumbing routes every op through the domain operators.
+    #[derive(Copy, Clone, Debug, PartialEq)]
+    struct Traced(f32);
+
+    impl Add for Traced {
+        type Output = Traced;
+        fn add(self, r: Traced) -> Traced {
+            Traced(self.0 + r.0)
+        }
+    }
+    impl Sub for Traced {
+        type Output = Traced;
+        fn sub(self, r: Traced) -> Traced {
+            Traced(self.0 - r.0)
+        }
+    }
+    impl Mul for Traced {
+        type Output = Traced;
+        fn mul(self, r: Traced) -> Traced {
+            Traced(self.0 * r.0)
+        }
+    }
+    impl Div for Traced {
+        type Output = Traced;
+        fn div(self, r: Traced) -> Traced {
+            Traced(self.0 / r.0)
+        }
+    }
+    impl AbstractValue for Traced {
+        fn constant(c: f32) -> Self {
+            Traced(c)
+        }
+    }
+
+    #[test]
+    fn f32_is_the_identity_domain() {
+        assert_eq!(f32::constant(1.5), 1.5);
+        let v = f32::constant(0.5) * 4.0 + f32::constant(1.0);
+        assert_eq!(v, 3.0);
+    }
+
+    #[test]
+    fn alternate_domain_matches_f32_on_the_same_expression() {
+        let f = f32::constant(0.125) * (2.0 + 6.0) - f32::constant(0.5) / 2.0;
+        let t = Traced::constant(0.125) * (Traced(2.0) + Traced(6.0))
+            - Traced::constant(0.5) / Traced(2.0);
+        assert_eq!(t.0, f);
+    }
+
+    #[test]
+    fn poisson_update_agrees_with_apply_through_both_paths() {
+        use crate::poisson::Poisson2D;
+        use crate::StencilOp2D;
+        let at = |dx: i32, dy: i32| (dx * 3 + dy) as f32 * 0.25 + 1.0;
+        let via_apply = Poisson2D.apply(at);
+        let via_update = Poisson2D.update::<f32, _>(&at);
+        assert_eq!(via_apply.to_bits(), via_update.to_bits());
+        let traced = Poisson2D.update::<Traced, _>(&|dx, dy| Traced(at(dx, dy)));
+        assert_eq!(traced.0.to_bits(), via_apply.to_bits());
+    }
+}

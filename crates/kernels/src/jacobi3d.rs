@@ -9,6 +9,7 @@
 //! runtime coefficients. Op count 6 adds + 7 muls → `G_dsp = 33`, matching
 //! the paper's Table II.
 
+use crate::domain::{AbstractOp3D, AbstractValue};
 use crate::op3d::StencilOp3D;
 use crate::ops::OpCount;
 
@@ -42,20 +43,28 @@ impl Jacobi3D {
     }
 }
 
+impl AbstractOp3D for Jacobi3D {
+    /// The single copy of the update math: fixed left-to-right accumulation
+    /// in the paper's term order, generic over the value domain.
+    #[inline]
+    fn update<V: AbstractValue, F: Fn(i32, i32, i32) -> V>(&self, at: &F) -> V {
+        let k = |i: usize| V::constant(self.k[i]);
+        (((((k(0) * at(1, 0, 0) + k(1) * at(-1, 0, 0)) + k(2) * at(0, -1, 0))
+            + k(3) * at(0, 0, 0))
+            + k(4) * at(0, 1, 0))
+            + k(5) * at(0, 0, 1))
+            + k(6) * at(0, 0, -1)
+    }
+}
+
 impl StencilOp3D<f32> for Jacobi3D {
     fn radius(&self) -> usize {
         Self::ORDER / 2
     }
 
-    /// Fixed left-to-right accumulation in the paper's term order.
     #[inline]
     fn apply<F: Fn(i32, i32, i32) -> f32>(&self, at: F) -> f32 {
-        let k = &self.k;
-        (((((k[0] * at(1, 0, 0) + k[1] * at(-1, 0, 0)) + k[2] * at(0, -1, 0))
-            + k[3] * at(0, 0, 0))
-            + k[4] * at(0, 1, 0))
-            + k[5] * at(0, 0, 1))
-            + k[6] * at(0, 0, -1)
+        self.update::<f32, _>(&at)
     }
 }
 

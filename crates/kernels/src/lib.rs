@@ -5,6 +5,11 @@
 //!
 //! This crate defines:
 //!
+//! * [`domain`] / [`probe`] — abstract-value domains and probe execution:
+//!   every kernel's update is written once, generically over an
+//!   [`AbstractValue`]; `f32` instantiates the concrete kernel, abstract
+//!   domains (op counting, intervals, impulse probing — see `sf-absint`)
+//!   re-execute the *same* code as a static analysis.
 //! * [`ops`] / [`spec`] — arithmetic op counting ([`ops::OpCount`], with the
 //!   Xilinx single-precision DSP costs fadd/fsub = 2, fmul = 3 that
 //!   reproduce the paper's `G_dsp` figures) and the application descriptor
@@ -19,18 +24,20 @@
 //!   an RK4 time integrator over a 6-component state with a 25-point
 //!   8th-order star stencil and PML-style damping, expressed as 4 fusable
 //!   pipeline stages exactly as the paper fuses them.
-//! * [`reference`] — golden sequential executors (double-buffered,
+//! * [`mod@reference`] — golden sequential executors (double-buffered,
 //!   interior-update / boundary pass-through).
 //! * [`parallel`] — Rayon executors used as the "GPU numerics" and as fast
 //!   CPU baselines; bit-exact vs the sequential references because every
 //!   output cell is an independent pure function of the input mesh.
 
+pub mod domain;
 pub mod jacobi3d;
 pub mod op2d;
 pub mod op3d;
 pub mod ops;
 pub mod parallel;
 pub mod poisson;
+pub mod probe;
 pub mod reference;
 pub mod rtm;
 pub mod spec;
@@ -38,6 +45,7 @@ pub mod star;
 pub mod wave2d;
 pub mod workloads;
 
+pub use domain::{AbstractOp2D, AbstractOp3D, AbstractValue};
 pub use jacobi3d::Jacobi3D;
 pub use op2d::StencilOp2D;
 pub use op3d::StencilOp3D;

@@ -116,7 +116,7 @@ pub fn par_run_stages_3d<T: Element, K: StencilOp3D<T>>(
 }
 
 /// Parallel batched 2D solve: the batch dimension itself is parallelized —
-/// the same strategy the paper's GPU batching baseline [27] uses.
+/// the same strategy the paper's GPU batching baseline \[27\] uses.
 pub fn par_run_batch_2d<T: Element, K: StencilOp2D<T>>(
     k: &K,
     batch: &Batch2D<T>,

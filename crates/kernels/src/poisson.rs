@@ -7,6 +7,7 @@
 //! A 2nd-order (D = 2), 5-point star on scalar `f32` elements. Its op count
 //! (4 adds, 2 muls) gives the paper's `G_dsp = 14`.
 
+use crate::domain::{AbstractOp2D, AbstractValue};
 use crate::op2d::StencilOp2D;
 use crate::ops::OpCount;
 
@@ -24,17 +25,25 @@ impl Poisson2D {
     }
 }
 
+impl AbstractOp2D for Poisson2D {
+    /// The single copy of the update math, generic over the value domain.
+    /// Evaluation order is fixed (left-to-right sums) so that every executor
+    /// computes bit-identical results.
+    #[inline]
+    fn update<V: AbstractValue, F: Fn(i32, i32) -> V>(&self, at: &F) -> V {
+        let sum = ((at(-1, 0) + at(1, 0)) + at(0, -1)) + at(0, 1);
+        V::constant(0.125) * sum + V::constant(0.5) * at(0, 0)
+    }
+}
+
 impl StencilOp2D<f32> for Poisson2D {
     fn radius(&self) -> usize {
         Self::ORDER / 2
     }
 
-    /// Evaluation order is fixed (left-to-right sums) so that every executor
-    /// computes bit-identical results.
     #[inline]
     fn apply<F: Fn(i32, i32) -> f32>(&self, at: F) -> f32 {
-        let sum = ((at(-1, 0) + at(1, 0)) + at(0, -1)) + at(0, 1);
-        0.125f32 * sum + 0.5f32 * at(0, 0)
+        self.update::<f32, _>(&at)
     }
 }
 

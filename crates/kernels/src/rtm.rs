@@ -54,6 +54,7 @@
 //! through window buffers. Similarly ρ, μ and Y were internally buffered and
 //! fed to subsequent compute units."
 
+use crate::domain::AbstractValue;
 use crate::op3d::StencilOp3D;
 use crate::ops::OpCount;
 use serde::{Deserialize, Serialize};
@@ -143,30 +144,57 @@ pub fn f_pml<F: Fn(i32, i32, i32) -> RtmPacked>(
     mu: f32,
     prm: &RtmParams,
 ) -> [f32; 6] {
+    f_pml_abs::<f32, _>(&|dx, dy, dz| at(dx, dy, dz).0, rho, mu, prm)
+}
+
+/// [`f_pml`] written once, generically over the value domain (see
+/// [`crate::domain`]): the `f32` instantiation *is* the concrete kernel; an
+/// abstract domain sees exactly the operations the datapath executes. The
+/// `3·w0` center weight is a compile-time constant and folds before entering
+/// the domain — one counted multiply, as in the synthesized pipeline.
+#[inline]
+pub fn f_pml_abs<V: AbstractValue, F: Fn(i32, i32, i32) -> [V; RTM_PACKED_LANES]>(
+    at: &F,
+    rho: V,
+    mu: V,
+    prm: &RtmParams,
+) -> [V; RTM_LANES] {
     #[inline(always)]
-    fn t(at: &impl Fn(i32, i32, i32) -> RtmPacked, dx: i32, dy: i32, dz: i32, c: usize) -> f32 {
-        at(dx, dy, dz).0[packed::T + c]
+    fn t<V: AbstractValue>(
+        at: &impl Fn(i32, i32, i32) -> [V; RTM_PACKED_LANES],
+        dx: i32,
+        dy: i32,
+        dz: i32,
+        c: usize,
+    ) -> V {
+        at(dx, dy, dz)[packed::T + c]
     }
 
     // 25-point star Laplacian of component `c`.
     #[inline(always)]
-    fn lap8(at: &impl Fn(i32, i32, i32) -> RtmPacked, c: usize) -> f32 {
-        let mut acc = (3.0 * W2[0]) * t(at, 0, 0, 0, c);
+    fn lap8<V: AbstractValue>(at: &impl Fn(i32, i32, i32) -> [V; RTM_PACKED_LANES], c: usize) -> V {
+        let mut acc = V::constant(3.0 * W2[0]) * t(at, 0, 0, 0, c);
         for d in 1..=4i32 {
-            acc += W2[d as usize] * (t(at, d, 0, 0, c) + t(at, -d, 0, 0, c));
+            acc = acc + V::constant(W2[d as usize]) * (t(at, d, 0, 0, c) + t(at, -d, 0, 0, c));
         }
         for d in 1..=4i32 {
-            acc += W2[d as usize] * (t(at, 0, d, 0, c) + t(at, 0, -d, 0, c));
+            acc = acc + V::constant(W2[d as usize]) * (t(at, 0, d, 0, c) + t(at, 0, -d, 0, c));
         }
         for d in 1..=4i32 {
-            acc += W2[d as usize] * (t(at, 0, 0, d, c) + t(at, 0, 0, -d, c));
+            acc = acc + V::constant(W2[d as usize]) * (t(at, 0, 0, d, c) + t(at, 0, 0, -d, c));
         }
         acc
     }
 
     // 8th-order first derivative of component `c` along `axis` (0=x,1=y,2=z).
+    // The d = 1 term seeds the accumulator: 4 muls + 7 adds, matching
+    // [`f_pml_op_count`].
     #[inline(always)]
-    fn d1(at: &impl Fn(i32, i32, i32) -> RtmPacked, c: usize, axis: usize) -> f32 {
+    fn d1<V: AbstractValue>(
+        at: &impl Fn(i32, i32, i32) -> [V; RTM_PACKED_LANES],
+        c: usize,
+        axis: usize,
+    ) -> V {
         let off = |d: i32| -> (i32, i32, i32) {
             match axis {
                 0 => (d, 0, 0),
@@ -174,22 +202,25 @@ pub fn f_pml<F: Fn(i32, i32, i32) -> RtmPacked>(
                 _ => (0, 0, d),
             }
         };
-        let mut acc = 0.0f32;
-        for d in 1..=4i32 {
+        let term = |d: i32| -> V {
             let (px, py, pz) = off(d);
             let (mx, my, mz) = off(-d);
-            acc += W1[d as usize - 1] * (t(at, px, py, pz, c) - t(at, mx, my, mz, c));
+            V::constant(W1[d as usize - 1]) * (t(at, px, py, pz, c) - t(at, mx, my, mz, c))
+        };
+        let mut acc = term(1);
+        for d in 2..=4i32 {
+            acc = acc + term(d);
         }
         acc
     }
 
     let ctr = at(0, 0, 0);
-    let p = ctr.0[packed::T + lane::P];
-    let q = ctr.0[packed::T + lane::Q];
-    let vx = ctr.0[packed::T + lane::VX];
-    let vy = ctr.0[packed::T + lane::VY];
-    let vz = ctr.0[packed::T + lane::VZ];
-    let psi = ctr.0[packed::T + lane::PSI];
+    let p = ctr[packed::T + lane::P];
+    let q = ctr[packed::T + lane::Q];
+    let vx = ctr[packed::T + lane::VX];
+    let vy = ctr[packed::T + lane::VY];
+    let vz = ctr[packed::T + lane::VZ];
+    let psi = ctr[packed::T + lane::PSI];
 
     let lp = lap8(at, lane::P);
     let lq = lap8(at, lane::Q);
@@ -198,8 +229,8 @@ pub fn f_pml<F: Fn(i32, i32, i32) -> RtmPacked>(
     let dy_p = d1(at, lane::P, 1);
     let dz_p = d1(at, lane::P, 2);
 
-    let sg = prm.sigma;
-    let sg2 = prm.sigma2;
+    let sg = V::constant(prm.sigma);
+    let sg2 = V::constant(prm.sigma2);
 
     let dp = mu * lq + rho * psi - sg * p;
     let dq = mu * lp - rho * ((vx + vy) + vz) - sg * q;
@@ -256,6 +287,46 @@ impl RtmStage {
     pub fn pipeline(params: RtmParams) -> Vec<RtmStage> {
         (1..=4).map(|s| RtmStage::new(s, params)).collect()
     }
+
+    /// The single copy of the fused-stage math, generic over the value
+    /// domain: `K = dt·f_pml(T)`, then `T' = Y + a·K`, `Yacc' = Yacc + b·K`
+    /// (stage 4 finalizes `Y_new = Yacc + b₄·K` into all three slots).
+    /// [`StencilOp3D::apply`] delegates here at `V = f32`.
+    #[inline]
+    #[allow(clippy::needless_range_loop)] // `c` indexes three parallel lane sections
+    pub fn update_packed<V, F>(&self, at: &F) -> [V; RTM_PACKED_LANES]
+    where
+        V: AbstractValue,
+        F: Fn(i32, i32, i32) -> [V; RTM_PACKED_LANES],
+    {
+        let ctr = at(0, 0, 0);
+        let rho = ctr[packed::RHO];
+        let mu = ctr[packed::MU];
+        let du = f_pml_abs(at, rho, mu, &self.params);
+
+        let mut out = ctr;
+        let a = V::constant(RK_A[self.stage - 1]);
+        let b = V::constant(RK_B[self.stage - 1]);
+        let dt = V::constant(self.params.dt);
+        if self.stage < 4 {
+            for c in 0..RTM_LANES {
+                let k = du[c] * dt;
+                out[packed::T + c] = ctr[packed::Y + c] + a * k;
+                out[packed::ACC + c] = ctr[packed::ACC + c] + b * k;
+            }
+        } else {
+            // finalize: Y_new into all three state slots so unrolled
+            // iterations chain without a repack stage
+            for c in 0..RTM_LANES {
+                let k = du[c] * dt;
+                let y_new = ctr[packed::ACC + c] + b * k;
+                out[packed::Y + c] = y_new;
+                out[packed::T + c] = y_new;
+                out[packed::ACC + c] = y_new;
+            }
+        }
+        out
+    }
 }
 
 impl StencilOp3D<RtmPacked> for RtmStage {
@@ -264,34 +335,8 @@ impl StencilOp3D<RtmPacked> for RtmStage {
     }
 
     #[inline]
-    #[allow(clippy::needless_range_loop)] // `c` indexes three parallel lane sections
     fn apply<F: Fn(i32, i32, i32) -> RtmPacked>(&self, at: F) -> RtmPacked {
-        let ctr = at(0, 0, 0);
-        let rho = ctr.0[packed::RHO];
-        let mu = ctr.0[packed::MU];
-        let du = f_pml(&at, rho, mu, &self.params);
-
-        let mut out = ctr;
-        let a = RK_A[self.stage - 1];
-        let b = RK_B[self.stage - 1];
-        if self.stage < 4 {
-            for c in 0..RTM_LANES {
-                let k = du[c] * self.params.dt;
-                out.0[packed::T + c] = ctr.0[packed::Y + c] + a * k;
-                out.0[packed::ACC + c] = ctr.0[packed::ACC + c] + b * k;
-            }
-        } else {
-            // finalize: Y_new into all three state slots so unrolled
-            // iterations chain without a repack stage
-            for c in 0..RTM_LANES {
-                let k = du[c] * self.params.dt;
-                let y_new = ctr.0[packed::ACC + c] + b * k;
-                out.0[packed::Y + c] = y_new;
-                out.0[packed::T + c] = y_new;
-                out.0[packed::ACC + c] = y_new;
-            }
-        }
-        out
+        VecN(self.update_packed::<f32, _>(&|dx, dy, dz| at(dx, dy, dz).0))
     }
 
     /// Boundary cells take `K = 0`: stages 1–3 emit `T' = Y`, stage 4 emits

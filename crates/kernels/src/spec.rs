@@ -30,17 +30,28 @@ impl AppId {
     /// All three applications, in the paper's order.
     pub const ALL: [AppId; 3] = [AppId::Poisson2D, AppId::Jacobi3D, AppId::Rtm3D];
 
+    /// The spec for this application, or `None` for [`AppId::Custom`] —
+    /// custom stencils carry their own spec (see [`crate::star`]).
+    pub fn try_spec(self) -> Option<StencilSpec> {
+        match self {
+            AppId::Poisson2D => Some(StencilSpec::poisson()),
+            AppId::Jacobi3D => Some(StencilSpec::jacobi()),
+            AppId::Rtm3D => Some(StencilSpec::rtm()),
+            AppId::Custom => None,
+        }
+    }
+
     /// The spec for this application.
     ///
     /// # Panics
-    /// Panics for [`AppId::Custom`] — custom stencils carry their own spec
-    /// (see [`crate::star`]).
+    /// Panics for [`AppId::Custom`] — custom stencils carry their own spec;
+    /// use [`AppId::try_spec`] when the app id is not statically known.
     pub fn spec(self) -> StencilSpec {
+        assert!(!matches!(self, AppId::Custom), "custom stencils carry their own spec");
         match self {
-            AppId::Poisson2D => StencilSpec::poisson(),
             AppId::Jacobi3D => StencilSpec::jacobi(),
             AppId::Rtm3D => StencilSpec::rtm(),
-            AppId::Custom => panic!("custom stencils carry their own spec"),
+            _ => StencilSpec::poisson(),
         }
     }
 }
@@ -201,6 +212,20 @@ impl StencilSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn try_spec_covers_the_paper_apps_and_refuses_custom() {
+        for app in AppId::ALL {
+            assert_eq!(app.try_spec(), Some(app.spec()));
+        }
+        assert_eq!(AppId::Custom.try_spec(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "custom stencils carry their own spec")]
+    fn spec_panics_for_custom() {
+        let _ = AppId::Custom.spec();
+    }
 
     #[test]
     fn poisson_spec_matches_paper() {

@@ -11,6 +11,7 @@
 //! Weights are applied in insertion order with left-to-right accumulation,
 //! so all executors stay bit-exact.
 
+use crate::domain::{AbstractOp2D, AbstractOp3D, AbstractValue};
 use crate::op2d::StencilOp2D;
 use crate::op3d::StencilOp3D;
 use crate::ops::OpCount;
@@ -112,6 +113,21 @@ impl StarStencil2D {
     }
 }
 
+impl AbstractOp2D for StarStencil2D {
+    /// The single copy of the update math: the first point seeds the
+    /// accumulator (`points.len() − 1` adds, matching [`Self::op_count`]),
+    /// the rest accumulate left to right.
+    #[inline]
+    fn update<V: AbstractValue, F: Fn(i32, i32) -> V>(&self, at: &F) -> V {
+        let (dx0, dy0, w0) = self.points[0];
+        let mut acc = V::constant(w0) * at(dx0, dy0);
+        for &(dx, dy, w) in &self.points[1..] {
+            acc = acc + V::constant(w) * at(dx, dy);
+        }
+        acc
+    }
+}
+
 impl StencilOp2D<f32> for StarStencil2D {
     fn radius(&self) -> usize {
         self.radius
@@ -119,11 +135,7 @@ impl StencilOp2D<f32> for StarStencil2D {
 
     #[inline]
     fn apply<F: Fn(i32, i32) -> f32>(&self, at: F) -> f32 {
-        let mut acc = 0.0f32;
-        for &(dx, dy, w) in &self.points {
-            acc += w * at(dx, dy);
-        }
-        acc
+        self.update::<f32, _>(&at)
     }
 }
 
@@ -218,6 +230,20 @@ impl StarStencil3D {
     }
 }
 
+impl AbstractOp3D for StarStencil3D {
+    /// See [`StarStencil2D`]: first point seeds the accumulator so the
+    /// executed adds match the declared `points.len() − 1`.
+    #[inline]
+    fn update<V: AbstractValue, F: Fn(i32, i32, i32) -> V>(&self, at: &F) -> V {
+        let (dx0, dy0, dz0, w0) = self.points[0];
+        let mut acc = V::constant(w0) * at(dx0, dy0, dz0);
+        for &(dx, dy, dz, w) in &self.points[1..] {
+            acc = acc + V::constant(w) * at(dx, dy, dz);
+        }
+        acc
+    }
+}
+
 impl StencilOp3D<f32> for StarStencil3D {
     fn radius(&self) -> usize {
         self.radius
@@ -225,11 +251,7 @@ impl StencilOp3D<f32> for StarStencil3D {
 
     #[inline]
     fn apply<F: Fn(i32, i32, i32) -> f32>(&self, at: F) -> f32 {
-        let mut acc = 0.0f32;
-        for &(dx, dy, dz, w) in &self.points {
-            acc += w * at(dx, dy, dz);
-        }
-        acc
+        self.update::<f32, _>(&at)
     }
 }
 

@@ -4,8 +4,8 @@
 //! # sf-mesh — structured meshes for explicit stencil solvers
 //!
 //! This crate provides the data substrate shared by the golden reference
-//! executors ([`sf-kernels`]), the FPGA dataflow simulator ([`sf-fpga`]) and
-//! the GPU performance model ([`sf-gpu`]):
+//! executors (`sf-kernels`), the FPGA dataflow simulator (`sf-fpga`) and
+//! the GPU performance model (`sf-gpu`):
 //!
 //! * [`Mesh2D`] / [`Mesh3D`] — row-major rectangular meshes over scalar
 //!   (`f32`) or small-vector ([`VecN`]) elements. The fastest-varying

@@ -3,7 +3,7 @@
 //!
 //! [`accuracy_suite`] evaluates every configuration from the paper's
 //! evaluation section (Tables IV–VI / Figs. 3–5) and compares the
-//! [`crate::predict`] model at both levels against the simulator's achieved
+//! [`mod@crate::predict`] model at both levels against the simulator's achieved
 //! runtime. The extended model should land within ±15 % on ≥ 85 % of the
 //! suite (the abstract's "over 85 % predictive model accuracy"); the ideal
 //! equations drift on latency-dominated small baselines and memory-bound 3D

@@ -116,6 +116,9 @@ pub fn explore_jobs(
     if opts.max_p == 0 {
         return Err(ModelError::invalid("max_p", "unroll sweep bound must be >= 1"));
     }
+    // A drifted spec poisons every eq. (5)/(6) decision below (the p_dsp
+    // sweep bound, window sizing, the ranking itself) — reject it up front.
+    crate::verify::verify_spec(spec)?;
     let batch = wl.batch();
     // Enumerate the sweep serially (cheap arithmetic only) so the work
     // list — and therefore the result order — is independent of `jobs`.
@@ -371,6 +374,18 @@ mod tests {
             "an identical sweep must not add prediction entries"
         );
         assert!(after.hits > before.hits, "second sweep must be served from cache");
+    }
+
+    #[test]
+    fn drifted_spec_is_rejected_before_the_sweep() {
+        let d = dev();
+        let wl = Workload::D2 { nx: 100, ny: 100, batch: 1 };
+        let mut spec = StencilSpec::poisson();
+        spec.ops = sf_kernels::OpCount::new(40, 40, 0); // kernel counts 4+2
+        assert!(matches!(
+            explore(&d, &spec, &wl, 100, &DseOptions::default()).unwrap_err(),
+            crate::ModelError::SpecDrift { .. }
+        ));
     }
 
     #[test]

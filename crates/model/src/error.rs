@@ -1,6 +1,6 @@
 //! Typed errors for the analytic model's public APIs.
 //!
-//! The model functions ([`crate::predict`], [`crate::explore`],
+//! The model functions ([`fn@crate::predict`], [`crate::explore`],
 //! [`FeasibilityReport::analyze`](crate::FeasibilityReport::analyze)) used to
 //! panic on malformed inputs; they now return [`ModelError`] so callers (the
 //! workflow, the CLI, the fault-campaign runner) can degrade gracefully
@@ -37,6 +37,14 @@ pub enum ModelError {
         /// The configuration and the synthesis failure.
         detail: String,
     },
+    /// The spec's declared model inputs (order `D`, per-cell `OpCount` →
+    /// `G_dsp`) disagree with the truth extracted from the kernel by
+    /// `sf-absint`'s probe execution: every eq. (5)/(6) decision built on
+    /// them would be wrong (see [`crate::verify::verify_spec`]).
+    SpecDrift {
+        /// The failing `SFC-K` diagnostics.
+        detail: String,
+    },
 }
 
 impl ModelError {
@@ -60,6 +68,9 @@ impl core::fmt::Display for ModelError {
             }
             ModelError::Infeasible { detail } => {
                 write!(f, "infeasible configuration: {detail}")
+            }
+            ModelError::SpecDrift { detail } => {
+                write!(f, "spec drifted from its kernel: {detail}")
             }
         }
     }

@@ -20,7 +20,7 @@
 //!   (eq. 11), `p_max = M/3D` (eq. 12), and the *quantized* tile
 //!   recommendation that reproduces the paper's concrete `M = 8192` /
 //!   `M = N = 768` choices.
-//! * [`predict`] — runtime predictions for a synthesized design:
+//! * [`mod@predict`] — runtime predictions for a synthesized design:
 //!   [`predict::PredictionLevel::Ideal`] is the pure paper model;
 //!   [`predict::PredictionLevel::Extended`] adds the two calibrated
 //!   overheads (per-row issue gap, host enqueue latency) that §IV discusses
@@ -32,6 +32,9 @@
 //!   against the cycle-level simulator across a configuration suite.
 //! * [`error`] — [`ModelError`], the typed error every public model API
 //!   returns instead of panicking on out-of-domain inputs.
+//! * [`verify`] — spec cross-validation against `sf-absint`'s probe
+//!   execution of the kernel, so the model never reasons from drifted
+//!   eq. (5)/(6) inputs.
 
 pub mod accuracy;
 pub mod blocking;
@@ -41,6 +44,7 @@ pub mod equations;
 pub mod error;
 pub mod feasibility;
 pub mod predict;
+pub mod verify;
 
 pub use accuracy::{accuracy_suite, AccuracyCase, AccuracyStats};
 pub use cache::{check_cached, clear_caches, predict_cached};
@@ -48,3 +52,4 @@ pub use dse::{explore, explore_jobs, Candidate, DseOptions};
 pub use error::ModelError;
 pub use feasibility::FeasibilityReport;
 pub use predict::{predict, Prediction, PredictionLevel};
+pub use verify::verify_spec;

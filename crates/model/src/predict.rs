@@ -11,7 +11,7 @@
 //!   compute-pipeline fill. Deliberately *not* included: the memory-side
 //!   `max()` of strided tile rows — so 3D tiled predictions under-estimate,
 //!   reproducing the paper's own observation that its "model predictions
-//!   [are] slightly less accurate" for Jacobi spatial blocking (Fig. 4c).
+//!   \[are\] slightly less accurate" for Jacobi spatial blocking (Fig. 4c).
 
 use crate::error::ModelError;
 use serde::{Deserialize, Serialize};

@@ -1,0 +1,64 @@
+//! Spec cross-validation: the model's eq. (5)/(6) inputs come straight from
+//! the [`StencilSpec`] — `G_dsp` bounds the unroll sweep, `order` sizes the
+//! window buffers and halos. [`verify_spec`] checks those declared inputs
+//! against the *extracted* truth from `sf-absint`'s probe execution of the
+//! canonical kernel, so a drifted spec is rejected before the DSE builds a
+//! whole ranking on wrong numbers.
+
+use crate::error::ModelError;
+use sf_kernels::StencilSpec;
+use std::fmt::Write as _;
+
+/// Reject a spec whose declared reach/op-count disagrees with the kernel it
+/// names (error-severity `SFC-K` findings). Custom specs carry their own op
+/// and pass through — they are validated against their op by the checker.
+pub fn verify_spec(spec: &StencilSpec) -> Result<(), ModelError> {
+    let errors: Vec<_> = sf_absint::app_diagnostics(spec, 1)
+        .into_iter()
+        .filter(|d| d.severity == sf_check::Severity::Error)
+        .collect();
+    if errors.is_empty() {
+        return Ok(());
+    }
+    let mut detail = format!("spec for {} fails kernel analysis:", spec.app);
+    for d in errors {
+        let _ = write!(detail, " [{} {}]", d.rule.code(), d.message);
+    }
+    Err(ModelError::SpecDrift { detail })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_kernels::AppId;
+
+    #[test]
+    fn paper_specs_verify_clean() {
+        for app in AppId::ALL {
+            verify_spec(&app.spec()).unwrap();
+        }
+    }
+
+    #[test]
+    fn custom_specs_pass_through() {
+        let k = sf_kernels::StarStencil2D::laplace5(0.1, 0.6);
+        verify_spec(&k.spec()).unwrap();
+    }
+
+    #[test]
+    fn drifted_order_is_rejected_with_rule_code() {
+        let mut spec = StencilSpec::jacobi();
+        spec.order = 0;
+        let err = verify_spec(&spec).unwrap_err();
+        let s = format!("{err}");
+        assert!(s.contains("SFC-K01"), "{s}");
+    }
+
+    #[test]
+    fn drifted_ops_are_rejected() {
+        let mut spec = StencilSpec::poisson();
+        spec.ops = sf_kernels::OpCount::new(40, 40, 0);
+        let err = verify_spec(&spec).unwrap_err();
+        assert!(format!("{err}").contains("SFC-K02"), "{err}");
+    }
+}

@@ -8,7 +8,7 @@
 //!    against the paper's analytic ceilings (bandwidth eq. 4, DSP eq. 6,
 //!    tile throughput eq. 12) and attributes the measured-vs-ideal gap to
 //!    stall classes.
-//! 2. **Regression gate** ([`compare`]) — `sfstencil report --compare
+//! 2. **Regression gate** ([`mod@compare`]) — `sfstencil report --compare
 //!    baseline.json --max-regress 5%` exits non-zero when any
 //!    configuration's median cycles regress beyond tolerance (or a
 //!    baseline configuration silently disappears).

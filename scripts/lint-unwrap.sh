@@ -1,8 +1,12 @@
 #!/usr/bin/env sh
-# Grep-based lint gate: no `.unwrap()` / `.expect(` in library-crate
-# non-test code paths. Scanning stops at the first `#[cfg(test)]` in each
-# file (test modules are exempt), comment lines are skipped, and
-# `.expect_err(` (a legitimate assertion helper) is not a match.
+# Grep-based lint gate: no `.unwrap()` / `.expect(` and no `panic!` /
+# `todo!` / `unimplemented!` in library-crate non-test code paths.
+# Scanning stops at the first `#[cfg(test)]` in each file (test modules
+# are exempt), comment lines are skipped, and `.expect_err(` (a
+# legitimate assertion helper) is not a match. `assert!`-family macros
+# stay allowed: a failed invariant assertion names its condition, while
+# a bare `panic!` is almost always a reachable error path that should be
+# a typed error instead.
 #
 # Covered crates: every `[workspace] members` entry under crates/ — the
 # library layers a downstream user links against — derived from the root
@@ -45,13 +49,14 @@ printf '%s\n' "$member_dirs" | while IFS= read -r dir; do
             /^[[:space:]]*\/\// { next }
             /\.expect_err\(/ { next }
             /\.unwrap\(|\.expect\(/ { print FILENAME ":" FNR ": " $0 }
+            /(^|[^_[:alnum:]])(panic|todo|unimplemented)!/ { print FILENAME ":" FNR ": " $0 }
         ' "$f" >> "$hits_file"
     done
 done
 
 if [ -s "$hits_file" ]; then
     cat "$hits_file"
-    echo "error: unwrap()/expect() found in library non-test code (route through typed errors instead)" >&2
+    echo "error: unwrap()/expect()/panic!/todo!/unimplemented! found in library non-test code (route through typed errors instead)" >&2
     exit 1
 fi
 exit 0
