@@ -26,6 +26,12 @@
 //! N worker threads. Output is byte-identical for any N; the default is
 //! `SF_JOBS` or the machine's available parallelism.
 //!
+//! `profile` and `faults` accept `--exec scalar|fast` to pick the
+//! execution engine the behavioral pipeline streams through (default
+//! `fast`, the lane-parallel path). Both engines are bit-exact, so every
+//! output byte is identical either way; `scalar` exists to cross-check
+//! the fast path and for differential debugging.
+//!
 //! `check` runs the `sf-check` static design-rule analyzer — window-buffer
 //! sizing, FIFO deadlock-freedom, loop-carried RAW hazards, tile/halo and
 //! vectorization legality, per-SLR resource budgets — plus the `sf-absint`
@@ -83,12 +89,13 @@ fn fail(msg: &str) -> ! {
          --mesh <NXxNY[xNZ]> [--batch B] [--iters N] [--top K] [--v V] [--p P] \
          [--mem hbm|ddr4] [--tile M[xN]] [--fifo-depth D] [--window-units U] \
          [--assume-order D] [--assume-gdsp N] \
-         [--jobs N] [--json] [--trace-out FILE] [--record-out FILE]\n       \
+         [--jobs N] [--exec scalar|fast] [--json] [--trace-out FILE] \
+         [--record-out FILE]\n       \
          sfstencil check --explain SFC-XXX\n       \
          sfstencil faults [--app <poisson2d|jacobi3d|rtm3d>] [--seed N] \
          [--rate PPM]... [--trials N] [--kind NAME]... [--recovery rerun|rollback] \
-         [--checkpoint-every N]... [--max-retries N] [--jobs N] [--json] \
-         [--record-out FILE]\n       \
+         [--checkpoint-every N]... [--max-retries N] [--jobs N] \
+         [--exec scalar|fast] [--json] [--record-out FILE]\n       \
          sfstencil report <runs.jsonl> [--json|--md|--html] [--out FILE] \
          [--compare BASELINE.json] [--max-regress PCT]"
     );
@@ -110,6 +117,7 @@ struct Args {
     assume_order: Option<usize>,
     assume_gdsp: Option<usize>,
     jobs: usize,
+    exec: sf_fpga::ExecEngine,
     json: bool,
     trace_out: Option<String>,
     record_out: Option<String>,
@@ -179,6 +187,11 @@ fn parse() -> Args {
             _ => fail(&format!("--assume-gdsp must be an integer >= 2 (got '{s}')")),
         }),
         jobs: sf_par::resolve_jobs(get("--jobs").map(|s| positive("--jobs", s))),
+        exec: match get("--exec") {
+            None => sf_fpga::ExecEngine::default(),
+            Some(s) => sf_fpga::ExecEngine::parse(&s)
+                .unwrap_or_else(|| fail(&format!("--exec must be scalar or fast (got '{s}')"))),
+        },
         json: argv.iter().any(|a| a == "--json"),
         trace_out: get("--trace-out"),
         record_out: get("--record-out"),
@@ -331,6 +344,10 @@ fn run_faults(argv: &[String], started: std::time::Instant) {
     if let Some(s) = get("--recovery") {
         cfg.recovery = RecoveryMode::parse(&s)
             .unwrap_or_else(|| fail(&format!("--recovery must be rerun or rollback (got '{s}')")));
+    }
+    if let Some(s) = get("--exec") {
+        cfg.engine = sf_fpga::ExecEngine::parse(&s)
+            .unwrap_or_else(|| fail(&format!("--exec must be scalar or fast (got '{s}')")));
     }
     // A zero interval would mean "never checkpoint" — under rollback that
     // is a misconfiguration (nothing to restore), so it is rejected up
@@ -504,7 +521,7 @@ fn main() {
             }
             Err(e) => fail(&format!("{e}")),
         },
-        "profile" => match wf.profile_jobs(&a.app, &a.wl, a.iters, a.jobs) {
+        "profile" => match wf.profile_exec(&a.app, &a.wl, a.iters, a.jobs, a.exec) {
             Ok(pr) => {
                 if let Some(path) = &a.trace_out {
                     let json = chrome::to_chrome_json(&pr.recorder);

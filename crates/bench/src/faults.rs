@@ -35,9 +35,12 @@
 
 use serde::Serialize;
 use sf_fpga::design::{synthesize, ExecMode, MemKind, Workload};
+use sf_fpga::fast::{
+    simulate_2d_recoverable_exec, simulate_2d_resilient_exec, simulate_3d_recoverable_exec,
+    simulate_3d_resilient_exec,
+};
 use sf_fpga::{
-    cycles, simulate_2d_recoverable, simulate_2d_resilient, simulate_3d_recoverable,
-    simulate_3d_resilient, ExecError, FaultInjector, FaultKind, FaultPlan, FpgaDevice, Recorder,
+    cycles, ExecEngine, ExecError, FaultInjector, FaultKind, FaultPlan, FpgaDevice, Recorder,
     RecoveryConfig, RecoveryPolicy, RecoveryStats, RetryPolicy,
 };
 use sf_kernels::{reference, rtm, Jacobi3D, Poisson2D, RtmParams, RtmStage, StencilSpec};
@@ -327,6 +330,11 @@ pub struct CampaignConfig {
     /// kind's position in [`FaultKind::ALL`], so filtering the list never
     /// changes the seeds of the kinds that remain.
     pub kinds: Vec<FaultKind>,
+    /// Execution engine the trials stream through (`--exec`). Both engines
+    /// are bit-exact, so the campaign report (table and JSON) is
+    /// byte-identical either way; `scalar` exists to cross-check the fast
+    /// path.
+    pub engine: ExecEngine,
 }
 
 impl Default for CampaignConfig {
@@ -340,6 +348,7 @@ impl Default for CampaignConfig {
             checkpoint_every: vec![4],
             max_retries: 3,
             kinds: FaultKind::ALL.to_vec(),
+            engine: ExecEngine::default(),
         }
     }
 }
@@ -404,7 +413,12 @@ fn finish_trial(
     }
 }
 
-fn poisson_trial(plan: FaultPlan, policy: &RetryPolicy, mode: TrialMode) -> TrialRun {
+fn poisson_trial(
+    plan: FaultPlan,
+    policy: &RetryPolicy,
+    mode: TrialMode,
+    engine: ExecEngine,
+) -> TrialRun {
     let dev = FpgaDevice::u280();
     let (spec, v, p, wl) = CampaignApp::Poisson2D.campaign_params();
     let (Workload::D2 { nx, ny, .. } | Workload::D3 { nx, ny, .. }) = wl;
@@ -418,7 +432,8 @@ fn poisson_trial(plan: FaultPlan, policy: &RetryPolicy, mode: TrialMode) -> Tria
     let mut rec = Recorder::enabled(ds.freq_mhz());
     let (r, stats) = match mode.rcfg() {
         None => {
-            let r = simulate_2d_resilient(
+            let r = simulate_2d_resilient_exec(
+                engine,
                 &dev,
                 &ds,
                 &[Poisson2D],
@@ -435,7 +450,8 @@ fn poisson_trial(plan: FaultPlan, policy: &RetryPolicy, mode: TrialMode) -> Tria
         }
         Some(rcfg) => {
             let mut stats = RecoveryStats::default();
-            let r = simulate_2d_recoverable(
+            let r = simulate_2d_recoverable_exec(
+                engine,
                 &dev,
                 &ds,
                 &[Poisson2D],
@@ -456,7 +472,12 @@ fn poisson_trial(plan: FaultPlan, policy: &RetryPolicy, mode: TrialMode) -> Tria
     finish_trial(r, clean, &inj, &rec, stats)
 }
 
-fn jacobi_trial(plan: FaultPlan, policy: &RetryPolicy, mode: TrialMode) -> TrialRun {
+fn jacobi_trial(
+    plan: FaultPlan,
+    policy: &RetryPolicy,
+    mode: TrialMode,
+    engine: ExecEngine,
+) -> TrialRun {
     let dev = FpgaDevice::u280();
     let (spec, v, p, wl) = CampaignApp::Jacobi3D.campaign_params();
     let (nx, ny, nz) = match wl {
@@ -474,16 +495,26 @@ fn jacobi_trial(plan: FaultPlan, policy: &RetryPolicy, mode: TrialMode) -> Trial
     let mut rec = Recorder::enabled(ds.freq_mhz());
     let (r, stats) = match mode.rcfg() {
         None => {
-            let r =
-                simulate_3d_resilient(&dev, &ds, &[k], &input, niter, &mut inj, policy, &mut rec)
-                    .map(|(out, rep)| {
-                        (norms::bit_equal(out.as_slice(), golden.as_slice()), rep.total_cycles)
-                    });
+            let r = simulate_3d_resilient_exec(
+                engine,
+                &dev,
+                &ds,
+                &[k],
+                &input,
+                niter,
+                &mut inj,
+                policy,
+                &mut rec,
+            )
+            .map(|(out, rep)| {
+                (norms::bit_equal(out.as_slice(), golden.as_slice()), rep.total_cycles)
+            });
             (r, RecoveryStats::default())
         }
         Some(rcfg) => {
             let mut stats = RecoveryStats::default();
-            let r = simulate_3d_recoverable(
+            let r = simulate_3d_recoverable_exec(
+                engine,
                 &dev,
                 &ds,
                 &[k],
@@ -504,7 +535,12 @@ fn jacobi_trial(plan: FaultPlan, policy: &RetryPolicy, mode: TrialMode) -> Trial
     finish_trial(r, clean, &inj, &rec, stats)
 }
 
-fn rtm_trial(plan: FaultPlan, policy: &RetryPolicy, mode: TrialMode) -> TrialRun {
+fn rtm_trial(
+    plan: FaultPlan,
+    policy: &RetryPolicy,
+    mode: TrialMode,
+    engine: ExecEngine,
+) -> TrialRun {
     let dev = FpgaDevice::u280();
     let (spec, v, p, wl) = CampaignApp::Rtm3D.campaign_params();
     let (nx, ny, nz) = match wl {
@@ -524,8 +560,8 @@ fn rtm_trial(plan: FaultPlan, policy: &RetryPolicy, mode: TrialMode) -> TrialRun
     let mut rec = Recorder::enabled(ds.freq_mhz());
     let (r, stats) = match mode.rcfg() {
         None => {
-            let r = simulate_3d_resilient(
-                &dev, &ds, &stages, &input, niter, &mut inj, policy, &mut rec,
+            let r = simulate_3d_resilient_exec(
+                engine, &dev, &ds, &stages, &input, niter, &mut inj, policy, &mut rec,
             )
             .map(|(out, rep)| {
                 (norms::bit_equal(out.mesh(0).as_slice(), golden.as_slice()), rep.total_cycles)
@@ -534,8 +570,8 @@ fn rtm_trial(plan: FaultPlan, policy: &RetryPolicy, mode: TrialMode) -> TrialRun
         }
         Some(rcfg) => {
             let mut stats = RecoveryStats::default();
-            let r = simulate_3d_recoverable(
-                &dev, &ds, &stages, &input, niter, &mut inj, policy, &rcfg, &mut rec,
+            let r = simulate_3d_recoverable_exec(
+                engine, &dev, &ds, &stages, &input, niter, &mut inj, policy, &rcfg, &mut rec,
             )
             .map(|(out, rep, s)| {
                 stats = s;
@@ -547,11 +583,17 @@ fn rtm_trial(plan: FaultPlan, policy: &RetryPolicy, mode: TrialMode) -> TrialRun
     finish_trial(r, clean, &inj, &rec, stats)
 }
 
-fn run_app(app: CampaignApp, plan: FaultPlan, policy: &RetryPolicy, mode: TrialMode) -> TrialRun {
+fn run_app(
+    app: CampaignApp,
+    plan: FaultPlan,
+    policy: &RetryPolicy,
+    mode: TrialMode,
+    engine: ExecEngine,
+) -> TrialRun {
     match app {
-        CampaignApp::Poisson2D => poisson_trial(plan, policy, mode),
-        CampaignApp::Jacobi3D => jacobi_trial(plan, policy, mode),
-        CampaignApp::Rtm3D => rtm_trial(plan, policy, mode),
+        CampaignApp::Poisson2D => poisson_trial(plan, policy, mode, engine),
+        CampaignApp::Jacobi3D => jacobi_trial(plan, policy, mode, engine),
+        CampaignApp::Rtm3D => rtm_trial(plan, policy, mode, engine),
     }
 }
 
@@ -670,8 +712,13 @@ pub fn run_campaign(apps: &[CampaignApp], cfg: &CampaignConfig) -> CampaignRepor
     // (injector disabled) must reproduce the golden answer. One run per
     // app — fanned across workers like the trials themselves.
     let clean_ok: Vec<bool> = sf_par::par_map(cfg.jobs, apps.to_vec(), |_, app| {
-        let clean =
-            run_app(app, FaultInjector::disabled().plan().to_owned(), &policy, TrialMode::Rerun);
+        let clean = run_app(
+            app,
+            FaultInjector::disabled().plan().to_owned(),
+            &policy,
+            TrialMode::Rerun,
+            cfg.engine,
+        );
         matches!(clean.result, Ok((true, _)))
     });
     // Under rollback the checkpoint intervals are swept as an extra cell
@@ -724,7 +771,7 @@ pub fn run_campaign(apps: &[CampaignApp], cfg: &CampaignConfig) -> CampaignRepor
         }
     }
     let trials = sf_par::par_map(cfg.jobs, cells, |_, cell| {
-        let run = run_app(cell.app, cell.plan, &policy, cell.mode);
+        let run = run_app(cell.app, cell.plan, &policy, cell.mode, cfg.engine);
         classify(cell.app, &run, &cell.plan, cell.clean_ok, cell.mode)
     });
     let injected: Vec<&Trial> = trials.iter().filter(|t| t.injected > 0).collect();
@@ -971,6 +1018,18 @@ mod tests {
                 "jobs={jobs}"
             );
         }
+    }
+
+    #[test]
+    fn campaign_is_engine_invariant() {
+        // `--exec scalar` and `--exec fast` must produce byte-identical
+        // campaign reports — detections, seeds, cycle accounting, JSON.
+        let apps = [CampaignApp::Poisson2D];
+        let fast = run_campaign(&apps, &rollback_cfg());
+        let scalar =
+            run_campaign(&apps, &CampaignConfig { engine: ExecEngine::Scalar, ..rollback_cfg() });
+        assert_eq!(fast.render_table(), scalar.render_table());
+        assert_eq!(serde_json::to_string(&fast).unwrap(), serde_json::to_string(&scalar).unwrap());
     }
 
     #[test]

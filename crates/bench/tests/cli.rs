@@ -89,6 +89,40 @@ fn invalid_numeric_flags_exit_2() {
 }
 
 #[test]
+fn unknown_exec_engine_exits_2() {
+    // both flag surfaces: the main parser (profile) and the faults
+    // subcommand's own flag set
+    let out = sfstencil()
+        .args(["profile", "--app", "poisson", "--mesh", "64x32", "--iters", "10", "--exec", "simd"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "profile must reject --exec simd");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("--exec must be scalar or fast (got 'simd')"), "{stderr}");
+
+    let out = sfstencil().args(["faults", "--exec", "vector"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "faults must reject --exec vector");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("--exec must be scalar or fast (got 'vector')"), "{stderr}");
+}
+
+#[test]
+fn profile_output_is_identical_across_exec_engines() {
+    let run = |engine: &str| {
+        let out = sfstencil()
+            .args([
+                "profile", "--app", "poisson", "--mesh", "64x32", "--batch", "4", "--iters", "40",
+                "--exec", engine, "--json",
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8(out.stdout).unwrap()
+    };
+    assert_eq!(run("fast"), run("scalar"), "profile JSON must not depend on --exec");
+}
+
+#[test]
 fn check_paper_designs_are_clean() {
     for (app, mesh, v, p) in [
         ("poisson", "400x400", "8", "60"),

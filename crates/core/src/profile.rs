@@ -19,7 +19,7 @@ use crate::workflow::Workflow;
 use serde::Value;
 use sf_fpga::design::{StencilDesign, Workload};
 use sf_fpga::trace::PlanTrace;
-use sf_fpga::{exec2d, exec3d, exec_batch, trace, Recorder, SimReport};
+use sf_fpga::{fast, trace, ExecEngine, Recorder, SimReport};
 use sf_kernels::{rtm, AppId, Jacobi3D, Poisson2D, RtmStage, StencilSpec};
 use sf_mesh::{Batch2D, Batch3D};
 use sf_model::{predict_cached, Prediction, PredictionLevel};
@@ -43,6 +43,10 @@ pub struct ProfileResult {
     pub niter: u64,
     /// Resolved worker count the run was configured with.
     pub jobs: usize,
+    /// Execution engine the behavioral pipeline streamed through (fast by
+    /// default; both engines are bit-exact, so everything else in the
+    /// profile is engine-independent).
+    pub engine: ExecEngine,
     /// The model's prediction for it (Extended level).
     pub prediction: Prediction,
     /// Simulated performance report.
@@ -85,14 +89,29 @@ impl Workflow {
     /// [`Workflow::profile`] with an explicit worker count (the `--jobs`
     /// CLI flag lands here). Batched behavioral workloads fan their meshes
     /// across `jobs` threads via the deterministic batch engine
-    /// ([`exec_batch`]); everything else about the profile is unaffected
-    /// by `jobs`.
+    /// ([`sf_fpga::exec_batch`]); everything else about the profile is
+    /// unaffected by `jobs`. Streams through the default (fast) engine.
     pub fn profile_jobs(
         &self,
         spec: &StencilSpec,
         wl: &Workload,
         niter: u64,
         jobs: usize,
+    ) -> Result<ProfileResult, SfError> {
+        self.profile_exec(spec, wl, niter, jobs, ExecEngine::default())
+    }
+
+    /// [`Workflow::profile_jobs`] with an explicit execution engine (the
+    /// `--exec` CLI flag lands here). Both engines are bit-exact, so the
+    /// numerics, report and every recorded byte are identical; `scalar`
+    /// exists to cross-check the fast path and for differential debugging.
+    pub fn profile_exec(
+        &self,
+        spec: &StencilSpec,
+        wl: &Workload,
+        niter: u64,
+        jobs: usize,
+        engine: ExecEngine,
     ) -> Result<ProfileResult, SfError> {
         let best = self.best_design(spec, wl, niter)?;
         let design = best.design.clone();
@@ -106,7 +125,7 @@ impl Workflow {
 
         let behavioral = wl.total_cells() * niter <= BEHAVIORAL_BUDGET;
         let report = if behavioral {
-            run_behavioral(dev, &design, spec, wl, niter, jobs, &mut rec)
+            run_behavioral(dev, &design, spec, wl, niter, jobs, engine, &mut rec)
         } else {
             None
         };
@@ -136,6 +155,7 @@ impl Workflow {
             workload: *wl,
             niter,
             jobs,
+            engine,
             prediction,
             report,
             preflight,
@@ -206,6 +226,9 @@ impl ProfileResult {
 /// Batched workloads (`batch > 1`) go through the deterministic parallel
 /// batch engine with per-mesh `mesh{i}/window/` swimlanes; single-mesh
 /// workloads keep the single-stream traced executors (tiling included).
+/// `engine` selects scalar or lane-parallel stage processors — the output
+/// and every recorded byte are identical either way.
+#[allow(clippy::too_many_arguments)]
 fn run_behavioral(
     dev: &sf_fpga::FpgaDevice,
     design: &StencilDesign,
@@ -213,13 +236,15 @@ fn run_behavioral(
     wl: &Workload,
     niter: u64,
     jobs: usize,
+    engine: ExecEngine,
     rec: &mut Recorder,
 ) -> Option<SimReport> {
     match (spec.app, *wl) {
         (AppId::Poisson2D, Workload::D2 { nx, ny, batch }) => {
             let input = Batch2D::<f32>::random(nx, ny, batch, PROFILE_SEED, -1.0, 1.0);
             let (_, rep) = if batch > 1 {
-                exec_batch::simulate_batch_2d_parallel(
+                fast::simulate_batch_2d_parallel_exec(
+                    engine,
                     dev,
                     design,
                     &[Poisson2D],
@@ -229,7 +254,15 @@ fn run_behavioral(
                     rec,
                 )
             } else {
-                exec2d::simulate_2d_traced(dev, design, &[Poisson2D], &input, niter as usize, rec)
+                fast::simulate_2d_exec(
+                    engine,
+                    dev,
+                    design,
+                    &[Poisson2D],
+                    &input,
+                    niter as usize,
+                    rec,
+                )
             };
             Some(rep)
         }
@@ -237,7 +270,8 @@ fn run_behavioral(
             let input = Batch3D::<f32>::random(nx, ny, nz, batch, PROFILE_SEED, -1.0, 1.0);
             let k = Jacobi3D::smoothing();
             let (_, rep) = if batch > 1 {
-                exec_batch::simulate_batch_3d_parallel(
+                fast::simulate_batch_3d_parallel_exec(
+                    engine,
                     dev,
                     design,
                     &[k],
@@ -247,7 +281,7 @@ fn run_behavioral(
                     rec,
                 )
             } else {
-                exec3d::simulate_3d_traced(dev, design, &[k], &input, niter as usize, rec)
+                fast::simulate_3d_exec(engine, dev, design, &[k], &input, niter as usize, rec)
             };
             Some(rep)
         }
@@ -257,7 +291,7 @@ fn run_behavioral(
             let input = Batch3D::from_meshes(std::slice::from_ref(&packed));
             let stages = RtmStage::pipeline(sf_kernels::RtmParams::default());
             let (_, rep) =
-                exec3d::simulate_3d_traced(dev, design, &stages, &input, niter as usize, rec);
+                fast::simulate_3d_exec(engine, dev, design, &stages, &input, niter as usize, rec);
             Some(rep)
         }
         _ => None,
@@ -326,6 +360,27 @@ mod tests {
         assert!(pr.recorder.track_names().iter().any(|t| t.starts_with("mesh5/window/")));
         // ...while the provenance block records the actual worker count
         assert_eq!(pr.recorder.jobs(), Some(2));
+    }
+
+    #[test]
+    fn profile_is_engine_invariant() {
+        let wf = Workflow::u280_vs_v100();
+        let spec = StencilSpec::poisson();
+        let wl = Workload::D2 { nx: 64, ny: 32, batch: 3 };
+        let run = |engine: ExecEngine| {
+            let pr = wf.profile_exec(&spec, &wl, 40, 2, engine).unwrap();
+            assert!(pr.behavioral);
+            assert_eq!(pr.engine, engine);
+            (
+                sf_telemetry::chrome::to_chrome_json(&pr.recorder),
+                sf_telemetry::metrics::to_metrics_json(&pr.recorder),
+                pr.report.total_cycles,
+            )
+        };
+        assert_eq!(run(ExecEngine::Fast), run(ExecEngine::Scalar));
+        // The default profile entry points stream the fast engine.
+        let pr = wf.profile_jobs(&spec, &wl, 40, 2).unwrap();
+        assert_eq!(pr.engine, ExecEngine::Fast);
     }
 
     #[test]

@@ -11,24 +11,32 @@
 use crate::cycles;
 use crate::design::{ExecMode, StencilDesign, Workload};
 use crate::device::FpgaDevice;
+use crate::error::ExecError;
 use crate::power;
 use crate::profile;
 use crate::report::SimReport;
-use crate::window::run_chain_2d_traced;
+use crate::window::{run_chain_2d_engine_traced, Engine2D, ScalarEngine};
 use sf_kernels::StencilOp2D;
 use sf_mesh::{Batch2D, Element, Mesh2D, TileGrid1D};
 use sf_telemetry::Recorder;
 
 /// Timing/power estimate for a workload without executing the numerics.
+///
+/// # Errors
+/// [`ExecError::ShapeMismatch`] if the workload is not 2D.
 pub fn estimate_2d(
     dev: &FpgaDevice,
     design: &StencilDesign,
     wl: &Workload,
     niter: u64,
-) -> SimReport {
-    assert!(matches!(wl, Workload::D2 { .. }), "2D estimator needs a 2D workload");
+) -> Result<SimReport, ExecError> {
+    if !matches!(wl, Workload::D2 { .. }) {
+        return Err(ExecError::ShapeMismatch {
+            detail: "2D estimator needs a 2D workload".to_string(),
+        });
+    }
     let plan = cycles::plan(dev, design, wl, niter);
-    SimReport::from_plan(design, &plan, niter, power::fpga_power_w(dev, design))
+    Ok(SimReport::from_plan(design, &plan, niter, power::fpga_power_w(dev, design)))
 }
 
 /// Execute `niter` iterations of `stages_per_iter` on a (batch of) 2D
@@ -80,6 +88,20 @@ pub fn simulate_2d_traced<T: Element, K: StencilOp2D<T> + Clone>(
     niter: usize,
     rec: &mut Recorder,
 ) -> (Batch2D<T>, SimReport) {
+    simulate_2d_core(&ScalarEngine, dev, design, stages_per_iter, input, niter, rec)
+}
+
+/// [`simulate_2d_traced`] for any [`Engine2D`]: the pass loop, mode
+/// dispatch and plan accounting shared by the scalar and fast paths.
+pub(crate) fn simulate_2d_core<T: Element, K: Clone, E: Engine2D<T, K>>(
+    engine: &E,
+    dev: &FpgaDevice,
+    design: &StencilDesign,
+    stages_per_iter: &[K],
+    input: &Batch2D<T>,
+    niter: usize,
+    rec: &mut Recorder,
+) -> (Batch2D<T>, SimReport) {
     assert!(niter > 0, "niter must be positive");
     assert_eq!(
         stages_per_iter.len(),
@@ -108,13 +130,23 @@ pub fn simulate_2d_traced<T: Element, K: StencilOp2D<T> + Clone>(
         cur = match design.mode {
             ExecMode::Tiled1D { tile_m } => {
                 let mesh = cur.mesh(0);
-                let out = tiled_pass_2d(dev, design, &chain, &mesh, tile_m, pass_rec);
+                let out = tiled_pass_2d(engine, dev, design, &chain, &mesh, tile_m, pass_rec);
                 Batch2D::from_meshes(&[out])
             }
             _ => {
                 let rows = cur.as_slice().chunks(nx).map(|r| r.to_vec());
-                let out_rows =
-                    run_chain_2d_traced(&chain, nx, b * ny, ny, rows, pass_rec, "window/", 0, rc);
+                let out_rows = run_chain_2d_engine_traced(
+                    engine,
+                    &chain,
+                    nx,
+                    b * ny,
+                    ny,
+                    rows,
+                    pass_rec,
+                    "window/",
+                    0,
+                    rc,
+                );
                 let mut out = Batch2D::<T>::zeros(nx, ny, b);
                 for (gy, row) in out_rows.into_iter().enumerate() {
                     out.as_mut_slice()[gy * nx..(gy + 1) * nx].copy_from_slice(&row);
@@ -148,7 +180,8 @@ pub fn simulate_mesh_2d<T: Element, K: StencilOp2D<T> + Clone>(
 /// mesh: every tile is streamed through the pipeline against the pass-start
 /// mesh, and only its valid columns are written back — exactly the paper's
 /// overlapped-block scheme.
-fn tiled_pass_2d<T: Element, K: StencilOp2D<T> + Clone>(
+fn tiled_pass_2d<T: Element, K: Clone, E: Engine2D<T, K>>(
+    engine: &E,
     dev: &FpgaDevice,
     design: &StencilDesign,
     chain: &[K],
@@ -172,8 +205,9 @@ fn tiled_pass_2d<T: Element, K: StencilOp2D<T> + Clone>(
         // the same chain, differing only in width.
         let tile_rec: &mut Recorder = if i == 0 { &mut *rec } else { &mut off };
         let rc = cycles::design_row_cycles(dev, design, t.read_len, t.valid_len);
-        let tile_rows =
-            run_chain_2d_traced(chain, t.read_len, ny, ny, rows, tile_rec, "tile0/", 0, rc);
+        let tile_rows = run_chain_2d_engine_traced(
+            engine, chain, t.read_len, ny, ny, rows, tile_rec, "tile0/", 0, rc,
+        );
         let off = t.valid_offset();
         for (y, row) in tile_rows.into_iter().enumerate() {
             let dst = y * nx + t.valid_start;
@@ -264,10 +298,20 @@ mod tests {
         let wl = Workload::D2 { nx: 64, ny: 32, batch: 1 };
         let ds = design(&wl, 8, 4, ExecMode::Baseline);
         let (_, sim) = simulate_mesh_2d(&dev(), &ds, &[Poisson2D], &m, 8);
-        let est = estimate_2d(&dev(), &ds, &wl, 8);
+        let est = estimate_2d(&dev(), &ds, &wl, 8).unwrap();
         assert_eq!(sim.total_cycles, est.total_cycles);
         assert_eq!(sim.runtime_s, est.runtime_s);
         assert_eq!(sim.energy_j, est.energy_j);
+    }
+
+    #[test]
+    fn estimate_rejects_3d_workload_with_typed_error() {
+        let wl = Workload::D2 { nx: 64, ny: 32, batch: 1 };
+        let ds = design(&wl, 8, 4, ExecMode::Baseline);
+        let bad = Workload::D3 { nx: 64, ny: 32, nz: 16, batch: 1 };
+        let err = estimate_2d(&dev(), &ds, &bad, 8).unwrap_err();
+        assert!(matches!(err, ExecError::ShapeMismatch { .. }), "{err:?}");
+        assert!(format!("{err}").contains("2D estimator needs a 2D workload"));
     }
 
     #[test]

@@ -6,24 +6,32 @@
 use crate::cycles;
 use crate::design::{ExecMode, StencilDesign, Workload};
 use crate::device::FpgaDevice;
+use crate::error::ExecError;
 use crate::power;
 use crate::profile;
 use crate::report::SimReport;
-use crate::window::run_chain_3d_traced;
+use crate::window::{run_chain_3d_engine_traced, Engine3D, ScalarEngine};
 use sf_kernels::StencilOp3D;
 use sf_mesh::{Batch3D, Element, Mesh3D, TileGrid1D};
 use sf_telemetry::Recorder;
 
 /// Timing/power estimate without executing the numerics.
+///
+/// # Errors
+/// [`ExecError::ShapeMismatch`] if the workload is not 3D.
 pub fn estimate_3d(
     dev: &FpgaDevice,
     design: &StencilDesign,
     wl: &Workload,
     niter: u64,
-) -> SimReport {
-    assert!(matches!(wl, Workload::D3 { .. }), "3D estimator needs a 3D workload");
+) -> Result<SimReport, ExecError> {
+    if !matches!(wl, Workload::D3 { .. }) {
+        return Err(ExecError::ShapeMismatch {
+            detail: "3D estimator needs a 3D workload".to_string(),
+        });
+    }
     let plan = cycles::plan(dev, design, wl, niter);
-    SimReport::from_plan(design, &plan, niter, power::fpga_power_w(dev, design))
+    Ok(SimReport::from_plan(design, &plan, niter, power::fpga_power_w(dev, design)))
 }
 
 /// Execute `niter` iterations (each = all `stages_per_iter` in order) on a
@@ -41,6 +49,20 @@ pub fn simulate_3d<T: Element, K: StencilOp3D<T> + Clone>(
 /// [`simulate_3d`] with telemetry (see [`crate::exec2d::simulate_2d_traced`]):
 /// schedule trace plus window-buffer events for the first pass / first tile.
 pub fn simulate_3d_traced<T: Element, K: StencilOp3D<T> + Clone>(
+    dev: &FpgaDevice,
+    design: &StencilDesign,
+    stages_per_iter: &[K],
+    input: &Batch3D<T>,
+    niter: usize,
+    rec: &mut Recorder,
+) -> (Batch3D<T>, SimReport) {
+    simulate_3d_core(&ScalarEngine, dev, design, stages_per_iter, input, niter, rec)
+}
+
+/// [`simulate_3d_traced`] for any [`Engine3D`]: the pass loop, mode
+/// dispatch and plan accounting shared by the scalar and fast paths.
+pub(crate) fn simulate_3d_core<T: Element, K: Clone, E: Engine3D<T, K>>(
+    engine: &E,
     dev: &FpgaDevice,
     design: &StencilDesign,
     stages_per_iter: &[K],
@@ -78,12 +100,14 @@ pub fn simulate_3d_traced<T: Element, K: StencilOp3D<T> + Clone>(
         cur = match design.mode {
             ExecMode::Tiled2D { tile_m, tile_n } => {
                 let mesh = cur.mesh(0);
-                let out = tiled_pass_3d(dev, design, &chain, &mesh, tile_m, tile_n, pass_rec);
+                let out =
+                    tiled_pass_3d(engine, dev, design, &chain, &mesh, tile_m, tile_n, pass_rec);
                 Batch3D::from_meshes(&[out])
             }
             _ => {
                 let planes = cur.as_slice().chunks(plane).map(|p| p.to_vec());
-                let out_planes = run_chain_3d_traced(
+                let out_planes = run_chain_3d_engine_traced(
+                    engine,
                     &chain,
                     nx,
                     ny,
@@ -126,7 +150,9 @@ pub fn simulate_mesh_3d<T: Element, K: StencilOp3D<T> + Clone>(
 
 /// One spatially-blocked pass over a 3D mesh: `M × N` tiles spanning the
 /// full `z` extent, streamed plane by plane.
-fn tiled_pass_3d<T: Element, K: StencilOp3D<T> + Clone>(
+#[allow(clippy::too_many_arguments)]
+fn tiled_pass_3d<T: Element, K: Clone, E: Engine3D<T, K>>(
+    engine: &E,
     dev: &FpgaDevice,
     design: &StencilDesign,
     chain: &[K],
@@ -157,7 +183,8 @@ fn tiled_pass_3d<T: Element, K: StencilOp3D<T> + Clone>(
             first_tile = false;
             let plane_cycles = cycles::design_row_cycles(dev, design, tx.read_len, tx.valid_len)
                 * ty.read_len as u64;
-            let tile_planes = run_chain_3d_traced(
+            let tile_planes = run_chain_3d_engine_traced(
+                engine,
                 chain,
                 tx.read_len,
                 ty.read_len,
@@ -347,9 +374,21 @@ mod tests {
                 .unwrap();
         let k = Jacobi3D::smoothing();
         let (_, sim) = simulate_mesh_3d(&dev(), &ds, &[k], &m, 4);
-        let est = estimate_3d(&dev(), &ds, &wl, 4);
+        let est = estimate_3d(&dev(), &ds, &wl, 4).unwrap();
         assert_eq!(sim.total_cycles, est.total_cycles);
         assert_eq!(sim.runtime_s, est.runtime_s);
+    }
+
+    #[test]
+    fn estimate_rejects_2d_workload_with_typed_error() {
+        let wl = Workload::D3 { nx: 12, ny: 12, nz: 12, batch: 1 };
+        let ds =
+            synthesize(&dev(), &StencilSpec::jacobi(), 8, 2, ExecMode::Baseline, MemKind::Hbm, &wl)
+                .unwrap();
+        let bad = Workload::D2 { nx: 12, ny: 12, batch: 1 };
+        let err = estimate_3d(&dev(), &ds, &bad, 4).unwrap_err();
+        assert!(matches!(err, ExecError::ShapeMismatch { .. }), "{err:?}");
+        assert!(format!("{err}").contains("3D estimator needs a 3D workload"));
     }
 }
 

@@ -27,7 +27,9 @@ use crate::device::FpgaDevice;
 use crate::power;
 use crate::profile;
 use crate::report::SimReport;
-use crate::window::{run_chain_2d_traced, run_chain_3d_traced};
+use crate::window::{
+    run_chain_2d_engine_traced, run_chain_3d_engine_traced, Engine2D, Engine3D, ScalarEngine,
+};
 use sf_kernels::{StencilOp2D, StencilOp3D};
 use sf_mesh::{Batch2D, Batch3D, Element, Mesh2D, Mesh3D};
 use sf_telemetry::Recorder;
@@ -50,7 +52,8 @@ fn check_batch_mode(design: &StencilDesign, b: usize) {
 /// batch member: `ceil(niter / p)` passes, each chaining `p_eff × stages`
 /// processors, window events traced on the first pass only.
 #[allow(clippy::too_many_arguments)]
-fn run_mesh_passes_2d<T: Element, K: StencilOp2D<T> + Clone>(
+fn run_mesh_passes_2d<T: Element, K: Clone, E: Engine2D<T, K>>(
+    engine: &E,
     design: &StencilDesign,
     stages_per_iter: &[K],
     mesh: &Mesh2D<T>,
@@ -70,7 +73,8 @@ fn run_mesh_passes_2d<T: Element, K: StencilOp2D<T> + Clone>(
         let chain: Vec<K> = (0..p_eff).flat_map(|_| stages_per_iter.iter().cloned()).collect();
         let pass_rec: &mut Recorder = if first_pass { &mut *rec } else { &mut off };
         let rows = cur.as_slice().chunks(nx).map(|r| r.to_vec());
-        let out_rows = run_chain_2d_traced(
+        let out_rows = run_chain_2d_engine_traced(
+            engine,
             &chain,
             nx,
             ny,
@@ -94,7 +98,8 @@ fn run_mesh_passes_2d<T: Element, K: StencilOp2D<T> + Clone>(
 
 /// 3D twin of [`run_mesh_passes_2d`]: streams planes instead of rows.
 #[allow(clippy::too_many_arguments)]
-fn run_mesh_passes_3d<T: Element, K: StencilOp3D<T> + Clone>(
+fn run_mesh_passes_3d<T: Element, K: Clone, E: Engine3D<T, K>>(
+    engine: &E,
     design: &StencilDesign,
     stages_per_iter: &[K],
     mesh: &Mesh3D<T>,
@@ -115,7 +120,8 @@ fn run_mesh_passes_3d<T: Element, K: StencilOp3D<T> + Clone>(
         let chain: Vec<K> = (0..p_eff).flat_map(|_| stages_per_iter.iter().cloned()).collect();
         let pass_rec: &mut Recorder = if first_pass { &mut *rec } else { &mut off };
         let planes = cur.as_slice().chunks(plane).map(|p| p.to_vec());
-        let out_planes = run_chain_3d_traced(
+        let out_planes = run_chain_3d_engine_traced(
+            engine,
             &chain,
             nx,
             ny,
@@ -158,6 +164,37 @@ pub fn simulate_batch_2d_parallel<T: Element, K: StencilOp2D<T> + Clone>(
     jobs: usize,
     rec: &mut Recorder,
 ) -> (Batch2D<T>, SimReport) {
+    simulate_batch_2d_parallel_core(
+        &ScalarEngine,
+        dev,
+        design,
+        stages_per_iter,
+        input,
+        niter,
+        jobs,
+        rec,
+    )
+}
+
+/// Engine-generic body of [`simulate_batch_2d_parallel`]: the fast path
+/// reuses it with a lane-parallel engine, keeping fan-out, shard merge and
+/// cycle accounting identical between the two executors.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn simulate_batch_2d_parallel_core<T, K, E>(
+    engine: &E,
+    dev: &FpgaDevice,
+    design: &StencilDesign,
+    stages_per_iter: &[K],
+    input: &Batch2D<T>,
+    niter: usize,
+    jobs: usize,
+    rec: &mut Recorder,
+) -> (Batch2D<T>, SimReport)
+where
+    T: Element,
+    K: Clone + Sync,
+    E: Engine2D<T, K> + Sync,
+{
     assert!(niter > 0, "niter must be positive");
     assert_eq!(
         stages_per_iter.len(),
@@ -179,6 +216,7 @@ pub fn simulate_batch_2d_parallel<T: Element, K: StencilOp2D<T> + Clone>(
         // Cycle offset of this mesh's rows within the batched stream.
         let base_cycle = (i * ny) as u64 * rc;
         let out = run_mesh_passes_2d(
+            engine,
             design,
             stages_per_iter,
             &mesh,
@@ -215,6 +253,35 @@ pub fn simulate_batch_3d_parallel<T: Element, K: StencilOp3D<T> + Clone>(
     jobs: usize,
     rec: &mut Recorder,
 ) -> (Batch3D<T>, SimReport) {
+    simulate_batch_3d_parallel_core(
+        &ScalarEngine,
+        dev,
+        design,
+        stages_per_iter,
+        input,
+        niter,
+        jobs,
+        rec,
+    )
+}
+
+/// Engine-generic body of [`simulate_batch_3d_parallel`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn simulate_batch_3d_parallel_core<T, K, E>(
+    engine: &E,
+    dev: &FpgaDevice,
+    design: &StencilDesign,
+    stages_per_iter: &[K],
+    input: &Batch3D<T>,
+    niter: usize,
+    jobs: usize,
+    rec: &mut Recorder,
+) -> (Batch3D<T>, SimReport)
+where
+    T: Element,
+    K: Clone + Sync,
+    E: Engine3D<T, K> + Sync,
+{
     assert!(niter > 0, "niter must be positive");
     assert_eq!(
         stages_per_iter.len(),
@@ -235,6 +302,7 @@ pub fn simulate_batch_3d_parallel<T: Element, K: StencilOp3D<T> + Clone>(
         let prefix = format!("mesh{i}/window/");
         let base_cycle = (i * nz) as u64 * plane_cycles;
         let out = run_mesh_passes_3d(
+            engine,
             design,
             stages_per_iter,
             &mesh,

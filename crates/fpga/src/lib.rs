@@ -47,6 +47,7 @@ pub mod error;
 pub mod exec2d;
 pub mod exec3d;
 pub mod exec_batch;
+pub mod fast;
 pub mod fifo;
 pub mod power;
 pub mod profile;
@@ -62,6 +63,11 @@ pub use design::{ExecMode, MemKind, StencilDesign, SynthesisError};
 pub use device::{FpgaDevice, MemorySpec};
 pub use error::ExecError;
 pub use exec_batch::{simulate_batch_2d_parallel, simulate_batch_3d_parallel};
+pub use fast::{
+    simulate_2d_exec, simulate_2d_fast, simulate_3d_exec, simulate_3d_fast, simulate_batch_2d_fast,
+    simulate_batch_2d_parallel_exec, simulate_batch_3d_fast, simulate_batch_3d_parallel_exec,
+    ExecEngine, FastEngine,
+};
 pub use recovery::{
     simulate_2d_recoverable, simulate_3d_recoverable, simulate_batch_2d_recoverable,
     simulate_batch_3d_recoverable,

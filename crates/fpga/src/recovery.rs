@@ -42,9 +42,10 @@ use crate::error::ExecError;
 use crate::power;
 use crate::report::SimReport;
 use crate::resilient::{
-    check_mode, pass_budget, plan_with_faults, run_chain_2d_resilient, run_chain_3d_resilient,
-    simulate_2d_resilient, simulate_3d_resilient,
+    check_mode, pass_budget, plan_with_faults, run_chain_2d_resilient_engine,
+    run_chain_3d_resilient_engine, simulate_2d_resilient_core, simulate_3d_resilient_core,
 };
+use crate::window::{Engine2D, Engine3D, ScalarEngine};
 use sf_faults::{FaultInjector, FaultPlan, RetryPolicy, Watchdog};
 use sf_kernels::{reference, StencilOp2D, StencilOp3D};
 use sf_mesh::{Batch2D, Batch3D, Element, Mesh2D, Mesh3D};
@@ -193,7 +194,8 @@ fn reference_batch_3d<T: Element, K: StencilOp3D<T>>(
 /// Run one checkpoint segment (no recovery) through the fault-aware 2D
 /// chain runner.
 #[allow(clippy::too_many_arguments)]
-fn run_segment_2d<T: Element, K: StencilOp2D<T> + Clone>(
+fn run_segment_2d<T: Element, K: Clone, E: Engine2D<T, K>>(
+    engine: &E,
     stages: &[K],
     start: &Batch2D<T>,
     seg: &[usize],
@@ -208,8 +210,17 @@ fn run_segment_2d<T: Element, K: StencilOp2D<T> + Clone>(
         let chain: Vec<K> = (0..p_eff).flat_map(|_| stages.iter().cloned()).collect();
         let mut dog = Watchdog::new(budget, stream_rows as u64);
         let rows = cur.as_slice().chunks(nx).map(|r| r.to_vec());
-        let out_rows =
-            run_chain_2d_resilient(&chain, nx, stream_rows, ny, rows, inj, &mut dog, rc)?;
+        let out_rows = run_chain_2d_resilient_engine(
+            engine,
+            &chain,
+            nx,
+            stream_rows,
+            ny,
+            rows,
+            inj,
+            &mut dog,
+            rc,
+        )?;
         let mut out = Batch2D::<T>::zeros(nx, ny, b);
         for (gy, row) in out_rows.into_iter().enumerate() {
             out.as_mut_slice()[gy * nx..(gy + 1) * nx].copy_from_slice(&row);
@@ -221,7 +232,8 @@ fn run_segment_2d<T: Element, K: StencilOp2D<T> + Clone>(
 
 /// 3D twin of [`run_segment_2d`]: streams planes.
 #[allow(clippy::too_many_arguments)]
-fn run_segment_3d<T: Element, K: StencilOp3D<T> + Clone>(
+fn run_segment_3d<T: Element, K: Clone, E: Engine3D<T, K>>(
+    engine: &E,
     stages: &[K],
     start: &Batch3D<T>,
     seg: &[usize],
@@ -237,7 +249,8 @@ fn run_segment_3d<T: Element, K: StencilOp3D<T> + Clone>(
         let chain: Vec<K> = (0..p_eff).flat_map(|_| stages.iter().cloned()).collect();
         let mut dog = Watchdog::new(budget, stream_planes as u64);
         let planes = cur.as_slice().chunks(plane).map(|p| p.to_vec());
-        let out_planes = run_chain_3d_resilient(
+        let out_planes = run_chain_3d_resilient_engine(
+            engine,
             &chain,
             nx,
             ny,
@@ -260,7 +273,8 @@ fn run_segment_3d<T: Element, K: StencilOp3D<T> + Clone>(
 /// The checkpoint/ABFT/rollback loop over one 2D stream (a whole batch
 /// for the single-stream executor; one mesh for the batch-parallel path).
 #[allow(clippy::too_many_arguments)]
-fn recover_core_2d<T: Element, K: StencilOp2D<T> + Clone>(
+fn recover_core_2d<T: Element, K: StencilOp2D<T> + Clone, E: Engine2D<T, K>>(
+    engine: &E,
     design: &StencilDesign,
     stages: &[K],
     input: &Batch2D<T>,
@@ -288,7 +302,7 @@ fn recover_core_2d<T: Element, K: StencilOp2D<T> + Clone>(
 
         let mut attempt = 0u32;
         let state = loop {
-            let outcome = run_segment_2d(stages, &verified, &seg, inj, budget, rc);
+            let outcome = run_segment_2d(engine, stages, &verified, &seg, inj, budget, rc);
             match outcome {
                 Ok(state) => {
                     stats.abft_checks += 1;
@@ -338,7 +352,8 @@ fn recover_core_2d<T: Element, K: StencilOp2D<T> + Clone>(
 
 /// 3D twin of [`recover_core_2d`].
 #[allow(clippy::too_many_arguments)]
-fn recover_core_3d<T: Element, K: StencilOp3D<T> + Clone>(
+fn recover_core_3d<T: Element, K: StencilOp3D<T> + Clone, E: Engine3D<T, K>>(
+    engine: &E,
     design: &StencilDesign,
     stages: &[K],
     input: &Batch3D<T>,
@@ -367,7 +382,8 @@ fn recover_core_3d<T: Element, K: StencilOp3D<T> + Clone>(
 
         let mut attempt = 0u32;
         let state = loop {
-            let outcome = run_segment_3d(stages, &verified, &seg, inj, budget, plane_cycles);
+            let outcome =
+                run_segment_3d(engine, stages, &verified, &seg, inj, budget, plane_cycles);
             match outcome {
                 Ok(state) => {
                     stats.abft_checks += 1;
@@ -458,7 +474,7 @@ fn rollback_budget(policy: RecoveryPolicy) -> Option<u32> {
     }
 }
 
-/// Checkpoint/rollback variant of [`simulate_2d_resilient`].
+/// Checkpoint/rollback variant of [`crate::resilient::simulate_2d_resilient`].
 ///
 /// With [`RecoveryPolicy::Rerun`] this *is* the resilient executor (plus
 /// an empty [`RecoveryStats`]): detections surface to the caller exactly
@@ -478,9 +494,54 @@ pub fn simulate_2d_recoverable<T: Element, K: StencilOp2D<T> + Clone>(
     rcfg: &RecoveryConfig,
     rec: &mut Recorder,
 ) -> Result<(Batch2D<T>, SimReport, RecoveryStats), ExecError> {
+    simulate_2d_recoverable_core(
+        &ScalarEngine,
+        dev,
+        design,
+        stages_per_iter,
+        input,
+        niter,
+        inj,
+        policy,
+        rcfg,
+        rec,
+    )
+}
+
+/// Engine-generic body of [`simulate_2d_recoverable`]. The segment replay
+/// goes through the engine; the ABFT expected side always uses the scalar
+/// golden reference, so a lane-parallel engine is verified against the
+/// same signatures the scalar run produces.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn simulate_2d_recoverable_core<T, K, E>(
+    engine: &E,
+    dev: &FpgaDevice,
+    design: &StencilDesign,
+    stages_per_iter: &[K],
+    input: &Batch2D<T>,
+    niter: usize,
+    inj: &mut FaultInjector,
+    policy: &RetryPolicy,
+    rcfg: &RecoveryConfig,
+    rec: &mut Recorder,
+) -> Result<(Batch2D<T>, SimReport, RecoveryStats), ExecError>
+where
+    T: Element,
+    K: StencilOp2D<T> + Clone,
+    E: Engine2D<T, K>,
+{
     let Some(max_retries) = rollback_budget(rcfg.policy) else {
-        let (out, rep) =
-            simulate_2d_resilient(dev, design, stages_per_iter, input, niter, inj, policy, rec)?;
+        let (out, rep) = simulate_2d_resilient_core(
+            engine,
+            dev,
+            design,
+            stages_per_iter,
+            input,
+            niter,
+            inj,
+            policy,
+            rec,
+        )?;
         return Ok((out, rep, RecoveryStats::default()));
     };
     if niter == 0 {
@@ -513,14 +574,13 @@ pub fn simulate_2d_recoverable<T: Element, K: StencilOp2D<T> + Clone>(
         budget.saturating_sub(1),
     );
     let (out, stats) =
-        recover_core_2d(design, stages_per_iter, input, niter, inj, rc, budget, &prm).map_err(
-            |e| match e {
+        recover_core_2d(engine, design, stages_per_iter, input, niter, inj, rc, budget, &prm)
+            .map_err(|e| match e {
                 ExecError::Deadlock(t) => {
                     ExecError::Deadlock(t.with_stalls(&rec.stall_breakdown()))
                 }
                 other => other,
-            },
-        )?;
+            })?;
     let report = finalize(
         dev,
         design,
@@ -536,7 +596,7 @@ pub fn simulate_2d_recoverable<T: Element, K: StencilOp2D<T> + Clone>(
     Ok((out, report, stats))
 }
 
-/// Checkpoint/rollback variant of [`simulate_3d_resilient`] (see
+/// Checkpoint/rollback variant of [`crate::resilient::simulate_3d_resilient`] (see
 /// [`simulate_2d_recoverable`]); the streamed unit is a plane.
 #[allow(clippy::too_many_arguments)]
 pub fn simulate_3d_recoverable<T: Element, K: StencilOp3D<T> + Clone>(
@@ -550,9 +610,52 @@ pub fn simulate_3d_recoverable<T: Element, K: StencilOp3D<T> + Clone>(
     rcfg: &RecoveryConfig,
     rec: &mut Recorder,
 ) -> Result<(Batch3D<T>, SimReport, RecoveryStats), ExecError> {
+    simulate_3d_recoverable_core(
+        &ScalarEngine,
+        dev,
+        design,
+        stages_per_iter,
+        input,
+        niter,
+        inj,
+        policy,
+        rcfg,
+        rec,
+    )
+}
+
+/// Engine-generic body of [`simulate_3d_recoverable`] (see
+/// [`simulate_2d_recoverable_core`]).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn simulate_3d_recoverable_core<T, K, E>(
+    engine: &E,
+    dev: &FpgaDevice,
+    design: &StencilDesign,
+    stages_per_iter: &[K],
+    input: &Batch3D<T>,
+    niter: usize,
+    inj: &mut FaultInjector,
+    policy: &RetryPolicy,
+    rcfg: &RecoveryConfig,
+    rec: &mut Recorder,
+) -> Result<(Batch3D<T>, SimReport, RecoveryStats), ExecError>
+where
+    T: Element,
+    K: StencilOp3D<T> + Clone,
+    E: Engine3D<T, K>,
+{
     let Some(max_retries) = rollback_budget(rcfg.policy) else {
-        let (out, rep) =
-            simulate_3d_resilient(dev, design, stages_per_iter, input, niter, inj, policy, rec)?;
+        let (out, rep) = simulate_3d_resilient_core(
+            engine,
+            dev,
+            design,
+            stages_per_iter,
+            input,
+            niter,
+            inj,
+            policy,
+            rec,
+        )?;
         return Ok((out, rep, RecoveryStats::default()));
     };
     if niter == 0 {
@@ -584,14 +687,21 @@ pub fn simulate_3d_recoverable<T: Element, K: StencilOp3D<T> + Clone>(
         abft_check_cycles(input.as_slice().len() as u64, design.v),
         budget.saturating_sub(1),
     );
-    let (out, stats) =
-        recover_core_3d(design, stages_per_iter, input, niter, inj, plane_cycles, budget, &prm)
-            .map_err(|e| match e {
-                ExecError::Deadlock(t) => {
-                    ExecError::Deadlock(t.with_stalls(&rec.stall_breakdown()))
-                }
-                other => other,
-            })?;
+    let (out, stats) = recover_core_3d(
+        engine,
+        design,
+        stages_per_iter,
+        input,
+        niter,
+        inj,
+        plane_cycles,
+        budget,
+        &prm,
+    )
+    .map_err(|e| match e {
+        ExecError::Deadlock(t) => ExecError::Deadlock(t.with_stalls(&rec.stall_breakdown())),
+        other => other,
+    })?;
     let report = finalize(
         dev,
         design,
@@ -645,6 +755,41 @@ pub fn simulate_batch_2d_recoverable<T: Element, K: StencilOp2D<T> + Clone>(
     jobs: usize,
     rec: &mut Recorder,
 ) -> Result<(Batch2D<T>, SimReport, RecoveryStats), ExecError> {
+    simulate_batch_2d_recoverable_core(
+        &ScalarEngine,
+        dev,
+        design,
+        stages_per_iter,
+        input,
+        niter,
+        base_plan,
+        policy,
+        rcfg,
+        jobs,
+        rec,
+    )
+}
+
+/// Engine-generic body of [`simulate_batch_2d_recoverable`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn simulate_batch_2d_recoverable_core<T, K, E>(
+    engine: &E,
+    dev: &FpgaDevice,
+    design: &StencilDesign,
+    stages_per_iter: &[K],
+    input: &Batch2D<T>,
+    niter: usize,
+    base_plan: &FaultPlan,
+    policy: &RetryPolicy,
+    rcfg: &RecoveryConfig,
+    jobs: usize,
+    rec: &mut Recorder,
+) -> Result<(Batch2D<T>, SimReport, RecoveryStats), ExecError>
+where
+    T: Element,
+    K: StencilOp2D<T> + Clone + Sync,
+    E: Engine2D<T, K> + Sync,
+{
     let Some(max_retries) = rollback_budget(rcfg.policy) else {
         return Err(ExecError::Unsupported {
             detail: "batch-parallel recovery requires the rollback policy".to_string(),
@@ -684,8 +829,17 @@ pub fn simulate_batch_2d_recoverable<T: Element, K: StencilOp2D<T> + Clone>(
             budget.saturating_sub(1),
         );
         let single = Batch2D::from_meshes(std::slice::from_ref(&mesh));
-        let r =
-            recover_core_2d(design, stages_per_iter, &single, niter, &mut inj, rc, budget, &prm);
+        let r = recover_core_2d(
+            engine,
+            design,
+            stages_per_iter,
+            &single,
+            niter,
+            &mut inj,
+            rc,
+            budget,
+            &prm,
+        );
         (r, inj.injected())
     });
 
@@ -731,6 +885,41 @@ pub fn simulate_batch_3d_recoverable<T: Element, K: StencilOp3D<T> + Clone>(
     jobs: usize,
     rec: &mut Recorder,
 ) -> Result<(Batch3D<T>, SimReport, RecoveryStats), ExecError> {
+    simulate_batch_3d_recoverable_core(
+        &ScalarEngine,
+        dev,
+        design,
+        stages_per_iter,
+        input,
+        niter,
+        base_plan,
+        policy,
+        rcfg,
+        jobs,
+        rec,
+    )
+}
+
+/// Engine-generic body of [`simulate_batch_3d_recoverable`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn simulate_batch_3d_recoverable_core<T, K, E>(
+    engine: &E,
+    dev: &FpgaDevice,
+    design: &StencilDesign,
+    stages_per_iter: &[K],
+    input: &Batch3D<T>,
+    niter: usize,
+    base_plan: &FaultPlan,
+    policy: &RetryPolicy,
+    rcfg: &RecoveryConfig,
+    jobs: usize,
+    rec: &mut Recorder,
+) -> Result<(Batch3D<T>, SimReport, RecoveryStats), ExecError>
+where
+    T: Element,
+    K: StencilOp3D<T> + Clone + Sync,
+    E: Engine3D<T, K> + Sync,
+{
     let Some(max_retries) = rollback_budget(rcfg.policy) else {
         return Err(ExecError::Unsupported {
             detail: "batch-parallel recovery requires the rollback policy".to_string(),
@@ -771,6 +960,7 @@ pub fn simulate_batch_3d_recoverable<T: Element, K: StencilOp3D<T> + Clone>(
         );
         let single = Batch3D::from_meshes(std::slice::from_ref(&mesh));
         let r = recover_core_3d(
+            engine,
             design,
             stages_per_iter,
             &single,

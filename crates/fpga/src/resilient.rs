@@ -27,7 +27,7 @@ use crate::device::FpgaDevice;
 use crate::error::ExecError;
 use crate::power;
 use crate::report::SimReport;
-use crate::window::{StageProcessor2D, StageProcessor3D};
+use crate::window::{Engine2D, Engine3D, ScalarEngine, Stage2D, Stage3D};
 use sf_faults::{AxiVerdict, FaultInjector, RetryPolicy, StreamFault, Watchdog};
 use sf_kernels::{StencilOp2D, StencilOp3D};
 use sf_mesh::{Batch2D, Batch3D, Element};
@@ -64,12 +64,41 @@ pub fn run_chain_2d_resilient<T: Element, K: StencilOp2D<T> + Clone>(
     dog: &mut Watchdog,
     cycles_per_row: u64,
 ) -> Result<Vec<Vec<T>>, ExecError> {
-    let mut procs: Vec<StageProcessor2D<T, K>> =
-        chain.iter().map(|k| StageProcessor2D::new(k.clone(), nx, stream_rows, mesh_ny)).collect();
+    run_chain_2d_resilient_engine(
+        &ScalarEngine,
+        chain,
+        nx,
+        stream_rows,
+        mesh_ny,
+        rows,
+        inj,
+        dog,
+        cycles_per_row,
+    )
+}
+
+/// [`run_chain_2d_resilient`] for any [`Engine2D`]: injection points,
+/// watchdog accounting and drain order are independent of the stage
+/// implementation, so scalar and fast runs trip the same faults at the same
+/// stream offsets.
+#[allow(clippy::too_many_arguments)]
+pub fn run_chain_2d_resilient_engine<T: Element, K, E: Engine2D<T, K>>(
+    engine: &E,
+    chain: &[K],
+    nx: usize,
+    stream_rows: usize,
+    mesh_ny: usize,
+    rows: impl Iterator<Item = Vec<T>>,
+    inj: &mut FaultInjector,
+    dog: &mut Watchdog,
+    cycles_per_row: u64,
+) -> Result<Vec<Vec<T>>, ExecError> {
+    let mut procs: Vec<E::Stage> =
+        chain.iter().map(|k| engine.stage(k, nx, stream_rows, mesh_ny)).collect();
     let mut out = Vec::with_capacity(stream_rows);
 
-    fn feed<T: Element, K: StencilOp2D<T>>(
-        procs: &mut [StageProcessor2D<T, K>],
+    fn feed<T: Element, S: Stage2D<T>>(
+        procs: &mut [S],
         from: usize,
         row: Vec<T>,
         out: &mut Vec<Vec<T>>,
@@ -156,14 +185,41 @@ pub fn run_chain_3d_resilient<T: Element, K: StencilOp3D<T> + Clone>(
     dog: &mut Watchdog,
     cycles_per_plane: u64,
 ) -> Result<Vec<Vec<T>>, ExecError> {
-    let mut procs: Vec<StageProcessor3D<T, K>> = chain
-        .iter()
-        .map(|k| StageProcessor3D::new(k.clone(), nx, ny, stream_planes, mesh_nz))
-        .collect();
+    run_chain_3d_resilient_engine(
+        &ScalarEngine,
+        chain,
+        nx,
+        ny,
+        stream_planes,
+        mesh_nz,
+        planes,
+        inj,
+        dog,
+        cycles_per_plane,
+    )
+}
+
+/// [`run_chain_3d_resilient`] for any [`Engine3D`] (see
+/// [`run_chain_2d_resilient_engine`]).
+#[allow(clippy::too_many_arguments)]
+pub fn run_chain_3d_resilient_engine<T: Element, K, E: Engine3D<T, K>>(
+    engine: &E,
+    chain: &[K],
+    nx: usize,
+    ny: usize,
+    stream_planes: usize,
+    mesh_nz: usize,
+    planes: impl Iterator<Item = Vec<T>>,
+    inj: &mut FaultInjector,
+    dog: &mut Watchdog,
+    cycles_per_plane: u64,
+) -> Result<Vec<Vec<T>>, ExecError> {
+    let mut procs: Vec<E::Stage> =
+        chain.iter().map(|k| engine.stage(k, nx, ny, stream_planes, mesh_nz)).collect();
     let mut out = Vec::with_capacity(stream_planes);
 
-    fn feed<T: Element, K: StencilOp3D<T>>(
-        procs: &mut [StageProcessor3D<T, K>],
+    fn feed<T: Element, S: Stage3D<T>>(
+        procs: &mut [S],
         from: usize,
         plane: Vec<T>,
         out: &mut Vec<Vec<T>>,
@@ -325,6 +381,32 @@ pub fn simulate_2d_resilient<T: Element, K: StencilOp2D<T> + Clone>(
     policy: &RetryPolicy,
     rec: &mut Recorder,
 ) -> Result<(Batch2D<T>, SimReport), ExecError> {
+    simulate_2d_resilient_core(
+        &ScalarEngine,
+        dev,
+        design,
+        stages_per_iter,
+        input,
+        niter,
+        inj,
+        policy,
+        rec,
+    )
+}
+
+/// Engine-generic body of [`simulate_2d_resilient`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn simulate_2d_resilient_core<T: Element, K: Clone, E: Engine2D<T, K>>(
+    engine: &E,
+    dev: &FpgaDevice,
+    design: &StencilDesign,
+    stages_per_iter: &[K],
+    input: &Batch2D<T>,
+    niter: usize,
+    inj: &mut FaultInjector,
+    policy: &RetryPolicy,
+    rec: &mut Recorder,
+) -> Result<(Batch2D<T>, SimReport), ExecError> {
     if niter == 0 {
         return Err(ExecError::ShapeMismatch { detail: "niter must be positive".to_string() });
     }
@@ -352,13 +434,21 @@ pub fn simulate_2d_resilient<T: Element, K: StencilOp2D<T> + Clone>(
         let chain: Vec<K> = (0..p_eff).flat_map(|_| stages_per_iter.iter().cloned()).collect();
         let mut dog = Watchdog::new(budget, stream_rows as u64);
         let rows = cur.as_slice().chunks(nx).map(|r| r.to_vec());
-        let out_rows = run_chain_2d_resilient(&chain, nx, stream_rows, ny, rows, inj, &mut dog, rc)
-            .map_err(|e| match e {
-                ExecError::Deadlock(t) => {
-                    ExecError::Deadlock(t.with_stalls(&rec.stall_breakdown()))
-                }
-                other => other,
-            })?;
+        let out_rows = run_chain_2d_resilient_engine(
+            engine,
+            &chain,
+            nx,
+            stream_rows,
+            ny,
+            rows,
+            inj,
+            &mut dog,
+            rc,
+        )
+        .map_err(|e| match e {
+            ExecError::Deadlock(t) => ExecError::Deadlock(t.with_stalls(&rec.stall_breakdown())),
+            other => other,
+        })?;
         let mut out = Batch2D::<T>::zeros(nx, ny, b);
         for (gy, row) in out_rows.into_iter().enumerate() {
             out.as_mut_slice()[gy * nx..(gy + 1) * nx].copy_from_slice(&row);
@@ -379,6 +469,32 @@ pub fn simulate_2d_resilient<T: Element, K: StencilOp2D<T> + Clone>(
 /// [`simulate_2d_resilient`]); the streamed unit is a plane.
 #[allow(clippy::too_many_arguments)]
 pub fn simulate_3d_resilient<T: Element, K: StencilOp3D<T> + Clone>(
+    dev: &FpgaDevice,
+    design: &StencilDesign,
+    stages_per_iter: &[K],
+    input: &Batch3D<T>,
+    niter: usize,
+    inj: &mut FaultInjector,
+    policy: &RetryPolicy,
+    rec: &mut Recorder,
+) -> Result<(Batch3D<T>, SimReport), ExecError> {
+    simulate_3d_resilient_core(
+        &ScalarEngine,
+        dev,
+        design,
+        stages_per_iter,
+        input,
+        niter,
+        inj,
+        policy,
+        rec,
+    )
+}
+
+/// Engine-generic body of [`simulate_3d_resilient`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn simulate_3d_resilient_core<T: Element, K: Clone, E: Engine3D<T, K>>(
+    engine: &E,
     dev: &FpgaDevice,
     design: &StencilDesign,
     stages_per_iter: &[K],
@@ -416,7 +532,8 @@ pub fn simulate_3d_resilient<T: Element, K: StencilOp3D<T> + Clone>(
         let chain: Vec<K> = (0..p_eff).flat_map(|_| stages_per_iter.iter().cloned()).collect();
         let mut dog = Watchdog::new(budget, stream_planes as u64);
         let planes = cur.as_slice().chunks(plane).map(|p| p.to_vec());
-        let out_planes = run_chain_3d_resilient(
+        let out_planes = run_chain_3d_resilient_engine(
+            engine,
             &chain,
             nx,
             ny,

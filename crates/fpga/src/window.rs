@@ -13,6 +13,14 @@
 //! carry `B` stacked meshes, and a cell is only interior with respect to its
 //! own mesh (`mesh_extent`-periodic in the streaming dimension), so stencils
 //! never read across a batch seam.
+//!
+//! The chain runners are generic over an **execution engine**
+//! ([`Engine2D`]/[`Engine3D`]): a factory for the per-stage processors. The
+//! [`ScalarEngine`] builds the cell-at-a-time [`StageProcessor2D`]/
+//! [`StageProcessor3D`]; the vectorized fast path (`crate::fast`) plugs in
+//! lane-parallel processors through the same traits, so the streaming
+//! schedule, telemetry hooks and drain logic are shared — and therefore
+//! byte-identical — across both engines.
 
 use sf_kernels::{StencilOp2D, StencilOp3D};
 use sf_mesh::Element;
@@ -235,6 +243,107 @@ impl<T: Element, K: StencilOp3D<T>> StageProcessor3D<T, K> {
     }
 }
 
+/// One streaming pipeline stage of a 2D chain, as seen by the chain
+/// runners: rows go in, ready rows come out, trailing rows drain at the
+/// end. Implemented by the scalar [`StageProcessor2D`] and the fast path's
+/// lane-parallel processor.
+pub trait Stage2D<T: Element> {
+    /// Feed the next input row; returns the output row that became ready
+    /// (none while the window is filling).
+    fn push_row(&mut self, row: Vec<T>) -> Option<Vec<T>>;
+    /// After the last input row, drain the trailing output rows.
+    fn finish(&mut self) -> Vec<Vec<T>>;
+    /// Rows currently held in the window buffer.
+    fn window_fill(&self) -> usize;
+}
+
+/// The 3D twin of [`Stage2D`]: the streamed unit is a plane.
+pub trait Stage3D<T: Element> {
+    /// Feed the next plane; returns the output plane that became ready.
+    fn push_plane(&mut self, plane: Vec<T>) -> Option<Vec<T>>;
+    /// Drain the trailing planes.
+    fn finish(&mut self) -> Vec<Vec<T>>;
+    /// Planes currently held in the window buffer.
+    fn window_fill(&self) -> usize;
+}
+
+impl<T: Element, K: StencilOp2D<T>> Stage2D<T> for StageProcessor2D<T, K> {
+    fn push_row(&mut self, row: Vec<T>) -> Option<Vec<T>> {
+        StageProcessor2D::push_row(self, row)
+    }
+    fn finish(&mut self) -> Vec<Vec<T>> {
+        StageProcessor2D::finish(self)
+    }
+    fn window_fill(&self) -> usize {
+        StageProcessor2D::window_fill(self)
+    }
+}
+
+impl<T: Element, K: StencilOp3D<T>> Stage3D<T> for StageProcessor3D<T, K> {
+    fn push_plane(&mut self, plane: Vec<T>) -> Option<Vec<T>> {
+        StageProcessor3D::push_plane(self, plane)
+    }
+    fn finish(&mut self) -> Vec<Vec<T>> {
+        StageProcessor3D::finish(self)
+    }
+    fn window_fill(&self) -> usize {
+        StageProcessor3D::window_fill(self)
+    }
+}
+
+/// An execution engine for 2D chains: a factory turning one kernel of the
+/// chain into a streaming stage. The chain runners own everything else
+/// (feed cascade, telemetry, drain), so two engines that build
+/// cell-for-cell-equal stages produce byte-identical runs.
+pub trait Engine2D<T: Element, K> {
+    /// The stage processor this engine builds.
+    type Stage: Stage2D<T>;
+    /// Build the stage for kernel `k` over a stream of `stream_rows` rows
+    /// of `nx` cells, `mesh_ny` rows per independent mesh.
+    fn stage(&self, k: &K, nx: usize, stream_rows: usize, mesh_ny: usize) -> Self::Stage;
+}
+
+/// The 3D twin of [`Engine2D`].
+pub trait Engine3D<T: Element, K> {
+    /// The stage processor this engine builds.
+    type Stage: Stage3D<T>;
+    /// Build the stage for kernel `k` over a stream of `stream_planes`
+    /// planes of `nx × ny` cells, `mesh_nz` planes per independent mesh.
+    fn stage(
+        &self,
+        k: &K,
+        nx: usize,
+        ny: usize,
+        stream_planes: usize,
+        mesh_nz: usize,
+    ) -> Self::Stage;
+}
+
+/// The cell-at-a-time engine: builds the classic scalar stage processors.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ScalarEngine;
+
+impl<T: Element, K: StencilOp2D<T> + Clone> Engine2D<T, K> for ScalarEngine {
+    type Stage = StageProcessor2D<T, K>;
+    fn stage(&self, k: &K, nx: usize, stream_rows: usize, mesh_ny: usize) -> Self::Stage {
+        StageProcessor2D::new(k.clone(), nx, stream_rows, mesh_ny)
+    }
+}
+
+impl<T: Element, K: StencilOp3D<T> + Clone> Engine3D<T, K> for ScalarEngine {
+    type Stage = StageProcessor3D<T, K>;
+    fn stage(
+        &self,
+        k: &K,
+        nx: usize,
+        ny: usize,
+        stream_planes: usize,
+        mesh_nz: usize,
+    ) -> Self::Stage {
+        StageProcessor3D::new(k.clone(), nx, ny, stream_planes, mesh_nz)
+    }
+}
+
 /// Per-stage telemetry state shared by the traced chain runners.
 struct StageTrace {
     track: TrackId,
@@ -284,15 +393,45 @@ pub fn run_chain_2d_traced<T: Element, K: StencilOp2D<T> + Clone>(
     base_cycle: u64,
     cycles_per_row: u64,
 ) -> Vec<Vec<T>> {
-    let mut procs: Vec<StageProcessor2D<T, K>> =
-        chain.iter().map(|k| StageProcessor2D::new(k.clone(), nx, stream_rows, mesh_ny)).collect();
+    run_chain_2d_engine_traced(
+        &ScalarEngine,
+        chain,
+        nx,
+        stream_rows,
+        mesh_ny,
+        rows,
+        rec,
+        track_prefix,
+        base_cycle,
+        cycles_per_row,
+    )
+}
+
+/// [`run_chain_2d_traced`] for any [`Engine2D`]: the one streaming loop
+/// both the scalar and the fast path execute. Engine choice only swaps the
+/// per-stage processor; schedule, telemetry and drain are this function.
+#[allow(clippy::too_many_arguments)]
+pub fn run_chain_2d_engine_traced<T: Element, K, E: Engine2D<T, K>>(
+    engine: &E,
+    chain: &[K],
+    nx: usize,
+    stream_rows: usize,
+    mesh_ny: usize,
+    rows: impl Iterator<Item = Vec<T>>,
+    rec: &mut Recorder,
+    track_prefix: &str,
+    base_cycle: u64,
+    cycles_per_row: u64,
+) -> Vec<Vec<T>> {
+    let mut procs: Vec<E::Stage> =
+        chain.iter().map(|k| engine.stage(k, nx, stream_rows, mesh_ny)).collect();
     let mut tr = stage_tracks(rec, track_prefix, procs.len());
     let mut out = Vec::with_capacity(stream_rows);
 
     // Iterative feed (equivalent to cascading recursion): push into stage
     // `from`; an emitted row continues down the chain, a buffered row stops.
-    fn feed<T: Element, K: StencilOp2D<T>>(
-        procs: &mut [StageProcessor2D<T, K>],
+    fn feed<T: Element, S: Stage2D<T>>(
+        procs: &mut [S],
         tr: &mut [StageTrace],
         from: usize,
         row: Vec<T>,
@@ -379,15 +518,44 @@ pub fn run_chain_3d_traced<T: Element, K: StencilOp3D<T> + Clone>(
     base_cycle: u64,
     cycles_per_row: u64,
 ) -> Vec<Vec<T>> {
-    let mut procs: Vec<StageProcessor3D<T, K>> = chain
-        .iter()
-        .map(|k| StageProcessor3D::new(k.clone(), nx, ny, stream_planes, mesh_nz))
-        .collect();
+    run_chain_3d_engine_traced(
+        &ScalarEngine,
+        chain,
+        nx,
+        ny,
+        stream_planes,
+        mesh_nz,
+        planes,
+        rec,
+        track_prefix,
+        base_cycle,
+        cycles_per_row,
+    )
+}
+
+/// [`run_chain_3d_traced`] for any [`Engine3D`] (see
+/// [`run_chain_2d_engine_traced`]).
+#[allow(clippy::too_many_arguments)]
+pub fn run_chain_3d_engine_traced<T: Element, K, E: Engine3D<T, K>>(
+    engine: &E,
+    chain: &[K],
+    nx: usize,
+    ny: usize,
+    stream_planes: usize,
+    mesh_nz: usize,
+    planes: impl Iterator<Item = Vec<T>>,
+    rec: &mut Recorder,
+    track_prefix: &str,
+    base_cycle: u64,
+    cycles_per_row: u64,
+) -> Vec<Vec<T>> {
+    let mut procs: Vec<E::Stage> =
+        chain.iter().map(|k| engine.stage(k, nx, ny, stream_planes, mesh_nz)).collect();
     let mut tr = stage_tracks(rec, track_prefix, procs.len());
     let mut out = Vec::with_capacity(stream_planes);
 
-    fn feed<T: Element, K: StencilOp3D<T>>(
-        procs: &mut [StageProcessor3D<T, K>],
+    fn feed<T: Element, S: Stage3D<T>>(
+        procs: &mut [S],
         tr: &mut [StageTrace],
         from: usize,
         plane: Vec<T>,

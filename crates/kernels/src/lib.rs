@@ -32,6 +32,7 @@
 
 pub mod domain;
 pub mod jacobi3d;
+pub mod lanes;
 pub mod op2d;
 pub mod op3d;
 pub mod ops;
@@ -47,6 +48,7 @@ pub mod workloads;
 
 pub use domain::{AbstractOp2D, AbstractOp3D, AbstractValue};
 pub use jacobi3d::Jacobi3D;
+pub use lanes::{LaneElement, LaneOp2D, LaneOp3D};
 pub use op2d::StencilOp2D;
 pub use op3d::StencilOp3D;
 pub use ops::OpCount;
