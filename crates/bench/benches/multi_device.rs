@@ -1,0 +1,79 @@
+//! Sharded-execution scaling: the same Poisson solve streamed on 1, 2
+//! and 4 simulated devices, plus the sharded cycle-planner itself.
+//!
+//! Sharding is bit-exact (the conformance suite asserts it), so what is
+//! under the stopwatch is the software cost of the slab decomposition:
+//! per-device extended streams (owned slab + halos) against the
+//! single-device baseline, and the per-pass gather/exchange at each
+//! barrier. Devices are simulated sequentially within a pass when
+//! `jobs = 1`, so near-flat wall-clock across counts is the expected
+//! shape — the halo re-reads are the measured overhead. `BENCH_pr10.json`
+//! archives the `--output-format bencher` rows so later PRs regress
+//! against them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sf_fpga::design::{synthesize, ExecMode, MemKind, Workload};
+use sf_fpga::{ExecEngine, FpgaDevice, Recorder};
+use sf_kernels::{Poisson2D, StencilSpec};
+use sf_mesh::Batch2D;
+use sf_multi::{sharded_plan, simulate_batch_2d_sharded_exec, LinkModel, MultiConfig};
+
+const SEED: u64 = 42;
+const DEVICE_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Poisson 2D at validation scale, sharded across 1/2/4 devices: the
+/// halo re-read overhead of the slab decomposition under the stopwatch.
+fn bench_sharded_poisson_2d(c: &mut Criterion) {
+    let dev = FpgaDevice::u280();
+    let (nx, ny, niter) = (256usize, 400usize, 10usize);
+    let wl = Workload::D2 { nx, ny, batch: 1 };
+    let ds = synthesize(&dev, &StencilSpec::poisson(), 8, 4, ExecMode::Baseline, MemKind::Hbm, &wl)
+        .unwrap();
+    let input = Batch2D::<f32>::random(nx, ny, 1, SEED, -1.0, 1.0);
+    let mut g = c.benchmark_group("multi_device_poisson2d_256x400");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements((nx * ny * niter) as u64));
+    for devices in DEVICE_COUNTS {
+        let cfg = MultiConfig::new(devices);
+        g.bench_with_input(BenchmarkId::new("devices", devices), &cfg, |b, cfg| {
+            b.iter(|| {
+                simulate_batch_2d_sharded_exec(
+                    ExecEngine::Fast,
+                    &dev,
+                    &ds,
+                    &[Poisson2D],
+                    &input,
+                    niter,
+                    cfg,
+                    1,
+                    &mut Recorder::disabled(),
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The analytic sharded planner on a paper-scale solve: pure model math
+/// (no numerics), swept over device counts and both link classes.
+fn bench_sharded_plan(c: &mut Criterion) {
+    let dev = FpgaDevice::u280();
+    let wl = Workload::D2 { nx: 400, ny: 400, batch: 1 };
+    let ds = synthesize(&dev, &StencilSpec::poisson(), 8, 4, ExecMode::Baseline, MemKind::Hbm, &wl)
+        .unwrap();
+    let mut g = c.benchmark_group("multi_device_plan_poisson2d_400x400");
+    g.sample_size(10);
+    for (label, link) in [("aurora", LinkModel::aurora()), ("pcie", LinkModel::pcie())] {
+        for devices in DEVICE_COUNTS {
+            let cfg = MultiConfig { devices, link };
+            g.bench_with_input(BenchmarkId::new(label, devices), &cfg, |b, cfg| {
+                b.iter(|| sharded_plan(&dev, &ds, &wl, 60_000, cfg).unwrap())
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sharded_poisson_2d, bench_sharded_plan);
+criterion_main!(benches);

@@ -7,6 +7,7 @@
 //! sfstencil report      --app poisson --mesh 400x400 --v 8 --p 60 [--json]
 //! sfstencil explain     --app rtm --mesh 32x32x32 --iters 1800
 //! sfstencil profile     --app poisson --mesh 200x100 --iters 100 \
+//!                       [--devices K] [--link aurora|pcie] \
 //!                       [--trace-out trace.json] [--json]
 //! sfstencil check       --app poisson --mesh 400x400 [--v 8 --p 60] \
 //!                       [--mem hbm|ddr4] [--tile M[xN]] [--fifo-depth D] \
@@ -31,6 +32,19 @@
 //! `fast`, the lane-parallel path). Both engines are bit-exact, so every
 //! output byte is identical either way; `scalar` exists to cross-check
 //! the fast path and for differential debugging.
+//!
+//! `profile`, `dse` and `faults` accept `--devices K` to shard the mesh
+//! across K simulated accelerator cards (1D slab decomposition, halo
+//! exchange at every pass barrier — see `sf-multi`), with `--link
+//! aurora|pcie` picking the inter-device link model. `profile --devices K`
+//! runs the sharded executors (bit-exact vs. single-device) and surfaces
+//! exposed exchange in the stall attribution; `dse --devices K` sweeps
+//! device counts 1,2,4,…,K alongside V/p; `faults --devices K` validates
+//! the sharded campaign designs against the SFC-X legality rule and
+//! stamps the device count into run records (trials stream each app's
+//! fixed single-card configuration so fault seeds stay comparable).
+//! `--devices 0`, shards narrower than the halo depth, and unknown link
+//! names are usage errors (exit 2).
 //!
 //! `check` runs the `sf-check` static design-rule analyzer — window-buffer
 //! sizing, FIFO deadlock-freedom, loop-carried RAW hazards, tile/halo and
@@ -89,13 +103,13 @@ fn fail(msg: &str) -> ! {
          --mesh <NXxNY[xNZ]> [--batch B] [--iters N] [--top K] [--v V] [--p P] \
          [--mem hbm|ddr4] [--tile M[xN]] [--fifo-depth D] [--window-units U] \
          [--assume-order D] [--assume-gdsp N] \
-         [--jobs N] [--exec scalar|fast] [--json] [--trace-out FILE] \
-         [--record-out FILE]\n       \
+         [--jobs N] [--exec scalar|fast] [--devices K] [--link aurora|pcie] \
+         [--json] [--trace-out FILE] [--record-out FILE]\n       \
          sfstencil check --explain SFC-XXX\n       \
          sfstencil faults [--app <poisson2d|jacobi3d|rtm3d>] [--seed N] \
          [--rate PPM]... [--trials N] [--kind NAME]... [--recovery rerun|rollback] \
          [--checkpoint-every N]... [--max-retries N] [--jobs N] \
-         [--exec scalar|fast] [--json] [--record-out FILE]\n       \
+         [--exec scalar|fast] [--devices K] [--json] [--record-out FILE]\n       \
          sfstencil report <runs.jsonl> [--json|--md|--html] [--out FILE] \
          [--compare BASELINE.json] [--max-regress PCT]"
     );
@@ -118,6 +132,8 @@ struct Args {
     assume_gdsp: Option<usize>,
     jobs: usize,
     exec: sf_fpga::ExecEngine,
+    devices: usize,
+    link: sf_multi::LinkModel,
     json: bool,
     trace_out: Option<String>,
     record_out: Option<String>,
@@ -191,6 +207,15 @@ fn parse() -> Args {
             None => sf_fpga::ExecEngine::default(),
             Some(s) => sf_fpga::ExecEngine::parse(&s)
                 .unwrap_or_else(|| fail(&format!("--exec must be scalar or fast (got '{s}')"))),
+        },
+        // `--devices 0` is a usage error like `--checkpoint-every 0`: there
+        // is no zero-card deployment to degrade to, so fail loudly (exit 2)
+        // rather than silently running one device.
+        devices: get("--devices").map(|s| positive("--devices", s)).unwrap_or(1),
+        link: match get("--link") {
+            None => sf_multi::LinkModel::default(),
+            Some(s) => sf_multi::LinkModel::parse(&s)
+                .unwrap_or_else(|| fail(&format!("--link must be aurora or pcie (got '{s}')"))),
         },
         json: argv.iter().any(|a| a == "--json"),
         trace_out: get("--trace-out"),
@@ -349,6 +374,14 @@ fn run_faults(argv: &[String], started: std::time::Instant) {
         cfg.engine = sf_fpga::ExecEngine::parse(&s)
             .unwrap_or_else(|| fail(&format!("--exec must be scalar or fast (got '{s}')")));
     }
+    // Like `--checkpoint-every 0`, a zero device count is a
+    // misconfiguration, rejected up front rather than silently clamped.
+    if let Some(s) = get("--devices") {
+        cfg.devices = match s.parse::<usize>() {
+            Ok(0) | Err(_) => fail(&format!("--devices must be a positive integer (got '{s}')")),
+            Ok(n) => n,
+        };
+    }
     // A zero interval would mean "never checkpoint" — under rollback that
     // is a misconfiguration (nothing to restore), so it is rejected up
     // front rather than silently clamped.
@@ -388,12 +421,21 @@ fn run_faults(argv: &[String], started: std::time::Instant) {
     // stderr, so --json stdout stays machine-parseable) before a single
     // trial executes: any later detection is attributable to the injected
     // fault, not a latent design-rule violation.
-    for (app, rep) in sf_bench::faults::preflight(&apps) {
+    for (app, rep) in sf_bench::faults::preflight_devices(&apps, cfg.devices) {
         if rep.diagnostics.is_empty() {
             eprintln!("preflight {}: ok — no design-rule diagnostics", app.name());
         } else {
             eprintln!("preflight {}:", app.name());
             eprint!("{}", rep.render());
+        }
+        // A sharding the SFC-X rule rejects (shard narrower than the halo
+        // depth) is a usage error, same exit code as `--devices 0`.
+        if cfg.devices > 1 && rep.has_errors() {
+            fail(&format!(
+                "--devices {} is illegal for the {} campaign design (see preflight above)",
+                cfg.devices,
+                app.name()
+            ));
         }
     }
     let report = run_campaign(&apps, &cfg);
@@ -437,7 +479,21 @@ fn main() {
         }
     }
     let a = parse();
-    let wf = Workflow::u280_vs_v100();
+    let mut wf = Workflow::u280_vs_v100();
+    if a.devices > 1 {
+        // dse sweeps device counts 1,2,4,…,K alongside V/p (statically
+        // illegal shardings are pruned by SFC-X); profile/check take the
+        // exact count from MultiConfig below.
+        let mut counts = Vec::new();
+        let mut d = 1usize;
+        while d < a.devices {
+            counts.push(d);
+            d *= 2;
+        }
+        counts.push(a.devices);
+        wf.opts.device_candidates = counts;
+        wf.opts.link = a.link;
+    }
     match a.cmd.as_str() {
         "feasibility" => {
             let r = wf.feasibility(&a.app, &a.wl).unwrap_or_else(|e| fail(&format!("{e}")));
@@ -472,15 +528,16 @@ fn main() {
                 return;
             }
             println!(
-                "{:<4} {:>4} {:>4} {:<28} {:>9} {:>12} {:>12}",
-                "#", "V", "p", "mode", "MHz", "plan ms", "pred ms"
+                "{:<4} {:>4} {:>4} {:>4} {:<28} {:>9} {:>12} {:>12}",
+                "#", "V", "p", "dev", "mode", "MHz", "plan ms", "pred ms"
             );
             for (i, c) in cands.iter().take(a.top).enumerate() {
                 println!(
-                    "{:<4} {:>4} {:>4} {:<28} {:>9.0} {:>12.2} {:>12.2}",
+                    "{:<4} {:>4} {:>4} {:>4} {:<28} {:>9.0} {:>12.2} {:>12.2}",
                     i + 1,
                     c.design.v,
                     c.design.p,
+                    c.devices,
                     format!("{:?}", c.design.mode),
                     c.design.freq_mhz(),
                     c.planned_runtime_s * 1e3,
@@ -521,7 +578,14 @@ fn main() {
             }
             Err(e) => fail(&format!("{e}")),
         },
-        "profile" => match wf.profile_exec(&a.app, &a.wl, a.iters, a.jobs, a.exec) {
+        "profile" => match wf.profile_multi(
+            &a.app,
+            &a.wl,
+            a.iters,
+            a.jobs,
+            a.exec,
+            &sf_multi::MultiConfig { devices: a.devices, link: a.link },
+        ) {
             Ok(pr) => {
                 if let Some(path) = &a.trace_out {
                     let json = chrome::to_chrome_json(&pr.recorder);
@@ -549,6 +613,12 @@ fn main() {
                     "mode               : {}",
                     if pr.behavioral { "behavioral (numerics streamed)" } else { "schedule-only" }
                 );
+                if let Some(sh) = &pr.sharded {
+                    println!(
+                        "devices            : {} (exchange {} B/pass, {} exposed cycles total)",
+                        pr.devices, sh.exchange_bytes_per_pass, sh.exchange_exposed_cycles
+                    );
+                }
                 println!("total cycles       : {}", pr.report.total_cycles);
                 println!("runtime            : {:.3} ms", pr.report.runtime_s * 1e3);
                 let b = pr.recorder.stall_breakdown();
@@ -557,6 +627,7 @@ fn main() {
                     ("compute", StallClass::Compute),
                     ("memory", StallClass::Memory),
                     ("backpressure", StallClass::Backpressure),
+                    ("exchange", StallClass::Exchange),
                 ] {
                     println!(
                         "  {:<14} {:>14} cycles  ({:5.1} %)",

@@ -94,11 +94,24 @@ impl CampaignApp {
 /// prints these before executing a single trial so any static diagnostic
 /// can be correlated with the runtime detections that follow.
 pub fn preflight(apps: &[CampaignApp]) -> Vec<(CampaignApp, sf_check::CheckReport)> {
+    preflight_devices(apps, 1)
+}
+
+/// [`preflight`] against a sharded deployment: the same fixed campaign
+/// designs, checked with `devices` accelerator cards so the SFC-X
+/// sharding-legality rule participates (a campaign mesh whose outermost
+/// extent shards narrower than the halo depth is rejected up front, before
+/// a single trial executes).
+pub fn preflight_devices(
+    apps: &[CampaignApp],
+    devices: usize,
+) -> Vec<(CampaignApp, sf_check::CheckReport)> {
     let dev = FpgaDevice::u280();
     apps.iter()
         .map(|&app| {
             let (spec, v, p, wl) = app.campaign_params();
-            let design = sf_check::Design::new(spec, v, p, ExecMode::Baseline, MemKind::Hbm, wl);
+            let design = sf_check::Design::new(spec, v, p, ExecMode::Baseline, MemKind::Hbm, wl)
+                .with_devices(devices);
             (app, sf_check::check(&dev, &design))
         })
         .collect()
@@ -335,6 +348,12 @@ pub struct CampaignConfig {
     /// byte-identical either way; `scalar` exists to cross-check the fast
     /// path.
     pub engine: ExecEngine,
+    /// Device count (`--devices`): validated against the SFC-X
+    /// sharding-legality rule by [`preflight_devices`] and stamped into
+    /// run records. Trials stream each app's fixed single-card
+    /// configuration regardless of the count, so per-trial fault seeds and
+    /// classifications stay byte-comparable across deployments.
+    pub devices: usize,
 }
 
 impl Default for CampaignConfig {
@@ -349,6 +368,7 @@ impl Default for CampaignConfig {
             max_retries: 3,
             kinds: FaultKind::ALL.to_vec(),
             engine: ExecEngine::default(),
+            devices: 1,
         }
     }
 }

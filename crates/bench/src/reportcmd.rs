@@ -47,6 +47,7 @@ pub fn record_for_dse(c: &Candidate, wl: &Workload, niter: u64, jobs: usize) -> 
         MemKind::Ddr4 => "ddr4".to_string(),
     };
     rec.freq_mhz = c.design.freq_mhz();
+    rec.devices = c.devices as u64;
     rec.jobs = jobs as u64;
     rec.predicted_cycles = c.prediction.cycles;
     rec.measured_cycles = c.prediction.cycles;
@@ -82,6 +83,7 @@ pub fn records_for_campaign(report: &CampaignReport, cfg: &CampaignConfig) -> Ve
             }
             rec.mode = "Campaign".to_string();
             rec.mem = "hbm".to_string();
+            rec.devices = cfg.devices.max(1) as u64;
             rec.jobs = cfg.jobs as u64;
             let mut trials = 0u64;
             let mut injected_trials = 0u64;

@@ -107,6 +107,103 @@ fn unknown_exec_engine_exits_2() {
 }
 
 #[test]
+fn devices_flag_misuse_exits_2_on_every_subcommand() {
+    // `--devices 0` mirrors `--checkpoint-every 0`: rejected up front on
+    // all three subcommands that accept it, never clamped to one device
+    for sub in [
+        vec!["profile", "--app", "poisson", "--mesh", "64x32", "--iters", "10"],
+        vec!["dse", "--app", "poisson", "--mesh", "64x64"],
+        vec!["faults", "--app", "poisson2d", "--trials", "1"],
+    ] {
+        let out = sfstencil().args(&sub).args(["--devices", "0"]).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{sub:?} must reject --devices 0");
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(stderr.contains("--devices must be a positive integer"), "{stderr}");
+    }
+    // unknown link model names are usage errors too
+    let out = sfstencil()
+        .args(["profile", "--app", "poisson", "--mesh", "64x32", "--iters", "10"])
+        .args(["--devices", "2", "--link", "infiniband"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("--link must be aurora or pcie"), "{stderr}");
+}
+
+#[test]
+fn sharding_narrower_than_the_halo_exits_2_with_sfc_x() {
+    // shard-count = mesh extent leaves 1-unit slabs — always narrower
+    // than the halo, so the SFC-X pre-flight must reject it (2D and 3D)
+    for (app, mesh, devices) in [("poisson", "64x300", "300"), ("jacobi", "16x12x10", "10")] {
+        let out = sfstencil()
+            .args(["profile", "--app", app, "--mesh", mesh, "--iters", "3", "--devices", devices])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(2), "{app} sharded to 1-unit slabs must fail");
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(stderr.contains("SFC-X01"), "error cites the sharding rule: {stderr}");
+        assert!(stderr.contains("halo"), "{stderr}");
+    }
+    // the faults campaign designs get the same gate
+    let out = sfstencil()
+        .args(["faults", "--app", "rtm3d", "--trials", "1", "--devices", "4"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "rtm3d campaign mesh cannot shard 4 ways");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("--devices 4 is illegal"), "{stderr}");
+}
+
+#[test]
+fn degenerate_meshes_fail_cleanly_through_the_profile_path() {
+    // 1×1 and 1-wide meshes have no feasible design: a typed workflow
+    // error and exit 2, not a panic — single- and multi-device alike
+    for (mesh, devices) in [("1x1", "1"), ("1x300", "1"), ("1x1", "2"), ("1x300", "2")] {
+        let out = sfstencil()
+            .args(["profile", "--app", "poisson", "--mesh", mesh, "--iters", "3"])
+            .args(["--devices", devices])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(2), "{mesh} d={devices} must fail cleanly");
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(stderr.contains("no feasible FPGA design"), "{stderr}");
+        assert!(!stderr.contains("panicked"), "{stderr}");
+    }
+}
+
+#[test]
+fn sharded_profile_prints_devices_and_exchange() {
+    let out = sfstencil()
+        .args(["profile", "--app", "poisson", "--mesh", "64x300", "--iters", "5"])
+        .args(["--devices", "2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("devices            : 2"), "{stdout}");
+    assert!(stdout.contains("exchange"), "stall table lists exchange: {stdout}");
+    assert!(stdout.contains("behavioral"), "small sharded meshes still stream: {stdout}");
+}
+
+#[test]
+fn dse_devices_sweep_lists_device_counts() {
+    let out = sfstencil()
+        .args(["dse", "--app", "poisson", "--mesh", "400x400", "--iters", "2000"])
+        .args(["--devices", "4", "--top", "8", "--json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let doc: Value = serde_json::from_str(&String::from_utf8(out.stdout).unwrap()).unwrap();
+    let cands = doc.as_array().unwrap();
+    assert!(!cands.is_empty());
+    let devs: Vec<u64> =
+        cands.iter().map(|c| c.get("devices").and_then(Value::as_u64).unwrap()).collect();
+    assert!(devs.iter().any(|&d| d > 1), "sweep must surface sharded candidates: {devs:?}");
+    assert!(devs.iter().all(|&d| [1, 2, 4].contains(&d)), "{devs:?}");
+}
+
+#[test]
 fn profile_output_is_identical_across_exec_engines() {
     let run = |engine: &str| {
         let out = sfstencil()

@@ -75,7 +75,7 @@ fn record_then_report_attributes_all_three_paper_apps() {
         let bound = rl.get("bound").and_then(Value::as_str).unwrap();
         assert!(["Compute", "Memory", "Backpressure"].contains(&bound), "{bound}");
         let att = rl.get("attribution").expect("attribution present");
-        for key in ["compute_pct", "memory_pct", "backpressure_pct"] {
+        for key in ["compute_pct", "memory_pct", "backpressure_pct", "exchange_pct"] {
             let pct = att.get(key).and_then(Value::as_f64).unwrap();
             assert!((0.0..=100.0).contains(&pct), "{key}={pct}");
         }
@@ -222,6 +222,41 @@ fn dse_and_faults_records_flow_into_the_same_store() {
     assert!(out.status.success());
     let md = String::from_utf8(out.stdout).unwrap();
     assert!(md.contains("trials="), "{md}");
+    std::fs::remove_file(&store).ok();
+}
+
+#[test]
+fn sharded_profile_records_attribute_exchange_in_the_report() {
+    let store = tmp("sharded.jsonl");
+    std::fs::remove_file(&store).ok();
+    // two cards over a PCIe-class link: the per-pass latency exceeds the
+    // interior compute of this small mesh, so exchange cycles are exposed
+    // and must surface in the roofline gap attribution
+    let out = sfstencil()
+        .args(["profile", "--app", "poisson", "--mesh", "64x300", "--iters", "40"])
+        .args(["--devices", "2", "--link", "pcie"])
+        .arg("--record-out")
+        .arg(&store)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let raw = std::fs::read_to_string(&store).unwrap();
+    let rec = serde_json::parse_value(raw.lines().next().unwrap()).unwrap();
+    assert_eq!(rec.get("devices").and_then(Value::as_u64), Some(2));
+
+    let (doc, _) = report_json(&store);
+    let configs = doc.get("configs").and_then(Value::as_array).unwrap();
+    assert_eq!(configs.len(), 1);
+    let cfg = &configs[0];
+    assert!(
+        cfg.get("key").and_then(Value::as_str).unwrap().contains("/d2/"),
+        "config key must carry the device count"
+    );
+    let rl = cfg.get("roofline").expect("roofline present");
+    let att = rl.get("attribution").expect("attribution present");
+    let xpct = att.get("exchange_pct").and_then(Value::as_f64).unwrap();
+    assert!(xpct > 0.0, "exposed exchange must be attributed (got {xpct}%)");
     std::fs::remove_file(&store).ok();
 }
 

@@ -80,6 +80,11 @@ pub enum RuleId {
     /// configuration (unroll `p` per pass) diverges, so simulating it wastes
     /// every cycle.
     KernelUnstable,
+    /// `SFC-X01` — multi-device shard legality: every slab of the 1D
+    /// decomposition must own at least the halo depth `p·stages·⌈D/2⌉` of
+    /// outermost units, or a pass would need halo data from beyond its
+    /// direct neighbours and the neighbour-only exchange model breaks.
+    ShardHalo,
 }
 
 impl RuleId {
@@ -108,6 +113,7 @@ impl RuleId {
             RuleId::KernelNonFinite => "SFC-K03",
             RuleId::KernelDivByZero => "SFC-K04",
             RuleId::KernelUnstable => "SFC-K05",
+            RuleId::ShardHalo => "SFC-X01",
         }
     }
 
@@ -136,11 +142,12 @@ impl RuleId {
             RuleId::KernelNonFinite => "interval analysis (one application)",
             RuleId::KernelDivByZero => "interval analysis (divisor range)",
             RuleId::KernelUnstable => "von Neumann symbol max|g(θ)| ≤ 1",
+            RuleId::ShardHalo => "sf-multi slab decomposition / halo exchange",
         }
     }
 
     /// Every rule in the catalogue, in code order.
-    pub const ALL: [RuleId; 22] = [
+    pub const ALL: [RuleId; 23] = [
         RuleId::InvalidParam,
         RuleId::DimsMismatch,
         RuleId::WindowReach,
@@ -163,6 +170,7 @@ impl RuleId {
         RuleId::KernelNonFinite,
         RuleId::KernelDivByZero,
         RuleId::KernelUnstable,
+        RuleId::ShardHalo,
     ];
 
     /// Resolve a short code (`SFC-…`, case-insensitive) to its rule.
@@ -213,6 +221,7 @@ impl RuleId {
             RuleId::KernelNonFinite => "NaN/overflow statically reachable in one application",
             RuleId::KernelDivByZero => "division by an interval containing zero is reachable",
             RuleId::KernelUnstable => "von Neumann-unstable iterative configuration",
+            RuleId::ShardHalo => "every device shard must own at least the halo depth",
         }
     }
 
@@ -246,6 +255,9 @@ impl RuleId {
             RuleId::KernelDivByZero => "guard the divisor away from zero or add an epsilon",
             RuleId::KernelUnstable => {
                 "shrink the time step / coefficients until max|g| ≤ 1, or reduce p"
+            }
+            RuleId::ShardHalo => {
+                "reduce the device count, reduce p (the halo is p·stages·⌈D/2⌉), or grow the mesh"
             }
         }
     }

@@ -38,6 +38,10 @@ pub struct Design {
     /// Override the cells each window line/plane buffer holds. `None` uses
     /// the streaming unit implied by workload and mode.
     pub window_units: Option<usize>,
+    /// Accelerator cards the workload is sharded across (`sf-multi` 1D slab
+    /// decomposition). `1` — the single-device default — disables the
+    /// multi-device legality rule (SFC-X01).
+    pub devices: usize,
 }
 
 impl Design {
@@ -50,7 +54,13 @@ impl Design {
         mem: MemKind,
         workload: Workload,
     ) -> Self {
-        Design { spec, v, p, mode, mem, workload, fifo_depth: None, window_units: None }
+        Design { spec, v, p, mode, mem, workload, fifo_depth: None, window_units: None, devices: 1 }
+    }
+
+    /// The same design spread across `devices` accelerator cards.
+    pub fn with_devices(mut self, devices: usize) -> Self {
+        self.devices = devices;
+        self
     }
 
     /// Re-describe an already-synthesized design for checking (always uses
@@ -462,6 +472,66 @@ pub fn check(dev: &FpgaDevice, d: &Design) -> CheckReport {
         ));
     }
 
+    // --- SFC-X01: multi-device shard legality ----------------------------
+    // The sf-multi slab decomposition exchanges halos with direct
+    // neighbours only. Every shard must therefore own at least the halo
+    // depth h = p·stages·⌈D/2⌉ of outermost units, or next pass's halo
+    // would have to come from beyond the neighbour and the link model (and
+    // any real neighbour-wired deployment) breaks down.
+    if d.devices == 0 {
+        diags.push(diag(
+            RuleId::ShardHalo,
+            Severity::Error,
+            "design",
+            "devices=0: there is no accelerator to shard across".into(),
+            "use at least one device",
+        ));
+    } else if d.devices > 1 {
+        let shard_halo = d.p * spec.stages * spec.order.div_ceil(2);
+        if !matches!(d.mode, ExecMode::Baseline | ExecMode::Batched { .. }) {
+            diags.push(diag(
+                RuleId::ShardHalo,
+                Severity::Error,
+                "design",
+                format!(
+                    "devices={}: multi-device sharding composes with whole-mesh streaming \
+                     only, not {:?} (tiling already decomposes the mesh)",
+                    d.devices, d.mode
+                ),
+                "drop tiling or run on a single device",
+            ));
+        } else if d.devices > extent {
+            diags.push(diag(
+                RuleId::ShardHalo,
+                Severity::Error,
+                "design",
+                format!(
+                    "devices={} exceeds the {extent} outermost units: some shard would own \
+                     nothing",
+                    d.devices
+                ),
+                format!("use at most {extent} devices"),
+            ));
+        } else if extent / d.devices < shard_halo {
+            diags.push(diag(
+                RuleId::ShardHalo,
+                Severity::Error,
+                "design",
+                format!(
+                    "sharding {extent} outermost units across {} devices leaves a shard of \
+                     {} units, narrower than the halo depth p·stages·⌈D/2⌉ = {shard_halo}: \
+                     next pass's halo would come from beyond the direct neighbour",
+                    d.devices,
+                    extent / d.devices
+                ),
+                format!(
+                    "reduce the device count, reduce p below {}, or grow the mesh",
+                    extent / (d.devices * spec.stages * spec.order.div_ceil(2)).max(1)
+                ),
+            ));
+        }
+    }
+
     report(diags, &graph)
 }
 
@@ -748,6 +818,52 @@ mod tests {
         let diag = rep.diagnostics.iter().find(|x| x.rule == RuleId::RawHazard).unwrap();
         assert_eq!(diag.severity, Severity::Error);
         assert_eq!(diag.location, "module[59]");
+    }
+
+    #[test]
+    fn legal_sharding_is_clean() {
+        // poisson p=60 halo=60; 400 rows / 4 devices = 100-row shards ≥ 60
+        let d = poisson_paper().with_devices(4);
+        let rep = check(&dev(), &d);
+        assert!(rep.diagnostics.is_empty(), "{}", rep.render());
+    }
+
+    #[test]
+    fn shard_narrower_than_halo_is_error() {
+        // the paper's own poisson config cannot be split in two on a
+        // 200×100 mesh: 50-row shards < halo depth p·stages·⌈D/2⌉ = 60
+        let mut d = poisson_paper().with_devices(2);
+        d.workload = Workload::D2 { nx: 200, ny: 100, batch: 1 };
+        let rep = check(&dev(), &d);
+        let diag = rep.diagnostics.iter().find(|x| x.rule == RuleId::ShardHalo).unwrap();
+        assert_eq!(diag.severity, Severity::Error);
+        assert!(diag.message.contains("60"), "{}", diag.message);
+        // the same design on one device stays clean
+        let mut solo = poisson_paper();
+        solo.workload = Workload::D2 { nx: 200, ny: 100, batch: 1 };
+        assert!(!check(&dev(), &solo).fired(RuleId::ShardHalo));
+    }
+
+    #[test]
+    fn zero_or_excess_devices_fire_shard_rule() {
+        let d0 = poisson_paper().with_devices(0);
+        assert!(check(&dev(), &d0).fired(RuleId::ShardHalo));
+        let mut dx = poisson_paper().with_devices(500);
+        dx.workload = Workload::D2 { nx: 400, ny: 400, batch: 1 };
+        let rep = check(&dev(), &dx);
+        let diag = rep.diagnostics.iter().find(|x| x.rule == RuleId::ShardHalo).unwrap();
+        assert!(diag.message.contains("own"), "{}", diag.message);
+    }
+
+    #[test]
+    fn sharded_tiled_design_is_rejected() {
+        let mut d = poisson_paper().with_devices(2);
+        d.workload = Workload::D2 { nx: 15_000, ny: 15_000, batch: 1 };
+        d.mem = MemKind::Ddr4;
+        d.mode = ExecMode::Tiled1D { tile_m: 4096 };
+        let rep = check(&dev(), &d);
+        assert!(rep.fired(RuleId::ShardHalo), "{}", rep.render());
+        assert!(rep.has_errors());
     }
 
     #[test]

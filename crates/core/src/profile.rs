@@ -23,6 +23,7 @@ use sf_fpga::{fast, trace, ExecEngine, Recorder, SimReport};
 use sf_kernels::{rtm, AppId, Jacobi3D, Poisson2D, RtmStage, StencilSpec};
 use sf_mesh::{Batch2D, Batch3D};
 use sf_model::{predict_cached, Prediction, PredictionLevel};
+use sf_multi::{MultiConfig, MultiError, ShardedPlan};
 use sf_telemetry::Divergence;
 
 /// Cell-iterations (total cells × niter) up to which `profile` streams the
@@ -47,6 +48,11 @@ pub struct ProfileResult {
     /// default; both engines are bit-exact, so everything else in the
     /// profile is engine-independent).
     pub engine: ExecEngine,
+    /// Accelerator cards the run was sharded across (1 = single device).
+    pub devices: usize,
+    /// The multi-device plan behind the report — per-device cost and
+    /// exchange accounting. `None` for single-device profiles.
+    pub sharded: Option<ShardedPlan>,
     /// The model's prediction for it (Extended level).
     pub prediction: Prediction,
     /// Simulated performance report.
@@ -113,10 +119,51 @@ impl Workflow {
         jobs: usize,
         engine: ExecEngine,
     ) -> Result<ProfileResult, SfError> {
+        self.profile_multi(spec, wl, niter, jobs, engine, &MultiConfig::default())
+    }
+
+    /// [`Workflow::profile_exec`] sharded across `cfg.devices` accelerator
+    /// cards (the `--devices` / `--link` CLI flags land here). The mesh is
+    /// slab-decomposed along its outermost axis; each shard runs on its
+    /// own simulated device and halos are exchanged at every pass barrier
+    /// over `cfg.link`, overlapped against interior compute. Numerics stay
+    /// bit-identical to the single-device profile; the report, prediction
+    /// and telemetry price the sharded schedule (slowest device per pass,
+    /// exposed exchange as [`sf_telemetry::StallClass::Exchange`]).
+    ///
+    /// Illegal shardings — zero devices, more shards than outermost mesh
+    /// units, shards narrower than the halo depth — fail the SFC-X
+    /// pre-flight rule with [`SfError::Check`] before anything runs.
+    pub fn profile_multi(
+        &self,
+        spec: &StencilSpec,
+        wl: &Workload,
+        niter: u64,
+        jobs: usize,
+        engine: ExecEngine,
+        cfg: &MultiConfig,
+    ) -> Result<ProfileResult, SfError> {
+        // A zero-iteration profile has nothing to stream, predict or
+        // attribute — reject it as a typed error here, before the
+        // executors (which assert on it) can turn it into a panic.
+        if niter == 0 {
+            return Err(SfError::Model(sf_model::ModelError::invalid(
+                "niter",
+                "a profile needs at least one iteration",
+            )));
+        }
         let best = self.best_design(spec, wl, niter)?;
         let design = best.design.clone();
-        let preflight = self.preflight(&design, wl).into_result().map_err(SfError::Check)?;
+        let preflight = self
+            .preflight_devices(&design, wl, cfg.devices)
+            .into_result()
+            .map_err(SfError::Check)?;
         let dev = &self.device;
+        let sharded = if cfg.devices > 1 {
+            Some(sf_multi::sharded_plan(dev, &design, wl, niter, cfg).map_err(multi_err)?)
+        } else {
+            None
+        };
         let mut rec = Recorder::enabled(design.freq_hz / 1e6);
         rec.set_jobs(jobs as u64);
         rec.set_meta("app", Value::String(format!("{}", spec.app)));
@@ -125,7 +172,7 @@ impl Workflow {
 
         let behavioral = wl.total_cells() * niter <= BEHAVIORAL_BUDGET;
         let report = if behavioral {
-            run_behavioral(dev, &design, spec, wl, niter, jobs, engine, &mut rec)
+            run_behavioral(dev, &design, spec, wl, niter, jobs, engine, cfg, &mut rec)?
         } else {
             None
         };
@@ -134,17 +181,29 @@ impl Workflow {
             Some(r) => r,
             None => {
                 // Schedule-only: same cycle accounting, no numerics.
-                let plan = sf_fpga::profile::trace_schedule(dev, &design, wl, niter, &mut rec);
-                SimReport::from_plan(
-                    &design,
-                    &plan,
-                    niter,
-                    sf_fpga::power::fpga_power_w(dev, &design),
-                )
+                if cfg.devices > 1 {
+                    let plan =
+                        sf_multi::trace_sharded_schedule(dev, &design, wl, niter, cfg, &mut rec)
+                            .map_err(multi_err)?;
+                    let power = sf_fpga::power::fpga_power_w(dev, &design) * cfg.devices as f64;
+                    SimReport::from_plan(&design, &plan.merged, niter, power)
+                } else {
+                    let plan = sf_fpga::profile::trace_schedule(dev, &design, wl, niter, &mut rec);
+                    SimReport::from_plan(
+                        &design,
+                        &plan,
+                        niter,
+                        sf_fpga::power::fpga_power_w(dev, &design),
+                    )
+                }
             }
         };
 
-        let prediction = predict_cached(dev, &design, wl, niter, PredictionLevel::Extended)?;
+        let prediction = if cfg.devices > 1 {
+            sf_model::predict_sharded(dev, &design, wl, niter, cfg)?
+        } else {
+            predict_cached(dev, &design, wl, niter, PredictionLevel::Extended)?
+        };
         let divergence = Divergence::new(prediction.cycles, report.total_cycles);
         rec.set_divergence(divergence);
         let tr = trace::explain(dev, &design, wl, niter);
@@ -156,6 +215,8 @@ impl Workflow {
             niter,
             jobs,
             engine,
+            devices: cfg.devices,
+            sharded,
             prediction,
             report,
             preflight,
@@ -166,6 +227,13 @@ impl Workflow {
             degradations,
         })
     }
+}
+
+/// A [`MultiError`] at this point means the sharding slipped past the
+/// SFC-X pre-flight — surface it as the model-layer parameter error it is
+/// rather than panicking.
+fn multi_err(e: MultiError) -> SfError {
+    SfError::Model(sf_model::ModelError::invalid("devices", e.to_string()))
 }
 
 impl ProfileResult {
@@ -202,6 +270,7 @@ impl ProfileResult {
             MemKind::Ddr4 => "ddr4".to_string(),
         };
         rec.freq_mhz = self.design.freq_mhz();
+        rec.devices = self.devices as u64;
         rec.jobs = self.jobs as u64;
         rec.shards_merged = self.recorder.shards_merged();
         rec.predicted_cycles = self.prediction.cycles;
@@ -220,14 +289,17 @@ impl ProfileResult {
 }
 
 /// Stream real numerics through the traced executors for the paper's apps.
-/// Returns `None` for custom specs (no concrete kernel to run) — the caller
-/// falls back to schedule-only tracing.
+/// Returns `Ok(None)` for custom specs (no concrete kernel to run) — the
+/// caller falls back to schedule-only tracing.
 ///
 /// Batched workloads (`batch > 1`) go through the deterministic parallel
 /// batch engine with per-mesh `mesh{i}/window/` swimlanes; single-mesh
 /// workloads keep the single-stream traced executors (tiling included).
-/// `engine` selects scalar or lane-parallel stage processors — the output
-/// and every recorded byte are identical either way.
+/// With `cfg.devices > 1` every paper app instead streams the sharded
+/// executors (`dev{k}/mesh{i}/window/` swimlanes, exchange charges) —
+/// bit-identical numerics, sharded-schedule report. `engine` selects
+/// scalar or lane-parallel stage processors — the output and every
+/// recorded byte are identical either way.
 #[allow(clippy::too_many_arguments)]
 fn run_behavioral(
     dev: &sf_fpga::FpgaDevice,
@@ -237,12 +309,27 @@ fn run_behavioral(
     niter: u64,
     jobs: usize,
     engine: ExecEngine,
+    cfg: &MultiConfig,
     rec: &mut Recorder,
-) -> Option<SimReport> {
-    match (spec.app, *wl) {
+) -> Result<Option<SimReport>, SfError> {
+    let sharded = cfg.devices > 1;
+    Ok(match (spec.app, *wl) {
         (AppId::Poisson2D, Workload::D2 { nx, ny, batch }) => {
             let input = Batch2D::<f32>::random(nx, ny, batch, PROFILE_SEED, -1.0, 1.0);
-            let (_, rep) = if batch > 1 {
+            let (_, rep) = if sharded {
+                sf_multi::simulate_batch_2d_sharded_exec(
+                    engine,
+                    dev,
+                    design,
+                    &[Poisson2D],
+                    &input,
+                    niter as usize,
+                    cfg,
+                    jobs,
+                    rec,
+                )
+                .map_err(multi_err)?
+            } else if batch > 1 {
                 fast::simulate_batch_2d_parallel_exec(
                     engine,
                     dev,
@@ -269,7 +356,20 @@ fn run_behavioral(
         (AppId::Jacobi3D, Workload::D3 { nx, ny, nz, batch }) => {
             let input = Batch3D::<f32>::random(nx, ny, nz, batch, PROFILE_SEED, -1.0, 1.0);
             let k = Jacobi3D::smoothing();
-            let (_, rep) = if batch > 1 {
+            let (_, rep) = if sharded {
+                sf_multi::simulate_batch_3d_sharded_exec(
+                    engine,
+                    dev,
+                    design,
+                    &[k],
+                    &input,
+                    niter as usize,
+                    cfg,
+                    jobs,
+                    rec,
+                )
+                .map_err(multi_err)?
+            } else if batch > 1 {
                 fast::simulate_batch_3d_parallel_exec(
                     engine,
                     dev,
@@ -290,12 +390,26 @@ fn run_behavioral(
             let packed = rtm::pack(&y, &rho, &mu);
             let input = Batch3D::from_meshes(std::slice::from_ref(&packed));
             let stages = RtmStage::pipeline(sf_kernels::RtmParams::default());
-            let (_, rep) =
-                fast::simulate_3d_exec(engine, dev, design, &stages, &input, niter as usize, rec);
+            let (_, rep) = if sharded {
+                sf_multi::simulate_batch_3d_sharded_exec(
+                    engine,
+                    dev,
+                    design,
+                    &stages,
+                    &input,
+                    niter as usize,
+                    cfg,
+                    jobs,
+                    rec,
+                )
+                .map_err(multi_err)?
+            } else {
+                fast::simulate_3d_exec(engine, dev, design, &stages, &input, niter as usize, rec)
+            };
             Some(rep)
         }
         _ => None,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -408,6 +522,125 @@ mod tests {
         let line = serde_json::to_string(&rec).unwrap();
         let back: sf_report::RunRecord = serde_json::from_str(&line).unwrap();
         assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn sharded_profile_is_bit_exact_and_prices_exchange() {
+        let wf = Workflow::u280_vs_v100();
+        let spec = StencilSpec::poisson();
+        // 300 rows: two shards of 150 cover any halo the DSE can pick
+        // (p is capped at 128), so the sharding is always legal
+        let wl = Workload::D2 { nx: 64, ny: 300, batch: 1 };
+        let solo = wf.profile_jobs(&spec, &wl, 40, 2).unwrap();
+        let cfg = MultiConfig::new(2);
+        let multi = wf.profile_multi(&spec, &wl, 40, 2, ExecEngine::Fast, &cfg).unwrap();
+        assert!(multi.behavioral);
+        assert_eq!(multi.devices, 2);
+        let plan = multi.sharded.as_ref().expect("sharded plan rides along");
+        assert_eq!(plan.devices, 2);
+        // sharded report follows the sharded plan, not the solo plan
+        assert_eq!(multi.report.total_cycles, plan.merged.total_cycles);
+        assert_ne!(multi.report.total_cycles, solo.report.total_cycles);
+        // prediction is the sharded model: divergence is zero by construction
+        assert_eq!(multi.prediction.cycles, plan.merged.total_cycles);
+        assert!(multi.divergence.within(15.0), "{}", multi.divergence.summary());
+        // per-device swimlanes and the exchange counters are recorded
+        assert!(multi.recorder.track_names().iter().any(|t| t.starts_with("dev1/mesh0/window/")));
+        assert_eq!(
+            multi.recorder.counter("exchange.bytes"),
+            plan.merged.passes * plan.exchange_bytes_per_pass
+        );
+        // the run record carries the device count in its config key
+        let rec = multi.to_run_record();
+        assert_eq!(rec.devices, 2);
+        assert!(rec.config_key().contains("/d2/"), "{}", rec.config_key());
+    }
+
+    #[test]
+    fn sharded_profile_paper_scale_traces_schedule_only() {
+        let wf = Workflow::u280_vs_v100();
+        let spec = StencilSpec::poisson();
+        let wl = Workload::D2 { nx: 400, ny: 400, batch: 1 };
+        let cfg = MultiConfig::new(4);
+        let pr = wf.profile_multi(&spec, &wl, 60_000, 1, ExecEngine::Fast, &cfg).unwrap();
+        assert!(!pr.behavioral);
+        assert_eq!(pr.degradations, vec![Degradation::ScheduleOnlyProfile]);
+        let plan = pr.sharded.as_ref().unwrap();
+        assert_eq!(pr.report.total_cycles, plan.merged.total_cycles);
+        // pipeline pass spans reconcile with the merged sharded total
+        let pipe = pr.recorder.find_track("pipeline").unwrap();
+        assert_eq!(pr.recorder.track_span_cycles(pipe), pr.report.total_cycles);
+        // per-device schedule lanes exist
+        assert!(pr.recorder.find_track("dev0/pipeline").is_some());
+        assert!(pr.recorder.find_track("dev3/pipeline").is_some());
+        assert!(pr.divergence.within(15.0), "{}", pr.divergence.summary());
+    }
+
+    #[test]
+    fn illegal_sharding_fails_preflight_with_sfc_x() {
+        let wf = Workflow::u280_vs_v100();
+        let spec = StencilSpec::poisson();
+        // the paper mesh: 100 rows; the best design's halo is far deeper
+        // than the 50-row shards two devices would own
+        let wl = Workload::D2 { nx: 200, ny: 100, batch: 1 };
+        let err = wf
+            .profile_multi(&spec, &wl, 100, 1, ExecEngine::Fast, &MultiConfig::new(64))
+            .unwrap_err();
+        let crate::error::SfError::Check(check) = err else { panic!("want Check, got {err}") };
+        assert!(
+            check.report.diagnostics.iter().any(|d| d.rule.code() == "SFC-X01"),
+            "{}",
+            check.report.render()
+        );
+    }
+
+    #[test]
+    fn degenerate_workloads_fail_with_typed_errors_not_panics() {
+        let wf = Workflow::u280_vs_v100();
+        let poisson = StencilSpec::poisson();
+        let jacobi = StencilSpec::jacobi();
+
+        // niter = 0: rejected before the executors (which assert on it)
+        // can panic, single- and multi-device, 2D and 3D alike
+        let d2 = Workload::D2 { nx: 64, ny: 300, batch: 1 };
+        let d3 = Workload::D3 { nx: 16, ny: 12, nz: 10, batch: 1 };
+        for devices in [1usize, 2] {
+            let cfg = MultiConfig::new(devices);
+            let err = wf.profile_multi(&poisson, &d2, 0, 1, ExecEngine::Fast, &cfg).unwrap_err();
+            assert!(format!("{err}").contains("niter"), "{err}");
+            let err = wf.profile_multi(&jacobi, &d3, 0, 1, ExecEngine::Fast, &cfg).unwrap_err();
+            assert!(format!("{err}").contains("niter"), "{err}");
+        }
+
+        // 1×1 and 1-wide meshes: no feasible design, a typed workflow error
+        for (spec, wl) in [
+            (&poisson, Workload::D2 { nx: 1, ny: 1, batch: 1 }),
+            (&poisson, Workload::D2 { nx: 1, ny: 300, batch: 1 }),
+            (&jacobi, Workload::D3 { nx: 1, ny: 1, nz: 1, batch: 1 }),
+        ] {
+            for devices in [1usize, 2] {
+                let cfg = MultiConfig::new(devices);
+                let err = wf.profile_multi(spec, &wl, 10, 1, ExecEngine::Fast, &cfg).unwrap_err();
+                assert!(format!("{err}").contains("no feasible"), "{wl:?} d={devices}: {err}");
+            }
+        }
+
+        // shard count = outermost extent: 1-unit slabs are always
+        // narrower than the halo, so the SFC-X pre-flight rejects them
+        for (spec, wl, devices) in [
+            (&poisson, Workload::D2 { nx: 64, ny: 300, batch: 1 }, 300usize),
+            (&jacobi, Workload::D3 { nx: 16, ny: 12, nz: 10, batch: 1 }, 10),
+        ] {
+            let err = wf
+                .profile_multi(spec, &wl, 10, 1, ExecEngine::Fast, &MultiConfig::new(devices))
+                .unwrap_err();
+            let crate::error::SfError::Check(check) = err else { panic!("want Check, got {err}") };
+            assert!(
+                check.report.diagnostics.iter().any(|d| d.rule.code() == "SFC-X01"),
+                "{}",
+                check.report.render()
+            );
+        }
     }
 
     #[test]

@@ -105,8 +105,24 @@ impl Workflow {
     /// analysis cache, so preflighting a design the DSE already vetted is
     /// a lookup, not a re-derivation.
     pub fn preflight(&self, design: &StencilDesign, wl: &Workload) -> sf_check::CheckReport {
-        let mut rep =
-            sf_model::check_cached(&self.device, &sf_check::Design::from_synthesized(design, wl));
+        self.preflight_devices(design, wl, 1)
+    }
+
+    /// [`Workflow::preflight`] with an explicit device count: the SFC-X
+    /// shard-legality rule sees `devices`, so illegal shardings (zero
+    /// devices, more shards than outermost mesh units, shards narrower
+    /// than the halo depth) surface as error-severity diagnostics before
+    /// anything runs.
+    pub fn preflight_devices(
+        &self,
+        design: &StencilDesign,
+        wl: &Workload,
+        devices: usize,
+    ) -> sf_check::CheckReport {
+        let mut rep = sf_model::check_cached(
+            &self.device,
+            &sf_check::Design::from_synthesized(design, wl).with_devices(devices),
+        );
         rep.extend_diagnostics(sf_absint::app_diagnostics(&design.spec, design.p));
         rep
     }

@@ -38,6 +38,7 @@ impl WatchdogTrip {
                 StallClass::Memory => "memory",
                 StallClass::Backpressure => "backpressure",
                 StallClass::Checkpoint => "checkpoint",
+                StallClass::Exchange => "exchange",
             };
             self.dominant_stall = Some(name.to_string());
         }

@@ -48,12 +48,21 @@ pub struct CyclePlan {
 
 impl CyclePlan {
     /// The paper's reported bandwidth: logical bytes / runtime, GB/s.
+    /// Degenerate plans (a zero or non-finite runtime, e.g. `niter = 0`)
+    /// report 0.0 rather than leaking NaN/inf into metrics JSON.
     pub fn bandwidth_gbs(&self) -> f64 {
+        if !self.runtime_s.is_finite() || self.runtime_s <= 0.0 {
+            return 0.0;
+        }
         self.logical_bytes as f64 / self.runtime_s / 1.0e9
     }
 
-    /// Delivered compute throughput in cell updates per second.
+    /// Delivered compute throughput in cell updates per second; 0.0 for
+    /// degenerate zero-runtime plans (see [`CyclePlan::bandwidth_gbs`]).
     pub fn cells_per_sec(&self) -> f64 {
+        if !self.runtime_s.is_finite() || self.runtime_s <= 0.0 {
+            return 0.0;
+        }
         self.cell_iters as f64 / self.runtime_s
     }
 }
@@ -66,14 +75,20 @@ fn mem_spec(dev: &FpgaDevice, mem: MemKind) -> &MemorySpec {
 }
 
 /// Fill rows/planes per pass: each of the `p · stages` chained stages delays
-/// the stream by `D/2` rows (2D) or planes (3D) — the `p·D/2` term of
-/// eqs. (2)/(3) generalized to fused multi-stage pipelines.
+/// the stream by `⌈D/2⌉` rows (2D) or planes (3D) — the `p·D/2` term of
+/// eqs. (2)/(3) generalized to fused multi-stage pipelines. The division is
+/// a ceiling *per chained stage*: an odd-order stencil still holds back a
+/// whole extra row before its window is primed, so flooring the product
+/// (`p·stages·D/2`) would under-price fill latency for odd `D`.
 pub fn fill_units(design: &StencilDesign) -> u64 {
-    (design.p * design.spec.stages * design.spec.order / 2) as u64
+    (design.p * design.spec.stages * design.spec.order.div_ceil(2)) as u64
 }
 
-/// Cycles for one streamed row of the design.
-pub(crate) fn design_row_cycles(
+/// Cycles for one streamed row of the design: the max of compute issue and
+/// AXI read/write service for `cells` lanes-worth of elements, plus the
+/// per-row issue gap. Exposed for the multi-device planner (`sf-multi`),
+/// which prices per-shard slabs with the same per-row cost.
+pub fn design_row_cycles(
     dev: &FpgaDevice,
     design: &StencilDesign,
     cells: usize,
@@ -374,6 +389,48 @@ mod tests {
             p2.cells_per_sec(),
             p1.cells_per_sec()
         );
+    }
+
+    #[test]
+    fn zero_runtime_plan_reports_zero_throughput() {
+        // a degenerate plan (runtime_s = 0, as a niter=0 schedule could
+        // produce) must not leak NaN/inf into derived metrics
+        let pl = CyclePlan {
+            passes: 0,
+            cycles_per_pass: 0,
+            total_cycles: 0,
+            host_calls: 0,
+            runtime_s: 0.0,
+            ext_read_bytes: 0,
+            ext_write_bytes: 0,
+            logical_bytes: 1_000_000,
+            cell_iters: 1_000_000,
+        };
+        assert_eq!(pl.bandwidth_gbs(), 0.0);
+        assert_eq!(pl.cells_per_sec(), 0.0);
+        assert!(pl.bandwidth_gbs().is_finite());
+        assert!(pl.cells_per_sec().is_finite());
+        // non-finite runtimes degrade the same way
+        let nan = CyclePlan { runtime_s: f64::NAN, ..pl };
+        assert_eq!(nan.bandwidth_gbs(), 0.0);
+        assert_eq!(nan.cells_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn odd_order_fill_rounds_up_per_stage() {
+        // an order-3 stencil holds back ⌈3/2⌉ = 2 rows per chained stage;
+        // the old floored product p·stages·D/2 under-priced this
+        let d = dev();
+        let wl = Workload::D2 { nx: 128, ny: 64, batch: 1 };
+        let mut spec = StencilSpec::poisson();
+        spec.order = 3;
+        let ds = synthesize(&d, &spec, 8, 5, ExecMode::Baseline, MemKind::Hbm, &wl).unwrap();
+        assert_eq!(fill_units(&ds), 10); // p=5 · stages=1 · ⌈3/2⌉=2
+                                         // even orders are unchanged from the paper's p·stages·D/2 term
+        let ds_even =
+            synthesize(&d, &StencilSpec::poisson(), 8, 60, ExecMode::Baseline, MemKind::Hbm, &wl)
+                .unwrap();
+        assert_eq!(fill_units(&ds_even), 60);
     }
 
     #[test]

@@ -36,6 +36,14 @@ pub struct DseOptions {
     pub max_p: usize,
     /// Also consider spatially-blocked designs (with the recommended tile).
     pub allow_tiling: bool,
+    /// Device counts to try for whole-mesh (baseline/batched) designs.
+    /// `vec![1]` — the default — is the classic single-device sweep; extra
+    /// entries add sharded candidates costed with the halo-exchange plan.
+    /// Tiled candidates are always single-device: tiling and slab sharding
+    /// both decompose the mesh and do not compose.
+    pub device_candidates: Vec<usize>,
+    /// Inter-device link model used to cost sharded candidates.
+    pub link: sf_multi::LinkModel,
 }
 
 impl Default for DseOptions {
@@ -45,6 +53,8 @@ impl Default for DseOptions {
             v_candidates: vec![1, 2, 4, 8, 16, 32, 64],
             max_p: 128,
             allow_tiling: true,
+            device_candidates: vec![1],
+            link: sf_multi::LinkModel::default(),
         }
     }
 }
@@ -54,11 +64,16 @@ impl Default for DseOptions {
 pub struct Candidate {
     /// The synthesized design.
     pub design: StencilDesign,
-    /// Extended-model prediction for the given workload/iterations.
+    /// Accelerator cards the point was costed for (`1` = single-device).
+    pub devices: usize,
+    /// Extended-model prediction for the given workload/iterations; sharded
+    /// points use [`crate::predict::predict_sharded`].
     pub prediction: Prediction,
     /// Full cycle-plan runtime (the quantity the ranking uses — it also
     /// accounts for memory-bound rows, which the closed-form model
-    /// deliberately omits; see `predict`).
+    /// deliberately omits; see `predict`). For `devices > 1` this is the
+    /// sharded plan's merged runtime: slowest device per pass, exposed
+    /// exchange included.
     pub planned_runtime_s: f64,
 }
 
@@ -116,20 +131,31 @@ pub fn explore_jobs(
     if opts.max_p == 0 {
         return Err(ModelError::invalid("max_p", "unroll sweep bound must be >= 1"));
     }
+    if opts.device_candidates.is_empty() {
+        return Err(ModelError::invalid(
+            "device_candidates",
+            "sweep must name at least one device count",
+        ));
+    }
+    if opts.device_candidates.contains(&0) {
+        return Err(ModelError::invalid("device_candidates", "device counts must be >= 1"));
+    }
     // A drifted spec poisons every eq. (5)/(6) decision below (the p_dsp
     // sweep bound, window sizing, the ranking itself) — reject it up front.
     crate::verify::verify_spec(spec)?;
     let batch = wl.batch();
     // Enumerate the sweep serially (cheap arithmetic only) so the work
     // list — and therefore the result order — is independent of `jobs`.
-    let mut configs: Vec<(usize, usize, ExecMode)> = Vec::new();
+    let mut configs: Vec<(usize, usize, ExecMode, usize)> = Vec::new();
     for &v in &opts.v_candidates {
         let p_cap = crate::equations::p_dsp(dev.dsp_total, dev.dsp_util_target, v, spec.gdsp())
             .min(opts.max_p);
         for p in 1..=p_cap {
-            // whole-mesh (baseline/batched) candidate
+            // whole-mesh (baseline/batched) candidates, one per device count
             let mode = if batch > 1 { ExecMode::Batched { b: batch } } else { ExecMode::Baseline };
-            configs.push((v, p, mode));
+            for &devices in &opts.device_candidates {
+                configs.push((v, p, mode, devices));
+            }
             // tiled candidate (single-mesh workloads only)
             if opts.allow_tiling && batch == 1 {
                 let mode = match wl {
@@ -155,7 +181,7 @@ pub fn explore_jobs(
                     _ => false,
                 };
                 if tile_fits_mesh {
-                    configs.push((v, p, mode));
+                    configs.push((v, p, mode, 1));
                 }
             }
         }
@@ -163,12 +189,12 @@ pub fn explore_jobs(
 
     // Evaluate every point independently; results come back in sweep order.
     let evaluated: Vec<Result<Option<Candidate>, ModelError>> =
-        sf_par::par_map(jobs, configs, |_, (v, p, mode)| {
-            if !statically_legal(dev, spec, v, p, mode, opts.mem, wl) {
+        sf_par::par_map(jobs, configs, |_, (v, p, mode, devices)| {
+            if !statically_legal(dev, spec, v, p, mode, opts.mem, wl, devices) {
                 return Ok(None);
             }
             match synthesize(dev, spec, v, p, mode, opts.mem, wl) {
-                Ok(design) => candidate(dev, design, wl, niter).map(Some),
+                Ok(design) => candidate(dev, design, wl, niter, devices, opts.link).map(Some),
                 Err(_) => Ok(None), // infeasible: silently skipped, as before
             }
         });
@@ -189,7 +215,10 @@ pub fn explore_jobs(
 /// The DSE pruning filter: `true` when the static checker reports no
 /// error-severity diagnostics for the configuration. Warnings (tile
 /// alignment, FIFO slack) do not prune — they trade throughput, not
-/// legality.
+/// legality. The device count flows into the SFC-X shard-legality rule, so
+/// shardings whose slabs would be narrower than the halo depth (or that
+/// out-number the mesh's outermost units) never reach the cost model.
+#[allow(clippy::too_many_arguments)]
 fn statically_legal(
     dev: &FpgaDevice,
     spec: &StencilSpec,
@@ -198,8 +227,10 @@ fn statically_legal(
     mode: ExecMode,
     mem: MemKind,
     wl: &Workload,
+    devices: usize,
 ) -> bool {
-    !check_cached(dev, &sf_check::Design::new(*spec, v, p, mode, mem, *wl)).has_errors()
+    !check_cached(dev, &sf_check::Design::new(*spec, v, p, mode, mem, *wl).with_devices(devices))
+        .has_errors()
 }
 
 fn candidate(
@@ -207,15 +238,26 @@ fn candidate(
     design: StencilDesign,
     wl: &Workload,
     niter: u64,
+    devices: usize,
+    link: sf_multi::LinkModel,
 ) -> Result<Candidate, ModelError> {
-    let prediction = predict_cached(dev, &design, wl, niter, PredictionLevel::Extended)?;
-    let planned_runtime_s = sf_fpga::cycles::plan(dev, &design, wl, niter).runtime_s;
+    let (prediction, planned_runtime_s) = if devices > 1 {
+        // The sharded plan *is* the extended model for multi-device points —
+        // it prices memory-bound rows, halo re-reads and exposed exchange —
+        // so prediction and plan coincide by construction.
+        let cfg = sf_multi::MultiConfig { devices, link };
+        let pr = crate::predict::predict_sharded(dev, &design, wl, niter, &cfg)?;
+        (pr, pr.runtime_s)
+    } else {
+        let pr = predict_cached(dev, &design, wl, niter, PredictionLevel::Extended)?;
+        (pr, sf_fpga::cycles::plan(dev, &design, wl, niter).runtime_s)
+    };
     if !planned_runtime_s.is_finite() {
         return Err(ModelError::NonFiniteRuntime {
             detail: format!("V={} p={} mode {:?} on {:?}", design.v, design.p, design.mode, wl),
         });
     }
-    Ok(Candidate { design, prediction, planned_runtime_s })
+    Ok(Candidate { design, devices, prediction, planned_runtime_s })
 }
 
 /// The single best candidate, if any design is feasible.
@@ -341,6 +383,111 @@ mod tests {
         assert!(!cands.is_empty());
         for c in &cands {
             assert!(c.design.p < 50, "RAW-hazardous p={} survived pruning", c.design.p);
+        }
+    }
+
+    #[test]
+    fn device_sweep_ranks_sharded_candidates() {
+        let d = dev();
+        let wl = Workload::D2 { nx: 400, ny: 400, batch: 1 };
+        let opts = DseOptions {
+            allow_tiling: false,
+            device_candidates: vec![1, 2, 4],
+            ..DseOptions::default()
+        };
+        let cands = explore(&d, &StencilSpec::poisson(), &wl, 60_000, &opts).unwrap();
+        for devices in [1usize, 2, 4] {
+            assert!(
+                cands.iter().any(|c| c.devices == devices),
+                "no candidate at devices={devices}"
+            );
+        }
+        // every sharded candidate passed the SFC-X legality rule: its shard
+        // width covers the halo depth
+        for c in cands.iter().filter(|c| c.devices > 1) {
+            let h = c.design.p * c.design.spec.stages * c.design.spec.order.div_ceil(2);
+            assert!(
+                400 / c.devices >= h,
+                "devices={} p={} slipped past SFC-X",
+                c.devices,
+                c.design.p
+            );
+        }
+        // ranking stays fastest-first across mixed device counts
+        for w in cands.windows(2) {
+            assert!(w[0].planned_runtime_s <= w[1].planned_runtime_s);
+        }
+        // with a fast default link and a large mesh, sharding across more
+        // cards must win the sweep outright
+        assert!(cands[0].devices > 1, "multi-device should win, got devices=1");
+    }
+
+    #[test]
+    fn narrow_mesh_prunes_illegal_shardings() {
+        // 100 rows over 2 devices = 50-row shards: the SFC-X rule must keep
+        // every p > 50 sharded point (halo deeper than the shard) out of
+        // the ranking while the single-device sweep still explores them.
+        let d = dev();
+        let wl = Workload::D2 { nx: 200, ny: 100, batch: 1 };
+        let opts = DseOptions {
+            allow_tiling: false,
+            device_candidates: vec![1, 2],
+            ..DseOptions::default()
+        };
+        let cands = explore(&d, &StencilSpec::poisson(), &wl, 6000, &opts).unwrap();
+        assert!(cands.iter().any(|c| c.devices == 2));
+        assert!(cands.iter().any(|c| c.devices == 1 && c.design.p > 50));
+        for c in cands.iter().filter(|c| c.devices == 2) {
+            assert!(c.design.p <= 50, "p={} halo exceeds the 50-row shard", c.design.p);
+        }
+    }
+
+    #[test]
+    fn glacial_link_ranks_sharding_behind_single_device() {
+        // communication-bound regime: a link so slow that exposed exchange
+        // dwarfs the compute saved by sharding
+        let d = dev();
+        let wl = Workload::D2 { nx: 400, ny: 400, batch: 1 };
+        let opts = DseOptions {
+            allow_tiling: false,
+            device_candidates: vec![1, 4],
+            link: sf_multi::LinkModel { latency_cycles: 50_000_000, bytes_per_cycle: 1 },
+            ..DseOptions::default()
+        };
+        let cands = explore(&d, &StencilSpec::poisson(), &wl, 60_000, &opts).unwrap();
+        assert!(cands.iter().any(|c| c.devices == 4), "sharded points must still be ranked");
+        assert_eq!(cands[0].devices, 1, "a glacial link must not win the sweep");
+    }
+
+    #[test]
+    fn malformed_device_candidates_are_typed_errors() {
+        let d = dev();
+        let wl = Workload::D2 { nx: 100, ny: 100, batch: 1 };
+        let spec = StencilSpec::poisson();
+        let empty = DseOptions { device_candidates: vec![], ..DseOptions::default() };
+        assert!(matches!(
+            explore(&d, &spec, &wl, 100, &empty).unwrap_err(),
+            crate::ModelError::InvalidParameter { .. }
+        ));
+        let zero = DseOptions { device_candidates: vec![0, 2], ..DseOptions::default() };
+        assert!(explore(&d, &spec, &wl, 100, &zero).is_err());
+    }
+
+    #[test]
+    fn device_sweep_is_jobs_invariant() {
+        let d = dev();
+        let wl = Workload::D2 { nx: 300, ny: 300, batch: 1 };
+        let spec = StencilSpec::poisson();
+        let opts = DseOptions {
+            allow_tiling: false,
+            device_candidates: vec![1, 2, 4],
+            ..DseOptions::default()
+        };
+        let serial = explore_jobs(&d, &spec, &wl, 1000, &opts, 1).unwrap();
+        assert!(serial.iter().any(|c| c.devices > 1));
+        for jobs in [2, 8] {
+            let par = explore_jobs(&d, &spec, &wl, 1000, &opts, jobs).unwrap();
+            assert_eq!(par, serial, "jobs={jobs} must reproduce the serial ranking exactly");
         }
     }
 

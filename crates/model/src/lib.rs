@@ -51,5 +51,5 @@ pub use cache::{check_cached, clear_caches, predict_cached};
 pub use dse::{explore, explore_jobs, Candidate, DseOptions};
 pub use error::ModelError;
 pub use feasibility::FeasibilityReport;
-pub use predict::{predict, Prediction, PredictionLevel};
+pub use predict::{predict, predict_sharded, Prediction, PredictionLevel};
 pub use verify::verify_spec;

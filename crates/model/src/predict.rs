@@ -18,6 +18,7 @@ use serde::{Deserialize, Serialize};
 use sf_fpga::design::{ExecMode, StencilDesign, Workload};
 use sf_fpga::FpgaDevice;
 use sf_mesh::TileGrid1D;
+use sf_multi::{sharded_plan, MultiConfig, MultiError};
 
 /// Fidelity of a prediction.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -56,9 +57,11 @@ fn shape(
     design: &StencilDesign,
     wl: &Workload,
 ) -> Result<StreamShape, ModelError> {
-    let d_eff = (design.spec.order * design.spec.stages) as u64;
+    // Fill term of eqs. (2)/(3): ⌈D/2⌉ rows held back per chained stage.
+    // Ceiling per stage (not of the product) keeps odd-order stencils in
+    // lockstep with the simulator's `sf_fpga::cycles::fill_units`.
     let p = design.p as u64;
-    let fill = p * d_eff / 2;
+    let fill = p * (design.spec.stages * design.spec.order.div_ceil(2)) as u64;
     Ok(match (*wl, design.mode) {
         (Workload::D2 { nx, ny, batch }, ExecMode::Baseline | ExecMode::Batched { .. }) => {
             StreamShape {
@@ -150,6 +153,52 @@ pub fn predict(
         });
     }
     Ok(Prediction { level, cycles, runtime_s, bandwidth_gbs: logical as f64 / runtime_s / 1.0e9 })
+}
+
+/// Predict a multi-device sharded execution of `niter` iterations.
+///
+/// Always Extended-level: the sharded cycle plan prices the same row-gap,
+/// pipeline-fill and host-call overheads as the single-device Extended
+/// model, plus per-pass halo exchange over `cfg.link` with overlap against
+/// interior compute. At `cfg.devices == 1` this equals the single-device
+/// cycle plan exactly (see [`sf_multi::sharded_plan`]).
+///
+/// # Errors
+/// [`ModelError::InvalidParameter`] for a zero device count or more devices
+/// than outermost mesh units, [`ModelError::WorkloadMismatch`] for tiled
+/// designs (they decompose the mesh their own way), and
+/// [`ModelError::NonFiniteRuntime`] outside the calibrated domain.
+pub fn predict_sharded(
+    dev: &FpgaDevice,
+    design: &StencilDesign,
+    wl: &Workload,
+    niter: u64,
+    cfg: &MultiConfig,
+) -> Result<Prediction, ModelError> {
+    let plan = sharded_plan(dev, design, wl, niter, cfg).map_err(|e| match e {
+        MultiError::UnsupportedMode => ModelError::WorkloadMismatch {
+            detail: format!(
+                "mode {:?} cannot be sharded across {} devices",
+                design.mode, cfg.devices
+            ),
+        },
+        other => ModelError::invalid("devices", other.to_string()),
+    })?;
+    let runtime_s = plan.merged.runtime_s;
+    if !runtime_s.is_finite() || runtime_s <= 0.0 {
+        return Err(ModelError::NonFiniteRuntime {
+            detail: format!(
+                "V={} p={} devices={} mode {:?} on {:?}",
+                design.v, design.p, cfg.devices, design.mode, wl
+            ),
+        });
+    }
+    Ok(Prediction {
+        level: PredictionLevel::Extended,
+        cycles: plan.merged.total_cycles,
+        runtime_s,
+        bandwidth_gbs: plan.merged.logical_bytes as f64 / runtime_s / 1.0e9,
+    })
 }
 
 #[cfg(test)]
@@ -271,6 +320,51 @@ mod tests {
         let b2 =
             predict(&d, &ds2, &batched, 60_000, PredictionLevel::Extended).unwrap().bandwidth_gbs;
         assert!(b2 > b1 * 1.5, "batched {b2} vs baseline {b1}");
+    }
+
+    #[test]
+    fn sharded_prediction_degenerates_and_prices_exchange() {
+        let d = dev();
+        let wl = Workload::D2 { nx: 256, ny: 512, batch: 1 };
+        let ds =
+            synthesize(&d, &StencilSpec::poisson(), 8, 16, ExecMode::Baseline, MemKind::Hbm, &wl)
+                .unwrap();
+        // K = 1 is exactly the single-device Extended prediction (this
+        // Poisson config is compute-bound, so plan == extended model)
+        let single = predict(&d, &ds, &wl, 320, PredictionLevel::Extended).unwrap();
+        let k1 = predict_sharded(&d, &ds, &wl, 320, &sf_multi::MultiConfig::new(1)).unwrap();
+        assert_eq!(k1.cycles, single.cycles);
+        assert!((k1.runtime_s - single.runtime_s).abs() / single.runtime_s < 1e-12);
+        // K = 4 shrinks the pass wall but pays 4× host calls; the predicted
+        // cycles must match the sharded plan verbatim
+        let cfg = sf_multi::MultiConfig::new(4);
+        let k4 = predict_sharded(&d, &ds, &wl, 320, &cfg).unwrap();
+        let plan = sf_multi::sharded_plan(&d, &ds, &wl, 320, &cfg).unwrap();
+        assert_eq!(k4.cycles, plan.merged.total_cycles);
+        assert!(k4.cycles < k1.cycles);
+        // invalid shardings are typed errors, not panics
+        assert!(matches!(
+            predict_sharded(&d, &ds, &wl, 320, &sf_multi::MultiConfig::new(0)).unwrap_err(),
+            ModelError::InvalidParameter { .. }
+        ));
+        assert!(matches!(
+            predict_sharded(&d, &ds, &wl, 320, &sf_multi::MultiConfig::new(1000)).unwrap_err(),
+            ModelError::InvalidParameter { .. }
+        ));
+        let tiled = synthesize(
+            &d,
+            &StencilSpec::poisson(),
+            8,
+            4,
+            ExecMode::Tiled1D { tile_m: 128 },
+            MemKind::Hbm,
+            &wl,
+        )
+        .unwrap();
+        assert!(matches!(
+            predict_sharded(&d, &tiled, &wl, 320, &sf_multi::MultiConfig::new(2)).unwrap_err(),
+            ModelError::WorkloadMismatch { .. }
+        ));
     }
 
     #[test]

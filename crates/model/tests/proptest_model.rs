@@ -121,6 +121,45 @@ proptest! {
         prop_assert!(bad.is_err());
     }
 
+    /// The pipeline-fill term is in lockstep between the simulator's
+    /// `sf_fpga::cycles::fill_units` and the model's eq. (2) fill — including
+    /// odd-order stencils, where both apply ⌈D/2⌉ per chained stage (the old
+    /// floored product `p·stages·D/2` under-priced fill for odd D).
+    #[test]
+    fn fill_term_locksteps_simulator_and_model(
+        order in 1usize..9,
+        stages in 1usize..5,
+        p in 1usize..12,
+        ny in 16usize..128,
+    ) {
+        let d = dev();
+        let mut spec = StencilSpec::poisson();
+        spec.order = order;
+        spec.stages = stages;
+        let wl = Workload::D2 { nx: 256, ny, batch: 1 };
+        let ds = match synthesize(&d, &spec, 8, p, ExecMode::Baseline, MemKind::Hbm, &wl) {
+            Ok(ds) => ds,
+            Err(_) => return Ok(()), // infeasible corner of the sweep
+        };
+        let fill = (p * stages * order.div_ceil(2)) as u64;
+        prop_assert_eq!(sf_fpga::cycles::fill_units(&ds), fill);
+        // the ideal prediction is eq. (2) with the effective (even) order
+        // 2·stages·⌈D/2⌉ — i.e. the same fill rows per pass
+        let d_eff = 2 * (stages * order.div_ceil(2)) as u64;
+        let ideal = predict(&d, &ds, &wl, 500, PredictionLevel::Ideal).unwrap();
+        prop_assert_eq!(ideal.cycles, equations::clks_2d(500, p as u64, 256, ny as u64, 8, d_eff));
+        // on compute-bound rows the extended model must agree with the
+        // simulator's plan exactly, fill term included
+        let plan = sf_fpga::cycles::plan(&d, &ds, &wl, 500);
+        let compute_bound_pass = (ny as u64 + fill)
+            * (256u64.div_ceil(8) + d.axi_issue_gap_cycles as u64)
+            + ds.pipeline_latency_cycles;
+        if plan.cycles_per_pass == compute_bound_pass {
+            let e = predict(&d, &ds, &wl, 500, PredictionLevel::Extended).unwrap();
+            prop_assert_eq!(e.cycles, plan.total_cycles);
+        }
+    }
+
     /// Batching never slows the modeled per-mesh solve.
     #[test]
     fn batching_never_hurts(

@@ -1,0 +1,495 @@
+//! Sharded executors: run each slab on its own simulated device and
+//! exchange halos at every pass barrier.
+//!
+//! Bit-exactness is by construction, not by luck. Each pass, device `k`
+//! streams the *extended* slab `[start−h, end+h) ∩ [0, extent)` of the
+//! current global state through the same window chain the single-device
+//! executors use, with the slab length as its seam period (slab edges are
+//! treated as mesh boundaries). A pass chains at most `p · stages`
+//! processors and a stage of radius `r` only lets boundary treatment
+//! contaminate `r` more units, so after the whole pass at most
+//! `p · stages · ⌈D/2⌉ = h` units adjacent to a *fake* (slab-interior)
+//! edge are wrong — exactly the halo, which is discarded: only the owned
+//! units `[start, end)` are written back. Real mesh boundaries are never
+//! clamped away because the extension is clipped to `[0, extent)`. The
+//! result is bit-identical to the single-device executors for any device
+//! count, engine, and `jobs` value.
+//!
+//! Telemetry mirrors [`sf_fpga::exec_batch`]: each (device, mesh) pair
+//! records its first pass under a `dev{k}/mesh{i}/window/` track prefix
+//! with deterministic cycle offsets, shard recorders merge in slab order,
+//! and the halo-exchange cost is charged analytically from the
+//! [`ShardedPlan`] — `exchange.bytes` / `exchange.messages` counters plus
+//! the exposed (non-overlapped) cycles as
+//! [`sf_telemetry::StallClass::Exchange`] — so traces stay byte-identical
+//! for every `jobs` value.
+
+use crate::partition::slab_partition;
+use crate::plan::{sharded_plan, MultiConfig, MultiError, ShardedPlan};
+use sf_fpga::cycles;
+use sf_fpga::design::{ExecMode, StencilDesign, Workload};
+use sf_fpga::window::{
+    run_chain_2d_engine_traced, run_chain_3d_engine_traced, Engine2D, Engine3D, ScalarEngine,
+};
+use sf_fpga::{ExecEngine, FastEngine, FpgaDevice, SimReport};
+use sf_kernels::{LaneElement, LaneOp2D, LaneOp3D, StencilOp2D, StencilOp3D};
+use sf_mesh::{Batch2D, Batch3D, Element};
+use sf_telemetry::{Recorder, StallClass};
+
+/// Shared design/input agreement checks (same contract as the batch
+/// executors: wrong batch size or stage count is a programming error).
+fn check_batch_mode(design: &StencilDesign, b: usize) {
+    match design.mode {
+        ExecMode::Batched { b: db } => assert_eq!(b, db, "batch size mismatch"),
+        _ => assert_eq!(b, 1, "baseline design runs one mesh"),
+    }
+}
+
+/// Charge the analytic exchange cost into the recorder. Counters and the
+/// [`StallClass::Exchange`] stall come from the plan, not from measuring
+/// the simulated transfers, so they are deterministic across `jobs`.
+fn charge_exchange(rec: &mut Recorder, plan: &ShardedPlan) {
+    if plan.devices <= 1 {
+        return;
+    }
+    rec.counter_add("exchange.bytes", plan.merged.passes * plan.exchange_bytes_per_pass);
+    rec.counter_add("exchange.messages", plan.merged.passes * plan.exchange_messages_per_pass);
+    rec.stall(StallClass::Exchange, plan.exchange_exposed_cycles);
+}
+
+/// Engine-generic body of [`simulate_batch_2d_sharded`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn simulate_batch_2d_sharded_core<T, K, E>(
+    engine: &E,
+    dev: &FpgaDevice,
+    design: &StencilDesign,
+    stages_per_iter: &[K],
+    input: &Batch2D<T>,
+    niter: usize,
+    cfg: &MultiConfig,
+    jobs: usize,
+    rec: &mut Recorder,
+) -> Result<(Batch2D<T>, SimReport), MultiError>
+where
+    T: Element,
+    K: Clone + Sync,
+    E: Engine2D<T, K> + Sync,
+{
+    assert!(niter > 0, "niter must be positive");
+    assert_eq!(
+        stages_per_iter.len(),
+        design.spec.stages,
+        "stage count must match the design's spec"
+    );
+    let (nx, ny, b) = (input.nx(), input.ny(), input.batch());
+    check_batch_mode(design, b);
+    let wl = Workload::D2 { nx, ny, batch: b };
+    let plan = sharded_plan(dev, design, &wl, niter as u64, cfg)?;
+    let h = plan.halo;
+    let shards = slab_partition(ny, cfg.devices);
+    let rc = cycles::design_row_cycles(dev, design, nx, nx);
+    let trace_on = rec.is_enabled();
+    let clock = rec.cycles_per_us();
+    if trace_on {
+        annotate(rec, &plan);
+    }
+
+    let mut out = Batch2D::<T>::zeros(nx, ny, b);
+    let plane = nx * ny;
+    for i in 0..b {
+        let mut cur = input.mesh(i);
+        let mut remaining = niter;
+        let mut first_pass = true;
+        while remaining > 0 {
+            let p_eff = design.p.min(remaining);
+            let chain: Vec<K> = (0..p_eff).flat_map(|_| stages_per_iter.iter().cloned()).collect();
+            // Halo exchange happens here: every device's extended slab is
+            // gathered from the pass-barrier global state.
+            let items: Vec<_> = shards
+                .iter()
+                .map(|s| {
+                    let lo = s.start.saturating_sub(h);
+                    let hi = (s.end() + h).min(ny);
+                    let rows: Vec<Vec<T>> =
+                        (lo..hi).map(|y| cur.as_slice()[y * nx..(y + 1) * nx].to_vec()).collect();
+                    (*s, lo, rows)
+                })
+                .collect();
+            let trace_this = trace_on && first_pass;
+            let results = sf_par::par_map(jobs, items, |k, (s, lo, rows)| {
+                let mut shard_rec =
+                    if trace_this { Recorder::enabled(clock) } else { Recorder::disabled() };
+                let slab = rows.len();
+                let prefix = format!("dev{k}/mesh{i}/window/");
+                let base_cycle = (i * ny + s.start) as u64 * rc;
+                let out_rows = run_chain_2d_engine_traced(
+                    engine,
+                    &chain,
+                    nx,
+                    slab,
+                    slab,
+                    rows.into_iter(),
+                    &mut shard_rec,
+                    &prefix,
+                    base_cycle,
+                    rc,
+                );
+                let owned: Vec<Vec<T>> =
+                    out_rows.into_iter().skip(s.start - lo).take(s.len).collect();
+                (s, owned, shard_rec)
+            });
+            let mut next = cur.clone();
+            let mut shard_recs = Vec::with_capacity(shards.len());
+            for (s, owned, sr) in results {
+                for (j, row) in owned.into_iter().enumerate() {
+                    let y = s.start + j;
+                    next.as_mut_slice()[y * nx..(y + 1) * nx].copy_from_slice(&row);
+                }
+                shard_recs.push(sr);
+            }
+            if trace_this {
+                rec.merge_shards(shard_recs);
+            }
+            cur = next;
+            remaining -= p_eff;
+            first_pass = false;
+        }
+        out.as_mut_slice()[i * plane..(i + 1) * plane].copy_from_slice(cur.as_slice());
+    }
+    charge_exchange(rec, &plan);
+
+    let power = sf_fpga::power::fpga_power_w(dev, design) * cfg.devices as f64;
+    let report = SimReport::from_plan(design, &plan.merged, niter as u64, power);
+    Ok((out, report))
+}
+
+/// Engine-generic body of [`simulate_batch_3d_sharded`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn simulate_batch_3d_sharded_core<T, K, E>(
+    engine: &E,
+    dev: &FpgaDevice,
+    design: &StencilDesign,
+    stages_per_iter: &[K],
+    input: &Batch3D<T>,
+    niter: usize,
+    cfg: &MultiConfig,
+    jobs: usize,
+    rec: &mut Recorder,
+) -> Result<(Batch3D<T>, SimReport), MultiError>
+where
+    T: Element,
+    K: Clone + Sync,
+    E: Engine3D<T, K> + Sync,
+{
+    assert!(niter > 0, "niter must be positive");
+    assert_eq!(
+        stages_per_iter.len(),
+        design.spec.stages,
+        "stage count must match the design's spec"
+    );
+    let (nx, ny, nz, b) = (input.nx(), input.ny(), input.nz(), input.batch());
+    check_batch_mode(design, b);
+    let wl = Workload::D3 { nx, ny, nz, batch: b };
+    let plan = sharded_plan(dev, design, &wl, niter as u64, cfg)?;
+    let h = plan.halo;
+    let shards = slab_partition(nz, cfg.devices);
+    let plane_cycles = cycles::design_row_cycles(dev, design, nx, nx) * ny as u64;
+    let plane = nx * ny;
+    let trace_on = rec.is_enabled();
+    let clock = rec.cycles_per_us();
+    if trace_on {
+        annotate(rec, &plan);
+    }
+
+    let mut out = Batch3D::<T>::zeros(nx, ny, nz, b);
+    let vol = plane * nz;
+    for i in 0..b {
+        let mut cur = input.mesh(i);
+        let mut remaining = niter;
+        let mut first_pass = true;
+        while remaining > 0 {
+            let p_eff = design.p.min(remaining);
+            let chain: Vec<K> = (0..p_eff).flat_map(|_| stages_per_iter.iter().cloned()).collect();
+            let items: Vec<_> = shards
+                .iter()
+                .map(|s| {
+                    let lo = s.start.saturating_sub(h);
+                    let hi = (s.end() + h).min(nz);
+                    let planes: Vec<Vec<T>> = (lo..hi)
+                        .map(|z| cur.as_slice()[z * plane..(z + 1) * plane].to_vec())
+                        .collect();
+                    (*s, lo, planes)
+                })
+                .collect();
+            let trace_this = trace_on && first_pass;
+            let results = sf_par::par_map(jobs, items, |k, (s, lo, planes)| {
+                let mut shard_rec =
+                    if trace_this { Recorder::enabled(clock) } else { Recorder::disabled() };
+                let slab = planes.len();
+                let prefix = format!("dev{k}/mesh{i}/window/");
+                let base_cycle = (i * nz + s.start) as u64 * plane_cycles;
+                let out_planes = run_chain_3d_engine_traced(
+                    engine,
+                    &chain,
+                    nx,
+                    ny,
+                    slab,
+                    slab,
+                    planes.into_iter(),
+                    &mut shard_rec,
+                    &prefix,
+                    base_cycle,
+                    plane_cycles,
+                );
+                let owned: Vec<Vec<T>> =
+                    out_planes.into_iter().skip(s.start - lo).take(s.len).collect();
+                (s, owned, shard_rec)
+            });
+            let mut next = cur.clone();
+            let mut shard_recs = Vec::with_capacity(shards.len());
+            for (s, owned, sr) in results {
+                for (j, pl) in owned.into_iter().enumerate() {
+                    let z = s.start + j;
+                    next.as_mut_slice()[z * plane..(z + 1) * plane].copy_from_slice(&pl);
+                }
+                shard_recs.push(sr);
+            }
+            if trace_this {
+                rec.merge_shards(shard_recs);
+            }
+            cur = next;
+            remaining -= p_eff;
+            first_pass = false;
+        }
+        out.as_mut_slice()[i * vol..(i + 1) * vol].copy_from_slice(cur.as_slice());
+    }
+    charge_exchange(rec, &plan);
+
+    let power = sf_fpga::power::fpga_power_w(dev, design) * cfg.devices as f64;
+    let report = SimReport::from_plan(design, &plan.merged, niter as u64, power);
+    Ok((out, report))
+}
+
+/// Schedule-only telemetry for a sharded run: per-pass spans from the
+/// merged plan (pass wall-clock = slowest device, exposed exchange
+/// included), first-pass spans per device on `dev{k}/pipeline`, the
+/// sharded-schedule metadata, and the analytic exchange charges — without
+/// streaming any numerics. The multi-device twin of
+/// [`sf_fpga::profile::trace_schedule`] for paper-scale workloads: spans
+/// on the `pipeline` track sum to `merged.total_cycles`.
+///
+/// # Errors
+/// The [`MultiError`]s of [`sharded_plan`]: zero devices, more devices
+/// than outermost units, or a tiled design.
+pub fn trace_sharded_schedule(
+    dev: &FpgaDevice,
+    design: &StencilDesign,
+    wl: &Workload,
+    niter: u64,
+    cfg: &MultiConfig,
+    rec: &mut Recorder,
+) -> Result<ShardedPlan, MultiError> {
+    // Same collapse threshold as the single-device schedule tracer.
+    const MAX_PASS_SPANS: u64 = 256;
+    let plan = sharded_plan(dev, design, wl, niter, cfg)?;
+    if !rec.is_enabled() {
+        return Ok(plan);
+    }
+    annotate(rec, &plan);
+    let pipe = rec.track("pipeline");
+    let cpp = plan.merged.cycles_per_pass;
+    let shown = plan.merged.passes.min(MAX_PASS_SPANS);
+    for i in 0..shown {
+        rec.span(pipe, &format!("pass {i}"), i * cpp, (i + 1) * cpp);
+    }
+    if plan.merged.passes > shown {
+        rec.span(
+            pipe,
+            &format!("passes {shown}..{}", plan.merged.passes),
+            shown * cpp,
+            plan.merged.passes * cpp,
+        );
+    }
+    // First pass per device: the streamed extended slab, then whatever
+    // exchange its interior compute could not hide.
+    for d in &plan.per_device {
+        let t = rec.track(&format!("dev{}/pipeline", d.device));
+        rec.span(t, &format!("stream {} units", d.extended_len), 0, d.pass_cycles);
+        if d.exposed_cycles > 0 {
+            rec.span(t, "exchange (exposed)", d.pass_cycles, d.pass_cycles + d.exposed_cycles);
+        }
+    }
+    charge_exchange(rec, &plan);
+    Ok(plan)
+}
+
+/// Record the sharded schedule's headline numbers as trace metadata.
+fn annotate(rec: &mut Recorder, plan: &ShardedPlan) {
+    use serde::Value;
+    rec.set_meta("devices", Value::U64(plan.devices as u64));
+    rec.set_meta("halo_units", Value::U64(plan.halo as u64));
+    rec.set_meta("sharded_passes", Value::U64(plan.merged.passes));
+    rec.set_meta("sharded_cycles_per_pass", Value::U64(plan.merged.cycles_per_pass));
+    rec.set_meta("exchange_bytes_per_pass", Value::U64(plan.exchange_bytes_per_pass));
+}
+
+/// Multi-device sharded twin of
+/// [`sf_fpga::exec_batch::simulate_batch_2d_parallel`] (scalar engine).
+///
+/// Output is bit-identical to the single-device executors for every
+/// device count and `jobs` value; the [`SimReport`] prices the sharded
+/// schedule (slowest device per pass, exchange exposure included).
+///
+/// # Errors
+/// The [`MultiError`]s of [`sharded_plan`]: zero devices, more devices
+/// than outermost units, or a tiled design.
+///
+/// # Panics
+/// Panics on a design/input mismatch (wrong batch size, stage count) or
+/// `niter == 0`, exactly like the single-device batch executors.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_batch_2d_sharded<T: Element, K: StencilOp2D<T> + Clone + Sync>(
+    dev: &FpgaDevice,
+    design: &StencilDesign,
+    stages_per_iter: &[K],
+    input: &Batch2D<T>,
+    niter: usize,
+    cfg: &MultiConfig,
+    jobs: usize,
+    rec: &mut Recorder,
+) -> Result<(Batch2D<T>, SimReport), MultiError> {
+    simulate_batch_2d_sharded_core(
+        &ScalarEngine,
+        dev,
+        design,
+        stages_per_iter,
+        input,
+        niter,
+        cfg,
+        jobs,
+        rec,
+    )
+}
+
+/// 3D twin of [`simulate_batch_2d_sharded`].
+///
+/// # Errors
+/// See [`simulate_batch_2d_sharded`].
+///
+/// # Panics
+/// See [`simulate_batch_2d_sharded`].
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_batch_3d_sharded<T: Element, K: StencilOp3D<T> + Clone + Sync>(
+    dev: &FpgaDevice,
+    design: &StencilDesign,
+    stages_per_iter: &[K],
+    input: &Batch3D<T>,
+    niter: usize,
+    cfg: &MultiConfig,
+    jobs: usize,
+    rec: &mut Recorder,
+) -> Result<(Batch3D<T>, SimReport), MultiError> {
+    simulate_batch_3d_sharded_core(
+        &ScalarEngine,
+        dev,
+        design,
+        stages_per_iter,
+        input,
+        niter,
+        cfg,
+        jobs,
+        rec,
+    )
+}
+
+/// Engine-dispatched [`simulate_batch_2d_sharded`]: scalar or vectorized
+/// fast path, selected at runtime like
+/// [`sf_fpga::fast::simulate_batch_2d_parallel_exec`].
+///
+/// # Errors
+/// See [`simulate_batch_2d_sharded`].
+///
+/// # Panics
+/// See [`simulate_batch_2d_sharded`].
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_batch_2d_sharded_exec<T: LaneElement, K: LaneOp2D<T> + Clone + Sync>(
+    engine: ExecEngine,
+    dev: &FpgaDevice,
+    design: &StencilDesign,
+    stages_per_iter: &[K],
+    input: &Batch2D<T>,
+    niter: usize,
+    cfg: &MultiConfig,
+    jobs: usize,
+    rec: &mut Recorder,
+) -> Result<(Batch2D<T>, SimReport), MultiError> {
+    match engine {
+        ExecEngine::Scalar => simulate_batch_2d_sharded_core(
+            &ScalarEngine,
+            dev,
+            design,
+            stages_per_iter,
+            input,
+            niter,
+            cfg,
+            jobs,
+            rec,
+        ),
+        ExecEngine::Fast => simulate_batch_2d_sharded_core(
+            &FastEngine,
+            dev,
+            design,
+            stages_per_iter,
+            input,
+            niter,
+            cfg,
+            jobs,
+            rec,
+        ),
+    }
+}
+
+/// Engine-dispatched [`simulate_batch_3d_sharded`].
+///
+/// # Errors
+/// See [`simulate_batch_2d_sharded`].
+///
+/// # Panics
+/// See [`simulate_batch_2d_sharded`].
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_batch_3d_sharded_exec<T: LaneElement, K: LaneOp3D<T> + Clone + Sync>(
+    engine: ExecEngine,
+    dev: &FpgaDevice,
+    design: &StencilDesign,
+    stages_per_iter: &[K],
+    input: &Batch3D<T>,
+    niter: usize,
+    cfg: &MultiConfig,
+    jobs: usize,
+    rec: &mut Recorder,
+) -> Result<(Batch3D<T>, SimReport), MultiError> {
+    match engine {
+        ExecEngine::Scalar => simulate_batch_3d_sharded_core(
+            &ScalarEngine,
+            dev,
+            design,
+            stages_per_iter,
+            input,
+            niter,
+            cfg,
+            jobs,
+            rec,
+        ),
+        ExecEngine::Fast => simulate_batch_3d_sharded_core(
+            &FastEngine,
+            dev,
+            design,
+            stages_per_iter,
+            input,
+            niter,
+            cfg,
+            jobs,
+            rec,
+        ),
+    }
+}

@@ -22,14 +22,15 @@ fn roofline_cell(c: &ConfigStats) -> String {
         Some(rl) => {
             let a = &rl.attribution;
             format!(
-                "ideal {} / gap {} ({}) bound={} [C {:.1}% / M {:.1}% / B {:.1}%]",
+                "ideal {} / gap {} ({}) bound={} [C {:.1}% / M {:.1}% / B {:.1}% / X {:.1}%]",
                 rl.ideal_cycles,
                 rl.gap_cycles,
                 fmt_pct(rl.gap_pct),
                 rl.bound,
                 a.compute_pct,
                 a.memory_pct,
-                a.backpressure_pct
+                a.backpressure_pct,
+                a.exchange_pct
             )
         }
     }

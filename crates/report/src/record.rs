@@ -76,6 +76,8 @@ pub struct RunRecord {
     pub tile_n: Option<u64>,
     /// External memory binding: `hbm` | `ddr4`.
     pub mem: String,
+    /// Accelerator cards the run was sharded across (1 = single device).
+    pub devices: u64,
     /// Achieved kernel clock, MHz.
     pub freq_mhz: f64,
     /// Resolved worker count the run was configured with (`--jobs`).
@@ -123,6 +125,7 @@ impl RunRecord {
             tile_m: None,
             tile_n: None,
             mem: String::new(),
+            devices: 1,
             freq_mhz: 0.0,
             jobs: 1,
             shards_merged: 0,
@@ -146,7 +149,7 @@ impl RunRecord {
     pub fn config_key(&self) -> String {
         let dims = self.dims.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("x");
         format!(
-            "{}/{}/{}/b{}/i{}/V{}/p{}/{}/{}",
+            "{}/{}/{}/b{}/i{}/V{}/p{}/d{}/{}/{}",
             self.kind.label(),
             self.app,
             dims,
@@ -154,6 +157,7 @@ impl RunRecord {
             self.niter,
             self.v,
             self.p,
+            self.devices.max(1),
             self.mode.replace(' ', ""),
             self.mem
         )
@@ -258,8 +262,11 @@ mod tests {
         r.mode = "Batched { b: 6 }".into();
         r.batch = 6;
         r.mem = "hbm".into();
-        assert_eq!(r.config_key(), "profile/poisson2d/200x100/b6/i100/V8/p60/Batched{b:6}/hbm");
+        assert_eq!(r.config_key(), "profile/poisson2d/200x100/b6/i100/V8/p60/d1/Batched{b:6}/hbm");
         assert!(!r.config_key().contains(' '));
+        // a sharded run is a different nominal benchmark
+        r.devices = 4;
+        assert_eq!(r.config_key(), "profile/poisson2d/200x100/b6/i100/V8/p60/d4/Batched{b:6}/hbm");
     }
 
     #[test]

@@ -116,6 +116,7 @@ impl Report {
                 stalls.memory_cycles += rec.stalls.memory_cycles;
                 stalls.backpressure_cycles += rec.stalls.backpressure_cycles;
                 stalls.checkpoint_cycles += rec.stalls.checkpoint_cycles;
+                stalls.exchange_cycles += rec.stalls.exchange_cycles;
                 if let Some(d) = rec.divergence_pct.filter(|d| d.is_finite()) {
                     divergences.push(d);
                 }
@@ -227,6 +228,23 @@ mod tests {
         let rl = rep.configs[0].roofline.as_ref().expect("roofline");
         assert!(rl.ideal_cycles > 0);
         assert_eq!(rl.bound, "Memory");
+    }
+
+    #[test]
+    fn aggregation_sums_every_stall_class_into_the_roofline() {
+        // a sharded, communication-bound record: exchange must survive the
+        // per-config stall summation (each class is summed by name, so a
+        // class dropped here would silently zero its attribution column)
+        let mut r = measured("poisson2d", 1_000_000);
+        r.devices = 2;
+        r.stalls.memory_cycles = 0;
+        r.stalls.exchange_cycles = 96;
+        r.stalls.checkpoint_cycles = 32;
+        let rep = Report::build(&[r]);
+        let rl = rep.configs[0].roofline.as_ref().expect("roofline");
+        assert_eq!(rl.bound, "Exchange");
+        assert_eq!(rl.attribution.attributed_cycles, 96 + 32);
+        assert_eq!(rl.attribution.exchange_pct, 75.0);
     }
 
     #[test]

@@ -59,6 +59,9 @@ pub struct GapAttribution {
     pub memory_pct: f64,
     /// Share blocked on full inter-stage FIFOs (eq. 12 residual), percent.
     pub backpressure_pct: f64,
+    /// Share exposed on the inter-device halo exchange (multi-device runs
+    /// whose link cost exceeds the interior-compute overlap), percent.
+    pub exchange_pct: f64,
     /// Total stall cycles the split was derived from.
     pub attributed_cycles: u64,
 }
@@ -101,6 +104,7 @@ fn attribute(stalls: &StallBreakdown) -> GapAttribution {
         compute_pct: pct(stalls.cycles(StallClass::Compute), total),
         memory_pct: pct(stalls.cycles(StallClass::Memory), total),
         backpressure_pct: pct(stalls.cycles(StallClass::Backpressure), total),
+        exchange_pct: pct(stalls.cycles(StallClass::Exchange), total),
         attributed_cycles: total,
     }
 }
@@ -238,11 +242,26 @@ mod tests {
         let rl =
             analyze(&dev, &rec, rec.measured_cycles, &StallBreakdown::default()).expect("roofline");
         assert_eq!(rl.attribution.attributed_cycles, 0);
-        for f in
-            [rl.attribution.compute_pct, rl.attribution.memory_pct, rl.attribution.backpressure_pct]
-        {
+        for f in [
+            rl.attribution.compute_pct,
+            rl.attribution.memory_pct,
+            rl.attribution.backpressure_pct,
+            rl.attribution.exchange_pct,
+        ] {
             assert_eq!(f, 0.0);
             assert!(!f.is_nan());
         }
+    }
+
+    #[test]
+    fn exchange_stalls_attribute_a_communication_bound_run() {
+        let dev = FpgaDevice::u280();
+        let rec = poisson_record();
+        let stalls =
+            StallBreakdown { compute_cycles: 25, exchange_cycles: 75, ..Default::default() };
+        let rl = analyze(&dev, &rec, rec.measured_cycles, &stalls).expect("roofline");
+        assert!((rl.attribution.exchange_pct - 75.0).abs() < 1e-9);
+        assert!((rl.attribution.compute_pct - 25.0).abs() < 1e-9);
+        assert_eq!(rl.bound, "Exchange", "exchange must be nameable as the binding resource");
     }
 }

@@ -17,7 +17,7 @@ fn obj(fields: Vec<(String, Value)>) -> Value {
 ///   "counters":  { "fifo.stalls": 0, ... },
 ///   "stalls":    { "compute_cycles": ..., "memory_cycles": ...,
 ///                  "backpressure_cycles": ..., "checkpoint_cycles": ...,
-///                  "dominant": "Compute" },
+///                  "exchange_cycles": ..., "dominant": "Compute" },
 ///   "tracks":    { "stage:0": { "spans": 3, "busy_cycles": 900 }, ... },
 ///   "divergence": { "predicted_cycles": ..., "simulated_cycles": ...,
 ///                   "pct": ..., "within_15pct": true },
@@ -41,6 +41,7 @@ pub fn metrics(rec: &Recorder) -> Value {
             ("memory_cycles".into(), Value::U64(b.memory_cycles)),
             ("backpressure_cycles".into(), Value::U64(b.backpressure_cycles)),
             ("checkpoint_cycles".into(), Value::U64(b.checkpoint_cycles)),
+            ("exchange_cycles".into(), Value::U64(b.exchange_cycles)),
             ("dominant".into(), b.dominant().to_value()),
         ]),
     ));

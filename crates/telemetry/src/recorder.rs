@@ -58,6 +58,9 @@ pub enum StallClass {
     /// Cycles spent on checkpoint writes, ABFT checks and rollback
     /// replay in the recovery layer (`sf-recover`).
     Checkpoint,
+    /// Cycles spent on inter-device halo exchange over the modeled
+    /// device-to-device link (`sf-multi`), net of compute overlap.
+    Exchange,
 }
 
 /// Cycle totals attributed to each stall class.
@@ -73,11 +76,19 @@ pub struct StallBreakdown {
     /// Recovery-layer overhead (checkpoint writes, ABFT checks, rollback
     /// replay); zero everywhere the recovery layer is not engaged.
     pub checkpoint_cycles: u64,
+    /// Inter-device halo-exchange overhead (link latency plus serialized
+    /// transfer cycles not hidden behind interior compute); zero for
+    /// single-device runs.
+    pub exchange_cycles: u64,
 }
 
 impl StallBreakdown {
     pub fn total(&self) -> u64 {
-        self.compute_cycles + self.memory_cycles + self.backpressure_cycles + self.checkpoint_cycles
+        self.compute_cycles
+            + self.memory_cycles
+            + self.backpressure_cycles
+            + self.checkpoint_cycles
+            + self.exchange_cycles
     }
 
     /// Cycles attributed to `class`.
@@ -87,6 +98,7 @@ impl StallBreakdown {
             StallClass::Memory => self.memory_cycles,
             StallClass::Backpressure => self.backpressure_cycles,
             StallClass::Checkpoint => self.checkpoint_cycles,
+            StallClass::Exchange => self.exchange_cycles,
         }
     }
 
@@ -107,6 +119,7 @@ impl StallBreakdown {
             (StallClass::Memory, self.memory_cycles),
             (StallClass::Backpressure, self.backpressure_cycles),
             (StallClass::Checkpoint, self.checkpoint_cycles),
+            (StallClass::Exchange, self.exchange_cycles),
         ] {
             if cycles > best.1 {
                 best = (class, cycles);
@@ -257,6 +270,7 @@ impl Recorder {
             StallClass::Memory => self.stalls.memory_cycles += cycles,
             StallClass::Backpressure => self.stalls.backpressure_cycles += cycles,
             StallClass::Checkpoint => self.stalls.checkpoint_cycles += cycles,
+            StallClass::Exchange => self.stalls.exchange_cycles += cycles,
         }
     }
 
@@ -340,6 +354,7 @@ impl Recorder {
             self.stalls.memory_cycles += shard.stalls.memory_cycles;
             self.stalls.backpressure_cycles += shard.stalls.backpressure_cycles;
             self.stalls.checkpoint_cycles += shard.stalls.checkpoint_cycles;
+            self.stalls.exchange_cycles += shard.stalls.exchange_cycles;
         }
         spans.sort_by_key(|a| (a.0, a.1, a.2));
         instants.sort_by_key(|a| (a.0, a.1, a.2));
@@ -483,6 +498,21 @@ mod tests {
         assert_eq!(b.total(), 100);
         assert!((b.fraction(StallClass::Compute) - 0.6).abs() < 1e-12);
         assert_eq!(b.dominant(), StallClass::Compute);
+    }
+
+    #[test]
+    fn exchange_stalls_attribute_merge_and_dominate() {
+        let mut r = Recorder::enabled(300.0);
+        r.stall(StallClass::Exchange, 50);
+        r.stall(StallClass::Compute, 20);
+        let mut shard = Recorder::enabled(300.0);
+        shard.stall(StallClass::Exchange, 40);
+        r.merge_shard(shard);
+        let b = r.stall_breakdown();
+        assert_eq!(b.exchange_cycles, 90);
+        assert_eq!(b.cycles(StallClass::Exchange), 90);
+        assert_eq!(b.total(), 110);
+        assert_eq!(b.dominant(), StallClass::Exchange);
     }
 
     #[test]
